@@ -1,0 +1,15 @@
+"""Workload-size scaling shared by the benchmark files.
+
+Kept in its own module (rather than ``conftest.py``) so the benches can import
+it explicitly without relying on pytest's conftest import mechanics.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def scaled(value: int, minimum: int = 1) -> int:
+    """Scale a workload size by the ``REPRO_BENCH_SCALE`` environment variable."""
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    return max(minimum, int(value * scale))

@@ -1,0 +1,55 @@
+"""Experiment A-c1 — ablation of the candidate-set constant c₁ (Section 3.3).
+
+The paper notes that "a larger c₁ reduces the amortized update time and
+increases the space".  This ablation sweeps c₁ on the same random-insert
+workload and reports element moves per insert, rebuild counts, and slots per
+element, so the trade-off can be read off a single table.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table, write_results
+from repro.core.hi_pma import HistoryIndependentPMA, PMAParameters
+from repro.workloads import apply_to_ranked, random_insert_trace
+
+from _harness import scaled
+
+C1_VALUES = (0.25, 0.5, 0.75)
+
+
+def test_c1_tradeoff(run_once, results_dir):
+    num_inserts = scaled(10_000)
+    trace = random_insert_trace(num_inserts, seed=11)
+
+    def workload():
+        rows = []
+        for c1 in C1_VALUES:
+            pma = HistoryIndependentPMA(params=PMAParameters(c1=c1), seed=12)
+            apply_to_ranked(pma, list(trace))
+            counters = pma.stats.counters
+            rows.append({
+                "c1": c1,
+                "moves_per_insert": pma.stats.element_moves / num_inserts,
+                "out_of_bounds_rebuilds": counters.get("rebuild.out_of_bounds", 0),
+                "lottery_rebuilds": counters.get("rebuild.lottery", 0),
+                "slots_per_element": pma.num_slots / len(pma),
+            })
+        return rows
+
+    rows = run_once(workload)
+    print()
+    print("Ablation — candidate-set constant c1 (update cost vs. space)")
+    print(format_table(
+        [[row["c1"], "%.1f" % row["moves_per_insert"], row["out_of_bounds_rebuilds"],
+          row["lottery_rebuilds"], "%.2f" % row["slots_per_element"]]
+         for row in rows],
+        headers=["c1", "moves/insert", "out-of-bounds rebuilds",
+                 "lottery rebuilds", "slots/element"]))
+
+    write_results("ablation_c1", {"num_inserts": num_inserts, "rows": rows},
+                  directory=results_dir)
+
+    # Shape checks from the paper's remark: larger c1 -> fewer out-of-bounds
+    # rebuilds (the window is harder to escape) and at least as much space.
+    assert rows[0]["out_of_bounds_rebuilds"] >= rows[-1]["out_of_bounds_rebuilds"]
+    assert rows[-1]["slots_per_element"] >= 0.9 * rows[0]["slots_per_element"]

@@ -1,0 +1,74 @@
+"""Experiment A-γ — ablation of the skip-list trade-off parameter ε (Section 6).
+
+Theorem 3's parameter ε (γ = (1+ε)/2) trades the worst-case insert cost
+``O(B^ε log N)`` against the range-query cost ``O(logB N / ε + k/B)``.  This
+ablation sweeps ε, measuring the worst single-insert I/O, the average search
+I/O, a medium-size range query's I/O, and the space per key.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.reporting import format_table, write_results
+from repro.skiplist.external import HistoryIndependentSkipList
+
+from _harness import scaled
+
+BLOCK_SIZE = 64
+EPSILONS = (0.1, 0.3, 0.6)
+
+
+def test_gamma_tradeoff(run_once, results_dir):
+    num_keys = scaled(12_000)
+    range_width = 4 * BLOCK_SIZE
+
+    def workload():
+        rng = random.Random(13)
+        keys = rng.sample(range(40 * num_keys), num_keys)
+        probes = rng.sample(keys, 200)
+        ordered = sorted(keys)
+        low = ordered[num_keys // 2]
+        high = ordered[num_keys // 2 + range_width - 1]
+        rows = []
+        for epsilon in EPSILONS:
+            skiplist = HistoryIndependentSkipList(block_size=BLOCK_SIZE,
+                                                  epsilon=epsilon, seed=14)
+            worst_insert = 0
+            for key in keys:
+                worst_insert = max(worst_insert, skiplist.insert(key, key))
+            search_ios = sum(skiplist.search_io_cost(key) for key in probes) / len(probes)
+            _result, range_ios = skiplist.range_query(low, high)
+            rows.append({
+                "epsilon": epsilon,
+                "gamma": skiplist.gamma,
+                "worst_insert_ios": worst_insert,
+                "search_ios": search_ios,
+                "range_ios": range_ios,
+                "slots_per_key": skiplist.total_slots() / len(skiplist),
+            })
+        return rows
+
+    rows = run_once(workload)
+    print()
+    print("Ablation — skip-list parameter eps (worst-case insert vs. range query)")
+    print(format_table(
+        [[row["epsilon"], "%.2f" % row["gamma"], row["worst_insert_ios"],
+          "%.2f" % row["search_ios"], row["range_ios"],
+          "%.2f" % row["slots_per_key"]]
+         for row in rows],
+        headers=["eps", "gamma", "worst insert I/Os", "search I/Os",
+                 "range I/Os", "slots/key"]))
+
+    write_results("ablation_gamma", {
+        "num_keys": num_keys,
+        "block_size": BLOCK_SIZE,
+        "range_width": range_width,
+        "rows": rows,
+    }, directory=results_dir)
+
+    # Shape checks: larger eps (larger gamma) means rarer promotions, hence
+    # bigger leaf nodes and a larger worst-case insert, while searches stay
+    # O(log_B N) for every eps in the sweep.
+    assert rows[-1]["worst_insert_ios"] >= rows[0]["worst_insert_ios"]
+    assert all(row["search_ios"] <= 30 for row in rows)

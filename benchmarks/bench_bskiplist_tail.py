@@ -1,0 +1,72 @@
+"""Experiment X-L15 — Lemma 15: the folklore B-skip list's heavy search tail.
+
+Lemma 15: with promotion probability 1/B, there are (whp) Ω(√(NB)) elements
+whose search costs Ω(log(N/B)) I/Os — the folklore structure's worst searches
+are as bad as an in-memory skip list on disk.  The HI skip list's promotion
+probability 1/B^γ removes the tail (Theorem 3).
+
+The bench measures the per-key search-cost distribution of both structures at
+increasing N and reports mean / p99 / max.  Shape expectations: the folklore
+maximum keeps growing with N and sits well above its own mean, while the HI
+skip list's maximum stays flat.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.reporting import format_table, write_results
+from repro.analysis.scaling import search_cost_distribution, tail_summary
+from repro.skiplist.external import HistoryIndependentSkipList
+from repro.skiplist.folklore import FolkloreBSkipList
+
+from _harness import scaled
+
+BLOCK_SIZE = 16
+
+
+def test_bskiplist_search_tail(run_once, results_dir):
+    sizes = [scaled(4_000), scaled(16_000)]
+
+    def workload():
+        rows = []
+        rng = random.Random(5)
+        for size in sizes:
+            keys = rng.sample(range(50 * size), size)
+            folklore = FolkloreBSkipList(block_size=BLOCK_SIZE, seed=6)
+            hi_skiplist = HistoryIndependentSkipList(block_size=BLOCK_SIZE,
+                                                     epsilon=0.2, seed=7)
+            for key in keys:
+                folklore.insert(key, key)
+                hi_skiplist.insert(key, key)
+            rows.append({
+                "n": size,
+                "folklore": tail_summary(search_cost_distribution(folklore, keys)),
+                "hi": tail_summary(search_cost_distribution(hi_skiplist, keys)),
+            })
+        return rows
+
+    rows = run_once(workload)
+    print()
+    print("Lemma 15 — search-cost distribution, folklore vs. HI skip list (B = %d)"
+          % BLOCK_SIZE)
+    print(format_table(
+        [[row["n"],
+          "%.2f" % row["folklore"]["mean"], int(row["folklore"]["p99"]),
+          int(row["folklore"]["max"]),
+          "%.2f" % row["hi"]["mean"], int(row["hi"]["p99"]), int(row["hi"]["max"])]
+         for row in rows],
+        headers=["N", "folk mean", "folk p99", "folk max",
+                 "HI mean", "HI p99", "HI max"]))
+
+    write_results("bskiplist_tail", {"block_size": BLOCK_SIZE, "rows": rows},
+                  directory=results_dir)
+
+    for row in rows:
+        # The folklore tail is heavy: the worst search costs several times the mean.
+        assert row["folklore"]["max"] >= row["folklore"]["mean"] + 2
+        # The HI skip list's worst search stays close to its own mean.
+        assert row["hi"]["max"] <= 4 * row["hi"]["mean"] + 4
+    # The folklore worst case does not improve as N grows; the HI one stays flat.
+    assert rows[-1]["folklore"]["max"] >= rows[0]["folklore"]["max"] - 1
+    assert rows[-1]["hi"]["max"] <= rows[0]["hi"]["max"] + 4

@@ -1,0 +1,90 @@
+"""Experiment X-CO — cache-obliviousness: one structure, every block size.
+
+A cache-oblivious structure takes no block-size parameter; its I/O bound must
+hold simultaneously for every ``B``.  This bench builds the HI cache-oblivious
+B-tree with *identical code and parameters* (only the measuring tracker's
+block size changes) and measures search I/Os at several block sizes,
+alongside a classic B-tree that must be re-parameterised (rebuilt with the
+matching fanout) for each ``B``.  The shape to reproduce: the HI CO B-tree's
+search cost tracks ``O(log_B N)`` across the whole sweep of ``B`` even though
+it never learns ``B``, staying within a constant factor of the
+B-parameterised B-tree.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.analysis.reporting import format_table, write_results
+from repro.btree import BTree
+from repro.cobtree import HistoryIndependentCOBTree
+from repro.memory.tracker import IOTracker
+
+from _harness import scaled
+
+BLOCK_SIZES = (16, 64, 256)
+
+
+def _cobtree_search_cost(keys, probes, block_size):
+    tracker = IOTracker(block_size=block_size, cache_blocks=4)
+    tree = HistoryIndependentCOBTree(seed=5, tracker=tracker)
+    for key in keys:
+        tree.insert(key, key)
+    costs = []
+    for key in probes:
+        tracker.cache.clear()
+        before = tracker.snapshot()
+        tree.search(key)
+        costs.append(tracker.stats.delta(before).total_ios)
+    return sum(costs) / len(costs)
+
+
+def _btree_search_cost(keys, probes, block_size):
+    tree = BTree(block_size=block_size)
+    for key in keys:
+        tree.insert(key, key)
+    return sum(tree.search_io_cost(key) for key in probes) / len(probes)
+
+
+def test_cache_oblivious_block_size_sweep(run_once, results_dir):
+    size = scaled(8_000)
+    probe_count = scaled(150, minimum=30)
+
+    def workload():
+        rng = random.Random(3)
+        keys = rng.sample(range(40 * size), size)
+        probes = rng.sample(keys, min(probe_count, len(keys)))
+        rows = []
+        for block_size in BLOCK_SIZES:
+            rows.append({
+                "block_size": block_size,
+                "cobtree": _cobtree_search_cost(keys, probes, block_size),
+                "btree": _btree_search_cost(keys, probes, block_size),
+            })
+        return {"n": size, "rows": rows}
+
+    result = run_once(workload)
+
+    print()
+    print("Cache-obliviousness — the same HI CO B-tree measured at every B "
+          "(N = %d)" % result["n"])
+    print(format_table(
+        [[row["block_size"],
+          "%.2f" % row["cobtree"],
+          "%.2f" % row["btree"],
+          "%.2f" % math.log(result["n"], row["block_size"])]
+         for row in result["rows"]],
+        headers=["B", "HI CO B-tree search I/Os", "B-tree search I/Os",
+                 "log_B N"]))
+
+    write_results("cache_oblivious", result, directory=results_dir)
+
+    # Shape checks: the CO B-tree's search cost (i) stays within a constant
+    # factor of log_B N at every block size without knowing B, and (ii) does
+    # not increase when blocks get larger.
+    for row in result["rows"]:
+        log_b_n = math.log(result["n"], row["block_size"])
+        assert row["cobtree"] <= 14 * log_b_n + 8
+    costs = [row["cobtree"] for row in result["rows"]]
+    assert costs[-1] <= costs[0] + 1e-9

@@ -1,0 +1,100 @@
+"""Experiment X-T2 — Theorem 2: HI cache-oblivious B-tree vs. classic B-tree.
+
+Theorem 2 gives the HI CO B-tree B-tree-like I/O bounds: ``O(log_B N)``
+searches, ``O(log² N / B + log_B N)`` amortized updates, and
+``O(log_B N + k/B)`` range queries.  This bench measures all three for the HI
+CO B-tree (through the DAM tracker) and the classic B-tree baseline (through
+its node-transfer counters) across a sweep of ``N``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.analysis.reporting import format_table, write_results
+from repro.btree import BTree
+from repro.cobtree import HistoryIndependentCOBTree
+from repro.memory.tracker import IOTracker
+
+from _harness import scaled
+
+BLOCK_SIZE = 64
+
+
+def _measure_cobtree(keys, probes, range_width):
+    tracker = IOTracker(block_size=BLOCK_SIZE, cache_blocks=4)
+    tree = HistoryIndependentCOBTree(seed=1, tracker=tracker)
+    for key in keys:
+        tree.insert(key, key)
+    insert_ios = tracker.stats.total_ios / len(keys)
+    before = tracker.snapshot()
+    for key in probes:
+        tracker.cache.clear()
+        tree.search(key)
+    search_ios = tracker.stats.delta(before).total_ios / len(probes)
+    ordered = sorted(keys)
+    low = ordered[len(ordered) // 3]
+    high = ordered[len(ordered) // 3 + range_width - 1]
+    before = tracker.snapshot()
+    rows = tree.range_query(low, high)
+    range_ios = tracker.stats.delta(before).total_ios
+    return {"insert_ios": insert_ios, "search_ios": search_ios,
+            "range_ios": range_ios, "range_keys": len(rows)}
+
+
+def _measure_btree(keys, probes, range_width):
+    tree = BTree(block_size=BLOCK_SIZE)
+    for key in keys:
+        tree.insert(key, key)
+    insert_ios = (tree.stats.reads + tree.stats.writes) / len(keys)
+    search_ios = sum(tree.search_io_cost(key) for key in probes) / len(probes)
+    ordered = sorted(keys)
+    low = ordered[len(ordered) // 3]
+    high = ordered[len(ordered) // 3 + range_width - 1]
+    before = tree.stats.reads
+    rows = tree.range_query(low, high)
+    range_ios = tree.stats.reads - before
+    return {"insert_ios": insert_ios, "search_ios": search_ios,
+            "range_ios": range_ios, "range_keys": len(rows)}
+
+
+def test_cobtree_vs_btree_io(run_once, results_dir):
+    sizes = [scaled(2_000), scaled(8_000), scaled(24_000)]
+    range_width = 8 * BLOCK_SIZE
+
+    def workload():
+        rows = []
+        rng = random.Random(0)
+        for size in sizes:
+            keys = rng.sample(range(20 * size), size)
+            probes = rng.sample(keys, 100)
+            cobtree = _measure_cobtree(keys, probes, range_width)
+            btree = _measure_btree(keys, probes, range_width)
+            rows.append({"n": size, "cobtree": cobtree, "btree": btree})
+        return rows
+
+    rows = run_once(workload)
+    print()
+    print("Theorem 2 — HI cache-oblivious B-tree vs. classic B-tree (B = %d)"
+          % BLOCK_SIZE)
+    print(format_table(
+        [[row["n"],
+          "%.2f" % row["cobtree"]["search_ios"], "%.2f" % row["btree"]["search_ios"],
+          "%.2f" % row["cobtree"]["insert_ios"], "%.2f" % row["btree"]["insert_ios"],
+          row["cobtree"]["range_ios"], row["btree"]["range_ios"]]
+         for row in rows],
+        headers=["N", "HI search", "B-tree search", "HI insert", "B-tree insert",
+                 "HI range", "B-tree range"]))
+
+    write_results("cobtree_io", {"rows": rows, "block_size": BLOCK_SIZE},
+                  directory=results_dir)
+
+    for row in rows:
+        log_b_n = math.log(row["n"], BLOCK_SIZE)
+        # Searches: O(log_B N) for both; the HI structure pays a constant factor.
+        assert row["cobtree"]["search_ios"] <= 14 * log_b_n + 8
+        # Range queries: search plus scan for both structures.
+        assert row["cobtree"]["range_ios"] <= 12 * (log_b_n + range_width / BLOCK_SIZE)
+    # Search cost grows slowly (logarithmically), not linearly, with N.
+    assert rows[-1]["cobtree"]["search_ios"] <= 4 * rows[0]["cobtree"]["search_ios"] + 4

@@ -1,0 +1,62 @@
+"""Experiment F2 — Figure 2: normalized element moves per insert.
+
+The paper's Figure 2 plots cumulative element moves divided by ``N log² N``
+against the number of uniformly random insertions, for the
+history-independent PMA and a normal PMA.  The paper runs to 9·10⁷ inserts in
+C; this harness runs the same workload at a Python-friendly size (override
+with ``REPRO_BENCH_SCALE``) and prints / stores the same two series.
+
+Shape expectations (checked by assertions):
+* both normalized series stay bounded (no super-polylog growth), and
+* the HI PMA pays a constant factor over the plain PMA, not an asymptotic one.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.moves import normalized_moves_series
+from repro.analysis.reporting import format_table, write_results
+from repro.core.hi_pma import HistoryIndependentPMA
+from repro.pma.classic import ClassicPMA
+from repro.workloads import random_insert_trace
+
+from _harness import scaled
+
+
+def _series(structure, trace):
+    return normalized_moves_series(structure, trace, checkpoints=20)
+
+
+def test_fig2_normalized_moves(run_once, results_dir):
+    num_inserts = scaled(20_000)
+    trace = random_insert_trace(num_inserts, seed=2016)
+
+    def workload():
+        hi_series = _series(HistoryIndependentPMA(seed=1), list(trace))
+        classic_series = _series(ClassicPMA(), list(trace))
+        return hi_series, classic_series
+
+    hi_series, classic_series = run_once(workload)
+
+    rows = []
+    for hi_sample, classic_sample in zip(hi_series, classic_series):
+        rows.append([hi_sample.inserts,
+                     "%.4f" % hi_sample.normalized_moves,
+                     "%.4f" % classic_sample.normalized_moves])
+    print()
+    print("Figure 2 — moves / (N log^2 N) vs. number of insertions")
+    print(format_table(rows, headers=["inserts", "HI PMA", "classic PMA"]))
+
+    write_results("fig2_moves", {
+        "num_inserts": num_inserts,
+        "hi_pma": [sample.__dict__ for sample in hi_series],
+        "classic_pma": [sample.__dict__ for sample in classic_series],
+    }, directory=results_dir)
+
+    # Shape checks: bounded normalized moves, single-digit-ish overhead factor.
+    hi_tail = [sample.normalized_moves for sample in hi_series[len(hi_series) // 2:]]
+    classic_tail = [sample.normalized_moves
+                    for sample in classic_series[len(classic_series) // 2:]]
+    assert max(hi_tail) <= 10 * min(hi_tail) + 1.0
+    assert max(classic_tail) <= 10 * min(classic_tail) + 1.0
+    ratio = hi_series[-1].element_moves / max(1, classic_series[-1].element_moves)
+    assert 1.0 <= ratio <= 50.0

@@ -1,0 +1,99 @@
+"""Experiment X-FOR — what an observer actually extracts from the layout.
+
+The paper motivates history independence with the failed-redaction problem:
+a history-dependent layout betrays *where* deletions happened even after the
+data itself is gone.  This bench quantifies that leak.  For the classic PMA
+and the HI PMA it replays the bulk-load-then-redact workload, captures the
+byte-level disk image, and measures
+
+* the redaction signal (how implausible the stolen image is among fresh
+  rebuilds of the same contents), and
+* whether the crude density-anomaly detector fires.
+
+The classic PMA should light up both detectors; the HI PMA should stay at
+sampling-noise level — that gap is the security payoff the paper buys with
+its O(log² N) update cost.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.reporting import format_table, write_results
+from repro.core.hi_pma import HistoryIndependentPMA
+from repro.history.forensics import detect_density_anomaly, redaction_signal
+from repro.pma.classic import ClassicPMA
+from repro.storage import image_of, snapshot_structure
+from repro.workloads import apply_to_ranked, batch_redaction_trace
+
+from _harness import scaled
+
+
+def _build_and_steal(structure, trace):
+    apply_to_ranked(structure, trace)
+    image = image_of(*snapshot_structure(structure, page_size=1024, payload_size=32))
+    return image, list(structure)
+
+
+def test_redaction_forensics_classic_vs_hi(run_once, results_dir):
+    initial = scaled(2_000)
+    rng = random.Random(4)
+
+    def workload():
+        trace = batch_redaction_trace(initial=initial, redaction_start=0.35,
+                                      redaction_width=0.25, seed=4)
+
+        classic_image, contents = _build_and_steal(ClassicPMA(), trace)
+        hi_image, hi_contents = _build_and_steal(
+            HistoryIndependentPMA(seed=rng.getrandbits(64)), trace)
+        assert contents == hi_contents
+
+        def rebuild_classic():
+            fresh = ClassicPMA()
+            for value in contents:
+                fresh.append(value)
+            return fresh.slots()
+
+        def rebuild_hi():
+            fresh = HistoryIndependentPMA(seed=rng.getrandbits(64))
+            for value in contents:
+                fresh.append(value)
+            return fresh.slots()
+
+        return {
+            "records": len(contents),
+            "classic_signal": redaction_signal(classic_image.decoded_slots(),
+                                               rebuild_classic, trials=15),
+            "classic_anomaly": detect_density_anomaly(classic_image.decoded_slots(),
+                                                      threshold=0.2),
+            "hi_signal": redaction_signal(hi_image.decoded_slots(),
+                                          rebuild_hi, trials=15),
+            "hi_anomaly": detect_density_anomaly(hi_image.decoded_slots(),
+                                                 threshold=0.2),
+        }
+
+    result = run_once(workload)
+
+    print()
+    print("Redaction forensics — bulk load %d keys, redact 25%%, steal the image"
+          % initial)
+    print(format_table(
+        [["classic PMA", "%.1f" % result["classic_signal"],
+          "yes" if result["classic_anomaly"] else "no"],
+         ["HI PMA", "%.1f" % result["hi_signal"],
+          "yes" if result["hi_anomaly"] else "no"]],
+        headers=["structure", "redaction signal", "density anomaly"]))
+
+    write_results("forensics", {
+        "records": result["records"],
+        "classic_signal": result["classic_signal"],
+        "classic_anomaly": result["classic_anomaly"],
+        "hi_signal": result["hi_signal"],
+        "hi_anomaly": result["hi_anomaly"],
+    }, directory=results_dir)
+
+    # Shape check: the classic layout is grossly implausible as a fresh build,
+    # the HI layout is not, and the gap is at least an order of magnitude.
+    assert result["classic_signal"] > 10
+    assert result["hi_signal"] < 6
+    assert result["classic_signal"] > 10 * result["hi_signal"]

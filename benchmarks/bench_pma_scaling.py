@@ -1,0 +1,95 @@
+"""Experiment X-T1 — Theorem 1: HI PMA update and range-query costs.
+
+Theorem 1 claims ``O(log² N)`` amortized element moves per update,
+``O(log² N / B + log_B N)`` amortized I/Os, and ``O(1 + k/B)`` I/Os for a
+rank range query of ``k`` elements.  This bench sweeps ``N`` and ``k`` and
+prints the measured quantities next to the bound's leading term, so the
+growth rate (the *shape*) can be compared directly.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.reporting import format_table, write_results
+from repro.core.hi_pma import HistoryIndependentPMA
+from repro.memory.tracker import IOTracker
+from repro.workloads import apply_to_ranked, random_insert_trace
+
+from _harness import scaled
+
+BLOCK_SIZE = 64
+
+
+def _build(num_keys, seed):
+    tracker = IOTracker(block_size=BLOCK_SIZE, cache_blocks=16)
+    pma = HistoryIndependentPMA(seed=seed, tracker=tracker)
+    apply_to_ranked(pma, random_insert_trace(num_keys, seed=seed))
+    return pma, tracker
+
+
+def test_pma_update_scaling(run_once, results_dir):
+    sizes = [scaled(2_000), scaled(8_000), scaled(32_000)]
+
+    def workload():
+        rows = []
+        for size in sizes:
+            pma, tracker = _build(size, seed=size)
+            moves_per_insert = pma.stats.element_moves / size
+            ios_per_insert = tracker.stats.total_ios / size
+            rows.append({
+                "n": size,
+                "moves_per_insert": moves_per_insert,
+                "moves_over_log2n_sq": moves_per_insert / (math.log2(size) ** 2),
+                "ios_per_insert": ios_per_insert,
+            })
+        return rows
+
+    rows = run_once(workload)
+    print()
+    print("Theorem 1 — amortized update cost of the HI PMA")
+    print(format_table(
+        [[row["n"], "%.1f" % row["moves_per_insert"],
+          "%.3f" % row["moves_over_log2n_sq"], "%.2f" % row["ios_per_insert"]]
+         for row in rows],
+        headers=["N", "moves/insert", "moves / log^2 N", "I/Os per insert"]))
+
+    write_results("pma_scaling_updates", {"rows": rows, "block_size": BLOCK_SIZE},
+                  directory=results_dir)
+
+    # Shape check: moves/insert normalised by log^2 N stays flat (within 3x)
+    # across a 16x range of N, i.e. the growth really is polylogarithmic.
+    normalised = [row["moves_over_log2n_sq"] for row in rows]
+    assert max(normalised) <= 3.5 * min(normalised)
+
+
+def test_pma_range_query_scaling(run_once, results_dir):
+    num_keys = scaled(20_000)
+
+    def workload():
+        pma, tracker = _build(num_keys, seed=99)
+        rows = []
+        for k in (BLOCK_SIZE // 2, BLOCK_SIZE * 2, BLOCK_SIZE * 8, BLOCK_SIZE * 32):
+            start_rank = len(pma) // 3
+            before = tracker.snapshot()
+            result = pma.query(start_rank, start_rank + k - 1)
+            delta = tracker.stats.delta(before)
+            assert len(result) == k
+            rows.append({"k": k, "ios": delta.total_ios,
+                         "bound": 1 + k / BLOCK_SIZE})
+        return rows
+
+    rows = run_once(workload)
+    print()
+    print("Theorem 1 — range query I/Os (bound: O(1 + k/B), B = %d)" % BLOCK_SIZE)
+    print(format_table(
+        [[row["k"], row["ios"], "%.1f" % row["bound"]] for row in rows],
+        headers=["k", "measured I/Os", "1 + k/B"]))
+
+    write_results("pma_scaling_range", {"rows": rows, "block_size": BLOCK_SIZE,
+                                        "num_keys": num_keys},
+                  directory=results_dir)
+
+    # Shape check: measured I/Os grow linearly in k/B with a small constant.
+    for row in rows:
+        assert row["ios"] <= 12 * row["bound"] + 6

@@ -1,0 +1,58 @@
+"""Experiment T-RT — §4.3 runtime overhead of history independence.
+
+The paper reports "approximately a factor of 7 overhead in the run time" for
+the HI PMA relative to a normal PMA on random inserts.  This bench measures
+wall-clock time for both structures on the same random-insert workload and
+reports the ratio.  Absolute times are not comparable to the paper's C
+implementation; the ratio is the reproduced quantity.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.reporting import format_table, write_results
+from repro.core.hi_pma import HistoryIndependentPMA
+from repro.pma.classic import ClassicPMA
+from repro.workloads import apply_to_ranked, random_insert_trace
+
+from _harness import scaled
+
+
+def _timed_fill(structure, trace):
+    start = time.perf_counter()
+    apply_to_ranked(structure, trace)
+    return time.perf_counter() - start
+
+
+def test_runtime_overhead(run_once, results_dir):
+    num_inserts = scaled(15_000)
+    trace = random_insert_trace(num_inserts, seed=7)
+
+    def workload():
+        hi_seconds = _timed_fill(HistoryIndependentPMA(seed=1), list(trace))
+        classic_seconds = _timed_fill(ClassicPMA(), list(trace))
+        return hi_seconds, classic_seconds
+
+    hi_seconds, classic_seconds = run_once(workload)
+    ratio = hi_seconds / max(classic_seconds, 1e-9)
+
+    print()
+    print("Runtime overhead of history independence (paper: ~7x)")
+    print(format_table(
+        [["HI PMA", "%.3f" % hi_seconds],
+         ["classic PMA", "%.3f" % classic_seconds],
+         ["ratio", "%.2f" % ratio]],
+        headers=["structure", "seconds (%d random inserts)" % num_inserts]))
+
+    write_results("runtime_overhead", {
+        "num_inserts": num_inserts,
+        "hi_pma_seconds": hi_seconds,
+        "classic_pma_seconds": classic_seconds,
+        "ratio": ratio,
+        "paper_ratio": 7.0,
+    }, directory=results_dir)
+
+    # Shape check: an overhead factor, not an asymptotic gap (and the HI PMA
+    # really is slower — history independence is not free).
+    assert 1.0 <= ratio <= 60.0

@@ -1,0 +1,71 @@
+"""Experiment X-T3 — Theorem 3: the HI external skip list's I/O costs.
+
+Theorem 3: searches, inserts and deletes cost ``O(log_B N)`` I/Os with high
+probability; range queries returning ``k`` keys cost ``O(logB N / ε + k/B)``.
+This bench sweeps ``N`` for the HI skip list, the folklore B-skip list, the
+in-memory skip list "run on disk", and the classic B-tree, and prints average
+search / insert / range-query I/Os for each.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.reporting import format_table, write_results
+from repro.analysis.scaling import dictionary_io_series
+from repro.btree import BTree
+from repro.skiplist.external import HistoryIndependentSkipList
+from repro.skiplist.folklore import FolkloreBSkipList
+from repro.skiplist.memory import MemorySkipList
+
+from _harness import scaled
+
+BLOCK_SIZE = 32
+EPSILON = 0.2
+
+
+def test_skiplist_io_scaling(run_once, results_dir):
+    sizes = [scaled(2_000), scaled(8_000), scaled(20_000)]
+    factories = {
+        "hi-skiplist": lambda: HistoryIndependentSkipList(
+            block_size=BLOCK_SIZE, epsilon=EPSILON, seed=1),
+        "folklore-bskiplist": lambda: FolkloreBSkipList(block_size=BLOCK_SIZE, seed=2),
+        "memory-skiplist": lambda: MemorySkipList(seed=3),
+        "btree": lambda: BTree(block_size=BLOCK_SIZE),
+    }
+
+    def workload():
+        return dictionary_io_series(factories, sizes=sizes, searches=150,
+                                    range_keys=8 * BLOCK_SIZE, seed=4)
+
+    samples = run_once(workload)
+    print()
+    print("Theorem 3 — external-memory dictionaries (B = %d, eps = %.1f)"
+          % (BLOCK_SIZE, EPSILON))
+    print(format_table(
+        [[sample.structure, sample.num_keys, "%.2f" % sample.search_ios,
+          "%.2f" % sample.insert_ios, "%.1f" % sample.range_ios]
+         for sample in samples],
+        headers=["structure", "N", "search I/Os", "insert I/Os", "range I/Os"]))
+
+    write_results("skiplist_io", {
+        "block_size": BLOCK_SIZE,
+        "epsilon": EPSILON,
+        "rows": [sample.__dict__ for sample in samples],
+    }, directory=results_dir)
+
+    by_structure = {}
+    for sample in samples:
+        by_structure.setdefault(sample.structure, []).append(sample)
+
+    largest = max(sizes)
+    hi_large = next(s for s in by_structure["hi-skiplist"] if s.num_keys == largest)
+    memory_large = next(s for s in by_structure["memory-skiplist"]
+                        if s.num_keys == largest)
+    # The external HI skip list must beat the in-memory skip list run on disk.
+    assert hi_large.search_ios < memory_large.search_ios
+    # And its searches stay O(log_B N): compare against the bound's leading term.
+    assert hi_large.search_ios <= 10 * math.log(largest, BLOCK_SIZE) + 6
+    # Searches grow slowly with N.
+    hi_small = next(s for s in by_structure["hi-skiplist"] if s.num_keys == sizes[0])
+    assert hi_large.search_ios <= 4 * hi_small.search_ios + 4

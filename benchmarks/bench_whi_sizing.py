@@ -1,0 +1,103 @@
+"""Experiment X-O1 — Observation 1: why *weak* history independence.
+
+Observation 1 proves that no strongly-HI dynamic array (or PMA) can have
+o(N) amortized resize cost with high probability, using an adversary that
+alternates inserts and deletes around a random boundary.  The WHI sizing rule
+escapes the lower bound: its resize probability per update is exactly
+``Θ(1/N)``, so the alternation adversary almost never triggers a resize.
+
+This bench runs the Observation 1 adversary against the WHI dynamic array and
+reports the measured resize rate and amortized moves, alongside the cost the
+canonical (strongly-HI-style, deterministic-threshold) strategy would pay on
+the same sequence.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.reporting import format_table, write_results
+from repro.core.sizing import WHIDynamicArray
+
+from _harness import scaled
+
+
+def _canonical_resizes(length, alternations):
+    """Resizes a canonical (deterministic capacity = f(n)) array would pay.
+
+    A strongly-HI array must fix a canonical capacity per element count; for
+    any such rule there is a boundary ℓ where ``capacity(ℓ) != capacity(ℓ+1)``
+    and the adversary — who knows the (public, deterministic) rule — simply
+    alternates across that boundary, forcing a full rewrite per operation.
+    Here the canonical rule is the classic doubling rule (capacity = next
+    power of two), whose bad boundary is a power of two.
+    """
+    def capacity(count):
+        size = 1
+        while size < count:
+            size *= 2
+        return size
+
+    resizes = 0
+    for _ in range(alternations):
+        if capacity(length) != capacity(length + 1):
+            resizes += 2  # one on the insert, one on the delete
+    return resizes
+
+
+def test_whi_sizing_vs_alternation_adversary(run_once, results_dir):
+    base = scaled(4_096)
+    alternations = scaled(20_000)
+
+    def workload():
+        # The adversary knows the canonical rule and parks right on its bad
+        # boundary (a power of two).  For the WHI array every boundary is
+        # equally harmless, so using the canonical rule's worst case is the
+        # strongest possible comparison.
+        boundary = 1
+        while boundary < base:
+            boundary *= 2
+        array = WHIDynamicArray(seed=2)
+        for value in range(boundary):
+            array.append(value)
+        moves_before = array.element_moves
+        resizes_before = array.resizes
+        for _ in range(alternations):
+            array.append("probe")
+            array.delete(len(array) - 1)
+        return {
+            "boundary": boundary,
+            "whi_resizes": array.resizes - resizes_before,
+            "whi_moves": array.element_moves - moves_before,
+            "canonical_resizes": _canonical_resizes(boundary, alternations),
+        }
+
+    result = run_once(workload)
+    operations = 2 * alternations
+    whi_rate = result["whi_resizes"] / operations
+    amortized_moves = result["whi_moves"] / operations
+
+    print()
+    print("Observation 1 — alternation adversary at a random boundary (N ≈ %d)"
+          % result["boundary"])
+    print(format_table(
+        [["WHI dynamic array", result["whi_resizes"], "%.4f" % whi_rate,
+          "%.2f" % amortized_moves],
+         ["canonical (power-of-two) array", result["canonical_resizes"],
+          "%.4f" % (result["canonical_resizes"] / operations), "-"]],
+        headers=["strategy", "resizes", "resizes / op", "amortized moves / op"]))
+
+    write_results("whi_sizing", {
+        "alternations": alternations,
+        "boundary": result["boundary"],
+        "whi_resizes": result["whi_resizes"],
+        "whi_amortized_moves": amortized_moves,
+        "canonical_resizes": result["canonical_resizes"],
+    }, directory=results_dir)
+
+    # Shape check: the WHI rule resizes with probability Θ(1/N) per update, so
+    # across 2·alternations operations the expected count is ~2·alt·(2/N) and
+    # the amortized move cost stays constant.
+    expected = 2 * alternations * 2.0 / result["boundary"]
+    assert result["whi_resizes"] <= 6 * expected + 20
+    assert amortized_moves <= 30.0

@@ -1,0 +1,44 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench reproduces one row of the experiment index in DESIGN.md.  Sizes
+default to values that finish in seconds on a laptop; set the environment
+variable ``REPRO_BENCH_SCALE`` (a float, default 1.0) to scale every workload
+up or down, e.g. ``REPRO_BENCH_SCALE=10 pytest benchmarks/ --benchmark-only``
+for a longer, closer-to-the-paper run.
+
+Results are printed (visible with ``-s``) and written as JSON to
+``benchmarks/results/`` so EXPERIMENTS.md can be refreshed without re-running.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+# Make the sibling helper module importable regardless of how pytest was
+# invoked (e.g. from the repository root with an explicit path).
+sys.path.insert(0, os.path.dirname(__file__))
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing.
+
+    The benches measure workloads lasting seconds, so pytest-benchmark's
+    default calibration (many rounds) would multiply the runtime for no
+    statistical benefit.
+    """
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+    return runner
+
+
+@pytest.fixture
+def results_dir():
+    """Directory where bench results are stored."""
+    directory = os.path.join(os.path.dirname(__file__), "results")
+    os.makedirs(directory, exist_ok=True)
+    return directory

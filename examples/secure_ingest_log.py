@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""Secure ingest with redaction: the paper's motivating database scenario.
+
+The introduction of the paper motivates history independence with a database
+whose *sources* are more sensitive than its contents: an investigative team
+maintains an index of subjects, shares snapshots of the disk with partners,
+and must not reveal **when** records were added or **which** records were
+redacted before sharing.
+
+This example builds that workflow end to end:
+
+1. Records arrive in bursts (per-source batches) and are indexed in a
+   history-independent cache-oblivious B-tree keyed by subject id.
+2. Before a snapshot is shared, a set of records is redacted (securely
+   deleted).  With an HI structure the snapshot's bit layout carries no trace
+   of the redaction — not even "something was deleted here".
+3. For contrast, the same workload is replayed on a classic PMA and a classic
+   B-tree, and a simple forensic heuristic (local density profiling) is run
+   against both layouts to show how much the history-dependent layouts give
+   away.
+
+Run with::
+
+    python examples/secure_ingest_log.py
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro import BTree, ClassicPMA, HistoryIndependentCOBTree
+from repro.history.audit import audit_weak_history_independence
+
+
+def make_batches(seed: int = 2016) -> List[Tuple[str, List[int]]]:
+    """Per-source batches of subject ids (the arrival order is the secret)."""
+    rng = random.Random(seed)
+    ids = rng.sample(range(10_000, 99_999), 900)
+    return [
+        ("field-team-A", sorted(ids[0:300])),
+        ("wiretap-B", sorted(ids[300:600])),
+        ("informant-C", sorted(ids[600:900])),
+    ]
+
+
+def ingest(index: HistoryIndependentCOBTree, batches) -> None:
+    for source, subject_ids in batches:
+        for subject_id in subject_ids:
+            index.insert(subject_id, {"source": source})
+
+
+def redact(index: HistoryIndependentCOBTree, subject_ids: List[int]) -> None:
+    for subject_id in subject_ids:
+        index.delete(subject_id)
+
+
+def density_profile(slots, buckets: int = 10) -> List[float]:
+    """The forensic heuristic: occupancy per tenth of the physical array."""
+    chunk = max(1, len(slots) // buckets)
+    profile = []
+    for start in range(0, chunk * buckets, chunk):
+        window = slots[start:start + chunk]
+        occupied = sum(1 for value in window if value is not None)
+        profile.append(round(occupied / max(1, len(window)), 2))
+    return profile
+
+
+def main() -> None:
+    batches = make_batches()
+    informant_ids = batches[2][1]
+    to_redact = informant_ids[:150]  # redact half of informant C's records
+
+    print("=" * 70)
+    print("Ingest + redact on the history-independent index")
+    print("=" * 70)
+    index = HistoryIndependentCOBTree(seed=None)
+    ingest(index, batches)
+    print("indexed subjects       :", len(index))
+    redact(index, to_redact)
+    print("after redaction        :", len(index))
+    snapshot = index.memory_representation()
+    print("snapshot representation:", len(dict(snapshot)["slots"]), "slots")
+    print("  (the layout is a fresh draw from the canonical distribution for")
+    print("   the surviving records; redaction locations are unrecoverable)")
+    print()
+
+    print("=" * 70)
+    print("The same workload on history-DEPENDENT baselines")
+    print("=" * 70)
+    classic = ClassicPMA()
+    shadow: List[int] = []
+    for _source, subject_ids in batches:
+        for subject_id in subject_ids:
+            rank = sum(1 for existing in shadow if existing < subject_id)
+            classic.insert(rank, subject_id)
+            shadow.insert(rank, subject_id)
+    for subject_id in to_redact:
+        rank = shadow.index(subject_id)
+        classic.delete(rank)
+        shadow.pop(rank)
+
+    btree = BTree(block_size=32)
+    for _source, subject_ids in batches:
+        for subject_id in subject_ids:
+            btree.insert(subject_id, _source)
+    for subject_id in to_redact:
+        btree.delete(subject_id)
+
+    print("classic PMA density profile :", density_profile(classic.slots()))
+    print("HI index density profile    :",
+          density_profile(dict(index.memory_representation())["slots"]))
+    print("  -> the classic PMA shows a depleted region where the redacted")
+    print("     block of keys used to live; the HI layout shows no such scar.")
+    print("classic B-tree node count   :", btree.stats.counters.get("btree.split", 0),
+          "splits recorded (split pattern encodes arrival order)")
+    print()
+
+    print("=" * 70)
+    print("Statistical audit (Definition 4, weak history independence)")
+    print("=" * 70)
+
+    def honest_build():
+        fresh = HistoryIndependentCOBTree(seed=None)
+        ingest(fresh, batches)
+        redact(fresh, to_redact)
+        return fresh
+
+    def no_redaction_build():
+        fresh = HistoryIndependentCOBTree(seed=None)
+        surviving = [(source, [sid for sid in ids if sid not in set(to_redact)])
+                     for source, ids in batches]
+        ingest(fresh, surviving)
+        return fresh
+
+    result = audit_weak_history_independence([honest_build, no_redaction_build],
+                                             trials=40)
+    print("audit: 'ingest then redact' vs 'never ingested the redacted rows'")
+    print("  p-value               :", round(result.p_value, 4))
+    print("  deterministic mismatch:", result.deterministic_mismatch)
+    print("  verdict               :", "PASS (indistinguishable)" if result.passes()
+          else "FAIL (history leaks)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""The stolen-disk scenario, end to end, at the byte level.
+
+The paper's threat model is concrete: an observer obtains the *disk* (not a
+live API) and tries to learn something about the history of the data — where
+insertions clustered, whether something was redacted, how the data arrived.
+This example plays both sides of that game using the storage layer:
+
+1. An operator ingests a retention-window workload (new records arrive at the
+   front of the key space while the oldest are expired) into a classic PMA
+   and into the history-independent PMA, then *redacts* a block of records.
+2. Each structure's slot array is serialised to an actual byte-level disk
+   image (``repro.storage``), exactly what a thief would copy.
+3. The observer — who never touches the structures' APIs — decodes the
+   images and runs three forensic heuristics: the occupancy profile, the
+   density-anomaly detector, and the redaction signal (comparing the stolen
+   image against fresh rebuilds of the same logical contents).
+
+The classic PMA's image betrays both the ingest front and the redaction hole;
+the HI PMA's image is statistically indistinguishable from a fresh build of
+the same records.
+
+Run with::
+
+    python examples/stolen_disk_forensics.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import ClassicPMA, HistoryIndependentPMA
+from repro.history.forensics import detect_density_anomaly, redaction_signal
+from repro.storage import image_of, snapshot_structure
+from repro.workloads import apply_to_ranked, batch_redaction_trace, sliding_window_trace
+
+
+def ingest_and_redact(structure, seed: int = 2016):
+    """Replay the operator's workload: sliding-window ingest, then a redaction."""
+    ingest = sliding_window_trace(arrivals=1200, window=600, stride=7, start=10_000)
+    apply_to_ranked(structure, ingest)
+    # Redact a contiguous slice of the surviving records.
+    survivors = list(structure)
+    start = len(survivors) // 3
+    redacted = survivors[start:start + len(survivors) // 6]
+    shadow = list(survivors)
+    for key in redacted:
+        rank = shadow.index(key)
+        structure.delete(rank)
+        shadow.pop(rank)
+    return shadow
+
+
+def observer_report(name: str, image, rebuild) -> None:
+    """What the thief can conclude from the raw image alone."""
+    profile = image.occupancy_profile(buckets=12)
+    anomaly = detect_density_anomaly(image.decoded_slots(), buckets=12, threshold=0.2)
+    signal = redaction_signal(image.decoded_slots(), rebuild, trials=12, buckets=12)
+    print("-" * 70)
+    print("Observer's view of the %s image (%d pages, %d bytes)"
+          % (name, len(image), image.size_in_bytes))
+    print("  occupancy profile :",
+          " ".join("%.2f" % density for density in profile))
+    print("  density anomaly   :", "FOUND" if anomaly else "none")
+    print("  redaction signal  : %.1f  (%s)"
+          % (signal,
+             "suspicious — layout inconsistent with a fresh build" if signal > 5
+             else "within sampling noise of a fresh build"))
+
+
+def main() -> None:
+    rng = random.Random(7)
+
+    print("=" * 70)
+    print("Operator side: ingest + redact, then the disk is stolen")
+    print("=" * 70)
+
+    classic = ClassicPMA()
+    classic_contents = ingest_and_redact(classic)
+    classic_image = image_of(*snapshot_structure(classic, page_size=1024,
+                                                 payload_size=32))
+
+    hi_pma = HistoryIndependentPMA(seed=rng.getrandbits(64))
+    hi_contents = ingest_and_redact(hi_pma)
+    hi_image = image_of(*snapshot_structure(hi_pma, page_size=1024,
+                                            payload_size=32))
+
+    assert classic_contents == hi_contents
+    print("both structures hold the same %d records after redaction"
+          % len(hi_contents))
+
+    def rebuild_classic():
+        fresh = ClassicPMA()
+        for value in classic_contents:
+            fresh.append(value)
+        return fresh.slots()
+
+    def rebuild_hi():
+        fresh = HistoryIndependentPMA(seed=rng.getrandbits(64))
+        for value in hi_contents:
+            fresh.append(value)
+        return fresh.slots()
+
+    print()
+    print("=" * 70)
+    print("Observer side: forensics on the raw images")
+    print("=" * 70)
+    observer_report("classic PMA", classic_image, rebuild_classic)
+    observer_report("HI PMA", hi_image, rebuild_hi)
+
+    print("-" * 70)
+    print("Summary: the classic PMA's image carries the imprint of the ingest")
+    print("front and the redaction hole; the HI PMA's image is just another")
+    print("sample from the distribution a fresh build would produce, so the")
+    print("observer learns nothing beyond the records themselves.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""History-independent sparse tables and dictionaries.
+
+A from-scratch reproduction of *"Anti-Persistence on Persistent Storage:
+History-Independent Sparse Tables and Dictionaries"* (Bender et al., PODS
+2016).  The package provides:
+
+* :class:`~repro.core.hi_pma.HistoryIndependentPMA` — the paper's core
+  contribution, a weakly history-independent packed-memory array (Theorem 1).
+* :class:`~repro.cobtree.hi_cob_tree.HistoryIndependentCOBTree` — the
+  history-independent cache-oblivious B-tree built on the augmented PMA
+  (Theorem 2).
+* :class:`~repro.skiplist.external.HistoryIndependentSkipList` — the
+  history-independent external-memory skip list (Theorem 3), plus the
+  folklore B-skip list and the classic in-memory skip list it is compared
+  against.
+* Baselines (classic PMA, classic B-tree), the DAM-model substrate used to
+  count I/Os, history-independence audit tooling, workload generators, and
+  the analysis helpers used by the benchmark harness.
+"""
+
+from repro.core.hi_pma import HistoryIndependentPMA, PMAParameters
+from repro.core.sizing import WHICapacityRule, WHIDynamicArray
+from repro.core.shi_array import CanonicalDynamicArray
+from repro.memory import IOStats, IOTracker
+from repro.pma.classic import ClassicPMA
+from repro.pma.adaptive import AdaptivePMA
+from repro.cobtree.hi_cob_tree import HistoryIndependentCOBTree
+from repro.btree.btree import BTree
+from repro.btreap.btreap import BTreap
+from repro.treap.treap import Treap
+from repro.skiplist.memory import MemorySkipList
+from repro.skiplist.folklore import FolkloreBSkipList
+from repro.skiplist.external import HistoryIndependentSkipList
+from repro.storage import DiskImage, PagedFile, image_of, snapshot_structure
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HistoryIndependentPMA",
+    "PMAParameters",
+    "WHICapacityRule",
+    "WHIDynamicArray",
+    "CanonicalDynamicArray",
+    "IOStats",
+    "IOTracker",
+    "ClassicPMA",
+    "AdaptivePMA",
+    "HistoryIndependentCOBTree",
+    "BTree",
+    "BTreap",
+    "Treap",
+    "MemorySkipList",
+    "FolkloreBSkipList",
+    "HistoryIndependentSkipList",
+    "DiskImage",
+    "PagedFile",
+    "snapshot_structure",
+    "image_of",
+    "__version__",
+]

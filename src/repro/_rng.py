@@ -1,0 +1,59 @@
+"""Seeded randomness helpers shared by the randomized structures.
+
+All randomized structures in this library accept either an integer seed or a
+ready-made :class:`random.Random` instance.  Centralising the coercion here
+keeps constructors short and guarantees the library never touches the global
+``random`` module state, which matters both for reproducible experiments and
+for the history-independence audits (which need many *independent* samples of
+a structure's memory representation).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Union
+
+RandomLike = Union[int, random.Random, None]
+
+
+def make_rng(seed: RandomLike = None) -> random.Random:
+    """Return a private ``random.Random`` instance.
+
+    ``seed`` may be ``None`` (fresh OS entropy), an ``int`` (deterministic
+    stream), or an existing ``random.Random`` (used as-is, shared with the
+    caller).
+    """
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def spawn_rng(rng: random.Random) -> random.Random:
+    """Derive an independent child generator from ``rng``.
+
+    The child is seeded from the parent's stream, so a structure that owns
+    several internal random consumers can give each a private generator while
+    staying reproducible from a single top-level seed.
+    """
+    return random.Random(rng.getrandbits(64))
+
+
+def geometric_level(rng: random.Random, promote_probability: float,
+                    max_level: Optional[int] = None) -> int:
+    """Sample the level of a skip-list element.
+
+    Returns the number of consecutive successful promotions (heads) before the
+    first failure when flipping a coin with success probability
+    ``promote_probability``.  Level 0 means the element lives only in the base
+    list.  ``max_level`` optionally caps the result (useful to bound memory in
+    adversarially unlucky runs).
+    """
+    if not 0.0 < promote_probability < 1.0:
+        raise ValueError("promote_probability must be in (0, 1), got %r"
+                         % (promote_probability,))
+    level = 0
+    while rng.random() < promote_probability:
+        level += 1
+        if max_level is not None and level >= max_level:
+            return max_level
+    return level

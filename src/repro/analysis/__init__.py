@@ -1,0 +1,34 @@
+"""Series builders and reporting helpers used by the benchmark harness.
+
+``moves`` builds the normalized-move series of Figure 2, ``scaling`` builds
+the I/O-vs-N series used by the Theorem 2/3 benches, and ``reporting`` turns
+both into the plain-text tables the benches print and write to
+``benchmarks/results/``.
+"""
+
+from repro.analysis.moves import MovesSample, normalized_moves_series, space_overhead_series
+from repro.analysis.scaling import IOScalingSample, dictionary_io_series, search_cost_distribution
+from repro.analysis.reporting import format_table, write_results
+from repro.analysis.tables import (
+    format_markdown_table,
+    load_results,
+    render_results_markdown,
+    summarize_results,
+    write_csv,
+)
+
+__all__ = [
+    "MovesSample",
+    "normalized_moves_series",
+    "space_overhead_series",
+    "IOScalingSample",
+    "dictionary_io_series",
+    "search_cost_distribution",
+    "format_table",
+    "write_results",
+    "format_markdown_table",
+    "write_csv",
+    "load_results",
+    "summarize_results",
+    "render_results_markdown",
+]

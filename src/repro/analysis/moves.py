@@ -1,0 +1,85 @@
+"""Element-move accounting for the Figure 2 reproduction.
+
+Figure 2 of the paper plots, for the history-independent PMA and a normal
+PMA, the cumulative number of element moves divided by ``N log² N`` against
+the number of insertions.  ``normalized_moves_series`` replays an insert
+trace on any rank-addressed structure exposing ``stats.element_moves`` and
+records that normalized quantity at regular checkpoints;
+``space_overhead_series`` records the slots-per-element ratio the paper
+reports alongside (1.8×–5×).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.workloads.generators import Operation, OperationKind
+
+
+@dataclass(frozen=True)
+class MovesSample:
+    """One checkpoint of the Figure 2 series."""
+
+    inserts: int
+    element_moves: int
+    normalized_moves: float
+    slots: int
+    space_per_element: float
+
+
+def _slots_of(structure) -> int:
+    if hasattr(structure, "num_slots"):
+        return structure.num_slots
+    if hasattr(structure, "capacity"):
+        return structure.capacity
+    return len(structure.slots())
+
+
+def normalized_moves_series(structure, trace: Sequence[Operation],
+                            checkpoints: int = 20) -> List[MovesSample]:
+    """Replay an insert-only trace and sample normalized moves at checkpoints.
+
+    The normalization is the paper's: cumulative moves divided by
+    ``N log₂² N`` where ``N`` is the number of elements inserted so far.
+    """
+    total = len(trace)
+    if total == 0:
+        return []
+    step = max(1, total // checkpoints)
+    shadow: List[int] = []
+    samples: List[MovesSample] = []
+    for index, operation in enumerate(trace, start=1):
+        if operation.kind is not OperationKind.INSERT:
+            raise ValueError("normalized_moves_series expects an insert-only trace")
+        rank = bisect.bisect_left(shadow, operation.key)
+        structure.insert(rank, operation.key)
+        shadow.insert(rank, operation.key)
+        if index % step == 0 or index == total:
+            moves = structure.stats.element_moves
+            denominator = index * (math.log2(index) ** 2) if index > 1 else 1.0
+            slots = _slots_of(structure)
+            samples.append(MovesSample(
+                inserts=index,
+                element_moves=moves,
+                normalized_moves=moves / denominator,
+                slots=slots,
+                space_per_element=slots / index,
+            ))
+    return samples
+
+
+def space_overhead_series(structure, trace: Sequence[Operation],
+                          checkpoints: int = 50) -> List[MovesSample]:
+    """Like :func:`normalized_moves_series` but sampled densely for space tracking."""
+    return normalized_moves_series(structure, trace, checkpoints=checkpoints)
+
+
+def amortized_moves(samples: Sequence[MovesSample]) -> Optional[float]:
+    """Final cumulative moves per insert, or ``None`` for an empty series."""
+    if not samples:
+        return None
+    last = samples[-1]
+    return last.element_moves / last.inserts

@@ -1,0 +1,54 @@
+"""Plain-text tables and result files for the benchmark harness.
+
+The benches print the same rows/series the paper reports and additionally
+persist them as JSON under ``benchmarks/results/`` so that EXPERIMENTS.md can
+be refreshed without re-running everything.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(rows: Sequence[Sequence[object]],
+                 headers: Optional[Sequence[str]] = None) -> str:
+    """Render rows as a fixed-width text table."""
+    rendered_rows = [[_render(cell) for cell in row] for row in rows]
+    if headers is not None:
+        rendered_rows.insert(0, [str(header) for header in headers])
+    if not rendered_rows:
+        return "(no data)"
+    widths = [max(len(row[column]) for row in rendered_rows)
+              for column in range(len(rendered_rows[0]))]
+    lines = []
+    for index, row in enumerate(rendered_rows):
+        line = "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        lines.append(line.rstrip())
+        if headers is not None and index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def _render(cell: object) -> str:
+    if isinstance(cell, float):
+        return "%.4g" % cell
+    return str(cell)
+
+
+def write_results(name: str, payload: Dict[str, object],
+                  directory: Optional[str] = None) -> str:
+    """Write a bench's results to ``benchmarks/results/<name>.json``.
+
+    Returns the path written.  The directory defaults to a ``results``
+    directory next to the calling bench (resolved from the environment
+    variable ``REPRO_RESULTS_DIR`` or the current working directory).
+    """
+    directory = directory or os.environ.get("REPRO_RESULTS_DIR",
+                                            os.path.join("benchmarks", "results"))
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, "%s.json" % name)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+    return path

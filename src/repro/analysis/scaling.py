@@ -1,0 +1,102 @@
+"""I/O-scaling series for the dictionary comparisons (Theorems 2 and 3).
+
+The helpers here build the rows printed by ``benchmarks/bench_cobtree_io.py``
+and ``benchmarks/bench_skiplist_io.py``: average search/insert I/Os and range
+query I/Os as a function of ``N`` for any pair of dictionaries, plus the
+per-key search-cost distribution used to exhibit the folklore B-skip list's
+heavy tail (Lemma 15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from repro._rng import RandomLike, make_rng
+
+
+@dataclass(frozen=True)
+class IOScalingSample:
+    """Average I/O costs of one structure at one size."""
+
+    structure: str
+    num_keys: int
+    search_ios: float
+    insert_ios: float
+    range_ios: float
+    range_keys: int
+
+
+def dictionary_io_series(factories: Dict[str, Callable[[], object]],
+                         sizes: Sequence[int],
+                         searches: int = 200,
+                         range_keys: int = 256,
+                         key_space_factor: int = 8,
+                         seed: RandomLike = None) -> List[IOScalingSample]:
+    """Measure search / insert / range-query I/Os for each factory and size.
+
+    Each structure must expose ``insert(key, value)``, a read counter in
+    ``stats`` and either ``search_io_cost(key)`` (skip lists, B-tree) or a
+    shared tracker-based accounting (handled by the caller).  Range queries
+    use ``range_query(low, high)`` and are normalised to the configured
+    ``range_keys`` width.
+    """
+    rng = make_rng(seed)
+    samples: List[IOScalingSample] = []
+    for size in sizes:
+        key_space = key_space_factor * size
+        keys = rng.sample(range(key_space), size)
+        probe_keys = rng.sample(keys, min(searches, size))
+        for name, factory in factories.items():
+            structure = factory()
+            insert_reads_before = structure.stats.reads
+            insert_writes_before = structure.stats.writes
+            for key in keys:
+                structure.insert(key, key)
+            insert_ios = ((structure.stats.reads - insert_reads_before)
+                          + (structure.stats.writes - insert_writes_before)) / size
+            search_costs = [structure.search_io_cost(key) for key in probe_keys]
+            search_ios = sum(search_costs) / len(search_costs)
+            sorted_keys = sorted(keys)
+            anchor = sorted_keys[len(sorted_keys) // 3]
+            high_index = min(len(sorted_keys) - 1,
+                             len(sorted_keys) // 3 + range_keys - 1)
+            high = sorted_keys[high_index]
+            range_ios = _range_io_cost(structure, anchor, high)
+            samples.append(IOScalingSample(
+                structure=name,
+                num_keys=size,
+                search_ios=search_ios,
+                insert_ios=insert_ios,
+                range_ios=range_ios,
+                range_keys=high_index - len(sorted_keys) // 3 + 1,
+            ))
+    return samples
+
+
+def _range_io_cost(structure, low: object, high: object) -> float:
+    """Range-query I/O cost, handling both return conventions."""
+    reads_before = structure.stats.reads
+    result = structure.range_query(low, high)
+    if isinstance(result, tuple) and len(result) == 2 and isinstance(result[1], int):
+        return float(result[1])
+    return float(structure.stats.reads - reads_before)
+
+
+def search_cost_distribution(structure, keys: Sequence[object]) -> List[int]:
+    """Per-key search I/O costs (used for the Lemma 15 tail comparison)."""
+    return [structure.search_io_cost(key) for key in keys]
+
+
+def tail_summary(costs: Sequence[int]) -> Dict[str, float]:
+    """Summary statistics of a search-cost distribution."""
+    ordered = sorted(costs)
+    count = len(ordered)
+    if count == 0:
+        return {"mean": 0.0, "p50": 0.0, "p99": 0.0, "max": 0.0}
+    return {
+        "mean": sum(ordered) / count,
+        "p50": float(ordered[count // 2]),
+        "p99": float(ordered[min(count - 1, (99 * count) // 100)]),
+        "max": float(ordered[-1]),
+    }

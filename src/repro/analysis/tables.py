@@ -1,0 +1,111 @@
+"""Result tables: CSV and Markdown rendering, and result-file aggregation.
+
+The benches persist their measurements as JSON under ``benchmarks/results/``
+(see :func:`repro.analysis.reporting.write_results`).  This module renders
+those measurements — or any row/header data — as CSV files and Markdown
+tables, and aggregates a results directory into the per-experiment summary
+that EXPERIMENTS.md embeds.  The CLI (``python -m repro report``) is a thin
+wrapper around these functions.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from typing import Dict, List, Optional, Sequence
+
+
+def format_markdown_table(rows: Sequence[Sequence[object]],
+                          headers: Sequence[str]) -> str:
+    """Render rows as a GitHub-flavoured Markdown table."""
+    if not headers:
+        return "(no data)"
+    rendered = [[_render(cell) for cell in row] for row in rows]
+    lines = ["| " + " | ".join(str(header) for header in headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rendered:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def write_csv(path: str, rows: Sequence[Sequence[object]],
+              headers: Optional[Sequence[str]] = None) -> str:
+    """Write rows (and an optional header line) to ``path`` as CSV; returns the path."""
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        if headers is not None:
+            writer.writerow(list(headers))
+        for row in rows:
+            writer.writerow([_render(cell) for cell in row])
+    return path
+
+
+def read_csv(path: str) -> List[List[str]]:
+    """Read a CSV file back as a list of string rows (header included)."""
+    with open(path, newline="", encoding="utf-8") as handle:
+        return [row for row in csv.reader(handle)]
+
+
+def load_results(directory: str) -> Dict[str, Dict[str, object]]:
+    """Load every ``<name>.json`` bench result in ``directory``.
+
+    Missing directories yield an empty mapping rather than an error so the
+    report command can run before any bench has.
+    """
+    results: Dict[str, Dict[str, object]] = {}
+    if not os.path.isdir(directory):
+        return results
+    for filename in sorted(os.listdir(directory)):
+        if not filename.endswith(".json"):
+            continue
+        path = os.path.join(directory, filename)
+        with open(path, encoding="utf-8") as handle:
+            try:
+                payload = json.load(handle)
+            except json.JSONDecodeError:
+                continue
+        results[filename[:-len(".json")]] = payload
+    return results
+
+
+def summarize_results(results: Dict[str, Dict[str, object]]) -> List[List[object]]:
+    """Flatten bench results into (experiment, metric, value) rows.
+
+    Nested dictionaries are flattened with dotted metric names; lists are
+    reported by length only (their full content stays in the JSON files).
+    """
+    rows: List[List[object]] = []
+    for name in sorted(results):
+        for metric, value in _flatten(results[name]):
+            rows.append([name, metric, value])
+    return rows
+
+
+def render_results_markdown(directory: str) -> str:
+    """Aggregate a results directory into one Markdown table."""
+    rows = summarize_results(load_results(directory))
+    if not rows:
+        return "_No benchmark results found in %s._" % (directory,)
+    return format_markdown_table(rows, headers=["experiment", "metric", "value"])
+
+
+def _flatten(payload: Dict[str, object], prefix: str = ""):
+    for key in sorted(payload):
+        value = payload[key]
+        name = "%s.%s" % (prefix, key) if prefix else str(key)
+        if isinstance(value, dict):
+            yield from _flatten(value, prefix=name)
+        elif isinstance(value, list):
+            yield name, "[%d entries]" % (len(value),)
+        else:
+            yield name, value
+
+
+def _render(cell: object) -> str:
+    if isinstance(cell, float):
+        return "%.4g" % cell
+    return str(cell)

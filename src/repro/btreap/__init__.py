@@ -1,0 +1,21 @@
+"""The B-treap: a strongly history-independent external-memory dictionary.
+
+Golovin's B-treap is the prior work the paper positions its own structures
+against: it supports B-tree operations with ``O(log_B N)`` I/Os *in
+expectation* while being uniquely represented (hence strongly history
+independent), but it is considerably more complicated than the paper's weakly
+history-independent alternatives and its guarantees do not hold with high
+probability.
+
+:class:`~repro.btreap.btreap.BTreap` packs the uniquely represented treap of
+:mod:`repro.treap` into disk blocks by cutting the tree into strata of
+``⌊log₂(B + 1)⌋`` consecutive levels, so each block stores one sub-treap of at
+most ``B`` nodes and a root-to-leaf search touches ``O(depth / log B)``
+blocks.  The packing is a deterministic function of the treap shape, so the
+whole on-disk representation remains canonical.  DESIGN.md documents how this
+construction relates to (and simplifies) Golovin's original one.
+"""
+
+from repro.btreap.btreap import BTreap
+
+__all__ = ["BTreap"]

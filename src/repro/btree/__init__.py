@@ -1,0 +1,14 @@
+"""The classic B-tree baseline.
+
+The paper positions its structures as history-independent alternatives to the
+B-tree, "the primary indexing data structure used in databases".  This
+package provides that comparator: a textbook B-tree whose nodes each occupy
+one disk block of the DAM model, with I/O counting for searches, updates and
+range queries.  Its layout is grossly history dependent (node splits depend
+on insertion order), which also makes it a useful control for the
+history-independence audits.
+"""
+
+from repro.btree.btree import BTree
+
+__all__ = ["BTree"]

@@ -1,0 +1,431 @@
+"""A classic B-tree on the disk-access machine.
+
+Each node stores up to ``2t - 1`` keys and occupies one block; the minimum
+degree ``t`` is chosen so that a full node fills a block of ``B`` key/value
+pairs, i.e. ``t = max(2, ⌈(B + 1) / 2⌉)``.  Every node visited during an
+operation is charged one read I/O and every node modified one write I/O,
+which is the standard DAM accounting for B-trees and gives the familiar
+bounds: ``O(log_B N)`` I/Os for searches, inserts and deletes, and
+``O(log_B N + k/B)`` I/Os for a range query returning ``k`` pairs.
+
+The implementation is the textbook (CLRS-style) single-pass algorithm:
+inserts split full children on the way down; deletes merge or borrow so that
+every node on the descent has at least ``t`` keys.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, DuplicateKey, InvariantViolation, KeyNotFound
+from repro.memory.stats import IOStats
+
+
+class _Node:
+    """One B-tree node: sorted keys, parallel values, children (internal only)."""
+
+    __slots__ = ("keys", "values", "children")
+
+    def __init__(self) -> None:
+        self.keys: List[object] = []
+        self.values: List[object] = []
+        self.children: List["_Node"] = []
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class BTree:
+    """A key/value B-tree with DAM-model I/O accounting."""
+
+    def __init__(self, block_size: int = 64) -> None:
+        if block_size < 3:
+            raise ConfigurationError("block_size must be at least 3, got %r"
+                                     % (block_size,))
+        self.block_size = block_size
+        self.min_degree = max(2, (block_size + 1) // 2)
+        self._root = _Node()
+        self._count = 0
+        self.stats = IOStats()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __contains__(self, key: object) -> bool:
+        return self.contains(key)
+
+    def __iter__(self) -> Iterator[object]:
+        """Iterate over the keys in increasing order (not I/O-charged)."""
+        yield from (key for key, _value in self._walk(self._root))
+
+    def items(self) -> List[Tuple[object, object]]:
+        """All (key, value) pairs in key order (not I/O-charged)."""
+        return list(self._walk(self._root))
+
+    @property
+    def height(self) -> int:
+        """Number of levels in the tree (a lone root has height 1)."""
+        height = 1
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+            height += 1
+        return height
+
+    def memory_representation(self) -> Tuple[object, ...]:
+        """The node layout as a pre-order traversal of per-node key tuples.
+
+        Used by the history-independence audits as the observable
+        representation of the B-tree.  It is a deterministic function of the
+        *operation sequence* (not just the key set), which is exactly why the
+        B-tree fails the weak-history-independence audit and serves as the
+        negative control.
+        """
+        encoded: List[object] = []
+
+        def visit(node: _Node) -> None:
+            encoded.append(tuple(node.keys))
+            for child in node.children:
+                visit(child)
+            encoded.append(None)  # explicit end-of-children marker
+
+        visit(self._root)
+        return tuple(encoded)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def contains(self, key: object) -> bool:
+        """Whether ``key`` is stored (charges the search I/Os)."""
+        return self._search_node(self._root, key) is not None
+
+    def search(self, key: object) -> object:
+        """Value stored under ``key``; raises :class:`KeyNotFound` otherwise."""
+        found = self._search_node(self._root, key)
+        if found is None:
+            raise KeyNotFound(key)
+        node, index = found
+        return node.values[index]
+
+    def search_io_cost(self, key: object) -> int:
+        """Number of read I/Os a search for ``key`` performs."""
+        before = self.stats.reads
+        self.contains(key)
+        return self.stats.reads - before
+
+    def range_query(self, low: object, high: object) -> List[Tuple[object, object]]:
+        """All (key, value) pairs with ``low <= key <= high`` in key order."""
+        result: List[Tuple[object, object]] = []
+        if high < low:
+            return result
+        self._range_collect(self._root, low, high, result)
+        return result
+
+    def _range_collect(self, node: _Node, low: object, high: object,
+                       out: List[Tuple[object, object]]) -> None:
+        self._read(node)
+        index = 0
+        while index < len(node.keys) and node.keys[index] < low:
+            index += 1
+        while True:
+            if not node.is_leaf:
+                child = node.children[index]
+                # Only descend into children that can intersect the range.
+                if index == len(node.keys) or node.keys[index] >= low:
+                    self._range_collect(child, low, high, out)
+            if index == len(node.keys):
+                break
+            key = node.keys[index]
+            if key > high:
+                return
+            if key >= low:
+                out.append((key, node.values[index]))
+            index += 1
+
+    # ------------------------------------------------------------------ #
+    # Insert
+    # ------------------------------------------------------------------ #
+
+    def insert(self, key: object, value: object = None) -> None:
+        """Insert a new key; raises :class:`DuplicateKey` if it already exists."""
+        if self.contains(key):
+            raise DuplicateKey(key)
+        root = self._root
+        if len(root.keys) == 2 * self.min_degree - 1:
+            new_root = _Node()
+            new_root.children.append(root)
+            self._split_child(new_root, 0)
+            self._root = new_root
+            root = new_root
+        self._insert_nonfull(root, key, value)
+        self._count += 1
+        self.stats.operations += 1
+
+    def upsert(self, key: object, value: object = None) -> bool:
+        """Insert or overwrite ``key``; returns ``True`` if it already existed."""
+        found = self._search_node(self._root, key)
+        if found is not None:
+            node, index = found
+            node.values[index] = value
+            self._write(node)
+            return True
+        self.insert(key, value)
+        return False
+
+    def _insert_nonfull(self, node: _Node, key: object, value: object) -> None:
+        self._read(node)
+        if node.is_leaf:
+            index = self._upper_bound(node.keys, key)
+            node.keys.insert(index, key)
+            node.values.insert(index, value)
+            self._write(node)
+            return
+        index = self._upper_bound(node.keys, key)
+        child = node.children[index]
+        self._read(child)
+        if len(child.keys) == 2 * self.min_degree - 1:
+            self._split_child(node, index)
+            if key > node.keys[index]:
+                index += 1
+        self._insert_nonfull(node.children[index], key, value)
+
+    def _split_child(self, parent: _Node, index: int) -> None:
+        t = self.min_degree
+        child = parent.children[index]
+        sibling = _Node()
+        sibling.keys = child.keys[t:]
+        sibling.values = child.values[t:]
+        if not child.is_leaf:
+            sibling.children = child.children[t:]
+            child.children = child.children[:t]
+        median_key = child.keys[t - 1]
+        median_value = child.values[t - 1]
+        child.keys = child.keys[: t - 1]
+        child.values = child.values[: t - 1]
+        parent.keys.insert(index, median_key)
+        parent.values.insert(index, median_value)
+        parent.children.insert(index + 1, sibling)
+        self._write(child)
+        self._write(sibling)
+        self._write(parent)
+        self.stats.bump("btree.split")
+
+    # ------------------------------------------------------------------ #
+    # Delete
+    # ------------------------------------------------------------------ #
+
+    def delete(self, key: object) -> object:
+        """Remove ``key`` and return its value; raises :class:`KeyNotFound` otherwise."""
+        value = self.search(key)
+        self._delete_from(self._root, key)
+        if not self._root.keys and not self._root.is_leaf:
+            self._root = self._root.children[0]
+        self._count -= 1
+        self.stats.operations += 1
+        return value
+
+    def _delete_from(self, node: _Node, key: object) -> None:
+        t = self.min_degree
+        self._read(node)
+        index = self._lower_bound(node.keys, key)
+        if index < len(node.keys) and node.keys[index] == key:
+            if node.is_leaf:
+                node.keys.pop(index)
+                node.values.pop(index)
+                self._write(node)
+                return
+            self._delete_internal(node, index, key)
+            return
+        if node.is_leaf:
+            raise KeyNotFound(key)
+        child = node.children[index]
+        self._read(child)
+        if len(child.keys) < t:
+            self._fill_child(node, index)
+            # Filling may have merged the child away; recompute the descent.
+            index = self._lower_bound(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                self._delete_internal(node, index, key)
+                return
+            child = node.children[min(index, len(node.children) - 1)]
+        self._delete_from(child, key)
+
+    def _delete_internal(self, node: _Node, index: int, key: object) -> None:
+        t = self.min_degree
+        left = node.children[index]
+        right = node.children[index + 1]
+        self._read(left)
+        self._read(right)
+        if len(left.keys) >= t:
+            pred_key, pred_value = self._max_of(left)
+            node.keys[index] = pred_key
+            node.values[index] = pred_value
+            self._write(node)
+            self._delete_from(left, pred_key)
+        elif len(right.keys) >= t:
+            succ_key, succ_value = self._min_of(right)
+            node.keys[index] = succ_key
+            node.values[index] = succ_value
+            self._write(node)
+            self._delete_from(right, succ_key)
+        else:
+            self._merge_children(node, index)
+            self._delete_from(left, key)
+
+    def _fill_child(self, node: _Node, index: int) -> None:
+        t = self.min_degree
+        if index > 0 and len(node.children[index - 1].keys) >= t:
+            self._borrow_from_left(node, index)
+        elif (index < len(node.children) - 1
+              and len(node.children[index + 1].keys) >= t):
+            self._borrow_from_right(node, index)
+        elif index < len(node.children) - 1:
+            self._merge_children(node, index)
+        else:
+            self._merge_children(node, index - 1)
+
+    def _borrow_from_left(self, node: _Node, index: int) -> None:
+        child = node.children[index]
+        left = node.children[index - 1]
+        child.keys.insert(0, node.keys[index - 1])
+        child.values.insert(0, node.values[index - 1])
+        node.keys[index - 1] = left.keys.pop()
+        node.values[index - 1] = left.values.pop()
+        if not left.is_leaf:
+            child.children.insert(0, left.children.pop())
+        self._write(node)
+        self._write(child)
+        self._write(left)
+        self.stats.bump("btree.borrow")
+
+    def _borrow_from_right(self, node: _Node, index: int) -> None:
+        child = node.children[index]
+        right = node.children[index + 1]
+        child.keys.append(node.keys[index])
+        child.values.append(node.values[index])
+        node.keys[index] = right.keys.pop(0)
+        node.values[index] = right.values.pop(0)
+        if not right.is_leaf:
+            child.children.append(right.children.pop(0))
+        self._write(node)
+        self._write(child)
+        self._write(right)
+        self.stats.bump("btree.borrow")
+
+    def _merge_children(self, node: _Node, index: int) -> None:
+        child = node.children[index]
+        sibling = node.children[index + 1]
+        child.keys.append(node.keys.pop(index))
+        child.values.append(node.values.pop(index))
+        child.keys.extend(sibling.keys)
+        child.values.extend(sibling.values)
+        child.children.extend(sibling.children)
+        node.children.pop(index + 1)
+        self._write(node)
+        self._write(child)
+        self.stats.bump("btree.merge")
+
+    def _max_of(self, node: _Node) -> Tuple[object, object]:
+        self._read(node)
+        while not node.is_leaf:
+            node = node.children[-1]
+            self._read(node)
+        return node.keys[-1], node.values[-1]
+
+    def _min_of(self, node: _Node) -> Tuple[object, object]:
+        self._read(node)
+        while not node.is_leaf:
+            node = node.children[0]
+            self._read(node)
+        return node.keys[0], node.values[0]
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+
+    def _search_node(self, node: _Node, key: object) -> Optional[Tuple[_Node, int]]:
+        self._read(node)
+        index = self._lower_bound(node.keys, key)
+        if index < len(node.keys) and node.keys[index] == key:
+            return node, index
+        if node.is_leaf:
+            return None
+        return self._search_node(node.children[index], key)
+
+    @staticmethod
+    def _lower_bound(keys: List[object], key: object) -> int:
+        low, high = 0, len(keys)
+        while low < high:
+            mid = (low + high) // 2
+            if keys[mid] < key:
+                low = mid + 1
+            else:
+                high = mid
+        return low
+
+    @staticmethod
+    def _upper_bound(keys: List[object], key: object) -> int:
+        low, high = 0, len(keys)
+        while low < high:
+            mid = (low + high) // 2
+            if key < keys[mid]:
+                high = mid
+            else:
+                low = mid + 1
+        return low
+
+    def _walk(self, node: _Node) -> Iterator[Tuple[object, object]]:
+        if node.is_leaf:
+            yield from zip(node.keys, node.values)
+            return
+        for index, key in enumerate(node.keys):
+            yield from self._walk(node.children[index])
+            yield key, node.values[index]
+        yield from self._walk(node.children[-1])
+
+    def _read(self, _node: _Node) -> None:
+        self.stats.reads += 1
+
+    def _write(self, _node: _Node) -> None:
+        self.stats.writes += 1
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+
+    def check(self) -> None:
+        """Verify the B-tree invariants; raises :class:`InvariantViolation`."""
+        keys = [key for key, _value in self._walk(self._root)]
+        if len(keys) != self._count:
+            raise InvariantViolation("walk found %d keys, expected %d"
+                                     % (len(keys), self._count))
+        for previous, current in zip(keys, keys[1:]):
+            if not previous < current:
+                raise InvariantViolation("keys out of order: %r !< %r"
+                                         % (previous, current))
+        self._check_node(self._root, is_root=True)
+
+    def _check_node(self, node: _Node, is_root: bool) -> int:
+        t = self.min_degree
+        if len(node.keys) > 2 * t - 1:
+            raise InvariantViolation("node holds %d keys, max is %d"
+                                     % (len(node.keys), 2 * t - 1))
+        if not is_root and len(node.keys) < t - 1:
+            raise InvariantViolation("non-root node holds %d keys, min is %d"
+                                     % (len(node.keys), t - 1))
+        if node.is_leaf:
+            return 1
+        if len(node.children) != len(node.keys) + 1:
+            raise InvariantViolation("internal node has %d children for %d keys"
+                                     % (len(node.children), len(node.keys)))
+        depths = {self._check_node(child, is_root=False)
+                  for child in node.children}
+        if len(depths) != 1:
+            raise InvariantViolation("leaves are not all at the same depth")
+        return depths.pop() + 1

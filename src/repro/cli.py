@@ -1,0 +1,368 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The CLI packages the library's experiment and audit pipelines behind small
+commands so the paper's measurements can be regenerated (at configurable
+scale) without writing any code:
+
+``figure2``
+    Replay uniform random inserts on the HI PMA and the classic PMA and print
+    the normalized-move series of Figure 2 (optionally to CSV).
+``uniformity``
+    Run the §4.3 balance-uniformity χ² experiment.
+``audit``
+    Run the weak-history-independence audit for a chosen structure over
+    order-variant and detour histories.
+``compare-io``
+    Compare search/insert/range I/O costs of the external-memory dictionaries
+    across a sweep of sizes.
+``workload``
+    Generate a reproducible operation trace and write it to CSV.
+``snapshot``
+    Build a structure, write its slot array to a (real or in-memory) disk
+    image, and print the observer's occupancy profile.
+``report``
+    Aggregate ``benchmarks/results/*.json`` into a Markdown table.
+
+Every command accepts ``--seed`` so its output is reproducible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.moves import normalized_moves_series
+from repro.analysis.reporting import format_table
+from repro.analysis.scaling import dictionary_io_series
+from repro.analysis.tables import format_markdown_table, render_results_markdown, write_csv
+from repro.btreap import BTreap
+from repro.btree import BTree
+from repro.cobtree import HistoryIndependentCOBTree
+from repro.core.hi_pma import HistoryIndependentPMA
+from repro.errors import ConfigurationError
+from repro.history.audit import audit_weak_history_independence
+from repro.history.pairs import dictionary_builders, equivalent_histories, ranked_builders
+from repro.history.uniformity import balance_uniformity_experiment
+from repro.pma.classic import ClassicPMA
+from repro.skiplist.external import HistoryIndependentSkipList
+from repro.skiplist.folklore import FolkloreBSkipList
+from repro.storage import image_of, snapshot_structure
+from repro.treap import Treap
+from repro.workloads import (
+    batch_redaction_trace,
+    random_insert_trace,
+    sequential_insert_trace,
+    sliding_window_trace,
+    trough_trace,
+    zipfian_insert_trace,
+)
+
+
+# --------------------------------------------------------------------------- #
+# Argument parsing
+# --------------------------------------------------------------------------- #
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="History-independent sparse tables and dictionaries "
+                    "(PODS 2016 reproduction)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    figure2 = subparsers.add_parser(
+        "figure2", help="normalized element moves vs. inserts (Figure 2)")
+    figure2.add_argument("--inserts", type=int, default=5000)
+    figure2.add_argument("--checkpoints", type=int, default=10)
+    figure2.add_argument("--seed", type=int, default=0)
+    figure2.add_argument("--csv", type=str, default=None,
+                         help="optional path for a CSV copy of the series")
+
+    uniformity = subparsers.add_parser(
+        "uniformity", help="balance-element uniformity χ² experiment (§4.3)")
+    uniformity.add_argument("--keys", type=int, default=500)
+    uniformity.add_argument("--trials", type=int, default=60)
+    uniformity.add_argument("--seed", type=int, default=0)
+
+    audit = subparsers.add_parser(
+        "audit", help="weak-history-independence audit for one structure")
+    audit.add_argument("--structure", choices=sorted(_AUDIT_TARGETS),
+                       default="hi-pma")
+    audit.add_argument("--keys", type=int, default=32)
+    audit.add_argument("--trials", type=int, default=100)
+    audit.add_argument("--seed", type=int, default=0)
+
+    compare = subparsers.add_parser(
+        "compare-io", help="search/insert/range I/O comparison of dictionaries")
+    compare.add_argument("--sizes", type=str, default="1000,4000")
+    compare.add_argument("--block", type=int, default=64)
+    compare.add_argument("--searches", type=int, default=100)
+    compare.add_argument("--seed", type=int, default=0)
+
+    workload = subparsers.add_parser(
+        "workload", help="generate a reproducible operation trace")
+    workload.add_argument("--kind", choices=sorted(_WORKLOADS), default="random")
+    workload.add_argument("--count", type=int, default=1000)
+    workload.add_argument("--seed", type=int, default=0)
+    workload.add_argument("--csv", type=str, default=None)
+    workload.add_argument("--preview", type=int, default=10,
+                          help="number of operations to print")
+
+    attack = subparsers.add_parser(
+        "attack", help="observer attack accuracy against one structure")
+    attack.add_argument("--structure", choices=["classic-pma", "adaptive-pma", "hi-pma"],
+                        default="classic-pma")
+    attack.add_argument("--kind", choices=["recency", "deletion"], default="recency")
+    attack.add_argument("--keys", type=int, default=500)
+    attack.add_argument("--trials", type=int, default=15)
+    attack.add_argument("--regions", type=int, default=8)
+    attack.add_argument("--seed", type=int, default=0)
+
+    snapshot = subparsers.add_parser(
+        "snapshot", help="write a structure's slot array to a disk image")
+    snapshot.add_argument("--structure", choices=["hi-pma", "classic-pma"],
+                          default="hi-pma")
+    snapshot.add_argument("--keys", type=int, default=1000)
+    snapshot.add_argument("--seed", type=int, default=0)
+    snapshot.add_argument("--path", type=str, default=None,
+                          help="file to write the image to (default: in-memory)")
+    snapshot.add_argument("--buckets", type=int, default=16)
+
+    report = subparsers.add_parser(
+        "report", help="aggregate benchmark results into a Markdown table")
+    report.add_argument("--results", type=str, default="benchmarks/results")
+
+    return parser
+
+
+# --------------------------------------------------------------------------- #
+# Commands
+# --------------------------------------------------------------------------- #
+
+def cmd_figure2(args: argparse.Namespace, out) -> int:
+    trace = random_insert_trace(args.inserts, seed=args.seed)
+    hi_series = normalized_moves_series(HistoryIndependentPMA(seed=args.seed),
+                                        trace, checkpoints=args.checkpoints)
+    classic_series = normalized_moves_series(ClassicPMA(), trace,
+                                             checkpoints=args.checkpoints)
+    rows = []
+    for hi_sample, classic_sample in zip(hi_series, classic_series):
+        rows.append([hi_sample.inserts,
+                     "%.4f" % hi_sample.normalized_moves,
+                     "%.4f" % classic_sample.normalized_moves,
+                     "%.2f" % hi_sample.space_per_element])
+    headers = ["inserts", "HI PMA moves/(N log^2 N)",
+               "classic PMA moves/(N log^2 N)", "HI slots/N"]
+    print(format_table(rows, headers=headers), file=out)
+    if args.csv:
+        write_csv(args.csv, rows, headers=headers)
+        print("wrote %s" % args.csv, file=out)
+    return 0
+
+
+def cmd_uniformity(args: argparse.Namespace, out) -> int:
+    result = balance_uniformity_experiment(num_keys=args.keys,
+                                           trials=args.trials,
+                                           seed=args.seed)
+    print("groups tested      : %d" % result.num_groups, file=out)
+    print("overall p-value    : %.4f" % result.overall_p_value, file=out)
+    print("uniformity verdict : %s"
+          % ("consistent with uniform" if result.passes() else "REJECTED"),
+          file=out)
+    return 0 if result.passes() else 1
+
+
+def _audit_fingerprint(structure: object) -> object:
+    """Coarse fingerprint for structures whose full representation rarely repeats."""
+    if isinstance(structure, (Treap, BTreap)):
+        return structure.height
+    from repro.history.representation import representation_fingerprint
+    return representation_fingerprint(structure.memory_representation())
+
+
+_AUDIT_TARGETS: Dict[str, Callable[[int], object]] = {
+    "hi-pma": lambda seed: HistoryIndependentPMA(seed=seed),
+    "classic-pma": lambda seed: ClassicPMA(),
+    "cobtree": lambda seed: HistoryIndependentCOBTree(seed=seed),
+    "skiplist": lambda seed: HistoryIndependentSkipList(seed=seed),
+    "b-skiplist": lambda seed: FolkloreBSkipList(seed=seed),
+    "btree": lambda seed: BTree(block_size=8),
+    "treap": lambda seed: Treap(seed=seed),
+    "btreap": lambda seed: BTreap(block_size=16, seed=seed),
+}
+
+#: Structures that are rank-addressed (driven through apply_to_ranked).
+_RANKED_TARGETS = {"hi-pma", "classic-pma"}
+
+
+def cmd_audit(args: argparse.Namespace, out) -> int:
+    keys = list(range(1, args.keys + 1))
+    detours = [args.keys + 10, args.keys + 20]
+    histories = equivalent_histories(keys, detour_keys=detours, shuffles=2,
+                                     seed=args.seed)
+    factory = _AUDIT_TARGETS[args.structure]
+    if args.structure in _RANKED_TARGETS:
+        builders = ranked_builders(lambda: factory(None), histories)
+    else:
+        builders = dictionary_builders(lambda: factory(None), histories)
+    result = audit_weak_history_independence(
+        builders, trials=args.trials, fingerprint_of=_audit_fingerprint)
+    print("structure             : %s" % args.structure, file=out)
+    print("histories compared    : %d" % result.num_sequences, file=out)
+    print("trials per history    : %d" % result.trials_per_sequence, file=out)
+    print("distinct fingerprints : %d" % result.distinct_fingerprints, file=out)
+    print("deterministic mismatch: %s" % result.deterministic_mismatch, file=out)
+    print("homogeneity p-value   : %.4f" % result.p_value, file=out)
+    verdict = "PASS (no evidence of history dependence)" if result.passes() \
+        else "FAIL (representation depends on history)"
+    print("verdict               : %s" % verdict, file=out)
+    return 0 if result.passes() else 1
+
+
+def cmd_compare_io(args: argparse.Namespace, out) -> int:
+    try:
+        sizes = [int(part) for part in args.sizes.split(",") if part.strip()]
+    except ValueError as error:
+        raise ConfigurationError("--sizes must be a comma-separated list of "
+                                 "integers, got %r" % (args.sizes,)) from error
+    if not sizes:
+        raise ConfigurationError("--sizes must name at least one size")
+    block = args.block
+    factories = {
+        "b-tree": lambda: BTree(block_size=block),
+        "hi-skiplist": lambda: HistoryIndependentSkipList(block_size=block, seed=1),
+        "b-skiplist": lambda: FolkloreBSkipList(block_size=block, seed=1),
+        "b-treap": lambda: BTreap(block_size=block, seed=1),
+    }
+    samples = dictionary_io_series(factories, sizes, searches=args.searches,
+                                   seed=args.seed)
+    rows = [[sample.structure, sample.num_keys,
+             "%.2f" % sample.search_ios, "%.2f" % sample.insert_ios,
+             "%.1f" % sample.range_ios]
+            for sample in samples]
+    print(format_table(rows, headers=["structure", "N", "search I/Os",
+                                      "insert I/Os", "range I/Os"]), file=out)
+    return 0
+
+
+_WORKLOADS: Dict[str, Callable[[argparse.Namespace], List[object]]] = {
+    "random": lambda args: random_insert_trace(args.count, seed=args.seed),
+    "sequential": lambda args: sequential_insert_trace(args.count),
+    "zipfian": lambda args: zipfian_insert_trace(args.count, seed=args.seed),
+    "sliding-window": lambda args: sliding_window_trace(
+        args.count, window=max(1, args.count // 10)),
+    "trough": lambda args: trough_trace(args.count, seed=args.seed),
+    "redaction": lambda args: batch_redaction_trace(max(1, args.count), seed=args.seed),
+}
+
+
+def cmd_workload(args: argparse.Namespace, out) -> int:
+    trace = _WORKLOADS[args.kind](args)
+    print("generated %d operations (%s)" % (len(trace), args.kind), file=out)
+    for operation in trace[:max(0, args.preview)]:
+        print("  %s" % operation, file=out)
+    if len(trace) > args.preview > 0:
+        print("  ... (%d more)" % (len(trace) - args.preview), file=out)
+    if args.csv:
+        rows = [[operation.kind.value, operation.key] for operation in trace]
+        write_csv(args.csv, rows, headers=["operation", "key"])
+        print("wrote %s" % args.csv, file=out)
+    return 0
+
+
+def cmd_attack(args: argparse.Namespace, out) -> int:
+    from repro.history.observer import (
+        DeletionAttack,
+        RecencyAttack,
+        deletion_victim_builder,
+        evaluate_attack,
+        recency_victim_builder,
+    )
+    from repro.pma.adaptive import AdaptivePMA
+
+    factories = {
+        "classic-pma": lambda seed: ClassicPMA(),
+        "adaptive-pma": lambda seed: AdaptivePMA(),
+        "hi-pma": lambda seed: HistoryIndependentPMA(seed=seed),
+    }
+    factory = factories[args.structure]
+    if args.kind == "recency":
+        attack = RecencyAttack(regions=args.regions)
+        builder = recency_victim_builder(factory, base_keys=args.keys,
+                                         burst_keys=max(10, args.keys // 6),
+                                         regions=args.regions)
+    else:
+        attack = DeletionAttack(regions=args.regions)
+        builder = deletion_victim_builder(factory, initial_keys=args.keys,
+                                          regions=args.regions)
+    report = evaluate_attack(attack, builder, trials=args.trials, seed=args.seed)
+    print("victim structure : %s" % args.structure, file=out)
+    print("attack           : %s (%d regions)" % (args.kind, args.regions), file=out)
+    print("trials           : %d" % report.trials, file=out)
+    print("accuracy         : %.2f (chance %.3f)" % (report.accuracy, report.chance),
+          file=out)
+    print("advantage        : %.2f" % report.advantage, file=out)
+    verdict = "layout leaks the secret" if report.advantage > report.chance \
+        else "observer learns nothing useful"
+    print("verdict          : %s" % verdict, file=out)
+    return 0
+
+
+def cmd_snapshot(args: argparse.Namespace, out) -> int:
+    if args.structure == "hi-pma":
+        structure = HistoryIndependentPMA(seed=args.seed)
+    else:
+        structure = ClassicPMA()
+    for operation in random_insert_trace(args.keys, seed=args.seed):
+        rank = sum(1 for value in structure if value < operation.key)
+        structure.insert(rank, operation.key)
+    paged_file, metadata = snapshot_structure(structure, path=args.path)
+    image = image_of(paged_file, metadata)
+    print("structure        : %s" % metadata.kind, file=out)
+    print("slots            : %d" % metadata.num_slots, file=out)
+    print("pages            : %d (%d bytes)"
+          % (len(image), image.size_in_bytes), file=out)
+    print("image fingerprint: %s" % image.fingerprint()[:16], file=out)
+    profile = image.occupancy_profile(buckets=args.buckets)
+    print("occupancy profile:", file=out)
+    for index, density in enumerate(profile):
+        bar = "#" * int(round(40 * density))
+        print("  region %2d  %5.1f%%  %s" % (index, 100 * density, bar), file=out)
+    if args.path:
+        print("image written to %s" % args.path, file=out)
+    return 0
+
+
+def cmd_report(args: argparse.Namespace, out) -> int:
+    print(render_results_markdown(args.results), file=out)
+    return 0
+
+
+_COMMANDS = {
+    "figure2": cmd_figure2,
+    "uniformity": cmd_uniformity,
+    "audit": cmd_audit,
+    "compare-io": cmd_compare_io,
+    "workload": cmd_workload,
+    "attack": cmd_attack,
+    "snapshot": cmd_snapshot,
+    "report": cmd_report,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """Entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    command = _COMMANDS[args.command]
+    try:
+        return command(args, out)
+    except ConfigurationError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""The history-independent cache-oblivious B-tree (Section 5, Theorem 2).
+
+The dictionary is the paper's *augmented PMA*: the history-independent PMA of
+:mod:`repro.core` storing key/value pairs in key order, plus a second static
+tree (identical in shape and layout to the rank tree) holding the balance
+elements' keys.  Searching descends the balance-key tree in ``O(log_B N)``
+I/Os, after which inserts, deletes and range queries proceed by rank exactly
+as in the PMA.
+"""
+
+from repro.cobtree.hi_cob_tree import HistoryIndependentCOBTree
+
+__all__ = ["HistoryIndependentCOBTree"]

@@ -1,0 +1,230 @@
+"""History-independent cache-oblivious B-tree (the augmented PMA).
+
+Theorem 2: for ``N`` keys the structure supports
+
+* searches in ``O(log_B N)`` I/Os,
+* inserts and deletes in ``O(log² N / B + log_B N)`` amortized I/Os with high
+  probability, and
+* range queries returning ``k`` elements in ``O(log_B N + k/B)`` I/Os,
+
+all without knowing the block size ``B``, and with a memory representation
+whose distribution depends only on the stored key/value map.
+
+The implementation is a thin, key-addressed layer over
+:class:`repro.core.hi_pma.HistoryIndependentPMA` run with
+``track_balance_values=True``:  a search walks the balance-key tree to find
+the leaf range and rank of the key, after which updates are plain PMA
+rank-addressed operations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro._rng import RandomLike
+from repro.core.hi_pma import HistoryIndependentPMA, PMAParameters
+from repro.errors import DuplicateKey, KeyNotFound, RankError
+from repro.memory.stats import IOStats
+from repro.memory.tracker import IOTracker
+
+
+def _key_of(item: Tuple[object, object]) -> object:
+    """Key of a stored (key, value) pair."""
+    return item[0]
+
+
+class HistoryIndependentCOBTree:
+    """A weakly history-independent, cache-oblivious dictionary.
+
+    Keys must be mutually comparable; values are arbitrary objects (``None``
+    is allowed).  Duplicate keys are rejected by :meth:`insert`; use
+    :meth:`upsert` (or item assignment) to overwrite an existing key.
+    """
+
+    def __init__(self, params: Optional[PMAParameters] = None,
+                 seed: RandomLike = None,
+                 tracker: Optional[IOTracker] = None) -> None:
+        self._pma = HistoryIndependentPMA(params=params, seed=seed,
+                                          tracker=tracker,
+                                          track_balance_values=True)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._pma)
+
+    def __contains__(self, key: object) -> bool:
+        return self.contains(key)
+
+    def __iter__(self) -> Iterator[object]:
+        """Iterate over the keys in increasing order."""
+        for key, _value in self._pma:
+            yield key
+
+    def __getitem__(self, key: object) -> object:
+        return self.search(key)
+
+    def __setitem__(self, key: object, value: object) -> None:
+        self.upsert(key, value)
+
+    def __delitem__(self, key: object) -> None:
+        self.delete(key)
+
+    @property
+    def stats(self) -> IOStats:
+        """Move/rebuild counters of the underlying PMA."""
+        return self._pma.stats
+
+    @property
+    def pma(self) -> HistoryIndependentPMA:
+        """The underlying augmented PMA (exposed for audits and benches)."""
+        return self._pma
+
+    def items(self) -> List[Tuple[object, object]]:
+        """All (key, value) pairs in key order."""
+        return list(self._pma)
+
+    def keys(self) -> List[object]:
+        """All keys in increasing order."""
+        return [key for key, _value in self._pma]
+
+    def memory_representation(self) -> Tuple[object, ...]:
+        """The memory representation inspected by history-independence audits."""
+        return self._pma.memory_representation()
+
+    # ------------------------------------------------------------------ #
+    # Dictionary operations
+    # ------------------------------------------------------------------ #
+
+    def contains(self, key: object) -> bool:
+        """Whether ``key`` is stored."""
+        if len(self._pma) == 0:
+            return False
+        found, _rank = self._pma.descend_by_key(key, key_of=_key_of)
+        return found
+
+    def search(self, key: object) -> object:
+        """Return the value stored under ``key``; raise :class:`KeyNotFound` otherwise."""
+        if len(self._pma) == 0:
+            raise KeyNotFound(key)
+        found, rank = self._pma.descend_by_key(key, key_of=_key_of)
+        if not found:
+            raise KeyNotFound(key)
+        _key, value = self._pma.get(rank)
+        return value
+
+    def insert(self, key: object, value: object = None) -> None:
+        """Insert a new key; raise :class:`DuplicateKey` if it already exists."""
+        found, rank = self._locate(key)
+        if found:
+            raise DuplicateKey(key)
+        self._pma.insert(rank, (key, value))
+
+    def upsert(self, key: object, value: object = None) -> bool:
+        """Insert or overwrite ``key``; return ``True`` if it already existed."""
+        found, rank = self._locate(key)
+        if found:
+            self._pma.delete(rank)
+            self._pma.insert(rank, (key, value))
+            return True
+        self._pma.insert(rank, (key, value))
+        return False
+
+    def delete(self, key: object) -> object:
+        """Remove ``key`` and return its value; raise :class:`KeyNotFound` otherwise."""
+        found, rank = self._locate(key)
+        if not found:
+            raise KeyNotFound(key)
+        _key, value = self._pma.delete(rank)
+        return value
+
+    def bulk_load(self, pairs: List[Tuple[object, object]]) -> None:
+        """Replace the contents with ``pairs`` in O(N) (keys must be distinct).
+
+        Pairs are sorted by key and handed to the PMA's bulk-rebuild path, so
+        the layout is a fresh draw from the history-independent distribution
+        for exactly these contents.
+        """
+        ordered = sorted(pairs, key=_key_of)
+        for (previous, _pv), (current, _cv) in zip(ordered, ordered[1:]):
+            if not previous < current:
+                raise DuplicateKey(current)
+        self._pma.bulk_load(ordered)
+
+    def range_query(self, low: object, high: object) -> List[Tuple[object, object]]:
+        """All (key, value) pairs with ``low <= key <= high``, in key order.
+
+        Costs the search for ``low`` plus an ``O(k/B)`` scan of the PMA.
+        """
+        if high < low or len(self._pma) == 0:
+            return []
+        _found_low, first_rank = self._pma.descend_by_key(low, key_of=_key_of)
+        found_high, high_rank = self._pma.descend_by_key(high, key_of=_key_of)
+        last_rank = high_rank if found_high else high_rank - 1
+        if first_rank >= len(self._pma) or last_rank < first_rank:
+            return []
+        return self._pma.query(first_rank, last_rank)
+
+    # ------------------------------------------------------------------ #
+    # Order statistics
+    # ------------------------------------------------------------------ #
+
+    def rank_of(self, key: object) -> int:
+        """Number of stored keys strictly smaller than ``key``."""
+        _found, rank = self._locate(key)
+        return rank
+
+    def select(self, rank: int) -> Tuple[object, object]:
+        """The (key, value) pair of the ``rank``-th smallest key (0-indexed)."""
+        return self._pma.get(rank)
+
+    def min(self) -> Tuple[object, object]:
+        """The smallest stored key and its value."""
+        if len(self._pma) == 0:
+            raise KeyNotFound("min of an empty dictionary")
+        return self._pma.get(0)
+
+    def max(self) -> Tuple[object, object]:
+        """The largest stored key and its value."""
+        if len(self._pma) == 0:
+            raise KeyNotFound("max of an empty dictionary")
+        return self._pma.get(len(self._pma) - 1)
+
+    def successor(self, key: object) -> Optional[Tuple[object, object]]:
+        """The smallest stored pair with key strictly greater than ``key``."""
+        found, rank = self._locate(key)
+        position = rank + 1 if found else rank
+        if position >= len(self._pma):
+            return None
+        return self._pma.get(position)
+
+    def predecessor(self, key: object) -> Optional[Tuple[object, object]]:
+        """The largest stored pair with key strictly smaller than ``key``."""
+        _found, rank = self._locate(key)
+        if rank == 0:
+            return None
+        return self._pma.get(rank - 1)
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+
+    def check(self) -> None:
+        """Verify PMA invariants plus key ordering."""
+        self._pma.check()
+        keys = self.keys()
+        for previous, current in zip(keys, keys[1:]):
+            if not previous < current:
+                raise RankError("keys are not strictly increasing: %r !< %r"
+                                % (previous, current))
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _locate(self, key: object) -> Tuple[bool, int]:
+        if len(self._pma) == 0:
+            return False, 0
+        return self._pma.descend_by_key(key, key_of=_key_of)

@@ -1,0 +1,44 @@
+"""The paper's primary contribution: the history-independent packed-memory array.
+
+Sub-modules
+-----------
+
+``sizing``
+    The weakly-history-independent capacity rule of Section 2.1: array
+    capacities stay uniformly distributed on ``{n, ..., 2n - 1}`` while
+    resizing with probability Θ(1/n) per update.
+``reservoir``
+    Reservoir sampling with deletes (Section 3.2) — maintain a uniformly
+    random leader of a dynamic set.
+``candidate``
+    Candidate-set geometry (Section 3.3): window sizes and positions for each
+    range of the PMA's recursive decomposition.
+``rank_tree``
+    Per-range element counts stored in a van Emde Boas layout (Section 3.5).
+``hi_pma``
+    The history-independent PMA itself (Sections 3–4, Theorem 1).
+"""
+
+from repro.core.sizing import (
+    WHICapacityRule,
+    WHIDynamicArray,
+    capacity_range,
+)
+from repro.core.reservoir import ReservoirLeader, ReservoirChoice
+from repro.core.candidate import candidate_set_size, candidate_window, CandidateWindow
+from repro.core.rank_tree import RankTree
+from repro.core.hi_pma import HistoryIndependentPMA, PMAParameters
+
+__all__ = [
+    "WHICapacityRule",
+    "WHIDynamicArray",
+    "capacity_range",
+    "ReservoirLeader",
+    "ReservoirChoice",
+    "candidate_set_size",
+    "candidate_window",
+    "CandidateWindow",
+    "RankTree",
+    "HistoryIndependentPMA",
+    "PMAParameters",
+]

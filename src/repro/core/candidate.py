@@ -1,0 +1,78 @@
+"""Candidate-set geometry for the PMA's recursive ranges (Section 3.3).
+
+Each non-leaf range ``R`` at depth ``d`` of the PMA's range tree has a
+*candidate set* ``M_R``: the ``⌈c₁ · N̂ · 2^{-d} / log N̂⌉`` middle elements of
+``R``.  If ``R`` currently holds ``ℓ`` elements, the first element of ``M_R``
+is the ``1 + ⌈ℓ/2⌉ − ⌈m/2⌉``-th element of ``R`` (1-indexed).  The balance
+element of ``R`` is kept uniformly distributed over ``M_R``.
+
+These are pure rank computations — no data structure state — so they live in
+their own module and are property-tested in isolation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CandidateWindow:
+    """A contiguous window of within-range ranks, 1-indexed and inclusive."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start < 1 or self.end < self.start:
+            raise ConfigurationError("invalid candidate window %r" % (self,))
+
+    def __len__(self) -> int:
+        return self.end - self.start + 1
+
+    def __contains__(self, rank: int) -> bool:
+        return self.start <= rank <= self.end
+
+    def shifted(self, delta: int) -> "CandidateWindow":
+        """The window translated by ``delta`` ranks."""
+        return CandidateWindow(self.start + delta, self.end + delta)
+
+
+def candidate_set_size(n_hat: int, depth: int, c1: float) -> int:
+    """Nominal candidate-set size ``⌈c₁ · N̂ / (2^d · log₂ N̂)⌉`` for depth ``d``.
+
+    The size is fixed by ``N̂`` and the depth — it does not depend on how many
+    elements the range currently holds — and is always at least 1.
+    """
+    if n_hat < 2:
+        return 1
+    if depth < 0:
+        raise ConfigurationError("depth must be non-negative, got %r" % (depth,))
+    if not 0.0 < c1:
+        raise ConfigurationError("c1 must be positive, got %r" % (c1,))
+    raw = c1 * n_hat / ((1 << depth) * math.log2(n_hat))
+    return max(1, math.ceil(raw))
+
+
+def candidate_window(num_elements: int, window_size: int) -> Optional[CandidateWindow]:
+    """The candidate window for a range holding ``num_elements`` elements.
+
+    Returns ``None`` for an empty range.  When the range holds fewer elements
+    than the nominal window size, the window is clamped to cover all of them
+    (this is the boundary regime; the paper's analysis assumes the regular
+    regime ``num_elements ≥ window_size``).
+    """
+    if num_elements <= 0:
+        return None
+    if window_size < 1:
+        raise ConfigurationError("window_size must be at least 1")
+    start = 1 + math.ceil(num_elements / 2) - math.ceil(window_size / 2)
+    end = start + window_size - 1
+    start = max(1, start)
+    end = min(num_elements, end)
+    if end < start:  # defensively handle degenerate rounding
+        start = end = max(1, min(num_elements, start))
+    return CandidateWindow(start, end)

@@ -1,0 +1,807 @@
+"""The history-independent packed-memory array (Sections 3–4, Theorem 1).
+
+A packed-memory array (PMA) stores ``N`` elements in a user-specified order
+in an array of ``Θ(N)`` slots, with gaps interspersed so that inserting or
+deleting at a given rank only needs to move a few elements.  Classic PMAs
+rebalance based on local densities, which makes their layout depend strongly
+on the operation history.  This implementation follows the paper's
+construction for a *weakly history-independent* PMA:
+
+* The sizing parameter ``N̂`` is kept uniformly distributed on
+  ``{N, ..., 2N - 1}`` by the WHI capacity rule (:mod:`repro.core.sizing`);
+  the slot count ``N_S`` is a deterministic function of ``N̂``.
+* The slot array is viewed as a complete binary tree of *ranges*
+  (height ``h = ⌈log N̂ − log log N̂⌉``; leaves hold ``⌈C_L log N̂⌉`` slots).
+* Every non-leaf range ``R`` has a *balance element* — the first element
+  stored in its right half — drawn uniformly from the range's *candidate
+  set*, the middle ``⌈c₁ N̂ 2^{-d} / log N̂⌉`` elements of ``R``
+  (:mod:`repro.core.candidate`).  The balance elements are maintained with
+  reservoir sampling with deletes (:mod:`repro.core.reservoir`), so Invariant
+  6 (uniformity) holds after every operation.
+* When a range's balance element changes (a *lottery* rebuild: the balance
+  was deleted or a newly arrived candidate won the reservoir draw) or leaves
+  its candidate set (an *out-of-bounds* rebuild), the whole range and all of
+  its descendants are rebuilt, re-drawing every balance element below.
+* Within leaf ranges the elements are spread evenly across the slots.
+
+The resulting memory representation is a function of ``N``, ``N̂``, and the
+balance-element choices only (Lemma 9), so any two operation sequences that
+produce the same logical content induce the same distribution over memory
+representations — weak history independence.
+
+Costs (Theorem 1): ``O(log² N)`` amortized element moves per update with high
+probability, ``O(log² N / B + log_B N)`` amortized I/Os, ``O(1 + k/B)`` I/Os
+for a rank range query returning ``k`` elements, and ``O(N)`` space.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Hashable, Iterator, List, Optional, Sequence, Tuple
+
+from repro._rng import RandomLike, make_rng, spawn_rng
+from repro.core.candidate import CandidateWindow, candidate_set_size, candidate_window
+from repro.core.rank_tree import RankTree
+from repro.core.reservoir import ReservoirChoice
+from repro.core.sizing import WHICapacityRule
+from repro.errors import ConfigurationError, InvariantViolation, RankError
+from repro.layout.veb import CompleteBinaryTree
+from repro.memory.stats import IOStats
+from repro.memory.tracker import IOTracker
+
+
+@dataclass(frozen=True)
+class PMAParameters:
+    """Tunable constants of the history-independent PMA.
+
+    Attributes
+    ----------
+    c1:
+        Candidate-set constant ``c₁`` (Section 3.3).  Larger values give
+        larger candidate sets, hence fewer rebuilds but more space.
+    leaf_constant:
+        The constant ``C_L`` scaling the leaf-range size ``⌈C_L log N̂⌉``.
+        The implementation automatically raises it to
+        ``1 + c₁ + 8 / log N̂`` when necessary so that Lemma 7 (ranges never
+        overflow) holds for every ``N̂``.
+    small_threshold:
+        Below this value of ``N̂`` the structure degenerates into a single
+        evenly-spread leaf (the paper's footnote 5: for tiny arrays a plain
+        WHI dynamic array is used instead of the range tree).
+    """
+
+    c1: float = 0.5
+    leaf_constant: float = 2.0
+    small_threshold: int = 128
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.c1 < 1.0:
+            raise ConfigurationError("c1 must be in (0, 1), got %r" % (self.c1,))
+        if self.leaf_constant < 1.0:
+            raise ConfigurationError("leaf_constant must be at least 1")
+        if self.small_threshold < 4:
+            raise ConfigurationError("small_threshold must be at least 4")
+
+
+class HistoryIndependentPMA:
+    """Weakly history-independent packed-memory array (Theorem 1).
+
+    The PMA is rank-addressed: ``insert(i, x)`` makes ``x`` the ``i``-th
+    element, ``delete(i)`` removes the ``i``-th element, and
+    ``query(i, j)`` returns elements ``i..j`` inclusive (0-indexed).  The
+    key-addressed dictionary built on top of it lives in
+    :mod:`repro.cobtree`.
+
+    Parameters
+    ----------
+    params:
+        Structural constants; see :class:`PMAParameters`.
+    seed:
+        Seed (or ``random.Random``) for all internal randomness.
+    tracker:
+        Optional :class:`~repro.memory.tracker.IOTracker`; when provided,
+        every slot access and auxiliary-tree access is charged to it in the
+        DAM model.
+    track_balance_values:
+        When ``True`` the PMA additionally maintains a vEB-laid tree of the
+        balance elements' *values*, which is what turns it into the
+        augmented PMA of Section 5 (the cache-oblivious B-tree uses it to
+        search by key instead of by rank).
+    """
+
+    SLOTS_ARRAY = "pma-slots"
+
+    def __init__(self, params: Optional[PMAParameters] = None,
+                 seed: RandomLike = None,
+                 tracker: Optional[IOTracker] = None,
+                 track_balance_values: bool = False) -> None:
+        self.params = params or PMAParameters()
+        self._rng = make_rng(seed)
+        self._capacity_rule = WHICapacityRule(seed=spawn_rng(self._rng))
+        self._choice = ReservoirChoice(seed=spawn_rng(self._rng))
+        self._tracker = tracker
+        self._track_balance_values = track_balance_values
+        self.stats = IOStats()
+
+        self._count = 0
+        self._n_hat = 0
+        self._height = 0
+        self._leaf_slots = 0
+        self._num_slots = 0
+        self._slots: List[Optional[object]] = []
+        self._ranks = RankTree(0, tracker=tracker, array_name="rank-tree")
+        self._balance_tree: Optional[CompleteBinaryTree] = None
+        self._full_rebuild([])
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __iter__(self) -> Iterator[object]:
+        """Iterate over the stored elements in rank order."""
+        for value in self._slots:
+            if value is not None:
+                yield value
+
+    @property
+    def n_hat(self) -> int:
+        """The current sizing parameter ``N̂`` (uniform on ``{N, ..., 2N-1}``)."""
+        return self._n_hat
+
+    @property
+    def num_slots(self) -> int:
+        """Total number of slots ``N_S`` in the backing array."""
+        return self._num_slots
+
+    @property
+    def height(self) -> int:
+        """Height of the range tree (0 in the small-array regime)."""
+        return self._height
+
+    @property
+    def leaf_slots(self) -> int:
+        """Number of slots per leaf range."""
+        return self._leaf_slots
+
+    @property
+    def num_leaf_ranges(self) -> int:
+        """Number of leaf ranges."""
+        return self._ranks.num_leaves
+
+    def slots(self) -> Tuple[Optional[object], ...]:
+        """A copy of the backing slot array (``None`` marks a gap)."""
+        return tuple(self._slots)
+
+    def memory_representation(self) -> Tuple[object, ...]:
+        """The full memory representation inspected by history-independence audits.
+
+        Includes the slot array (with gaps), the rank tree in layout order,
+        and the balance-value tree (if maintained) in layout order.
+        """
+        representation: Tuple[object, ...] = (
+            ("n_hat", self._n_hat),
+            ("slots", tuple(self._slots)),
+            ("rank_tree", self._ranks.memory_representation()),
+        )
+        if self._balance_tree is not None:
+            representation += (
+                ("balance_tree", tuple(self._balance_tree.values_in_layout_order())),
+            )
+        return representation
+
+    def balance_positions(self) -> List[Tuple[int, int, int, int]]:
+        """Balance-element positions inside their candidate windows.
+
+        Returns one tuple ``(node, depth, window_length, position)`` per
+        non-empty internal range, where ``position`` is the balance element's
+        0-indexed offset inside the range's candidate window.  Invariant 6
+        says ``position`` must be uniform on ``[0, window_length)``; the
+        paper's §4.3 χ² experiment (and ours, in
+        :mod:`repro.history.uniformity`) tests exactly that.
+        """
+        positions: List[Tuple[int, int, int, int]] = []
+        for depth in range(self._height):
+            first = 1 << depth
+            for node in range(first, first << 1):
+                count = self._ranks.count(node)
+                if count <= 0:
+                    continue
+                window_size = candidate_set_size(self._n_hat, depth, self.params.c1)
+                window = candidate_window(count, window_size)
+                if window is None:
+                    continue
+                balance_rank = self._ranks.count(node << 1) + 1
+                positions.append((node, depth, len(window),
+                                  balance_rank - window.start))
+        return positions
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def get(self, rank: int) -> object:
+        """Return the element of rank ``rank`` (0-indexed)."""
+        self._check_rank(rank, upper=self._count - 1)
+        leaf_index, within = self._ranks.leaf_for_rank(rank + 1)
+        slot = self._slot_of_leaf_element(leaf_index, within)
+        self._touch_slots(slot, slot + 1, write=False)
+        value = self._slots[slot]
+        if value is None:
+            raise InvariantViolation("expected an element at slot %d" % (slot,))
+        return value
+
+    def query(self, first: int, last: int) -> List[object]:
+        """Return elements with ranks ``first..last`` inclusive (0-indexed).
+
+        Costs ``O(1 + k/B)`` I/Os beyond locating the first element, because
+        the elements are packed with ``O(1)`` gaps between neighbours.
+        """
+        if self._count == 0:
+            raise RankError("query on an empty PMA")
+        self._check_rank(first, upper=self._count - 1)
+        self._check_rank(last, upper=self._count - 1)
+        if last < first:
+            raise RankError("query range [%d, %d] is inverted" % (first, last))
+        leaf_index, within = self._ranks.leaf_for_rank(first + 1)
+        slot = self._slot_of_leaf_element(leaf_index, within)
+        wanted = last - first + 1
+        result: List[object] = []
+        scan = slot
+        while len(result) < wanted and scan < self._num_slots:
+            value = self._slots[scan]
+            if value is not None:
+                result.append(value)
+            scan += 1
+        self._touch_slots(slot, scan, write=False)
+        if len(result) != wanted:
+            raise InvariantViolation("range query found %d of %d elements"
+                                     % (len(result), wanted))
+        return result
+
+    def to_list(self) -> List[object]:
+        """All elements in rank order."""
+        return [value for value in self._slots if value is not None]
+
+    def descend_by_key(self, key: object, key_of=None) -> Tuple[bool, int]:
+        """Locate a key assuming the PMA contents are sorted by key.
+
+        Used by the cache-oblivious B-tree of Section 5.  The descent reads
+        one balance value per level of the range tree (``O(log_B N)`` I/Os
+        thanks to the vEB layout) and then scans a single leaf range.
+
+        Returns ``(found, rank)``: ``rank`` is the number of stored elements
+        whose key is strictly smaller than ``key`` (i.e. the rank at which an
+        element with this key belongs), and ``found`` reports whether the
+        element at that rank has exactly this key.
+
+        Requires ``track_balance_values=True``.
+        """
+        if self._balance_tree is None:
+            raise ConfigurationError(
+                "descend_by_key requires track_balance_values=True")
+        key_of = key_of if key_of is not None else (lambda item: item)
+        node = 1
+        rank_before = 0
+        for _depth in range(self._height):
+            count = self._ranks.count(node)
+            if count == 0:
+                break
+            balance_value = self._balance_tree.get(node)
+            left = node << 1
+            left_count = self._ranks.count(left)
+            if balance_value is None or key < key_of(balance_value):
+                node = left
+            else:
+                rank_before += left_count
+                node = (node << 1) | 1
+        # ``node`` is now a leaf range (or the root of an empty subtree).
+        leaf_index = self._leaf_index_of_subtree(node)
+        start, stop = self._leaf_slot_range(leaf_index)
+        self._touch_slots(start, stop, write=False)
+        found = False
+        smaller = 0
+        for slot in range(start, stop):
+            value = self._slots[slot]
+            if value is None:
+                continue
+            item_key = key_of(value)
+            if item_key < key:
+                smaller += 1
+            else:
+                if item_key == key:
+                    found = True
+                break
+        return found, rank_before + smaller
+
+    # ------------------------------------------------------------------ #
+    # Updates
+    # ------------------------------------------------------------------ #
+
+    def insert(self, rank: int, item: object) -> None:
+        """Insert ``item`` so that it becomes the element of rank ``rank``."""
+        if item is None:
+            raise ValueError("the PMA uses None to mark gaps; store a wrapper instead")
+        self._check_rank(rank, upper=self._count)
+        new_count = self._count + 1
+        new_n_hat, resized = self._capacity_rule.after_insert(new_count, self._n_hat)
+        self.stats.operations += 1
+        if resized:
+            items = self.to_list()
+            items.insert(rank, item)
+            self._count = new_count
+            self._n_hat = new_n_hat
+            self.stats.bump("pma.resize")
+            self._full_rebuild(items, n_hat=new_n_hat)
+            return
+        self._count = new_count
+        self._insert_descend(rank + 1, item)
+
+    def append(self, item: object) -> None:
+        """Insert ``item`` after the current last element."""
+        self.insert(self._count, item)
+
+    def delete(self, rank: int) -> object:
+        """Delete and return the element of rank ``rank``."""
+        if self._count == 0:
+            raise RankError("delete on an empty PMA")
+        self._check_rank(rank, upper=self._count - 1)
+        new_count = self._count - 1
+        new_n_hat, resized = self._capacity_rule.after_delete(new_count, self._n_hat)
+        self.stats.operations += 1
+        if resized:
+            items = self.to_list()
+            removed = items.pop(rank)
+            self._count = new_count
+            self._n_hat = new_n_hat
+            self.stats.bump("pma.resize")
+            self._full_rebuild(items, n_hat=new_n_hat)
+            return removed
+        self._count = new_count
+        return self._delete_descend(rank + 1)
+
+    def extend(self, items: Sequence[object]) -> None:
+        """Append every item of ``items`` in order."""
+        for item in items:
+            self.append(item)
+
+    def bulk_load(self, items: Sequence[object]) -> None:
+        """Replace the contents with ``items`` (in the given rank order) in O(N).
+
+        Bulk loading goes straight through the full-rebuild path: a fresh
+        ``N̂`` is drawn for the new element count and every balance element is
+        re-sampled, so the resulting layout is exactly a fresh draw from the
+        history-independent distribution for this content — the same
+        distribution incremental inserts would converge to, at linear instead
+        of ``O(N log² N)`` cost.
+        """
+        loaded = list(items)
+        if any(item is None for item in loaded):
+            raise ValueError("the PMA uses None to mark gaps; store a wrapper instead")
+        self.stats.operations += 1
+        self.stats.bump("pma.bulk_load")
+        self._full_rebuild(loaded)
+
+    def replace(self, rank: int, item: object) -> object:
+        """Overwrite the element of rank ``rank`` in place and return the old one.
+
+        The replacement element occupies exactly the slot of the element it
+        replaces, so no rebalancing happens and the layout distribution is
+        unchanged (the slot positions depend only on the leaf occupancy
+        counts, not on the stored values).
+        """
+        if item is None:
+            raise ValueError("the PMA uses None to mark gaps; store a wrapper instead")
+        self._check_rank(rank, upper=self._count - 1)
+        leaf_index, within = self._ranks.leaf_for_rank(rank + 1)
+        slot = self._slot_of_leaf_element(leaf_index, within)
+        self._touch_slots(slot, slot + 1, write=True)
+        previous = self._slots[slot]
+        if previous is None:
+            raise InvariantViolation("expected an element at slot %d" % (slot,))
+        self._slots[slot] = item
+        self._record_moves(1)
+        self.stats.operations += 1
+        return previous
+
+    # ------------------------------------------------------------------ #
+    # Insert descent
+    # ------------------------------------------------------------------ #
+
+    def _insert_descend(self, rank_in_range: int, item: object) -> None:
+        node = 1
+        depth = 0
+        slot_start = 0
+        range_slots = self._num_slots
+        rank = rank_in_range
+        while depth < self._height:
+            old_count = self._ranks.count(node)
+            self._ranks.set_count(node, old_count + 1)
+            window_size = candidate_set_size(self._n_hat, depth, self.params.c1)
+            left = node << 1
+            if old_count == 0:
+                # First element of this range: it trivially becomes the balance.
+                self.stats.bump("rebuild.lottery")
+                self._rebuild_range(node, depth, [item], slot_start, range_slots)
+                return
+            left_count = self._ranks.count(left)
+            balance_rank = left_count + 1
+            new_balance_rank = balance_rank + 1 if rank <= balance_rank else balance_rank
+            old_window = candidate_window(old_count, window_size)
+            new_window = candidate_window(old_count + 1, window_size)
+            assert old_window is not None and new_window is not None
+            if new_balance_rank not in new_window:
+                self.stats.bump("rebuild.out_of_bounds")
+                items = self._gather_range(slot_start, range_slots)
+                items.insert(rank - 1, item)
+                self._rebuild_range(node, depth, items, slot_start, range_slots)
+                return
+            lottery_rank = self._lottery_winner(
+                self._entering_after_insert(old_window, new_window, rank),
+                len(new_window))
+            if lottery_rank is not None:
+                self.stats.bump("rebuild.lottery")
+                items = self._gather_range(slot_start, range_slots)
+                items.insert(rank - 1, item)
+                self._rebuild_range(node, depth, items, slot_start, range_slots,
+                                    forced_balance_rank=lottery_rank)
+                return
+            half = range_slots // 2
+            if rank <= balance_rank:
+                node = left
+            else:
+                node = (node << 1) | 1
+                slot_start += half
+                rank -= balance_rank - 1
+            range_slots = half
+            depth += 1
+        self._leaf_insert(node, rank, item, slot_start, range_slots)
+
+    def _leaf_insert(self, node: int, rank: int, item: object,
+                     slot_start: int, range_slots: int) -> None:
+        old_count = self._ranks.count(node)
+        self._ranks.set_count(node, old_count + 1)
+        items = self._gather_range(slot_start, range_slots)
+        items.insert(rank - 1, item)
+        if len(items) > range_slots:
+            # Lemma 7 guarantees this cannot happen for the supported
+            # parameters; fall back to a full rebuild rather than corrupting
+            # the array (a full rebuild re-samples the canonical layout, so
+            # it does not affect history independence).
+            self.stats.bump("pma.defensive_rebuild")
+            self._full_rebuild(self.to_list()[:rank - 1] + [item]
+                               + self.to_list()[rank - 1:])
+            return
+        self._write_leaf(items, slot_start, range_slots)
+
+    # ------------------------------------------------------------------ #
+    # Delete descent
+    # ------------------------------------------------------------------ #
+
+    def _delete_descend(self, rank_in_range: int) -> object:
+        node = 1
+        depth = 0
+        slot_start = 0
+        range_slots = self._num_slots
+        rank = rank_in_range
+        while depth < self._height:
+            old_count = self._ranks.count(node)
+            self._ranks.set_count(node, old_count - 1)
+            window_size = candidate_set_size(self._n_hat, depth, self.params.c1)
+            left = node << 1
+            left_count = self._ranks.count(left)
+            balance_rank = left_count + 1
+            if rank == balance_rank:
+                # The balance element itself is deleted: draw a fresh one.
+                self.stats.bump("rebuild.lottery")
+                items = self._gather_range(slot_start, range_slots)
+                removed = items.pop(rank - 1)
+                self._rebuild_range(node, depth, items, slot_start, range_slots)
+                return removed
+            old_window = candidate_window(old_count, window_size)
+            new_window = candidate_window(old_count - 1, window_size)
+            assert old_window is not None
+            if new_window is None:
+                # The range became empty.
+                items = self._gather_range(slot_start, range_slots)
+                removed = items.pop(rank - 1)
+                self._rebuild_range(node, depth, items, slot_start, range_slots)
+                return removed
+            new_balance_rank = balance_rank - 1 if rank < balance_rank else balance_rank
+            if new_balance_rank not in new_window:
+                self.stats.bump("rebuild.out_of_bounds")
+                items = self._gather_range(slot_start, range_slots)
+                removed = items.pop(rank - 1)
+                self._rebuild_range(node, depth, items, slot_start, range_slots)
+                return removed
+            lottery_rank = self._lottery_winner(
+                self._entering_after_delete(old_window, new_window, rank),
+                len(new_window))
+            if lottery_rank is not None:
+                self.stats.bump("rebuild.lottery")
+                items = self._gather_range(slot_start, range_slots)
+                removed = items.pop(rank - 1)
+                self._rebuild_range(node, depth, items, slot_start, range_slots,
+                                    forced_balance_rank=lottery_rank)
+                return removed
+            half = range_slots // 2
+            if rank < balance_rank:
+                node = left
+            else:
+                node = (node << 1) | 1
+                slot_start += half
+                rank -= balance_rank - 1
+            range_slots = half
+            depth += 1
+        return self._leaf_delete(node, rank, slot_start, range_slots)
+
+    def _leaf_delete(self, node: int, rank: int,
+                     slot_start: int, range_slots: int) -> object:
+        old_count = self._ranks.count(node)
+        self._ranks.set_count(node, old_count - 1)
+        items = self._gather_range(slot_start, range_slots)
+        removed = items.pop(rank - 1)
+        self._write_leaf(items, slot_start, range_slots)
+        return removed
+
+    # ------------------------------------------------------------------ #
+    # Candidate-set bookkeeping
+    # ------------------------------------------------------------------ #
+
+    def _lottery_winner(self, entering_ranks: Sequence[int],
+                        window_length: int) -> Optional[int]:
+        """Run the reservoir draw for each element entering the candidate set."""
+        for new_rank in entering_ranks:
+            if self._choice.arrival_becomes_leader(window_length):
+                return new_rank
+        return None
+
+    @staticmethod
+    def _entering_after_insert(old_window: CandidateWindow,
+                               new_window: CandidateWindow,
+                               insert_rank: int) -> List[int]:
+        """New-rank positions of elements joining the candidate set on an insert.
+
+        Old-window identities occupy new ranks ``j`` (for old ranks ``j <
+        insert_rank``) and ``j + 1`` (for old ranks ``j >= insert_rank``); the
+        entering elements are the new-window ranks not covered by those.
+        """
+        blocks = []
+        low = old_window.start
+        high = min(old_window.end, insert_rank - 1)
+        if low <= high:
+            blocks.append((low, high))
+        low = max(old_window.start, insert_rank) + 1
+        high = old_window.end + 1
+        if old_window.end >= insert_rank and low <= high:
+            blocks.append((low, high))
+        return _subtract_intervals(new_window.start, new_window.end, blocks)
+
+    @staticmethod
+    def _entering_after_delete(old_window: CandidateWindow,
+                               new_window: CandidateWindow,
+                               delete_rank: int) -> List[int]:
+        """New-rank positions of elements joining the candidate set on a delete."""
+        blocks = []
+        low = old_window.start
+        high = min(old_window.end, delete_rank - 1)
+        if low <= high:
+            blocks.append((low, high))
+        low = max(old_window.start, delete_rank + 1) - 1
+        high = old_window.end - 1
+        if old_window.end >= delete_rank + 1 and low <= high:
+            blocks.append((low, high))
+        return _subtract_intervals(new_window.start, new_window.end, blocks)
+
+    # ------------------------------------------------------------------ #
+    # Rebuild machinery
+    # ------------------------------------------------------------------ #
+
+    def _full_rebuild(self, items: List[object], n_hat: Optional[int] = None) -> None:
+        """Re-derive the geometry from ``N̂`` and rebuild the whole structure."""
+        self._count = len(items)
+        if n_hat is None:
+            self._n_hat = self._capacity_rule.initial_capacity(self._count)
+        else:
+            self._n_hat = n_hat
+        self._configure_geometry()
+        self._slots = [None] * self._num_slots
+        self._ranks = RankTree(self._height, tracker=self._tracker,
+                               array_name="rank-tree")
+        if self._track_balance_values:
+            self._balance_tree = CompleteBinaryTree(
+                levels=self._height + 1, default=None,
+                tracker=self._tracker, array_name="balance-tree")
+        else:
+            self._balance_tree = None
+        if self._tracker is not None:
+            self._tracker.invalidate_array(self.SLOTS_ARRAY, max(1, self._num_slots))
+        self.stats.bump("pma.full_rebuild")
+        self._rebuild_range(1, 0, items, 0, self._num_slots)
+
+    def _configure_geometry(self) -> None:
+        n_hat = max(1, self._n_hat)
+        if n_hat < self.params.small_threshold:
+            self._height = 0
+            self._leaf_slots = max(2, 2 * n_hat)
+            self._num_slots = self._leaf_slots
+            return
+        log_n = math.log2(n_hat)
+        self._height = max(1, math.ceil(log_n - math.log2(log_n)))
+        leaf_constant = max(self.params.leaf_constant,
+                            1.0 + self.params.c1 + 8.0 / log_n)
+        self._leaf_slots = math.ceil(leaf_constant * log_n)
+        self._num_slots = (1 << self._height) * self._leaf_slots
+
+    def _rebuild_range(self, node: int, depth: int, items: List[object],
+                       slot_start: int, range_slots: int,
+                       forced_balance_rank: Optional[int] = None) -> None:
+        """Rebuild range ``node`` (and all descendants) to hold ``items``."""
+        self._ranks.set_count(node, len(items))
+        if depth == self._height:
+            self._write_leaf(items, slot_start, range_slots)
+            return
+        window_size = candidate_set_size(self._n_hat, depth, self.params.c1)
+        window = candidate_window(len(items), window_size)
+        if window is None:
+            balance_rank = 0
+            balance_value = None
+        else:
+            if forced_balance_rank is not None and forced_balance_rank in window:
+                balance_rank = forced_balance_rank
+            else:
+                balance_rank = self._choice.pick_uniform(window.start, window.end)
+            balance_value = items[balance_rank - 1]
+        if self._balance_tree is not None:
+            self._balance_tree.set(node, balance_value)
+        split = max(0, balance_rank - 1)
+        half = range_slots // 2
+        self._rebuild_range(node << 1, depth + 1, items[:split],
+                            slot_start, half)
+        self._rebuild_range((node << 1) | 1, depth + 1, items[split:],
+                            slot_start + half, half)
+
+    def _write_leaf(self, items: List[object], slot_start: int,
+                    range_slots: int) -> None:
+        """Spread ``items`` evenly across the slots of one leaf range."""
+        if len(items) > range_slots:
+            raise InvariantViolation(
+                "leaf range overflow: %d items for %d slots"
+                % (len(items), range_slots))
+        self._touch_slots(slot_start, slot_start + range_slots, write=True)
+        self._slots[slot_start:slot_start + range_slots] = [None] * range_slots
+        count = len(items)
+        for index, item in enumerate(items):
+            offset = (index * range_slots) // count
+            self._slots[slot_start + offset] = item
+        self._record_moves(count)
+
+    def _gather_range(self, slot_start: int, range_slots: int) -> List[object]:
+        """Collect the elements stored in a slot range, in rank order."""
+        self._touch_slots(slot_start, slot_start + range_slots, write=False)
+        return [value
+                for value in self._slots[slot_start:slot_start + range_slots]
+                if value is not None]
+
+    # ------------------------------------------------------------------ #
+    # Slot geometry helpers
+    # ------------------------------------------------------------------ #
+
+    def _leaf_slot_range(self, leaf_index: int) -> Tuple[int, int]:
+        start = leaf_index * self._leaf_slots
+        return start, start + self._leaf_slots
+
+    def _slot_of_leaf_element(self, leaf_index: int, within_rank: int) -> int:
+        """Slot of the ``within_rank``-th (1-indexed) element of a leaf range."""
+        start, stop = self._leaf_slot_range(leaf_index)
+        count = self._ranks.count(self._ranks.leaf_bfs_index(leaf_index))
+        if not 1 <= within_rank <= count:
+            raise RankError("within-leaf rank %d out of range 1..%d"
+                            % (within_rank, count))
+        offset = ((within_rank - 1) * (stop - start)) // count
+        return start + offset
+
+    def _leaf_index_of_subtree(self, node: int) -> int:
+        """Leftmost leaf range underneath ``node`` of the range tree."""
+        depth = node.bit_length() - 1
+        return (node << (self._height - depth)) - (1 << self._height)
+
+    # ------------------------------------------------------------------ #
+    # Accounting helpers
+    # ------------------------------------------------------------------ #
+
+    def _record_moves(self, count: int) -> None:
+        self.stats.element_moves += count
+        if self._tracker is not None:
+            self._tracker.record_moves(count)
+
+    def _touch_slots(self, start: int, stop: int, write: bool) -> None:
+        if self._tracker is not None:
+            self._tracker.touch_range(self.SLOTS_ARRAY, start, stop, write=write)
+
+    def _check_rank(self, rank: int, upper: int) -> None:
+        if not isinstance(rank, int):
+            raise RankError("rank must be an integer, got %r" % (rank,))
+        if not 0 <= rank <= upper:
+            raise RankError("rank %d out of range 0..%d" % (rank, upper))
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+
+    def check(self) -> None:
+        """Verify the structural invariants; raises :class:`InvariantViolation`.
+
+        Checks the rank tree consistency, leaf occupancy, element placement,
+        and Invariant 6's structural prerequisite (every balance element lies
+        inside its range's candidate set).
+        """
+        self._ranks.check()
+        stored = [value for value in self._slots if value is not None]
+        if len(stored) != self._count:
+            raise InvariantViolation("slot array holds %d elements, expected %d"
+                                     % (len(stored), self._count))
+        if self._ranks.total() != self._count:
+            raise InvariantViolation("rank tree total %d != count %d"
+                                     % (self._ranks.total(), self._count))
+        if not (self._count == 0 or self._count <= self._n_hat <= 2 * self._count - 1):
+            raise InvariantViolation("N̂=%d outside {N..2N-1} for N=%d"
+                                     % (self._n_hat, self._count))
+        for leaf_index in range(self.num_leaf_ranges):
+            start, stop = self._leaf_slot_range(leaf_index)
+            leaf_items = [value for value in self._slots[start:stop]
+                          if value is not None]
+            expected = self._ranks.count(self._ranks.leaf_bfs_index(leaf_index))
+            if len(leaf_items) != expected:
+                raise InvariantViolation(
+                    "leaf %d holds %d elements but rank tree says %d"
+                    % (leaf_index, len(leaf_items), expected))
+            if expected > self._leaf_slots:
+                raise InvariantViolation("leaf %d overflows" % (leaf_index,))
+            for within, item in enumerate(leaf_items, start=1):
+                slot = self._slot_of_leaf_element(leaf_index, within)
+                if self._slots[slot] is not item:
+                    raise InvariantViolation(
+                        "leaf %d element %d is not at its spread position"
+                        % (leaf_index, within))
+        self._check_balance_invariant(1, 0)
+
+    def _check_balance_invariant(self, node: int, depth: int) -> None:
+        if depth >= self._height:
+            return
+        count = self._ranks.count(node)
+        if count > 0:
+            window_size = candidate_set_size(self._n_hat, depth, self.params.c1)
+            window = candidate_window(count, window_size)
+            balance_rank = self._ranks.count(node << 1) + 1
+            if window is None or balance_rank not in window:
+                raise InvariantViolation(
+                    "range %d balance rank %d outside candidate window %r"
+                    % (node, balance_rank, window))
+        self._check_balance_invariant(node << 1, depth + 1)
+        self._check_balance_invariant((node << 1) | 1, depth + 1)
+
+
+def _subtract_intervals(low: int, high: int,
+                        blocks: Sequence[Tuple[int, int]]) -> List[int]:
+    """Integers in ``[low, high]`` not covered by any of the (sorted) blocks.
+
+    The candidate windows shift by at most one rank per update, so the result
+    always has O(1) entries; it is returned as an explicit list.
+    """
+    result: List[int] = []
+    cursor = low
+    for block_low, block_high in sorted(blocks):
+        if block_high < cursor:
+            continue
+        if block_low > high:
+            break
+        result.extend(range(cursor, min(block_low - 1, high) + 1))
+        cursor = max(cursor, block_high + 1)
+        if cursor > high:
+            break
+    result.extend(range(cursor, high + 1))
+    return result

@@ -1,0 +1,142 @@
+"""The rank tree: per-range element counts in a van Emde Boas layout.
+
+Section 3.5 of the paper: the PMA views its slot array as a complete binary
+tree of *ranges*; to locate the leaf range holding the element of a given
+rank (and to detect how an update moves each range's candidate set), the PMA
+stores the number of elements ``ℓ_R`` of every range in an auxiliary complete
+binary tree laid out in van Emde Boas order.  The layout is deterministic, so
+the rank tree is history independent, and a root-to-leaf traversal costs
+``O(log N)`` operations and ``O(log_B N)`` I/Os.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional, Tuple
+
+from repro.errors import InvariantViolation, RankError
+from repro.layout.veb import CompleteBinaryTree
+from repro.memory.tracker import IOTracker
+
+
+class RankTree:
+    """Element counts for every range of a PMA with ``2**height`` leaf ranges."""
+
+    def __init__(self, height: int, tracker: Optional[IOTracker] = None,
+                 array_name: Hashable = "rank-tree") -> None:
+        if height < 0:
+            raise ValueError("height must be non-negative, got %r" % (height,))
+        self.height = height
+        self._tree = CompleteBinaryTree(levels=height + 1, default=0,
+                                        tracker=tracker, array_name=array_name)
+
+    # ------------------------------------------------------------------ #
+    # Basic access
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_leaves(self) -> int:
+        """Number of leaf ranges."""
+        return self._tree.num_leaves
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of ranges (nodes of the range tree)."""
+        return self._tree.num_nodes
+
+    def count(self, bfs_index: int) -> int:
+        """Number of elements currently stored in the given range."""
+        return self._tree.get(bfs_index)
+
+    def set_count(self, bfs_index: int, value: int) -> None:
+        """Overwrite the element count of the given range."""
+        if value < 0:
+            raise ValueError("counts cannot be negative")
+        self._tree.set(bfs_index, value)
+
+    def total(self) -> int:
+        """Total number of elements (the root's count)."""
+        return self.count(1)
+
+    def leaf_bfs_index(self, leaf_index: int) -> int:
+        """BFS index of the ``leaf_index``-th leaf range."""
+        return self._tree.layout.leaf_bfs_index(leaf_index)
+
+    # ------------------------------------------------------------------ #
+    # Rank navigation
+    # ------------------------------------------------------------------ #
+
+    def add_on_path(self, leaf_index: int, delta: int) -> None:
+        """Add ``delta`` to every range on the root-to-leaf path."""
+        leaf_bfs = self.leaf_bfs_index(leaf_index)
+        for node in self._tree.layout.root_to_node_path(leaf_bfs):
+            self._tree.set(node, self._tree.get(node) + delta)
+
+    def leaf_for_rank(self, rank: int) -> Tuple[int, int]:
+        """Locate the leaf range containing the element of global rank ``rank``.
+
+        ``rank`` is 1-indexed.  Returns ``(leaf_index, within_leaf_rank)``
+        with ``within_leaf_rank`` also 1-indexed.
+        """
+        total = self.total()
+        if not 1 <= rank <= total:
+            raise RankError("rank %r out of range 1..%d" % (rank, total))
+        node = 1
+        remaining = rank
+        while not self._tree.layout.is_leaf(node):
+            left = self._tree.layout.left_child(node)
+            left_count = self._tree.get(left)
+            if remaining <= left_count:
+                node = left
+            else:
+                remaining -= left_count
+                node = self._tree.layout.right_child(node)
+        return self._tree.layout.leaf_index(node), remaining
+
+    def rank_before_leaf(self, leaf_index: int) -> int:
+        """Number of elements stored strictly before the given leaf range."""
+        node = self.leaf_bfs_index(leaf_index)
+        before = 0
+        while node > 1:
+            parent = node >> 1
+            if node & 1:  # node is a right child: add the left sibling's count
+                before += self._tree.get(node ^ 1)
+            node = parent
+        return before
+
+    # ------------------------------------------------------------------ #
+    # Bulk operations and validation
+    # ------------------------------------------------------------------ #
+
+    def rebuild_from_leaf_counts(self, leaf_counts: List[int]) -> None:
+        """Set every leaf count and recompute the internal counts bottom-up."""
+        if len(leaf_counts) != self.num_leaves:
+            raise ValueError(
+                "expected %d leaf counts, got %d"
+                % (self.num_leaves, len(leaf_counts))
+            )
+        for leaf_index, value in enumerate(leaf_counts):
+            self._tree.set(self.leaf_bfs_index(leaf_index), value)
+        for node in range(self.num_leaves - 1, 0, -1):
+            left = self._tree.get(node << 1)
+            right = self._tree.get((node << 1) | 1)
+            self._tree.set(node, left + right)
+
+    def leaf_counts(self) -> List[int]:
+        """Counts of every leaf range, left to right."""
+        return [self._tree.get(self.leaf_bfs_index(i))
+                for i in range(self.num_leaves)]
+
+    def memory_representation(self) -> Tuple[object, ...]:
+        """The backing array in layout order (part of the PMA's representation)."""
+        return tuple(self._tree.values_in_layout_order())
+
+    def check(self) -> None:
+        """Verify that every internal count equals the sum of its children."""
+        for node in range(1, self.num_leaves):
+            left = self._tree.get(node << 1)
+            right = self._tree.get((node << 1) | 1)
+            if self._tree.get(node) != left + right:
+                raise InvariantViolation(
+                    "rank tree node %d has count %d but children sum to %d"
+                    % (node, self._tree.get(node), left + right)
+                )

@@ -1,0 +1,100 @@
+"""Reservoir sampling with deletes (Section 3.2).
+
+The PMA keeps, for every range of its recursive decomposition, a *balance
+element* that must remain uniformly distributed over that range's *candidate
+set* no matter how the set evolves (Invariant 6).  The maintenance rule is a
+small tweak on Vitter's reservoir sampling with a reservoir of size one:
+
+* when an element joins the set, it becomes the leader with probability
+  ``1 / (current set size)``;
+* when the leader leaves the set, a new leader is drawn uniformly from the
+  remaining elements;
+* when a non-leader leaves, nothing changes.
+
+:class:`ReservoirLeader` implements the rule over an explicit set of elements
+(used in tests and as a reusable utility).  :class:`ReservoirChoice` exposes
+just the random decisions, which is what the PMA needs — its "set" is a rank
+window over elements that already live in the array, so materialising it
+would be wasteful.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional, Set
+
+from repro._rng import RandomLike, make_rng
+from repro.errors import ReproError
+
+
+class ReservoirChoice:
+    """The bare random decisions of reservoir sampling with deletes."""
+
+    def __init__(self, seed: RandomLike = None) -> None:
+        self._rng = make_rng(seed)
+
+    def arrival_becomes_leader(self, set_size: int) -> bool:
+        """Should an element that just joined a set of ``set_size`` lead it?"""
+        if set_size <= 0:
+            raise ReproError("set_size must be positive, got %r" % (set_size,))
+        if set_size == 1:
+            return True
+        return self._rng.random() < 1.0 / set_size
+
+    def pick_uniform(self, low: int, high: int) -> int:
+        """Uniform integer in ``[low, high]`` inclusive (new leader's rank)."""
+        if high < low:
+            raise ReproError("empty choice range [%r, %r]" % (low, high))
+        return self._rng.randint(low, high)
+
+
+class ReservoirLeader:
+    """Maintain a uniformly random leader of an explicit dynamic set.
+
+    Lemma 5: at every point in time, each of the ``n`` current members is the
+    leader with probability exactly ``1/n`` (against an oblivious adversary).
+    """
+
+    def __init__(self, seed: RandomLike = None) -> None:
+        self._choice = ReservoirChoice(seed)
+        self._members: Set[Hashable] = set()
+        self._leader: Optional[Hashable] = None
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, element: Hashable) -> bool:
+        return element in self._members
+
+    @property
+    def leader(self) -> Optional[Hashable]:
+        """The current leader, or ``None`` when the set is empty."""
+        return self._leader
+
+    def members(self) -> List[Hashable]:
+        """The current members (arbitrary order)."""
+        return list(self._members)
+
+    def add(self, element: Hashable) -> bool:
+        """Add ``element``; return ``True`` if it became the leader."""
+        if element in self._members:
+            raise ReproError("element %r is already in the set" % (element,))
+        self._members.add(element)
+        if self._choice.arrival_becomes_leader(len(self._members)):
+            self._leader = element
+            return True
+        return False
+
+    def remove(self, element: Hashable) -> bool:
+        """Remove ``element``; return ``True`` if the leadership changed."""
+        if element not in self._members:
+            raise ReproError("element %r is not in the set" % (element,))
+        self._members.remove(element)
+        if element != self._leader:
+            return False
+        if not self._members:
+            self._leader = None
+            return True
+        members = sorted(self._members, key=repr)
+        index = self._choice.pick_uniform(0, len(members) - 1)
+        self._leader = members[index]
+        return True

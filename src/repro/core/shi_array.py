@@ -1,0 +1,201 @@
+"""Strongly history-independent (canonical) dynamic arrays — Observation 1.
+
+Hartline et al. showed that a reversible strongly history-independent data
+structure must fix a *canonical representation* for every logical state
+(possibly depending on randomness drawn before the first operation).  For a
+dynamic array that must stay at least half full, the canonical capacity is a
+function of the element count alone, so an adversary that alternates inserts
+and deletes across a capacity boundary forces a full Ω(N) resize on *every*
+operation.  That is Observation 1 of the paper, and Remark 1 extends it to
+PMAs: no strongly history-independent PMA can have ``o(N)`` amortized cost
+with high probability.
+
+This module provides the two comparators that make the observation
+measurable:
+
+* :class:`CanonicalDynamicArray` — capacity is the canonical function
+  ``capacity(n) = Θ(n)`` chosen at construction (by default the smallest
+  power of two that keeps the array at least half full, offset by a random
+  phase drawn once, which is the most charitable SHI design: the phase is
+  pre-operation randomness, so strong history independence is preserved).
+* :func:`alternation_adversary_cost` — replays the Observation 1 adversary
+  (fill to a boundary, then alternate insert/delete) against any array-like
+  object and reports the total and per-operation element moves.
+
+``benchmarks/bench_shi_resize.py`` uses both to contrast the SHI array's
+Ω(N)-per-operation behaviour with the WHI array's O(1) amortized moves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro._rng import RandomLike, make_rng
+from repro.errors import ConfigurationError, RankError
+
+CapacityFunction = Callable[[int], int]
+
+
+def power_of_two_capacity(count: int, phase: int = 0) -> int:
+    """The canonical capacity rule: smallest ``2^k + phase`` holding ``count``.
+
+    ``phase`` models per-instance randomness drawn before the first operation
+    (allowed under strong history independence); it shifts the boundaries but
+    cannot remove them, which is the crux of Observation 1.
+    """
+    if count <= 0:
+        return max(0, phase)
+    capacity = 1
+    while capacity + phase < count:
+        capacity <<= 1
+    return capacity + phase
+
+
+class CanonicalDynamicArray:
+    """A strongly history-independent dynamic array.
+
+    The backing capacity is always exactly ``capacity_of(len(self))`` — a
+    canonical function of the element count — and elements are packed at the
+    front of the backing array.  Representation is therefore a pure function
+    of the stored sequence (plus the construction-time phase), which is the
+    canonical-representation form of strong history independence.
+
+    The price is the Observation 1 lower bound: crossing a capacity boundary
+    copies every element, and an adversary can sit on a boundary forever.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the single pre-operation random choice (the boundary phase).
+    capacity_of:
+        Optional override for the canonical capacity function.  It must be
+        deterministic; supplying a non-deterministic function would silently
+        forfeit strong history independence, so prefer the default.
+    """
+
+    def __init__(self, seed: RandomLike = None,
+                 capacity_of: Optional[CapacityFunction] = None) -> None:
+        rng = make_rng(seed)
+        self._phase = rng.randrange(0, 2)
+        if capacity_of is None:
+            self._capacity_of: CapacityFunction = (
+                lambda count: power_of_two_capacity(count, self._phase))
+        else:
+            self._capacity_of = capacity_of
+        self._items: List[object] = []
+        self._capacity = self._capacity_of(0)
+        self.resizes = 0
+        self.element_moves = 0
+
+    # -- inspection ------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def __getitem__(self, index: int) -> object:
+        return self._items[index]
+
+    @property
+    def capacity(self) -> int:
+        """Current canonical capacity of the backing array."""
+        return self._capacity
+
+    @property
+    def phase(self) -> int:
+        """The pre-operation random phase baked into the capacity rule."""
+        return self._phase
+
+    def memory_representation(self) -> Tuple[object, ...]:
+        """Backing array contents including trailing gaps (``None``)."""
+        return tuple(self._items) + (None,) * (self._capacity - len(self._items))
+
+    # -- updates ----------------------------------------------------------- #
+
+    def insert(self, index: int, item: object) -> None:
+        """Insert ``item`` so that it becomes the ``index``-th element."""
+        if not 0 <= index <= len(self._items):
+            raise RankError("insert index %r out of range 0..%d"
+                            % (index, len(self._items)))
+        self._items.insert(index, item)
+        self.element_moves += len(self._items) - index
+        self._enforce_capacity()
+
+    def append(self, item: object) -> None:
+        """Insert ``item`` at the end."""
+        self.insert(len(self._items), item)
+
+    def delete(self, index: int) -> object:
+        """Remove and return the ``index``-th element."""
+        if not 0 <= index < len(self._items):
+            raise RankError("delete index %r out of range 0..%d"
+                            % (index, len(self._items) - 1))
+        item = self._items.pop(index)
+        self.element_moves += len(self._items) - index
+        self._enforce_capacity()
+        return item
+
+    def _enforce_capacity(self) -> None:
+        target = self._capacity_of(len(self._items))
+        if target != self._capacity:
+            self._capacity = target
+            self.resizes += 1
+            # A resize copies every stored element into the new allocation.
+            self.element_moves += len(self._items)
+
+
+@dataclass(frozen=True)
+class AdversaryReport:
+    """Outcome of replaying the Observation 1 adversary against an array."""
+
+    operations: int
+    element_moves: int
+    resizes: int
+
+    @property
+    def moves_per_operation(self) -> float:
+        """Average element moves per adversary operation."""
+        return self.element_moves / self.operations if self.operations else 0.0
+
+
+def alternation_adversary_cost(array, fill_to: int, alternations: int,
+                               seed: RandomLike = None) -> AdversaryReport:
+    """Replay the Observation 1 adversary and report its cost.
+
+    The adversary inserts ``fill_to`` elements (a random target in the proof;
+    here the caller picks it, typically one element past a capacity
+    boundary), then alternates delete-last / insert-last ``alternations``
+    times.  Works against anything exposing ``append``/``delete``,
+    ``element_moves`` and ``resizes`` — both
+    :class:`CanonicalDynamicArray` and
+    :class:`repro.core.sizing.WHIDynamicArray` qualify.
+    """
+    if fill_to < 1:
+        raise ConfigurationError("fill_to must be at least 1")
+    rng = make_rng(seed)
+    del rng  # The adversary itself is deterministic; rng kept for signature parity.
+    for value in range(fill_to):
+        array.append(value)
+    for step in range(alternations):
+        array.delete(len(array) - 1)
+        array.append(("refill", step))
+    operations = fill_to + 2 * alternations
+    return AdversaryReport(operations=operations,
+                           element_moves=array.element_moves,
+                           resizes=array.resizes)
+
+
+def boundary_for(array: CanonicalDynamicArray, at_least: int) -> int:
+    """Smallest count ``>= at_least`` at which the canonical capacity jumps.
+
+    Used by the bench and tests to position the alternation adversary exactly
+    on a capacity boundary, where Observation 1 bites hardest.
+    """
+    count = max(1, at_least)
+    capacity = array._capacity_of(count)  # noqa: SLF001 - deliberate introspection
+    while array._capacity_of(count + 1) == capacity:  # noqa: SLF001
+        count += 1
+    return count + 1

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch library failures without also swallowing built-in exceptions raised
+by their own code.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class InvariantViolation(ReproError):
+    """An internal structural invariant was found to be violated.
+
+    These indicate bugs in the library (or corruption of internal state via
+    direct mutation), never user error.  They are raised by the ``check()``
+    methods that most structures expose for testing.
+    """
+
+
+class RankError(ReproError, IndexError):
+    """A rank passed to a rank-addressed operation is out of range."""
+
+
+class KeyNotFound(ReproError, KeyError):
+    """A key-addressed operation referenced a key that is not stored."""
+
+
+class DuplicateKey(ReproError, ValueError):
+    """An insert would create a duplicate key in a structure that forbids it."""
+
+
+class CapacityError(ReproError):
+    """A fixed-capacity structure was asked to hold more items than it can."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A structure was configured with invalid or inconsistent parameters."""

@@ -1,0 +1,80 @@
+"""History-independence auditing.
+
+Weak history independence (Definition 4) says: for any two operation
+sequences that bring a structure to the same logical state, the
+*distributions* of memory representations must be identical.  That is a
+statement about distributions, so it is audited statistically:
+
+* :mod:`repro.history.representation` canonicalises and fingerprints the
+  memory representation that structures expose via
+  ``memory_representation()``.
+* :mod:`repro.history.statistics` provides the χ² machinery (goodness of fit
+  against a known distribution, and homogeneity across samples).
+* :mod:`repro.history.audit` builds the audit itself: run several operation
+  sequences that reach the same state many times each with fresh randomness,
+  and test whether the resulting representation distributions are
+  indistinguishable.  The same audit applied to the *classic* PMA or a
+  B-tree fails loudly, which is the expected control.
+* :mod:`repro.history.uniformity` reproduces the paper's §4.3 experiment:
+  balance elements must sit uniformly inside their candidate sets.
+"""
+
+from repro.history.representation import canonical_representation, representation_fingerprint
+from repro.history.statistics import (
+    chi_square_statistic,
+    chi_square_gof_pvalue,
+    chi_square_homogeneity,
+    uniformity_pvalue,
+)
+from repro.history.audit import AuditResult, audit_weak_history_independence, sample_fingerprints
+from repro.history.uniformity import BalanceUniformityResult, balance_uniformity_experiment
+from repro.history.forensics import (
+    detect_density_anomaly,
+    occupancy_profile,
+    redaction_signal,
+)
+from repro.history.pairs import (
+    detour_variant,
+    dictionary_builders,
+    equivalent_histories,
+    insertion_order_variants,
+    ranked_builders,
+    verify_equivalent,
+)
+from repro.history.observer import (
+    AttackReport,
+    DeletionAttack,
+    RecencyAttack,
+    deletion_victim_builder,
+    evaluate_attack,
+    recency_victim_builder,
+)
+
+__all__ = [
+    "AttackReport",
+    "RecencyAttack",
+    "DeletionAttack",
+    "evaluate_attack",
+    "recency_victim_builder",
+    "deletion_victim_builder",
+    "insertion_order_variants",
+    "detour_variant",
+    "equivalent_histories",
+    "verify_equivalent",
+    "dictionary_builders",
+    "ranked_builders",
+    "canonical_representation",
+    "representation_fingerprint",
+    "chi_square_statistic",
+    "chi_square_gof_pvalue",
+    "chi_square_homogeneity",
+    "uniformity_pvalue",
+    "AuditResult",
+    "audit_weak_history_independence",
+    "sample_fingerprints",
+    "BalanceUniformityResult",
+    "balance_uniformity_experiment",
+    "occupancy_profile",
+    "detect_density_anomaly",
+    "redaction_signal",
+]

@@ -1,0 +1,135 @@
+"""The weak-history-independence audit.
+
+Definition 4 (weak history independence) quantifies over pairs of operation
+sequences that reach the same state: their memory-representation
+distributions must coincide.  The audit here makes that operational:
+
+1. The caller supplies several *builders* — callables that construct a fresh
+   structure, apply one particular operation sequence, and return the
+   structure.  All builders must reach the same logical state.
+2. Each builder is run many times with fresh randomness; each resulting
+   memory representation is fingerprinted.
+3. A χ² homogeneity test compares the fingerprint distributions.  For a WHI
+   structure the p-value is uniform (so it is rarely tiny); for a
+   history-dependent structure (classic PMA, B-tree) the distributions are
+   typically disjoint and the p-value collapses to zero — or, more commonly,
+   the representations are deterministic per sequence and simply unequal,
+   which the audit reports via ``deterministic_mismatch``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.history.representation import representation_fingerprint
+from repro.history.statistics import chi_square_homogeneity
+
+StructureBuilder = Callable[[], object]
+StateExtractor = Callable[[object], object]
+FingerprintExtractor = Callable[[object], object]
+
+
+def _default_state(structure: object) -> object:
+    """Logical state of a structure: its contents via the public API."""
+    if hasattr(structure, "items"):
+        return tuple(structure.items())
+    if hasattr(structure, "to_list"):
+        return tuple(structure.to_list())
+    return tuple(iter(structure))
+
+
+def sample_fingerprints(builder: StructureBuilder, trials: int,
+                        fingerprint_of: Optional[FingerprintExtractor] = None
+                        ) -> List[object]:
+    """Build ``trials`` fresh instances and fingerprint each memory representation.
+
+    By default the fingerprint is a hash of the complete memory
+    representation.  A custom ``fingerprint_of`` can project the
+    representation onto a coarser feature (the array capacity, the slot
+    count, a specific range's occupancy, …), which gives the χ² test far
+    more statistical power when full representations are almost never
+    repeated across trials.
+    """
+    if trials <= 0:
+        raise ConfigurationError("trials must be positive")
+    fingerprints: List[object] = []
+    for _ in range(trials):
+        structure = builder()
+        if fingerprint_of is not None:
+            fingerprints.append(fingerprint_of(structure))
+        else:
+            fingerprints.append(
+                representation_fingerprint(structure.memory_representation()))
+    return fingerprints
+
+
+@dataclass
+class AuditResult:
+    """Outcome of a weak-history-independence audit."""
+
+    p_value: float
+    statistic: float
+    degrees_of_freedom: int
+    trials_per_sequence: int
+    num_sequences: int
+    deterministic_mismatch: bool
+    distinct_fingerprints: int
+    samples: List[List[str]] = field(repr=False, default_factory=list)
+
+    def passes(self, significance: float = 0.001) -> bool:
+        """Whether the audit found no evidence of history dependence.
+
+        The audit *fails* when either the representation is deterministic per
+        sequence but differs across sequences (the classic-PMA case), or the
+        homogeneity test rejects at the given significance level.
+        """
+        if self.deterministic_mismatch:
+            return False
+        return self.p_value >= significance
+
+
+def audit_weak_history_independence(
+        builders: Sequence[StructureBuilder],
+        trials: int = 200,
+        state_of: Optional[StateExtractor] = None,
+        fingerprint_of: Optional[FingerprintExtractor] = None) -> AuditResult:
+    """Audit that several operation sequences induce the same representation distribution.
+
+    ``builders`` must each construct a structure holding the same logical
+    contents; this is verified with ``state_of`` (defaults to the structure's
+    item list) before any statistics are computed, so a mistake in the test
+    harness is reported as an error rather than a spurious failure.
+    """
+    if len(builders) < 2:
+        raise ConfigurationError("need at least two operation sequences to compare")
+    state_of = state_of or _default_state
+    reference_state = None
+    samples: List[List[str]] = []
+    for builder in builders:
+        probe = builder()
+        state = state_of(probe)
+        if reference_state is None:
+            reference_state = state
+        elif state != reference_state:
+            raise ConfigurationError(
+                "builders reach different logical states; the audit compares "
+                "representation distributions only for identical states")
+        samples.append(sample_fingerprints(builder, trials,
+                                           fingerprint_of=fingerprint_of))
+    statistic, p_value, dof = chi_square_homogeneity(samples)
+    distinct = len({fingerprint for sample in samples for fingerprint in sample})
+    per_sequence_distinct = [len(set(sample)) for sample in samples]
+    deterministic = all(count == 1 for count in per_sequence_distinct)
+    deterministic_mismatch = deterministic and distinct > 1
+    return AuditResult(
+        p_value=p_value,
+        statistic=statistic,
+        degrees_of_freedom=dof,
+        trials_per_sequence=trials,
+        num_sequences=len(builders),
+        deterministic_mismatch=deterministic_mismatch,
+        distinct_fingerprints=distinct,
+        samples=samples,
+    )

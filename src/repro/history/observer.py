@@ -1,0 +1,191 @@
+"""Quantified observer attacks: how much does a layout actually leak?
+
+The audit in :mod:`repro.history.audit` answers a yes/no question (are the
+representation distributions identical?).  This module asks the operational
+question the paper's motivation cares about: given one look at the layout,
+how *accurately* can an observer recover a secret about the history?  Two
+concrete attacks are implemented, each with an evaluation harness that
+reports attack accuracy against chance:
+
+* :class:`RecencyAttack` — the workload inserts most keys uniformly but
+  finishes with a burst into one secret region of the key space.  The
+  attacker sees only the slot array and guesses the secret region (in a
+  classic PMA the freshly hammered region is locally denser; in the HI PMA
+  it is not).
+* :class:`DeletionAttack` — the workload bulk loads keys and then redacts one
+  secret contiguous region.  The attacker guesses where the redaction
+  happened (in a classic PMA the redacted region is locally sparser).
+
+Accuracy near ``1/regions`` means the observer learns nothing; accuracy near
+1 means the layout gives the secret away.  ``benchmarks/bench_observer.py``
+runs both attacks against the classic and HI PMAs.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from repro._rng import RandomLike, make_rng
+from repro.errors import ConfigurationError
+from repro.history.forensics import occupancy_profile
+
+#: A builder returns (slot_array, secret_region_index) for one trial.
+TrialBuilder = Callable[[int], Tuple[Sequence[object], int]]
+
+
+@dataclass(frozen=True)
+class AttackReport:
+    """Outcome of evaluating one attack over many trials."""
+
+    trials: int
+    regions: int
+    correct: int
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of trials in which the attacker guessed the secret region."""
+        return self.correct / self.trials if self.trials else 0.0
+
+    @property
+    def chance(self) -> float:
+        """Accuracy of blind guessing."""
+        return 1.0 / self.regions if self.regions else 0.0
+
+    @property
+    def advantage(self) -> float:
+        """Accuracy above chance (0 means the observer learned nothing)."""
+        return max(0.0, self.accuracy - self.chance)
+
+
+class RecencyAttack:
+    """Guess which key region received the most recent insertion burst.
+
+    The attacker computes the occupancy profile of the slot array and picks
+    the densest region: recent inserts that have not yet been smoothed out by
+    global rebalances show up as a local density bump (the "sand pile" from
+    the paper's introduction).
+    """
+
+    def __init__(self, regions: int = 8) -> None:
+        if regions < 2:
+            raise ConfigurationError("need at least two regions to guess among")
+        self.regions = regions
+
+    def guess(self, slots: Sequence[object]) -> int:
+        """The attacker's guess: index of the densest region."""
+        profile = occupancy_profile(slots, buckets=self.regions)
+        return max(range(self.regions), key=lambda index: profile[index])
+
+
+class DeletionAttack:
+    """Guess which key region was redacted.
+
+    The attacker picks the *sparsest* non-empty region of the occupancy
+    profile: deletions that have not been smoothed away leave a local
+    depression.
+    """
+
+    def __init__(self, regions: int = 8) -> None:
+        if regions < 2:
+            raise ConfigurationError("need at least two regions to guess among")
+        self.regions = regions
+
+    def guess(self, slots: Sequence[object]) -> int:
+        """The attacker's guess: index of the sparsest region."""
+        profile = occupancy_profile(slots, buckets=self.regions)
+        return min(range(self.regions), key=lambda index: profile[index])
+
+
+def evaluate_attack(attack, builder: TrialBuilder, trials: int = 50,
+                    seed: RandomLike = None) -> AttackReport:
+    """Run ``trials`` independent trials of an attack and report its accuracy.
+
+    ``builder(trial_seed)`` must construct one victim layout with a freshly
+    chosen secret and return ``(slot_array, secret_region_index)``.  The
+    attack's :meth:`guess` is then compared against the secret.
+    """
+    if trials < 1:
+        raise ConfigurationError("trials must be positive")
+    rng = make_rng(seed)
+    correct = 0
+    for _ in range(trials):
+        slots, secret = builder(rng.getrandbits(64))
+        if not 0 <= secret < attack.regions:
+            raise ConfigurationError("builder returned secret region %r outside "
+                                     "0..%d" % (secret, attack.regions - 1))
+        if attack.guess(slots) == secret:
+            correct += 1
+    return AttackReport(trials=trials, regions=attack.regions, correct=correct)
+
+
+# --------------------------------------------------------------------------- #
+# Standard victim builders
+# --------------------------------------------------------------------------- #
+
+def recency_victim_builder(structure_factory: Callable[[int], object],
+                           base_keys: int = 800,
+                           burst_keys: int = 120,
+                           regions: int = 8) -> TrialBuilder:
+    """Builder for the recency attack.
+
+    The victim inserts ``base_keys`` uniform keys, then a burst of
+    ``burst_keys`` keys confined to one randomly chosen region of the key
+    space (the secret).  Keys are inserted in rank order through the
+    rank-addressed API.
+    """
+    key_space = 10 * (base_keys + burst_keys)
+    region_width = key_space // regions
+
+    def build(trial_seed: int) -> Tuple[Sequence[object], int]:
+        rng = make_rng(trial_seed)
+        structure = structure_factory(rng.getrandbits(64))
+        secret = rng.randrange(regions)
+        base = rng.sample(range(key_space), base_keys)
+        base_set = set(base)
+        burst_low = secret * region_width
+        burst_pool = [key for key in range(burst_low, burst_low + region_width)
+                      if key not in base_set]
+        burst = rng.sample(burst_pool, burst_keys)
+        shadow: List[int] = []
+        for key in base + burst:
+            rank = bisect.bisect_left(shadow, key)
+            structure.insert(rank, key)
+            shadow.insert(rank, key)
+        return structure.slots(), secret
+
+    return build
+
+
+def deletion_victim_builder(structure_factory: Callable[[int], object],
+                            initial_keys: int = 900,
+                            regions: int = 8) -> TrialBuilder:
+    """Builder for the deletion attack.
+
+    The victim bulk-inserts ``initial_keys`` uniform keys (in random order)
+    and then deletes every key falling in one randomly chosen region of the
+    key space (the secret).
+    """
+    key_space = 10 * initial_keys
+    region_width = key_space // regions
+
+    def build(trial_seed: int) -> Tuple[Sequence[object], int]:
+        rng = make_rng(trial_seed)
+        structure = structure_factory(rng.getrandbits(64))
+        secret = rng.randrange(regions)
+        keys = rng.sample(range(key_space), initial_keys)
+        shadow: List[int] = []
+        for key in keys:
+            rank = bisect.bisect_left(shadow, key)
+            structure.insert(rank, key)
+            shadow.insert(rank, key)
+        low = secret * region_width
+        high = low + region_width
+        for key in [key for key in shadow if low <= key < high]:
+            rank = bisect.bisect_left(shadow, key)
+            structure.delete(rank)
+            shadow.pop(rank)
+        return structure.slots(), secret
+
+    return build

@@ -1,0 +1,126 @@
+"""Equivalent-history trace pairs for the weak-history-independence audit.
+
+Definition 4 compares operation sequences that reach the *same state*.  The
+audit in :mod:`repro.history.audit` needs such sequences as input; this
+module generates standard families of them for a given final key set:
+
+* different insertion orders (sorted, reverse-sorted, random shuffles), and
+* sequences with *detours* — extra keys inserted and later deleted — which
+  reach the same state through genuinely different histories (this is the
+  family that exposes the classic PMA and B-tree as history dependent even
+  when the insertion order alone would not).
+
+Every generated trace ends with the same live key set, which
+:func:`verify_equivalent` checks so audit harness mistakes surface as errors
+rather than as spurious statistical findings.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro._rng import RandomLike, make_rng
+from repro.errors import ConfigurationError
+from repro.workloads.generators import Operation, OperationKind, apply_to_dictionary, apply_to_ranked
+from repro.workloads.patterns import live_keys_of
+
+
+def insertion_order_variants(keys: Sequence[int], shuffles: int = 2,
+                             seed: RandomLike = None) -> List[List[Operation]]:
+    """Traces inserting the same keys in different orders.
+
+    Returns sorted order, reverse-sorted order, and ``shuffles`` random
+    permutations (all distinct with overwhelming probability).
+    """
+    if not keys:
+        raise ConfigurationError("need a non-empty key set")
+    rng = make_rng(seed)
+    ordered = sorted(keys)
+    variants = [
+        [Operation(OperationKind.INSERT, key) for key in ordered],
+        [Operation(OperationKind.INSERT, key) for key in reversed(ordered)],
+    ]
+    for _ in range(max(0, shuffles)):
+        permuted = list(ordered)
+        rng.shuffle(permuted)
+        variants.append([Operation(OperationKind.INSERT, key) for key in permuted])
+    return variants
+
+
+def detour_variant(keys: Sequence[int], extra_keys: Sequence[int],
+                   seed: RandomLike = None) -> List[Operation]:
+    """A trace that inserts ``keys`` and ``extra_keys``, then deletes the extras.
+
+    The extra keys must be disjoint from ``keys``.  The interleaving is
+    random so the detour does not reduce to "append then trim".
+    """
+    overlap = set(keys) & set(extra_keys)
+    if overlap:
+        raise ConfigurationError("extra keys overlap the final key set: %r"
+                                 % (sorted(overlap)[:5],))
+    rng = make_rng(seed)
+    inserts = [Operation(OperationKind.INSERT, key) for key in keys] + \
+        [Operation(OperationKind.INSERT, key) for key in extra_keys]
+    rng.shuffle(inserts)
+    deletes = [Operation(OperationKind.DELETE, key) for key in extra_keys]
+    rng.shuffle(deletes)
+    return inserts + deletes
+
+
+def equivalent_histories(keys: Sequence[int], detour_keys: Sequence[int] = (),
+                         shuffles: int = 2,
+                         seed: RandomLike = None) -> List[List[Operation]]:
+    """The standard audit family: order variants plus (optionally) a detour.
+
+    All returned traces leave exactly ``keys`` live; see
+    :func:`verify_equivalent`.
+    """
+    rng = make_rng(seed)
+    variants = insertion_order_variants(keys, shuffles=shuffles,
+                                        seed=rng.getrandbits(64))
+    if detour_keys:
+        variants.append(detour_variant(keys, detour_keys,
+                                       seed=rng.getrandbits(64)))
+    verify_equivalent(variants)
+    return variants
+
+
+def verify_equivalent(traces: Sequence[List[Operation]]) -> None:
+    """Raise :class:`ConfigurationError` unless all traces end in the same state."""
+    if not traces:
+        raise ConfigurationError("need at least one trace")
+    reference = live_keys_of(traces[0])
+    for index, trace in enumerate(traces[1:], start=1):
+        if live_keys_of(trace) != reference:
+            raise ConfigurationError(
+                "trace %d leaves a different live key set than trace 0" % (index,))
+
+
+def dictionary_builders(factory: Callable[[], object],
+                        traces: Sequence[List[Operation]],
+                        value_of: Optional[Callable[[int], object]] = None
+                        ) -> List[Callable[[], object]]:
+    """Builders (for the audit) replaying each trace against a key-addressed dictionary."""
+    def make_builder(trace: List[Operation]) -> Callable[[], object]:
+        def build() -> object:
+            structure = factory()
+            apply_to_dictionary(structure, trace, value_of=value_of)
+            return structure
+        return build
+
+    return [make_builder(trace) for trace in traces]
+
+
+def ranked_builders(factory: Callable[[], object],
+                    traces: Sequence[List[Operation]],
+                    value_of: Optional[Callable[[int], object]] = None
+                    ) -> List[Callable[[], object]]:
+    """Builders (for the audit) replaying each trace against a rank-addressed structure."""
+    def make_builder(trace: List[Operation]) -> Callable[[], object]:
+        def build() -> object:
+            structure = factory()
+            apply_to_ranked(structure, trace, value_of=value_of)
+            return structure
+        return build
+
+    return [make_builder(trace) for trace in traces]

@@ -1,0 +1,49 @@
+"""Canonicalising and fingerprinting memory representations.
+
+Every structure in this library exposes ``memory_representation()``: the full
+physical layout an observer would see on a stolen disk — slot arrays with
+their gaps, auxiliary trees in layout order, capacities, and so on.  The
+audit machinery needs two things from it:
+
+* a *canonical form* that is hashable and insensitive to incidental Python
+  details (lists vs. tuples, dict ordering), and
+* a short, stable *fingerprint* so that thousands of sampled representations
+  can be tallied into a contingency table.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Tuple
+
+
+def canonical_representation(representation: object) -> object:
+    """Recursively convert a memory representation into hashable tuples."""
+    if isinstance(representation, (list, tuple)):
+        return tuple(canonical_representation(item) for item in representation)
+    if isinstance(representation, dict):
+        return tuple(sorted(
+            (canonical_representation(key), canonical_representation(value))
+            for key, value in representation.items()
+        ))
+    if isinstance(representation, set):
+        return tuple(sorted(canonical_representation(item)
+                            for item in representation))
+    return representation
+
+
+def representation_fingerprint(representation: object) -> str:
+    """A short stable fingerprint of a memory representation.
+
+    The representation is canonicalised, rendered with ``repr`` (which is
+    deterministic for the plain values stored by the library's structures)
+    and hashed with SHA-256; the first 16 hex digits are returned.
+    """
+    canonical = canonical_representation(representation)
+    digest = hashlib.sha256(repr(canonical).encode("utf-8")).hexdigest()
+    return digest[:16]
+
+
+def fingerprints(representations: Iterable[object]) -> Tuple[str, ...]:
+    """Fingerprints of several representations, in order."""
+    return tuple(representation_fingerprint(rep) for rep in representations)

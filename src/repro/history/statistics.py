@@ -1,0 +1,198 @@
+"""χ² utilities used by the history-independence audits.
+
+The module implements Pearson's χ² statistic, its p-value via the regularized
+upper incomplete gamma function (so the library works even without SciPy,
+though SciPy is used when available as a cross-check in the tests), a
+goodness-of-fit helper against the uniform distribution, and a χ² test of
+homogeneity across several samples of categorical data with automatic pooling
+of rare categories.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+def _regularized_upper_gamma(shape: float, x: float) -> float:
+    """Q(shape, x) = Γ(shape, x) / Γ(shape), for shape > 0 and x >= 0.
+
+    Uses the series expansion for ``x < shape + 1`` and the continued
+    fraction otherwise (Numerical Recipes style).  Accurate to well beyond
+    what a statistical audit needs.
+    """
+    if x < 0 or shape <= 0:
+        raise ConfigurationError("invalid arguments to the incomplete gamma function")
+    if x == 0:
+        return 1.0
+    if x < shape + 1.0:
+        # Lower series: P(shape, x), then Q = 1 - P.
+        term = 1.0 / shape
+        total = term
+        denominator = shape
+        for _ in range(1000):
+            denominator += 1.0
+            term *= x / denominator
+            total += term
+            if abs(term) < abs(total) * 1e-15:
+                break
+        log_prefactor = -x + shape * math.log(x) - math.lgamma(shape)
+        lower = total * math.exp(log_prefactor)
+        return max(0.0, min(1.0, 1.0 - lower))
+    # Continued fraction for Q(shape, x).
+    tiny = 1e-300
+    b = x + 1.0 - shape
+    c = 1.0 / tiny
+    d = 1.0 / b
+    h = d
+    for i in range(1, 1000):
+        an = -i * (i - shape)
+        b += 2.0
+        d = an * d + b
+        if abs(d) < tiny:
+            d = tiny
+        c = b + an / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < 1e-15:
+            break
+    log_prefactor = -x + shape * math.log(x) - math.lgamma(shape)
+    upper = math.exp(log_prefactor) * h
+    return max(0.0, min(1.0, upper))
+
+
+def chi_square_survival(statistic: float, dof: int) -> float:
+    """P(X >= statistic) for a χ² variable with ``dof`` degrees of freedom."""
+    if dof <= 0:
+        raise ConfigurationError("degrees of freedom must be positive")
+    if statistic <= 0:
+        return 1.0
+    return _regularized_upper_gamma(dof / 2.0, statistic / 2.0)
+
+
+def chi_square_statistic(observed: Sequence[float],
+                         expected: Sequence[float]) -> float:
+    """Pearson's χ² statistic for observed vs. expected counts."""
+    if len(observed) != len(expected):
+        raise ConfigurationError("observed and expected must have equal length")
+    statistic = 0.0
+    for obs, exp in zip(observed, expected):
+        if exp <= 0:
+            raise ConfigurationError("expected counts must be positive")
+        statistic += (obs - exp) ** 2 / exp
+    return statistic
+
+
+def chi_square_gof_pvalue(observed: Sequence[float],
+                          expected: Sequence[float]) -> float:
+    """p-value of the χ² goodness-of-fit test."""
+    statistic = chi_square_statistic(observed, expected)
+    dof = len(observed) - 1
+    if dof <= 0:
+        return 1.0
+    return chi_square_survival(statistic, dof)
+
+
+def uniformity_pvalue(values: Sequence[float], bins: int = 10,
+                      low: float = 0.0, high: float = 1.0) -> float:
+    """χ² test that continuous ``values`` are uniform on ``[low, high]``.
+
+    Used for the paper's final step: testing that the per-range p-values are
+    themselves uniformly distributed.
+    """
+    if not values:
+        raise ConfigurationError("cannot test uniformity of an empty sample")
+    if bins < 2:
+        raise ConfigurationError("need at least two bins")
+    counts = [0] * bins
+    width = (high - low) / bins
+    for value in values:
+        index = int((value - low) / width)
+        index = min(max(index, 0), bins - 1)
+        counts[index] += 1
+    expected = [len(values) / bins] * bins
+    return chi_square_gof_pvalue(counts, expected)
+
+
+def pooled_counts(samples: Sequence[Sequence[object]],
+                  min_expected: float = 5.0
+                  ) -> Tuple[List[List[int]], List[object]]:
+    """Contingency counts per sample with rare categories pooled together.
+
+    Categories whose total count across all samples is too small to give
+    every cell an expected value of at least ``min_expected`` are merged into
+    a single "other" category, which keeps the χ² approximation honest.
+    Returns ``(table, category_labels)`` where ``table[i][j]`` is the count
+    of category ``j`` in sample ``i``.
+    """
+    if not samples:
+        raise ConfigurationError("need at least one sample")
+    totals: Counter = Counter()
+    per_sample: List[Counter] = []
+    for sample in samples:
+        counter = Counter(sample)
+        per_sample.append(counter)
+        totals.update(counter)
+    grand_total = sum(totals.values())
+    num_samples = len(samples)
+    keep: List[object] = []
+    pooled: List[object] = []
+    for category, total in totals.most_common():
+        smallest_sample = min(sum(counter.values()) for counter in per_sample)
+        expected_smallest = total * smallest_sample / grand_total if grand_total else 0
+        if expected_smallest >= min_expected:
+            keep.append(category)
+        else:
+            pooled.append(category)
+    labels: List[object] = list(keep)
+    if pooled:
+        labels.append("__pooled__")
+    table: List[List[int]] = []
+    for counter in per_sample:
+        row = [counter.get(category, 0) for category in keep]
+        if pooled:
+            row.append(sum(counter.get(category, 0) for category in pooled))
+        table.append(row)
+    del num_samples
+    return table, labels
+
+
+def chi_square_homogeneity(samples: Sequence[Sequence[object]],
+                           min_expected: float = 5.0) -> Tuple[float, float, int]:
+    """χ² test that several categorical samples come from the same distribution.
+
+    Returns ``(statistic, p_value, degrees_of_freedom)``.  When pooling
+    leaves a single category (all samples essentially identical), the test is
+    vacuous and ``(0.0, 1.0, 0)`` is returned.
+    """
+    table, labels = pooled_counts(samples, min_expected=min_expected)
+    num_samples = len(table)
+    num_categories = len(labels)
+    if num_categories < 2 or num_samples < 2:
+        return 0.0, 1.0, 0
+    row_totals = [sum(row) for row in table]
+    column_totals = [sum(table[i][j] for i in range(num_samples))
+                     for j in range(num_categories)]
+    grand_total = sum(row_totals)
+    statistic = 0.0
+    for i in range(num_samples):
+        for j in range(num_categories):
+            expected = row_totals[i] * column_totals[j] / grand_total
+            if expected <= 0:
+                continue
+            statistic += (table[i][j] - expected) ** 2 / expected
+    dof = (num_samples - 1) * (num_categories - 1)
+    if dof <= 0:
+        return statistic, 1.0, 0
+    return statistic, chi_square_survival(statistic, dof), dof
+
+
+def histogram(values: Iterable[object]) -> Dict[object, int]:
+    """Convenience counter used by audits and benches."""
+    return dict(Counter(values))

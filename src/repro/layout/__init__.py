@@ -1,0 +1,12 @@
+"""Static cache-oblivious layouts.
+
+Currently this package contains the van Emde Boas (vEB) layout of a complete
+binary tree, which the paper uses for both auxiliary trees of the PMA (the
+rank tree of Section 3.5 and the balance-key tree of Section 5).  The layout
+is deterministic, so storing a tree in vEB order is automatically history
+independent.
+"""
+
+from repro.layout.veb import VanEmdeBoasLayout, CompleteBinaryTree
+
+__all__ = ["VanEmdeBoasLayout", "CompleteBinaryTree"]

@@ -1,0 +1,224 @@
+"""van Emde Boas layout of complete binary trees.
+
+A complete binary tree with ``L`` levels (``2**L - 1`` nodes) is stored in an
+array so that any root-to-leaf path touches ``O(log_B N)`` blocks for *every*
+block size ``B`` simultaneously: the tree is cut at the middle level, the top
+subtree is laid out first, followed by each bottom subtree left to right, and
+the rule is applied recursively.
+
+The layout is deterministic — it depends only on the number of levels — which
+is exactly why the paper can use it for the rank tree and the balance-key
+tree without affecting history independence (Section 3.5).
+
+Nodes are addressed by their 1-based breadth-first (heap) index: the root is
+``1`` and node ``v`` has children ``2v`` and ``2v + 1``.  Leaves are also
+addressable by their left-to-right leaf index.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.memory.tracker import IOTracker
+
+
+class VanEmdeBoasLayout:
+    """Position map of the vEB layout for a complete binary tree.
+
+    Parameters
+    ----------
+    levels:
+        Number of node levels.  A tree with ``levels`` levels has
+        ``2**levels - 1`` nodes and ``2**(levels - 1)`` leaves.
+    """
+
+    def __init__(self, levels: int) -> None:
+        if levels <= 0:
+            raise ConfigurationError("levels must be positive, got %r" % (levels,))
+        self.levels = levels
+        self.num_nodes = (1 << levels) - 1
+        self.num_leaves = 1 << (levels - 1)
+        self._position: List[int] = [0] * (self.num_nodes + 1)
+        self._bfs_at: List[int] = [0] * self.num_nodes
+        self._assign(root=1, levels=levels, offset=0)
+
+    # ------------------------------------------------------------------ #
+    # Layout construction
+    # ------------------------------------------------------------------ #
+
+    def _assign(self, root: int, levels: int, offset: int) -> int:
+        """Assign vEB positions to the subtree at ``root``; return next offset."""
+        if levels == 1:
+            self._position[root] = offset
+            self._bfs_at[offset] = root
+            return offset + 1
+        top_levels = levels // 2
+        bottom_levels = levels - top_levels
+        offset = self._assign(root, top_levels, offset)
+        # Roots of the bottom subtrees are the children of the top subtree's
+        # leaves, i.e. BFS indices root * 2**top_levels + j.
+        first_bottom_root = root << top_levels
+        for j in range(1 << top_levels):
+            offset = self._assign(first_bottom_root + j, bottom_levels, offset)
+        return offset
+
+    def _assign_top_only(self, root: int, levels: int, offset: int) -> int:
+        """Assign positions to only the top ``levels`` levels below ``root``."""
+        # Retained as a private hook for partial layouts; currently the full
+        # recursive assignment above covers every use in the library.
+        return self._assign(root, levels, offset)
+
+    # ------------------------------------------------------------------ #
+    # Addressing
+    # ------------------------------------------------------------------ #
+
+    def position(self, bfs_index: int) -> int:
+        """Array position of the node with the given BFS index."""
+        self._check_bfs(bfs_index)
+        return self._position[bfs_index]
+
+    def bfs_at_position(self, position: int) -> int:
+        """BFS index of the node stored at an array position."""
+        if not 0 <= position < self.num_nodes:
+            raise IndexError("position %r out of range" % (position,))
+        return self._bfs_at[position]
+
+    def depth(self, bfs_index: int) -> int:
+        """Depth of a node (root has depth 0)."""
+        self._check_bfs(bfs_index)
+        return bfs_index.bit_length() - 1
+
+    def is_leaf(self, bfs_index: int) -> bool:
+        """Whether the node is on the last level."""
+        return self.depth(bfs_index) == self.levels - 1
+
+    def parent(self, bfs_index: int) -> int:
+        """BFS index of the parent node."""
+        self._check_bfs(bfs_index)
+        if bfs_index == 1:
+            raise IndexError("the root has no parent")
+        return bfs_index >> 1
+
+    def left_child(self, bfs_index: int) -> int:
+        """BFS index of the left child."""
+        child = bfs_index << 1
+        self._check_bfs(child)
+        return child
+
+    def right_child(self, bfs_index: int) -> int:
+        """BFS index of the right child."""
+        child = (bfs_index << 1) | 1
+        self._check_bfs(child)
+        return child
+
+    def leaf_bfs_index(self, leaf_index: int) -> int:
+        """BFS index of the ``leaf_index``-th leaf (left to right, 0-based)."""
+        if not 0 <= leaf_index < self.num_leaves:
+            raise IndexError("leaf index %r out of range" % (leaf_index,))
+        return self.num_leaves + leaf_index
+
+    def leaf_index(self, bfs_index: int) -> int:
+        """Left-to-right index of a leaf node."""
+        if not self.is_leaf(bfs_index):
+            raise ValueError("node %r is not a leaf" % (bfs_index,))
+        return bfs_index - self.num_leaves
+
+    def root_to_node_path(self, bfs_index: int) -> List[int]:
+        """BFS indices on the path from the root down to ``bfs_index``."""
+        self._check_bfs(bfs_index)
+        path = []
+        node = bfs_index
+        while node >= 1:
+            path.append(node)
+            node >>= 1
+        path.reverse()
+        return path
+
+    def path_positions(self, bfs_index: int) -> List[int]:
+        """Array positions touched by a root-to-node traversal."""
+        return [self._position[node] for node in self.root_to_node_path(bfs_index)]
+
+    def subtree_nodes(self, bfs_index: int) -> Iterator[int]:
+        """Yield BFS indices of the subtree rooted at ``bfs_index`` (pre-order)."""
+        self._check_bfs(bfs_index)
+        stack = [bfs_index]
+        while stack:
+            node = stack.pop()
+            yield node
+            left = node << 1
+            if left <= self.num_nodes:
+                stack.append(left | 1)
+                stack.append(left)
+
+    def _check_bfs(self, bfs_index: int) -> None:
+        if not 1 <= bfs_index <= self.num_nodes:
+            raise IndexError(
+                "BFS index %r out of range for a %d-level tree"
+                % (bfs_index, self.levels)
+            )
+
+
+class CompleteBinaryTree:
+    """A complete binary tree of values stored contiguously in vEB order.
+
+    The tree optionally routes its slot touches through an
+    :class:`~repro.memory.tracker.IOTracker`, so traversals are charged
+    ``O(log_B N)`` I/Os exactly as in the cache-oblivious analysis.
+    """
+
+    def __init__(self, levels: int, default: object = None,
+                 tracker: Optional[IOTracker] = None,
+                 array_name: Hashable = "veb-tree") -> None:
+        self.layout = VanEmdeBoasLayout(levels)
+        self._values: List[object] = [default] * self.layout.num_nodes
+        self._default = default
+        self._tracker = tracker
+        self._array_name = array_name
+
+    # -- value access ---------------------------------------------------- #
+
+    def get(self, bfs_index: int) -> object:
+        """Read the value stored at a node (charges at most one I/O)."""
+        position = self.layout.position(bfs_index)
+        self._touch(position, write=False)
+        return self._values[position]
+
+    def set(self, bfs_index: int, value: object) -> None:
+        """Write the value stored at a node (charges at most one I/O)."""
+        position = self.layout.position(bfs_index)
+        self._touch(position, write=True)
+        self._values[position] = value
+
+    def get_many(self, bfs_indices: Sequence[int]) -> List[object]:
+        """Read several nodes (e.g. a root-to-leaf path) in order."""
+        return [self.get(index) for index in bfs_indices]
+
+    def fill(self, value: object) -> None:
+        """Reset every node to ``value`` with a single linear scan."""
+        self._values = [value] * self.layout.num_nodes
+        if self._tracker is not None:
+            self._tracker.touch_range(self._array_name, 0,
+                                      self.layout.num_nodes, write=True)
+
+    def values_in_layout_order(self) -> List[object]:
+        """The raw backing array — the memory representation of the tree."""
+        return list(self._values)
+
+    # -- convenience re-exports ------------------------------------------ #
+
+    @property
+    def levels(self) -> int:
+        return self.layout.levels
+
+    @property
+    def num_nodes(self) -> int:
+        return self.layout.num_nodes
+
+    @property
+    def num_leaves(self) -> int:
+        return self.layout.num_leaves
+
+    def _touch(self, position: int, write: bool) -> None:
+        if self._tracker is not None:
+            self._tracker.touch_slot(self._array_name, position, write=write)

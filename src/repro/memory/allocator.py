@@ -1,0 +1,129 @@
+"""History-independent block allocation.
+
+The paper uses history-independent allocation (Naor and Teague) as a black
+box: each array of the skip list, and the PMA itself, must be *placed* on disk
+in a way that does not leak the order in which arrays were created and
+destroyed.
+
+:class:`UniformArenaAllocator` provides the standard construction: the live
+allocations occupy a contiguous arena of exactly ``live`` block-groups, and
+the assignment of allocations to arena positions is a uniformly random
+permutation, maintained incrementally:
+
+* ``allocate`` places the new allocation at a uniformly random arena position
+  and moves the allocation previously at that position (if any) to the end —
+  the classical online construction of a uniform random permutation.
+* ``free`` moves the allocation at the last arena position into the freed
+  hole — the standard deletion rule that preserves uniformity of the
+  permutation of the survivors.
+
+Because positions are uniform regardless of the insertion/deletion history,
+an observer who sees the physical placement once learns nothing beyond the
+set of live allocations, which is precisely weak history independence.
+Relocations triggered by ``free`` are reported through a callback so owners
+can charge the corresponding block-copy I/Os.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro._rng import RandomLike, make_rng
+from repro.errors import ReproError
+
+RelocationCallback = Callable[["Allocation", int, int], None]
+
+
+@dataclass
+class Allocation:
+    """A live allocation: an opaque handle plus its current arena position."""
+
+    handle: int
+    num_blocks: int
+    position: int
+
+    @property
+    def first_block(self) -> int:
+        """First device block of this allocation (arena position × size class)."""
+        return self.position * self.num_blocks
+
+
+class UniformArenaAllocator:
+    """Uniform-random-permutation arena allocator (one size class per arena).
+
+    All allocations in one allocator must request the same number of blocks
+    (``blocks_per_allocation``); structures that need several size classes use
+    several allocators, mirroring the segregated-arena design in the paper's
+    allocation black box.
+    """
+
+    def __init__(self, blocks_per_allocation: int = 1,
+                 seed: RandomLike = None,
+                 on_relocate: Optional[RelocationCallback] = None) -> None:
+        if blocks_per_allocation <= 0:
+            raise ValueError("blocks_per_allocation must be positive")
+        self.blocks_per_allocation = blocks_per_allocation
+        self._rng = make_rng(seed)
+        self._on_relocate = on_relocate
+        self._arena: List[Allocation] = []
+        self._by_handle: Dict[int, Allocation] = {}
+        self._next_handle = 0
+        self.relocations = 0
+
+    def __len__(self) -> int:
+        """Number of live allocations."""
+        return len(self._arena)
+
+    def allocate(self) -> Allocation:
+        """Create a new allocation at a uniformly random arena position."""
+        handle = self._next_handle
+        self._next_handle += 1
+        allocation = Allocation(handle=handle,
+                                num_blocks=self.blocks_per_allocation,
+                                position=len(self._arena))
+        position = self._rng.randrange(len(self._arena) + 1)
+        if position == len(self._arena):
+            self._arena.append(allocation)
+        else:
+            displaced = self._arena[position]
+            self._arena.append(displaced)
+            self._move(displaced, len(self._arena) - 1)
+            self._arena[position] = allocation
+            allocation.position = position
+        self._by_handle[handle] = allocation
+        return allocation
+
+    def free(self, allocation: Allocation) -> None:
+        """Release an allocation, filling its hole from the arena tail."""
+        stored = self._by_handle.pop(allocation.handle, None)
+        if stored is None:
+            raise ReproError("allocation %r is not live" % (allocation.handle,))
+        position = stored.position
+        last = self._arena.pop()
+        if last.handle != stored.handle:
+            self._arena[position] = last
+            self._move(last, position)
+
+    def position_of(self, handle: int) -> int:
+        """Current arena position of a live allocation."""
+        return self._by_handle[handle].position
+
+    def live_handles(self) -> List[int]:
+        """Handles of live allocations in arena order."""
+        return [allocation.handle for allocation in self._arena]
+
+    def layout(self) -> List[int]:
+        """The physical placement: handle stored at each arena position.
+
+        This is what a history-independence audit inspects.
+        """
+        return self.live_handles()
+
+    def _move(self, allocation: Allocation, new_position: int) -> None:
+        old_position = allocation.position
+        allocation.position = new_position
+        if old_position != new_position:
+            self.relocations += 1
+            if self._on_relocate is not None:
+                self._on_relocate(allocation, old_position, new_position)

@@ -1,0 +1,87 @@
+"""A simple addressable block device with transfer counting.
+
+The device stores blocks of ``block_size`` slots, each slot holding an
+arbitrary Python object (``None`` means empty).  It is used by structures that
+manage their own block layout explicitly — most prominently the classic
+B-tree baseline, where each tree node occupies one block — and by tests that
+want to exercise the DAM model end to end.
+
+Structures that only need cost accounting (not storage) use the lighter
+:class:`repro.memory.tracker.IOTracker` instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import CapacityError
+from repro.memory.stats import IOStats
+
+
+class BlockDevice:
+    """An unbounded array of blocks, each holding ``block_size`` object slots."""
+
+    def __init__(self, block_size: int) -> None:
+        if block_size <= 0:
+            raise ValueError("block_size must be positive, got %r" % (block_size,))
+        self.block_size = block_size
+        self._blocks: Dict[int, List[Optional[object]]] = {}
+        self._next_block = 0
+        self.stats = IOStats()
+
+    def __len__(self) -> int:
+        """Number of blocks ever allocated on the device."""
+        return self._next_block
+
+    def allocate_block(self) -> int:
+        """Allocate a fresh, zeroed block and return its address."""
+        address = self._next_block
+        self._next_block += 1
+        self._blocks[address] = [None] * self.block_size
+        return address
+
+    def allocate_blocks(self, count: int) -> List[int]:
+        """Allocate ``count`` fresh blocks and return their addresses."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return [self.allocate_block() for _ in range(count)]
+
+    def free_block(self, address: int) -> None:
+        """Release a block.  The address is never reused."""
+        self._require(address)
+        del self._blocks[address]
+
+    def read_block(self, address: int) -> List[Optional[object]]:
+        """Return a copy of the block's slots; counts one read I/O."""
+        self._require(address)
+        self.stats.reads += 1
+        return list(self._blocks[address])
+
+    def write_block(self, address: int, slots: List[Optional[object]]) -> None:
+        """Overwrite a block; counts one write I/O."""
+        self._require(address)
+        if len(slots) > self.block_size:
+            raise CapacityError(
+                "block %d holds %d slots, got %d values"
+                % (address, self.block_size, len(slots))
+            )
+        padded = list(slots) + [None] * (self.block_size - len(slots))
+        self.stats.writes += 1
+        self._blocks[address] = padded
+
+    def peek_block(self, address: int) -> List[Optional[object]]:
+        """Return the block contents *without* charging an I/O.
+
+        Used by the history-independence observer, which inspects the bit
+        representation of the structure rather than operating through its API.
+        """
+        self._require(address)
+        return list(self._blocks[address])
+
+    def live_addresses(self) -> List[int]:
+        """Addresses of blocks that are currently allocated, in address order."""
+        return sorted(self._blocks)
+
+    def _require(self, address: int) -> None:
+        if address not in self._blocks:
+            raise KeyError("block %r is not allocated" % (address,))

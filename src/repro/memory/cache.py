@@ -1,0 +1,65 @@
+"""Fully associative LRU cache of blocks for the DAM / cache-oblivious model.
+
+The cache holds block identifiers only — the library keeps payloads in Python
+objects — because its sole job is to decide whether a block touch is charged
+as an I/O (miss) or is free (hit).  ``capacity_blocks`` plays the role of
+``M / B`` in the model.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Optional
+
+
+class LRUCache:
+    """Track the ``capacity_blocks`` most recently used block identifiers."""
+
+    def __init__(self, capacity_blocks: int) -> None:
+        if capacity_blocks < 0:
+            raise ValueError("capacity_blocks must be non-negative")
+        self.capacity_blocks = capacity_blocks
+        self._entries: "OrderedDict[Hashable, None]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, block: Hashable) -> bool:
+        return block in self._entries
+
+    def access(self, block: Hashable) -> bool:
+        """Touch ``block``; return ``True`` on a hit, ``False`` on a miss.
+
+        A miss inserts the block, evicting the least recently used block when
+        the cache is full.  A cache of capacity zero always misses.
+        """
+        if self.capacity_blocks == 0:
+            self.misses += 1
+            return False
+        if block in self._entries:
+            self._entries.move_to_end(block)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._entries[block] = None
+        if len(self._entries) > self.capacity_blocks:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return False
+
+    def invalidate(self, block: Hashable) -> None:
+        """Drop ``block`` from the cache if present (e.g. after it is freed)."""
+        self._entries.pop(block, None)
+
+    def clear(self) -> None:
+        """Empty the cache without touching the hit/miss counters."""
+        self._entries.clear()
+
+    def least_recent(self) -> Optional[Hashable]:
+        """Return the block that would be evicted next, or ``None`` if empty."""
+        if not self._entries:
+            return None
+        return next(iter(self._entries))

@@ -1,0 +1,120 @@
+"""I/O and element-move counters shared by every structure in the library.
+
+The counters deliberately distinguish *reads* from *writes* and keep a
+separate tally of *element moves* (slot writes of user payload), because the
+paper's Figure 2 is stated in element moves while its theorems are stated in
+I/Os.  Structures update the counters through the tracker in
+:mod:`repro.memory.tracker`; benches and tests read them through
+:meth:`IOStats.snapshot` and :meth:`IOStats.delta`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class OperationIOSample:
+    """I/O and move counts attributed to a single logical operation."""
+
+    name: str
+    reads: int = 0
+    writes: int = 0
+    element_moves: int = 0
+
+    @property
+    def total_ios(self) -> int:
+        """Total block transfers (reads plus writes)."""
+        return self.reads + self.writes
+
+
+@dataclass
+class IOStats:
+    """Cumulative counters for a structure or a tracker.
+
+    Attributes
+    ----------
+    reads, writes:
+        Block transfers in each direction.
+    cache_hits:
+        Block touches absorbed by the simulated cache (not charged as I/Os).
+    element_moves:
+        Number of times a user element was written into an array slot.
+    operations:
+        Number of logical operations recorded via :meth:`record_operation`.
+    """
+
+    reads: int = 0
+    writes: int = 0
+    cache_hits: int = 0
+    element_moves: int = 0
+    operations: int = 0
+    per_operation: List[OperationIOSample] = field(default_factory=list)
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_ios(self) -> int:
+        """Total charged block transfers."""
+        return self.reads + self.writes
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        """Increment the named auxiliary counter (e.g. ``"rebuild.lottery"``)."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def record_operation(self, sample: OperationIOSample, keep_sample: bool = False) -> None:
+        """Fold a per-operation sample into the cumulative totals."""
+        self.operations += 1
+        if keep_sample:
+            self.per_operation.append(sample)
+
+    def snapshot(self) -> "IOStats":
+        """Return a copy of the cumulative counters (without per-op samples)."""
+        copy = IOStats(
+            reads=self.reads,
+            writes=self.writes,
+            cache_hits=self.cache_hits,
+            element_moves=self.element_moves,
+            operations=self.operations,
+        )
+        copy.counters = dict(self.counters)
+        return copy
+
+    def delta(self, earlier: "IOStats") -> "IOStats":
+        """Return the difference between this snapshot and an earlier one."""
+        diff = IOStats(
+            reads=self.reads - earlier.reads,
+            writes=self.writes - earlier.writes,
+            cache_hits=self.cache_hits - earlier.cache_hits,
+            element_moves=self.element_moves - earlier.element_moves,
+            operations=self.operations - earlier.operations,
+        )
+        keys = set(self.counters) | set(earlier.counters)
+        diff.counters = {
+            key: self.counters.get(key, 0) - earlier.counters.get(key, 0)
+            for key in keys
+        }
+        return diff
+
+    def reset(self) -> None:
+        """Zero every counter in place."""
+        self.reads = 0
+        self.writes = 0
+        self.cache_hits = 0
+        self.element_moves = 0
+        self.operations = 0
+        self.per_operation = []
+        self.counters = {}
+
+    def as_dict(self) -> Dict[str, int]:
+        """Return the scalar counters as a plain dictionary (for reporting)."""
+        result = {
+            "reads": self.reads,
+            "writes": self.writes,
+            "total_ios": self.total_ios,
+            "cache_hits": self.cache_hits,
+            "element_moves": self.element_moves,
+            "operations": self.operations,
+        }
+        result.update(self.counters)
+        return result

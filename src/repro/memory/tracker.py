@@ -1,0 +1,129 @@
+"""Block-granular I/O accounting for slot-addressed structures.
+
+Structures like the packed-memory arrays and the skip lists keep their data in
+logical arrays of slots.  To charge I/Os in the DAM model they declare which
+slot ranges of which arrays they touch; the tracker maps those touches onto
+blocks of ``block_size`` slots and charges one transfer per distinct block not
+already resident in the (optional) LRU cache.
+
+A single tracker can serve several arrays: blocks are keyed by
+``(array_name, block_index)`` so arrays never share blocks, matching the usual
+assumption that separately allocated regions do not straddle block boundaries.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Hashable, Iterator, Optional, Tuple
+
+from repro.memory.cache import LRUCache
+from repro.memory.stats import IOStats, OperationIOSample
+
+BlockKey = Tuple[Hashable, int]
+
+
+class IOTracker:
+    """Convert slot-range touches into DAM-model I/O counts."""
+
+    def __init__(self, block_size: int, cache_blocks: int = 0) -> None:
+        if block_size <= 0:
+            raise ValueError("block_size must be positive, got %r" % (block_size,))
+        self.block_size = block_size
+        self.cache: Optional[LRUCache] = (
+            LRUCache(cache_blocks) if cache_blocks > 0 else None
+        )
+        self.stats = IOStats()
+        self._current: Optional[OperationIOSample] = None
+
+    # ------------------------------------------------------------------ #
+    # Touch API used by data structures
+    # ------------------------------------------------------------------ #
+
+    def touch_slot(self, array: Hashable, index: int, write: bool = False) -> int:
+        """Touch a single slot; returns the number of I/Os charged (0 or 1)."""
+        return self.touch_range(array, index, index + 1, write=write)
+
+    def touch_range(self, array: Hashable, start: int, stop: int,
+                    write: bool = False) -> int:
+        """Touch slots ``start:stop`` of ``array``; return I/Os charged.
+
+        A contiguous range of ``k`` slots touches ``ceil(k / B)`` blocks (plus
+        at most one for misalignment), which is exactly how the paper accounts
+        for scans.
+        """
+        if stop <= start:
+            return 0
+        first_block = start // self.block_size
+        last_block = (stop - 1) // self.block_size
+        charged = 0
+        for block_index in range(first_block, last_block + 1):
+            charged += self._touch_block((array, block_index), write=write)
+        return charged
+
+    def touch_block(self, array: Hashable, block_index: int,
+                    write: bool = False) -> int:
+        """Touch one whole block directly (used by block-structured layouts)."""
+        return self._touch_block((array, block_index), write=write)
+
+    def record_moves(self, count: int) -> None:
+        """Record ``count`` element moves (slot writes of user payload)."""
+        self.stats.element_moves += count
+        if self._current is not None:
+            self._current.element_moves += count
+
+    def invalidate_array(self, array: Hashable, num_slots: int) -> None:
+        """Drop an array's blocks from the cache (after it is freed/resized)."""
+        if self.cache is None:
+            return
+        last_block = max(0, (num_slots - 1) // self.block_size)
+        for block_index in range(last_block + 1):
+            self.cache.invalidate((array, block_index))
+
+    # ------------------------------------------------------------------ #
+    # Measurement API used by benches and tests
+    # ------------------------------------------------------------------ #
+
+    @contextmanager
+    def operation(self, name: str, keep_sample: bool = False
+                  ) -> Iterator[OperationIOSample]:
+        """Attribute all touches inside the ``with`` block to one operation."""
+        previous = self._current
+        sample = OperationIOSample(name=name)
+        self._current = sample
+        try:
+            yield sample
+        finally:
+            self._current = previous
+            self.stats.record_operation(sample, keep_sample=keep_sample)
+            if previous is not None:
+                previous.reads += sample.reads
+                previous.writes += sample.writes
+                previous.element_moves += sample.element_moves
+
+    def snapshot(self) -> IOStats:
+        """Return a copy of the cumulative counters."""
+        return self.stats.snapshot()
+
+    def reset(self) -> None:
+        """Zero the counters and empty the cache."""
+        self.stats.reset()
+        if self.cache is not None:
+            self.cache.clear()
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _touch_block(self, key: BlockKey, write: bool) -> int:
+        if self.cache is not None and self.cache.access(key):
+            self.stats.cache_hits += 1
+            return 0
+        if write:
+            self.stats.writes += 1
+            if self._current is not None:
+                self._current.writes += 1
+        else:
+            self.stats.reads += 1
+            if self._current is not None:
+                self._current.reads += 1
+        return 1

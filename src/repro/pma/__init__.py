@@ -1,0 +1,13 @@
+"""Packed-memory-array interfaces and the non-history-independent baseline.
+
+The history-independent PMA itself lives in :mod:`repro.core.hi_pma`; this
+package holds the abstract rank-addressed interface shared by both PMAs and
+the classic density-threshold PMA used as the comparison baseline in the
+paper's experiments (Figure 2).
+"""
+
+from repro.pma.base import RankedSequence
+from repro.pma.classic import ClassicPMA
+from repro.pma.adaptive import AdaptivePMA, InsertPredictor
+
+__all__ = ["RankedSequence", "ClassicPMA", "AdaptivePMA", "InsertPredictor"]

@@ -1,0 +1,184 @@
+"""An adaptive packed-memory array (Bender and Hu) — the other PMA baseline.
+
+The adaptive PMA [Bender & Hu, *An adaptive packed-memory array*, TODS 2007 —
+reference 18 of the paper] improves on the classic PMA for non-uniform insert
+patterns: instead of spreading elements *evenly* during a rebalance, it
+predicts where the next insertions will land (from where the recent ones
+landed) and reserves extra gaps there, so sequential or clustered ingest
+triggers far fewer rebalances.
+
+This implementation keeps the classic PMA's window/density machinery
+(:class:`repro.pma.classic.ClassicPMA`) and replaces the rebalance's
+spreading rule:
+
+* a small **predictor** tracks the most recently inserted elements ("marker"
+  elements) with exponentially decaying hit counts, and
+* when a window is rewritten, every element gets a weight of 1 plus a boost
+  proportional to its marker count; elements are placed at the *middle* of
+  their weight bucket, so the reserved slack straddles the marker — the next
+  insert of an ascending run lands just after it, of a descending
+  (front-hammering) run just before it, and either way finds room without
+  triggering another rebalance.
+
+Why it is here: the adaptive PMA is the strongest non-HI sparse-table
+baseline for the skewed workloads in ``repro.workloads.patterns``, and it is
+also the *most* history-dependent of the PMAs (its layout literally encodes a
+prediction of the future derived from the past), which makes it the sharpest
+negative control for the history-independence audits and observer attacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional
+
+from repro.errors import ConfigurationError, InvariantViolation
+from repro.memory.tracker import IOTracker
+from repro.pma.classic import ClassicPMA, DensityThresholds
+
+
+@dataclass
+class _Marker:
+    """Bookkeeping for one predicted insertion hot spot."""
+
+    hits: float
+    last_seen: int
+
+
+class InsertPredictor:
+    """Tracks recent insertion neighbourhoods with decaying counts.
+
+    The predictor remembers up to ``max_markers`` recently inserted elements.
+    Every new insertion adds (or refreshes) a marker with one hit and decays
+    all other markers by ``decay``; markers whose weight falls below a small
+    threshold are evicted, as is the stalest marker when the table is full.
+    """
+
+    def __init__(self, max_markers: int = 16, decay: float = 0.9) -> None:
+        if max_markers < 1:
+            raise ConfigurationError("max_markers must be at least 1")
+        if not 0.0 < decay <= 1.0:
+            raise ConfigurationError("decay must be in (0, 1]")
+        self.max_markers = max_markers
+        self.decay = decay
+        self._markers: Dict[object, _Marker] = {}
+        self._clock = 0
+
+    def __len__(self) -> int:
+        return len(self._markers)
+
+    def record(self, item: object) -> None:
+        """Register that ``item`` was just inserted."""
+        self._clock += 1
+        for key in list(self._markers):
+            marker = self._markers[key]
+            marker.hits *= self.decay
+            if marker.hits < 0.05:
+                del self._markers[key]
+        try:
+            existing = self._markers.get(item)
+        except TypeError:  # unhashable payloads simply are not tracked
+            return
+        if existing is not None:
+            existing.hits += 1.0
+            existing.last_seen = self._clock
+        else:
+            if len(self._markers) >= self.max_markers:
+                stalest = min(self._markers, key=lambda key: self._markers[key].last_seen)
+                del self._markers[stalest]
+            self._markers[item] = _Marker(hits=1.0, last_seen=self._clock)
+
+    def boost(self, item: object) -> float:
+        """Extra gap weight reserved just before ``item`` (0 for non-markers)."""
+        try:
+            marker = self._markers.get(item)
+        except TypeError:
+            return 0.0
+        return 0.0 if marker is None else marker.hits
+
+    def markers(self) -> Dict[object, float]:
+        """Current marker elements and their hit counts (for tests/inspection)."""
+        return {key: marker.hits for key, marker in self._markers.items()}
+
+
+class AdaptivePMA(ClassicPMA):
+    """A packed-memory array with predictor-guided (uneven) rebalances.
+
+    Parameters
+    ----------
+    thresholds, tracker, array_name:
+        As for :class:`repro.pma.classic.ClassicPMA`.
+    max_markers, decay:
+        Predictor size and decay rate; see :class:`InsertPredictor`.
+    marker_boost:
+        Gap weight reserved per predictor hit.  0 disables adaptivity (the
+        structure then behaves exactly like the classic PMA), larger values
+        reserve more slack at the predicted hot spots.
+    """
+
+    SLOTS_ARRAY = "adaptive-pma-slots"
+
+    def __init__(self, thresholds: Optional[DensityThresholds] = None,
+                 tracker: Optional[IOTracker] = None,
+                 array_name: Hashable = SLOTS_ARRAY,
+                 max_markers: int = 16,
+                 decay: float = 0.9,
+                 marker_boost: float = 4.0) -> None:
+        if marker_boost < 0:
+            raise ConfigurationError("marker_boost must be non-negative")
+        self.predictor = InsertPredictor(max_markers=max_markers, decay=decay)
+        self.marker_boost = marker_boost
+        super().__init__(thresholds=thresholds, tracker=tracker,
+                         array_name=array_name)
+
+    # ------------------------------------------------------------------ #
+    # Updates
+    # ------------------------------------------------------------------ #
+
+    def insert(self, rank: int, item: object) -> None:
+        """Insert ``item`` at ``rank`` and feed the predictor."""
+        self.predictor.record(item)
+        super().insert(rank, item)
+
+    # ------------------------------------------------------------------ #
+    # Uneven spreading
+    # ------------------------------------------------------------------ #
+
+    def _write_window(self, first_segment: int, last_segment: int,
+                      items: List[object]) -> None:
+        """Spread ``items`` across the window proportionally to predictor weights."""
+        start = first_segment * self._segment_size
+        stop = (last_segment + 1) * self._segment_size
+        window_slots = stop - start
+        count = len(items)
+        if count > window_slots:
+            raise InvariantViolation("window overflow during adaptive rebalance")
+        self._touch(start, stop, write=True)
+        self._slots[start:stop] = [None] * window_slots
+        if count:
+            weights = [1.0 + self.marker_boost * self.predictor.boost(item)
+                       for item in items]
+            total = sum(weights)
+            cumulative = 0.0
+            previous_slot = -1
+            for index, item in enumerate(items):
+                # Each element sits at the middle of its weight bucket, so its
+                # reserved slack straddles it: front-hammering runs find room
+                # just before the marker, ascending runs just after it.
+                offset = int((cumulative + weights[index] / 2.0)
+                             * window_slots / total)
+                cumulative += weights[index]
+                offset = max(offset, previous_slot + 1)
+                offset = min(offset, window_slots - (count - index))
+                self._slots[start + offset] = item
+                previous_slot = offset
+        self.stats.element_moves += count
+        if self._tracker is not None:
+            self._tracker.record_moves(count)
+        self.stats.bump("adaptive.uneven_rebalance")
+        for segment in range(first_segment, last_segment + 1):
+            seg_start = segment * self._segment_size
+            seg_stop = seg_start + self._segment_size
+            occupied = sum(1 for slot in range(seg_start, seg_stop)
+                           if self._slots[slot] is not None)
+            self._segment_counts.set(segment, occupied)

@@ -1,0 +1,68 @@
+"""Abstract interface shared by the rank-addressed sparse tables.
+
+Both :class:`repro.core.hi_pma.HistoryIndependentPMA` and
+:class:`repro.pma.classic.ClassicPMA` expose the same rank-addressed API
+(``Insert(i, x)``, ``Delete(i)``, ``Query(i, j)`` from Section 3 of the
+paper), so benches and examples can swap one for the other.  The interface is
+captured here as an abstract base class used for documentation, isinstance
+checks, and shared convenience methods.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator, List, Sequence
+
+
+class RankedSequence(abc.ABC):
+    """A dynamic sequence addressed by rank, stored in a sparse array."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of stored elements."""
+
+    @abc.abstractmethod
+    def insert(self, rank: int, item: object) -> None:
+        """Insert ``item`` so that it becomes the element of rank ``rank``."""
+
+    @abc.abstractmethod
+    def delete(self, rank: int) -> object:
+        """Remove and return the element of rank ``rank``."""
+
+    @abc.abstractmethod
+    def get(self, rank: int) -> object:
+        """Return the element of rank ``rank``."""
+
+    @abc.abstractmethod
+    def query(self, first: int, last: int) -> List[object]:
+        """Return elements with ranks ``first..last`` inclusive."""
+
+    @abc.abstractmethod
+    def slots(self) -> Sequence[object]:
+        """The backing slot array, with ``None`` marking gaps."""
+
+    def append(self, item: object) -> None:
+        """Insert ``item`` after the current last element."""
+        self.insert(len(self), item)
+
+    def extend(self, items: Sequence[object]) -> None:
+        """Append every item of ``items`` in order."""
+        for item in items:
+            self.append(item)
+
+    def to_list(self) -> List[object]:
+        """All elements in rank order."""
+        return [value for value in self.slots() if value is not None]
+
+    def __iter__(self) -> Iterator[object]:
+        return iter(self.to_list())
+
+
+# Register the HI PMA as a virtual subclass lazily to avoid an import cycle.
+def _register_hi_pma() -> None:
+    from repro.core.hi_pma import HistoryIndependentPMA
+
+    RankedSequence.register(HistoryIndependentPMA)
+
+
+_register_hi_pma()

@@ -1,0 +1,391 @@
+"""The classic (non-history-independent) packed-memory array baseline.
+
+This is the standard density-threshold PMA of Itai, Konheim and Rodeh /
+Bender, Demaine and Farach-Colton, which the paper compares against in its
+experiments (Figure 2): the array is divided into ``Θ(log N)``-sized
+segments; an implicit binary tree of windows sits above the segments; every
+window has a depth-dependent density range, tighter near the root; an update
+rebalances the smallest enclosing window whose density is within bounds, and
+the whole array grows or shrinks when even the root violates its bounds.
+
+The layout of a classic PMA depends heavily on the operation history — which
+is exactly the behaviour the history-independent PMA removes — so this class
+is also the "history-dependent control" used by the history-independence
+audits in :mod:`repro.history`.
+
+Costs: ``O(log² N)`` amortized element moves per update, ``O(1 + k/B)`` I/Os
+for a range query of ``k`` elements.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Hashable, Iterator, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, InvariantViolation, RankError
+from repro.memory.stats import IOStats
+from repro.memory.tracker import IOTracker
+from repro.pma.base import RankedSequence
+from repro.pma.fenwick import FenwickTree
+
+
+@dataclass(frozen=True)
+class DensityThresholds:
+    """Depth-interpolated density bounds of the classic PMA.
+
+    ``max_root``/``max_leaf`` bound how *full* a window may be, ``min_root``/
+    ``min_leaf`` bound how *empty* it may be; thresholds are linearly
+    interpolated in the window's depth.  The defaults are the customary
+    values from the PMA literature.
+    """
+
+    min_leaf: float = 0.08
+    min_root: float = 0.30
+    max_root: float = 0.70
+    max_leaf: float = 0.92
+
+    def __post_init__(self) -> None:
+        ordered = (0.0 <= self.min_leaf <= self.min_root
+                   < self.max_root <= self.max_leaf <= 1.0)
+        if not ordered:
+            raise ConfigurationError("density thresholds must satisfy "
+                                     "0 <= min_leaf <= min_root < max_root <= max_leaf <= 1")
+
+    def max_at(self, depth: int, height: int) -> float:
+        """Upper density bound for a window at ``depth`` (root is depth 0)."""
+        if height == 0:
+            return self.max_leaf
+        fraction = depth / height
+        return self.max_root + (self.max_leaf - self.max_root) * fraction
+
+    def min_at(self, depth: int, height: int) -> float:
+        """Lower density bound for a window at ``depth`` (root is depth 0)."""
+        if height == 0:
+            return self.min_leaf
+        fraction = depth / height
+        return self.min_root - (self.min_root - self.min_leaf) * fraction
+
+
+class ClassicPMA(RankedSequence):
+    """Density-threshold packed-memory array (the non-HI baseline)."""
+
+    SLOTS_ARRAY = "classic-pma-slots"
+
+    def __init__(self, thresholds: Optional[DensityThresholds] = None,
+                 tracker: Optional[IOTracker] = None,
+                 array_name: Hashable = SLOTS_ARRAY) -> None:
+        self.thresholds = thresholds or DensityThresholds()
+        self._tracker = tracker
+        self._array_name = array_name
+        self.stats = IOStats()
+        self._count = 0
+        self._segment_size = 0
+        self._num_segments = 0
+        self._height = 0
+        self._slots: List[Optional[object]] = []
+        self._segment_counts = FenwickTree(1)
+        self._rebuild([])
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __iter__(self) -> Iterator[object]:
+        for value in self._slots:
+            if value is not None:
+                yield value
+
+    @property
+    def capacity(self) -> int:
+        """Total number of slots."""
+        return len(self._slots)
+
+    @property
+    def segment_size(self) -> int:
+        """Number of slots per segment."""
+        return self._segment_size
+
+    @property
+    def num_segments(self) -> int:
+        """Number of segments."""
+        return self._num_segments
+
+    def slots(self) -> Tuple[Optional[object], ...]:
+        """A copy of the backing slot array (``None`` marks a gap)."""
+        return tuple(self._slots)
+
+    def memory_representation(self) -> Tuple[object, ...]:
+        """The physical layout inspected by history-independence audits."""
+        return (("slots", tuple(self._slots)),)
+
+    def to_list(self) -> List[object]:
+        """All elements in rank order."""
+        return [value for value in self._slots if value is not None]
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def get(self, rank: int) -> object:
+        """Return the element of rank ``rank`` (0-indexed)."""
+        self._check_rank(rank, upper=self._count - 1)
+        slot = self._slot_of_rank(rank)
+        self._touch(slot, slot + 1, write=False)
+        return self._slots[slot]
+
+    def query(self, first: int, last: int) -> List[object]:
+        """Return elements with ranks ``first..last`` inclusive (0-indexed)."""
+        if self._count == 0:
+            raise RankError("query on an empty PMA")
+        self._check_rank(first, upper=self._count - 1)
+        self._check_rank(last, upper=self._count - 1)
+        if last < first:
+            raise RankError("query range [%d, %d] is inverted" % (first, last))
+        slot = self._slot_of_rank(first)
+        wanted = last - first + 1
+        result: List[object] = []
+        scan = slot
+        while len(result) < wanted and scan < len(self._slots):
+            value = self._slots[scan]
+            if value is not None:
+                result.append(value)
+            scan += 1
+        self._touch(slot, scan, write=False)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Updates
+    # ------------------------------------------------------------------ #
+
+    def insert(self, rank: int, item: object) -> None:
+        """Insert ``item`` so that it becomes the element of rank ``rank``."""
+        if item is None:
+            raise ValueError("the PMA uses None to mark gaps; store a wrapper instead")
+        self._check_rank(rank, upper=self._count)
+        self.stats.operations += 1
+        segment, within = self._locate_for_insert(rank)
+        window_first, window_last = self._find_insert_window(segment)
+        if window_first is None:
+            # Even the root window is too dense: grow the array.
+            items = self.to_list()
+            items.insert(rank, item)
+            self._count += 1
+            self.stats.bump("classic.grow")
+            self._rebuild(items)
+            return
+        self._count += 1
+        self._rebalance_window(window_first, window_last,
+                               insert=(segment, within, item))
+
+    def delete(self, rank: int) -> object:
+        """Delete and return the element of rank ``rank``."""
+        if self._count == 0:
+            raise RankError("delete on an empty PMA")
+        self._check_rank(rank, upper=self._count - 1)
+        self.stats.operations += 1
+        segment, within = self._segment_counts.find_by_rank(rank + 1)
+        removed = self._peek_segment_element(segment, within)
+        window_first, window_last = self._find_delete_window(segment)
+        if window_first is None:
+            items = self.to_list()
+            items.pop(rank)
+            self._count -= 1
+            self.stats.bump("classic.shrink")
+            self._rebuild(items)
+            return removed
+        self._count -= 1
+        self._rebalance_window(window_first, window_last,
+                               delete=(segment, within))
+        return removed
+
+    # ------------------------------------------------------------------ #
+    # Window selection
+    # ------------------------------------------------------------------ #
+
+    def _find_insert_window(self, segment: int) -> Tuple[Optional[int], Optional[int]]:
+        """Smallest window containing ``segment`` that stays under its max density."""
+        window_segments = 1
+        while window_segments <= self._num_segments:
+            first = (segment // window_segments) * window_segments
+            last = first + window_segments - 1
+            depth = self._height - int(math.log2(window_segments))
+            elements = self._segment_counts.range_sum(first, last) + 1
+            slots = window_segments * self._segment_size
+            if elements <= self.thresholds.max_at(depth, self._height) * slots:
+                return first, last
+            window_segments *= 2
+        return None, None
+
+    def _find_delete_window(self, segment: int) -> Tuple[Optional[int], Optional[int]]:
+        """Smallest window containing ``segment`` that stays above its min density."""
+        window_segments = 1
+        while window_segments <= self._num_segments:
+            first = (segment // window_segments) * window_segments
+            last = first + window_segments - 1
+            depth = self._height - int(math.log2(window_segments))
+            elements = self._segment_counts.range_sum(first, last) - 1
+            slots = window_segments * self._segment_size
+            if elements >= self.thresholds.min_at(depth, self._height) * slots:
+                return first, last
+            window_segments *= 2
+        return None, None
+
+    # ------------------------------------------------------------------ #
+    # Rebalancing
+    # ------------------------------------------------------------------ #
+
+    def _rebalance_window(self, first_segment: int, last_segment: int,
+                          insert: Optional[Tuple[int, int, object]] = None,
+                          delete: Optional[Tuple[int, int]] = None) -> None:
+        """Gather a window's elements, apply the pending update, spread evenly."""
+        start = first_segment * self._segment_size
+        stop = (last_segment + 1) * self._segment_size
+        self._touch(start, stop, write=False)
+        items: List[object] = []
+        pending_insert_position = None
+        if insert is not None:
+            segment, within, _item = insert
+            before = self._segment_counts.range_sum(first_segment, segment - 1)
+            pending_insert_position = before + within - 1
+        if delete is not None:
+            segment, within = delete
+            before = self._segment_counts.range_sum(first_segment, segment - 1)
+            delete_position = before + within - 1
+        for slot in range(start, stop):
+            value = self._slots[slot]
+            if value is not None:
+                items.append(value)
+        if insert is not None:
+            items.insert(pending_insert_position, insert[2])
+        if delete is not None:
+            items.pop(delete_position)
+        self._write_window(first_segment, last_segment, items)
+        self.stats.bump("classic.rebalance")
+
+    def _write_window(self, first_segment: int, last_segment: int,
+                      items: List[object]) -> None:
+        start = first_segment * self._segment_size
+        stop = (last_segment + 1) * self._segment_size
+        window_slots = stop - start
+        if len(items) > window_slots:
+            raise InvariantViolation("window overflow during rebalance")
+        self._touch(start, stop, write=True)
+        self._slots[start:stop] = [None] * window_slots
+        count = len(items)
+        for index, item in enumerate(items):
+            offset = (index * window_slots) // count
+            self._slots[start + offset] = item
+        self.stats.element_moves += count
+        if self._tracker is not None:
+            self._tracker.record_moves(count)
+        # Refresh the per-segment counts for the rewritten window.
+        for segment in range(first_segment, last_segment + 1):
+            seg_start = segment * self._segment_size
+            seg_stop = seg_start + self._segment_size
+            occupied = sum(1 for slot in range(seg_start, seg_stop)
+                           if self._slots[slot] is not None)
+            self._segment_counts.set(segment, occupied)
+
+    def _rebuild(self, items: List[object]) -> None:
+        """Resize the array for ``len(items)`` elements and spread them evenly."""
+        self._count = len(items)
+        capacity = self._choose_capacity(self._count)
+        self._segment_size = self._choose_segment_size(capacity)
+        self._num_segments = max(1, capacity // self._segment_size)
+        self._height = int(math.log2(self._num_segments))
+        self._slots = [None] * (self._num_segments * self._segment_size)
+        self._segment_counts = FenwickTree(self._num_segments)
+        if self._tracker is not None:
+            self._tracker.invalidate_array(self._array_name, max(1, len(self._slots)))
+        self.stats.bump("classic.rebuild")
+        if items:
+            self._write_window(0, self._num_segments - 1, items)
+
+    @staticmethod
+    def _choose_capacity(count: int) -> int:
+        """Power-of-two capacity giving roughly 50% occupancy."""
+        needed = max(8, 2 * count)
+        return 1 << math.ceil(math.log2(needed))
+
+    @staticmethod
+    def _choose_segment_size(capacity: int) -> int:
+        """Power-of-two segment size of roughly ``log2(capacity)`` slots."""
+        target = max(2, math.ceil(math.log2(capacity)))
+        return 1 << math.ceil(math.log2(target))
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+
+    def _locate_for_insert(self, rank: int) -> Tuple[int, int]:
+        """Segment and 1-indexed within-segment position for inserting at ``rank``."""
+        if self._count == 0:
+            return 0, 1
+        if rank == self._count:
+            # Append: goes after the last element of the last non-empty segment.
+            segment, within = self._segment_counts.find_by_rank(self._count)
+            return segment, within + 1
+        segment, within = self._segment_counts.find_by_rank(rank + 1)
+        return segment, within
+
+    def _peek_segment_element(self, segment: int, within: int) -> object:
+        start = segment * self._segment_size
+        stop = start + self._segment_size
+        seen = 0
+        for slot in range(start, stop):
+            value = self._slots[slot]
+            if value is not None:
+                seen += 1
+                if seen == within:
+                    return value
+        raise InvariantViolation("segment %d has fewer than %d elements"
+                                 % (segment, within))
+
+    def _slot_of_rank(self, rank: int) -> int:
+        segment, within = self._segment_counts.find_by_rank(rank + 1)
+        start = segment * self._segment_size
+        stop = start + self._segment_size
+        seen = 0
+        for slot in range(start, stop):
+            if self._slots[slot] is not None:
+                seen += 1
+                if seen == within:
+                    return slot
+        raise InvariantViolation("rank %d not found in segment %d" % (rank, segment))
+
+    def _touch(self, start: int, stop: int, write: bool) -> None:
+        if self._tracker is not None:
+            self._tracker.touch_range(self._array_name, start, stop, write=write)
+
+    def _check_rank(self, rank: int, upper: int) -> None:
+        if not isinstance(rank, int):
+            raise RankError("rank must be an integer, got %r" % (rank,))
+        if not 0 <= rank <= upper:
+            raise RankError("rank %d out of range 0..%d" % (rank, upper))
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+
+    def check(self) -> None:
+        """Verify internal consistency; raises :class:`InvariantViolation`."""
+        stored = sum(1 for value in self._slots if value is not None)
+        if stored != self._count:
+            raise InvariantViolation("slot array holds %d elements, expected %d"
+                                     % (stored, self._count))
+        if self._segment_counts.total() != self._count:
+            raise InvariantViolation("segment counts sum to %d, expected %d"
+                                     % (self._segment_counts.total(), self._count))
+        for segment in range(self._num_segments):
+            start = segment * self._segment_size
+            stop = start + self._segment_size
+            occupied = sum(1 for slot in range(start, stop)
+                           if self._slots[slot] is not None)
+            if occupied != self._segment_counts.value(segment):
+                raise InvariantViolation(
+                    "segment %d holds %d elements but the count tree says %d"
+                    % (segment, occupied, self._segment_counts.value(segment)))

@@ -1,0 +1,100 @@
+"""A Fenwick (binary indexed) tree over per-segment element counts.
+
+The classic PMA baseline needs to translate a global rank into (segment,
+within-segment rank) and to keep those counts up to date as rebalances move
+elements between segments.  A Fenwick tree gives prefix sums and updates in
+``O(log n)`` and supports the prefix-search needed for rank lookups.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import RankError
+
+
+class FenwickTree:
+    """Prefix sums over a fixed-length array of non-negative integers."""
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise ValueError("size must be positive, got %r" % (size,))
+        self._size = size
+        self._tree: List[int] = [0] * (size + 1)
+        self._values: List[int] = [0] * size
+
+    def __len__(self) -> int:
+        return self._size
+
+    @classmethod
+    def from_values(cls, values: Sequence[int]) -> "FenwickTree":
+        """Build a tree initialised with ``values``."""
+        tree = cls(len(values))
+        for index, value in enumerate(values):
+            tree.set(index, value)
+        return tree
+
+    def value(self, index: int) -> int:
+        """Current value at ``index``."""
+        return self._values[index]
+
+    def values(self) -> List[int]:
+        """All current values."""
+        return list(self._values)
+
+    def add(self, index: int, delta: int) -> None:
+        """Add ``delta`` to the value at ``index``."""
+        if not 0 <= index < self._size:
+            raise IndexError("index %r out of range" % (index,))
+        self._values[index] += delta
+        position = index + 1
+        while position <= self._size:
+            self._tree[position] += delta
+            position += position & (-position)
+
+    def set(self, index: int, value: int) -> None:
+        """Overwrite the value at ``index``."""
+        self.add(index, value - self._values[index])
+
+    def prefix_sum(self, count: int) -> int:
+        """Sum of the first ``count`` values."""
+        if not 0 <= count <= self._size:
+            raise IndexError("count %r out of range" % (count,))
+        total = 0
+        position = count
+        while position > 0:
+            total += self._tree[position]
+            position -= position & (-position)
+        return total
+
+    def total(self) -> int:
+        """Sum of all values."""
+        return self.prefix_sum(self._size)
+
+    def range_sum(self, first: int, last: int) -> int:
+        """Sum of values at indices ``first..last`` inclusive."""
+        if last < first:
+            return 0
+        return self.prefix_sum(last + 1) - self.prefix_sum(first)
+
+    def find_by_rank(self, rank: int) -> Tuple[int, int]:
+        """Locate the bucket containing the element of 1-indexed ``rank``.
+
+        Returns ``(index, within_rank)`` where ``within_rank`` is 1-indexed
+        within the bucket.  Runs in ``O(log n)``.
+        """
+        total = self.total()
+        if not 1 <= rank <= total:
+            raise RankError("rank %r out of range 1..%d" % (rank, total))
+        index = 0
+        remaining = rank
+        bit = 1
+        while bit * 2 <= self._size:
+            bit *= 2
+        while bit > 0:
+            candidate = index + bit
+            if candidate <= self._size and self._tree[candidate] < remaining:
+                index = candidate
+                remaining -= self._tree[candidate]
+            bit //= 2
+        return index, remaining

@@ -1,0 +1,32 @@
+"""Skip lists: in-memory, folklore external-memory, and history-independent.
+
+Three related structures from Section 6 of the paper:
+
+* :class:`~repro.skiplist.memory.MemorySkipList` — Pugh's classic skip list
+  (promotion probability 1/2).  Running it directly on disk costs
+  ``Θ(log N)`` I/Os per search, which is the baseline the external variants
+  are measured against.
+* :class:`~repro.skiplist.folklore.FolkloreBSkipList` — the folklore external
+  skip list that promotes with probability ``1/B``.  Its *expected* search
+  cost is ``O(log_B N)`` I/Os, but Lemma 15 shows that with high probability
+  ``Ω(√(NB))`` of its elements cost ``Ω(log(N/B))`` I/Os to search.
+* :class:`~repro.skiplist.external.HistoryIndependentSkipList` — the paper's
+  history-independent external-memory skip list (Theorem 3): promotion
+  probability ``1/B^γ`` with ``γ = (1+ε)/2``, leaf arrays packed into leaf
+  nodes delimited by twice-promoted elements, and WHI leaf-array sizing
+  (Invariant 16).  Searches and updates cost ``O(log_B N)`` I/Os with high
+  probability and range queries cost ``O(logB N / ε + k/B)`` I/Os.
+"""
+
+from repro.skiplist.memory import MemorySkipList
+from repro.skiplist.folklore import FolkloreBSkipList
+from repro.skiplist.external import HistoryIndependentSkipList
+from repro.skiplist.leaf import LeafArray, LeafNode
+
+__all__ = [
+    "MemorySkipList",
+    "FolkloreBSkipList",
+    "HistoryIndependentSkipList",
+    "LeafArray",
+    "LeafNode",
+]

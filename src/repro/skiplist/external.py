@@ -1,0 +1,372 @@
+"""The history-independent external-memory skip list (Section 6, Theorem 3).
+
+The structure keeps the folklore B-skip list's shape but changes two things
+so that its bounds hold *with high probability* and its representation is
+weakly history independent:
+
+* the promotion probability is ``1/B^γ`` with ``γ = (1 + ε)/2`` instead of
+  ``1/B``, which caps every array at ``O(B^γ log N)`` elements whp, so a
+  search never scans more than ``O(log_B N)`` blocks;
+* at the leaf level, the arrays (runs delimited by once-promoted elements)
+  are packed into *leaf nodes* delimited by twice-promoted elements, and each
+  leaf array keeps history-independently sized gaps (Invariant 16), so range
+  queries still read ``Θ(B)`` useful keys per block and inserts only rewrite
+  a whole node when a WHI resize triggers.
+
+Costs (Theorem 3): searches ``O(log_B N)`` I/Os whp; inserts and deletes
+``O(log_B N)`` amortized I/Os whp with an ``O(B^ε log N)`` worst case; range
+queries returning ``k`` keys ``O(logB N / ε + k/B)`` I/Os whp; ``O(N)``
+space.
+
+History independence follows because every piece of the representation is a
+function of the key set and fresh randomness only: per-key levels are
+independent coin flips, keys within arrays are sorted, array capacities
+follow Invariant 16, and arrays/nodes are delimited purely by the (random)
+levels.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro._rng import RandomLike, geometric_level, make_rng, spawn_rng
+from repro.core.sizing import WHICapacityRule
+from repro.errors import (ConfigurationError, DuplicateKey, InvariantViolation,
+                          KeyNotFound)
+from repro.memory.stats import IOStats
+from repro.skiplist.leaf import LeafArray, LeafNode
+from repro.skiplist.levels import FRONT, SkipListLevels
+
+
+class HistoryIndependentSkipList:
+    """Weakly history-independent external-memory skip list.
+
+    Parameters
+    ----------
+    block_size:
+        The DAM block size ``B`` (in keys per block).
+    epsilon:
+        The trade-off parameter ``ε > 0`` of Theorem 3; the promotion
+        probability is ``1/B^γ`` with ``γ = (1 + ε)/2``.  Smaller ``ε`` means
+        cheaper worst-case inserts but more expensive medium-size range
+        queries.  The theory requires ``γ ≤ 1 − log log B / log B``; values
+        above that are accepted (the ablation bench sweeps them) but the
+        search bound degrades.
+    seed:
+        Seed or ``random.Random`` driving promotions and capacity draws.
+    """
+
+    def __init__(self, block_size: int = 64, epsilon: float = 0.1,
+                 seed: RandomLike = None, max_level: int = 16) -> None:
+        if block_size < 2:
+            raise ConfigurationError("block_size must be at least 2, got %r"
+                                     % (block_size,))
+        if not 0.0 < epsilon < 1.0:
+            raise ConfigurationError("epsilon must be in (0, 1), got %r"
+                                     % (epsilon,))
+        self.block_size = block_size
+        self.epsilon = epsilon
+        self.gamma = (1.0 + epsilon) / 2.0
+        self.promote_probability = 1.0 / (block_size ** self.gamma)
+        self.leaf_floor = max(2, math.ceil(block_size ** self.gamma))
+        self.max_level = max_level
+        self._rng = make_rng(seed)
+        self._leaf_rule = WHICapacityRule(seed=spawn_rng(self._rng),
+                                          floor=self.leaf_floor)
+        self._levels = SkipListLevels()
+        self._values: Dict[object, object] = {}
+        self._nodes: Dict[object, LeafNode] = {
+            FRONT: LeafNode(FRONT, [LeafArray(FRONT, [], self._leaf_rule)])
+        }
+        self.stats = IOStats()
+        self.last_operation_ios = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, key: object) -> bool:
+        return self.contains(key)
+
+    def __iter__(self) -> Iterator[object]:
+        """Iterate over keys in increasing order (not I/O-charged)."""
+        for node in self._nodes_in_order():
+            yield from node
+
+    @property
+    def height(self) -> int:
+        """Highest non-empty promotion level."""
+        return self._levels.height
+
+    def level_of(self, key: object) -> int:
+        """Promotion level of ``key`` (0 if never promoted)."""
+        return self._levels.level_of(key)
+
+    def items(self) -> List[Tuple[object, object]]:
+        """All (key, value) pairs in key order (not I/O-charged)."""
+        return [(key, self._values[key]) for key in self]
+
+    def leaf_node_sizes(self) -> List[int]:
+        """Physical slot counts of every leaf node, in key order."""
+        return [node.total_slots() for node in self._nodes_in_order()]
+
+    def leaf_array_sizes(self) -> List[int]:
+        """Key counts of every leaf array, in key order."""
+        sizes: List[int] = []
+        for node in self._nodes_in_order():
+            sizes.extend(len(array) for array in node.arrays)
+        return sizes
+
+    def total_slots(self) -> int:
+        """Total physical leaf slots (keys plus gaps): the space bound of Lemma 22."""
+        return sum(node.total_slots() for node in self._nodes_in_order())
+
+    def memory_representation(self) -> Tuple[object, ...]:
+        """The physical layout inspected by history-independence audits."""
+        nodes = tuple(node.slots() for node in self._nodes_in_order())
+        levels = tuple(tuple(self._levels.members(level))
+                       for level in range(1, self._levels.height + 1))
+        return (("leaf_nodes", nodes), ("levels", levels))
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def contains(self, key: object) -> bool:
+        """Whether ``key`` is stored (charges search I/Os)."""
+        self.stats.reads += self.search_io_cost(key)
+        return key in self._values
+
+    def search(self, key: object) -> object:
+        """Value stored under ``key``; raises :class:`KeyNotFound` otherwise."""
+        if not self.contains(key):
+            raise KeyNotFound(key)
+        return self._values[key]
+
+    def search_io_cost(self, key: object) -> int:
+        """I/Os of a search for ``key`` (upper-level scans plus one leaf array)."""
+        ios = 0
+        for step in self._levels.descend(key):
+            ios += self._blocks(step.scanned)
+        node, array = self._locate(key)
+        ios += self._blocks(array.capacity)
+        del node
+        return max(1, ios)
+
+    def range_query(self, low: object, high: object
+                    ) -> Tuple[List[Tuple[object, object]], int]:
+        """All pairs with ``low <= key <= high`` plus the I/O cost charged.
+
+        The cost is the search for ``low`` plus one block per ``B`` physical
+        slots scanned plus one extra I/O per leaf-node boundary crossed
+        (Lemma 21).
+        """
+        if high < low:
+            return [], 0
+        ios = self.search_io_cost(low)
+        result: List[Tuple[object, object]] = []
+        slots_scanned = 0
+        boundaries_crossed = 0
+        started = False
+        done = False
+        for node in self._nodes_in_order():
+            node_low = node.arrays[0].keys[0] if node.arrays and node.arrays[0].keys else None
+            if started:
+                boundaries_crossed += 1
+            for array in node.arrays:
+                if not array.keys:
+                    continue
+                if array.keys[-1] < low:
+                    continue
+                if array.keys[0] > high:
+                    done = True
+                    break
+                started = True
+                slots_scanned += array.capacity
+                for key in array.keys:
+                    if low <= key <= high:
+                        result.append((key, self._values[key]))
+            if done:
+                break
+            del node_low
+        scan_ios = self._blocks(slots_scanned) + boundaries_crossed if result else 0
+        self.stats.reads += ios + scan_ios
+        return result, ios + scan_ios
+
+    # ------------------------------------------------------------------ #
+    # Updates
+    # ------------------------------------------------------------------ #
+
+    def insert(self, key: object, value: object = None) -> int:
+        """Insert a new key; returns the I/O cost charged for the operation."""
+        if key in self._values:
+            raise DuplicateKey(key)
+        read_ios = self.search_io_cost(key)
+        self.stats.reads += read_ios
+        node, array = self._locate(key)
+        level = geometric_level(self._rng, self.promote_probability,
+                                max_level=self.max_level)
+        if level == 0:
+            resized = array.insert(key, self._leaf_rule)
+            if resized:
+                node.rebuild(self._leaf_rule)
+                self.stats.bump("skiplist.node_rebuild")
+                write_ios = self._blocks(node.total_slots())
+            else:
+                write_ios = self._blocks(array.capacity)
+        else:
+            write_ios = self._insert_promoted(node, array, key, level)
+        self._values[key] = value
+        self.stats.writes += write_ios
+        self.stats.operations += 1
+        self.last_operation_ios = read_ios + write_ios
+        return self.last_operation_ios
+
+    def delete(self, key: object) -> object:
+        """Remove ``key`` and return its value; raises :class:`KeyNotFound` otherwise."""
+        if key not in self._values:
+            raise KeyNotFound(key)
+        read_ios = self.search_io_cost(key)
+        self.stats.reads += read_ios
+        level = self._levels.level_of(key)
+        if level >= 2:
+            write_ios = self._delete_node_boundary(key)
+        elif level == 1:
+            write_ios = self._delete_array_boundary(key)
+        else:
+            node, array = self._locate(key)
+            resized = array.remove(key, self._leaf_rule)
+            if resized:
+                node.rebuild(self._leaf_rule)
+                self.stats.bump("skiplist.node_rebuild")
+                write_ios = self._blocks(node.total_slots())
+            else:
+                write_ios = self._blocks(array.capacity)
+        value = self._values.pop(key)
+        self.stats.writes += write_ios
+        self.stats.operations += 1
+        self.last_operation_ios = read_ios + write_ios
+        return value
+
+    # ------------------------------------------------------------------ #
+    # Promoted inserts and deletes
+    # ------------------------------------------------------------------ #
+
+    def _insert_promoted(self, node: LeafNode, array: LeafArray,
+                         key: object, level: int) -> int:
+        """Insert a promoted key: split its leaf array (and node if level >= 2)."""
+        smaller = [existing for existing in array.keys if existing < key]
+        larger = [existing for existing in array.keys if existing > key]
+        left = LeafArray(array.start, smaller, self._leaf_rule)
+        right = LeafArray(key, [key] + larger, self._leaf_rule)
+        index = node.arrays.index(array)
+        node.arrays[index:index + 1] = [left, right]
+        self._levels.add(key, level)
+        write_ios = self._blocks(node.total_slots())
+        if level >= 2:
+            # The new key starts a fresh leaf node.
+            moved = node.arrays[index + 1:]
+            node.arrays = node.arrays[:index + 1]
+            new_node = LeafNode(key, moved)
+            self._nodes[key] = new_node
+            self.stats.bump("skiplist.node_split")
+            write_ios = self._blocks(node.total_slots()) + self._blocks(new_node.total_slots())
+        else:
+            self.stats.bump("skiplist.array_split")
+        return write_ios
+
+    def _delete_array_boundary(self, key: object) -> int:
+        """Delete a once-promoted key: merge its array into its predecessor."""
+        node, _array = self._locate(key)
+        self._levels.remove(key)
+        index = None
+        for position, candidate in enumerate(node.arrays):
+            if candidate.start is not FRONT and candidate.start == key:
+                index = position
+                break
+        if index is None or index == 0:
+            raise InvariantViolation("array boundary %r not found in its node" % (key,))
+        previous = node.arrays[index - 1]
+        current = node.arrays[index]
+        merged_keys = previous.keys + [existing for existing in current.keys
+                                       if existing != key]
+        merged = LeafArray(previous.start, merged_keys, self._leaf_rule)
+        node.arrays[index - 1:index + 1] = [merged]
+        self.stats.bump("skiplist.array_merge")
+        return self._blocks(node.total_slots())
+
+    def _delete_node_boundary(self, key: object) -> int:
+        """Delete a twice-promoted key: merge its node into its predecessor node."""
+        node = self._nodes.pop(key)
+        self._levels.remove(key)
+        predecessor_start = self._levels.predecessor(2, key)
+        predecessor = self._nodes[predecessor_start]
+        boundary_array = node.arrays[0]
+        trailing_arrays = node.arrays[1:]
+        previous_array = predecessor.arrays[-1]
+        merged_keys = previous_array.keys + [existing for existing in boundary_array.keys
+                                             if existing != key]
+        merged = LeafArray(previous_array.start, merged_keys, self._leaf_rule)
+        predecessor.arrays[-1] = merged
+        predecessor.arrays.extend(trailing_arrays)
+        self.stats.bump("skiplist.node_merge")
+        return self._blocks(predecessor.total_slots())
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _blocks(self, slots: int) -> int:
+        return max(1, math.ceil(slots / self.block_size))
+
+    def _locate(self, key: object) -> Tuple[LeafNode, LeafArray]:
+        """The leaf node and leaf array whose key range contains ``key``."""
+        node_start = self._levels.predecessor(2, key)
+        node = self._nodes.get(node_start)
+        if node is None:
+            raise InvariantViolation("no leaf node for boundary %r" % (node_start,))
+        return node, node.array_for(key)
+
+    def _nodes_in_order(self) -> Iterator[LeafNode]:
+        yield self._nodes[FRONT]
+        for boundary in self._levels.members(2):
+            node = self._nodes.get(boundary)
+            if node is not None:
+                yield node
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+
+    def check(self) -> None:
+        """Verify every structural invariant; raises :class:`InvariantViolation`."""
+        try:
+            self._levels.check()
+        except ValueError as error:
+            raise InvariantViolation(str(error)) from error
+        keys: List[object] = []
+        for node in self._nodes_in_order():
+            node.check(self.leaf_floor)
+            keys.extend(node)
+        if len(keys) != len(self._values):
+            raise InvariantViolation("leaf level stores %d keys, expected %d"
+                                     % (len(keys), len(self._values)))
+        if keys != sorted(keys):
+            raise InvariantViolation("leaf keys are not globally sorted")
+        node_boundaries = set(self._levels.members(2))
+        stored_boundaries = set(self._nodes) - {FRONT}
+        if node_boundaries != stored_boundaries:
+            raise InvariantViolation("leaf node boundaries do not match S_2")
+        array_boundaries = set(self._levels.members(1))
+        seen_boundaries = set()
+        for node in self._nodes_in_order():
+            for array in node.arrays:
+                if array.start is not FRONT:
+                    seen_boundaries.add(array.start)
+        if array_boundaries != seen_boundaries:
+            raise InvariantViolation("leaf array boundaries do not match S_1")

@@ -1,0 +1,186 @@
+"""Upper-level membership lists shared by the external skip lists.
+
+An external skip list is a hierarchy of lists ``S_0 ⊇ S_1 ⊇ … ⊇ S_h``; at
+level ``i ≥ 1`` the elements are partitioned into arrays delimited by
+elements promoted to level ``i + 1`` or above.  Both external variants in
+this package (the folklore B-skip list and the history-independent skip
+list) need the same navigation machinery over those upper levels: given a
+target key, walk down from the top level, and at each level scan rightward
+from the current anchor until the target is passed.
+
+:class:`SkipListLevels` stores each ``S_i`` as a sorted list and *computes*
+the scan lengths with binary search instead of physically walking the
+arrays; the scan lengths are what the callers convert into block I/Os.  The
+physical leaf level (where gaps, capacities, and node packing matter) is kept
+by the callers themselves.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+#: Sentinel marking the front of every list (smaller than every key).
+FRONT = object()
+
+
+@dataclass
+class DescentStep:
+    """One level of a search descent.
+
+    Attributes
+    ----------
+    level:
+        The skip-list level (1 is the lowest non-leaf level).
+    scanned:
+        Number of element slots read while scanning rightward at this level
+        (including the element that proves the scan can stop).
+    anchor:
+        The largest level-``level`` element ``<=`` the target key, or
+        :data:`FRONT` if there is none.
+    """
+
+    level: int
+    scanned: int
+    anchor: object
+
+
+class SkipListLevels:
+    """Sorted membership lists ``S_1 .. S_h`` with binary-search navigation."""
+
+    def __init__(self) -> None:
+        self._levels: List[List[object]] = []
+        self._level_of: Dict[object, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Membership
+    # ------------------------------------------------------------------ #
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._level_of
+
+    def __len__(self) -> int:
+        """Number of keys tracked (i.e. keys with level >= 1)."""
+        return len(self._level_of)
+
+    @property
+    def height(self) -> int:
+        """Highest non-empty level (0 when no key has been promoted)."""
+        return len(self._levels)
+
+    def level_of(self, key: object) -> int:
+        """The key's level (0 if it was never promoted)."""
+        return self._level_of.get(key, 0)
+
+    def members(self, level: int) -> List[object]:
+        """The sorted contents of ``S_level`` (level >= 1)."""
+        if level < 1 or level > len(self._levels):
+            return []
+        return list(self._levels[level - 1])
+
+    def add(self, key: object, level: int) -> None:
+        """Record that ``key`` has the given level (adds it to ``S_1..S_level``)."""
+        if level <= 0:
+            return
+        if key in self._level_of:
+            raise ValueError("key %r is already tracked" % (key,))
+        while len(self._levels) < level:
+            self._levels.append([])
+        for index in range(level):
+            bisect.insort(self._levels[index], key)
+        self._level_of[key] = level
+
+    def remove(self, key: object) -> int:
+        """Remove ``key`` from every level; return the level it had."""
+        level = self._level_of.pop(key, 0)
+        for index in range(level):
+            members = self._levels[index]
+            position = bisect.bisect_left(members, key)
+            if position < len(members) and members[position] == key:
+                members.pop(position)
+        while self._levels and not self._levels[-1]:
+            self._levels.pop()
+        return level
+
+    # ------------------------------------------------------------------ #
+    # Navigation
+    # ------------------------------------------------------------------ #
+
+    def predecessor(self, level: int, key: object) -> object:
+        """Largest element of ``S_level`` that is ``<= key`` (or :data:`FRONT`)."""
+        if level < 1 or level > len(self._levels):
+            return FRONT
+        members = self._levels[level - 1]
+        position = bisect.bisect_right(members, key)
+        if position == 0:
+            return FRONT
+        return members[position - 1]
+
+    def descend(self, key: object) -> List[DescentStep]:
+        """Simulate the top-down search for ``key`` through the non-leaf levels.
+
+        At each level the search scans rightward from the previous level's
+        anchor; the scan length is the number of level members in the open
+        interval ``(previous anchor, key]`` plus one slot for the element
+        that terminates the scan.
+        """
+        steps: List[DescentStep] = []
+        anchor: object = FRONT
+        for level in range(len(self._levels), 0, -1):
+            members = self._levels[level - 1]
+            low = 0 if anchor is FRONT else bisect.bisect_right(members, anchor)
+            high = bisect.bisect_right(members, key)
+            scanned = max(1, high - low + 1)
+            new_anchor = members[high - 1] if high > low else anchor
+            steps.append(DescentStep(level=level, scanned=scanned,
+                                     anchor=new_anchor))
+            anchor = new_anchor
+        return steps
+
+    def array_span(self, level: int, start: object) -> int:
+        """Number of ``S_level`` elements in the array starting at ``start``.
+
+        The array at level ``level`` starting at ``start`` extends up to (and
+        not including) the next element promoted to level ``level + 1``.
+        ``start`` may be :data:`FRONT`.
+        """
+        if level < 1 or level > len(self._levels):
+            return 0
+        members = self._levels[level - 1]
+        begin = 0 if start is FRONT else bisect.bisect_left(members, start)
+        uppers = self.members(level + 1)
+        if start is FRONT:
+            next_upper_position = 0
+        else:
+            next_upper_position = bisect.bisect_right(uppers, start)
+        if next_upper_position < len(uppers):
+            end = bisect.bisect_left(members, uppers[next_upper_position])
+        else:
+            end = len(members)
+        return max(0, end - begin)
+
+    def check(self) -> None:
+        """Verify that the levels are nested, sorted, and match the level map."""
+        for index, members in enumerate(self._levels):
+            if members != sorted(members):
+                raise ValueError("level %d is not sorted" % (index + 1,))
+            if index > 0:
+                upper = set(self._levels[index])
+                lower = set(self._levels[index - 1])
+                if not upper.issubset(lower):
+                    raise ValueError("S_%d is not a subset of S_%d"
+                                     % (index + 1, index))
+            for key in members:
+                if self._level_of.get(key, 0) < index + 1:
+                    raise ValueError(
+                        "key %r appears in S_%d but its recorded level is %d"
+                        % (key, index + 1, self._level_of.get(key, 0)))
+        for key, level in self._level_of.items():
+            for index in range(level):
+                members = self._levels[index]
+                position = bisect.bisect_left(members, key)
+                if position >= len(members) or members[position] != key:
+                    raise ValueError("key %r (level %d) is missing from S_%d"
+                                     % (key, level, index + 1))

@@ -1,0 +1,225 @@
+"""Pugh's classic in-memory skip list (promotion probability 1/2).
+
+Skip lists are one of the original weakly history-independent structures:
+their pointer topology depends only on the stored keys and per-key coin
+flips.  The paper uses the in-memory skip list in two roles:
+
+* as the natural baseline that the external-memory variants must beat — a
+  pointer-based skip list "run in external memory" pays one block transfer
+  per pointer hop, i.e. ``Θ(log N)`` I/Os per search;
+* as the reference point for Lemma 15: the folklore B-skip list's
+  high-probability bounds are no better than this baseline.
+
+Each node is assumed to occupy its own disk block, so the I/O cost of an
+operation is simply the number of node visits.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro._rng import RandomLike, geometric_level, make_rng
+from repro.errors import DuplicateKey, InvariantViolation, KeyNotFound
+from repro.memory.stats import IOStats
+
+
+class _Node:
+    """A skip-list node with one forward pointer per level it appears in."""
+
+    __slots__ = ("key", "value", "forward")
+
+    def __init__(self, key: object, value: object, height: int) -> None:
+        self.key = key
+        self.value = value
+        self.forward: List[Optional["_Node"]] = [None] * height
+
+
+class MemorySkipList:
+    """Classic skip list with key/value pairs and I/O-as-node-visits accounting."""
+
+    def __init__(self, promote_probability: float = 0.5,
+                 seed: RandomLike = None, max_level: int = 64) -> None:
+        self._rng = make_rng(seed)
+        self.promote_probability = promote_probability
+        self.max_level = max_level
+        self._head = _Node(None, None, max_level + 1)
+        self._level = 0
+        self._count = 0
+        self.stats = IOStats()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __contains__(self, key: object) -> bool:
+        return self.contains(key)
+
+    def __iter__(self) -> Iterator[object]:
+        """Iterate over keys in increasing order (not I/O-charged)."""
+        node = self._head.forward[0]
+        while node is not None:
+            yield node.key
+            node = node.forward[0]
+
+    def items(self) -> List[Tuple[object, object]]:
+        """All (key, value) pairs in key order (not I/O-charged)."""
+        result = []
+        node = self._head.forward[0]
+        while node is not None:
+            result.append((node.key, node.value))
+            node = node.forward[0]
+        return result
+
+    @property
+    def height(self) -> int:
+        """Current number of levels in use."""
+        return self._level + 1
+
+    def level_of(self, key: object) -> int:
+        """Number of levels above the base list that contain ``key``."""
+        node = self._find(key)
+        if node is None:
+            raise KeyNotFound(key)
+        return len(node.forward) - 1
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def contains(self, key: object) -> bool:
+        """Whether ``key`` is stored (charges search I/Os)."""
+        return self._find(key) is not None
+
+    def search(self, key: object) -> object:
+        """Value stored under ``key``; raises :class:`KeyNotFound` otherwise."""
+        node = self._find(key)
+        if node is None:
+            raise KeyNotFound(key)
+        return node.value
+
+    def search_io_cost(self, key: object) -> int:
+        """Number of node visits (block reads) a search for ``key`` performs."""
+        before = self.stats.reads
+        self.contains(key)
+        return self.stats.reads - before
+
+    def range_query(self, low: object, high: object) -> List[Tuple[object, object]]:
+        """All (key, value) pairs with ``low <= key <= high`` in key order."""
+        result: List[Tuple[object, object]] = []
+        if high < low:
+            return result
+        node = self._head
+        for level in range(self._level, -1, -1):
+            while node.forward[level] is not None and node.forward[level].key < low:
+                node = node.forward[level]
+                self.stats.reads += 1
+        node = node.forward[0]
+        while node is not None and node.key <= high:
+            self.stats.reads += 1
+            result.append((node.key, node.value))
+            node = node.forward[0]
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Updates
+    # ------------------------------------------------------------------ #
+
+    def insert(self, key: object, value: object = None) -> None:
+        """Insert a new key; raises :class:`DuplicateKey` if it already exists."""
+        update = self._trace(key)
+        candidate = update[0].forward[0]
+        if candidate is not None and candidate.key == key:
+            raise DuplicateKey(key)
+        height = geometric_level(self._rng, self.promote_probability,
+                                 max_level=self.max_level)
+        if height > self._level:
+            # Levels above the old top have the head as their predecessor;
+            # the write loop below falls back to the head for those levels.
+            self._level = height
+        node = _Node(key, value, height + 1)
+        for level in range(height + 1):
+            predecessor = update[level] if level < len(update) else self._head
+            node.forward[level] = predecessor.forward[level]
+            predecessor.forward[level] = node
+            self.stats.writes += 1
+        self._count += 1
+        self.stats.operations += 1
+
+    def upsert(self, key: object, value: object = None) -> bool:
+        """Insert or overwrite ``key``; returns ``True`` if it already existed."""
+        node = self._find(key)
+        if node is not None:
+            node.value = value
+            self.stats.writes += 1
+            return True
+        self.insert(key, value)
+        return False
+
+    def delete(self, key: object) -> object:
+        """Remove ``key`` and return its value; raises :class:`KeyNotFound` otherwise."""
+        update = self._trace(key)
+        node = update[0].forward[0]
+        if node is None or node.key != key:
+            raise KeyNotFound(key)
+        for level in range(len(node.forward)):
+            predecessor = update[level] if level < len(update) else self._head
+            if predecessor.forward[level] is node:
+                predecessor.forward[level] = node.forward[level]
+                self.stats.writes += 1
+        while self._level > 0 and self._head.forward[self._level] is None:
+            self._level -= 1
+        self._count -= 1
+        self.stats.operations += 1
+        return node.value
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _find(self, key: object) -> Optional[_Node]:
+        node = self._head
+        for level in range(self._level, -1, -1):
+            while node.forward[level] is not None and node.forward[level].key < key:
+                node = node.forward[level]
+                self.stats.reads += 1
+            self.stats.reads += 1  # examine the element that stops the scan
+        node = node.forward[0]
+        if node is not None and node.key == key:
+            return node
+        return None
+
+    def _trace(self, key: object) -> List[_Node]:
+        """Predecessor of ``key`` at every level, bottom-up (levels 0..)."""
+        update: List[_Node] = [self._head] * (self._level + 1)
+        node = self._head
+        for level in range(self._level, -1, -1):
+            while node.forward[level] is not None and node.forward[level].key < key:
+                node = node.forward[level]
+                self.stats.reads += 1
+            update[level] = node
+        return update
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+
+    def check(self) -> None:
+        """Verify ordering and level nesting; raises :class:`InvariantViolation`."""
+        keys = list(self)
+        if len(keys) != self._count:
+            raise InvariantViolation("walk found %d keys, expected %d"
+                                     % (len(keys), self._count))
+        for previous, current in zip(keys, keys[1:]):
+            if not previous < current:
+                raise InvariantViolation("keys out of order: %r !< %r"
+                                         % (previous, current))
+        for level in range(1, self._level + 1):
+            node = self._head.forward[level]
+            while node is not None:
+                if len(node.forward) <= level:
+                    raise InvariantViolation("node %r appears above its height"
+                                             % (node.key,))
+                node = node.forward[level]

@@ -1,0 +1,137 @@
+"""A page-addressed file with I/O counting.
+
+:class:`PagedFile` is the byte-level analogue of
+:class:`repro.memory.block_device.BlockDevice`: it stores fixed-size byte
+pages, counts page transfers as reads and writes, and can be backed either by
+memory (the default, used in tests and benches) or by a real file on disk
+(used by the persistence examples, so that the "steal the disk" scenario is
+literal: the file *is* the artifact the observer gets).
+
+The pager makes no placement decisions itself; history-independent placement
+is the job of :mod:`repro.storage.snapshot`, which shuffles page order via
+the uniform arena allocator before handing pages to the pager.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.memory.stats import IOStats
+
+
+class PagedFile:
+    """Fixed-size byte pages addressed by page number.
+
+    Parameters
+    ----------
+    page_size:
+        Size of every page in bytes.
+    path:
+        Optional filesystem path.  When given, pages are written to (and read
+        from) that file at offset ``page_number * page_size``; otherwise the
+        pages live in an in-memory dictionary.
+    """
+
+    def __init__(self, page_size: int = 4096, path: Optional[str] = None) -> None:
+        if page_size <= 0:
+            raise ConfigurationError("page_size must be positive, got %r"
+                                     % (page_size,))
+        self.page_size = page_size
+        self.path = path
+        self._pages: Dict[int, bytes] = {}
+        self._num_pages = 0
+        self.stats = IOStats()
+        if path is not None and os.path.exists(path):
+            self._num_pages = os.path.getsize(path) // page_size
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        """Number of pages the file currently holds."""
+        return self._num_pages
+
+    @property
+    def size_in_bytes(self) -> int:
+        """Total size of the file in bytes."""
+        return self._num_pages * self.page_size
+
+    # ------------------------------------------------------------------ #
+    # Page I/O
+    # ------------------------------------------------------------------ #
+
+    def write_page(self, page_number: int, data: bytes) -> None:
+        """Write one page; pads short data with zeros, rejects oversized data."""
+        if page_number < 0:
+            raise ConfigurationError("page_number must be non-negative")
+        if len(data) > self.page_size:
+            raise CapacityError("page data is %d bytes, page size is %d"
+                                % (len(data), self.page_size))
+        padded = data + b"\x00" * (self.page_size - len(data))
+        self.stats.writes += 1
+        if self.path is None:
+            self._pages[page_number] = padded
+        else:
+            self._write_to_file(page_number, padded)
+        self._num_pages = max(self._num_pages, page_number + 1)
+
+    def append_page(self, data: bytes) -> int:
+        """Write ``data`` as a new page at the end; returns its page number."""
+        page_number = self._num_pages
+        self.write_page(page_number, data)
+        return page_number
+
+    def read_page(self, page_number: int) -> bytes:
+        """Read one page (charges one read I/O)."""
+        self._require(page_number)
+        self.stats.reads += 1
+        if self.path is None:
+            return self._pages.get(page_number, b"\x00" * self.page_size)
+        return self._read_from_file(page_number)
+
+    def read_all(self) -> List[bytes]:
+        """Read every page in order (charges one read per page)."""
+        return [self.read_page(number) for number in range(self._num_pages)]
+
+    def peek_page(self, page_number: int) -> bytes:
+        """Read one page *without* charging an I/O (observer access)."""
+        self._require(page_number)
+        if self.path is None:
+            return self._pages.get(page_number, b"\x00" * self.page_size)
+        return self._read_from_file(page_number, charge=False)
+
+    def truncate(self) -> None:
+        """Drop every page (the file becomes empty)."""
+        self._pages.clear()
+        self._num_pages = 0
+        if self.path is not None and os.path.exists(self.path):
+            os.truncate(self.path, 0)
+
+    # ------------------------------------------------------------------ #
+    # File backend
+    # ------------------------------------------------------------------ #
+
+    def _write_to_file(self, page_number: int, data: bytes) -> None:
+        assert self.path is not None
+        # Open lazily per call: snapshots are written once and read rarely, so
+        # holding a descriptor open would only complicate lifetime management.
+        mode = "r+b" if os.path.exists(self.path) else "w+b"
+        with open(self.path, mode) as handle:
+            handle.seek(page_number * self.page_size)
+            handle.write(data)
+
+    def _read_from_file(self, page_number: int, charge: bool = True) -> bytes:
+        assert self.path is not None
+        del charge
+        with open(self.path, "rb") as handle:
+            handle.seek(page_number * self.page_size)
+            data = handle.read(self.page_size)
+        return data + b"\x00" * (self.page_size - len(data))
+
+    def _require(self, page_number: int) -> None:
+        if not 0 <= page_number < self._num_pages:
+            raise ConfigurationError("page %r does not exist (file has %d pages)"
+                                     % (page_number, self._num_pages))

@@ -1,0 +1,145 @@
+"""Serialising structures to disk images and loading them back.
+
+A snapshot writes the *slot-level* representation of a structure — the same
+array of elements and gaps the structure exposes through ``slots()`` — into a
+:class:`repro.storage.pager.PagedFile`, page by page, and returns the
+metadata needed to read it back.  Because the slot array of a weakly
+history-independent structure already has a history-independent distribution,
+writing it out verbatim preserves history independence; the only additional
+freedom the storage layer has is *where* on disk the pages land, and the
+snapshot offers the uniform-arena placement of
+:class:`repro.memory.allocator.UniformArenaAllocator` for that.
+
+The loaders return the decoded slot list (and the stored values in order), so
+a round trip can be checked without trusting the structure that produced the
+snapshot — which is also how the forensics example builds its "stolen disk"
+scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro._rng import RandomLike, make_rng
+from repro.errors import ConfigurationError
+from repro.storage.encoding import PageCodec
+from repro.storage.image import DiskImage
+from repro.storage.pager import PagedFile
+
+
+@dataclass(frozen=True)
+class SnapshotMetadata:
+    """Everything needed to decode a snapshot written by this module."""
+
+    kind: str
+    num_slots: int
+    num_pages: int
+    page_size: int
+    payload_size: int
+    page_order: Tuple[int, ...]
+
+    def codec(self) -> PageCodec:
+        """The page codec matching this snapshot's geometry."""
+        return PageCodec(page_size=self.page_size, payload_size=self.payload_size)
+
+
+def snapshot_records(slots: Sequence[object],
+                     page_size: int = 4096,
+                     payload_size: int = 64,
+                     path: Optional[str] = None,
+                     shuffle_pages: bool = False,
+                     seed: RandomLike = None,
+                     kind: str = "records") -> Tuple[PagedFile, SnapshotMetadata]:
+    """Write a slot sequence to a paged file.
+
+    Parameters
+    ----------
+    slots:
+        The slot values (``None`` marks a gap).  Values must be encodable by
+        :class:`repro.storage.encoding.RecordCodec`.
+    page_size, payload_size:
+        Page geometry; ``payload_size`` bounds the encoded size of one slot.
+    path:
+        Optional file path; omitted means an in-memory paged file.
+    shuffle_pages:
+        When ``True`` the logical pages are written to physical positions
+        given by a uniformly random permutation (fresh randomness per
+        snapshot), modelling history-independent allocation of the pages
+        themselves.  The permutation is recorded in the metadata so the
+        snapshot can still be decoded in logical order.
+    seed:
+        Randomness for the page permutation.
+    kind:
+        Free-form label recorded in the metadata (e.g. ``"hi-pma"``).
+    """
+    codec = PageCodec(page_size=page_size, payload_size=payload_size)
+    pages = codec.paginate(list(slots))
+    order = list(range(len(pages)))
+    if shuffle_pages:
+        make_rng(seed).shuffle(order)
+    paged_file = PagedFile(page_size=page_size, path=path)
+    for logical, physical in enumerate(order):
+        paged_file.write_page(physical, pages[logical])
+    metadata = SnapshotMetadata(kind=kind,
+                                num_slots=len(slots),
+                                num_pages=len(pages),
+                                page_size=page_size,
+                                payload_size=payload_size,
+                                page_order=tuple(order))
+    return paged_file, metadata
+
+
+def snapshot_structure(structure: object,
+                       page_size: int = 4096,
+                       payload_size: int = 64,
+                       path: Optional[str] = None,
+                       shuffle_pages: bool = False,
+                       seed: RandomLike = None) -> Tuple[PagedFile, SnapshotMetadata]:
+    """Snapshot any structure exposing ``slots()`` (PMAs, leaf nodes, ...).
+
+    The structure's class name is recorded as the snapshot kind.  Structures
+    without a slot array (e.g. the skip list, whose representation is a
+    collection of nodes) should snapshot their components individually or use
+    :func:`snapshot_records` with a flattened representation.
+    """
+    slots_method = getattr(structure, "slots", None)
+    if not callable(slots_method):
+        raise ConfigurationError(
+            "%s does not expose slots(); use snapshot_records instead"
+            % (type(structure).__name__,))
+    return snapshot_records(slots_method(),
+                            page_size=page_size,
+                            payload_size=payload_size,
+                            path=path,
+                            shuffle_pages=shuffle_pages,
+                            seed=seed,
+                            kind=type(structure).__name__)
+
+
+def load_records(source: Union[PagedFile, DiskImage],
+                 metadata: SnapshotMetadata) -> List[object]:
+    """Decode a snapshot back into its logical slot list.
+
+    ``source`` may be the paged file returned by the snapshot call or a
+    :class:`DiskImage` captured from it (the observer path).  Pages are
+    re-ordered according to the metadata's recorded permutation before
+    decoding, then truncated to the recorded slot count.
+    """
+    codec = metadata.codec()
+    if isinstance(source, DiskImage):
+        physical_pages = list(source.pages())
+    else:
+        physical_pages = source.read_all()
+    if len(physical_pages) < metadata.num_pages:
+        raise ConfigurationError("snapshot has %d pages, metadata expects %d"
+                                 % (len(physical_pages), metadata.num_pages))
+    logical_pages = [physical_pages[metadata.page_order[logical]]
+                     for logical in range(metadata.num_pages)]
+    slots = codec.unpaginate(logical_pages)
+    return slots[:metadata.num_slots]
+
+
+def image_of(paged_file: PagedFile, metadata: SnapshotMetadata) -> DiskImage:
+    """Capture the observer's view of a snapshot (no I/Os charged)."""
+    return DiskImage.from_paged_file(paged_file, metadata.codec())

@@ -1,0 +1,21 @@
+"""Treaps: uniquely represented randomized search trees.
+
+The treap of Aragon and Seidel is one of the earliest *uniquely represented*
+dictionaries and the basis of Golovin's B-treap, the strongly
+history-independent external-memory dictionary that the paper's related-work
+section positions as the main prior alternative to its own constructions.
+
+This package provides:
+
+* :class:`~repro.treap.treap.Treap` — an in-memory key/value treap whose
+  priorities are a salted hash of the key, so the tree shape (and hence the
+  memory representation) is a canonical function of the stored key set and
+  the initial salt.  By the characterisation of Hartline et al. this makes it
+  strongly history independent.
+* :class:`~repro.treap.treap.TreapNode` — the node type, exposed for tests
+  and for the block packing used by :mod:`repro.btreap`.
+"""
+
+from repro.treap.treap import Treap, TreapNode
+
+__all__ = ["Treap", "TreapNode"]

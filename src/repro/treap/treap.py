@@ -1,0 +1,394 @@
+"""An in-memory treap with key-derived priorities (Aragon and Seidel).
+
+A treap stores key/value pairs in a binary search tree ordered by key whose
+nodes additionally satisfy the max-heap property on *priorities*.  When the
+priority of a key is a fixed random function of the key itself, the shape of
+the tree is a deterministic function of the *set* of stored keys — it does
+not depend on the order in which keys were inserted or deleted.  The treap is
+therefore *uniquely represented* given its initial randomness, which by the
+characterisation of Hartline et al. makes it strongly history independent.
+
+This implementation derives priorities from a salted BLAKE2 hash of the key's
+``repr``.  The salt is drawn once at construction (from the structure's seed)
+and never changes, so:
+
+* two treaps with the same salt and the same key set have *identical* shapes
+  (unique representation), and
+* across salts, the shape distribution of a fixed key set is the same no
+  matter which operation sequence produced it (history independence).
+
+The treap is the in-memory baseline for the strongly history-independent
+external dictionaries discussed in the paper's related work (Golovin's
+B-treap, built in :mod:`repro.btreap`, packs this exact shape into blocks).
+
+Costs: the depth of every node is ``O(log N)`` in expectation over the salt,
+so searches, inserts, and deletes take expected ``O(log N)`` comparisons.
+Unlike the paper's weakly history-independent structures, no useful *with
+high probability* amortized bound is possible here (Observation 1 territory:
+strong history independence and high-probability amortized guarantees do not
+mix), which the benches demonstrate empirically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro._rng import RandomLike, make_rng
+from repro.errors import DuplicateKey, InvariantViolation, KeyNotFound
+from repro.memory.stats import IOStats
+
+PriorityFunction = Callable[[object], int]
+
+
+class TreapNode:
+    """One treap node: a key/value pair, its priority, and two children."""
+
+    __slots__ = ("key", "value", "priority", "left", "right")
+
+    def __init__(self, key: object, value: object, priority: int) -> None:
+        self.key = key
+        self.value = value
+        self.priority = priority
+        self.left: Optional["TreapNode"] = None
+        self.right: Optional["TreapNode"] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "TreapNode(key=%r, priority=%d)" % (self.key, self.priority)
+
+
+def salted_priority(salt: bytes, key: object) -> int:
+    """Priority of ``key`` under ``salt``: a 64-bit salted hash of ``repr(key)``.
+
+    The hash is keyed (BLAKE2b with the salt as key), so an adversary who does
+    not know the salt cannot craft keys with chosen priorities; with the salt
+    fixed the priority is a pure function of the key, which is what unique
+    representation requires.
+    """
+    digest = hashlib.blake2b(repr(key).encode("utf-8"), key=salt, digest_size=8)
+    return int.from_bytes(digest.digest(), "big")
+
+
+class Treap:
+    """A strongly history-independent in-memory dictionary.
+
+    Parameters
+    ----------
+    seed:
+        Seed (or ``random.Random``) used to draw the priority salt.  Two
+        treaps built with the same seed and holding the same keys are
+        bit-for-bit identical in shape.
+    priority_of:
+        Optional override mapping a key to an integer priority.  Supplying a
+        deterministic function keeps unique representation; supplying a
+        history-dependent one (e.g. insertion counters) deliberately breaks
+        it, which the history-audit tests use as a negative control.
+    """
+
+    def __init__(self, seed: RandomLike = None,
+                 priority_of: Optional[PriorityFunction] = None) -> None:
+        rng = make_rng(seed)
+        self._salt = rng.getrandbits(128).to_bytes(16, "big")
+        self._priority_of = priority_of or (lambda key: salted_priority(self._salt, key))
+        self._root: Optional[TreapNode] = None
+        self._count = 0
+        self.stats = IOStats()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __contains__(self, key: object) -> bool:
+        return self.contains(key)
+
+    def __iter__(self) -> Iterator[object]:
+        """Iterate over the keys in increasing order."""
+        yield from (key for key, _value in self._walk(self._root))
+
+    def items(self) -> List[Tuple[object, object]]:
+        """All (key, value) pairs in key order."""
+        return list(self._walk(self._root))
+
+    def keys(self) -> List[object]:
+        """All keys in increasing order."""
+        return [key for key, _value in self._walk(self._root)]
+
+    @property
+    def root(self) -> Optional[TreapNode]:
+        """The root node (``None`` when empty); exposed for audits and packing."""
+        return self._root
+
+    @property
+    def height(self) -> int:
+        """Length of the longest root-to-leaf path (0 for an empty treap)."""
+        return self._height_of(self._root)
+
+    def depth_of(self, key: object) -> int:
+        """1-indexed depth of ``key`` (the root has depth 1)."""
+        node = self._root
+        depth = 0
+        while node is not None:
+            depth += 1
+            if key == node.key:
+                return depth
+            node = node.left if key < node.key else node.right
+        raise KeyNotFound(key)
+
+    def memory_representation(self) -> Tuple[object, ...]:
+        """A canonical encoding of the pointer structure.
+
+        The shape is serialised as a pre-order traversal of ``(key, value)``
+        pairs with explicit ``None`` markers for absent children, which is a
+        faithful stand-in for the pointer representation an observer would
+        see.  Two treaps with the same salt and contents produce identical
+        encodings — the unique-representation property audited by the tests.
+        """
+        encoded: List[object] = []
+
+        def visit(node: Optional[TreapNode]) -> None:
+            if node is None:
+                encoded.append(None)
+                return
+            encoded.append((node.key, node.value))
+            visit(node.left)
+            visit(node.right)
+
+        visit(self._root)
+        return tuple(encoded)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def contains(self, key: object) -> bool:
+        """Whether ``key`` is stored."""
+        return self._find(key) is not None
+
+    def search(self, key: object) -> object:
+        """Value stored under ``key``; raises :class:`KeyNotFound` otherwise."""
+        node = self._find(key)
+        if node is None:
+            raise KeyNotFound(key)
+        return node.value
+
+    def search_comparisons(self, key: object) -> int:
+        """Number of nodes visited when searching for ``key`` (found or not)."""
+        node = self._root
+        visited = 0
+        while node is not None:
+            visited += 1
+            if key == node.key:
+                break
+            node = node.left if key < node.key else node.right
+        return visited
+
+    def minimum(self) -> Tuple[object, object]:
+        """The smallest (key, value) pair; raises :class:`KeyNotFound` when empty."""
+        if self._root is None:
+            raise KeyNotFound("treap is empty")
+        node = self._root
+        while node.left is not None:
+            node = node.left
+        return node.key, node.value
+
+    def maximum(self) -> Tuple[object, object]:
+        """The largest (key, value) pair; raises :class:`KeyNotFound` when empty."""
+        if self._root is None:
+            raise KeyNotFound("treap is empty")
+        node = self._root
+        while node.right is not None:
+            node = node.right
+        return node.key, node.value
+
+    def successor(self, key: object) -> Optional[Tuple[object, object]]:
+        """The smallest stored pair with key strictly greater than ``key``."""
+        node = self._root
+        best: Optional[TreapNode] = None
+        while node is not None:
+            if node.key > key:
+                best = node
+                node = node.left
+            else:
+                node = node.right
+        return None if best is None else (best.key, best.value)
+
+    def predecessor(self, key: object) -> Optional[Tuple[object, object]]:
+        """The largest stored pair with key strictly smaller than ``key``."""
+        node = self._root
+        best: Optional[TreapNode] = None
+        while node is not None:
+            if node.key < key:
+                best = node
+                node = node.right
+            else:
+                node = node.left
+        return None if best is None else (best.key, best.value)
+
+    def range_query(self, low: object, high: object) -> List[Tuple[object, object]]:
+        """All (key, value) pairs with ``low <= key <= high`` in key order."""
+        result: List[Tuple[object, object]] = []
+        if self._root is None or high < low:
+            return result
+        self._range_collect(self._root, low, high, result)
+        return result
+
+    def _range_collect(self, node: Optional[TreapNode], low: object, high: object,
+                       out: List[Tuple[object, object]]) -> None:
+        if node is None:
+            return
+        if node.key > low:
+            self._range_collect(node.left, low, high, out)
+        if low <= node.key <= high:
+            out.append((node.key, node.value))
+        if node.key < high:
+            self._range_collect(node.right, low, high, out)
+
+    # ------------------------------------------------------------------ #
+    # Updates
+    # ------------------------------------------------------------------ #
+
+    def insert(self, key: object, value: object = None) -> None:
+        """Insert a new key; raises :class:`DuplicateKey` if it already exists."""
+        if self.contains(key):
+            raise DuplicateKey(key)
+        priority = self._priority_of(key)
+        self._root = self._insert_node(self._root, TreapNode(key, value, priority))
+        self._count += 1
+        self.stats.operations += 1
+
+    def upsert(self, key: object, value: object = None) -> bool:
+        """Insert or overwrite ``key``; returns ``True`` if it already existed."""
+        node = self._find(key)
+        if node is not None:
+            node.value = value
+            return True
+        self.insert(key, value)
+        return False
+
+    def delete(self, key: object) -> object:
+        """Remove ``key`` and return its value; raises :class:`KeyNotFound` otherwise."""
+        node = self._find(key)
+        if node is None:
+            raise KeyNotFound(key)
+        value = node.value
+        self._root = self._delete_node(self._root, key)
+        self._count -= 1
+        self.stats.operations += 1
+        return value
+
+    def bulk_load(self, items: List[Tuple[object, object]]) -> None:
+        """Insert every (key, value) pair of ``items`` (keys must be new)."""
+        for key, value in items:
+            self.insert(key, value)
+
+    # ------------------------------------------------------------------ #
+    # Rotation-based internals
+    # ------------------------------------------------------------------ #
+
+    def _insert_node(self, node: Optional[TreapNode],
+                     fresh: TreapNode) -> TreapNode:
+        if node is None:
+            return fresh
+        if fresh.key < node.key:
+            node.left = self._insert_node(node.left, fresh)
+            if node.left.priority > node.priority:
+                node = self._rotate_right(node)
+        else:
+            node.right = self._insert_node(node.right, fresh)
+            if node.right.priority > node.priority:
+                node = self._rotate_left(node)
+        return node
+
+    def _delete_node(self, node: Optional[TreapNode],
+                     key: object) -> Optional[TreapNode]:
+        if node is None:
+            raise KeyNotFound(key)
+        if key < node.key:
+            node.left = self._delete_node(node.left, key)
+            return node
+        if key > node.key:
+            node.right = self._delete_node(node.right, key)
+            return node
+        # Rotate the node down until it is a leaf, then drop it.
+        if node.left is None:
+            return node.right
+        if node.right is None:
+            return node.left
+        if node.left.priority > node.right.priority:
+            node = self._rotate_right(node)
+            node.right = self._delete_node(node.right, key)
+        else:
+            node = self._rotate_left(node)
+            node.left = self._delete_node(node.left, key)
+        return node
+
+    def _rotate_right(self, node: TreapNode) -> TreapNode:
+        pivot = node.left
+        assert pivot is not None
+        node.left = pivot.right
+        pivot.right = node
+        self.stats.bump("treap.rotation")
+        return pivot
+
+    def _rotate_left(self, node: TreapNode) -> TreapNode:
+        pivot = node.right
+        assert pivot is not None
+        node.right = pivot.left
+        pivot.left = node
+        self.stats.bump("treap.rotation")
+        return pivot
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+
+    def _find(self, key: object) -> Optional[TreapNode]:
+        node = self._root
+        while node is not None:
+            if key == node.key:
+                return node
+            node = node.left if key < node.key else node.right
+        return None
+
+    def _walk(self, node: Optional[TreapNode]
+              ) -> Iterator[Tuple[object, object]]:
+        if node is None:
+            return
+        yield from self._walk(node.left)
+        yield node.key, node.value
+        yield from self._walk(node.right)
+
+    def _height_of(self, node: Optional[TreapNode]) -> int:
+        if node is None:
+            return 0
+        return 1 + max(self._height_of(node.left), self._height_of(node.right))
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+
+    def check(self) -> None:
+        """Verify the BST and heap invariants; raises :class:`InvariantViolation`."""
+        keys = self.keys()
+        if len(keys) != self._count:
+            raise InvariantViolation("walk found %d keys, expected %d"
+                                     % (len(keys), self._count))
+        for previous, current in zip(keys, keys[1:]):
+            if not previous < current:
+                raise InvariantViolation("keys out of order: %r !< %r"
+                                         % (previous, current))
+        self._check_heap(self._root)
+
+    def _check_heap(self, node: Optional[TreapNode]) -> None:
+        if node is None:
+            return
+        for child in (node.left, node.right):
+            if child is not None and child.priority > node.priority:
+                raise InvariantViolation(
+                    "heap violation: child %r outranks parent %r"
+                    % (child.key, node.key))
+        self._check_heap(node.left)
+        self._check_heap(node.right)

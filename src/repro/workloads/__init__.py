@@ -1,0 +1,48 @@
+"""Workload generators for the benchmarks and examples.
+
+The paper's experiment inserts uniformly random numbers; the motivation
+sections describe deletion-heavy redaction workloads and ingest patterns that
+hammer one end of the key space.  This package generates all of those as
+reproducible operation traces that can be replayed against either the
+rank-addressed PMAs or the key-addressed dictionaries.
+"""
+
+from repro.workloads.generators import (
+    Operation,
+    OperationKind,
+    random_insert_trace,
+    sequential_insert_trace,
+    reverse_sequential_insert_trace,
+    clustered_insert_trace,
+    insert_delete_trace,
+    redaction_trace,
+    apply_to_ranked,
+    apply_to_dictionary,
+)
+from repro.workloads.patterns import (
+    batch_redaction_trace,
+    live_keys_of,
+    search_mix_trace,
+    sliding_window_trace,
+    trough_trace,
+    zipfian_insert_trace,
+)
+
+__all__ = [
+    "Operation",
+    "OperationKind",
+    "random_insert_trace",
+    "sequential_insert_trace",
+    "reverse_sequential_insert_trace",
+    "clustered_insert_trace",
+    "insert_delete_trace",
+    "redaction_trace",
+    "apply_to_ranked",
+    "apply_to_dictionary",
+    "zipfian_insert_trace",
+    "sliding_window_trace",
+    "trough_trace",
+    "search_mix_trace",
+    "batch_redaction_trace",
+    "live_keys_of",
+]

@@ -1,0 +1,199 @@
+"""Reproducible operation traces.
+
+A trace is a list of :class:`Operation` records.  Each operation carries a
+*key* (an integer drawn from a configurable key space); the replay helpers
+translate keys into ranks when the target structure is rank-addressed, so the
+same trace can drive a PMA, the HI cache-oblivious B-tree, a B-tree or a skip
+list — which is what the comparison benches need.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro._rng import RandomLike, make_rng
+from repro.errors import ConfigurationError
+
+
+class OperationKind(enum.Enum):
+    """The kinds of operations a trace can contain."""
+
+    INSERT = "insert"
+    DELETE = "delete"
+    SEARCH = "search"
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One operation of a workload trace."""
+
+    kind: OperationKind
+    key: int
+
+    def __str__(self) -> str:
+        return "%s(%d)" % (self.kind.value, self.key)
+
+
+def _unique_keys(count: int, key_space: int, rng) -> List[int]:
+    if count > key_space:
+        raise ConfigurationError(
+            "cannot draw %d distinct keys from a key space of %d" % (count, key_space))
+    return rng.sample(range(key_space), count)
+
+
+def random_insert_trace(count: int, key_space: Optional[int] = None,
+                        seed: RandomLike = None) -> List[Operation]:
+    """Insert ``count`` distinct uniformly random keys (the paper's workload)."""
+    rng = make_rng(seed)
+    key_space = key_space if key_space is not None else max(10 * count, 1000)
+    keys = _unique_keys(count, key_space, rng)
+    return [Operation(OperationKind.INSERT, key) for key in keys]
+
+
+def sequential_insert_trace(count: int, start: int = 1) -> List[Operation]:
+    """Insert ``start, start+1, ...`` in increasing order (always appends)."""
+    return [Operation(OperationKind.INSERT, start + index) for index in range(count)]
+
+
+def reverse_sequential_insert_trace(count: int, start: int = 1) -> List[Operation]:
+    """Insert keys in decreasing order (always prepends — the PMA's worst hammer)."""
+    return [Operation(OperationKind.INSERT, start + count - 1 - index)
+            for index in range(count)]
+
+
+def clustered_insert_trace(count: int, clusters: int = 8,
+                           cluster_width: int = 1000,
+                           seed: RandomLike = None) -> List[Operation]:
+    """Inserts concentrated around a few hot spots in the key space.
+
+    Models the "pouring sand into a trough at one location" picture from the
+    paper's introduction: local densities would build up in a classic PMA.
+    """
+    if clusters < 1:
+        raise ConfigurationError("clusters must be at least 1")
+    if cluster_width < 1:
+        raise ConfigurationError("cluster_width must be at least 1")
+    if 2 * clusters * cluster_width < 2 * count:
+        # Rejection sampling needs slack; without it the generator would stall
+        # (or loop forever) once the hot windows are exhausted.
+        raise ConfigurationError(
+            "cannot draw %d distinct keys from %d cluster(s) of width %d; "
+            "increase cluster_width or clusters" % (count, clusters, cluster_width))
+    rng = make_rng(seed)
+    centers = [rng.randrange(cluster_width, cluster_width * 1000)
+               for _ in range(clusters)]
+    operations: List[Operation] = []
+    used = set()
+    attempts = 0
+    max_attempts = 100 * count + 1000
+    while len(operations) < count:
+        attempts += 1
+        if attempts > max_attempts:
+            raise ConfigurationError(
+                "clustered trace generation stalled after %d attempts; the "
+                "cluster windows overlap too much for %d distinct keys"
+                % (attempts, count))
+        center = rng.choice(centers)
+        key = center + rng.randrange(-cluster_width, cluster_width)
+        if key in used:
+            continue
+        used.add(key)
+        operations.append(Operation(OperationKind.INSERT, key))
+    return operations
+
+
+def insert_delete_trace(count: int, delete_fraction: float = 0.3,
+                        key_space: Optional[int] = None,
+                        seed: RandomLike = None) -> List[Operation]:
+    """A mixed workload: random inserts interleaved with deletes of live keys."""
+    if not 0.0 <= delete_fraction < 1.0:
+        raise ConfigurationError("delete_fraction must be in [0, 1)")
+    rng = make_rng(seed)
+    key_space = key_space if key_space is not None else max(10 * count, 1000)
+    live: List[int] = []
+    used = set()
+    operations: List[Operation] = []
+    while len(operations) < count:
+        do_delete = live and rng.random() < delete_fraction
+        if do_delete:
+            index = rng.randrange(len(live))
+            key = live.pop(index)
+            operations.append(Operation(OperationKind.DELETE, key))
+        else:
+            key = rng.randrange(key_space)
+            if key in used:
+                continue
+            used.add(key)
+            live.append(key)
+            operations.append(Operation(OperationKind.INSERT, key))
+    return operations
+
+
+def redaction_trace(initial: int, redactions: int,
+                    key_space: Optional[int] = None,
+                    seed: RandomLike = None) -> List[Operation]:
+    """Bulk-load then redact: the secure-delete scenario from the introduction.
+
+    First inserts ``initial`` random keys, then deletes ``redactions`` of
+    them chosen at random — the situation where a history-dependent layout
+    would leak how much was deleted and where in the key space it lived.
+    """
+    if redactions > initial:
+        raise ConfigurationError("cannot redact more keys than were inserted")
+    rng = make_rng(seed)
+    key_space = key_space if key_space is not None else max(10 * initial, 1000)
+    keys = _unique_keys(initial, key_space, rng)
+    operations = [Operation(OperationKind.INSERT, key) for key in keys]
+    for key in rng.sample(keys, redactions):
+        operations.append(Operation(OperationKind.DELETE, key))
+    return operations
+
+
+# --------------------------------------------------------------------------- #
+# Replay helpers
+# --------------------------------------------------------------------------- #
+
+def apply_to_ranked(structure, trace: Sequence[Operation],
+                    value_of: Optional[Callable[[int], object]] = None) -> None:
+    """Replay a trace against a rank-addressed structure (a PMA).
+
+    Keys are kept in sorted order, so an insert of key ``k`` becomes
+    ``insert(rank_of(k), k)`` and a delete becomes ``delete(rank_of(k))``.
+    The rank bookkeeping is done with a shadow sorted list, which keeps the
+    replay independent of the structure under test.
+    """
+    import bisect
+
+    value_of = value_of or (lambda key: key)
+    shadow: List[int] = []
+    for operation in trace:
+        if operation.kind is OperationKind.INSERT:
+            rank = bisect.bisect_left(shadow, operation.key)
+            structure.insert(rank, value_of(operation.key))
+            shadow.insert(rank, operation.key)
+        elif operation.kind is OperationKind.DELETE:
+            rank = bisect.bisect_left(shadow, operation.key)
+            if rank >= len(shadow) or shadow[rank] != operation.key:
+                raise ConfigurationError("trace deletes a key that is not live: %r"
+                                         % (operation.key,))
+            structure.delete(rank)
+            shadow.pop(rank)
+        else:
+            rank = bisect.bisect_left(shadow, operation.key)
+            if rank < len(shadow) and shadow[rank] == operation.key:
+                structure.get(rank)
+
+
+def apply_to_dictionary(structure, trace: Sequence[Operation],
+                        value_of: Optional[Callable[[int], object]] = None) -> None:
+    """Replay a trace against a key-addressed dictionary (B-tree, skip list, …)."""
+    value_of = value_of or (lambda key: key)
+    for operation in trace:
+        if operation.kind is OperationKind.INSERT:
+            structure.insert(operation.key, value_of(operation.key))
+        elif operation.kind is OperationKind.DELETE:
+            structure.delete(operation.key)
+        else:
+            structure.contains(operation.key)

@@ -1,0 +1,238 @@
+"""Structured workload patterns beyond the paper's uniform-random inserts.
+
+The generators in :mod:`repro.workloads.generators` cover the paper's own
+experiment (uniform random inserts) and its motivating scenarios (redaction,
+hammering one end).  The patterns here model the broader database workloads a
+user of these index structures would actually run, and are used by the
+extension benches and the examples:
+
+* :func:`zipfian_insert_trace` — skewed key popularity (hot ranges), the
+  standard model for real key distributions.
+* :func:`sliding_window_trace` — a time-window/retention workload: new keys
+  arrive at the front while the oldest are deleted, exactly the
+  "pouring sand in one place, letting it out at another" trough from the
+  paper's introduction.
+* :func:`trough_trace` — the symmetric version: inserts cluster around a hot
+  point that drifts across the key space while deletes drain a trailing
+  region, producing the local density waves a classic PMA cannot hide.
+* :func:`search_mix_trace` — an OLTP-style mix of point lookups over a
+  pre-loaded key set with a trickle of inserts and deletes.
+* :func:`batch_redaction_trace` — bulk load followed by the redaction of one
+  contiguous key range (the "failed redaction" scenario: the observer tries
+  to locate the hole).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Optional
+
+from repro._rng import RandomLike, make_rng
+from repro.errors import ConfigurationError
+from repro.workloads.generators import Operation, OperationKind
+
+
+def _zipf_weights(population: int, skew: float) -> List[float]:
+    """Unnormalised Zipf weights ``1/rank^skew`` for ranks ``1..population``."""
+    return [1.0 / (rank ** skew) for rank in range(1, population + 1)]
+
+
+def zipfian_insert_trace(count: int, key_space: Optional[int] = None,
+                         skew: float = 1.0,
+                         seed: RandomLike = None) -> List[Operation]:
+    """Insert ``count`` distinct keys drawn from a Zipf-skewed popularity order.
+
+    The key space is ranked by popularity at a random permutation (so the hot
+    keys are scattered across the key space, not all at the front), and keys
+    are sampled without replacement proportionally to ``1/rank^skew``.
+    ``skew=0`` degenerates to uniform sampling; larger values concentrate the
+    workload on a few hot regions.
+    """
+    if count < 0:
+        raise ConfigurationError("count must be non-negative")
+    if skew < 0:
+        raise ConfigurationError("skew must be non-negative")
+    rng = make_rng(seed)
+    key_space = key_space if key_space is not None else max(10 * count, 1000)
+    if count > key_space:
+        raise ConfigurationError("cannot draw %d distinct keys from a space of %d"
+                                 % (count, key_space))
+    ranked_keys = list(range(key_space))
+    rng.shuffle(ranked_keys)
+    weights = _zipf_weights(key_space, skew)
+    cumulative: List[float] = []
+    running = 0.0
+    for weight in weights:
+        running += weight
+        cumulative.append(running)
+    # Weighted sampling without replacement via rejection against the static
+    # cumulative distribution; the rejection rate stays low because the
+    # requested count is at most a tenth of the key space by default.
+    chosen: List[int] = []
+    taken = [False] * key_space
+    while len(chosen) < count:
+        rank = bisect.bisect_left(cumulative, rng.random() * running)
+        rank = min(rank, key_space - 1)
+        if taken[rank]:
+            # Fall back to the nearest untaken rank once rejections dominate.
+            if len(chosen) > 0.9 * key_space:
+                rank = next(index for index, used in enumerate(taken) if not used)
+            else:
+                continue
+        taken[rank] = True
+        chosen.append(ranked_keys[rank])
+    return [Operation(OperationKind.INSERT, key) for key in chosen]
+
+
+def sliding_window_trace(arrivals: int, window: int,
+                         stride: int = 1,
+                         start: int = 0) -> List[Operation]:
+    """A retention-window workload: insert fresh keys, expire the oldest.
+
+    Keys arrive in increasing order ``start, start + stride, ...``; once more
+    than ``window`` keys are live, every new arrival is paired with a delete
+    of the oldest live key.  The live set is always a contiguous block of
+    ``<= window`` keys sliding upward through the key space — the workload
+    under which a classic PMA develops a permanent dense "front" and sparse
+    "tail", while an HI PMA's layout stays indistinguishable from a fresh
+    build of the same window.
+    """
+    if arrivals < 0:
+        raise ConfigurationError("arrivals must be non-negative")
+    if window < 1:
+        raise ConfigurationError("window must be at least 1")
+    if stride < 1:
+        raise ConfigurationError("stride must be at least 1")
+    operations: List[Operation] = []
+    live: List[int] = []
+    key = start
+    for _ in range(arrivals):
+        operations.append(Operation(OperationKind.INSERT, key))
+        live.append(key)
+        key += stride
+        if len(live) > window:
+            operations.append(Operation(OperationKind.DELETE, live.pop(0)))
+    return operations
+
+
+def trough_trace(count: int, hot_width: int = 64,
+                 drift_per_insert: int = 2,
+                 drain_lag: int = 512,
+                 seed: RandomLike = None) -> List[Operation]:
+    """The sand-trough workload from the paper's introduction.
+
+    Inserts land uniformly inside a *hot window* of width ``hot_width`` whose
+    centre drifts upward by ``drift_per_insert`` keys per insert.  Once the
+    hot window has moved ``drain_lag`` keys past the oldest live key, each
+    insert is paired with a delete of the oldest live key (the drain).  The
+    result is a moving bump of recent arrivals and a trailing depression of
+    departures — the picture the paper uses to explain why PMA densities are
+    history dependent.
+    """
+    if count < 0:
+        raise ConfigurationError("count must be non-negative")
+    if hot_width < 1 or drift_per_insert < 0 or drain_lag < 1:
+        raise ConfigurationError("hot_width and drain_lag must be positive, "
+                                 "drift_per_insert non-negative")
+    rng = make_rng(seed)
+    operations: List[Operation] = []
+    live_sorted: List[int] = []
+    used = set()
+    center = drain_lag
+    while len(operations) < count:
+        key = center + rng.randrange(-hot_width, hot_width + 1)
+        if key in used:
+            center += drift_per_insert
+            continue
+        used.add(key)
+        bisect.insort(live_sorted, key)
+        operations.append(Operation(OperationKind.INSERT, key))
+        center += drift_per_insert
+        if len(operations) < count and live_sorted \
+                and center - live_sorted[0] > drain_lag:
+            oldest = live_sorted.pop(0)
+            operations.append(Operation(OperationKind.DELETE, oldest))
+    return operations[:count]
+
+
+def search_mix_trace(preload: int, operations: int,
+                     search_fraction: float = 0.9,
+                     key_space: Optional[int] = None,
+                     seed: RandomLike = None) -> List[Operation]:
+    """An OLTP-style mix: bulk load, then mostly searches with a trickle of updates.
+
+    The first ``preload`` operations are random distinct inserts; the
+    remaining ``operations`` are searches of live keys with probability
+    ``search_fraction``, otherwise alternating inserts of fresh keys and
+    deletes of live keys.
+    """
+    if not 0.0 <= search_fraction <= 1.0:
+        raise ConfigurationError("search_fraction must be in [0, 1]")
+    if preload < 1:
+        raise ConfigurationError("preload must be at least 1")
+    rng = make_rng(seed)
+    key_space = key_space if key_space is not None else max(10 * (preload + operations),
+                                                            1000)
+    live = rng.sample(range(key_space), preload)
+    used = set(live)
+    trace = [Operation(OperationKind.INSERT, key) for key in live]
+    insert_next = True
+    while len(trace) < preload + operations:
+        if live and rng.random() < search_fraction:
+            trace.append(Operation(OperationKind.SEARCH, rng.choice(live)))
+        elif insert_next or not live:
+            key = rng.randrange(key_space)
+            if key in used:
+                continue
+            used.add(key)
+            live.append(key)
+            trace.append(Operation(OperationKind.INSERT, key))
+            insert_next = False
+        else:
+            index = rng.randrange(len(live))
+            trace.append(Operation(OperationKind.DELETE, live.pop(index)))
+            insert_next = True
+    return trace
+
+
+def batch_redaction_trace(initial: int, redaction_start: float = 0.4,
+                          redaction_width: float = 0.2,
+                          key_space: Optional[int] = None,
+                          seed: RandomLike = None) -> List[Operation]:
+    """Bulk load, then redact one contiguous slice of the key space.
+
+    ``redaction_start`` and ``redaction_width`` are fractions of the sorted
+    key population.  This is the sharpest version of the secure-delete
+    scenario: in a history-dependent layout the deleted slice leaves a
+    visible depression exactly where the redacted keys lived.
+    """
+    if initial < 1:
+        raise ConfigurationError("initial must be at least 1")
+    if not 0.0 <= redaction_start <= 1.0 or not 0.0 < redaction_width <= 1.0:
+        raise ConfigurationError("redaction bounds must be fractions in [0, 1]")
+    rng = make_rng(seed)
+    key_space = key_space if key_space is not None else max(10 * initial, 1000)
+    keys = rng.sample(range(key_space), initial)
+    trace = [Operation(OperationKind.INSERT, key) for key in keys]
+    ordered = sorted(keys)
+    start_index = int(redaction_start * initial)
+    stop_index = min(initial, start_index + max(1, int(redaction_width * initial)))
+    for key in ordered[start_index:stop_index]:
+        trace.append(Operation(OperationKind.DELETE, key))
+    return trace
+
+
+def live_keys_of(trace: List[Operation]) -> List[int]:
+    """The keys still live after replaying ``trace``, in sorted order.
+
+    Convenience for tests and examples that need to know the final state a
+    trace produces (e.g. to build the equivalent-state comparison structure
+    in a history audit).
+    """
+    live = set()
+    for operation in trace:
+        if operation.kind is OperationKind.INSERT:
+            live.add(operation.key)
+        elif operation.kind is OperationKind.DELETE:
+            live.discard(operation.key)
+    return sorted(live)

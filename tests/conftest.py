@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator for tests that need raw randomness."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def small_keys(rng):
+    """A small set of distinct random keys."""
+    return rng.sample(range(10_000), 200)
+
+
+@pytest.fixture
+def medium_keys(rng):
+    """A medium-sized set of distinct random keys."""
+    return rng.sample(range(1_000_000), 2_000)

@@ -1,0 +1,168 @@
+"""The adaptive PMA: predictor behaviour, correctness, and adaptivity."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError, RankError
+from repro.pma.adaptive import AdaptivePMA, InsertPredictor
+from repro.pma.classic import ClassicPMA
+from repro.workloads import (
+    apply_to_ranked,
+    random_insert_trace,
+    reverse_sequential_insert_trace,
+)
+
+
+# --------------------------------------------------------------------------- #
+# InsertPredictor
+# --------------------------------------------------------------------------- #
+
+def test_predictor_validation():
+    with pytest.raises(ConfigurationError):
+        InsertPredictor(max_markers=0)
+    with pytest.raises(ConfigurationError):
+        InsertPredictor(decay=0.0)
+    with pytest.raises(ConfigurationError):
+        InsertPredictor(decay=1.5)
+
+
+def test_predictor_records_and_boosts():
+    predictor = InsertPredictor(max_markers=4, decay=0.9)
+    predictor.record(10)
+    predictor.record(10)
+    predictor.record(20)
+    assert predictor.boost(10) > predictor.boost(20) > 0
+    assert predictor.boost(99) == 0.0
+
+
+def test_predictor_decays_and_evicts():
+    predictor = InsertPredictor(max_markers=4, decay=0.5)
+    predictor.record("old")
+    for value in range(20):
+        predictor.record(value)
+    assert predictor.boost("old") == 0.0
+    assert len(predictor) <= 4
+
+
+def test_predictor_capacity_evicts_stalest():
+    predictor = InsertPredictor(max_markers=2, decay=1.0)
+    predictor.record("a")
+    predictor.record("b")
+    predictor.record("c")
+    assert len(predictor) == 2
+    assert "a" not in predictor.markers()
+
+
+def test_predictor_ignores_unhashable_items():
+    predictor = InsertPredictor()
+    predictor.record(["not", "hashable"])
+    assert predictor.boost(["not", "hashable"]) == 0.0
+    assert len(predictor) == 0
+
+
+# --------------------------------------------------------------------------- #
+# AdaptivePMA correctness
+# --------------------------------------------------------------------------- #
+
+def test_rejects_negative_boost():
+    with pytest.raises(ConfigurationError):
+        AdaptivePMA(marker_boost=-1.0)
+
+
+def test_insert_get_delete_roundtrip():
+    pma = AdaptivePMA()
+    for value in range(100):
+        pma.insert(len(pma), value)
+    assert pma.to_list() == list(range(100))
+    assert pma.get(50) == 50
+    assert pma.delete(0) == 0
+    assert pma.query(0, 4) == [1, 2, 3, 4, 5]
+    pma.check()
+
+
+def test_bounds_checks_inherited():
+    pma = AdaptivePMA()
+    with pytest.raises(RankError):
+        pma.get(0)
+    with pytest.raises(ValueError):
+        pma.insert(0, None)
+
+
+def test_zero_boost_behaves_like_classic():
+    trace = random_insert_trace(400, seed=5)
+    classic = ClassicPMA()
+    neutral = AdaptivePMA(marker_boost=0.0)
+    apply_to_ranked(classic, trace)
+    apply_to_ranked(neutral, trace)
+    assert neutral.to_list() == classic.to_list()
+    neutral.check()
+
+
+def test_matches_classic_contents_on_any_workload():
+    trace = reverse_sequential_insert_trace(600)
+    classic = ClassicPMA()
+    adaptive = AdaptivePMA()
+    apply_to_ranked(classic, trace)
+    apply_to_ranked(adaptive, trace)
+    assert adaptive.to_list() == classic.to_list()
+    adaptive.check()
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(min_value=-300, max_value=300),
+                min_size=1, max_size=120))
+def test_property_matches_sorted_shadow(keys):
+    import bisect
+
+    pma = AdaptivePMA()
+    shadow = []
+    for key in keys:
+        rank = bisect.bisect_left(shadow, key)
+        pma.insert(rank, key)
+        shadow.insert(rank, key)
+    assert pma.to_list() == shadow
+    pma.check()
+
+
+# --------------------------------------------------------------------------- #
+# Adaptivity
+# --------------------------------------------------------------------------- #
+
+def test_front_hammer_moves_fewer_elements_than_classic():
+    trace = reverse_sequential_insert_trace(2500)
+    classic = ClassicPMA()
+    adaptive = AdaptivePMA()
+    apply_to_ranked(classic, trace)
+    apply_to_ranked(adaptive, trace)
+    assert adaptive.stats.element_moves * 1.5 < classic.stats.element_moves
+
+
+def test_random_inserts_cost_about_the_same_as_classic():
+    trace = random_insert_trace(2500, seed=9)
+    classic = ClassicPMA()
+    adaptive = AdaptivePMA()
+    apply_to_ranked(classic, trace)
+    apply_to_ranked(adaptive, trace)
+    ratio = classic.stats.element_moves / max(1, adaptive.stats.element_moves)
+    assert 0.6 <= ratio <= 1.6
+
+
+def test_layout_is_history_dependent_by_design():
+    """The adaptive PMA's layout encodes its prediction — the sharpest negative control."""
+    keys = list(range(200))
+    forward = AdaptivePMA()
+    backward = AdaptivePMA()
+    apply_to_ranked(forward, [op for op in random_insert_trace(0)] or [])
+    import bisect
+
+    def build(structure, order):
+        shadow = []
+        for key in order:
+            rank = bisect.bisect_left(shadow, key)
+            structure.insert(rank, key)
+            shadow.insert(rank, key)
+
+    build(forward, keys)
+    build(backward, list(reversed(keys)))
+    assert forward.to_list() == backward.to_list()
+    assert forward.memory_representation() != backward.memory_representation()

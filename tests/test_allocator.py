@@ -1,0 +1,89 @@
+"""The history-independent arena allocator."""
+
+import itertools
+from collections import Counter
+
+import pytest
+
+from repro.errors import ReproError
+from repro.memory.allocator import UniformArenaAllocator
+
+
+def test_blocks_per_allocation_must_be_positive():
+    with pytest.raises(ValueError):
+        UniformArenaAllocator(blocks_per_allocation=0)
+
+
+def test_allocate_grows_arena_and_assigns_positions():
+    allocator = UniformArenaAllocator(seed=1)
+    allocations = [allocator.allocate() for _ in range(5)]
+    assert len(allocator) == 5
+    positions = sorted(allocation.position for allocation in allocations)
+    assert positions == [0, 1, 2, 3, 4]
+
+
+def test_free_keeps_arena_contiguous():
+    allocator = UniformArenaAllocator(seed=2)
+    allocations = [allocator.allocate() for _ in range(6)]
+    allocator.free(allocations[2])
+    assert len(allocator) == 5
+    remaining = [allocator.position_of(a.handle) for a in allocations if a is not allocations[2]]
+    assert sorted(remaining) == [0, 1, 2, 3, 4]
+
+
+def test_double_free_rejected():
+    allocator = UniformArenaAllocator(seed=3)
+    allocation = allocator.allocate()
+    allocator.free(allocation)
+    with pytest.raises(ReproError):
+        allocator.free(allocation)
+
+
+def test_first_block_scales_with_size_class():
+    allocator = UniformArenaAllocator(blocks_per_allocation=4, seed=4)
+    allocation = allocator.allocate()
+    assert allocation.first_block == allocation.position * 4
+
+
+def test_relocation_callback_invoked_on_displacement():
+    moves = []
+    allocator = UniformArenaAllocator(
+        seed=5, on_relocate=lambda allocation, old, new: moves.append((old, new)))
+    allocations = [allocator.allocate() for _ in range(30)]
+    allocator.free(allocations[0])
+    assert allocator.relocations == len(moves)
+    assert allocator.relocations >= 1
+
+
+def test_layout_lists_live_handles_in_arena_order():
+    allocator = UniformArenaAllocator(seed=6)
+    handles = {allocator.allocate().handle for _ in range(4)}
+    assert set(allocator.layout()) == handles
+
+
+def test_placement_distribution_is_order_independent():
+    """The defining WHI property: the final position of a given allocation is
+    uniform regardless of when it was allocated."""
+    trials = 3000
+    last_position_counts = Counter()
+    for seed in range(trials):
+        allocator = UniformArenaAllocator(seed=seed)
+        allocations = [allocator.allocate() for _ in range(4)]
+        last_position_counts[allocations[-1].position] += 1
+    # The last allocation should land in each of the 4 positions ~25% of the time.
+    for position in range(4):
+        fraction = last_position_counts[position] / trials
+        assert abs(fraction - 0.25) < 0.05
+
+
+def test_free_then_alloc_distribution_stays_uniform():
+    trials = 3000
+    counts = Counter()
+    for seed in range(trials):
+        allocator = UniformArenaAllocator(seed=seed)
+        allocations = [allocator.allocate() for _ in range(3)]
+        allocator.free(allocations[1])
+        allocator.allocate()
+        counts[allocator.position_of(allocations[0].handle)] += 1
+    for position in range(3):
+        assert abs(counts[position] / trials - 1 / 3) < 0.05

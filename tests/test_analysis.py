@@ -1,0 +1,115 @@
+"""Series builders and reporting helpers."""
+
+import json
+import math
+import os
+
+import pytest
+
+from repro.analysis.moves import amortized_moves, normalized_moves_series, space_overhead_series
+from repro.analysis.reporting import format_table, write_results
+from repro.analysis.scaling import dictionary_io_series, search_cost_distribution, tail_summary
+from repro.core.hi_pma import HistoryIndependentPMA
+from repro.pma.classic import ClassicPMA
+from repro.skiplist.folklore import FolkloreBSkipList
+from repro.skiplist.external import HistoryIndependentSkipList
+from repro.workloads import random_insert_trace, sequential_insert_trace
+
+
+def test_normalized_moves_series_checkpoints_and_normalization():
+    trace = random_insert_trace(400, seed=0)
+    pma = HistoryIndependentPMA(seed=0)
+    series = normalized_moves_series(pma, trace, checkpoints=10)
+    assert len(series) >= 10
+    assert series[-1].inserts == 400
+    last = series[-1]
+    assert last.element_moves == pma.stats.element_moves
+    expected = last.element_moves / (400 * math.log2(400) ** 2)
+    assert last.normalized_moves == pytest.approx(expected)
+    assert last.space_per_element == pytest.approx(pma.num_slots / 400)
+
+
+def test_normalized_moves_series_rejects_deletes():
+    from repro.workloads import insert_delete_trace
+    trace = insert_delete_trace(50, delete_fraction=0.5, seed=1)
+    pma = HistoryIndependentPMA(seed=1)
+    with pytest.raises(ValueError):
+        normalized_moves_series(pma, trace)
+
+
+def test_normalized_moves_empty_trace():
+    assert normalized_moves_series(HistoryIndependentPMA(seed=2), []) == []
+    assert amortized_moves([]) is None
+
+
+def test_space_overhead_series_matches_paper_band():
+    trace = random_insert_trace(1500, seed=3)
+    pma = HistoryIndependentPMA(seed=3)
+    series = space_overhead_series(pma, trace, checkpoints=30)
+    ratios = [sample.space_per_element for sample in series if sample.inserts >= 200]
+    # The paper reports 1.8x-5x; allow slack for the pure-Python constants.
+    assert min(ratios) >= 1.0
+    assert max(ratios) <= 40.0
+
+
+def test_classic_pma_moves_are_lower_than_hi_pma():
+    trace = random_insert_trace(1200, seed=4)
+    hi_series = normalized_moves_series(HistoryIndependentPMA(seed=4), list(trace))
+    classic_series = normalized_moves_series(ClassicPMA(), list(trace))
+    assert classic_series[-1].element_moves < hi_series[-1].element_moves
+
+
+def test_amortized_moves_helper():
+    trace = sequential_insert_trace(200)
+    pma = HistoryIndependentPMA(seed=5)
+    series = normalized_moves_series(pma, trace)
+    assert amortized_moves(series) == pytest.approx(
+        series[-1].element_moves / series[-1].inserts)
+
+
+def test_dictionary_io_series_produces_rows_for_each_structure_and_size():
+    factories = {
+        "folklore": lambda: FolkloreBSkipList(block_size=16, seed=1),
+        "hi-skiplist": lambda: HistoryIndependentSkipList(block_size=16, epsilon=0.3, seed=1),
+    }
+    samples = dictionary_io_series(factories, sizes=[200, 400], searches=40,
+                                   range_keys=64, seed=6)
+    assert len(samples) == 4
+    names = {sample.structure for sample in samples}
+    assert names == set(factories)
+    for sample in samples:
+        assert sample.search_ios >= 1
+        assert sample.insert_ios >= 1
+        assert sample.range_ios >= 1
+
+
+def test_search_cost_distribution_and_tail_summary():
+    skiplist = FolkloreBSkipList(block_size=8, seed=7)
+    keys = list(range(500))
+    for key in keys:
+        skiplist.insert(key, key)
+    costs = search_cost_distribution(skiplist, keys[:100])
+    summary = tail_summary(costs)
+    assert summary["max"] >= summary["p50"] >= 1
+    assert summary["mean"] > 0
+    assert tail_summary([]) == {"mean": 0.0, "p50": 0.0, "p99": 0.0, "max": 0.0}
+
+
+def test_format_table_alignment_and_headers():
+    table = format_table([[1, 2.34567, "abc"], [100, 7.0, "z"]],
+                         headers=["n", "value", "name"])
+    lines = table.splitlines()
+    assert lines[0].startswith("n")
+    assert "-" in lines[1]
+    assert len(lines) == 4
+    assert format_table([]) == "(no data)"
+
+
+def test_write_results_creates_json(tmp_path):
+    path = write_results("unit-test", {"a": 1, "series": [1, 2, 3]},
+                         directory=str(tmp_path))
+    assert os.path.exists(path)
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    assert payload["a"] == 1
+    assert payload["series"] == [1, 2, 3]

@@ -1,0 +1,74 @@
+"""BlockDevice: allocation, transfer counting, and observer access."""
+
+import pytest
+
+from repro.errors import CapacityError
+from repro.memory.block_device import BlockDevice
+
+
+def test_block_size_must_be_positive():
+    with pytest.raises(ValueError):
+        BlockDevice(0)
+
+
+def test_allocate_returns_sequential_addresses():
+    device = BlockDevice(4)
+    assert device.allocate_block() == 0
+    assert device.allocate_block() == 1
+    assert len(device) == 2
+
+
+def test_allocate_blocks_bulk():
+    device = BlockDevice(4)
+    addresses = device.allocate_blocks(3)
+    assert addresses == [0, 1, 2]
+    with pytest.raises(ValueError):
+        device.allocate_blocks(-1)
+
+
+def test_read_write_round_trip_counts_ios():
+    device = BlockDevice(4)
+    address = device.allocate_block()
+    device.write_block(address, ["a", "b"])
+    assert device.read_block(address) == ["a", "b", None, None]
+    assert device.stats.reads == 1
+    assert device.stats.writes == 1
+
+
+def test_write_overflow_raises():
+    device = BlockDevice(2)
+    address = device.allocate_block()
+    with pytest.raises(CapacityError):
+        device.write_block(address, [1, 2, 3])
+
+
+def test_peek_does_not_charge_io():
+    device = BlockDevice(2)
+    address = device.allocate_block()
+    device.write_block(address, [1])
+    before = device.stats.total_ios
+    assert device.peek_block(address) == [1, None]
+    assert device.stats.total_ios == before
+
+
+def test_free_block_removes_address():
+    device = BlockDevice(2)
+    address = device.allocate_block()
+    device.free_block(address)
+    assert address not in device.live_addresses()
+    with pytest.raises(KeyError):
+        device.read_block(address)
+
+
+def test_freed_addresses_are_never_reused():
+    device = BlockDevice(2)
+    first = device.allocate_block()
+    device.free_block(first)
+    assert device.allocate_block() != first
+
+
+def test_live_addresses_sorted():
+    device = BlockDevice(2)
+    addresses = device.allocate_blocks(5)
+    device.free_block(addresses[2])
+    assert device.live_addresses() == [0, 1, 3, 4]

@@ -1,0 +1,219 @@
+"""The blocked B-treap: dictionary behaviour, block packing, I/O accounting."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.btreap import BTreap
+from repro.errors import ConfigurationError, DuplicateKey, KeyNotFound
+
+
+# --------------------------------------------------------------------------- #
+# Construction and basic behaviour
+# --------------------------------------------------------------------------- #
+
+def test_rejects_tiny_block_size():
+    with pytest.raises(ConfigurationError):
+        BTreap(block_size=1)
+
+
+def test_levels_per_block_matches_log_of_block_size():
+    assert BTreap(block_size=2).levels_per_block == 1
+    assert BTreap(block_size=7).levels_per_block == 3
+    assert BTreap(block_size=64).levels_per_block == 6
+    assert BTreap(block_size=255).levels_per_block == 8
+
+
+def test_insert_search_delete_roundtrip():
+    btreap = BTreap(block_size=16, seed=0)
+    for key in range(100):
+        btreap.insert(key, key * 3)
+    assert len(btreap) == 100
+    assert btreap.search(42) == 126
+    assert btreap.delete(42) == 126
+    assert 42 not in btreap
+    assert len(btreap) == 99
+
+
+def test_duplicate_and_missing_key_errors():
+    btreap = BTreap(block_size=8, seed=1)
+    btreap.insert(5, "x")
+    with pytest.raises(DuplicateKey):
+        btreap.insert(5, "y")
+    with pytest.raises(KeyNotFound):
+        btreap.search(6)
+    with pytest.raises(KeyNotFound):
+        btreap.delete(6)
+
+
+def test_upsert_counts_single_entry():
+    btreap = BTreap(block_size=8, seed=1)
+    assert btreap.upsert(3, "a") is False
+    assert btreap.upsert(3, "b") is True
+    assert btreap.search(3) == "b"
+    assert len(btreap) == 1
+
+
+def test_iteration_and_items_sorted():
+    btreap = BTreap(block_size=8, seed=2)
+    keys = random.Random(0).sample(range(10_000), 300)
+    for key in keys:
+        btreap.insert(key, None)
+    assert list(btreap) == sorted(keys)
+    assert [key for key, _value in btreap.items()] == sorted(keys)
+
+
+def test_range_query_matches_filter():
+    btreap = BTreap(block_size=16, seed=3)
+    for key in range(0, 500, 5):
+        btreap.insert(key, key)
+    result = [key for key, _value in btreap.range_query(100, 200)]
+    assert result == list(range(100, 201, 5))
+
+
+# --------------------------------------------------------------------------- #
+# Block decomposition
+# --------------------------------------------------------------------------- #
+
+def test_block_map_covers_all_keys_exactly_once():
+    btreap = BTreap(block_size=16, seed=4)
+    keys = list(range(500))
+    for key in keys:
+        btreap.insert(key, None)
+    blocks = btreap.block_map()
+    flattened = sorted(key for block in blocks.values() for key in block)
+    assert flattened == keys
+
+
+def test_blocks_respect_stratum_node_limit():
+    btreap = BTreap(block_size=16, seed=5)
+    for key in range(1000):
+        btreap.insert(key, None)
+    limit = (1 << btreap.levels_per_block) - 1
+    assert all(len(block) <= limit for block in btreap.block_map().values())
+    btreap.check()
+
+
+def test_block_height_is_ceiling_of_height_over_levels():
+    btreap = BTreap(block_size=16, seed=6)
+    for key in range(200):
+        btreap.insert(key, None)
+    expected = math.ceil(btreap.height / btreap.levels_per_block)
+    assert btreap.block_height == expected
+
+
+def test_num_blocks_grows_with_content():
+    btreap = BTreap(block_size=8, seed=7)
+    assert btreap.num_blocks() == 0
+    for key in range(300):
+        btreap.insert(key, None)
+    assert btreap.num_blocks() >= 300 // ((1 << btreap.levels_per_block) - 1)
+
+
+# --------------------------------------------------------------------------- #
+# Strong history independence (canonical representation)
+# --------------------------------------------------------------------------- #
+
+def test_memory_representation_is_order_independent():
+    keys = random.Random(1).sample(range(10_000), 400)
+    first = BTreap(block_size=32, seed=11)
+    second = BTreap(block_size=32, seed=11)
+    for key in keys:
+        first.insert(key, key)
+    for key in sorted(keys, reverse=True):
+        second.insert(key, key)
+    assert first.memory_representation() == second.memory_representation()
+
+
+def test_memory_representation_survives_insert_delete_detour():
+    first = BTreap(block_size=32, seed=12)
+    second = BTreap(block_size=32, seed=12)
+    for key in range(0, 200, 2):
+        first.insert(key, key)
+        second.insert(key, key)
+    for key in range(1, 200, 2):
+        second.insert(key, key)
+    for key in range(1, 200, 2):
+        second.delete(key)
+    assert first.memory_representation() == second.memory_representation()
+
+
+# --------------------------------------------------------------------------- #
+# I/O accounting
+# --------------------------------------------------------------------------- #
+
+def test_search_io_is_cheaper_than_node_depth():
+    btreap = BTreap(block_size=64, seed=13)
+    keys = random.Random(2).sample(range(100_000), 2000)
+    for key in keys:
+        btreap.insert(key, None)
+    sample = random.Random(3).sample(keys, 100)
+    for key in sample:
+        ios = btreap.search_io_cost(key)
+        assert ios <= math.ceil(btreap.height / btreap.levels_per_block)
+        assert ios >= 1
+
+
+def test_average_search_io_near_log_base_b():
+    btreap = BTreap(block_size=64, seed=14)
+    n = 3000
+    keys = random.Random(4).sample(range(1_000_000), n)
+    for key in keys:
+        btreap.insert(key, None)
+    sample = random.Random(5).sample(keys, 200)
+    costs = [btreap.search_io_cost(key) for key in sample]
+    expected = math.log(n, btreap.block_size)
+    assert sum(costs) / len(costs) < 4 * (expected + 1)
+
+
+def test_updates_charge_reads_and_writes():
+    btreap = BTreap(block_size=16, seed=15)
+    btreap.insert(1, "a")
+    assert btreap.stats.reads >= 1
+    assert btreap.stats.writes >= 1
+    before_writes = btreap.stats.writes
+    btreap.delete(1)
+    assert btreap.stats.writes > before_writes
+
+
+def test_blocks_on_path_arithmetic():
+    btreap = BTreap(block_size=16, seed=16)
+    levels = btreap.levels_per_block
+    assert btreap.blocks_on_path(0) == 0
+    assert btreap.blocks_on_path(1) == 1
+    assert btreap.blocks_on_path(levels) == 1
+    assert btreap.blocks_on_path(levels + 1) == 2
+
+
+# --------------------------------------------------------------------------- #
+# Property-based invariants
+# --------------------------------------------------------------------------- #
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=2**32),
+       st.lists(st.integers(min_value=-500, max_value=500),
+                min_size=1, max_size=100))
+def test_property_matches_python_dict(seed, operations):
+    btreap = BTreap(block_size=8, seed=seed)
+    shadow = {}
+    for key in operations:
+        if key in shadow:
+            assert btreap.delete(key) == shadow.pop(key)
+        else:
+            btreap.insert(key, key)
+            shadow[key] = key
+    assert sorted(shadow) == list(btreap)
+    btreap.check()
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=2**32),
+       st.sets(st.integers(min_value=0, max_value=5000), min_size=1, max_size=80))
+def test_property_block_map_partitions_keys(seed, keys):
+    btreap = BTreap(block_size=8, seed=seed)
+    for key in keys:
+        btreap.insert(key, None)
+    flattened = sorted(key for block in btreap.block_map().values() for key in block)
+    assert flattened == sorted(keys)

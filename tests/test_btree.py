@@ -1,0 +1,156 @@
+"""The classic B-tree baseline."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.btree import BTree
+from repro.errors import ConfigurationError, DuplicateKey, KeyNotFound
+
+
+def _filled(keys, block_size=16):
+    tree = BTree(block_size=block_size)
+    for key in keys:
+        tree.insert(key, key * 2)
+    return tree
+
+
+def test_block_size_validation():
+    with pytest.raises(ConfigurationError):
+        BTree(block_size=2)
+
+
+def test_empty_tree():
+    tree = BTree()
+    assert len(tree) == 0
+    assert not tree.contains(1)
+    with pytest.raises(KeyNotFound):
+        tree.search(1)
+    with pytest.raises(KeyNotFound):
+        tree.delete(1)
+    tree.check()
+
+
+def test_insert_and_search(small_keys):
+    tree = _filled(small_keys)
+    for key in small_keys:
+        assert tree.search(key) == key * 2
+    assert len(tree) == len(small_keys)
+    tree.check()
+
+
+def test_keys_iterate_in_order(small_keys):
+    tree = _filled(small_keys)
+    assert list(tree) == sorted(small_keys)
+    assert tree.items() == [(key, key * 2) for key in sorted(small_keys)]
+
+
+def test_duplicate_rejected_and_upsert():
+    tree = BTree(block_size=8)
+    tree.insert(5, "a")
+    with pytest.raises(DuplicateKey):
+        tree.insert(5, "b")
+    assert tree.upsert(5, "b") is True
+    assert tree.search(5) == "b"
+    assert tree.upsert(6, "c") is False
+    assert len(tree) == 2
+
+
+def test_splits_happen_and_height_grows(medium_keys):
+    tree = _filled(medium_keys, block_size=8)
+    assert tree.stats.counters.get("btree.split", 0) > 0
+    assert tree.height >= 3
+    tree.check()
+
+
+def test_height_is_logarithmic(medium_keys):
+    block_size = 32
+    tree = _filled(medium_keys, block_size=block_size)
+    t = tree.min_degree
+    expected_max = math.ceil(math.log(len(medium_keys), t)) + 2
+    assert tree.height <= expected_max
+
+
+def test_delete_every_key(small_keys):
+    tree = _filled(small_keys, block_size=8)
+    rng = random.Random(1)
+    order = list(small_keys)
+    rng.shuffle(order)
+    for index, key in enumerate(order):
+        assert tree.delete(key) == key * 2
+        if index % 50 == 0:
+            tree.check()
+    assert len(tree) == 0
+    tree.check()
+
+
+def test_delete_triggers_merges_and_borrows(medium_keys):
+    tree = _filled(medium_keys, block_size=8)
+    rng = random.Random(2)
+    victims = rng.sample(medium_keys, len(medium_keys) * 3 // 4)
+    for key in victims:
+        tree.delete(key)
+    counters = tree.stats.counters
+    assert counters.get("btree.merge", 0) + counters.get("btree.borrow", 0) > 0
+    assert list(tree) == sorted(set(medium_keys) - set(victims))
+    tree.check()
+
+
+def test_delete_missing_key_raises(small_keys):
+    tree = _filled(small_keys)
+    with pytest.raises(KeyNotFound):
+        tree.delete(-1)
+
+
+def test_range_query(medium_keys):
+    tree = _filled(medium_keys)
+    ordered = sorted(medium_keys)
+    low, high = ordered[50], ordered[500]
+    expected = [(key, key * 2) for key in ordered if low <= key <= high]
+    assert tree.range_query(low, high) == expected
+    assert tree.range_query(high, low) == []
+
+
+def test_search_io_cost_is_logarithmic(medium_keys):
+    block_size = 64
+    tree = _filled(medium_keys, block_size=block_size)
+    rng = random.Random(3)
+    costs = [tree.search_io_cost(key) for key in rng.sample(medium_keys, 100)]
+    assert max(costs) <= math.ceil(math.log(len(medium_keys), tree.min_degree)) + 2
+    assert min(costs) >= 1
+
+
+def test_io_counters_accumulate(small_keys):
+    tree = _filled(small_keys)
+    assert tree.stats.reads > 0
+    assert tree.stats.writes > 0
+    assert tree.stats.operations == len(small_keys)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from(["insert", "delete", "search"]),
+                          st.integers(min_value=0, max_value=100)),
+                min_size=1, max_size=200))
+def test_btree_behaves_like_a_dict(operations):
+    tree = BTree(block_size=6)
+    shadow = {}
+    for kind, key in operations:
+        if kind == "insert":
+            if key in shadow:
+                with pytest.raises(DuplicateKey):
+                    tree.insert(key, key)
+            else:
+                tree.insert(key, key)
+                shadow[key] = key
+        elif kind == "delete":
+            if key in shadow:
+                assert tree.delete(key) == shadow.pop(key)
+            else:
+                with pytest.raises(KeyNotFound):
+                    tree.delete(key)
+        else:
+            assert tree.contains(key) == (key in shadow)
+    assert list(tree) == sorted(shadow)
+    tree.check()

@@ -1,0 +1,76 @@
+"""LRU cache behaviour."""
+
+import pytest
+
+from repro.memory.cache import LRUCache
+
+
+def test_negative_capacity_rejected():
+    with pytest.raises(ValueError):
+        LRUCache(-1)
+
+
+def test_zero_capacity_always_misses():
+    cache = LRUCache(0)
+    assert cache.access("a") is False
+    assert cache.access("a") is False
+    assert cache.misses == 2
+    assert cache.hits == 0
+
+
+def test_hit_after_miss():
+    cache = LRUCache(2)
+    assert cache.access("a") is False
+    assert cache.access("a") is True
+    assert cache.hits == 1
+    assert cache.misses == 1
+
+
+def test_lru_eviction_order():
+    cache = LRUCache(2)
+    cache.access("a")
+    cache.access("b")
+    cache.access("c")  # evicts "a"
+    assert "a" not in cache
+    assert "b" in cache
+    assert cache.evictions == 1
+
+
+def test_access_refreshes_recency():
+    cache = LRUCache(2)
+    cache.access("a")
+    cache.access("b")
+    cache.access("a")  # refresh a; b is now least recent
+    cache.access("c")  # evicts b
+    assert "a" in cache
+    assert "b" not in cache
+    assert cache.least_recent() == "a"
+
+
+def test_invalidate_removes_entry():
+    cache = LRUCache(2)
+    cache.access("a")
+    cache.invalidate("a")
+    assert "a" not in cache
+    # Invalidating a missing entry is a no-op.
+    cache.invalidate("zzz")
+
+
+def test_clear_keeps_counters():
+    cache = LRUCache(2)
+    cache.access("a")
+    cache.access("a")
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.hits == 1
+
+
+def test_least_recent_empty():
+    assert LRUCache(2).least_recent() is None
+
+
+def test_len_tracks_entries():
+    cache = LRUCache(3)
+    for block in ("a", "b", "c", "d"):
+        cache.access(block)
+    assert len(cache) == 3

@@ -1,0 +1,116 @@
+"""Candidate-set geometry (Section 3.3)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.candidate import CandidateWindow, candidate_set_size, candidate_window
+from repro.errors import ConfigurationError
+
+
+def test_window_length_and_membership():
+    window = CandidateWindow(4, 7)
+    assert len(window) == 4
+    assert 4 in window and 7 in window
+    assert 3 not in window and 8 not in window
+
+
+def test_window_shift():
+    assert CandidateWindow(4, 7).shifted(2) == CandidateWindow(6, 9)
+
+
+def test_window_rejects_invalid_bounds():
+    with pytest.raises(ConfigurationError):
+        CandidateWindow(0, 3)
+    with pytest.raises(ConfigurationError):
+        CandidateWindow(5, 4)
+
+
+def test_candidate_set_size_matches_formula():
+    n_hat = 4096
+    for depth in range(0, 6):
+        expected = math.ceil(0.5 * n_hat / ((1 << depth) * math.log2(n_hat)))
+        assert candidate_set_size(n_hat, depth, 0.5) == expected
+
+
+def test_candidate_set_size_halves_with_depth():
+    n_hat = 1 << 16
+    sizes = [candidate_set_size(n_hat, depth, 0.5) for depth in range(10)]
+    for shallower, deeper in zip(sizes, sizes[1:]):
+        assert deeper <= shallower
+        assert deeper >= shallower // 2
+
+
+def test_candidate_set_size_is_at_least_one():
+    assert candidate_set_size(4096, 30, 0.5) == 1
+    assert candidate_set_size(1, 0, 0.5) == 1
+
+
+def test_candidate_set_size_validation():
+    with pytest.raises(ConfigurationError):
+        candidate_set_size(4096, -1, 0.5)
+    with pytest.raises(ConfigurationError):
+        candidate_set_size(4096, 0, 0.0)
+
+
+def test_candidate_window_empty_range():
+    assert candidate_window(0, 5) is None
+
+
+def test_candidate_window_is_centered():
+    window = candidate_window(100, 10)
+    assert window is not None
+    assert len(window) == 10
+    # The middle 10 of 100 elements: ranks 46..55.
+    assert window.start == 46
+    assert window.end == 55
+
+
+def test_candidate_window_matches_paper_formula_when_unclamped():
+    num_elements, window_size = 31, 7
+    window = candidate_window(num_elements, window_size)
+    expected_start = 1 + math.ceil(num_elements / 2) - math.ceil(window_size / 2)
+    assert window.start == expected_start
+    assert window.end == expected_start + window_size - 1
+
+
+def test_candidate_window_clamps_to_small_ranges():
+    window = candidate_window(3, 10)
+    assert window.start == 1
+    assert window.end == 3
+
+
+def test_candidate_window_requires_positive_size():
+    with pytest.raises(ConfigurationError):
+        candidate_window(10, 0)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.integers(min_value=1, max_value=10_000),
+       st.integers(min_value=1, max_value=2_000))
+def test_candidate_window_always_within_range(num_elements, window_size):
+    window = candidate_window(num_elements, window_size)
+    assert window is not None
+    assert 1 <= window.start <= window.end <= num_elements
+    assert len(window) <= window_size
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.integers(min_value=1, max_value=10_000),
+       st.integers(min_value=1, max_value=2_000))
+def test_candidate_window_has_full_size_when_possible(num_elements, window_size):
+    window = candidate_window(num_elements, window_size)
+    if num_elements >= window_size + 1:
+        assert len(window) == window_size
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(min_value=2, max_value=10_000),
+       st.integers(min_value=1, max_value=500))
+def test_candidate_window_shifts_by_at_most_one_per_insert(num_elements, window_size):
+    """The reservoir argument needs the window to move slowly."""
+    before = candidate_window(num_elements, window_size)
+    after = candidate_window(num_elements + 1, window_size)
+    assert 0 <= after.start - before.start <= 1
+    assert 0 <= after.end - before.end <= 1

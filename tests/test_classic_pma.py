@@ -1,0 +1,207 @@
+"""The classic density-threshold PMA baseline."""
+
+import bisect
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError, RankError
+from repro.memory.tracker import IOTracker
+from repro.pma.base import RankedSequence
+from repro.pma.classic import ClassicPMA, DensityThresholds
+
+
+def _random_fill(pma, count, seed=0, key_space=10**6):
+    rng = random.Random(seed)
+    shadow = []
+    for key in rng.sample(range(key_space), count):
+        rank = bisect.bisect_left(shadow, key)
+        pma.insert(rank, key)
+        shadow.insert(rank, key)
+    return shadow
+
+
+def test_thresholds_validation():
+    with pytest.raises(ConfigurationError):
+        DensityThresholds(min_leaf=0.5, min_root=0.4)
+    with pytest.raises(ConfigurationError):
+        DensityThresholds(max_root=0.95, max_leaf=0.9)
+
+
+def test_threshold_interpolation_monotone():
+    thresholds = DensityThresholds()
+    height = 6
+    maxima = [thresholds.max_at(depth, height) for depth in range(height + 1)]
+    minima = [thresholds.min_at(depth, height) for depth in range(height + 1)]
+    assert maxima == sorted(maxima)
+    assert minima == sorted(minima, reverse=True)
+    assert maxima[0] == thresholds.max_root
+    assert maxima[-1] == thresholds.max_leaf
+
+
+def test_classic_pma_is_a_ranked_sequence():
+    assert isinstance(ClassicPMA(), RankedSequence)
+
+
+def test_empty_pma():
+    pma = ClassicPMA()
+    assert len(pma) == 0
+    pma.check()
+    with pytest.raises(RankError):
+        pma.get(0)
+    with pytest.raises(RankError):
+        pma.delete(0)
+
+
+def test_basic_insert_get_delete():
+    pma = ClassicPMA()
+    pma.insert(0, "b")
+    pma.insert(0, "a")
+    pma.insert(2, "c")
+    assert pma.to_list() == ["a", "b", "c"]
+    assert pma.get(1) == "b"
+    assert pma.delete(1) == "b"
+    assert pma.to_list() == ["a", "c"]
+    pma.check()
+
+
+def test_none_rejected():
+    with pytest.raises(ValueError):
+        ClassicPMA().insert(0, None)
+
+
+def test_matches_shadow_random_workload():
+    pma = ClassicPMA()
+    shadow = _random_fill(pma, 2000, seed=1)
+    assert pma.to_list() == shadow
+    pma.check()
+
+
+def test_matches_shadow_sequential_and_reverse():
+    forward = ClassicPMA()
+    for value in range(1000):
+        forward.append(value)
+    assert forward.to_list() == list(range(1000))
+    forward.check()
+
+    backward = ClassicPMA()
+    for value in range(1000):
+        backward.insert(0, 999 - value)
+    assert backward.to_list() == list(range(1000))
+    backward.check()
+
+
+def test_mixed_inserts_and_deletes():
+    rng = random.Random(2)
+    pma = ClassicPMA()
+    shadow = []
+    for step in range(3000):
+        if shadow and rng.random() < 0.45:
+            rank = rng.randrange(len(shadow))
+            assert pma.delete(rank) == shadow.pop(rank)
+        else:
+            rank = rng.randrange(len(shadow) + 1)
+            pma.insert(rank, step)
+            shadow.insert(rank, step)
+        if step % 750 == 0:
+            assert pma.to_list() == shadow
+            pma.check()
+    assert pma.to_list() == shadow
+    pma.check()
+
+
+def test_query_matches_slice():
+    pma = ClassicPMA()
+    shadow = _random_fill(pma, 500, seed=3)
+    assert pma.query(0, 499) == shadow
+    assert pma.query(100, 200) == shadow[100:201]
+    with pytest.raises(RankError):
+        pma.query(10, 9)
+
+
+def test_capacity_grows_and_shrinks():
+    pma = ClassicPMA()
+    for value in range(2000):
+        pma.append(value)
+    grown = pma.capacity
+    assert grown >= 2000
+    for _ in range(1950):
+        pma.delete(0)
+    assert pma.capacity < grown
+    pma.check()
+
+
+def test_density_bounds_hold_globally():
+    pma = ClassicPMA()
+    _random_fill(pma, 3000, seed=4)
+    density = len(pma) / pma.capacity
+    assert 0.05 <= density <= 0.95
+
+
+def test_segment_size_is_logarithmic():
+    pma = ClassicPMA()
+    _random_fill(pma, 4000, seed=5)
+    assert pma.segment_size <= 4 * math.ceil(math.log2(pma.capacity))
+    assert pma.capacity == pma.segment_size * pma.num_segments
+
+
+def test_moves_are_polylogarithmic_per_insert():
+    pma = ClassicPMA()
+    count = 4000
+    _random_fill(pma, count, seed=6)
+    assert pma.stats.element_moves / count <= 4 * math.log2(count) ** 2
+
+
+def test_classic_pma_layout_is_history_dependent():
+    """The control for the HI audits: different insertion orders leave
+    different layouts even though the final contents are identical."""
+    keys = list(range(64))
+
+    def build(order):
+        pma = ClassicPMA()
+        shadow = []
+        for key in order:
+            rank = bisect.bisect_left(shadow, key)
+            pma.insert(rank, key)
+            shadow.insert(rank, key)
+        return pma
+
+    forward = build(keys)
+    backward = build(list(reversed(keys)))
+    assert forward.to_list() == backward.to_list()
+    assert forward.slots() != backward.slots()
+
+
+def test_tracker_charges_ios():
+    tracker = IOTracker(block_size=16)
+    pma = ClassicPMA(tracker=tracker)
+    _random_fill(pma, 300, seed=7)
+    assert tracker.stats.total_ios > 0
+    assert tracker.stats.element_moves == pma.stats.element_moves
+
+
+def test_rebalance_counter_increments():
+    pma = ClassicPMA()
+    _random_fill(pma, 1000, seed=8)
+    assert pma.stats.counters.get("classic.rebalance", 0) > 0
+    assert pma.stats.counters.get("classic.rebuild", 0) >= 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.tuples(st.booleans(), st.integers(min_value=0, max_value=10**6)),
+                min_size=1, max_size=150))
+def test_classic_pma_behaves_like_a_list(operations):
+    pma = ClassicPMA()
+    shadow = []
+    for is_delete, payload in operations:
+        if is_delete and shadow:
+            rank = payload % len(shadow)
+            assert pma.delete(rank) == shadow.pop(rank)
+        else:
+            rank = payload % (len(shadow) + 1)
+            pma.insert(rank, payload)
+            shadow.insert(rank, payload)
+    assert pma.to_list() == shadow
+    pma.check()

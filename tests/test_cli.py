@@ -1,0 +1,198 @@
+"""The command-line interface: every subcommand at miniature scale."""
+
+import io
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    """Invoke the CLI in-process, capturing stdout; returns (exit_code, text)."""
+    buffer = io.StringIO()
+    code = main(list(argv), out=buffer)
+    return code, buffer.getvalue()
+
+
+# --------------------------------------------------------------------------- #
+# Parser
+# --------------------------------------------------------------------------- #
+
+def test_parser_requires_a_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_knows_every_command():
+    parser = build_parser()
+    for command in ("figure2", "uniformity", "audit", "compare-io",
+                    "workload", "attack", "snapshot", "report"):
+        args = parser.parse_args([command])
+        assert args.command == command
+
+
+# --------------------------------------------------------------------------- #
+# figure2
+# --------------------------------------------------------------------------- #
+
+def test_figure2_prints_series_and_writes_csv(tmp_path):
+    csv_path = str(tmp_path / "fig2.csv")
+    code, output = run_cli("figure2", "--inserts", "400", "--checkpoints", "4",
+                           "--seed", "1", "--csv", csv_path)
+    assert code == 0
+    assert "HI PMA" in output
+    assert "classic PMA" in output
+    assert os.path.exists(csv_path)
+    with open(csv_path, encoding="utf-8") as handle:
+        lines = handle.read().strip().splitlines()
+    assert len(lines) >= 4
+
+
+# --------------------------------------------------------------------------- #
+# uniformity
+# --------------------------------------------------------------------------- #
+
+def test_uniformity_small_run_passes():
+    code, output = run_cli("uniformity", "--keys", "300", "--trials", "40",
+                           "--seed", "0")
+    assert code == 0
+    assert "p-value" in output
+    assert "consistent with uniform" in output
+
+
+# --------------------------------------------------------------------------- #
+# audit
+# --------------------------------------------------------------------------- #
+
+def test_audit_hi_pma_passes():
+    code, output = run_cli("audit", "--structure", "hi-pma", "--keys", "20",
+                           "--trials", "60", "--seed", "0")
+    assert code == 0
+    assert "PASS" in output
+
+
+def test_audit_btree_fails():
+    code, output = run_cli("audit", "--structure", "btree", "--keys", "32",
+                           "--trials", "5", "--seed", "0")
+    assert code == 1
+    assert "FAIL" in output
+
+
+def test_audit_treap_passes():
+    code, output = run_cli("audit", "--structure", "treap", "--keys", "20",
+                           "--trials", "60", "--seed", "0")
+    assert code == 0
+    assert "PASS" in output
+
+
+# --------------------------------------------------------------------------- #
+# compare-io
+# --------------------------------------------------------------------------- #
+
+def test_compare_io_prints_all_structures():
+    code, output = run_cli("compare-io", "--sizes", "400", "--block", "16",
+                           "--searches", "30", "--seed", "0")
+    assert code == 0
+    for name in ("b-tree", "hi-skiplist", "b-skiplist", "b-treap"):
+        assert name in output
+
+
+def test_compare_io_rejects_bad_sizes():
+    code, _output = run_cli("compare-io", "--sizes", "abc")
+    assert code == 2
+
+
+# --------------------------------------------------------------------------- #
+# workload
+# --------------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("kind", ["random", "sequential", "zipfian",
+                                  "sliding-window", "trough", "redaction"])
+def test_workload_kinds(kind, tmp_path):
+    csv_path = str(tmp_path / ("%s.csv" % kind))
+    code, output = run_cli("workload", "--kind", kind, "--count", "50",
+                           "--seed", "0", "--csv", csv_path)
+    assert code == 0
+    assert "generated" in output
+    assert os.path.exists(csv_path)
+
+
+# --------------------------------------------------------------------------- #
+# attack
+# --------------------------------------------------------------------------- #
+
+def test_attack_classic_pma_leaks():
+    code, output = run_cli("attack", "--structure", "classic-pma",
+                           "--kind", "deletion", "--keys", "300",
+                           "--trials", "8", "--seed", "0")
+    assert code == 0
+    assert "accuracy" in output
+    assert "layout leaks the secret" in output
+
+
+def test_attack_hi_pma_does_not_leak():
+    code, output = run_cli("attack", "--structure", "hi-pma",
+                           "--kind", "deletion", "--keys", "400",
+                           "--trials", "12", "--seed", "1")
+    assert code == 0
+    assert "observer learns nothing useful" in output
+
+
+# --------------------------------------------------------------------------- #
+# snapshot
+# --------------------------------------------------------------------------- #
+
+def test_snapshot_hi_pma_in_memory():
+    code, output = run_cli("snapshot", "--structure", "hi-pma", "--keys", "200",
+                           "--seed", "0", "--buckets", "8")
+    assert code == 0
+    assert "occupancy profile" in output
+    assert output.count("region") == 8
+
+
+def test_snapshot_writes_image_file(tmp_path):
+    path = str(tmp_path / "pma.img")
+    code, output = run_cli("snapshot", "--structure", "classic-pma",
+                           "--keys", "150", "--seed", "1", "--path", path)
+    assert code == 0
+    assert os.path.exists(path)
+    assert os.path.getsize(path) > 0
+    assert "image written" in output
+
+
+# --------------------------------------------------------------------------- #
+# report
+# --------------------------------------------------------------------------- #
+
+def test_report_renders_results(tmp_path):
+    results = tmp_path / "results"
+    results.mkdir()
+    with open(results / "demo.json", "w", encoding="utf-8") as handle:
+        json.dump({"metric": 42}, handle)
+    code, output = run_cli("report", "--results", str(results))
+    assert code == 0
+    assert "| demo | metric | 42 |" in output
+
+
+def test_report_handles_missing_directory(tmp_path):
+    code, output = run_cli("report", "--results", str(tmp_path / "missing"))
+    assert code == 0
+    assert "No benchmark results" in output
+
+
+# --------------------------------------------------------------------------- #
+# python -m repro
+# --------------------------------------------------------------------------- #
+
+def test_module_entry_point_runs():
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro", "workload", "--kind", "sequential",
+         "--count", "5"],
+        capture_output=True, text=True, check=False,
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    assert completed.returncode == 0
+    assert "generated 5 operations" in completed.stdout

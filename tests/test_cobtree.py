@@ -1,0 +1,192 @@
+"""The history-independent cache-oblivious B-tree (Theorem 2)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cobtree import HistoryIndependentCOBTree
+from repro.errors import DuplicateKey, KeyNotFound
+from repro.memory.tracker import IOTracker
+
+
+def _filled(keys, seed=0, tracker=None):
+    tree = HistoryIndependentCOBTree(seed=seed, tracker=tracker)
+    for key in keys:
+        tree.insert(key, ("value", key))
+    return tree
+
+
+def test_empty_tree():
+    tree = HistoryIndependentCOBTree(seed=0)
+    assert len(tree) == 0
+    assert not tree.contains(5)
+    assert tree.range_query(0, 100) == []
+    with pytest.raises(KeyNotFound):
+        tree.search(5)
+    with pytest.raises(KeyNotFound):
+        tree.delete(5)
+    with pytest.raises(KeyNotFound):
+        tree.min()
+    tree.check()
+
+
+def test_insert_search_roundtrip(small_keys):
+    tree = _filled(small_keys, seed=1)
+    for key in small_keys:
+        assert tree.search(key) == ("value", key)
+        assert key in tree
+    assert len(tree) == len(small_keys)
+    tree.check()
+
+
+def test_keys_are_sorted(small_keys):
+    tree = _filled(small_keys, seed=2)
+    assert tree.keys() == sorted(small_keys)
+    assert list(tree) == sorted(small_keys)
+
+
+def test_duplicate_insert_rejected():
+    tree = HistoryIndependentCOBTree(seed=3)
+    tree.insert(7, "a")
+    with pytest.raises(DuplicateKey):
+        tree.insert(7, "b")
+    assert tree.search(7) == "a"
+
+
+def test_upsert_overwrites():
+    tree = HistoryIndependentCOBTree(seed=4)
+    assert tree.upsert(7, "a") is False
+    assert tree.upsert(7, "b") is True
+    assert tree.search(7) == "b"
+    assert len(tree) == 1
+
+
+def test_setitem_getitem_delitem():
+    tree = HistoryIndependentCOBTree(seed=5)
+    tree[3] = "x"
+    assert tree[3] == "x"
+    del tree[3]
+    assert 3 not in tree
+
+
+def test_delete_returns_value_and_removes(small_keys):
+    tree = _filled(small_keys, seed=6)
+    rng = random.Random(6)
+    victims = rng.sample(small_keys, len(small_keys) // 2)
+    for key in victims:
+        assert tree.delete(key) == ("value", key)
+    remaining = sorted(set(small_keys) - set(victims))
+    assert tree.keys() == remaining
+    for key in victims:
+        assert key not in tree
+    tree.check()
+
+
+def test_missing_key_operations_raise():
+    tree = _filled([1, 2, 3], seed=7)
+    with pytest.raises(KeyNotFound):
+        tree.search(99)
+    with pytest.raises(KeyNotFound):
+        tree.delete(99)
+
+
+def test_range_query_matches_sorted_slice(medium_keys):
+    tree = _filled(medium_keys, seed=8)
+    ordered = sorted(medium_keys)
+    low, high = ordered[100], ordered[400]
+    expected = [(key, ("value", key)) for key in ordered if low <= key <= high]
+    assert tree.range_query(low, high) == expected
+    assert tree.range_query(high, low) == []
+    # A range beyond the maximum key is empty.
+    assert tree.range_query(ordered[-1] + 1, ordered[-1] + 10) == []
+
+
+def test_range_query_includes_unmatched_bounds(small_keys):
+    tree = _filled(small_keys, seed=9)
+    ordered = sorted(small_keys)
+    low = ordered[10] + 1 if ordered[10] + 1 not in set(ordered) else ordered[10]
+    high = ordered[-10]
+    expected = [(key, ("value", key)) for key in ordered if low <= key <= high]
+    assert tree.range_query(low, high) == expected
+
+
+def test_order_statistics(small_keys):
+    tree = _filled(small_keys, seed=10)
+    ordered = sorted(small_keys)
+    assert tree.min() == (ordered[0], ("value", ordered[0]))
+    assert tree.max() == (ordered[-1], ("value", ordered[-1]))
+    assert tree.select(5) == (ordered[5], ("value", ordered[5]))
+    assert tree.rank_of(ordered[17]) == 17
+    assert tree.successor(ordered[3]) == (ordered[4], ("value", ordered[4]))
+    assert tree.predecessor(ordered[3]) == (ordered[2], ("value", ordered[2]))
+    assert tree.successor(ordered[-1]) is None
+    assert tree.predecessor(ordered[0]) is None
+
+
+def test_items_returns_pairs_in_order(small_keys):
+    tree = _filled(small_keys, seed=11)
+    assert tree.items() == [(key, ("value", key)) for key in sorted(small_keys)]
+
+
+def test_values_can_be_none():
+    tree = HistoryIndependentCOBTree(seed=12)
+    tree.insert(1)
+    assert tree.search(1) is None
+
+
+def test_search_io_is_logarithmic_in_blocks(medium_keys):
+    tracker = IOTracker(block_size=64, cache_blocks=8)
+    tree = _filled(medium_keys, seed=13, tracker=tracker)
+    rng = random.Random(13)
+    probes = rng.sample(medium_keys, 50)
+    before = tracker.snapshot()
+    for key in probes:
+        tracker.cache.clear()
+        assert tree.contains(key)
+    delta = tracker.stats.delta(before)
+    per_search = delta.reads / len(probes)
+    # O(log_B N) with N = 2000, B = 64: a handful of blocks per search.
+    assert per_search <= 4 * math.log(len(medium_keys), 64) + 6
+
+
+def test_memory_representation_exposed(small_keys):
+    tree = _filled(small_keys, seed=14)
+    representation = dict(tree.memory_representation())
+    assert "slots" in representation
+    assert "balance_tree" in representation
+
+
+def test_stats_shared_with_pma(small_keys):
+    tree = _filled(small_keys, seed=15)
+    assert tree.stats is tree.pma.stats
+    assert tree.stats.element_moves > 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=2**32),
+       st.lists(st.tuples(st.sampled_from(["insert", "delete", "search"]),
+                          st.integers(min_value=0, max_value=200)),
+                min_size=1, max_size=120))
+def test_cobtree_behaves_like_a_dict(seed, operations):
+    tree = HistoryIndependentCOBTree(seed=seed)
+    shadow = {}
+    for kind, key in operations:
+        if kind == "insert":
+            if key in shadow:
+                with pytest.raises(DuplicateKey):
+                    tree.insert(key, key)
+            else:
+                tree.insert(key, key)
+                shadow[key] = key
+        elif kind == "delete":
+            if key in shadow:
+                assert tree.delete(key) == shadow.pop(key)
+            else:
+                with pytest.raises(KeyNotFound):
+                    tree.delete(key)
+        else:
+            assert tree.contains(key) == (key in shadow)
+    assert tree.keys() == sorted(shadow)
+    tree.check()

@@ -1,0 +1,40 @@
+"""The exception hierarchy: every library error is a ReproError subclass."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in ("InvariantViolation", "RankError", "KeyNotFound",
+                 "DuplicateKey", "CapacityError", "ConfigurationError"):
+        exc = getattr(errors, name)
+        assert issubclass(exc, errors.ReproError)
+
+
+def test_rank_error_is_index_error():
+    assert issubclass(errors.RankError, IndexError)
+
+
+def test_key_not_found_is_key_error():
+    assert issubclass(errors.KeyNotFound, KeyError)
+
+
+def test_duplicate_key_is_value_error():
+    assert issubclass(errors.DuplicateKey, ValueError)
+
+
+def test_configuration_error_is_value_error():
+    assert issubclass(errors.ConfigurationError, ValueError)
+
+
+def test_errors_can_be_caught_as_repro_error():
+    with pytest.raises(errors.ReproError):
+        raise errors.RankError("rank 5 out of range")
+
+
+def test_error_messages_are_preserved():
+    try:
+        raise errors.CapacityError("too full")
+    except errors.ReproError as caught:
+        assert "too full" in str(caught)

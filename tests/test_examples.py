@@ -1,0 +1,55 @@
+"""Smoke tests: every example script runs to completion on the public API.
+
+The examples double as end-to-end integration tests — each one drives several
+structures through a realistic scenario — so running them from the test suite
+guards the public API surface against regressions.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                            "examples")
+
+EXAMPLES = sorted(name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py"))
+
+
+def _run_example(name):
+    return subprocess.run([sys.executable, os.path.join(EXAMPLES_DIR, name)],
+                          capture_output=True, text=True, check=False,
+                          timeout=300)
+
+
+def test_every_example_is_covered():
+    """The parametrised list below must include every script in examples/."""
+    assert set(EXAMPLES) == {
+        "quickstart.py",
+        "database_index.py",
+        "secure_ingest_log.py",
+        "skiplist_store.py",
+        "dictionary_comparison.py",
+        "stolen_disk_forensics.py",
+    }
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs_cleanly(name):
+    completed = _run_example(name)
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "example produced no output"
+
+
+def test_quickstart_mentions_all_three_structures():
+    completed = _run_example("quickstart.py")
+    assert "packed-memory array" in completed.stdout
+    assert "cache-oblivious B-tree" in completed.stdout
+    assert "skip list" in completed.stdout
+
+
+def test_forensics_example_reaches_the_expected_verdict():
+    completed = _run_example("stolen_disk_forensics.py")
+    assert "density anomaly   : FOUND" in completed.stdout
+    assert "density anomaly   : none" in completed.stdout

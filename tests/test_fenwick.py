@@ -1,0 +1,96 @@
+"""Fenwick tree used by the classic PMA."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import RankError
+from repro.pma.fenwick import FenwickTree
+
+
+def test_size_must_be_positive():
+    with pytest.raises(ValueError):
+        FenwickTree(0)
+
+
+def test_from_values_and_prefix_sums():
+    tree = FenwickTree.from_values([3, 0, 2, 5, 1])
+    assert tree.total() == 11
+    assert tree.prefix_sum(0) == 0
+    assert tree.prefix_sum(3) == 5
+    assert tree.range_sum(1, 3) == 7
+    assert tree.range_sum(3, 2) == 0
+
+
+def test_add_and_set():
+    tree = FenwickTree(4)
+    tree.add(1, 5)
+    tree.set(1, 2)
+    tree.add(3, 7)
+    assert tree.values() == [0, 2, 0, 7]
+    assert tree.total() == 9
+
+
+def test_index_bounds():
+    tree = FenwickTree(3)
+    with pytest.raises(IndexError):
+        tree.add(3, 1)
+    with pytest.raises(IndexError):
+        tree.prefix_sum(4)
+
+
+def test_find_by_rank_basic():
+    tree = FenwickTree.from_values([3, 0, 2, 5])
+    assert tree.find_by_rank(1) == (0, 1)
+    assert tree.find_by_rank(3) == (0, 3)
+    assert tree.find_by_rank(4) == (2, 1)
+    assert tree.find_by_rank(6) == (3, 1)
+    assert tree.find_by_rank(10) == (3, 5)
+
+
+def test_find_by_rank_out_of_range():
+    tree = FenwickTree.from_values([1, 1])
+    with pytest.raises(RankError):
+        tree.find_by_rank(0)
+    with pytest.raises(RankError):
+        tree.find_by_rank(3)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=40))
+def test_prefix_sums_match_naive(values):
+    tree = FenwickTree.from_values(values)
+    for count in range(len(values) + 1):
+        assert tree.prefix_sum(count) == sum(values[:count])
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=30))
+def test_find_by_rank_matches_naive(values):
+    tree = FenwickTree.from_values(values)
+    total = sum(values)
+    for rank in range(1, total + 1):
+        index, within = tree.find_by_rank(rank)
+        # Naive scan.
+        remaining = rank
+        for naive_index, value in enumerate(values):
+            if remaining <= value:
+                assert (index, within) == (naive_index, remaining)
+                break
+            remaining -= value
+
+
+def test_random_updates_stay_consistent():
+    rng = random.Random(0)
+    values = [rng.randrange(5) for _ in range(64)]
+    tree = FenwickTree.from_values(values)
+    for _ in range(500):
+        index = rng.randrange(64)
+        delta = rng.randrange(-2, 5)
+        if values[index] + delta < 0:
+            continue
+        values[index] += delta
+        tree.add(index, delta)
+    assert tree.values() == values
+    assert tree.total() == sum(values)

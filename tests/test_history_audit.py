@@ -1,0 +1,220 @@
+"""Weak-history-independence audits: HI structures pass, baselines fail."""
+
+import bisect
+
+import pytest
+
+from repro.core.hi_pma import HistoryIndependentPMA
+from repro.core.sizing import WHIDynamicArray
+from repro.cobtree import HistoryIndependentCOBTree
+from repro.btree import BTree
+from repro.errors import ConfigurationError
+from repro.history.audit import audit_weak_history_independence, sample_fingerprints
+from repro.history.representation import (canonical_representation,
+                                           representation_fingerprint)
+from repro.pma.classic import ClassicPMA
+from repro.skiplist.external import HistoryIndependentSkipList
+
+KEYS = list(range(40))
+
+
+def _ranked_builder(structure_factory, order):
+    def build():
+        structure = structure_factory()
+        shadow = []
+        for key in order:
+            rank = bisect.bisect_left(shadow, key)
+            structure.insert(rank, key)
+            shadow.insert(rank, key)
+        return structure
+    return build
+
+
+def _keyed_builder(structure_factory, order, deletions=()):
+    def build():
+        structure = structure_factory()
+        for key in order:
+            structure.insert(key, key)
+        for key in deletions:
+            structure.delete(key)
+        return structure
+    return build
+
+
+# --------------------------------------------------------------------------- #
+# Representation helpers
+# --------------------------------------------------------------------------- #
+
+def test_canonical_representation_handles_containers():
+    representation = {"b": [1, 2], "a": {3, 1}}
+    canonical = canonical_representation(representation)
+    assert isinstance(canonical, tuple)
+    assert canonical == canonical_representation({"a": {1, 3}, "b": (1, 2)})
+
+
+def test_fingerprint_is_stable_and_sensitive():
+    assert representation_fingerprint((1, 2, 3)) == representation_fingerprint([1, 2, 3])
+    assert representation_fingerprint((1, 2, 3)) != representation_fingerprint((1, 2, 4))
+    assert len(representation_fingerprint("x")) == 16
+
+
+def test_sample_fingerprints_requires_positive_trials():
+    with pytest.raises(ConfigurationError):
+        sample_fingerprints(lambda: WHIDynamicArray(), trials=0)
+
+
+# --------------------------------------------------------------------------- #
+# Audit harness behaviour
+# --------------------------------------------------------------------------- #
+
+def test_audit_requires_two_sequences():
+    with pytest.raises(ConfigurationError):
+        audit_weak_history_independence([lambda: WHIDynamicArray()], trials=5)
+
+
+def test_audit_rejects_mismatched_states():
+    def build_a():
+        array = WHIDynamicArray()
+        array.append(1)
+        return array
+
+    def build_b():
+        array = WHIDynamicArray()
+        array.append(2)
+        return array
+
+    with pytest.raises(ConfigurationError):
+        audit_weak_history_independence([build_a, build_b], trials=5)
+
+
+# --------------------------------------------------------------------------- #
+# Structures that must pass
+# --------------------------------------------------------------------------- #
+
+def test_whi_dynamic_array_passes_audit():
+    def forward():
+        array = WHIDynamicArray()
+        for value in range(20):
+            array.append(value)
+        return array
+
+    def with_churn():
+        array = WHIDynamicArray()
+        for value in range(25):
+            array.append(value)
+        for _ in range(5):
+            array.delete(len(array) - 1)
+        return array
+
+    result = audit_weak_history_independence([forward, with_churn], trials=300)
+    assert result.passes()
+    assert result.distinct_fingerprints > 1
+
+
+def test_hi_pma_passes_audit_forward_vs_backward():
+    forward = _ranked_builder(lambda: HistoryIndependentPMA(), KEYS)
+    backward = _ranked_builder(lambda: HistoryIndependentPMA(), list(reversed(KEYS)))
+    result = audit_weak_history_independence([forward, backward], trials=200)
+    assert result.passes()
+
+
+def test_hi_pma_passes_audit_with_deletions():
+    def plain():
+        pma = HistoryIndependentPMA()
+        for value in range(30):
+            pma.append(value)
+        return pma
+
+    def with_redaction():
+        pma = HistoryIndependentPMA()
+        for value in range(40):
+            pma.append(value)
+        for _ in range(10):
+            pma.delete(len(pma) - 1)
+        return pma
+
+    result = audit_weak_history_independence([plain, with_redaction], trials=200)
+    assert result.passes()
+
+
+def test_hi_cobtree_passes_audit():
+    forward = _keyed_builder(lambda: HistoryIndependentCOBTree(), KEYS)
+    backward = _keyed_builder(lambda: HistoryIndependentCOBTree(), list(reversed(KEYS)))
+    result = audit_weak_history_independence([forward, backward], trials=150)
+    assert result.passes()
+
+
+def test_hi_skiplist_passes_audit():
+    keys = list(range(25))
+    forward = _keyed_builder(lambda: HistoryIndependentSkipList(block_size=8, seed=None),
+                             keys)
+    with_churn = _keyed_builder(lambda: HistoryIndependentSkipList(block_size=8, seed=None),
+                                keys + [99, 98], deletions=[99, 98])
+    result = audit_weak_history_independence([forward, with_churn], trials=150)
+    assert result.passes()
+
+
+def test_hi_pma_slot_count_distribution_is_order_independent():
+    """A higher-power audit on a coarse feature: the slot count N_S depends
+    only on N̂, whose distribution must not depend on the insertion order."""
+    forward = _ranked_builder(lambda: HistoryIndependentPMA(), KEYS)
+    backward = _ranked_builder(lambda: HistoryIndependentPMA(), list(reversed(KEYS)))
+    result = audit_weak_history_independence(
+        [forward, backward], trials=400,
+        fingerprint_of=lambda pma: pma.n_hat)
+    assert result.passes()
+    assert result.degrees_of_freedom > 0  # the test had actual power
+
+
+def test_whi_dynamic_array_capacity_distribution_is_uniform_feature_audit():
+    def forward():
+        array = WHIDynamicArray()
+        for value in range(12):
+            array.append(value)
+        return array
+
+    def backward():
+        array = WHIDynamicArray()
+        for value in reversed(range(12)):
+            array.insert(0, value)
+        return array
+
+    result = audit_weak_history_independence(
+        [forward, backward], trials=400,
+        fingerprint_of=lambda array: array.capacity)
+    assert result.passes()
+    assert result.degrees_of_freedom > 0
+
+
+# --------------------------------------------------------------------------- #
+# Baselines that must fail (the control group)
+# --------------------------------------------------------------------------- #
+
+def test_classic_pma_fails_audit():
+    forward = _ranked_builder(lambda: ClassicPMA(), KEYS)
+    backward = _ranked_builder(lambda: ClassicPMA(), list(reversed(KEYS)))
+    result = audit_weak_history_independence([forward, backward], trials=20)
+    assert not result.passes()
+    assert result.deterministic_mismatch
+
+
+def test_btree_fails_audit():
+    def representation_of(tree):
+        # The B-tree has no memory_representation(); give the audit its node
+        # layout explicitly by monkeypatching a bound method.
+        def shape(node):
+            return (tuple(node.keys), tuple(shape(child) for child in node.children))
+        return shape(tree._root)
+
+    def make_builder(order):
+        def build():
+            tree = BTree(block_size=4)
+            for key in order:
+                tree.insert(key, key)
+            tree.memory_representation = lambda: representation_of(tree)
+            return tree
+        return build
+
+    result = audit_weak_history_independence(
+        [make_builder(KEYS), make_builder(list(reversed(KEYS)))], trials=20)
+    assert not result.passes()

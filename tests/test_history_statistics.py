@@ -1,0 +1,122 @@
+"""χ² machinery used by the history-independence audits."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.history.statistics import (
+    chi_square_gof_pvalue,
+    chi_square_homogeneity,
+    chi_square_statistic,
+    chi_square_survival,
+    pooled_counts,
+    uniformity_pvalue,
+)
+
+scipy_stats = pytest.importorskip("scipy.stats")
+
+
+def test_chi_square_statistic_matches_hand_computation():
+    observed = [12, 8]
+    expected = [10, 10]
+    assert chi_square_statistic(observed, expected) == pytest.approx(0.8)
+
+
+def test_chi_square_statistic_validation():
+    with pytest.raises(ConfigurationError):
+        chi_square_statistic([1, 2], [1])
+    with pytest.raises(ConfigurationError):
+        chi_square_statistic([1, 2], [1, 0])
+
+
+def test_survival_matches_scipy():
+    for dof in (1, 3, 7, 20):
+        for statistic in (0.5, 2.0, 8.0, 35.0):
+            ours = chi_square_survival(statistic, dof)
+            reference = float(scipy_stats.chi2.sf(statistic, dof))
+            assert ours == pytest.approx(reference, abs=1e-9)
+
+
+def test_survival_edge_cases():
+    assert chi_square_survival(0.0, 4) == 1.0
+    with pytest.raises(ConfigurationError):
+        chi_square_survival(1.0, 0)
+
+
+def test_gof_pvalue_matches_scipy():
+    observed = [18, 22, 25, 15, 20]
+    expected = [20.0] * 5
+    ours = chi_square_gof_pvalue(observed, expected)
+    reference = float(scipy_stats.chisquare(observed, expected).pvalue)
+    assert ours == pytest.approx(reference, abs=1e-9)
+
+
+def test_gof_single_category_is_vacuous():
+    assert chi_square_gof_pvalue([10], [10.0]) == 1.0
+
+
+def test_uniformity_pvalue_accepts_uniform_sample():
+    rng = random.Random(0)
+    values = [rng.random() for _ in range(2000)]
+    assert uniformity_pvalue(values) > 0.001
+
+
+def test_uniformity_pvalue_rejects_skewed_sample():
+    rng = random.Random(1)
+    values = [rng.random() ** 4 for _ in range(2000)]
+    assert uniformity_pvalue(values) < 1e-6
+
+
+def test_uniformity_pvalue_validation():
+    with pytest.raises(ConfigurationError):
+        uniformity_pvalue([])
+    with pytest.raises(ConfigurationError):
+        uniformity_pvalue([0.5], bins=1)
+
+
+def test_pooled_counts_merges_rare_categories():
+    samples = [["a"] * 50 + ["b"] * 45 + ["x"],
+               ["a"] * 48 + ["b"] * 47 + ["y"]]
+    table, labels = pooled_counts(samples)
+    assert "a" in labels and "b" in labels
+    assert "__pooled__" in labels
+    assert len(table) == 2
+    assert all(len(row) == len(labels) for row in table)
+
+
+def test_homogeneity_accepts_identical_distributions():
+    rng = random.Random(2)
+    samples = [[rng.randrange(6) for _ in range(400)] for _ in range(3)]
+    _stat, p_value, dof = chi_square_homogeneity(samples)
+    assert dof > 0
+    assert p_value > 1e-4
+
+
+def test_homogeneity_rejects_different_distributions():
+    rng = random.Random(3)
+    sample_a = [rng.randrange(4) for _ in range(500)]
+    sample_b = [rng.randrange(4) + 2 for _ in range(500)]
+    _stat, p_value, _dof = chi_square_homogeneity([sample_a, sample_b])
+    assert p_value < 1e-6
+
+
+def test_homogeneity_is_vacuous_for_single_category():
+    _stat, p_value, dof = chi_square_homogeneity([["x"] * 10, ["x"] * 10])
+    assert p_value == 1.0
+    assert dof == 0
+
+
+def test_homogeneity_matches_scipy_contingency():
+    rng = random.Random(4)
+    sample_a = [rng.randrange(5) for _ in range(600)]
+    sample_b = [rng.randrange(5) for _ in range(600)]
+    statistic, p_value, dof = chi_square_homogeneity([sample_a, sample_b],
+                                                     min_expected=0.0)
+    table = [[sample_a.count(value) for value in range(5)],
+             [sample_b.count(value) for value in range(5)]]
+    reference = scipy_stats.chi2_contingency(table, correction=False)
+    assert statistic == pytest.approx(float(reference[0]), rel=1e-9)
+    assert p_value == pytest.approx(float(reference[1]), abs=1e-9)
+    assert dof == int(reference[2])

@@ -1,0 +1,168 @@
+"""Cross-structure integration tests.
+
+These exercise several subsystems together: the same workload replayed on
+every dictionary must produce the same logical contents; the I/O counters of
+the history-independent structures must be in the same ballpark as their
+non-HI comparators; and the theorem-level scaling claims must hold end to end
+at small scale.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.btree import BTree
+from repro.cobtree import HistoryIndependentCOBTree
+from repro.core.hi_pma import HistoryIndependentPMA
+from repro.memory.tracker import IOTracker
+from repro.pma.classic import ClassicPMA
+from repro.skiplist.external import HistoryIndependentSkipList
+from repro.skiplist.folklore import FolkloreBSkipList
+from repro.skiplist.memory import MemorySkipList
+from repro.workloads import (apply_to_dictionary, apply_to_ranked,
+                             insert_delete_trace, random_insert_trace)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return insert_delete_trace(1200, delete_fraction=0.3, seed=42)
+
+
+def _live_keys(trace):
+    live = set()
+    for operation in trace:
+        if operation.kind.value == "insert":
+            live.add(operation.key)
+        elif operation.kind.value == "delete":
+            live.discard(operation.key)
+    return sorted(live)
+
+
+def test_all_dictionaries_agree_on_contents(workload):
+    expected = _live_keys(workload)
+
+    hi_pma = HistoryIndependentPMA(seed=1)
+    apply_to_ranked(hi_pma, workload)
+    classic = ClassicPMA()
+    apply_to_ranked(classic, workload)
+
+    cobtree = HistoryIndependentCOBTree(seed=2)
+    btree = BTree(block_size=16)
+    memory_list = MemorySkipList(seed=3)
+    folklore = FolkloreBSkipList(block_size=16, seed=4)
+    hi_skiplist = HistoryIndependentSkipList(block_size=16, epsilon=0.3, seed=5)
+    for structure in (cobtree, btree, memory_list, folklore, hi_skiplist):
+        apply_to_dictionary(structure, workload)
+
+    assert hi_pma.to_list() == expected
+    assert classic.to_list() == expected
+    assert cobtree.keys() == expected
+    assert list(btree) == expected
+    assert list(memory_list) == expected
+    assert list(folklore) == expected
+    assert list(hi_skiplist) == expected
+
+
+def test_range_queries_agree_across_dictionaries(workload):
+    expected = _live_keys(workload)
+    low, high = expected[len(expected) // 4], expected[3 * len(expected) // 4]
+    want = [key for key in expected if low <= key <= high]
+
+    cobtree = HistoryIndependentCOBTree(seed=6)
+    btree = BTree(block_size=16)
+    hi_skiplist = HistoryIndependentSkipList(block_size=16, seed=7)
+    for structure in (cobtree, btree, hi_skiplist):
+        apply_to_dictionary(structure, workload)
+
+    assert [key for key, _ in cobtree.range_query(low, high)] == want
+    assert [key for key, _ in btree.range_query(low, high)] == want
+    assert [key for key, _ in hi_skiplist.range_query(low, high)[0]] == want
+
+
+def test_hi_pma_move_overhead_versus_classic_is_moderate():
+    """§4.3 reports a ~7x runtime overhead; element moves should show a
+    similar single-digit factor, not an asymptotic blow-up."""
+    trace = random_insert_trace(2500, seed=8)
+    hi_pma = HistoryIndependentPMA(seed=8)
+    classic = ClassicPMA()
+    apply_to_ranked(hi_pma, list(trace))
+    apply_to_ranked(classic, list(trace))
+    ratio = hi_pma.stats.element_moves / max(1, classic.stats.element_moves)
+    assert 1.0 <= ratio <= 40.0
+
+
+def test_hi_pma_space_overhead_band():
+    trace = random_insert_trace(2500, seed=9)
+    hi_pma = HistoryIndependentPMA(seed=9)
+    apply_to_ranked(hi_pma, trace)
+    ratio = hi_pma.num_slots / len(hi_pma)
+    assert 1.5 <= ratio <= 40.0
+
+
+def test_cobtree_search_io_comparable_to_btree():
+    keys = random.Random(10).sample(range(10**6), 3000)
+    tracker = IOTracker(block_size=64, cache_blocks=4)
+    cobtree = HistoryIndependentCOBTree(seed=10, tracker=tracker)
+    btree = BTree(block_size=64)
+    for key in keys:
+        cobtree.insert(key, key)
+        btree.insert(key, key)
+    probes = random.Random(11).sample(keys, 60)
+
+    before = tracker.snapshot()
+    for key in probes:
+        tracker.cache.clear()
+        assert cobtree.contains(key)
+    cob_per_search = tracker.stats.delta(before).reads / len(probes)
+
+    btree_costs = [btree.search_io_cost(key) for key in probes]
+    btree_per_search = sum(btree_costs) / len(btree_costs)
+
+    # Theorem 2: both are O(log_B N); the CO B-tree pays a constant factor.
+    assert cob_per_search <= 12 * btree_per_search
+
+
+def test_hi_skiplist_search_beats_memory_skiplist_on_disk():
+    keys = random.Random(12).sample(range(10**6), 3000)
+    memory_list = MemorySkipList(seed=12)
+    hi_skiplist = HistoryIndependentSkipList(block_size=64, epsilon=0.2, seed=12)
+    for key in keys:
+        memory_list.insert(key, key)
+        hi_skiplist.insert(key, key)
+    probes = random.Random(13).sample(keys, 200)
+    memory_cost = sum(memory_list.search_io_cost(key) for key in probes) / len(probes)
+    external_cost = sum(hi_skiplist.search_io_cost(key) for key in probes) / len(probes)
+    assert external_cost < memory_cost
+
+
+def test_hi_skiplist_tail_is_flatter_than_folklore():
+    """Lemma 15 (folklore tail) vs. Theorem 3 (HI skip list whp bound)."""
+    keys = random.Random(14).sample(range(10**6), 4000)
+    block_size = 16
+    folklore = FolkloreBSkipList(block_size=block_size, seed=14)
+    hi_skiplist = HistoryIndependentSkipList(block_size=block_size, epsilon=0.2, seed=14)
+    for key in keys:
+        folklore.insert(key, key)
+        hi_skiplist.insert(key, key)
+    folklore_costs = sorted(folklore.search_io_cost(key) for key in keys)
+    hi_costs = sorted(hi_skiplist.search_io_cost(key) for key in keys)
+    folklore_max = folklore_costs[-1]
+    hi_max = hi_costs[-1]
+    assert hi_max <= folklore_max
+    # The folklore structure has a genuinely heavy tail relative to its median.
+    assert folklore_max >= folklore_costs[len(folklore_costs) // 2] + 2
+
+
+def test_insert_io_scaling_is_sublinear_in_n():
+    """Theorem 1's amortized I/O bound, end to end through the tracker."""
+    sizes = [500, 2000]
+    per_insert = []
+    for size in sizes:
+        tracker = IOTracker(block_size=32, cache_blocks=16)
+        pma = HistoryIndependentPMA(seed=15, tracker=tracker)
+        apply_to_ranked(pma, random_insert_trace(size, seed=15))
+        per_insert.append(tracker.stats.total_ios / size)
+    # Quadrupling N should not quadruple the amortized I/O cost (it grows
+    # like log^2 N / B + log_B N).
+    assert per_insert[1] <= 2.5 * per_insert[0] + 1.0

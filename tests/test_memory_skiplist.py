@@ -1,0 +1,119 @@
+"""Pugh's in-memory skip list."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DuplicateKey, KeyNotFound
+from repro.skiplist.memory import MemorySkipList
+
+
+def _filled(keys, seed=0):
+    skiplist = MemorySkipList(seed=seed)
+    for key in keys:
+        skiplist.insert(key, key + 1)
+    return skiplist
+
+
+def test_empty():
+    skiplist = MemorySkipList(seed=0)
+    assert len(skiplist) == 0
+    assert not skiplist.contains(3)
+    with pytest.raises(KeyNotFound):
+        skiplist.search(3)
+    with pytest.raises(KeyNotFound):
+        skiplist.delete(3)
+    skiplist.check()
+
+
+def test_insert_search_delete(small_keys):
+    skiplist = _filled(small_keys, seed=1)
+    for key in small_keys:
+        assert skiplist.search(key) == key + 1
+    assert list(skiplist) == sorted(small_keys)
+    rng = random.Random(1)
+    victims = rng.sample(small_keys, 100)
+    for key in victims:
+        assert skiplist.delete(key) == key + 1
+    assert list(skiplist) == sorted(set(small_keys) - set(victims))
+    skiplist.check()
+
+
+def test_duplicate_rejected_and_upsert():
+    skiplist = MemorySkipList(seed=2)
+    skiplist.insert(1, "a")
+    with pytest.raises(DuplicateKey):
+        skiplist.insert(1, "b")
+    assert skiplist.upsert(1, "b") is True
+    assert skiplist.search(1) == "b"
+
+
+def test_items_and_level_of(small_keys):
+    skiplist = _filled(small_keys, seed=3)
+    assert skiplist.items() == [(key, key + 1) for key in sorted(small_keys)]
+    for key in small_keys[:20]:
+        assert skiplist.level_of(key) >= 0
+    with pytest.raises(KeyNotFound):
+        skiplist.level_of(-1)
+
+
+def test_range_query(medium_keys):
+    skiplist = _filled(medium_keys, seed=4)
+    ordered = sorted(medium_keys)
+    low, high = ordered[100], ordered[600]
+    expected = [(key, key + 1) for key in ordered if low <= key <= high]
+    assert skiplist.range_query(low, high) == expected
+    assert skiplist.range_query(high, low) == []
+
+
+def test_height_is_logarithmic(medium_keys):
+    skiplist = _filled(medium_keys, seed=5)
+    assert skiplist.height <= 4 * math.log2(len(medium_keys))
+
+
+def test_search_cost_is_logarithmic_node_visits(medium_keys):
+    skiplist = _filled(medium_keys, seed=6)
+    rng = random.Random(6)
+    costs = [skiplist.search_io_cost(key) for key in rng.sample(medium_keys, 200)]
+    average = sum(costs) / len(costs)
+    # Θ(log N) node visits — this is the "in-memory skip list on disk" cost
+    # the external variants are designed to beat.
+    assert average <= 8 * math.log2(len(medium_keys))
+    assert average >= math.log2(len(medium_keys)) / 2
+
+
+def test_level_distribution_is_geometric(medium_keys):
+    skiplist = _filled(medium_keys, seed=7)
+    levels = [skiplist.level_of(key) for key in medium_keys]
+    zero_fraction = levels.count(0) / len(levels)
+    assert abs(zero_fraction - 0.5) < 0.06
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=2**32),
+       st.lists(st.tuples(st.sampled_from(["insert", "delete", "search"]),
+                          st.integers(min_value=0, max_value=80)),
+                min_size=1, max_size=150))
+def test_memory_skiplist_behaves_like_a_dict(seed, operations):
+    skiplist = MemorySkipList(seed=seed)
+    shadow = {}
+    for kind, key in operations:
+        if kind == "insert":
+            if key in shadow:
+                with pytest.raises(DuplicateKey):
+                    skiplist.insert(key, key)
+            else:
+                skiplist.insert(key, key)
+                shadow[key] = key
+        elif kind == "delete":
+            if key in shadow:
+                assert skiplist.delete(key) == shadow.pop(key)
+            else:
+                with pytest.raises(KeyNotFound):
+                    skiplist.delete(key)
+        else:
+            assert skiplist.contains(key) == (key in shadow)
+    assert list(skiplist) == sorted(shadow)
+    skiplist.check()

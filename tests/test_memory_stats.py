@@ -1,0 +1,72 @@
+"""IOStats counters, snapshots and deltas."""
+
+from repro.memory.stats import IOStats, OperationIOSample
+
+
+def test_total_ios_sums_reads_and_writes():
+    stats = IOStats(reads=3, writes=4)
+    assert stats.total_ios == 7
+
+
+def test_bump_creates_and_increments_counters():
+    stats = IOStats()
+    stats.bump("rebuild.lottery")
+    stats.bump("rebuild.lottery", 2)
+    assert stats.counters["rebuild.lottery"] == 3
+
+
+def test_snapshot_is_independent_copy():
+    stats = IOStats(reads=1)
+    stats.bump("x")
+    snap = stats.snapshot()
+    stats.reads += 10
+    stats.bump("x")
+    assert snap.reads == 1
+    assert snap.counters["x"] == 1
+
+
+def test_delta_subtracts_all_fields():
+    stats = IOStats()
+    stats.reads, stats.writes = 5, 2
+    stats.bump("a", 4)
+    earlier = stats.snapshot()
+    stats.reads, stats.writes = 9, 3
+    stats.bump("a")
+    stats.bump("b", 2)
+    delta = stats.delta(earlier)
+    assert delta.reads == 4
+    assert delta.writes == 1
+    assert delta.counters["a"] == 1
+    assert delta.counters["b"] == 2
+
+
+def test_record_operation_counts_and_optionally_keeps_samples():
+    stats = IOStats()
+    sample = OperationIOSample(name="insert", reads=2, writes=1)
+    stats.record_operation(sample)
+    stats.record_operation(sample, keep_sample=True)
+    assert stats.operations == 2
+    assert len(stats.per_operation) == 1
+    assert stats.per_operation[0].total_ios == 3
+
+
+def test_reset_zeroes_everything():
+    stats = IOStats(reads=4, writes=2, element_moves=9)
+    stats.bump("z")
+    stats.reset()
+    assert stats.total_ios == 0
+    assert stats.element_moves == 0
+    assert stats.counters == {}
+
+
+def test_as_dict_contains_scalars_and_counters():
+    stats = IOStats(reads=1, writes=2, element_moves=3)
+    stats.bump("pma.resize", 7)
+    exported = stats.as_dict()
+    assert exported["total_ios"] == 3
+    assert exported["element_moves"] == 3
+    assert exported["pma.resize"] == 7
+
+
+def test_operation_sample_total():
+    assert OperationIOSample(name="x", reads=5, writes=6).total_ios == 11

@@ -1,0 +1,100 @@
+"""Observer attacks: accuracy against the classic PMA, chance against the HI PMA."""
+
+import pytest
+
+from repro.core.hi_pma import HistoryIndependentPMA
+from repro.errors import ConfigurationError
+from repro.history.observer import (
+    AttackReport,
+    DeletionAttack,
+    RecencyAttack,
+    deletion_victim_builder,
+    evaluate_attack,
+    recency_victim_builder,
+)
+from repro.pma.classic import ClassicPMA
+
+
+# --------------------------------------------------------------------------- #
+# Report arithmetic and validation
+# --------------------------------------------------------------------------- #
+
+def test_attack_report_accuracy_and_advantage():
+    report = AttackReport(trials=40, regions=8, correct=30)
+    assert report.accuracy == pytest.approx(0.75)
+    assert report.chance == pytest.approx(0.125)
+    assert report.advantage == pytest.approx(0.625)
+    empty = AttackReport(trials=0, regions=8, correct=0)
+    assert empty.accuracy == 0.0
+
+
+def test_attacks_require_at_least_two_regions():
+    with pytest.raises(ConfigurationError):
+        RecencyAttack(regions=1)
+    with pytest.raises(ConfigurationError):
+        DeletionAttack(regions=0)
+
+
+def test_evaluate_attack_validates_inputs():
+    attack = RecencyAttack(regions=4)
+    with pytest.raises(ConfigurationError):
+        evaluate_attack(attack, lambda seed: ([1, None], 0), trials=0)
+    with pytest.raises(ConfigurationError):
+        evaluate_attack(attack, lambda seed: ([1, None], 9), trials=1)
+
+
+def test_attack_guesses_are_valid_regions():
+    slots = [1, None, 2, None, 3, 4, 5, None] * 8
+    assert 0 <= RecencyAttack(regions=8).guess(slots) < 8
+    assert 0 <= DeletionAttack(regions=8).guess(slots) < 8
+
+
+def test_guess_prefers_the_obvious_region():
+    # A layout with an unmistakably dense second quarter and sparse last quarter.
+    slots = ([1, None] * 20) + ([2] * 40) + ([3, None] * 20) + ([None] * 40)
+    assert RecencyAttack(regions=4).guess(slots) == 1
+    assert DeletionAttack(regions=4).guess(slots) == 3
+
+
+# --------------------------------------------------------------------------- #
+# End-to-end attack evaluation (small scale; the bench runs the full version)
+# --------------------------------------------------------------------------- #
+
+def _classic_factory(_seed):
+    return ClassicPMA()
+
+
+def _hi_factory(seed):
+    return HistoryIndependentPMA(seed=seed)
+
+
+def test_recency_attack_beats_chance_against_classic_pma():
+    report = evaluate_attack(
+        RecencyAttack(regions=8),
+        recency_victim_builder(_classic_factory, base_keys=400, burst_keys=80),
+        trials=12, seed=1)
+    assert report.accuracy >= 3 * report.chance
+
+
+def test_deletion_attack_beats_chance_against_classic_pma():
+    report = evaluate_attack(
+        DeletionAttack(regions=8),
+        deletion_victim_builder(_classic_factory, initial_keys=400),
+        trials=12, seed=2)
+    assert report.accuracy >= 4 * report.chance
+
+
+def test_recency_attack_fails_against_hi_pma():
+    report = evaluate_attack(
+        RecencyAttack(regions=8),
+        recency_victim_builder(_hi_factory, base_keys=400, burst_keys=80),
+        trials=12, seed=3)
+    assert report.accuracy <= 0.35
+
+
+def test_deletion_attack_fails_against_hi_pma():
+    report = evaluate_attack(
+        DeletionAttack(regions=8),
+        deletion_victim_builder(_hi_factory, initial_keys=400),
+        trials=12, seed=4)
+    assert report.accuracy <= 0.35

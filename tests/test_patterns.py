@@ -1,0 +1,212 @@
+"""Structured workload patterns: shape, determinism, and replayability."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cobtree import HistoryIndependentCOBTree
+from repro.errors import ConfigurationError
+from repro.workloads import (
+    OperationKind,
+    apply_to_dictionary,
+    batch_redaction_trace,
+    live_keys_of,
+    search_mix_trace,
+    sliding_window_trace,
+    trough_trace,
+    zipfian_insert_trace,
+)
+
+
+# --------------------------------------------------------------------------- #
+# zipfian_insert_trace
+# --------------------------------------------------------------------------- #
+
+def test_zipfian_keys_are_distinct_inserts():
+    trace = zipfian_insert_trace(200, key_space=5000, skew=1.0, seed=0)
+    assert len(trace) == 200
+    assert all(operation.kind is OperationKind.INSERT for operation in trace)
+    keys = [operation.key for operation in trace]
+    assert len(set(keys)) == 200
+
+
+def test_zipfian_is_reproducible_per_seed():
+    first = zipfian_insert_trace(100, key_space=2000, seed=7)
+    second = zipfian_insert_trace(100, key_space=2000, seed=7)
+    assert first == second
+    third = zipfian_insert_trace(100, key_space=2000, seed=8)
+    assert first != third
+
+
+def test_zipfian_zero_skew_is_uniformish():
+    trace = zipfian_insert_trace(500, key_space=1000, skew=0.0, seed=1)
+    keys = [operation.key for operation in trace]
+    assert len(set(keys)) == 500
+
+
+def test_zipfian_rejects_bad_parameters():
+    with pytest.raises(ConfigurationError):
+        zipfian_insert_trace(-1)
+    with pytest.raises(ConfigurationError):
+        zipfian_insert_trace(10, key_space=5)
+    with pytest.raises(ConfigurationError):
+        zipfian_insert_trace(10, skew=-0.5)
+
+
+def test_zipfian_can_exhaust_the_key_space():
+    trace = zipfian_insert_trace(50, key_space=50, skew=1.5, seed=2)
+    assert sorted(operation.key for operation in trace) == list(range(50))
+
+
+# --------------------------------------------------------------------------- #
+# sliding_window_trace
+# --------------------------------------------------------------------------- #
+
+def test_sliding_window_keeps_at_most_window_live():
+    trace = sliding_window_trace(arrivals=100, window=10)
+    live = set()
+    for operation in trace:
+        if operation.kind is OperationKind.INSERT:
+            live.add(operation.key)
+        else:
+            live.remove(operation.key)
+        assert len(live) <= 11  # momentarily window + 1 before the paired delete
+    assert len(live) <= 11
+    assert live_keys_of(trace) == sorted(live)
+
+
+def test_sliding_window_live_set_is_contiguous_suffix():
+    trace = sliding_window_trace(arrivals=50, window=8, stride=3, start=100)
+    live = live_keys_of(trace)
+    assert len(live) <= 9
+    # The survivors are the most recent arrivals, equally spaced by stride.
+    assert live == list(range(live[0], live[0] + 3 * len(live), 3))
+
+
+def test_sliding_window_rejects_bad_parameters():
+    with pytest.raises(ConfigurationError):
+        sliding_window_trace(-1, 10)
+    with pytest.raises(ConfigurationError):
+        sliding_window_trace(10, 0)
+    with pytest.raises(ConfigurationError):
+        sliding_window_trace(10, 5, stride=0)
+
+
+# --------------------------------------------------------------------------- #
+# trough_trace
+# --------------------------------------------------------------------------- #
+
+def test_trough_trace_has_requested_length_and_valid_deletes():
+    trace = trough_trace(400, hot_width=32, drift_per_insert=3, drain_lag=200, seed=0)
+    assert len(trace) == 400
+    live = set()
+    for operation in trace:
+        if operation.kind is OperationKind.INSERT:
+            assert operation.key not in live
+            live.add(operation.key)
+        else:
+            assert operation.key in live
+            live.remove(operation.key)
+
+
+def test_trough_trace_front_moves_upward():
+    trace = trough_trace(600, hot_width=16, drift_per_insert=4, drain_lag=100, seed=1)
+    inserts = [operation.key for operation in trace
+               if operation.kind is OperationKind.INSERT]
+    early = sum(inserts[:50]) / 50
+    late = sum(inserts[-50:]) / 50
+    assert late > early
+
+
+def test_trough_trace_rejects_bad_parameters():
+    with pytest.raises(ConfigurationError):
+        trough_trace(-5)
+    with pytest.raises(ConfigurationError):
+        trough_trace(10, hot_width=0)
+    with pytest.raises(ConfigurationError):
+        trough_trace(10, drain_lag=0)
+
+
+# --------------------------------------------------------------------------- #
+# search_mix_trace
+# --------------------------------------------------------------------------- #
+
+def test_search_mix_composition():
+    trace = search_mix_trace(preload=100, operations=400, search_fraction=0.8, seed=0)
+    assert len(trace) == 500
+    kinds = Counter(operation.kind for operation in trace)
+    assert kinds[OperationKind.INSERT] >= 100
+    assert kinds[OperationKind.SEARCH] > 200
+
+
+def test_search_mix_searches_only_live_keys():
+    trace = search_mix_trace(preload=50, operations=200, search_fraction=0.7, seed=1)
+    live = set()
+    for operation in trace:
+        if operation.kind is OperationKind.INSERT:
+            live.add(operation.key)
+        elif operation.kind is OperationKind.DELETE:
+            live.remove(operation.key)
+        else:
+            assert operation.key in live
+
+
+def test_search_mix_rejects_bad_parameters():
+    with pytest.raises(ConfigurationError):
+        search_mix_trace(preload=0, operations=10)
+    with pytest.raises(ConfigurationError):
+        search_mix_trace(preload=10, operations=10, search_fraction=1.5)
+
+
+def test_search_mix_replays_against_a_dictionary():
+    trace = search_mix_trace(preload=40, operations=120, seed=2)
+    tree = HistoryIndependentCOBTree(seed=0)
+    apply_to_dictionary(tree, trace)
+    assert sorted(tree.keys()) == live_keys_of(trace)
+
+
+# --------------------------------------------------------------------------- #
+# batch_redaction_trace
+# --------------------------------------------------------------------------- #
+
+def test_batch_redaction_removes_a_contiguous_slice():
+    trace = batch_redaction_trace(initial=200, redaction_start=0.25,
+                                  redaction_width=0.25, seed=0)
+    inserted = sorted(operation.key for operation in trace
+                      if operation.kind is OperationKind.INSERT)
+    deleted = sorted(operation.key for operation in trace
+                     if operation.kind is OperationKind.DELETE)
+    assert len(inserted) == 200
+    assert len(deleted) == 50
+    # The redacted keys are contiguous in the sorted key population.
+    start = inserted.index(deleted[0])
+    assert inserted[start:start + 50] == deleted
+
+
+def test_batch_redaction_rejects_bad_parameters():
+    with pytest.raises(ConfigurationError):
+        batch_redaction_trace(initial=0)
+    with pytest.raises(ConfigurationError):
+        batch_redaction_trace(initial=10, redaction_width=0.0)
+    with pytest.raises(ConfigurationError):
+        batch_redaction_trace(initial=10, redaction_start=1.5)
+
+
+# --------------------------------------------------------------------------- #
+# live_keys_of
+# --------------------------------------------------------------------------- #
+
+def test_live_keys_of_tracks_inserts_and_deletes():
+    trace = batch_redaction_trace(initial=100, redaction_start=0.5,
+                                  redaction_width=0.1, seed=3)
+    live = live_keys_of(trace)
+    assert len(live) == 90
+    assert live == sorted(live)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=1, max_value=60), st.integers(min_value=1, max_value=20))
+def test_property_sliding_window_live_count(arrivals, window):
+    trace = sliding_window_trace(arrivals=arrivals, window=window)
+    assert len(live_keys_of(trace)) == min(arrivals, window)

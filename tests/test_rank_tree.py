@@ -1,0 +1,104 @@
+"""The rank tree: counts, navigation, and bulk rebuilds."""
+
+import pytest
+
+from repro.core.rank_tree import RankTree
+from repro.errors import InvariantViolation, RankError
+from repro.memory.tracker import IOTracker
+
+
+def _build(leaf_counts):
+    tree = RankTree(height=len(leaf_counts).bit_length() - 1)
+    tree.rebuild_from_leaf_counts(leaf_counts)
+    return tree
+
+
+def test_height_zero_tree_is_a_single_leaf():
+    tree = RankTree(height=0)
+    assert tree.num_leaves == 1
+    tree.set_count(1, 5)
+    assert tree.total() == 5
+    assert tree.leaf_for_rank(3) == (0, 3)
+
+
+def test_negative_height_rejected():
+    with pytest.raises(ValueError):
+        RankTree(height=-1)
+
+
+def test_rebuild_from_leaf_counts_sets_internal_sums():
+    tree = _build([3, 0, 2, 5])
+    assert tree.total() == 10
+    assert tree.count(2) == 3       # left child of the root: leaves 0 and 1
+    assert tree.count(3) == 7
+    assert tree.leaf_counts() == [3, 0, 2, 5]
+
+
+def test_rebuild_requires_exact_leaf_count():
+    tree = RankTree(height=2)
+    with pytest.raises(ValueError):
+        tree.rebuild_from_leaf_counts([1, 2, 3])
+
+
+def test_leaf_for_rank_walks_counts():
+    tree = _build([3, 0, 2, 5])
+    assert tree.leaf_for_rank(1) == (0, 1)
+    assert tree.leaf_for_rank(3) == (0, 3)
+    assert tree.leaf_for_rank(4) == (2, 1)
+    assert tree.leaf_for_rank(5) == (2, 2)
+    assert tree.leaf_for_rank(6) == (3, 1)
+    assert tree.leaf_for_rank(10) == (3, 5)
+
+
+def test_leaf_for_rank_out_of_range():
+    tree = _build([1, 1, 1, 1])
+    with pytest.raises(RankError):
+        tree.leaf_for_rank(0)
+    with pytest.raises(RankError):
+        tree.leaf_for_rank(5)
+
+
+def test_rank_before_leaf():
+    tree = _build([3, 0, 2, 5])
+    assert tree.rank_before_leaf(0) == 0
+    assert tree.rank_before_leaf(1) == 3
+    assert tree.rank_before_leaf(2) == 3
+    assert tree.rank_before_leaf(3) == 5
+
+
+def test_add_on_path_updates_all_ancestors():
+    tree = _build([3, 0, 2, 5])
+    tree.add_on_path(2, 4)
+    assert tree.leaf_counts() == [3, 0, 6, 5]
+    assert tree.count(3) == 11
+    assert tree.total() == 14
+    tree.check()
+
+
+def test_set_count_rejects_negative():
+    tree = RankTree(height=1)
+    with pytest.raises(ValueError):
+        tree.set_count(1, -1)
+
+
+def test_check_detects_inconsistency():
+    tree = _build([1, 1, 1, 1])
+    tree.set_count(2, 99)  # break the parent/children sum
+    with pytest.raises(InvariantViolation):
+        tree.check()
+
+
+def test_memory_representation_is_layout_ordered_counts():
+    tree = _build([1, 2, 3, 4])
+    representation = tree.memory_representation()
+    assert len(representation) == tree.num_nodes
+    assert sum(tree.leaf_counts()) == tree.total()
+
+
+def test_tracker_charges_tree_accesses():
+    tracker = IOTracker(block_size=2)
+    tree = RankTree(height=3, tracker=tracker)
+    tree.rebuild_from_leaf_counts([1] * 8)
+    before = tracker.stats.total_ios
+    tree.leaf_for_rank(5)
+    assert tracker.stats.total_ios > before

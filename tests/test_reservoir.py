@@ -1,0 +1,110 @@
+"""Reservoir sampling with deletes (Lemma 5)."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core.reservoir import ReservoirChoice, ReservoirLeader
+from repro.errors import ReproError
+
+
+def test_choice_single_member_always_leads():
+    choice = ReservoirChoice(seed=0)
+    assert choice.arrival_becomes_leader(1) is True
+
+
+def test_choice_rejects_empty_set():
+    with pytest.raises(ReproError):
+        ReservoirChoice(seed=0).arrival_becomes_leader(0)
+
+
+def test_choice_pick_uniform_bounds():
+    choice = ReservoirChoice(seed=1)
+    for _ in range(200):
+        assert 3 <= choice.pick_uniform(3, 7) <= 7
+    with pytest.raises(ReproError):
+        choice.pick_uniform(5, 4)
+
+
+def test_choice_arrival_probability_is_one_over_n():
+    rng = random.Random(2)
+    n = 8
+    trials = 20000
+    wins = sum(ReservoirChoice(seed=rng.getrandbits(64)).arrival_becomes_leader(n)
+               for _ in range(trials))
+    assert abs(wins / trials - 1 / n) < 0.01
+
+
+def test_leader_add_remove_membership():
+    leader = ReservoirLeader(seed=0)
+    leader.add("a")
+    leader.add("b")
+    assert len(leader) == 2
+    assert "a" in leader
+    leader.remove("a")
+    assert "a" not in leader
+    assert leader.leader == "b"
+
+
+def test_leader_duplicate_add_rejected():
+    leader = ReservoirLeader(seed=0)
+    leader.add("a")
+    with pytest.raises(ReproError):
+        leader.add("a")
+
+
+def test_leader_remove_missing_rejected():
+    with pytest.raises(ReproError):
+        ReservoirLeader(seed=0).remove("ghost")
+
+
+def test_leader_none_when_empty():
+    leader = ReservoirLeader(seed=0)
+    assert leader.leader is None
+    leader.add("x")
+    leader.remove("x")
+    assert leader.leader is None
+
+
+def test_removing_non_leader_keeps_leader():
+    leader = ReservoirLeader(seed=3)
+    for member in "abcde":
+        leader.add(member)
+    current = leader.leader
+    victim = next(member for member in "abcde" if member != current)
+    changed = leader.remove(victim)
+    assert changed is False
+    assert leader.leader == current
+
+
+def test_leader_uniform_after_inserts():
+    """Lemma 5 with inserts only: each member leads with probability 1/n."""
+    rng = random.Random(4)
+    counts = Counter()
+    trials = 8000
+    members = list("abcdef")
+    for _ in range(trials):
+        leader = ReservoirLeader(seed=rng.getrandbits(64))
+        for member in members:
+            leader.add(member)
+        counts[leader.leader] += 1
+    for member in members:
+        assert abs(counts[member] / trials - 1 / len(members)) < 0.03
+
+
+def test_leader_uniform_after_inserts_and_deletes():
+    """Lemma 5 with deletes: uniformity holds for the surviving members."""
+    rng = random.Random(5)
+    counts = Counter()
+    trials = 8000
+    for _ in range(trials):
+        leader = ReservoirLeader(seed=rng.getrandbits(64))
+        for member in "abcdefgh":
+            leader.add(member)
+        for victim in "aceg":
+            leader.remove(victim)
+        counts[leader.leader] += 1
+    survivors = list("bdfh")
+    for member in survivors:
+        assert abs(counts[member] / trials - 1 / len(survivors)) < 0.03

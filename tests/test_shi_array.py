@@ -1,0 +1,171 @@
+"""The canonical (strongly HI) dynamic array and the Observation 1 adversary."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.shi_array import (
+    AdversaryReport,
+    CanonicalDynamicArray,
+    alternation_adversary_cost,
+    boundary_for,
+    power_of_two_capacity,
+)
+from repro.core.sizing import WHIDynamicArray
+from repro.errors import ConfigurationError, RankError
+
+
+# --------------------------------------------------------------------------- #
+# Canonical capacity rule
+# --------------------------------------------------------------------------- #
+
+def test_power_of_two_capacity_basic():
+    assert power_of_two_capacity(0) == 0
+    assert power_of_two_capacity(1) == 1
+    assert power_of_two_capacity(2) == 2
+    assert power_of_two_capacity(3) == 4
+    assert power_of_two_capacity(5) == 8
+    assert power_of_two_capacity(8) == 8
+    assert power_of_two_capacity(9) == 16
+
+
+def test_power_of_two_capacity_with_phase():
+    assert power_of_two_capacity(0, phase=1) == 1
+    assert power_of_two_capacity(3, phase=1) == 3
+    assert power_of_two_capacity(4, phase=1) == 5
+
+
+def test_capacity_is_at_least_half_full():
+    for count in range(1, 200):
+        capacity = power_of_two_capacity(count)
+        assert count <= capacity < 2 * count
+
+
+# --------------------------------------------------------------------------- #
+# CanonicalDynamicArray behaviour
+# --------------------------------------------------------------------------- #
+
+def test_canonical_array_insert_delete_order():
+    array = CanonicalDynamicArray(seed=0)
+    array.append("a")
+    array.append("c")
+    array.insert(1, "b")
+    assert list(array) == ["a", "b", "c"]
+    assert array.delete(0) == "a"
+    assert list(array) == ["b", "c"]
+
+
+def test_canonical_array_bounds_checks():
+    array = CanonicalDynamicArray(seed=0)
+    with pytest.raises(RankError):
+        array.insert(1, "x")
+    with pytest.raises(RankError):
+        array.delete(0)
+
+
+def test_canonical_array_capacity_is_function_of_count():
+    first = CanonicalDynamicArray(seed=0)
+    second = CanonicalDynamicArray(seed=0)
+    for value in range(37):
+        first.append(value)
+    for value in range(100):
+        second.append(value)
+    for _ in range(63):
+        second.delete(len(second) - 1)
+    assert len(first) == len(second)
+    assert first.capacity == second.capacity
+
+
+def test_canonical_array_representation_is_canonical():
+    first = CanonicalDynamicArray(seed=5)
+    second = CanonicalDynamicArray(seed=5)
+    for value in range(20):
+        first.append(value)
+    # A different history reaching the same sequence.
+    for value in range(25):
+        second.append(value)
+    for _ in range(5):
+        second.delete(len(second) - 1)
+    assert first.memory_representation() == second.memory_representation()
+
+
+def test_memory_representation_pads_with_gaps():
+    array = CanonicalDynamicArray(seed=0)
+    for value in range(5):
+        array.append(value)
+    representation = array.memory_representation()
+    assert len(representation) == array.capacity
+    assert representation[:5] == (0, 1, 2, 3, 4)
+    assert all(slot is None for slot in representation[5:])
+
+
+def test_resize_copies_every_element():
+    array = CanonicalDynamicArray(seed=0)
+    boundary = boundary_for(array, 8)
+    for value in range(boundary - 1):
+        array.append(value)
+    moves_before = array.element_moves
+    array.append("crosses the boundary")
+    assert array.element_moves - moves_before >= boundary
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=2**32),
+       st.lists(st.booleans(), min_size=1, max_size=150))
+def test_property_capacity_always_canonical(seed, ops):
+    array = CanonicalDynamicArray(seed=seed)
+    reference = CanonicalDynamicArray(seed=seed)
+    count = 0
+    for is_insert in ops:
+        if is_insert or count == 0:
+            array.append(count)
+            count += 1
+        else:
+            array.delete(len(array) - 1)
+            count -= 1
+        assert array.capacity == reference._capacity_of(count)
+        assert array.capacity >= count
+
+
+# --------------------------------------------------------------------------- #
+# Observation 1 adversary
+# --------------------------------------------------------------------------- #
+
+def test_boundary_for_finds_a_capacity_jump():
+    array = CanonicalDynamicArray(seed=0)
+    boundary = boundary_for(array, 100)
+    below = array._capacity_of(boundary - 1)
+    at = array._capacity_of(boundary)
+    assert at > below
+
+
+def test_adversary_report_moves_per_operation():
+    report = AdversaryReport(operations=10, element_moves=50, resizes=2)
+    assert report.moves_per_operation == 5.0
+    assert AdversaryReport(0, 0, 0).moves_per_operation == 0.0
+
+
+def test_adversary_rejects_empty_fill():
+    with pytest.raises(ConfigurationError):
+        alternation_adversary_cost(CanonicalDynamicArray(seed=0), 0, 10)
+
+
+def test_observation_one_shi_pays_linear_per_alternation():
+    """On a boundary, the canonical array resizes on every alternation step."""
+    array = CanonicalDynamicArray(seed=0)
+    boundary = boundary_for(array, 256)
+    probe = CanonicalDynamicArray(seed=0)
+    report = alternation_adversary_cost(probe, boundary, alternations=50)
+    # Every delete/insert pair crosses the boundary twice, copying ~boundary
+    # elements each time, so per-operation cost is Θ(boundary).
+    alternation_moves = report.element_moves
+    assert report.resizes >= 100
+    assert alternation_moves > 50 * boundary
+
+
+def test_observation_one_whi_is_cheap_under_the_same_adversary():
+    whi = WHIDynamicArray(seed=0)
+    report = alternation_adversary_cost(whi, 257, alternations=50)
+    # The WHI array resizes with probability Θ(1/n) per update, so the same
+    # adversary induces only a handful of resizes and near-constant
+    # amortized moves.
+    assert report.moves_per_operation < 30

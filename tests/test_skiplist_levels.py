@@ -1,0 +1,101 @@
+"""Upper-level membership lists shared by the external skip lists."""
+
+import pytest
+
+from repro.skiplist.levels import FRONT, SkipListLevels
+
+
+def _levels_with(assignments):
+    levels = SkipListLevels()
+    for key, level in assignments.items():
+        levels.add(key, level)
+    return levels
+
+
+def test_empty_levels():
+    levels = SkipListLevels()
+    assert levels.height == 0
+    assert len(levels) == 0
+    assert levels.level_of(10) == 0
+    assert levels.members(1) == []
+    assert levels.predecessor(1, 10) is FRONT
+    assert levels.descend(10) == []
+
+
+def test_add_registers_membership_in_all_lower_levels():
+    levels = _levels_with({10: 2, 20: 1})
+    assert levels.height == 2
+    assert levels.members(1) == [10, 20]
+    assert levels.members(2) == [10]
+    assert levels.level_of(10) == 2
+    assert levels.level_of(20) == 1
+    assert 10 in levels and 20 in levels and 30 not in levels
+
+
+def test_add_zero_level_is_noop():
+    levels = SkipListLevels()
+    levels.add(5, 0)
+    assert 5 not in levels
+    assert levels.height == 0
+
+
+def test_add_duplicate_rejected():
+    levels = _levels_with({5: 1})
+    with pytest.raises(ValueError):
+        levels.add(5, 2)
+
+
+def test_remove_clears_all_levels_and_shrinks_height():
+    levels = _levels_with({10: 3, 20: 1})
+    assert levels.remove(10) == 3
+    assert levels.height == 1
+    assert levels.members(1) == [20]
+    assert levels.remove(99) == 0  # unknown keys report level 0
+
+
+def test_predecessor():
+    levels = _levels_with({10: 1, 20: 1, 30: 2})
+    assert levels.predecessor(1, 5) is FRONT
+    assert levels.predecessor(1, 10) == 10
+    assert levels.predecessor(1, 25) == 20
+    assert levels.predecessor(2, 25) is FRONT
+    assert levels.predecessor(2, 35) == 30
+
+
+def test_descend_reports_scans_top_down():
+    levels = _levels_with({10: 1, 20: 2, 30: 1, 40: 3})
+    steps = levels.descend(35)
+    assert [step.level for step in steps] == [3, 2, 1]
+    # Level 3 holds {40}: nothing <= 35, scan still reads one slot.
+    assert steps[0].anchor is FRONT
+    assert steps[0].scanned >= 1
+    # Level 2 holds {20, 40}: anchor becomes 20.
+    assert steps[1].anchor == 20
+    # Level 1 holds {10, 20, 30, 40}: scanning past 20 finds 30.
+    assert steps[2].anchor == 30
+
+
+def test_descend_scan_lengths_are_bounded_by_membership():
+    levels = _levels_with({key: 1 for key in range(0, 100, 10)})
+    steps = levels.descend(95)
+    assert len(steps) == 1
+    assert steps[0].scanned <= 11
+
+
+def test_array_span_counts_members_between_boundaries():
+    levels = _levels_with({10: 1, 20: 2, 30: 1, 40: 2, 50: 1})
+    # Level-1 array starting at FRONT runs until 20 (the next level-2 element).
+    assert levels.array_span(1, FRONT) == 1      # just {10}
+    assert levels.array_span(1, 20) == 2         # {20, 30}
+    assert levels.array_span(1, 40) == 2         # {40, 50}
+    assert levels.array_span(3, FRONT) == 0
+
+
+def test_check_validates_nesting():
+    levels = _levels_with({10: 2, 20: 1})
+    levels.check()
+    # Corrupt the nesting by reaching into the internals.
+    levels._levels[1].append(20)
+    levels._levels[1].sort()
+    with pytest.raises(ValueError):
+        levels.check()

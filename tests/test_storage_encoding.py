@@ -1,0 +1,162 @@
+"""Record and page codecs: round trips, fixed widths, error handling."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.storage.encoding import GAP_MARKER, PageCodec, RecordCodec, encoded_record_size
+
+
+# --------------------------------------------------------------------------- #
+# RecordCodec
+# --------------------------------------------------------------------------- #
+
+def test_record_size_is_header_plus_payload():
+    codec = RecordCodec(payload_size=32)
+    assert codec.record_size == encoded_record_size(32)
+    assert len(codec.encode(7)) == codec.record_size
+    assert len(codec.encode(None)) == codec.record_size
+
+
+def test_rejects_tiny_payload_budget():
+    with pytest.raises(ConfigurationError):
+        RecordCodec(payload_size=8)
+
+
+@pytest.mark.parametrize("value", [
+    None,
+    0,
+    42,
+    -17,
+    2**100,
+    -(2**100),
+    True,
+    False,
+    3.14159,
+    -0.0,
+    "hello",
+    "ünïcødé",
+    "",
+    b"raw bytes",
+    b"",
+    (5, "five"),
+    ("key", 123),
+    (1.5, b"blob"),
+    (None, 7),
+    (7, None),
+])
+def test_record_round_trip(value):
+    codec = RecordCodec(payload_size=64)
+    decoded = codec.decode(codec.encode(value))
+    if isinstance(value, bool):
+        assert decoded == int(value)
+    else:
+        assert decoded == value
+
+
+def test_gap_marker_round_trip():
+    codec = RecordCodec(payload_size=32)
+    assert codec.decode(codec.encode(GAP_MARKER)) is None
+
+
+def test_oversized_value_rejected():
+    codec = RecordCodec(payload_size=16)
+    with pytest.raises(CapacityError):
+        codec.encode("x" * 64)
+
+
+def test_unsupported_type_rejected():
+    codec = RecordCodec(payload_size=32)
+    with pytest.raises(ConfigurationError):
+        codec.encode(["lists", "not", "supported"])
+    with pytest.raises(ConfigurationError):
+        codec.encode(((1, 2), 3))  # nested pairs unsupported
+
+
+def test_decode_rejects_wrong_length():
+    codec = RecordCodec(payload_size=32)
+    with pytest.raises(ConfigurationError):
+        codec.decode(b"\x00" * 5)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.one_of(
+    st.none(),
+    st.integers(min_value=-(2**120), max_value=2**120),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=12),
+    st.binary(max_size=12),
+    st.tuples(st.integers(min_value=-10**9, max_value=10**9), st.text(max_size=8)),
+))
+def test_property_record_round_trip(value):
+    codec = RecordCodec(payload_size=64)
+    assert codec.decode(codec.encode(value)) == value
+
+
+# --------------------------------------------------------------------------- #
+# PageCodec
+# --------------------------------------------------------------------------- #
+
+def test_page_codec_capacity_arithmetic():
+    codec = PageCodec(page_size=4096, payload_size=32)
+    assert codec.slots_per_page == (4096 - 4) // encoded_record_size(32)
+
+
+def test_page_codec_rejects_too_small_page():
+    with pytest.raises(ConfigurationError):
+        PageCodec(page_size=16, payload_size=16)
+
+
+def test_page_round_trip_with_gaps():
+    codec = PageCodec(page_size=512, payload_size=32)
+    slots = [1, None, "a", None, (2, "b")]
+    page = codec.encode_page(slots)
+    assert len(page) == 512
+    assert codec.decode_page(page) == slots
+
+
+def test_encode_page_rejects_overflow():
+    codec = PageCodec(page_size=128, payload_size=16)
+    with pytest.raises(CapacityError):
+        codec.encode_page(list(range(codec.slots_per_page + 1)))
+
+
+def test_decode_page_rejects_wrong_size():
+    codec = PageCodec(page_size=256, payload_size=16)
+    with pytest.raises(ConfigurationError):
+        codec.decode_page(b"\x00" * 128)
+
+
+def test_paginate_unpaginate_round_trip():
+    codec = PageCodec(page_size=256, payload_size=16)
+    slots = [index if index % 3 else None for index in range(100)]
+    pages = codec.paginate(slots)
+    assert all(len(page) == 256 for page in pages)
+    assert codec.unpaginate(pages)[:len(slots)] == slots
+
+
+def test_paginate_empty_produces_one_page():
+    codec = PageCodec(page_size=256, payload_size=16)
+    pages = codec.paginate([])
+    assert len(pages) == 1
+    assert codec.unpaginate(pages) == []
+
+
+def test_unpaginate_checks_expected_count():
+    codec = PageCodec(page_size=256, payload_size=16)
+    pages = codec.paginate([1, 2, 3])
+    with pytest.raises(ConfigurationError):
+        codec.unpaginate(pages, expected_slots=99)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.one_of(st.none(),
+                          st.integers(min_value=-10**6, max_value=10**6),
+                          st.text(max_size=6)),
+                max_size=200))
+def test_property_paginate_round_trip(slots):
+    codec = PageCodec(page_size=512, payload_size=24)
+    pages = codec.paginate(slots)
+    decoded = codec.unpaginate(pages)
+    assert decoded[:len(slots)] == slots
+    assert all(slot is None for slot in decoded[len(slots):])

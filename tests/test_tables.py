@@ -1,0 +1,106 @@
+"""CSV / Markdown rendering and bench-result aggregation."""
+
+import json
+import os
+
+from repro.analysis.tables import (
+    format_markdown_table,
+    load_results,
+    read_csv,
+    render_results_markdown,
+    summarize_results,
+    write_csv,
+)
+
+
+# --------------------------------------------------------------------------- #
+# Markdown tables
+# --------------------------------------------------------------------------- #
+
+def test_markdown_table_structure():
+    table = format_markdown_table([[1, 2.5], ["a", "b"]], headers=["x", "y"])
+    lines = table.splitlines()
+    assert lines[0] == "| x | y |"
+    assert lines[1] == "|---|---|"
+    assert lines[2] == "| 1 | 2.5 |"
+    assert lines[3] == "| a | b |"
+
+
+def test_markdown_table_empty_headers():
+    assert format_markdown_table([], headers=[]) == "(no data)"
+
+
+def test_markdown_table_float_formatting():
+    table = format_markdown_table([[0.123456789]], headers=["value"])
+    assert "0.1235" in table
+
+
+# --------------------------------------------------------------------------- #
+# CSV round trip
+# --------------------------------------------------------------------------- #
+
+def test_write_and_read_csv(tmp_path):
+    path = str(tmp_path / "out" / "table.csv")
+    written = write_csv(path, [[1, "a"], [2, "b"]], headers=["n", "label"])
+    assert written == path
+    rows = read_csv(path)
+    assert rows == [["n", "label"], ["1", "a"], ["2", "b"]]
+
+
+def test_write_csv_without_headers(tmp_path):
+    path = str(tmp_path / "plain.csv")
+    write_csv(path, [[3.14159]])
+    assert read_csv(path) == [["3.142"]]
+
+
+# --------------------------------------------------------------------------- #
+# Results aggregation
+# --------------------------------------------------------------------------- #
+
+def _write_result(directory, name, payload):
+    with open(os.path.join(directory, name + ".json"), "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+
+
+def test_load_results_reads_json_files(tmp_path):
+    directory = str(tmp_path)
+    _write_result(directory, "alpha", {"metric": 1})
+    _write_result(directory, "beta", {"nested": {"value": 2.0}})
+    results = load_results(directory)
+    assert set(results) == {"alpha", "beta"}
+    assert results["alpha"]["metric"] == 1
+
+
+def test_load_results_missing_directory_is_empty():
+    assert load_results("/nonexistent/results/dir") == {}
+
+
+def test_load_results_skips_invalid_json(tmp_path):
+    directory = str(tmp_path)
+    _write_result(directory, "good", {"x": 1})
+    with open(os.path.join(directory, "broken.json"), "w", encoding="utf-8") as handle:
+        handle.write("{not json")
+    results = load_results(directory)
+    assert set(results) == {"good"}
+
+
+def test_summarize_results_flattens_nested_payloads(tmp_path):
+    directory = str(tmp_path)
+    _write_result(directory, "exp", {"top": 1, "nested": {"a": 2}, "series": [1, 2, 3]})
+    rows = summarize_results(load_results(directory))
+    as_dict = {(row[0], row[1]): row[2] for row in rows}
+    assert as_dict[("exp", "top")] == 1
+    assert as_dict[("exp", "nested.a")] == 2
+    assert as_dict[("exp", "series")] == "[3 entries]"
+
+
+def test_render_results_markdown(tmp_path):
+    directory = str(tmp_path)
+    _write_result(directory, "exp", {"metric": 0.5})
+    rendered = render_results_markdown(directory)
+    assert "| exp | metric | 0.5 |" in rendered
+
+
+def test_render_results_markdown_empty(tmp_path):
+    rendered = render_results_markdown(str(tmp_path / "nothing"))
+    assert "No benchmark results" in rendered

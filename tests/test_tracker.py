@@ -1,0 +1,105 @@
+"""IOTracker: block-granular accounting of slot-range touches."""
+
+import pytest
+
+from repro.memory.tracker import IOTracker
+
+
+def test_block_size_must_be_positive():
+    with pytest.raises(ValueError):
+        IOTracker(0)
+
+
+def test_single_slot_touch_is_one_io():
+    tracker = IOTracker(block_size=8)
+    assert tracker.touch_slot("arr", 3) == 1
+    assert tracker.stats.reads == 1
+
+
+def test_range_touch_counts_blocks_not_slots():
+    tracker = IOTracker(block_size=8)
+    charged = tracker.touch_range("arr", 0, 24)
+    assert charged == 3
+    assert tracker.stats.reads == 3
+
+
+def test_unaligned_range_spans_extra_block():
+    tracker = IOTracker(block_size=8)
+    assert tracker.touch_range("arr", 6, 10) == 2
+
+
+def test_empty_range_is_free():
+    tracker = IOTracker(block_size=8)
+    assert tracker.touch_range("arr", 5, 5) == 0
+    assert tracker.stats.total_ios == 0
+
+
+def test_write_touches_count_as_writes():
+    tracker = IOTracker(block_size=4)
+    tracker.touch_range("arr", 0, 8, write=True)
+    assert tracker.stats.writes == 2
+    assert tracker.stats.reads == 0
+
+
+def test_distinct_arrays_use_distinct_blocks():
+    tracker = IOTracker(block_size=8, cache_blocks=4)
+    tracker.touch_slot("a", 0)
+    charged = tracker.touch_slot("b", 0)
+    assert charged == 1  # not a cache hit despite the same block index
+
+
+def test_cache_absorbs_repeat_touches():
+    tracker = IOTracker(block_size=8, cache_blocks=2)
+    assert tracker.touch_slot("arr", 0) == 1
+    assert tracker.touch_slot("arr", 1) == 0
+    assert tracker.stats.cache_hits == 1
+
+
+def test_cache_eviction_recharges():
+    tracker = IOTracker(block_size=1, cache_blocks=1)
+    tracker.touch_slot("arr", 0)
+    tracker.touch_slot("arr", 1)  # evicts block 0
+    assert tracker.touch_slot("arr", 0) == 1
+    assert tracker.stats.reads == 3
+
+
+def test_invalidate_array_clears_cached_blocks():
+    tracker = IOTracker(block_size=8, cache_blocks=8)
+    tracker.touch_range("arr", 0, 16)
+    tracker.invalidate_array("arr", 16)
+    assert tracker.touch_slot("arr", 0) == 1
+
+
+def test_record_moves_accumulates():
+    tracker = IOTracker(block_size=8)
+    tracker.record_moves(5)
+    tracker.record_moves(2)
+    assert tracker.stats.element_moves == 7
+
+
+def test_operation_context_attributes_touches():
+    tracker = IOTracker(block_size=4)
+    with tracker.operation("insert", keep_sample=True) as sample:
+        tracker.touch_range("arr", 0, 8, write=True)
+        tracker.record_moves(3)
+    assert sample.writes == 2
+    assert sample.element_moves == 3
+    assert tracker.stats.operations == 1
+    assert tracker.stats.per_operation[0].name == "insert"
+
+
+def test_nested_operations_roll_up_to_parent():
+    tracker = IOTracker(block_size=4)
+    with tracker.operation("outer") as outer:
+        with tracker.operation("inner"):
+            tracker.touch_slot("arr", 0)
+    assert outer.reads == 1
+    assert tracker.stats.operations == 2
+
+
+def test_reset_clears_counts_and_cache():
+    tracker = IOTracker(block_size=4, cache_blocks=2)
+    tracker.touch_slot("arr", 0)
+    tracker.reset()
+    assert tracker.stats.total_ios == 0
+    assert tracker.touch_slot("arr", 0) == 1  # the cache was emptied too

@@ -1,0 +1,51 @@
+"""The §4.3 balance-uniformity experiment pipeline."""
+
+import pytest
+
+from repro.core.hi_pma import PMAParameters
+from repro.history.uniformity import BalanceUniformityResult, balance_uniformity_experiment
+
+
+@pytest.fixture(scope="module")
+def small_experiment():
+    # Scaled far down from the paper (100k keys x 10k trials) so the test
+    # suite stays fast; the benchmark harness runs the larger version.
+    return balance_uniformity_experiment(num_keys=400, trials=160, seed=123)
+
+
+def test_experiment_produces_groups(small_experiment):
+    assert small_experiment.num_groups >= 1
+    assert small_experiment.trials == 160
+    assert small_experiment.num_keys == 400
+
+
+def test_group_keys_are_depth_and_window_length(small_experiment):
+    for (depth, window_length), p_value in small_experiment.group_p_values.items():
+        assert depth >= 0
+        assert window_length >= small_experiment.min_window
+        assert 0.0 <= p_value <= 1.0
+
+
+def test_experiment_passes_for_hi_pma(small_experiment):
+    assert isinstance(small_experiment, BalanceUniformityResult)
+    assert small_experiment.passes(significance=1e-4)
+
+
+def test_no_single_group_is_wildly_non_uniform(small_experiment):
+    # With ~a handful of groups a Bonferroni-style bound keeps flakiness low.
+    assert min(small_experiment.group_p_values.values()) > 1e-6
+
+
+def test_experiment_respects_min_window():
+    result = balance_uniformity_experiment(num_keys=300, trials=40,
+                                           min_window=10**9, seed=1)
+    assert result.num_groups == 0
+    assert result.overall_p_value == 1.0
+
+
+def test_experiment_accepts_custom_parameters():
+    params = PMAParameters(c1=0.25)
+    result = balance_uniformity_experiment(num_keys=300, trials=30,
+                                           params=params, seed=2,
+                                           min_expected=1.0)
+    assert isinstance(result, BalanceUniformityResult)

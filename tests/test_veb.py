@@ -1,0 +1,169 @@
+"""van Emde Boas layout: permutation correctness and cache-oblivious locality."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.layout.veb import CompleteBinaryTree, VanEmdeBoasLayout
+from repro.memory.tracker import IOTracker
+
+
+def test_levels_must_be_positive():
+    with pytest.raises(ConfigurationError):
+        VanEmdeBoasLayout(0)
+
+
+def test_single_level_tree():
+    layout = VanEmdeBoasLayout(1)
+    assert layout.num_nodes == 1
+    assert layout.num_leaves == 1
+    assert layout.position(1) == 0
+    assert layout.is_leaf(1)
+
+
+def test_two_level_layout_is_root_then_children():
+    layout = VanEmdeBoasLayout(2)
+    assert layout.position(1) == 0
+    assert {layout.position(2), layout.position(3)} == {1, 2}
+    assert layout.position(2) < layout.position(3)
+
+
+def test_positions_form_a_permutation():
+    for levels in range(1, 9):
+        layout = VanEmdeBoasLayout(levels)
+        positions = [layout.position(node) for node in range(1, layout.num_nodes + 1)]
+        assert sorted(positions) == list(range(layout.num_nodes))
+
+
+def test_position_and_bfs_are_inverse():
+    layout = VanEmdeBoasLayout(6)
+    for node in range(1, layout.num_nodes + 1):
+        assert layout.bfs_at_position(layout.position(node)) == node
+
+
+def test_four_level_layout_recursion():
+    # 4 levels split into a 2-level top tree and four 2-level bottom trees:
+    # the top tree's 3 nodes occupy positions 0..2.
+    layout = VanEmdeBoasLayout(4)
+    top_nodes = {1, 2, 3}
+    assert {layout.position(node) for node in top_nodes} == {0, 1, 2}
+    # Each bottom subtree (rooted at nodes 4..7) is contiguous.
+    for root in (4, 5, 6, 7):
+        positions = sorted(layout.position(node)
+                           for node in (root, 2 * root, 2 * root + 1))
+        assert positions[2] - positions[0] == 2
+
+
+def test_navigation_helpers():
+    layout = VanEmdeBoasLayout(4)
+    assert layout.parent(5) == 2
+    assert layout.left_child(2) == 4
+    assert layout.right_child(2) == 5
+    assert layout.depth(1) == 0
+    assert layout.depth(8) == 3
+    assert layout.is_leaf(8)
+    assert not layout.is_leaf(4)
+    with pytest.raises(IndexError):
+        layout.parent(1)
+    with pytest.raises(IndexError):
+        layout.position(layout.num_nodes + 1)
+
+
+def test_leaf_indexing_round_trip():
+    layout = VanEmdeBoasLayout(5)
+    for leaf_index in range(layout.num_leaves):
+        bfs = layout.leaf_bfs_index(leaf_index)
+        assert layout.is_leaf(bfs)
+        assert layout.leaf_index(bfs) == leaf_index
+    with pytest.raises(IndexError):
+        layout.leaf_bfs_index(layout.num_leaves)
+    with pytest.raises(ValueError):
+        layout.leaf_index(1)
+
+
+def test_root_to_node_path():
+    layout = VanEmdeBoasLayout(4)
+    assert layout.root_to_node_path(11) == [1, 2, 5, 11]
+    assert layout.path_positions(11) == [layout.position(node)
+                                         for node in (1, 2, 5, 11)]
+
+
+def test_subtree_nodes_enumerates_whole_subtree():
+    layout = VanEmdeBoasLayout(4)
+    subtree = set(layout.subtree_nodes(2))
+    assert subtree == {2, 4, 5, 8, 9, 10, 11}
+
+
+def _worst_path_blocks(position_of, layout, block_size, sample_leaves=256):
+    worst = 0
+    stride = max(1, layout.num_leaves // sample_leaves)
+    for leaf_index in range(0, layout.num_leaves, stride):
+        path = layout.root_to_node_path(layout.leaf_bfs_index(leaf_index))
+        blocks = {position_of(node) // block_size for node in path}
+        worst = max(worst, len(blocks))
+    return worst
+
+
+def test_root_to_leaf_paths_touch_fewer_blocks_than_bfs_layout():
+    """The defining cache-oblivious property: root-to-leaf paths are block-local.
+
+    Compared with the breadth-first layout (where every deep level lands in a
+    different block), the vEB layout touches asymptotically ``O(log_B N)``
+    blocks.  At 16 levels and 64-slot blocks that is a large constant-factor
+    gap, which is what we assert.
+    """
+    levels = 16
+    block_size = 64
+    layout = VanEmdeBoasLayout(levels)
+    veb_worst = _worst_path_blocks(layout.position, layout, block_size)
+    bfs_worst = _worst_path_blocks(lambda node: node - 1, layout, block_size)
+    assert veb_worst < bfs_worst
+    # log_B N = 16 / 6 ≈ 2.7; allow the customary factor-of-two plus slack.
+    assert veb_worst <= 8
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=2, max_value=10))
+def test_path_positions_are_consistent_with_layout(levels):
+    layout = VanEmdeBoasLayout(levels)
+    for leaf_index in range(min(layout.num_leaves, 32)):
+        bfs = layout.leaf_bfs_index(leaf_index)
+        assert layout.path_positions(bfs) == [layout.position(node)
+                                              for node in layout.root_to_node_path(bfs)]
+
+
+def test_complete_binary_tree_get_set():
+    tree = CompleteBinaryTree(levels=4, default=0)
+    tree.set(5, 42)
+    assert tree.get(5) == 42
+    assert tree.get(4) == 0
+    assert tree.num_leaves == 8
+
+
+def test_complete_binary_tree_fill_and_layout_order():
+    tree = CompleteBinaryTree(levels=3, default=None)
+    tree.fill(7)
+    assert tree.values_in_layout_order() == [7] * 7
+
+
+def test_complete_binary_tree_charges_tracker():
+    tracker = IOTracker(block_size=2)
+    tree = CompleteBinaryTree(levels=4, default=0, tracker=tracker, array_name="t")
+    tree.set(9, 1)
+    tree.get(9)
+    assert tracker.stats.writes == 1
+    assert tracker.stats.reads == 1
+
+
+def test_complete_binary_tree_path_io_is_logarithmic():
+    # With a small cache, consecutive path nodes that share a block are free,
+    # so a root-to-leaf traversal costs far fewer I/Os than its node count.
+    tracker = IOTracker(block_size=8, cache_blocks=8)
+    levels = 12
+    tree = CompleteBinaryTree(levels=levels, default=0, tracker=tracker, array_name="t")
+    leaf = tree.layout.leaf_bfs_index(tree.num_leaves // 2)
+    tree.get_many(tree.layout.root_to_node_path(leaf))
+    assert 1 <= tracker.stats.reads <= 9
+    assert tracker.stats.cache_hits >= levels - tracker.stats.reads

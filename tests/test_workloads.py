@@ -1,0 +1,138 @@
+"""Workload generators and replay helpers."""
+
+import pytest
+
+from repro.core.hi_pma import HistoryIndependentPMA
+from repro.btree import BTree
+from repro.errors import ConfigurationError
+from repro.workloads import (
+    Operation,
+    OperationKind,
+    apply_to_dictionary,
+    apply_to_ranked,
+    clustered_insert_trace,
+    insert_delete_trace,
+    random_insert_trace,
+    redaction_trace,
+    reverse_sequential_insert_trace,
+    sequential_insert_trace,
+)
+
+
+def _final_key_set(trace):
+    live = set()
+    for operation in trace:
+        if operation.kind is OperationKind.INSERT:
+            live.add(operation.key)
+        elif operation.kind is OperationKind.DELETE:
+            live.remove(operation.key)
+    return live
+
+
+def test_random_insert_trace_is_distinct_and_seeded():
+    trace_a = random_insert_trace(100, seed=1)
+    trace_b = random_insert_trace(100, seed=1)
+    trace_c = random_insert_trace(100, seed=2)
+    assert trace_a == trace_b
+    assert trace_a != trace_c
+    keys = [operation.key for operation in trace_a]
+    assert len(set(keys)) == 100
+
+
+def test_random_insert_trace_key_space_validation():
+    with pytest.raises(ConfigurationError):
+        random_insert_trace(10, key_space=5, seed=0)
+
+
+def test_sequential_traces():
+    forward = sequential_insert_trace(5, start=10)
+    assert [operation.key for operation in forward] == [10, 11, 12, 13, 14]
+    backward = reverse_sequential_insert_trace(5, start=10)
+    assert [operation.key for operation in backward] == [14, 13, 12, 11, 10]
+    assert all(operation.kind is OperationKind.INSERT for operation in backward)
+
+
+def test_clustered_trace_concentrates_keys():
+    width = 400
+    trace = clustered_insert_trace(300, clusters=2, cluster_width=width, seed=3)
+    keys = sorted(operation.key for operation in trace)
+    assert len(set(keys)) == 300
+    # The keys live inside at most two hot windows of width 2·width: splitting
+    # the sorted keys at gaps larger than a window leaves at most two groups.
+    large_gaps = sum(1 for previous, current in zip(keys, keys[1:])
+                     if current - previous > 2 * width)
+    assert large_gaps <= 1
+
+
+def test_clustered_trace_validation():
+    with pytest.raises(ConfigurationError):
+        clustered_insert_trace(10, clusters=0)
+    with pytest.raises(ConfigurationError):
+        clustered_insert_trace(10, clusters=1, cluster_width=0)
+    # Infeasible request: more distinct keys than the hot windows can hold.
+    with pytest.raises(ConfigurationError):
+        clustered_insert_trace(300, clusters=2, cluster_width=50)
+
+
+def test_insert_delete_trace_only_deletes_live_keys():
+    trace = insert_delete_trace(500, delete_fraction=0.4, seed=4)
+    live = set()
+    for operation in trace:
+        if operation.kind is OperationKind.INSERT:
+            assert operation.key not in live
+            live.add(operation.key)
+        else:
+            assert operation.key in live
+            live.remove(operation.key)
+
+
+def test_insert_delete_trace_validation():
+    with pytest.raises(ConfigurationError):
+        insert_delete_trace(10, delete_fraction=1.0)
+
+
+def test_redaction_trace_shape():
+    trace = redaction_trace(initial=50, redactions=20, seed=5)
+    inserts = [operation for operation in trace if operation.kind is OperationKind.INSERT]
+    deletes = [operation for operation in trace if operation.kind is OperationKind.DELETE]
+    assert len(inserts) == 50
+    assert len(deletes) == 20
+    assert len(_final_key_set(trace)) == 30
+    with pytest.raises(ConfigurationError):
+        redaction_trace(initial=5, redactions=6)
+
+
+def test_operation_str():
+    trace = sequential_insert_trace(1)
+    assert str(trace[0]) == "insert(1)"
+
+
+def test_apply_to_ranked_keeps_sorted_order():
+    trace = insert_delete_trace(300, delete_fraction=0.3, seed=6)
+    pma = HistoryIndependentPMA(seed=6)
+    apply_to_ranked(pma, trace)
+    assert pma.to_list() == sorted(_final_key_set(trace))
+    pma.check()
+
+
+def test_apply_to_ranked_rejects_bad_delete():
+    trace = [Operation(OperationKind.DELETE, 5)]
+    pma = HistoryIndependentPMA(seed=7)
+    with pytest.raises(ConfigurationError):
+        apply_to_ranked(pma, trace)
+
+
+def test_apply_to_dictionary_matches_ranked():
+    trace = insert_delete_trace(300, delete_fraction=0.3, seed=8)
+    pma = HistoryIndependentPMA(seed=8)
+    tree = BTree(block_size=8)
+    apply_to_ranked(pma, trace)
+    apply_to_dictionary(tree, trace)
+    assert pma.to_list() == list(tree)
+
+
+def test_apply_value_mapping():
+    trace = sequential_insert_trace(5)
+    tree = BTree(block_size=8)
+    apply_to_dictionary(tree, trace, value_of=lambda key: key * 10)
+    assert tree.search(3) == 30
