@@ -20,13 +20,13 @@ from repro.analysis.scaling import search_cost_distribution, tail_summary
 from repro.skiplist.external import HistoryIndependentSkipList
 from repro.skiplist.folklore import FolkloreBSkipList
 
-from _harness import scaled
+from _harness import scaled_sweep, smoke_mode
 
 BLOCK_SIZE = 16
 
 
 def test_bskiplist_search_tail(run_once, results_dir):
-    sizes = [scaled(4_000), scaled(16_000)]
+    sizes = scaled_sweep(4_000, 16_000)
 
     def workload():
         rows = []
@@ -62,6 +62,8 @@ def test_bskiplist_search_tail(run_once, results_dir):
     write_results("bskiplist_tail", {"block_size": BLOCK_SIZE, "rows": rows},
                   directory=results_dir)
 
+    if smoke_mode():
+        return  # the Lemma 15 tail is a large-N phenomenon; nothing to assert
     for row in rows:
         # The folklore tail is heavy: the worst search costs several times the mean.
         assert row["folklore"]["max"] >= row["folklore"]["mean"] + 2

@@ -10,6 +10,9 @@ external-memory skip list achieves the same bound with high probability
 * all three have comparable *average* search cost, but
 * the B-treap's worst probed key is noticeably more expensive than the HI
   skip list's, mirroring the expectation-vs-whp gap the paper emphasises.
+
+All three structures are resolved by registry name and probed through the
+engine's uniform cold-cache search costing.
 """
 
 from __future__ import annotations
@@ -18,42 +21,20 @@ import math
 import random
 
 from repro.analysis.reporting import format_table, write_results
-from repro.btreap import BTreap
-from repro.cobtree import HistoryIndependentCOBTree
-from repro.memory.tracker import IOTracker
-from repro.skiplist.external import HistoryIndependentSkipList
+from repro.api import DictionaryEngine
 
 from _harness import scaled
 
 BLOCK_SIZE = 64
+STRUCTURES = ("b-treap", "hi-skiplist", "hi-cobtree")
 
 
-def _probe_costs_btreap(keys, probes):
-    btreap = BTreap(block_size=BLOCK_SIZE, seed=3)
+def _probe_costs(name, keys, probes):
+    engine = DictionaryEngine.create(name, block_size=BLOCK_SIZE,
+                                     cache_blocks=4, seed=3)
     for key in keys:
-        btreap.insert(key, key)
-    return [btreap.search_io_cost(key) for key in probes]
-
-
-def _probe_costs_hi_skiplist(keys, probes):
-    skiplist = HistoryIndependentSkipList(block_size=BLOCK_SIZE, seed=3)
-    for key in keys:
-        skiplist.insert(key, key)
-    return [skiplist.search_io_cost(key) for key in probes]
-
-
-def _probe_costs_cobtree(keys, probes):
-    tracker = IOTracker(block_size=BLOCK_SIZE, cache_blocks=4)
-    tree = HistoryIndependentCOBTree(seed=3, tracker=tracker)
-    for key in keys:
-        tree.insert(key, key)
-    costs = []
-    for key in probes:
-        tracker.cache.clear()
-        before = tracker.snapshot()
-        tree.search(key)
-        costs.append(tracker.stats.delta(before).total_ios)
-    return costs
+        engine.insert(key, key)
+    return [engine.search_io_cost(key) for key in probes]
 
 
 def test_btreap_vs_hi_dictionaries(run_once, results_dir):
@@ -64,12 +45,9 @@ def test_btreap_vs_hi_dictionaries(run_once, results_dir):
         rng = random.Random(11)
         keys = rng.sample(range(50 * size), size)
         probes = rng.sample(keys, min(probe_count, len(keys)))
-        return {
-            "btreap": _probe_costs_btreap(keys, probes),
-            "hi_skiplist": _probe_costs_hi_skiplist(keys, probes),
-            "cobtree": _probe_costs_cobtree(keys, probes),
-            "n": size,
-        }
+        costs = {name: _probe_costs(name, keys, probes) for name in STRUCTURES}
+        costs["n"] = size
+        return costs
 
     result = run_once(workload)
 
@@ -80,8 +58,7 @@ def test_btreap_vs_hi_dictionaries(run_once, results_dir):
             "max": max(costs),
         }
 
-    rows = {name: summary(result[name])
-            for name in ("btreap", "hi_skiplist", "cobtree")}
+    rows = {name: summary(result[name]) for name in STRUCTURES}
 
     print()
     print("B-treap (SHI, expectation bounds) vs. WHI dictionaries (whp bounds), "
@@ -99,4 +76,4 @@ def test_btreap_vs_hi_dictionaries(run_once, results_dir):
     for name, stats in rows.items():
         assert stats["mean"] <= 16 * log_b_n + 10, name
     # The B-treap's tail is at least as heavy as the HI skip list's.
-    assert rows["btreap"]["max"] >= rows["hi_skiplist"]["max"] - 1
+    assert rows["b-treap"]["max"] >= rows["hi-skiplist"]["max"] - 1

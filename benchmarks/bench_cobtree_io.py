@@ -3,78 +3,46 @@
 Theorem 2 gives the HI CO B-tree B-tree-like I/O bounds: ``O(log_B N)``
 searches, ``O(log² N / B + log_B N)`` amortized updates, and
 ``O(log_B N + k/B)`` range queries.  This bench measures all three for the HI
-CO B-tree (through the DAM tracker) and the classic B-tree baseline (through
-its node-transfer counters) across a sweep of ``N``.
+CO B-tree and the classic B-tree baseline across a sweep of ``N``; both are
+resolved by registry name and measured through
+:func:`repro.analysis.scaling.registry_io_series` — the same unified
+cold-cache accounting every other comparison uses — despite the two
+structures counting I/Os differently underneath (DAM tracker vs.
+node-transfer counters).
 """
 
 from __future__ import annotations
 
 import math
-import random
 
 from repro.analysis.reporting import format_table, write_results
-from repro.btree import BTree
-from repro.cobtree import HistoryIndependentCOBTree
-from repro.memory.tracker import IOTracker
+from repro.analysis.scaling import registry_io_series
 
-from _harness import scaled
+from _harness import scaled_sweep
 
 BLOCK_SIZE = 64
-
-
-def _measure_cobtree(keys, probes, range_width):
-    tracker = IOTracker(block_size=BLOCK_SIZE, cache_blocks=4)
-    tree = HistoryIndependentCOBTree(seed=1, tracker=tracker)
-    for key in keys:
-        tree.insert(key, key)
-    insert_ios = tracker.stats.total_ios / len(keys)
-    before = tracker.snapshot()
-    for key in probes:
-        tracker.cache.clear()
-        tree.search(key)
-    search_ios = tracker.stats.delta(before).total_ios / len(probes)
-    ordered = sorted(keys)
-    low = ordered[len(ordered) // 3]
-    high = ordered[len(ordered) // 3 + range_width - 1]
-    before = tracker.snapshot()
-    rows = tree.range_query(low, high)
-    range_ios = tracker.stats.delta(before).total_ios
-    return {"insert_ios": insert_ios, "search_ios": search_ios,
-            "range_ios": range_ios, "range_keys": len(rows)}
-
-
-def _measure_btree(keys, probes, range_width):
-    tree = BTree(block_size=BLOCK_SIZE)
-    for key in keys:
-        tree.insert(key, key)
-    insert_ios = (tree.stats.reads + tree.stats.writes) / len(keys)
-    search_ios = sum(tree.search_io_cost(key) for key in probes) / len(probes)
-    ordered = sorted(keys)
-    low = ordered[len(ordered) // 3]
-    high = ordered[len(ordered) // 3 + range_width - 1]
-    before = tree.stats.reads
-    rows = tree.range_query(low, high)
-    range_ios = tree.stats.reads - before
-    return {"insert_ios": insert_ios, "search_ios": search_ios,
-            "range_ios": range_ios, "range_keys": len(rows)}
+RANGE_KEYS = 8 * BLOCK_SIZE
+STRUCTURES = ("hi-cobtree", "b-tree")
 
 
 def test_cobtree_vs_btree_io(run_once, results_dir):
-    sizes = [scaled(2_000), scaled(8_000), scaled(24_000)]
-    range_width = 8 * BLOCK_SIZE
+    sizes = scaled_sweep(2_000, 8_000, 24_000)
 
     def workload():
-        rows = []
-        rng = random.Random(0)
-        for size in sizes:
-            keys = rng.sample(range(20 * size), size)
-            probes = rng.sample(keys, 100)
-            cobtree = _measure_cobtree(keys, probes, range_width)
-            btree = _measure_btree(keys, probes, range_width)
-            rows.append({"n": size, "cobtree": cobtree, "btree": btree})
-        return rows
+        return registry_io_series(STRUCTURES, sizes=sizes,
+                                  block_size=BLOCK_SIZE, searches=100,
+                                  range_keys=RANGE_KEYS,
+                                  key_space_factor=20, seed=0)
 
-    rows = run_once(workload)
+    samples = run_once(workload)
+    by_size = {}
+    for sample in samples:
+        by_size.setdefault(sample.num_keys, {})[sample.structure] = sample
+    rows = [{"n": size,
+             "cobtree": row["hi-cobtree"].__dict__,
+             "btree": row["b-tree"].__dict__}
+            for size, row in sorted(by_size.items())]
+
     print()
     print("Theorem 2 — HI cache-oblivious B-tree vs. classic B-tree (B = %d)"
           % BLOCK_SIZE)
@@ -82,7 +50,7 @@ def test_cobtree_vs_btree_io(run_once, results_dir):
         [[row["n"],
           "%.2f" % row["cobtree"]["search_ios"], "%.2f" % row["btree"]["search_ios"],
           "%.2f" % row["cobtree"]["insert_ios"], "%.2f" % row["btree"]["insert_ios"],
-          row["cobtree"]["range_ios"], row["btree"]["range_ios"]]
+          "%.0f" % row["cobtree"]["range_ios"], "%.0f" % row["btree"]["range_ios"]]
          for row in rows],
         headers=["N", "HI search", "B-tree search", "HI insert", "B-tree insert",
                  "HI range", "B-tree range"]))
@@ -95,6 +63,7 @@ def test_cobtree_vs_btree_io(run_once, results_dir):
         # Searches: O(log_B N) for both; the HI structure pays a constant factor.
         assert row["cobtree"]["search_ios"] <= 14 * log_b_n + 8
         # Range queries: search plus scan for both structures.
-        assert row["cobtree"]["range_ios"] <= 12 * (log_b_n + range_width / BLOCK_SIZE)
+        assert row["cobtree"]["range_ios"] <= \
+            12 * (log_b_n + row["cobtree"]["range_keys"] / BLOCK_SIZE)
     # Search cost grows slowly (logarithmically), not linearly, with N.
     assert rows[-1]["cobtree"]["search_ios"] <= 4 * rows[0]["cobtree"]["search_ios"] + 4

@@ -69,8 +69,11 @@ def test_pma_range_query_scaling(run_once, results_dir):
     def workload():
         pma, tracker = _build(num_keys, seed=99)
         rows = []
-        for k in (BLOCK_SIZE // 2, BLOCK_SIZE * 2, BLOCK_SIZE * 8, BLOCK_SIZE * 32):
+        widths = (BLOCK_SIZE // 2, BLOCK_SIZE * 2, BLOCK_SIZE * 8, BLOCK_SIZE * 32)
+        for k in widths:
             start_rank = len(pma) // 3
+            if start_rank + k > len(pma):
+                break  # smoke-mode sizes cannot fit the widest queries
             before = tracker.snapshot()
             result = pma.query(start_rank, start_rank + k - 1)
             delta = tracker.stats.delta(before)

@@ -3,8 +3,9 @@
 Theorem 3: searches, inserts and deletes cost ``O(log_B N)`` I/Os with high
 probability; range queries returning ``k`` keys cost ``O(logB N / ε + k/B)``.
 This bench sweeps ``N`` for the HI skip list, the folklore B-skip list, the
-in-memory skip list "run on disk", and the classic B-tree, and prints average
-search / insert / range-query I/Os for each.
+in-memory skip list "run on disk", and the classic B-tree — all resolved by
+registry name through :func:`repro.analysis.scaling.registry_io_series` — and
+prints average search / insert / range-query I/Os for each.
 """
 
 from __future__ import annotations
@@ -12,31 +13,23 @@ from __future__ import annotations
 import math
 
 from repro.analysis.reporting import format_table, write_results
-from repro.analysis.scaling import dictionary_io_series
-from repro.btree import BTree
-from repro.skiplist.external import HistoryIndependentSkipList
-from repro.skiplist.folklore import FolkloreBSkipList
-from repro.skiplist.memory import MemorySkipList
+from repro.analysis.scaling import registry_io_series
 
-from _harness import scaled
+from _harness import scaled_sweep
 
 BLOCK_SIZE = 32
 EPSILON = 0.2
+STRUCTURES = ("hi-skiplist", "b-skiplist", "memory-skiplist", "b-tree")
 
 
 def test_skiplist_io_scaling(run_once, results_dir):
-    sizes = [scaled(2_000), scaled(8_000), scaled(20_000)]
-    factories = {
-        "hi-skiplist": lambda: HistoryIndependentSkipList(
-            block_size=BLOCK_SIZE, epsilon=EPSILON, seed=1),
-        "folklore-bskiplist": lambda: FolkloreBSkipList(block_size=BLOCK_SIZE, seed=2),
-        "memory-skiplist": lambda: MemorySkipList(seed=3),
-        "btree": lambda: BTree(block_size=BLOCK_SIZE),
-    }
+    sizes = scaled_sweep(2_000, 8_000, 20_000)
 
     def workload():
-        return dictionary_io_series(factories, sizes=sizes, searches=150,
-                                    range_keys=8 * BLOCK_SIZE, seed=4)
+        return registry_io_series(
+            STRUCTURES, sizes=sizes, block_size=BLOCK_SIZE, searches=150,
+            range_keys=8 * BLOCK_SIZE, seed=4,
+            structure_params={"hi-skiplist": {"epsilon": EPSILON}})
 
     samples = run_once(workload)
     print()

@@ -7,13 +7,12 @@ high probability*, whereas the prior strongly history-independent designs
 (Golovin's B-treap and B-skip list) only achieve them in expectation.  This
 example runs the same OLTP-style workload — bulk load, then a mix of point
 lookups with a trickle of inserts and deletes — against five dictionaries
-and prints a side-by-side I/O comparison:
+and prints a side-by-side I/O comparison.
 
-* classic B-tree (no history independence; the baseline to beat),
-* history-independent cache-oblivious B-tree (Theorem 2),
-* history-independent external-memory skip list (Theorem 3),
-* folklore B-skip list (promotion 1/B; expectation-only bounds, Lemma 15),
-* B-treap-style blocked treap (strongly HI; expectation-only bounds).
+Every structure is resolved by its registry name and driven through the
+:class:`repro.api.DictionaryEngine`, so the replay loop, the per-search cost
+measurement and the total-I/O readout are identical for all five — no
+per-structure tracker plumbing.
 
 At this demo scale every dictionary answers a lookup in a handful of block
 reads — the point of the table is that the history-independent structures sit
@@ -29,40 +28,30 @@ Run with::
 
 from __future__ import annotations
 
-import random
-
-from repro import (
-    BTree,
-    FolkloreBSkipList,
-    HistoryIndependentCOBTree,
-    HistoryIndependentSkipList,
-    IOTracker,
-)
 from repro.analysis.reporting import format_table
 from repro.analysis.scaling import tail_summary
-from repro.btreap import BTreap
+from repro.api import DictionaryEngine, get_info
 from repro.workloads import OperationKind, search_mix_trace
 
 BLOCK_SIZE = 64
 PRELOAD = 4_000
 OPERATIONS = 2_000
+STRUCTURES = ("b-tree", "hi-cobtree", "hi-skiplist", "b-skiplist", "b-treap")
 
 
-def run_keyed(structure, trace, search_cost):
-    """Replay the trace; return (per-search I/O costs, total update I/Os)."""
+def run_workload(name, trace):
+    """Replay the trace through one engine; return (search costs, total I/Os)."""
+    engine = DictionaryEngine.create(name, block_size=BLOCK_SIZE,
+                                     cache_blocks=4, seed=1)
     costs = []
     for operation in trace:
         if operation.kind is OperationKind.INSERT:
-            structure.insert(operation.key, operation.key)
+            engine.insert(operation.key, operation.key)
         elif operation.kind is OperationKind.DELETE:
-            structure.delete(operation.key)
+            engine.delete(operation.key)
         else:
-            costs.append(search_cost(structure, operation.key))
-    return costs
-
-
-def native_search_cost(structure, key):
-    return structure.search_io_cost(key)
+            costs.append(engine.search_io_cost(operation.key))
+    return costs, engine.io_stats().total_ios
 
 
 def main() -> None:
@@ -73,40 +62,13 @@ def main() -> None:
     print()
 
     rows = []
-
-    # Structures with a native search_io_cost().
-    for name, factory in [
-        ("B-tree", lambda: BTree(block_size=BLOCK_SIZE)),
-        ("HI skip list", lambda: HistoryIndependentSkipList(block_size=BLOCK_SIZE,
-                                                            seed=1)),
-        ("B-skip list (1/B)", lambda: FolkloreBSkipList(block_size=BLOCK_SIZE,
-                                                        seed=1)),
-        ("B-treap", lambda: BTreap(block_size=BLOCK_SIZE, seed=1)),
-    ]:
-        structure = factory()
-        costs = run_keyed(structure, trace, native_search_cost)
+    for name in STRUCTURES:
+        costs, total_ios = run_workload(name, trace)
         summary = tail_summary(costs)
-        rows.append([name, "%.2f" % summary["mean"], int(summary["p99"]),
-                     int(summary["max"]),
-                     structure.stats.reads + structure.stats.writes])
-
-    # The HI cache-oblivious B-tree counts I/Os through a shared tracker.
-    tracker = IOTracker(block_size=BLOCK_SIZE, cache_blocks=4)
-    cobtree = HistoryIndependentCOBTree(seed=1, tracker=tracker)
-    costs = []
-    for operation in trace:
-        if operation.kind is OperationKind.INSERT:
-            cobtree.insert(operation.key, operation.key)
-        elif operation.kind is OperationKind.DELETE:
-            cobtree.delete(operation.key)
-        else:
-            tracker.cache.clear()
-            before = tracker.snapshot()
-            cobtree.search(operation.key)
-            costs.append(tracker.stats.delta(before).total_ios)
-    summary = tail_summary(costs)
-    rows.append(["HI CO B-tree", "%.2f" % summary["mean"], int(summary["p99"]),
-                 int(summary["max"]), tracker.stats.total_ios])
+        label = "%s%s" % (name,
+                          "" if get_info(name).history_independent else " (baseline)")
+        rows.append([label, "%.2f" % summary["mean"], int(summary["p99"]),
+                     int(summary["max"]), total_ios])
 
     print(format_table(
         rows, headers=["structure", "mean search I/Os", "p99", "max",

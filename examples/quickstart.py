@@ -25,6 +25,7 @@ from repro import (
     HistoryIndependentSkipList,
     IOTracker,
 )
+from repro.api import DictionaryEngine, get_info, registry_names
 
 
 def demo_pma() -> None:
@@ -133,11 +134,36 @@ def demo_history_independence() -> None:
     print()
 
 
+def demo_unified_api() -> None:
+    """One registry, one engine: every dictionary behind the same five lines."""
+    print("=" * 70)
+    print("5. The unified API: registry names + DictionaryEngine")
+    print("=" * 70)
+    print("registered structures:")
+    for name in registry_names():
+        info = get_info(name)
+        tag = "HI" if info.history_independent else ""
+        print("  %-3s %-16s %s" % (tag, name, info.summary))
+    print()
+    engine = DictionaryEngine.create("hi-cobtree", block_size=64,
+                                     cache_blocks=8, seed=7)
+    engine.insert_many((key, key * 2) for key in range(0, 2_000, 3))
+    print("engine(%s)        : %d keys" % (engine.name, len(engine)))
+    print("range [30, 60]       :", engine.range_query(30, 60))
+    print("cold search I/Os     :", engine.search_io_cost(999))
+    print("unified I/O counters :", engine.io_stats().total_ios, "total I/Os")
+    _paged_file, metadata = engine.snapshot()  # in-memory disk image
+    print("snapshot             : %d pages of %d bytes (kind=%r)"
+          % (metadata.num_pages, metadata.page_size, metadata.kind))
+    print()
+
+
 def main() -> None:
     demo_pma()
     demo_cobtree()
     demo_skiplist()
     demo_history_independence()
+    demo_unified_api()
 
 
 if __name__ == "__main__":

@@ -16,8 +16,21 @@ History-Independent Sparse Tables and Dictionaries"* (Bender et al., PODS
 * Baselines (classic PMA, classic B-tree), the DAM-model substrate used to
   count I/Os, history-independence audit tooling, workload generators, and
   the analysis helpers used by the benchmark harness.
+* The unified dictionary API (:mod:`repro.api`): the
+  :class:`~repro.api.protocol.HIDictionary` protocol, the structure registry
+  (:func:`~repro.api.registry.make_dictionary` /
+  :func:`~repro.api.registry.register`), and the
+  :class:`~repro.api.engine.DictionaryEngine` facade for bulk operations,
+  unified I/O stats, and uniform disk snapshots.
 """
 
+from repro.api import (
+    DictionaryEngine,
+    HIDictionary,
+    make_dictionary,
+    register,
+    registry_names,
+)
 from repro.core.hi_pma import HistoryIndependentPMA, PMAParameters
 from repro.core.sizing import WHICapacityRule, WHIDynamicArray
 from repro.core.shi_array import CanonicalDynamicArray
@@ -36,6 +49,11 @@ from repro.storage import DiskImage, PagedFile, image_of, snapshot_structure
 __version__ = "1.0.0"
 
 __all__ = [
+    "DictionaryEngine",
+    "HIDictionary",
+    "make_dictionary",
+    "register",
+    "registry_names",
     "HistoryIndependentPMA",
     "PMAParameters",
     "WHICapacityRule",

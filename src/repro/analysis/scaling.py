@@ -2,15 +2,21 @@
 
 The helpers here build the rows printed by ``benchmarks/bench_cobtree_io.py``
 and ``benchmarks/bench_skiplist_io.py``: average search/insert I/Os and range
-query I/Os as a function of ``N`` for any pair of dictionaries, plus the
+query I/Os as a function of ``N`` for any set of dictionaries, plus the
 per-key search-cost distribution used to exhibit the folklore B-skip list's
 heavy tail (Lemma 15).
+
+Both series builders share one measurement loop that drives every structure
+through :class:`repro.api.engine.DictionaryEngine`, so the sampling
+methodology (key draws, probe set, anchored range width) and the cold-cache
+cost accounting are identical whether structures come from explicit
+factories or from registry names.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro._rng import RandomLike, make_rng
 
@@ -27,6 +33,41 @@ class IOScalingSample:
     range_keys: int
 
 
+def _engine_io_series(make_engines: Callable[[], Sequence[Tuple[str, object]]],
+                      sizes: Sequence[int],
+                      searches: int,
+                      range_keys: int,
+                      key_space_factor: int,
+                      seed: RandomLike) -> List[IOScalingSample]:
+    """The shared measurement loop: one (label, engine) sweep per size."""
+    rng = make_rng(seed)
+    samples: List[IOScalingSample] = []
+    for size in sizes:
+        key_space = key_space_factor * size
+        keys = rng.sample(range(key_space), size)
+        probe_keys = rng.sample(keys, min(searches, size))
+        sorted_keys = sorted(keys)
+        anchor_index = len(sorted_keys) // 3
+        high_index = min(len(sorted_keys) - 1, anchor_index + range_keys - 1)
+        for label, engine in make_engines():
+            before = engine.io_stats()
+            for key in keys:
+                engine.insert(key, key)
+            insert_ios = engine.io_stats().delta(before).total_ios / size
+            search_costs = [engine.search_io_cost(key) for key in probe_keys]
+            _pairs, range_ios = engine.range_io_cost(sorted_keys[anchor_index],
+                                                     sorted_keys[high_index])
+            samples.append(IOScalingSample(
+                structure=label,
+                num_keys=size,
+                search_ios=sum(search_costs) / len(search_costs),
+                insert_ios=insert_ios,
+                range_ios=float(range_ios),
+                range_keys=high_index - anchor_index + 1,
+            ))
+    return samples
+
+
 def dictionary_io_series(factories: Dict[str, Callable[[], object]],
                          sizes: Sequence[int],
                          searches: int = 200,
@@ -35,52 +76,53 @@ def dictionary_io_series(factories: Dict[str, Callable[[], object]],
                          seed: RandomLike = None) -> List[IOScalingSample]:
     """Measure search / insert / range-query I/Os for each factory and size.
 
-    Each structure must expose ``insert(key, value)``, a read counter in
-    ``stats`` and either ``search_io_cost(key)`` (skip lists, B-tree) or a
-    shared tracker-based accounting (handled by the caller).  Range queries
-    use ``range_query(low, high)`` and are normalised to the configured
-    ``range_keys`` width.
+    Each factory must produce an :class:`~repro.api.protocol.HIDictionary`
+    (every structure in the library qualifies); measurement happens through a
+    :class:`~repro.api.engine.DictionaryEngine` wrapped around it, which
+    handles both range-query return conventions and all accounting styles.
     """
-    rng = make_rng(seed)
-    samples: List[IOScalingSample] = []
-    for size in sizes:
-        key_space = key_space_factor * size
-        keys = rng.sample(range(key_space), size)
-        probe_keys = rng.sample(keys, min(searches, size))
-        for name, factory in factories.items():
-            structure = factory()
-            insert_reads_before = structure.stats.reads
-            insert_writes_before = structure.stats.writes
-            for key in keys:
-                structure.insert(key, key)
-            insert_ios = ((structure.stats.reads - insert_reads_before)
-                          + (structure.stats.writes - insert_writes_before)) / size
-            search_costs = [structure.search_io_cost(key) for key in probe_keys]
-            search_ios = sum(search_costs) / len(search_costs)
-            sorted_keys = sorted(keys)
-            anchor = sorted_keys[len(sorted_keys) // 3]
-            high_index = min(len(sorted_keys) - 1,
-                             len(sorted_keys) // 3 + range_keys - 1)
-            high = sorted_keys[high_index]
-            range_ios = _range_io_cost(structure, anchor, high)
-            samples.append(IOScalingSample(
-                structure=name,
-                num_keys=size,
-                search_ios=search_ios,
-                insert_ios=insert_ios,
-                range_ios=range_ios,
-                range_keys=high_index - len(sorted_keys) // 3 + 1,
-            ))
-    return samples
+    from repro.api.engine import DictionaryEngine
+
+    def make_engines() -> List[Tuple[str, DictionaryEngine]]:
+        return [(name, DictionaryEngine(factory(), name=name))
+                for name, factory in factories.items()]
+
+    return _engine_io_series(make_engines, sizes, searches, range_keys,
+                             key_space_factor, seed)
 
 
-def _range_io_cost(structure, low: object, high: object) -> float:
-    """Range-query I/O cost, handling both return conventions."""
-    reads_before = structure.stats.reads
-    result = structure.range_query(low, high)
-    if isinstance(result, tuple) and len(result) == 2 and isinstance(result[1], int):
-        return float(result[1])
-    return float(structure.stats.reads - reads_before)
+def registry_io_series(names: Sequence[str],
+                       sizes: Sequence[int],
+                       block_size: int = 64,
+                       cache_blocks: int = 4,
+                       searches: int = 200,
+                       range_keys: int = 256,
+                       key_space_factor: int = 8,
+                       seed: RandomLike = None,
+                       structure_seed: RandomLike = 1,
+                       structure_params: Optional[Dict[str, Dict]] = None
+                       ) -> List[IOScalingSample]:
+    """Measure I/O costs for registry-named structures through one stats path.
+
+    The registry-aware counterpart of :func:`dictionary_io_series`: each name
+    is built via :class:`repro.api.engine.DictionaryEngine`.
+    ``structure_params`` maps a registry name to extra structure-specific
+    keyword arguments (e.g. ``{"hi-skiplist": {"epsilon": 0.2}}``).
+    """
+    from repro.api.engine import DictionaryEngine
+
+    def make_engines() -> List[Tuple[str, DictionaryEngine]]:
+        engines = []
+        for name in names:
+            extra = (structure_params or {}).get(name, {})
+            engine = DictionaryEngine.create(name, block_size=block_size,
+                                             cache_blocks=cache_blocks,
+                                             seed=structure_seed, **extra)
+            engines.append((engine.name, engine))
+        return engines
+
+    return _engine_io_series(make_engines, sizes, searches, range_keys,
+                             key_space_factor, seed)
 
 
 def search_cost_distribution(structure, keys: Sequence[object]) -> List[int]:

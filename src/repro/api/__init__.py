@@ -1,0 +1,51 @@
+"""The unified dictionary API: protocol, structure registry, and engine facade.
+
+This package is the single entry point consumer layers use to work with the
+library's dictionaries:
+
+* :class:`~repro.api.protocol.HIDictionary` — the abstract surface every
+  key-addressed structure implements.
+* :func:`~repro.api.registry.make_dictionary` /
+  :func:`~repro.api.registry.register` — build (or add) structures by name
+  with uniform configuration validation.
+* :class:`~repro.api.engine.DictionaryEngine` — bulk operations, one merged
+  stats path, per-operation I/O sampling, and uniform snapshots.
+
+Quickstart::
+
+    from repro.api import DictionaryEngine
+
+    engine = DictionaryEngine.create("hi-skiplist", block_size=32, seed=7)
+    engine.insert_many((key, key * key) for key in range(100))
+    engine.range_query(10, 20)
+    paged_file, metadata = engine.snapshot("index.img")
+"""
+
+from repro.api.adapters import RankKeyedDictionary
+from repro.api.engine import DictionaryEngine
+from repro.api.protocol import HIDictionary, audit_fingerprint_of
+from repro.api.registry import (
+    DictionaryConfig,
+    StructureInfo,
+    get_info,
+    make_dictionary,
+    make_raw_structure,
+    register,
+    registry_names,
+    resolve,
+)
+
+__all__ = [
+    "HIDictionary",
+    "RankKeyedDictionary",
+    "DictionaryEngine",
+    "DictionaryConfig",
+    "StructureInfo",
+    "audit_fingerprint_of",
+    "get_info",
+    "make_dictionary",
+    "make_raw_structure",
+    "register",
+    "registry_names",
+    "resolve",
+]

@@ -1,0 +1,272 @@
+"""The :class:`DictionaryEngine` facade: bulk operations, one stats path,
+per-operation I/O sampling, and uniform snapshots.
+
+The engine wraps any :class:`~repro.api.protocol.HIDictionary` (usually built
+by name through :meth:`DictionaryEngine.create`) and adds the orchestration
+the consumer layers kept re-implementing:
+
+* **Bulk operations** — :meth:`insert_many`, :meth:`delete_many`,
+  :meth:`build_from_trace` (replaying a workload trace).
+* **One stats path** — :meth:`io_stats` merges the structure's native
+  counters with its tracker (when it has one); :meth:`search_io_cost` and
+  :meth:`range_io_cost` measure single operations uniformly, clearing the
+  simulated cache first so costs are cold-cache comparable across
+  accounting styles.
+* **Per-operation sampling** — with ``sample_operations=True`` every engine
+  call appends an :class:`~repro.memory.stats.OperationIOSample` to
+  :attr:`samples`.
+* **Uniform snapshots** — :meth:`snapshot` persists any registered
+  structure's :meth:`~repro.api.protocol.HIDictionary.snapshot_slots` to a
+  paged file, not just the slot-array structures ``storage/snapshot.py``
+  special-cases.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro._rng import RandomLike
+from repro.api.protocol import HIDictionary, Pair
+from repro.api.registry import make_dictionary
+from repro.memory.stats import IOStats, OperationIOSample
+from repro.workloads.generators import Operation, OperationKind
+
+
+class DictionaryEngine:
+    """A thin orchestration layer over one dictionary structure."""
+
+    def __init__(self, structure: HIDictionary, *,
+                 name: Optional[str] = None,
+                 sample_operations: bool = False) -> None:
+        self._structure = structure
+        self._name = name or getattr(structure, "registry_name",
+                                     type(structure).__name__)
+        self._tracker = getattr(structure, "io_tracker", None)
+        self.sample_operations = sample_operations
+        self.samples: List[OperationIOSample] = []
+
+    @classmethod
+    def create(cls, name: str, *,
+               block_size: int = 64,
+               cache_blocks: int = 0,
+               seed: RandomLike = None,
+               backend: str = "auto",
+               sample_operations: bool = False,
+               **extra: object) -> "DictionaryEngine":
+        """Build a registered structure by name and wrap it in an engine.
+
+        ``extra`` keyword arguments are structure-specific parameters
+        forwarded to :func:`~repro.api.registry.make_dictionary` (e.g.
+        ``epsilon`` for ``hi-skiplist``).
+        """
+        structure = make_dictionary(name, block_size=block_size,
+                                    cache_blocks=cache_blocks, seed=seed,
+                                    backend=backend, **extra)
+        return cls(structure, sample_operations=sample_operations)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def structure(self) -> HIDictionary:
+        """The wrapped dictionary."""
+        return self._structure
+
+    @property
+    def name(self) -> str:
+        """The registry name (or class name) of the wrapped structure."""
+        return self._name
+
+    @property
+    def tracker(self):
+        """The attached :class:`IOTracker`, or ``None``."""
+        return self._tracker
+
+    def io_stats(self) -> IOStats:
+        """The merged I/O counters of the structure and its tracker."""
+        return self._structure.io_stats()
+
+    def __len__(self) -> int:
+        return len(self._structure)
+
+    def __iter__(self) -> Iterator[object]:
+        return iter(self._structure)
+
+    def __contains__(self, key: object) -> bool:
+        return self.contains(key)
+
+    def items(self) -> List[Pair]:
+        return self._structure.items()
+
+    def check(self) -> None:
+        self._structure.check()
+
+    # ------------------------------------------------------------------ #
+    # Dictionary operations (sampled)
+    # ------------------------------------------------------------------ #
+
+    @contextmanager
+    def _operation(self, kind: str) -> Iterator[None]:
+        if not self.sample_operations:
+            yield
+            return
+        before = self.io_stats()
+        yield
+        delta = self.io_stats().delta(before)
+        self.samples.append(OperationIOSample(
+            name=kind, reads=delta.reads, writes=delta.writes,
+            element_moves=delta.element_moves))
+
+    def insert(self, key: object, value: object = None) -> None:
+        with self._operation("insert"):
+            self._structure.insert(key, value)
+
+    def upsert(self, key: object, value: object = None) -> bool:
+        with self._operation("upsert"):
+            return self._structure.upsert(key, value)
+
+    def delete(self, key: object) -> object:
+        with self._operation("delete"):
+            return self._structure.delete(key)
+
+    def search(self, key: object) -> object:
+        with self._operation("search"):
+            return self._structure.search(key)
+
+    def contains(self, key: object) -> bool:
+        with self._operation("contains"):
+            return self._structure.contains(key)
+
+    def range_query(self, low: object, high: object) -> List[Pair]:
+        """Range query normalised to a plain pair list."""
+        with self._operation("range"):
+            return self._structure.range_items(low, high)
+
+    # ------------------------------------------------------------------ #
+    # Bulk operations
+    # ------------------------------------------------------------------ #
+
+    def insert_many(self, entries: Iterable[object]) -> int:
+        """Insert keys or (key, value) pairs; return the number inserted."""
+        count = 0
+        for entry in entries:
+            key, value = self._as_pair(entry)
+            self.insert(key, value)
+            count += 1
+        return count
+
+    def delete_many(self, keys: Iterable[object]) -> List[object]:
+        """Delete every key in order; return their values."""
+        return [self.delete(key) for key in keys]
+
+    def build_from_trace(self, trace: Sequence[Operation],
+                         value_of=None) -> "DictionaryEngine":
+        """Replay a workload trace (inserts, deletes, searches); return self."""
+        value_of = value_of or (lambda key: key)
+        for operation in trace:
+            if operation.kind is OperationKind.INSERT:
+                self.insert(operation.key, value_of(operation.key))
+            elif operation.kind is OperationKind.DELETE:
+                self.delete(operation.key)
+            else:
+                self.contains(operation.key)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Uniform I/O measurement
+    # ------------------------------------------------------------------ #
+
+    def _clear_cache(self) -> None:
+        if self._tracker is not None and self._tracker.cache is not None:
+            self._tracker.cache.clear()
+
+    def _stats_objects(self) -> List[IOStats]:
+        objects = []
+        own = getattr(self._structure, "stats", None)
+        if own is not None:
+            objects.append(own)
+        if self._tracker is not None:
+            objects.append(self._tracker.stats)
+        return objects
+
+    @contextmanager
+    def _measurement(self) -> Iterator[None]:
+        """A cold-cache probe whose I/Os are rolled back afterwards.
+
+        Used by the ``*_io_cost`` helpers so they are pure measurements:
+        whatever the probe charges — natively (B-tree, B-treap), through the
+        tracker (PMA family), or not at all (the skip lists' cost functions)
+        — the cumulative ``io_stats()`` totals are restored, keeping them
+        comparable across structures and unpolluted by measurement itself.
+        """
+        self._clear_cache()
+        snapshots = [(stats, stats.snapshot(), list(stats.per_operation))
+                     for stats in self._stats_objects()]
+        try:
+            yield
+        finally:
+            for stats, snapshot, per_operation in snapshots:
+                stats.restore(snapshot)
+                stats.per_operation = per_operation
+
+    def search_io_cost(self, key: object) -> int:
+        """Cold-cache I/O cost of one search, whatever the accounting style.
+
+        A pure measurement: the probe's I/Os are rolled back from the
+        cumulative counters afterwards (see :meth:`_measurement`).
+        """
+        with self._measurement():
+            native = getattr(self._structure, "search_io_cost", None)
+            if callable(native):
+                return int(native(key))
+            before = self.io_stats()
+            self._structure.contains(key)
+            return self.io_stats().delta(before).total_ios
+
+    def range_io_cost(self, low: object, high: object) -> Tuple[List[Pair], int]:
+        """Range result plus its cold-cache I/O cost.
+
+        Like :meth:`search_io_cost`, a pure measurement: the probe's I/Os
+        are rolled back from the cumulative counters afterwards.
+        """
+        with self._measurement():
+            before = self.io_stats()
+            pairs, explicit = HIDictionary.split_range_result(
+                self._structure.range_query(low, high))
+            measured = self.io_stats().delta(before).total_ios
+            return pairs, (explicit if explicit is not None else measured)
+
+    # ------------------------------------------------------------------ #
+    # Snapshots
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self, path: Optional[str] = None, *,
+                 page_size: int = 4096,
+                 payload_size: int = 64,
+                 shuffle_pages: bool = False,
+                 seed: RandomLike = None):
+        """Write the structure's slot-level representation to a paged file.
+
+        Works for every registered structure: those with a physical slot
+        array persist it gaps and all; the rest persist their canonical
+        (key, value) sequence.  Returns ``(paged_file, metadata)`` exactly
+        like :func:`repro.storage.snapshot.snapshot_records`.
+        """
+        from repro.storage.snapshot import snapshot_records
+        slots = list(self._structure.snapshot_slots())
+        return snapshot_records(slots, page_size=page_size,
+                                payload_size=payload_size, path=path,
+                                shuffle_pages=shuffle_pages, seed=seed,
+                                kind=self._name)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _as_pair(entry: object) -> Pair:
+        if isinstance(entry, tuple) and len(entry) == 2:
+            return entry
+        return entry, None

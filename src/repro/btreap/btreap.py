@@ -38,12 +38,13 @@ import math
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro._rng import RandomLike
+from repro.api.protocol import HIDictionary
 from repro.errors import ConfigurationError, DuplicateKey, InvariantViolation, KeyNotFound
 from repro.memory.stats import IOStats
 from repro.treap.treap import Treap, TreapNode
 
 
-class BTreap:
+class BTreap(HIDictionary):
     """A strongly history-independent external-memory dictionary.
 
     Parameters
@@ -92,6 +93,10 @@ class BTreap:
         """Number of block strata a root-to-deepest-leaf path crosses."""
         height = self._treap.height
         return 0 if height == 0 else math.ceil(height / self.levels_per_block)
+
+    def audit_fingerprint(self) -> object:
+        """The treap height (see :meth:`repro.treap.treap.Treap.audit_fingerprint`)."""
+        return self.height
 
     def num_blocks(self) -> int:
         """Number of blocks in the current canonical decomposition."""

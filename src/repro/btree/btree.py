@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Iterator, List, Optional, Tuple
 
+from repro.api.protocol import HIDictionary
 from repro.errors import ConfigurationError, DuplicateKey, InvariantViolation, KeyNotFound
 from repro.memory.stats import IOStats
 
@@ -36,7 +37,7 @@ class _Node:
         return not self.children
 
 
-class BTree:
+class BTree(HIDictionary):
     """A key/value B-tree with DAM-model I/O accounting."""
 
     def __init__(self, block_size: int = 64) -> None:

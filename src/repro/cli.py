@@ -34,21 +34,21 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.analysis.moves import normalized_moves_series
 from repro.analysis.reporting import format_table
-from repro.analysis.scaling import dictionary_io_series
-from repro.analysis.tables import format_markdown_table, render_results_markdown, write_csv
-from repro.btreap import BTreap
-from repro.btree import BTree
-from repro.cobtree import HistoryIndependentCOBTree
-from repro.core.hi_pma import HistoryIndependentPMA
+from repro.analysis.scaling import registry_io_series
+from repro.analysis.tables import render_results_markdown, write_csv
+from repro.api import (
+    DictionaryEngine,
+    audit_fingerprint_of,
+    get_info,
+    make_raw_structure,
+    registry_names,
+    resolve,
+)
 from repro.errors import ConfigurationError
 from repro.history.audit import audit_weak_history_independence
-from repro.history.pairs import dictionary_builders, equivalent_histories, ranked_builders
+from repro.history.pairs import equivalent_histories, registry_builders
 from repro.history.uniformity import balance_uniformity_experiment
-from repro.pma.classic import ClassicPMA
-from repro.skiplist.external import HistoryIndependentSkipList
-from repro.skiplist.folklore import FolkloreBSkipList
-from repro.storage import image_of, snapshot_structure
-from repro.treap import Treap
+from repro.storage import image_of
 from repro.workloads import (
     batch_redaction_trace,
     random_insert_trace,
@@ -62,6 +62,16 @@ from repro.workloads import (
 # --------------------------------------------------------------------------- #
 # Argument parsing
 # --------------------------------------------------------------------------- #
+
+#: Structures compared by ``compare-io`` when no ``--structure`` is given.
+_DEFAULT_COMPARE = ("b-tree", "hi-skiplist", "b-skiplist", "b-treap")
+
+
+def _rank_addressed_names() -> List[str]:
+    """Registry names whose underlying structure is rank-addressed (the PMAs)."""
+    return [name for name in registry_names()
+            if get_info(name).rank_addressed]
+
 
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for tests and docs)."""
@@ -87,14 +97,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     audit = subparsers.add_parser(
         "audit", help="weak-history-independence audit for one structure")
-    audit.add_argument("--structure", choices=sorted(_AUDIT_TARGETS),
+    audit.add_argument("--structure",
+                       choices=registry_names(include_aliases=True),
                        default="hi-pma")
     audit.add_argument("--keys", type=int, default=32)
     audit.add_argument("--trials", type=int, default=100)
+    audit.add_argument("--block", type=int, default=8,
+                       help="DAM block size for block-structured dictionaries "
+                            "(b-tree, b-treap, the skip lists); structures "
+                            "whose layout does not depend on B ignore it")
     audit.add_argument("--seed", type=int, default=0)
 
     compare = subparsers.add_parser(
         "compare-io", help="search/insert/range I/O comparison of dictionaries")
+    compare.add_argument("--structure", action="append",
+                         choices=registry_names(include_aliases=True),
+                         default=None,
+                         help="structure to compare (repeatable; default: %s)"
+                              % ", ".join(_DEFAULT_COMPARE))
     compare.add_argument("--sizes", type=str, default="1000,4000")
     compare.add_argument("--block", type=int, default=64)
     compare.add_argument("--searches", type=int, default=100)
@@ -111,7 +131,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     attack = subparsers.add_parser(
         "attack", help="observer attack accuracy against one structure")
-    attack.add_argument("--structure", choices=["classic-pma", "adaptive-pma", "hi-pma"],
+    attack.add_argument("--structure", choices=_rank_addressed_names(),
                         default="classic-pma")
     attack.add_argument("--kind", choices=["recency", "deletion"], default="recency")
     attack.add_argument("--keys", type=int, default=500)
@@ -120,8 +140,9 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--seed", type=int, default=0)
 
     snapshot = subparsers.add_parser(
-        "snapshot", help="write a structure's slot array to a disk image")
-    snapshot.add_argument("--structure", choices=["hi-pma", "classic-pma"],
+        "snapshot", help="write a structure's slot-level layout to a disk image")
+    snapshot.add_argument("--structure",
+                          choices=registry_names(include_aliases=True),
                           default="hi-pma")
     snapshot.add_argument("--keys", type=int, default=1000)
     snapshot.add_argument("--seed", type=int, default=0)
@@ -142,10 +163,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 def cmd_figure2(args: argparse.Namespace, out) -> int:
     trace = random_insert_trace(args.inserts, seed=args.seed)
-    hi_series = normalized_moves_series(HistoryIndependentPMA(seed=args.seed),
-                                        trace, checkpoints=args.checkpoints)
-    classic_series = normalized_moves_series(ClassicPMA(), trace,
-                                             checkpoints=args.checkpoints)
+    hi_series = normalized_moves_series(
+        make_raw_structure("hi-pma", seed=args.seed),
+        trace, checkpoints=args.checkpoints)
+    classic_series = normalized_moves_series(
+        make_raw_structure("classic-pma"), trace,
+        checkpoints=args.checkpoints)
     rows = []
     for hi_sample, classic_sample in zip(hi_series, classic_series):
         rows.append([hi_sample.inserts,
@@ -173,41 +196,15 @@ def cmd_uniformity(args: argparse.Namespace, out) -> int:
     return 0 if result.passes() else 1
 
 
-def _audit_fingerprint(structure: object) -> object:
-    """Coarse fingerprint for structures whose full representation rarely repeats."""
-    if isinstance(structure, (Treap, BTreap)):
-        return structure.height
-    from repro.history.representation import representation_fingerprint
-    return representation_fingerprint(structure.memory_representation())
-
-
-_AUDIT_TARGETS: Dict[str, Callable[[int], object]] = {
-    "hi-pma": lambda seed: HistoryIndependentPMA(seed=seed),
-    "classic-pma": lambda seed: ClassicPMA(),
-    "cobtree": lambda seed: HistoryIndependentCOBTree(seed=seed),
-    "skiplist": lambda seed: HistoryIndependentSkipList(seed=seed),
-    "b-skiplist": lambda seed: FolkloreBSkipList(seed=seed),
-    "btree": lambda seed: BTree(block_size=8),
-    "treap": lambda seed: Treap(seed=seed),
-    "btreap": lambda seed: BTreap(block_size=16, seed=seed),
-}
-
-#: Structures that are rank-addressed (driven through apply_to_ranked).
-_RANKED_TARGETS = {"hi-pma", "classic-pma"}
-
-
 def cmd_audit(args: argparse.Namespace, out) -> int:
     keys = list(range(1, args.keys + 1))
     detours = [args.keys + 10, args.keys + 20]
     histories = equivalent_histories(keys, detour_keys=detours, shuffles=2,
                                      seed=args.seed)
-    factory = _AUDIT_TARGETS[args.structure]
-    if args.structure in _RANKED_TARGETS:
-        builders = ranked_builders(lambda: factory(None), histories)
-    else:
-        builders = dictionary_builders(lambda: factory(None), histories)
+    builders = registry_builders(args.structure, histories,
+                                 block_size=args.block)
     result = audit_weak_history_independence(
-        builders, trials=args.trials, fingerprint_of=_audit_fingerprint)
+        builders, trials=args.trials, fingerprint_of=audit_fingerprint_of)
     print("structure             : %s" % args.structure, file=out)
     print("histories compared    : %d" % result.num_sequences, file=out)
     print("trials per history    : %d" % result.trials_per_sequence, file=out)
@@ -228,15 +225,14 @@ def cmd_compare_io(args: argparse.Namespace, out) -> int:
                                  "integers, got %r" % (args.sizes,)) from error
     if not sizes:
         raise ConfigurationError("--sizes must name at least one size")
-    block = args.block
-    factories = {
-        "b-tree": lambda: BTree(block_size=block),
-        "hi-skiplist": lambda: HistoryIndependentSkipList(block_size=block, seed=1),
-        "b-skiplist": lambda: FolkloreBSkipList(block_size=block, seed=1),
-        "b-treap": lambda: BTreap(block_size=block, seed=1),
-    }
-    samples = dictionary_io_series(factories, sizes, searches=args.searches,
-                                   seed=args.seed)
+    requested = args.structure or list(_DEFAULT_COMPARE)
+    names: List[str] = []
+    for name in requested:
+        canonical = resolve(name)
+        if canonical not in names:
+            names.append(canonical)
+    samples = registry_io_series(names, sizes, block_size=args.block,
+                                 searches=args.searches, seed=args.seed)
     rows = [[sample.structure, sample.num_keys,
              "%.2f" % sample.search_ios, "%.2f" % sample.insert_ios,
              "%.1f" % sample.range_ios]
@@ -279,14 +275,8 @@ def cmd_attack(args: argparse.Namespace, out) -> int:
         evaluate_attack,
         recency_victim_builder,
     )
-    from repro.pma.adaptive import AdaptivePMA
 
-    factories = {
-        "classic-pma": lambda seed: ClassicPMA(),
-        "adaptive-pma": lambda seed: AdaptivePMA(),
-        "hi-pma": lambda seed: HistoryIndependentPMA(seed=seed),
-    }
-    factory = factories[args.structure]
+    factory = lambda seed: make_raw_structure(args.structure, seed=seed)
     if args.kind == "recency":
         attack = RecencyAttack(regions=args.regions)
         builder = recency_victim_builder(factory, base_keys=args.keys,
@@ -310,14 +300,9 @@ def cmd_attack(args: argparse.Namespace, out) -> int:
 
 
 def cmd_snapshot(args: argparse.Namespace, out) -> int:
-    if args.structure == "hi-pma":
-        structure = HistoryIndependentPMA(seed=args.seed)
-    else:
-        structure = ClassicPMA()
-    for operation in random_insert_trace(args.keys, seed=args.seed):
-        rank = sum(1 for value in structure if value < operation.key)
-        structure.insert(rank, operation.key)
-    paged_file, metadata = snapshot_structure(structure, path=args.path)
+    engine = DictionaryEngine.create(args.structure, seed=args.seed)
+    engine.build_from_trace(random_insert_trace(args.keys, seed=args.seed))
+    paged_file, metadata = engine.snapshot(args.path)
     image = image_of(paged_file, metadata)
     print("structure        : %s" % metadata.kind, file=out)
     print("slots            : %d" % metadata.num_slots, file=out)

@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Iterator, List, Optional, Tuple
 
 from repro._rng import RandomLike
+from repro.api.protocol import HIDictionary
 from repro.core.hi_pma import HistoryIndependentPMA, PMAParameters
 from repro.errors import DuplicateKey, KeyNotFound, RankError
 from repro.memory.stats import IOStats
@@ -33,7 +34,7 @@ def _key_of(item: Tuple[object, object]) -> object:
     return item[0]
 
 
-class HistoryIndependentCOBTree:
+class HistoryIndependentCOBTree(HIDictionary):
     """A weakly history-independent, cache-oblivious dictionary.
 
     Keys must be mutually comparable; values are arbitrary objects (``None``
@@ -47,6 +48,8 @@ class HistoryIndependentCOBTree:
         self._pma = HistoryIndependentPMA(params=params, seed=seed,
                                           tracker=tracker,
                                           track_balance_values=True)
+        #: The attached tracker, exposed for the unified ``io_stats()`` path.
+        self.io_tracker = tracker
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -93,6 +96,10 @@ class HistoryIndependentCOBTree:
     def memory_representation(self) -> Tuple[object, ...]:
         """The memory representation inspected by history-independence audits."""
         return self._pma.memory_representation()
+
+    def snapshot_slots(self) -> Tuple[Optional[Tuple[object, object]], ...]:
+        """The augmented PMA's slot array — (key, value) pairs with gaps."""
+        return self._pma.slots()
 
     # ------------------------------------------------------------------ #
     # Dictionary operations

@@ -121,6 +121,9 @@ class HistoryIndependentPMA:
         self._capacity_rule = WHICapacityRule(seed=spawn_rng(self._rng))
         self._choice = ReservoirChoice(seed=spawn_rng(self._rng))
         self._tracker = tracker
+        #: The attached tracker, exposed so the unified ``io_stats()`` path
+        #: (and the DictionaryEngine) can merge its transfer counters.
+        self.io_tracker = tracker
         self._track_balance_values = track_balance_values
         self.stats = IOStats()
 
@@ -406,6 +409,20 @@ class HistoryIndependentPMA:
         self._record_moves(1)
         self.stats.operations += 1
         return previous
+
+    def upsert(self, rank: int, item: object) -> bool:
+        """Overwrite the element of rank ``rank``, or append when ``rank == len``.
+
+        The rank-addressed counterpart of a dictionary upsert: returns
+        ``True`` when an existing element was replaced (via :meth:`replace`,
+        which leaves the layout distribution untouched) and ``False`` when
+        the item was newly inserted at the end.
+        """
+        if rank == self._count:
+            self.insert(rank, item)
+            return False
+        self.replace(rank, item)
+        return True
 
     # ------------------------------------------------------------------ #
     # Insert descent

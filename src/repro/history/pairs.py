@@ -124,3 +124,25 @@ def ranked_builders(factory: Callable[[], object],
         return build
 
     return [make_builder(trace) for trace in traces]
+
+
+def registry_builders(name: str,
+                      traces: Sequence[List[Operation]],
+                      block_size: int = 8,
+                      value_of: Optional[Callable[[int], object]] = None
+                      ) -> List[Callable[[], object]]:
+    """Audit builders for any structure registered in :mod:`repro.api.registry`.
+
+    The registry metadata decides the replay style: rank-addressed entries
+    (the PMAs) are driven through :func:`ranked_builders` on their raw
+    structure, everything else through :func:`dictionary_builders`.  Each
+    build draws fresh internal randomness (no seed), which is what the audit
+    needs to sample the representation distribution.
+    """
+    from repro.api.registry import get_info, make_raw_structure
+
+    info = get_info(name)
+    factory = lambda: make_raw_structure(name, block_size=block_size)
+    if info.rank_addressed:
+        return ranked_builders(factory, traces, value_of=value_of)
+    return dictionary_builders(factory, traces, value_of=value_of)

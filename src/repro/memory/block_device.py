@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.errors import CapacityError
+from repro.errors import CapacityError, ConfigurationError
 from repro.memory.stats import IOStats
 
 
@@ -23,7 +23,8 @@ class BlockDevice:
 
     def __init__(self, block_size: int) -> None:
         if block_size <= 0:
-            raise ValueError("block_size must be positive, got %r" % (block_size,))
+            raise ConfigurationError("block_size must be positive, got %r"
+                                     % (block_size,))
         self.block_size = block_size
         self._blocks: Dict[int, List[Optional[object]]] = {}
         self._next_block = 0
@@ -43,7 +44,7 @@ class BlockDevice:
     def allocate_blocks(self, count: int) -> List[int]:
         """Allocate ``count`` fresh blocks and return their addresses."""
         if count < 0:
-            raise ValueError("count must be non-negative")
+            raise ConfigurationError("count must be non-negative")
         return [self.allocate_block() for _ in range(count)]
 
     def free_block(self, address: int) -> None:

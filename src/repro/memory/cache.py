@@ -11,13 +11,15 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Hashable, Optional
 
+from repro.errors import ConfigurationError
+
 
 class LRUCache:
     """Track the ``capacity_blocks`` most recently used block identifiers."""
 
     def __init__(self, capacity_blocks: int) -> None:
         if capacity_blocks < 0:
-            raise ValueError("capacity_blocks must be non-negative")
+            raise ConfigurationError("capacity_blocks must be non-negative")
         self.capacity_blocks = capacity_blocks
         self._entries: "OrderedDict[Hashable, None]" = OrderedDict()
         self.hits = 0

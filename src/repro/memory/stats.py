@@ -96,6 +96,35 @@ class IOStats:
         }
         return diff
 
+    def merge_transfers(self, other: "IOStats") -> "IOStats":
+        """Fold another counter set's block transfers into this one; returns self.
+
+        Only reads, writes and cache hits are merged: the unified
+        ``io_stats()`` path uses this to combine a structure's own counters
+        with those of an attached tracker, and the tracker's element-move and
+        operation tallies mirror the structure's own (merging them too would
+        double-count).
+        """
+        self.reads += other.reads
+        self.writes += other.writes
+        self.cache_hits += other.cache_hits
+        return self
+
+    def restore(self, snapshot: "IOStats") -> None:
+        """Roll the scalar counters back to an earlier :meth:`snapshot`.
+
+        The inverse of :meth:`snapshot` (which does not copy per-operation
+        samples, so callers that care about ``per_operation`` save and
+        restore that list themselves).  Used by measurement probes that must
+        not perturb cumulative totals.
+        """
+        self.reads = snapshot.reads
+        self.writes = snapshot.writes
+        self.cache_hits = snapshot.cache_hits
+        self.element_moves = snapshot.element_moves
+        self.operations = snapshot.operations
+        self.counters = dict(snapshot.counters)
+
     def reset(self) -> None:
         """Zero every counter in place."""
         self.reads = 0

@@ -16,6 +16,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Hashable, Iterator, Optional, Tuple
 
+from repro.errors import ConfigurationError
 from repro.memory.cache import LRUCache
 from repro.memory.stats import IOStats, OperationIOSample
 
@@ -27,7 +28,8 @@ class IOTracker:
 
     def __init__(self, block_size: int, cache_blocks: int = 0) -> None:
         if block_size <= 0:
-            raise ValueError("block_size must be positive, got %r" % (block_size,))
+            raise ConfigurationError("block_size must be positive, got %r"
+                                     % (block_size,))
         self.block_size = block_size
         self.cache: Optional[LRUCache] = (
             LRUCache(cache_blocks) if cache_blocks > 0 else None

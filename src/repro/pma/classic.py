@@ -77,6 +77,8 @@ class ClassicPMA(RankedSequence):
                  array_name: Hashable = SLOTS_ARRAY) -> None:
         self.thresholds = thresholds or DensityThresholds()
         self._tracker = tracker
+        #: The attached tracker, exposed for the unified ``io_stats()`` path.
+        self.io_tracker = tracker
         self._array_name = array_name
         self.stats = IOStats()
         self._count = 0

@@ -32,6 +32,7 @@ import math
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro._rng import RandomLike, geometric_level, make_rng, spawn_rng
+from repro.api.protocol import HIDictionary
 from repro.core.sizing import WHICapacityRule
 from repro.errors import (ConfigurationError, DuplicateKey, InvariantViolation,
                           KeyNotFound)
@@ -40,7 +41,7 @@ from repro.skiplist.leaf import LeafArray, LeafNode
 from repro.skiplist.levels import FRONT, SkipListLevels
 
 
-class HistoryIndependentSkipList:
+class HistoryIndependentSkipList(HIDictionary):
     """Weakly history-independent external-memory skip list.
 
     Parameters
@@ -132,6 +133,16 @@ class HistoryIndependentSkipList:
         levels = tuple(tuple(self._levels.members(level))
                        for level in range(1, self._levels.height + 1))
         return (("leaf_nodes", nodes), ("levels", levels))
+
+    def snapshot_slots(self) -> List[Optional[object]]:
+        """The concatenated leaf-node slot arrays, gaps included.
+
+        This is the on-disk layout Invariant 16 talks about, so persisting it
+        verbatim keeps the snapshot history independent.
+        """
+        return [slot
+                for node in self._nodes_in_order()
+                for slot in node.slots()]
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -226,6 +237,27 @@ class HistoryIndependentSkipList:
         self.stats.operations += 1
         self.last_operation_ios = read_ios + write_ios
         return self.last_operation_ios
+
+    def upsert(self, key: object, value: object = None) -> bool:
+        """Insert or overwrite ``key``; returns ``True`` if it already existed.
+
+        Overwriting only touches the value table (values live alongside their
+        keys on the leaf level, so the rewrite costs the search plus one leaf
+        array write); the key layout — the history-independent part — is
+        untouched.
+        """
+        if key in self._values:
+            read_ios = self.search_io_cost(key)
+            _node, array = self._locate(key)
+            write_ios = self._blocks(array.capacity)
+            self._values[key] = value
+            self.stats.reads += read_ios
+            self.stats.writes += write_ios
+            self.stats.operations += 1
+            self.last_operation_ios = read_ios + write_ios
+            return True
+        self.insert(key, value)
+        return False
 
     def delete(self, key: object) -> object:
         """Remove ``key`` and return its value; raises :class:`KeyNotFound` otherwise."""

@@ -23,12 +23,13 @@ import math
 from typing import Iterator, List, Optional, Tuple
 
 from repro._rng import RandomLike, geometric_level, make_rng, spawn_rng
+from repro.api.protocol import HIDictionary
 from repro.errors import ConfigurationError, DuplicateKey, InvariantViolation, KeyNotFound
 from repro.memory.stats import IOStats
 from repro.skiplist.levels import FRONT, SkipListLevels
 
 
-class FolkloreBSkipList:
+class FolkloreBSkipList(HIDictionary):
     """External-memory skip list with promotion probability ``1/B``."""
 
     def __init__(self, block_size: int = 64, seed: RandomLike = None,
@@ -148,6 +149,23 @@ class FolkloreBSkipList:
         self.stats.writes += write_ios
         self.stats.operations += 1
         return ios + write_ios
+
+    def upsert(self, key: object, value: object = None) -> bool:
+        """Insert or overwrite ``key``; returns ``True`` if it already existed.
+
+        An overwrite costs the search plus one leaf-array rewrite; the key
+        layout and promotion levels are untouched.
+        """
+        position = bisect.bisect_left(self._keys, key)
+        if position < len(self._keys) and self._keys[position] == key:
+            self.search_io_cost(key, charge=True)
+            self._values[key] = value
+            anchor = self._levels.predecessor(1, key)
+            self.stats.writes += self._blocks(max(1, self._leaf_array_length(anchor)))
+            self.stats.operations += 1
+            return True
+        self.insert(key, value)
+        return False
 
     def delete(self, key: object) -> object:
         """Remove ``key`` and return its value; raises :class:`KeyNotFound` otherwise."""

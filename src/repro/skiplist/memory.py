@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Iterator, List, Optional, Tuple
 
 from repro._rng import RandomLike, geometric_level, make_rng
+from repro.api.protocol import HIDictionary
 from repro.errors import DuplicateKey, InvariantViolation, KeyNotFound
 from repro.memory.stats import IOStats
 
@@ -34,7 +35,7 @@ class _Node:
         self.forward: List[Optional["_Node"]] = [None] * height
 
 
-class MemorySkipList:
+class MemorySkipList(HIDictionary):
     """Classic skip list with key/value pairs and I/O-as-node-visits accounting."""
 
     def __init__(self, promote_probability: float = 0.5,

@@ -5,6 +5,8 @@ import pytest
 from repro.errors import CapacityError
 from repro.memory.block_device import BlockDevice
 
+pytestmark = pytest.mark.fast
+
 
 def test_block_size_must_be_positive():
     with pytest.raises(ValueError):

@@ -4,6 +4,8 @@ import pytest
 
 from repro.memory.cache import LRUCache
 
+pytestmark = pytest.mark.fast
+
 
 def test_negative_capacity_rejected():
     with pytest.raises(ValueError):

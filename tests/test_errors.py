@@ -4,6 +4,8 @@ import pytest
 
 from repro import errors
 
+pytestmark = pytest.mark.fast
+
 
 def test_all_errors_derive_from_repro_error():
     for name in ("InvariantViolation", "RankError", "KeyNotFound",

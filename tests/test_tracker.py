@@ -4,6 +4,8 @@ import pytest
 
 from repro.memory.tracker import IOTracker
 
+pytestmark = pytest.mark.fast
+
 
 def test_block_size_must_be_positive():
     with pytest.raises(ValueError):
