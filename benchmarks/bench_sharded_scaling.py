@@ -1,0 +1,119 @@
+"""Experiment X-S1 — sharded scaling: per-shard vs. aggregate I/O.
+
+The sharded engine hash-partitions keys across N independent registry
+backends; this bench replays the Zipf-skewed mixed read/write workload
+(:func:`repro.workloads.zipf_mixed_trace`) against 1, 2 and 4 shards and
+reports the per-shard I/O breakdown next to the aggregate, which shows two
+things at once:
+
+* routing splits the *key population* near-uniformly (hash partitioning),
+  while the *traffic* stays skewed — hot keys hammer whichever shard they
+  hash to, visible as per-shard I/O imbalance;
+* the aggregate counters are exactly the sum of the per-shard counters
+  (one merged stats path, no double counting).
+
+A second measurement drives the registry series wiring
+(:func:`repro.analysis.scaling.registry_io_series` with ``shards > 0``) so
+sharded and unsharded search/insert/range costs come out of the identical
+cold-cache methodology.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table, write_results
+from repro.analysis.scaling import registry_io_series
+from repro.api import DictionaryEngine
+from repro.workloads import zipf_mixed_trace
+
+from _harness import scaled, scaled_sweep
+
+BLOCK_SIZE = 32
+INNER = "b-tree"
+SHARD_COUNTS = (1, 2, 4)
+
+
+def test_sharded_zipf_breakdown(run_once, results_dir):
+    total = scaled(6_000)
+    trace = zipf_mixed_trace(total, skew=1.2, seed=0)
+
+    def workload():
+        rows = []
+        for shards in SHARD_COUNTS:
+            engine = DictionaryEngine.create("sharded", block_size=BLOCK_SIZE,
+                                             cache_blocks=2, seed=1,
+                                             shards=shards, inner=INNER)
+            engine.build_from_trace(trace)
+            per_shard = engine.per_shard_io_stats()
+            aggregate = engine.io_stats()
+            rows.append({
+                "shards": shards,
+                "keys": len(engine),
+                "shard_sizes": engine.shard_sizes(),
+                "per_shard_ios": [stats.total_ios for stats in per_shard],
+                "aggregate_ios": aggregate.total_ios,
+            })
+        return rows
+
+    rows = run_once(workload)
+
+    print()
+    print("Sharded scaling — Zipf mixed workload (%d ops, inner=%s, B=%d)"
+          % (len(trace), INNER, BLOCK_SIZE))
+    print(format_table(
+        [[row["shards"], row["keys"], row["aggregate_ios"],
+          " + ".join(str(ios) for ios in row["per_shard_ios"]),
+          min(row["shard_sizes"]), max(row["shard_sizes"])]
+         for row in rows],
+        headers=["shards", "keys", "aggregate I/Os", "per-shard I/Os",
+                 "min shard", "max shard"]))
+
+    write_results("sharded_scaling",
+                  {"rows": rows, "inner": INNER, "block_size": BLOCK_SIZE,
+                   "operations": len(trace)},
+                  directory=results_dir)
+
+    for row in rows:
+        # The aggregate view is exactly the per-shard sum, and every shard
+        # holds part of the key population (hash routing spreads the keys).
+        assert row["aggregate_ios"] == sum(row["per_shard_ios"])
+        assert sum(row["shard_sizes"]) == row["keys"]
+        if row["keys"] >= 8 * row["shards"]:
+            assert all(size > 0 for size in row["shard_sizes"])
+    # Same trace, same inner structure: the stored key population is
+    # identical no matter how many ways it is sharded.
+    assert len({row["keys"] for row in rows}) == 1
+
+
+def test_sharded_registry_series(run_once, results_dir):
+    sizes = scaled_sweep(1_000, 3_000)
+
+    def workload():
+        unsharded = registry_io_series([INNER], sizes, block_size=BLOCK_SIZE,
+                                       searches=50, seed=0)
+        sharded = registry_io_series([INNER], sizes, block_size=BLOCK_SIZE,
+                                     searches=50, seed=0, shards=4)
+        return unsharded, sharded
+
+    unsharded, sharded = run_once(workload)
+
+    print()
+    print("Registry I/O series — %s unsharded vs. 4-way sharded" % INNER)
+    print(format_table(
+        [[sample.structure, sample.num_keys, "%.2f" % sample.search_ios,
+          "%.2f" % sample.insert_ios, "%.0f" % sample.range_ios]
+         for sample in unsharded + sharded],
+        headers=["structure", "N", "search I/Os", "insert I/Os",
+                 "range I/Os"]))
+
+    write_results("sharded_registry_series",
+                  {"unsharded": [sample.__dict__ for sample in unsharded],
+                   "sharded": [sample.__dict__ for sample in sharded]},
+                  directory=results_dir)
+
+    by_size = {sample.num_keys: sample for sample in sharded}
+    for sample in unsharded:
+        partner = by_size[sample.num_keys]
+        assert partner.structure == "sharded[4]:%s" % INNER
+        # Each shard holds ~N/4 keys, so a routed point search costs no more
+        # than the unsharded search (plus measurement slack).
+        assert partner.search_ios <= sample.search_ios + 1.0

@@ -100,14 +100,17 @@ def registry_io_series(names: Sequence[str],
                        key_space_factor: int = 8,
                        seed: RandomLike = None,
                        structure_seed: RandomLike = 1,
-                       structure_params: Optional[Dict[str, Dict]] = None
-                       ) -> List[IOScalingSample]:
+                       structure_params: Optional[Dict[str, Dict]] = None,
+                       shards: int = 0) -> List[IOScalingSample]:
     """Measure I/O costs for registry-named structures through one stats path.
 
     The registry-aware counterpart of :func:`dictionary_io_series`: each name
     is built via :class:`repro.api.engine.DictionaryEngine`.
     ``structure_params`` maps a registry name to extra structure-specific
-    keyword arguments (e.g. ``{"hi-skiplist": {"epsilon": 0.2}}``).
+    keyword arguments (e.g. ``{"hi-skiplist": {"epsilon": 0.2}}``).  With
+    ``shards > 0`` every name is measured behind the hash-partitioned sharded
+    engine instead (``shards`` backends of that structure, labelled
+    ``sharded[N]:name``), with ``structure_params`` forwarded to each shard.
     """
     from repro.api.engine import DictionaryEngine
 
@@ -115,10 +118,18 @@ def registry_io_series(names: Sequence[str],
         engines = []
         for name in names:
             extra = (structure_params or {}).get(name, {})
-            engine = DictionaryEngine.create(name, block_size=block_size,
-                                             cache_blocks=cache_blocks,
-                                             seed=structure_seed, **extra)
-            engines.append((engine.name, engine))
+            if shards > 0:
+                engine = DictionaryEngine.create(
+                    "sharded", block_size=block_size,
+                    cache_blocks=cache_blocks, seed=structure_seed,
+                    shards=shards, inner=name, inner_params=extra)
+                label = "sharded[%d]:%s" % (shards, name)
+            else:
+                engine = DictionaryEngine.create(name, block_size=block_size,
+                                                 cache_blocks=cache_blocks,
+                                                 seed=structure_seed, **extra)
+                label = engine.name
+            engines.append((label, engine))
         return engines
 
     return _engine_io_series(make_engines, sizes, searches, range_keys,

@@ -34,18 +34,28 @@ from repro.api.registry import (
     registry_names,
     resolve,
 )
+from repro.api.sharded import (
+    ShardedDictionary,
+    ShardedDictionaryEngine,
+    make_sharded_engine,
+    shard_index,
+)
 
 __all__ = [
     "HIDictionary",
     "RankKeyedDictionary",
     "DictionaryEngine",
     "DictionaryConfig",
+    "ShardedDictionary",
+    "ShardedDictionaryEngine",
     "StructureInfo",
     "audit_fingerprint_of",
     "get_info",
     "make_dictionary",
     "make_raw_structure",
+    "make_sharded_engine",
     "register",
     "registry_names",
     "resolve",
+    "shard_index",
 ]

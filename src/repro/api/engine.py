@@ -63,6 +63,16 @@ class DictionaryEngine:
         structure = make_dictionary(name, block_size=block_size,
                                     cache_blocks=cache_blocks, seed=seed,
                                     backend=backend, **extra)
+        if cls is DictionaryEngine:
+            # Sharded structures get their specialised engine (batched bulk
+            # ops, shard-aware probes) even when built by registry name.
+            from repro.api.sharded import (
+                ShardedDictionary,
+                ShardedDictionaryEngine,
+            )
+            if isinstance(structure, ShardedDictionary):
+                return ShardedDictionaryEngine(
+                    structure, sample_operations=sample_operations)
         return cls(structure, sample_operations=sample_operations)
 
     # ------------------------------------------------------------------ #
@@ -150,6 +160,7 @@ class DictionaryEngine:
 
     def insert_many(self, entries: Iterable[object]) -> int:
         """Insert keys or (key, value) pairs; return the number inserted."""
+        self._structure_method("insert")
         count = 0
         for entry in entries:
             key, value = self._as_pair(entry)
@@ -159,11 +170,14 @@ class DictionaryEngine:
 
     def delete_many(self, keys: Iterable[object]) -> List[object]:
         """Delete every key in order; return their values."""
+        self._structure_method("delete")
         return [self.delete(key) for key in keys]
 
     def build_from_trace(self, trace: Sequence[Operation],
                          value_of=None) -> "DictionaryEngine":
         """Replay a workload trace (inserts, deletes, searches); return self."""
+        for required in ("insert", "delete", "contains"):
+            self._structure_method(required)
         value_of = value_of or (lambda key: key)
         for operation in trace:
             if operation.kind is OperationKind.INSERT:
@@ -178,11 +192,39 @@ class DictionaryEngine:
     # Uniform I/O measurement
     # ------------------------------------------------------------------ #
 
+    def _structure_method(self, name: str):
+        """The structure's ``name`` method, or a uniform configuration error.
+
+        Engines can be handed duck-typed structures directly (not built
+        through the registry); when such a structure is missing part of the
+        dictionary protocol the failure should be a
+        :class:`~repro.errors.ConfigurationError` naming the gap, not a bare
+        ``AttributeError`` from deep inside a bulk loop or cost probe.
+        """
+        method = getattr(self._structure, name, None)
+        if not callable(method):
+            from repro.errors import ConfigurationError
+            raise ConfigurationError(
+                "engine structure %s does not implement %s(); build "
+                "structures through the registry (make_dictionary) to get "
+                "the full HIDictionary surface"
+                % (type(self._structure).__name__, name))
+        return method
+
     def _clear_cache(self) -> None:
+        # Composite structures (the sharded router) clear all their caches
+        # through one hook; plain structures go through their tracker.
+        hook = getattr(self._structure, "clear_caches", None)
+        if callable(hook):
+            hook()
+            return
         if self._tracker is not None and self._tracker.cache is not None:
             self._tracker.cache.clear()
 
     def _stats_objects(self) -> List[IOStats]:
+        hook = getattr(self._structure, "stats_objects", None)
+        if callable(hook):
+            return list(hook())
         objects = []
         own = getattr(self._structure, "stats", None)
         if own is not None:
@@ -231,10 +273,11 @@ class DictionaryEngine:
         Like :meth:`search_io_cost`, a pure measurement: the probe's I/Os
         are rolled back from the cumulative counters afterwards.
         """
+        range_query = self._structure_method("range_query")
         with self._measurement():
             before = self.io_stats()
             pairs, explicit = HIDictionary.split_range_result(
-                self._structure.range_query(low, high))
+                range_query(low, high))
             measured = self.io_stats().delta(before).total_ios
             return pairs, (explicit if explicit is not None else measured)
 

@@ -135,6 +135,18 @@ def registry_names(include_aliases: bool = False) -> List[str]:
     return sorted(names)
 
 
+def _check_extra_params(info: StructureInfo,
+                        extra: Mapping[str, object]) -> None:
+    """Reject extra parameters the structure's entry does not declare."""
+    unknown = set(extra) - set(info.extra_params)
+    if unknown:
+        raise ConfigurationError(
+            "structure %r does not accept parameter(s) %s%s"
+            % (info.name, ", ".join(sorted(unknown)),
+               "; accepted: " + ", ".join(info.extra_params)
+               if info.extra_params else ""))
+
+
 def _validated_config(info: StructureInfo, block_size: int, cache_blocks: int,
                       seed: RandomLike, backend: str,
                       extra: Mapping[str, object]) -> DictionaryConfig:
@@ -150,13 +162,7 @@ def _validated_config(info: StructureInfo, block_size: int, cache_blocks: int,
     if backend not in BACKENDS:
         raise ConfigurationError(
             "backend must be one of %s, got %r" % (", ".join(BACKENDS), backend))
-    unknown = set(extra) - set(info.extra_params)
-    if unknown:
-        raise ConfigurationError(
-            "structure %r does not accept parameter(s) %s%s"
-            % (info.name, ", ".join(sorted(unknown)),
-               "; accepted: " + ", ".join(info.extra_params)
-               if info.extra_params else ""))
+    _check_extra_params(info, extra)
     return DictionaryConfig(block_size=block_size, cache_blocks=cache_blocks,
                             seed=seed, backend=backend, extra=dict(extra))
 
@@ -224,17 +230,21 @@ def make_raw_structure(name: str, *,
                        block_size: int = 64,
                        cache_blocks: int = 0,
                        seed: RandomLike = None,
-                       tracker: Optional[object] = None) -> object:
+                       tracker: Optional[object] = None,
+                       **extra: object) -> object:
     """Build the *underlying* structure registered under ``name``.
 
     For the PMA entries this is the bare rank-addressed structure (what the
     ``figure2``/``attack`` pipelines and the ranked audit replay drive); for
     everything else it is the same object :func:`make_dictionary` returns,
-    minus the tracker wiring.
+    minus the tracker wiring.  ``extra`` carries the structure-specific
+    parameters the entry declares (e.g. ``shards``/``inner`` for the sharded
+    router), validated like :func:`make_dictionary` validates them.
     """
     info = get_info(name)
+    _check_extra_params(info, extra)
     config = DictionaryConfig(block_size=block_size, cache_blocks=cache_blocks,
-                              seed=seed, tracker=tracker)
+                              seed=seed, tracker=tracker, extra=dict(extra))
     if info.raw_factory is not None:
         return info.raw_factory(config)
     return info.factory(config)
@@ -346,4 +356,16 @@ def _ensure_builtin() -> None:
         lambda config: MemorySkipList(seed=config.seed, **config.extra),
         extra_params=("promote_probability", "max_level"),
         summary="Pugh's in-memory skip list run on disk (baseline)",
+        history_independent=True)
+
+    from repro.api.sharded import ShardedDictionary
+
+    # History independent whenever the inner structures are: routing is a
+    # fixed function of the key, so equivalent histories split into
+    # equivalent per-shard histories (the default inner is HI).
+    register(
+        "sharded",
+        ShardedDictionary.from_config,
+        extra_params=("shards", "inner", "inner_params"),
+        summary="hash-partitioned router over N independent registry backends",
         history_independent=True)

@@ -1,0 +1,603 @@
+"""Hash-partitioned sharding over the registry's dictionary backends.
+
+This is the first scaling layer on top of the unified API: a
+:class:`ShardedDictionary` hash-partitions the key space across ``N``
+independently built registry backends (homogeneous or heterogeneous per
+shard), and a :class:`ShardedDictionaryEngine` adds the orchestration a
+sharded deployment needs on top of the plain
+:class:`~repro.api.engine.DictionaryEngine`:
+
+* **Deterministic routing** — :func:`shard_index` is a fixed mixing function
+  of the key (no process-salted ``hash()``), so the shard a key lives on is a
+  pure function of the key: reproducible across runs, machines, and restore.
+  Because routing ignores operation order, a sharded dictionary built from
+  history-independent shards is itself history independent.
+* **Batched bulk operations** — :meth:`ShardedDictionaryEngine.insert_many`
+  and :meth:`~ShardedDictionaryEngine.delete_many` group keys by shard before
+  dispatch, so each shard sees one contiguous batch instead of an
+  interleaving.
+* **One merged stats view** — :meth:`ShardedDictionary.io_stats` aggregates
+  every shard's counters; :meth:`ShardedDictionaryEngine.per_shard_io_stats`
+  keeps the per-shard breakdown for imbalance analysis.
+* **Shard-aware cost probes** — :meth:`ShardedDictionaryEngine.search_io_cost`
+  routes to the single owning shard; ``range_io_cost`` fans out to every
+  shard and merges the sorted per-shard results.
+* **Per-shard snapshots** — :meth:`ShardedDictionaryEngine.snapshot_shards`
+  writes one image per shard plus a JSON manifest, and
+  :meth:`ShardedDictionaryEngine.restore_shards` rebuilds an engine from the
+  manifest (routing determinism puts every key back on its original shard).
+
+Construction goes through the registry like everything else::
+
+    from repro.api import DictionaryEngine
+
+    engine = DictionaryEngine.create("sharded", shards=4, inner="hi-skiplist",
+                                     block_size=32, seed=7)
+    engine.insert_many((key, key) for key in range(10_000))
+    engine.per_shard_io_stats()
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import os
+import zlib
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro._rng import RandomLike, make_rng
+from repro.api.engine import DictionaryEngine
+from repro.api.protocol import HIDictionary, Pair
+from repro.errors import ConfigurationError
+from repro.memory.stats import IOStats
+
+#: Default number of shards when the registry entry is built without one.
+DEFAULT_SHARDS = 4
+#: Default inner structure (history independent, so the default sharded
+#: dictionary keeps the paper's property).
+DEFAULT_INNER = "hi-skiplist"
+
+_MASK64 = (1 << 64) - 1
+
+
+def shard_index(key: object, num_shards: int) -> int:
+    """The shard ``key`` routes to — a fixed, process-independent function.
+
+    Integers go through a splitmix64-style avalanche (consecutive keys land
+    on different shards); everything else is hashed by CRC-32 of its ``repr``.
+    Python's built-in ``hash`` is deliberately avoided: it is salted per
+    process for strings, which would break cross-run routing determinism and
+    with it snapshot/restore.
+
+    Keys that compare equal must route identically (``True == 1``,
+    ``2.0 == 2``), so bools and integer-valued floats are normalised to the
+    integer they equal before mixing — mirroring how the inner structures'
+    ordered key comparisons already treat them as the same key.
+    """
+    if num_shards < 1:
+        raise ConfigurationError("num_shards must be at least 1, got %r"
+                                 % (num_shards,))
+    if isinstance(key, (bool, int)) or \
+            (isinstance(key, float) and key.is_integer()):
+        mixed = (int(key) * 0x9E3779B97F4A7C15) & _MASK64
+        mixed ^= mixed >> 29
+        mixed = (mixed * 0xBF58476D1CE4E5B9) & _MASK64
+        mixed ^= mixed >> 32
+    else:
+        mixed = zlib.crc32(repr(key).encode("utf-8"))
+    return mixed % num_shards
+
+
+def _validated_shard_spec(extra: Mapping[str, object]) -> Tuple[int, List[str], Dict[str, object]]:
+    """Validate the ``shards`` / ``inner`` / ``inner_params`` extras.
+
+    Returns ``(num_shards, inner_names, inner_params)`` with ``inner_names``
+    expanded to one canonical registry name per shard.  Every invalid
+    combination — zero shards, an unknown inner structure, a nested sharded
+    inner, a per-shard list of the wrong length — raises
+    :class:`~repro.errors.ConfigurationError`, never ``KeyError`` or
+    ``AttributeError``.
+    """
+    from repro.api.registry import resolve
+
+    num_shards = extra.get("shards", DEFAULT_SHARDS)
+    if not isinstance(num_shards, int) or isinstance(num_shards, bool) \
+            or num_shards < 1:
+        raise ConfigurationError(
+            "shards must be an integer >= 1, got %r (an empty-shard "
+            "configuration cannot store anything)" % (num_shards,))
+
+    inner = extra.get("inner", DEFAULT_INNER)
+    if isinstance(inner, str):
+        inner_names = [inner] * num_shards
+    elif isinstance(inner, (list, tuple)):
+        inner_names = list(inner)
+        if len(inner_names) != num_shards:
+            raise ConfigurationError(
+                "inner names one per shard: got %d name(s) for %d shard(s)"
+                % (len(inner_names), num_shards))
+    else:
+        raise ConfigurationError(
+            "inner must be a registry name or a per-shard sequence of names, "
+            "got %r" % (inner,))
+    resolved = []
+    for name in inner_names:
+        if not isinstance(name, str):
+            raise ConfigurationError("inner shard name must be a string, "
+                                     "got %r" % (name,))
+        canonical = resolve(name)  # ConfigurationError on unknown structures
+        if canonical == "sharded":
+            raise ConfigurationError("sharded dictionaries cannot nest: "
+                                     "inner structure must not be 'sharded'")
+        resolved.append(canonical)
+
+    inner_params = extra.get("inner_params", None)
+    if inner_params is None:
+        inner_params = {}
+    elif isinstance(inner_params, Mapping):
+        inner_params = dict(inner_params)
+    else:
+        raise ConfigurationError(
+            "inner_params must be a mapping of structure-specific parameters "
+            "applied to every shard, got %r" % (inner_params,))
+    return num_shards, resolved, inner_params
+
+
+class ShardedDictionary(HIDictionary):
+    """A key-addressed dictionary hash-partitioned across independent shards.
+
+    Each shard is a complete :class:`~repro.api.protocol.HIDictionary` built
+    through the registry; this class only routes, merges, and aggregates.
+    Build one through ``make_dictionary("sharded", shards=..., inner=...)``
+    or directly from pre-built shards (the shard list must be non-empty).
+    """
+
+    def __init__(self, shards: Sequence[HIDictionary],
+                 inner_names: Optional[Sequence[str]] = None) -> None:
+        shards = list(shards)
+        if not shards:
+            raise ConfigurationError(
+                "a sharded dictionary needs at least one shard")
+        self._shards: List[HIDictionary] = shards
+        self.inner_names: List[str] = list(
+            inner_names if inner_names is not None
+            else [getattr(shard, "registry_name", type(shard).__name__)
+                  for shard in shards])
+
+    @classmethod
+    def from_config(cls, config: "DictionaryConfig") -> "ShardedDictionary":
+        """Registry factory: build shards from the validated extras.
+
+        Each shard draws an independent seed from ``config.seed`` (fresh OS
+        entropy per shard when the seed is ``None``, a reproducible per-shard
+        stream otherwise) and is built through
+        :func:`~repro.api.registry.make_dictionary`, so tracker wiring and
+        per-structure validation are identical to an unsharded build.
+        """
+        from repro.api.registry import make_dictionary
+
+        num_shards, inner_names, inner_params = _validated_shard_spec(
+            config.extra)
+        rng = make_rng(config.seed)
+        shards = [
+            make_dictionary(name,
+                            block_size=config.block_size,
+                            cache_blocks=config.cache_blocks,
+                            seed=rng.getrandbits(64),
+                            backend=config.backend,
+                            **inner_params)
+            for name in inner_names
+        ]
+        return cls(shards, inner_names=inner_names)
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+
+    @property
+    def shards(self) -> Tuple[HIDictionary, ...]:
+        """The inner dictionaries, indexed by shard number."""
+        return tuple(self._shards)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    def shard_of(self, key: object) -> int:
+        """The shard index ``key`` routes to."""
+        return shard_index(key, len(self._shards))
+
+    def _shard_for(self, key: object) -> HIDictionary:
+        return self._shards[self.shard_of(key)]
+
+    # ------------------------------------------------------------------ #
+    # Dictionary operations (routed)
+    # ------------------------------------------------------------------ #
+
+    def insert(self, key: object, value: object = None) -> None:
+        self._shard_for(key).insert(key, value)
+
+    def upsert(self, key: object, value: object = None) -> bool:
+        return self._shard_for(key).upsert(key, value)
+
+    def delete(self, key: object) -> object:
+        return self._shard_for(key).delete(key)
+
+    def search(self, key: object) -> object:
+        return self._shard_for(key).search(key)
+
+    def contains(self, key: object) -> bool:
+        return self._shard_for(key).contains(key)
+
+    def range_query(self, low: object, high: object) -> List[Pair]:
+        """Fan out to every shard and merge the sorted per-shard results."""
+        per_shard = [shard.range_items(low, high) for shard in self._shards]
+        return list(heapq.merge(*per_shard, key=lambda pair: pair[0]))
+
+    # ------------------------------------------------------------------ #
+    # Container protocol / merged views
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    def __iter__(self):
+        return iter(heapq.merge(*[list(shard) for shard in self._shards]))
+
+    def items(self) -> List[Pair]:
+        return list(heapq.merge(*[shard.items() for shard in self._shards],
+                                key=lambda pair: pair[0]))
+
+    def shard_sizes(self) -> List[int]:
+        """Number of keys on each shard (the imbalance view)."""
+        return [len(shard) for shard in self._shards]
+
+    # ------------------------------------------------------------------ #
+    # Accounting
+    # ------------------------------------------------------------------ #
+
+    def io_stats(self) -> IOStats:
+        """Aggregate counters across every shard (one merged stats view)."""
+        merged = IOStats()
+        for stats in self.per_shard_io_stats():
+            merged.reads += stats.reads
+            merged.writes += stats.writes
+            merged.cache_hits += stats.cache_hits
+            merged.element_moves += stats.element_moves
+            merged.operations += stats.operations
+            for name, amount in stats.counters.items():
+                merged.counters[name] = merged.counters.get(name, 0) + amount
+        return merged
+
+    def per_shard_io_stats(self) -> List[IOStats]:
+        """Each shard's merged :meth:`~HIDictionary.io_stats` view, in order."""
+        return [shard.io_stats() for shard in self._shards]
+
+    def stats_objects(self) -> List[IOStats]:
+        """The live counter objects behind every shard (engine probe hook).
+
+        :class:`~repro.api.engine.DictionaryEngine` snapshots and restores
+        these around its cold-cache cost probes, so sharded measurements are
+        rolled back exactly like unsharded ones.
+        """
+        objects: List[IOStats] = []
+        for shard in self._shards:
+            own = getattr(shard, "stats", None)
+            if own is not None:
+                objects.append(own)
+            tracker = getattr(shard, "io_tracker", None)
+            if tracker is not None:
+                objects.append(tracker.stats)
+        return objects
+
+    def clear_caches(self) -> None:
+        """Clear every shard's simulated cache (engine probe hook)."""
+        for shard in self._shards:
+            tracker = getattr(shard, "io_tracker", None)
+            if tracker is not None and tracker.cache is not None:
+                tracker.cache.clear()
+
+    # ------------------------------------------------------------------ #
+    # Serialisation / auditing
+    # ------------------------------------------------------------------ #
+
+    def snapshot_slots(self) -> Sequence[object]:
+        """Per-shard slot arrays concatenated in shard order.
+
+        Shard boundaries are a deterministic function of the key set (routing
+        is content-only), so the concatenation preserves whatever layout
+        guarantees the inner structures give.
+        """
+        slots: List[object] = []
+        for shard in self._shards:
+            slots.extend(shard.snapshot_slots())
+        return slots
+
+    def audit_fingerprint(self) -> object:
+        """Per-shard fingerprints, in shard order.
+
+        Shard membership depends only on the key set, so two equivalent
+        histories split into per-shard histories that are equivalent shard by
+        shard; the tuple of shard fingerprints is the right observable for
+        the weak-history-independence audit.
+        """
+        return tuple(shard.audit_fingerprint() for shard in self._shards)
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+
+    def check(self) -> None:
+        from repro.errors import InvariantViolation
+
+        for index, shard in enumerate(self._shards):
+            shard.check()
+            for key in shard:
+                if self.shard_of(key) != index:
+                    raise InvariantViolation(
+                        "key %r lives on shard %d but routes to shard %d"
+                        % (key, index, self.shard_of(key)))
+
+
+class ShardedDictionaryEngine(DictionaryEngine):
+    """Engine facade for a :class:`ShardedDictionary`: batched, shard-aware.
+
+    Everything a plain :class:`~repro.api.engine.DictionaryEngine` does works
+    unchanged (point operations route through the sharded structure, the
+    uniform single-file ``snapshot`` persists the concatenated slot arrays);
+    on top of that the bulk operations group keys by shard before dispatch,
+    cost probes are shard-aware, and snapshots can be taken one file per
+    shard with a manifest for restore.
+    """
+
+    #: File name of the manifest written next to the per-shard images.
+    MANIFEST_NAME = "manifest.json"
+
+    def __init__(self, structure: ShardedDictionary, *,
+                 name: Optional[str] = None,
+                 sample_operations: bool = False) -> None:
+        if not isinstance(structure, ShardedDictionary):
+            raise ConfigurationError(
+                "ShardedDictionaryEngine requires a ShardedDictionary; build "
+                "one with make_dictionary('sharded', shards=..., inner=...) "
+                "or wrap %r in a plain DictionaryEngine instead"
+                % (type(structure).__name__,))
+        super().__init__(structure, name=name,
+                         sample_operations=sample_operations)
+        self._shard_engines = [
+            DictionaryEngine(shard, name="%s[%d]" % (inner, index))
+            for index, (shard, inner) in enumerate(
+                zip(structure.shards, structure.inner_names))
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def shard_engines(self) -> Tuple[DictionaryEngine, ...]:
+        """One plain engine per shard (for per-shard probes and snapshots)."""
+        return tuple(self._shard_engines)
+
+    @property
+    def num_shards(self) -> int:
+        return self._structure.num_shards
+
+    def shard_sizes(self) -> List[int]:
+        return self._structure.shard_sizes()
+
+    def per_shard_io_stats(self) -> List[IOStats]:
+        """Per-shard counters; their sum is :meth:`io_stats`."""
+        return self._structure.per_shard_io_stats()
+
+    # ------------------------------------------------------------------ #
+    # Batched bulk operations
+    # ------------------------------------------------------------------ #
+
+    def insert_many(self, entries: Iterable[object]) -> int:
+        """Insert keys or pairs, grouped by shard before dispatch.
+
+        Each shard receives its keys as one contiguous batch (relative input
+        order preserved within the batch), which is what gives sharding its
+        locality win over interleaved routing.  Returns the number inserted.
+        """
+        batches: List[List[Pair]] = [[] for _ in self._shard_engines]
+        count = 0
+        for entry in entries:
+            key, value = self._as_pair(entry)
+            batches[self._structure.shard_of(key)].append((key, value))
+            count += 1
+        for engine, batch in zip(self._shard_engines, batches):
+            for key, value in batch:
+                with self._operation("insert"):
+                    engine.structure.insert(key, value)
+        return count
+
+    def delete_many(self, keys: Iterable[object]) -> List[object]:
+        """Delete keys grouped by shard; values return in the input order."""
+        keys = list(keys)
+        batches: List[List[Tuple[int, object]]] = [[] for _ in self._shard_engines]
+        for position, key in enumerate(keys):
+            batches[self._structure.shard_of(key)].append((position, key))
+        values: List[object] = [None] * len(keys)
+        for engine, batch in zip(self._shard_engines, batches):
+            for position, key in batch:
+                with self._operation("delete"):
+                    values[position] = engine.structure.delete(key)
+        return values
+
+    def contains_many(self, keys: Iterable[object]) -> List[bool]:
+        """Membership for every key, grouped by shard; input order preserved."""
+        keys = list(keys)
+        batches: List[List[Tuple[int, object]]] = [[] for _ in self._shard_engines]
+        for position, key in enumerate(keys):
+            batches[self._structure.shard_of(key)].append((position, key))
+        found: List[bool] = [False] * len(keys)
+        for engine, batch in zip(self._shard_engines, batches):
+            for position, key in batch:
+                with self._operation("contains"):
+                    found[position] = engine.structure.contains(key)
+        return found
+
+    # ------------------------------------------------------------------ #
+    # Shard-aware cost probes
+    # ------------------------------------------------------------------ #
+
+    def search_io_cost(self, key: object) -> int:
+        """Cold-cache search cost on the single shard that owns ``key``."""
+        return self._shard_engines[self._structure.shard_of(key)] \
+            .search_io_cost(key)
+
+    def range_io_cost(self, low: object, high: object) -> Tuple[List[Pair], int]:
+        """Fan the range out to every shard; merge results, sum the costs.
+
+        A range query cannot be routed — every shard may own keys inside the
+        interval — so its cost is inherently the sum over shards.  Like the
+        base probe, each per-shard measurement is rolled back afterwards.
+        """
+        merged: List[List[Pair]] = []
+        total = 0
+        for engine in self._shard_engines:
+            pairs, cost = engine.range_io_cost(low, high)
+            merged.append(pairs)
+            total += cost
+        pairs = list(heapq.merge(*merged, key=lambda pair: pair[0]))
+        return pairs, total
+
+    # ------------------------------------------------------------------ #
+    # Per-shard snapshots
+    # ------------------------------------------------------------------ #
+
+    def snapshot_shards(self, directory: str, *,
+                        page_size: int = 4096,
+                        payload_size: int = 64,
+                        shuffle_pages: bool = False,
+                        seed: RandomLike = None) -> Dict[str, object]:
+        """Write one image per shard into ``directory`` plus a JSON manifest.
+
+        Returns the manifest (also written to :attr:`MANIFEST_NAME` inside
+        the directory): shard count, inner structure names, and for each
+        shard the image file name and the snapshot metadata needed to decode
+        it.  :meth:`restore_shards` consumes exactly this layout.
+        """
+        os.makedirs(directory, exist_ok=True)
+        shards = []
+        for index, engine in enumerate(self._shard_engines):
+            file_name = "shard-%04d.img" % index
+            _paged, metadata = engine.snapshot(
+                os.path.join(directory, file_name),
+                page_size=page_size, payload_size=payload_size,
+                shuffle_pages=shuffle_pages, seed=seed)
+            shards.append({
+                "file": file_name,
+                "kind": metadata.kind,
+                "num_slots": metadata.num_slots,
+                "num_pages": metadata.num_pages,
+                "page_size": metadata.page_size,
+                "payload_size": metadata.payload_size,
+                "page_order": list(metadata.page_order),
+            })
+        manifest = {
+            "structure": self.name,
+            "num_shards": self.num_shards,
+            "inner": list(self._structure.inner_names),
+            "shards": shards,
+        }
+        with open(os.path.join(directory, self.MANIFEST_NAME), "w",
+                  encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2)
+        return manifest
+
+    @classmethod
+    def restore_shards(cls, directory: str, *,
+                       block_size: int = 64,
+                       cache_blocks: int = 0,
+                       seed: RandomLike = None,
+                       backend: str = "auto",
+                       inner_params: Optional[Mapping[str, object]] = None
+                       ) -> "ShardedDictionaryEngine":
+        """Rebuild a sharded engine from a :meth:`snapshot_shards` directory.
+
+        Shard count and inner structure names come from the manifest; the
+        recovered records are re-inserted, and routing determinism guarantees
+        every key lands back on the shard its image came from.  Slots that
+        are bare keys (structures whose snapshot persists the physical slot
+        array rather than pairs) restore with a ``None`` value, matching what
+        the single-file snapshot path preserves.
+        """
+        from repro.api.registry import make_dictionary
+        from repro.storage.pager import PagedFile
+        from repro.storage.snapshot import SnapshotMetadata, load_records
+
+        manifest_path = os.path.join(directory, cls.MANIFEST_NAME)
+        try:
+            with open(manifest_path, encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except (OSError, ValueError) as error:
+            raise ConfigurationError(
+                "cannot read sharded snapshot manifest %r: %s"
+                % (manifest_path, error)) from error
+        num_shards = manifest.get("num_shards")
+        inner = manifest.get("inner")
+        shard_entries = manifest.get("shards")
+        if not isinstance(num_shards, int) or not isinstance(inner, list) \
+                or not isinstance(shard_entries, list) \
+                or len(shard_entries) != num_shards:
+            raise ConfigurationError(
+                "sharded snapshot manifest %r is malformed" % (manifest_path,))
+
+        structure = make_dictionary("sharded", block_size=block_size,
+                                    cache_blocks=cache_blocks, seed=seed,
+                                    backend=backend, shards=num_shards,
+                                    inner=inner,
+                                    inner_params=dict(inner_params or {}))
+        engine = cls(structure)
+        for index, entry in enumerate(shard_entries):
+            try:
+                metadata = SnapshotMetadata(
+                    kind=entry["kind"], num_slots=entry["num_slots"],
+                    num_pages=entry["num_pages"],
+                    page_size=entry["page_size"],
+                    payload_size=entry["payload_size"],
+                    page_order=tuple(entry["page_order"]))
+                file_name = entry["file"]
+            except (KeyError, TypeError) as error:
+                raise ConfigurationError(
+                    "sharded snapshot manifest %r shard entry %d is "
+                    "malformed: %s" % (manifest_path, index, error)) from error
+            paged = PagedFile(page_size=metadata.page_size,
+                              path=os.path.join(directory, file_name))
+            for slot in load_records(paged, metadata):
+                if slot is None:
+                    continue
+                if isinstance(slot, tuple) and len(slot) == 2:
+                    key, value = slot
+                else:
+                    key, value = slot, None
+                engine.shard_engines[index].structure.insert(key, value)
+        return engine
+
+
+def make_sharded_engine(inner: object = DEFAULT_INNER, *,
+                        shards: int = DEFAULT_SHARDS,
+                        block_size: int = 64,
+                        cache_blocks: int = 0,
+                        seed: RandomLike = None,
+                        backend: str = "auto",
+                        sample_operations: bool = False,
+                        inner_params: Optional[Mapping[str, object]] = None
+                        ) -> ShardedDictionaryEngine:
+    """Convenience constructor: a sharded engine over ``shards`` × ``inner``.
+
+    ``inner`` is a registry name or a per-shard sequence of names
+    (heterogeneous shards); ``inner_params`` are structure-specific extras
+    applied to every shard.  All validation is the registry's.
+    """
+    from repro.api.registry import make_dictionary
+
+    structure = make_dictionary("sharded", block_size=block_size,
+                                cache_blocks=cache_blocks, seed=seed,
+                                backend=backend, shards=shards, inner=inner,
+                                inner_params=dict(inner_params or {}))
+    return ShardedDictionaryEngine(structure,
+                                   sample_operations=sample_operations)

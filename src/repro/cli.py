@@ -29,6 +29,7 @@ Every command accepts ``--seed`` so its output is reproducible.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -55,6 +56,7 @@ from repro.workloads import (
     sequential_insert_trace,
     sliding_window_trace,
     trough_trace,
+    zipf_mixed_trace,
     zipfian_insert_trace,
 )
 
@@ -106,6 +108,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="DAM block size for block-structured dictionaries "
                             "(b-tree, b-treap, the skip lists); structures "
                             "whose layout does not depend on B ignore it")
+    audit.add_argument("--shards", type=int, default=0,
+                       help="audit the structure behind a hash-partitioned "
+                            "sharded router with this many shards "
+                            "(0 = unsharded)")
     audit.add_argument("--seed", type=int, default=0)
 
     compare = subparsers.add_parser(
@@ -118,6 +124,9 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--sizes", type=str, default="1000,4000")
     compare.add_argument("--block", type=int, default=64)
     compare.add_argument("--searches", type=int, default=100)
+    compare.add_argument("--shards", type=int, default=0,
+                         help="measure each structure behind a sharded "
+                              "router with this many shards (0 = unsharded)")
     compare.add_argument("--seed", type=int, default=0)
 
     workload = subparsers.add_parser(
@@ -147,7 +156,12 @@ def build_parser() -> argparse.ArgumentParser:
     snapshot.add_argument("--keys", type=int, default=1000)
     snapshot.add_argument("--seed", type=int, default=0)
     snapshot.add_argument("--path", type=str, default=None,
-                          help="file to write the image to (default: in-memory)")
+                          help="file to write the image to (default: "
+                               "in-memory); with --shards, a directory "
+                               "receiving one image per shard + manifest")
+    snapshot.add_argument("--shards", type=int, default=0,
+                          help="shard the structure this many ways and "
+                               "snapshot per shard (0 = unsharded)")
     snapshot.add_argument("--buckets", type=int, default=16)
 
     report = subparsers.add_parser(
@@ -197,15 +211,26 @@ def cmd_uniformity(args: argparse.Namespace, out) -> int:
 
 
 def cmd_audit(args: argparse.Namespace, out) -> int:
+    if args.shards < 0:
+        raise ConfigurationError("--shards must be non-negative, got %d"
+                                 % args.shards)
     keys = list(range(1, args.keys + 1))
     detours = [args.keys + 10, args.keys + 20]
     histories = equivalent_histories(keys, detour_keys=detours, shuffles=2,
                                      seed=args.seed)
-    builders = registry_builders(args.structure, histories,
-                                 block_size=args.block)
+    if args.shards > 0:
+        label = "sharded[%d]:%s" % (args.shards, resolve(args.structure))
+        builders = registry_builders("sharded", histories,
+                                     block_size=args.block,
+                                     shards=args.shards,
+                                     inner=resolve(args.structure))
+    else:
+        label = args.structure
+        builders = registry_builders(args.structure, histories,
+                                     block_size=args.block)
     result = audit_weak_history_independence(
         builders, trials=args.trials, fingerprint_of=audit_fingerprint_of)
-    print("structure             : %s" % args.structure, file=out)
+    print("structure             : %s" % label, file=out)
     print("histories compared    : %d" % result.num_sequences, file=out)
     print("trials per history    : %d" % result.trials_per_sequence, file=out)
     print("distinct fingerprints : %d" % result.distinct_fingerprints, file=out)
@@ -231,8 +256,12 @@ def cmd_compare_io(args: argparse.Namespace, out) -> int:
         canonical = resolve(name)
         if canonical not in names:
             names.append(canonical)
+    if args.shards < 0:
+        raise ConfigurationError("--shards must be non-negative, got %d"
+                                 % args.shards)
     samples = registry_io_series(names, sizes, block_size=args.block,
-                                 searches=args.searches, seed=args.seed)
+                                 searches=args.searches, seed=args.seed,
+                                 shards=args.shards)
     rows = [[sample.structure, sample.num_keys,
              "%.2f" % sample.search_ios, "%.2f" % sample.insert_ios,
              "%.1f" % sample.range_ios]
@@ -250,6 +279,7 @@ _WORKLOADS: Dict[str, Callable[[argparse.Namespace], List[object]]] = {
         args.count, window=max(1, args.count // 10)),
     "trough": lambda args: trough_trace(args.count, seed=args.seed),
     "redaction": lambda args: batch_redaction_trace(max(1, args.count), seed=args.seed),
+    "zipf-mixed": lambda args: zipf_mixed_trace(args.count, seed=args.seed),
 }
 
 
@@ -300,11 +330,33 @@ def cmd_attack(args: argparse.Namespace, out) -> int:
 
 
 def cmd_snapshot(args: argparse.Namespace, out) -> int:
-    engine = DictionaryEngine.create(args.structure, seed=args.seed)
+    if args.shards < 0:
+        raise ConfigurationError("--shards must be non-negative, got %d"
+                                 % args.shards)
+    if args.shards > 0:
+        engine = DictionaryEngine.create("sharded", seed=args.seed,
+                                         shards=args.shards,
+                                         inner=resolve(args.structure))
+    else:
+        engine = DictionaryEngine.create(args.structure, seed=args.seed)
     engine.build_from_trace(random_insert_trace(args.keys, seed=args.seed))
+    if args.shards > 0:
+        print("structure        : sharded[%d]:%s"
+              % (args.shards, resolve(args.structure)), file=out)
+        print("shard sizes      : %s" % (engine.shard_sizes(),), file=out)
+        if args.path:
+            manifest = engine.snapshot_shards(args.path)
+            for entry in manifest["shards"]:
+                print("  %-16s %6d slots  %4d pages"
+                      % (entry["file"], entry["num_slots"],
+                         entry["num_pages"]), file=out)
+            print("manifest written to %s"
+                  % os.path.join(args.path, engine.MANIFEST_NAME), file=out)
+            return 0
     paged_file, metadata = engine.snapshot(args.path)
     image = image_of(paged_file, metadata)
-    print("structure        : %s" % metadata.kind, file=out)
+    if args.shards <= 0:
+        print("structure        : %s" % metadata.kind, file=out)
     print("slots            : %d" % metadata.num_slots, file=out)
     print("pages            : %d (%d bytes)"
           % (len(image), image.size_in_bytes), file=out)

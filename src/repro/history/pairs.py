@@ -129,20 +129,22 @@ def ranked_builders(factory: Callable[[], object],
 def registry_builders(name: str,
                       traces: Sequence[List[Operation]],
                       block_size: int = 8,
-                      value_of: Optional[Callable[[int], object]] = None
-                      ) -> List[Callable[[], object]]:
+                      value_of: Optional[Callable[[int], object]] = None,
+                      **extra: object) -> List[Callable[[], object]]:
     """Audit builders for any structure registered in :mod:`repro.api.registry`.
 
     The registry metadata decides the replay style: rank-addressed entries
     (the PMAs) are driven through :func:`ranked_builders` on their raw
     structure, everything else through :func:`dictionary_builders`.  Each
     build draws fresh internal randomness (no seed), which is what the audit
-    needs to sample the representation distribution.
+    needs to sample the representation distribution.  ``extra`` forwards
+    structure-specific parameters (e.g. ``shards``/``inner`` for the sharded
+    router) to every build.
     """
     from repro.api.registry import get_info, make_raw_structure
 
     info = get_info(name)
-    factory = lambda: make_raw_structure(name, block_size=block_size)
+    factory = lambda: make_raw_structure(name, block_size=block_size, **extra)
     if info.rank_addressed:
         return ranked_builders(factory, traces, value_of=value_of)
     return dictionary_builders(factory, traces, value_of=value_of)

@@ -25,6 +25,7 @@ from repro.workloads.patterns import (
     search_mix_trace,
     sliding_window_trace,
     trough_trace,
+    zipf_mixed_trace,
     zipfian_insert_trace,
 )
 
@@ -44,5 +45,6 @@ __all__ = [
     "trough_trace",
     "search_mix_trace",
     "batch_redaction_trace",
+    "zipf_mixed_trace",
     "live_keys_of",
 ]

@@ -222,6 +222,136 @@ def batch_redaction_trace(initial: int, redaction_start: float = 0.4,
     return trace
 
 
+def zipf_mixed_trace(count: int, preload: Optional[int] = None,
+                     skew: float = 1.1,
+                     search_fraction: float = 0.55,
+                     delete_fraction: float = 0.15,
+                     key_space: Optional[int] = None,
+                     seed: RandomLike = None) -> List[Operation]:
+    """A mixed read/write workload with Zipf-skewed key popularity.
+
+    The first ``preload`` operations (default ``count // 4``) bulk-load
+    distinct keys drawn from a Zipf popularity ranking over a shuffled key
+    space; the rest are a mix of searches (``search_fraction``), deletes of
+    live keys (``delete_fraction``, uniform — retention, not popularity) and
+    inserts of fresh keys (the remainder).  Searches sample the *live* keys
+    proportionally to their Zipf weight (a Fenwick tree over the popularity
+    ranking keeps that draw at ``O(log keyspace)``), so the hottest keys are
+    searched over and over.  ``count`` is the total trace length, preload
+    included.
+
+    Because popular keys are hit over and over while routing hashes keys
+    uniformly, replaying this trace against a sharded dictionary produces
+    genuinely imbalanced per-shard traffic — the scenario the sharded
+    engine's per-shard stats view exists to expose.  ``skew=0`` degenerates
+    to a uniform mix.
+    """
+    from repro.pma.fenwick import FenwickTree
+
+    if count < 0:
+        raise ConfigurationError("count must be non-negative")
+    if skew < 0:
+        raise ConfigurationError("skew must be non-negative")
+    if not 0.0 <= search_fraction <= 1.0 or not 0.0 <= delete_fraction <= 1.0 \
+            or search_fraction + delete_fraction > 1.0:
+        raise ConfigurationError(
+            "search_fraction and delete_fraction must be fractions in [0, 1] "
+            "summing to at most 1")
+    preload = preload if preload is not None \
+        else min(count, max(1, count // 4))
+    if preload > count:
+        raise ConfigurationError("preload cannot exceed the total count")
+    rng = make_rng(seed)
+    key_space = key_space if key_space is not None else max(10 * count, 1000)
+
+    # Popularity ranking: rank r has weight ~ 1/(r+1)^skew (scaled to
+    # integers for the Fenwick draw); the ranked keys are a random
+    # permutation of the key space so hot keys are scattered across it.
+    weight_scale = 1_000_000
+    ranked_keys = list(range(key_space))
+    rng.shuffle(ranked_keys)
+    rank_of = {key: rank for rank, key in enumerate(ranked_keys)}
+    weights = [max(1, int(weight_scale / ((rank + 1) ** skew)))
+               for rank in range(key_space)]
+    cumulative: List[int] = []
+    running = 0
+    for weight in weights:
+        running += weight
+        cumulative.append(running)
+    live_weights = FenwickTree(key_space)
+
+    def draw_rank() -> int:
+        return min(bisect.bisect_left(cumulative,
+                                      rng.randrange(running) + 1),
+                   key_space - 1)
+
+    live: List[int] = []
+    live_index = {}
+    used = set()
+
+    def add_live(key: int) -> None:
+        live_index[key] = len(live)
+        live.append(key)
+        live_weights.set(rank_of[key], weights[rank_of[key]])
+
+    def remove_live(key: int) -> None:
+        index = live_index.pop(key)
+        last = live.pop()
+        if last != key:
+            live[index] = last
+            live_index[last] = index
+        live_weights.set(rank_of[key], 0)
+
+    def draw_fresh() -> Optional[int]:
+        for _ in range(64):
+            key = ranked_keys[draw_rank()]
+            if key not in used:
+                return key
+        for key in ranked_keys:
+            if key not in used:
+                return key
+        return None
+
+    def draw_live_hot() -> int:
+        # Zipf-weighted draw restricted to the live keys: O(log keyspace).
+        rank, _within = live_weights.find_by_rank(
+            rng.randrange(live_weights.total()) + 1)
+        return ranked_keys[rank]
+
+    trace: List[Operation] = []
+    while len(trace) < preload:
+        key = draw_fresh()
+        if key is None:
+            raise ConfigurationError(
+                "key space of %d exhausted during preload" % (key_space,))
+        used.add(key)
+        add_live(key)
+        trace.append(Operation(OperationKind.INSERT, key))
+    while len(trace) < count:
+        roll = rng.random()
+        if roll < search_fraction and live:
+            trace.append(Operation(OperationKind.SEARCH, draw_live_hot()))
+        elif roll < search_fraction + delete_fraction and len(live) > 1:
+            key = live[rng.randrange(len(live))]
+            remove_live(key)
+            trace.append(Operation(OperationKind.DELETE, key))
+        else:
+            key = draw_fresh()
+            if key is None:
+                # Key space exhausted: fall back to reads so the trace
+                # still reaches the requested length.
+                if not live:
+                    raise ConfigurationError(
+                        "key space of %d exhausted with no live keys left"
+                        % (key_space,))
+                trace.append(Operation(OperationKind.SEARCH, draw_live_hot()))
+                continue
+            used.add(key)
+            add_live(key)
+            trace.append(Operation(OperationKind.INSERT, key))
+    return trace
+
+
 def live_keys_of(trace: List[Operation]) -> List[int]:
     """The keys still live after replaying ``trace``, in sorted order.
 

@@ -6,6 +6,11 @@ delete / search / range / check scenario via the
 :class:`~repro.api.engine.DictionaryEngine`, asserting identical key-set
 semantics against a reference dict and a monotone unified I/O counter, with
 zero per-structure special cases.
+
+The sharded engine rides through the identical scenario: once with its
+registry defaults (picked up from ``registry_names()`` like any other
+entry) and once per explicit inner structure, covering all three
+accounting styles behind the router.
 """
 
 import random
@@ -24,11 +29,21 @@ pytestmark = pytest.mark.fast
 
 ALL_STRUCTURES = registry_names()
 
+#: Sharded variants driven through the same scenario, named ``sharded+inner``.
+SHARDED_VARIANTS = ("sharded+b-tree", "sharded+hi-pma", "sharded+hi-skiplist")
 
-@pytest.fixture(params=ALL_STRUCTURES)
+
+def create_engine(name):
+    if name.startswith("sharded+"):
+        return DictionaryEngine.create("sharded", block_size=8,
+                                       cache_blocks=2, seed=7, shards=3,
+                                       inner=name.split("+", 1)[1])
+    return DictionaryEngine.create(name, block_size=8, cache_blocks=2, seed=7)
+
+
+@pytest.fixture(params=ALL_STRUCTURES + list(SHARDED_VARIANTS))
 def engine(request):
-    return DictionaryEngine.create(request.param, block_size=8,
-                                   cache_blocks=2, seed=7)
+    return create_engine(request.param)
 
 
 def test_every_structure_is_an_hi_dictionary():

@@ -106,12 +106,32 @@ def test_compare_io_rejects_bad_sizes():
     assert code == 2
 
 
+def test_compare_io_sharded():
+    code, output = run_cli("compare-io", "--structure", "b-tree",
+                           "--sizes", "300", "--block", "16",
+                           "--searches", "20", "--shards", "3", "--seed", "0")
+    assert code == 0
+    assert "sharded[3]:b-tree" in output
+
+
+@pytest.mark.parametrize("argv", [
+    ("compare-io", "--sizes", "300", "--shards", "-1"),
+    ("audit", "--structure", "treap", "--keys", "8", "--trials", "5",
+     "--shards", "-1"),
+    ("snapshot", "--structure", "b-tree", "--keys", "20", "--shards", "-1"),
+])
+def test_negative_shards_is_a_configuration_error(argv):
+    code, _output = run_cli(*argv)
+    assert code == 2
+
+
 # --------------------------------------------------------------------------- #
 # workload
 # --------------------------------------------------------------------------- #
 
 @pytest.mark.parametrize("kind", ["random", "sequential", "zipfian",
-                                  "sliding-window", "trough", "redaction"])
+                                  "sliding-window", "trough", "redaction",
+                                  "zipf-mixed"])
 def test_workload_kinds(kind, tmp_path):
     csv_path = str(tmp_path / ("%s.csv" % kind))
     code, output = run_cli("workload", "--kind", kind, "--count", "50",
@@ -162,6 +182,37 @@ def test_snapshot_writes_image_file(tmp_path):
     assert os.path.exists(path)
     assert os.path.getsize(path) > 0
     assert "image written" in output
+
+
+def test_snapshot_sharded_writes_per_shard_images(tmp_path):
+    directory = str(tmp_path / "shards")
+    code, output = run_cli("snapshot", "--structure", "b-tree",
+                           "--keys", "150", "--seed", "1",
+                           "--shards", "3", "--path", directory)
+    assert code == 0
+    assert "sharded[3]:b-tree" in output
+    assert "manifest written" in output
+    assert os.path.exists(os.path.join(directory, "manifest.json"))
+    images = [name for name in os.listdir(directory)
+              if name.endswith(".img")]
+    assert len(images) == 3
+
+
+def test_snapshot_sharded_in_memory_prints_shard_sizes():
+    code, output = run_cli("snapshot", "--structure", "hi-skiplist",
+                           "--keys", "120", "--seed", "0", "--shards", "2",
+                           "--buckets", "4")
+    assert code == 0
+    assert "shard sizes" in output
+    assert "occupancy profile" in output
+
+
+def test_audit_sharded_treap_passes():
+    code, output = run_cli("audit", "--structure", "treap", "--keys", "16",
+                           "--trials", "40", "--shards", "2", "--seed", "0")
+    assert code == 0
+    assert "sharded[2]:treap" in output
+    assert "PASS" in output
 
 
 # --------------------------------------------------------------------------- #

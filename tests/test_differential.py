@@ -1,0 +1,348 @@
+"""Randomized differential harness: every registry entry vs. a plain oracle.
+
+Each structure (and the sharded engine over several inner structures) is
+driven through a seeded random operation trace — insert / delete / upsert /
+search / contains / range / predecessor, including operations that must fail
+(duplicate inserts, deletes and searches of absent keys) — while a reference
+oracle (a plain ``dict`` plus a sorted key list) predicts every outcome.
+
+On the first divergence the harness *shrinks* the trace: it removes chunks,
+then single operations, as long as the failure still reproduces, and fails
+the test with the minimal reproducing trace printed in replay-ready form::
+
+    replay("b-tree", [("insert", 5, 0), ("delete", 5), ("search", 5)])
+
+``replay`` (exported below) re-runs such a trace verbatim, so a shrunk
+counterexample pasted from a CI log reproduces locally in one call.
+
+The trace seed is fixed (override with ``REPRO_DIFF_SEED``) so CI runs are
+reproducible; the per-structure randomness is seeded too.
+"""
+
+from __future__ import annotations
+
+import bisect
+import os
+import random
+from typing import List, Optional, Sequence, Tuple
+
+import pytest
+
+from repro.api import DictionaryEngine, registry_names
+from repro.errors import DuplicateKey, KeyNotFound
+
+pytestmark = pytest.mark.fast
+
+#: Fixed differential seed; CI can pin a different stream via the env var.
+DIFF_SEED = int(os.environ.get("REPRO_DIFF_SEED", "20160626"))
+
+#: Small key space so traces collide constantly (duplicates, re-inserts
+#: after deletes, misses) — that is where dictionary bugs live.
+KEY_SPACE = 64
+
+STRUCTURE_SEED = 7
+BLOCK_SIZE = 8
+
+#: Sharded configurations ride along with the plain registry entries.
+SHARDED_VARIANTS = (
+    ("sharded+b-tree", {"shards": 3, "inner": "b-tree"}),
+    ("sharded+hi-pma", {"shards": 2, "inner": "hi-pma"}),
+    ("sharded+hi-skiplist", {"shards": 3, "inner": "hi-skiplist"}),
+)
+
+ALL_TARGETS = list(registry_names()) + [name for name, _extra in SHARDED_VARIANTS]
+
+Op = Tuple  # ("kind", *args)
+
+
+def make_engine(target: str) -> DictionaryEngine:
+    """Build the engine a differential target name denotes."""
+    for name, extra in SHARDED_VARIANTS:
+        if target == name:
+            return DictionaryEngine.create("sharded", block_size=BLOCK_SIZE,
+                                           cache_blocks=2, seed=STRUCTURE_SEED,
+                                           **extra)
+    return DictionaryEngine.create(target, block_size=BLOCK_SIZE,
+                                   cache_blocks=2, seed=STRUCTURE_SEED)
+
+
+# --------------------------------------------------------------------------- #
+# The oracle
+# --------------------------------------------------------------------------- #
+
+class Oracle:
+    """Reference dictionary semantics: a dict plus a sorted key list."""
+
+    def __init__(self) -> None:
+        self.values = {}
+        self.keys: List[int] = []
+
+    def insert(self, key: int, value: object) -> Optional[str]:
+        if key in self.values:
+            return "DuplicateKey"
+        bisect.insort(self.keys, key)
+        self.values[key] = value
+        return None
+
+    def upsert(self, key: int, value: object) -> bool:
+        existed = key in self.values
+        if not existed:
+            bisect.insort(self.keys, key)
+        self.values[key] = value
+        return existed
+
+    def delete(self, key: int):
+        if key not in self.values:
+            return "KeyNotFound", None
+        self.keys.pop(bisect.bisect_left(self.keys, key))
+        return None, self.values.pop(key)
+
+    def search(self, key: int):
+        if key not in self.values:
+            return "KeyNotFound", None
+        return None, self.values[key]
+
+    def contains(self, key: int) -> bool:
+        return key in self.values
+
+    def range_query(self, low: int, high: int) -> List[Tuple[int, object]]:
+        return [(key, self.values[key]) for key in self.keys
+                if low <= key <= high]
+
+    def predecessor(self, key: int) -> Optional[Tuple[int, object]]:
+        index = bisect.bisect_left(self.keys, key)
+        if index == 0:
+            return None
+        found = self.keys[index - 1]
+        return found, self.values[found]
+
+    def items(self) -> List[Tuple[int, object]]:
+        return [(key, self.values[key]) for key in self.keys]
+
+
+# --------------------------------------------------------------------------- #
+# Trace generation and execution
+# --------------------------------------------------------------------------- #
+
+def random_trace(rng: random.Random, steps: int,
+                 with_predecessor: bool) -> List[Op]:
+    """A seeded operation trace biased toward collisions and misses."""
+    trace: List[Op] = []
+    serial = 0
+    for _ in range(steps):
+        key = rng.randrange(KEY_SPACE)
+        roll = rng.random()
+        if roll < 0.34:
+            trace.append(("insert", key, serial))
+            serial += 1
+        elif roll < 0.48:
+            trace.append(("upsert", key, serial))
+            serial += 1
+        elif roll < 0.62:
+            trace.append(("delete", key))
+        elif roll < 0.74:
+            trace.append(("search", key))
+        elif roll < 0.82:
+            trace.append(("contains", key))
+        elif roll < 0.92 or not with_predecessor:
+            low = rng.randrange(KEY_SPACE)
+            trace.append(("range", low, low + rng.randrange(KEY_SPACE // 2)))
+        else:
+            trace.append(("predecessor", key))
+    return trace
+
+
+def run_trace(target: str, trace: Sequence[Op], builder=None) -> Optional[str]:
+    """Replay ``trace`` against a fresh structure and the oracle.
+
+    Returns ``None`` when every outcome matches, otherwise a description of
+    the first divergence (used verbatim in the failure report).
+    ``builder`` overrides :func:`make_engine` (the harness meta-test injects
+    a deliberately buggy structure through it).
+    """
+    engine = (builder or make_engine)(target)
+    oracle = Oracle()
+    native_predecessor = getattr(engine.structure, "predecessor", None)
+    for index, operation in enumerate(trace):
+        kind = operation[0]
+        where = "op %d %r" % (index, operation)
+        if kind == "insert":
+            _key, value = operation[1], operation[2]
+            expected_error = oracle.insert(operation[1], value)
+            try:
+                engine.insert(operation[1], value)
+                got_error = None
+            except DuplicateKey:
+                got_error = "DuplicateKey"
+            if got_error != expected_error:
+                return "%s: expected %r, structure raised %r" \
+                    % (where, expected_error, got_error)
+        elif kind == "upsert":
+            expected = oracle.upsert(operation[1], operation[2])
+            got = engine.upsert(operation[1], operation[2])
+            if got is not expected:
+                return "%s: oracle existed=%r, structure returned %r" \
+                    % (where, expected, got)
+        elif kind == "delete":
+            expected_error, expected_value = oracle.delete(operation[1])
+            try:
+                got_value, got_error = engine.delete(operation[1]), None
+            except KeyNotFound:
+                got_value, got_error = None, "KeyNotFound"
+            if got_error != expected_error or got_value != expected_value:
+                return "%s: oracle (%r, %r), structure (%r, %r)" \
+                    % (where, expected_error, expected_value,
+                       got_error, got_value)
+        elif kind == "search":
+            expected_error, expected_value = oracle.search(operation[1])
+            try:
+                got_value, got_error = engine.search(operation[1]), None
+            except KeyNotFound:
+                got_value, got_error = None, "KeyNotFound"
+            if got_error != expected_error or got_value != expected_value:
+                return "%s: oracle (%r, %r), structure (%r, %r)" \
+                    % (where, expected_error, expected_value,
+                       got_error, got_value)
+        elif kind == "contains":
+            expected = oracle.contains(operation[1])
+            got = engine.contains(operation[1])
+            if got is not expected:
+                return "%s: oracle %r, structure %r" % (where, expected, got)
+        elif kind == "range":
+            expected_pairs = oracle.range_query(operation[1], operation[2])
+            got_pairs = engine.range_query(operation[1], operation[2])
+            if got_pairs != expected_pairs:
+                return "%s: oracle %r, structure %r" \
+                    % (where, expected_pairs, got_pairs)
+        elif kind == "predecessor":
+            if native_predecessor is None:
+                continue
+            expected_pair = oracle.predecessor(operation[1])
+            got_pair = native_predecessor(operation[1])
+            if got_pair != expected_pair:
+                return "%s: oracle %r, structure %r" \
+                    % (where, expected_pair, got_pair)
+        else:  # pragma: no cover - trace generator bug
+            raise AssertionError("unknown trace op %r" % (kind,))
+    # Terminal state: iteration order, items, and invariants.
+    if list(engine) != oracle.keys:
+        return "final key order: oracle %r, structure %r" \
+            % (oracle.keys, list(engine))
+    if engine.items() != oracle.items():
+        return "final items: oracle %r, structure %r" \
+            % (oracle.items(), engine.items())
+    engine.check()
+    return None
+
+
+def replay(target: str, trace: Sequence[Op]) -> Optional[str]:
+    """Re-run a (possibly shrunk) trace; ``None`` means it passes now."""
+    return run_trace(target, [tuple(operation) for operation in trace])
+
+
+# --------------------------------------------------------------------------- #
+# Shrinking
+# --------------------------------------------------------------------------- #
+
+def shrink_trace(target: str, trace: List[Op], builder=None) -> List[Op]:
+    """Greedy delta-debugging: drop chunks, then single ops, while it fails."""
+    current = list(trace)
+    chunk = max(1, len(current) // 2)
+    while chunk >= 1:
+        index = 0
+        while index < len(current):
+            candidate = current[:index] + current[index + chunk:]
+            if candidate and run_trace(target, candidate, builder) is not None:
+                current = candidate
+            else:
+                index += chunk
+        chunk //= 2
+    return current
+
+
+# --------------------------------------------------------------------------- #
+# The tests
+# --------------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("target", ALL_TARGETS)
+@pytest.mark.parametrize("trace_seed", [DIFF_SEED, DIFF_SEED + 1])
+def test_differential_against_oracle(target, trace_seed):
+    rng = random.Random(trace_seed)
+    with_predecessor = callable(getattr(make_engine(target).structure,
+                                        "predecessor", None))
+    trace = random_trace(rng, steps=220, with_predecessor=with_predecessor)
+    failure = run_trace(target, trace)
+    if failure is None:
+        return
+    minimal = shrink_trace(target, trace)
+    pytest.fail(
+        "differential divergence for %r (trace seed %d): %s\n"
+        "minimal reproducing trace (%d ops) — replay with:\n"
+        "  from tests.test_differential import replay\n"
+        "  replay(%r, %r)"
+        % (target, trace_seed, run_trace(target, minimal) or failure,
+           len(minimal), target, minimal))
+
+
+def test_harness_catches_a_seeded_bug():
+    """The harness itself must detect and shrink a real divergence.
+
+    A structure that silently drops one specific key exercises the failure
+    path end to end: detection, shrinking, and a minimal trace that still
+    reproduces — without this meta-test a vacuously green harness (e.g. an
+    oracle that mirrors the bug) would go unnoticed.
+    """
+    from repro.api.protocol import HIDictionary
+
+    class Lossy(HIDictionary):
+        """A b-tree-like reference that refuses to store the key 13."""
+
+        def __init__(self):
+            self._data = {}
+
+        def insert(self, key, value=None):
+            if key in self._data:
+                raise DuplicateKey(key)
+            if key != 13:
+                self._data[key] = value
+
+        def delete(self, key):
+            if key not in self._data:
+                raise KeyNotFound(key)
+            return self._data.pop(key)
+
+        def search(self, key):
+            if key not in self._data:
+                raise KeyNotFound(key)
+            return self._data[key]
+
+        def contains(self, key):
+            return key in self._data
+
+        def items(self):
+            return sorted(self._data.items())
+
+        def range_query(self, low, high):
+            return [(k, v) for k, v in self.items() if low <= k <= high]
+
+        def check(self):
+            pass
+
+        def __len__(self):
+            return len(self._data)
+
+        def __iter__(self):
+            return iter(sorted(self._data))
+
+    target = "lossy-test-structure"
+    builder = lambda _name: DictionaryEngine(Lossy(), name=target)
+
+    trace = [("insert", 5, 0), ("insert", 13, 1), ("insert", 21, 2),
+             ("search", 5), ("search", 13)]
+    failure = run_trace(target, trace, builder)
+    assert failure is not None and "13" in failure
+    minimal = shrink_trace(target, list(trace), builder)
+    # The minimal counterexample needs only the lossy insert: the terminal
+    # key-order comparison already exposes the dropped key.
+    assert minimal == [("insert", 13, 1)]
+    assert run_trace(target, minimal, builder) is not None

@@ -29,6 +29,7 @@ def test_every_example_is_covered():
         "quickstart.py",
         "database_index.py",
         "secure_ingest_log.py",
+        "sharded_store.py",
         "skiplist_store.py",
         "dictionary_comparison.py",
         "stolen_disk_forensics.py",

@@ -15,6 +15,7 @@ from repro.workloads import (
     search_mix_trace,
     sliding_window_trace,
     trough_trace,
+    zipf_mixed_trace,
     zipfian_insert_trace,
 )
 
@@ -191,6 +192,67 @@ def test_batch_redaction_rejects_bad_parameters():
         batch_redaction_trace(initial=10, redaction_width=0.0)
     with pytest.raises(ConfigurationError):
         batch_redaction_trace(initial=10, redaction_start=1.5)
+
+
+# --------------------------------------------------------------------------- #
+# zipf_mixed_trace
+# --------------------------------------------------------------------------- #
+
+def test_zipf_mixed_is_well_formed_and_reproducible():
+    trace = zipf_mixed_trace(800, seed=5)
+    assert len(trace) == 800
+    assert trace == zipf_mixed_trace(800, seed=5)
+    assert trace != zipf_mixed_trace(800, seed=6)
+    kinds = Counter(operation.kind for operation in trace)
+    assert kinds[OperationKind.INSERT] > 0
+    assert kinds[OperationKind.SEARCH] > 0
+    assert kinds[OperationKind.DELETE] > 0
+
+
+def test_zipf_mixed_touches_only_live_keys():
+    live = set()
+    for operation in zipf_mixed_trace(600, seed=8):
+        if operation.kind is OperationKind.INSERT:
+            assert operation.key not in live
+            live.add(operation.key)
+        elif operation.kind is OperationKind.DELETE:
+            assert operation.key in live
+            live.remove(operation.key)
+        else:
+            assert operation.key in live
+
+
+def test_zipf_mixed_searches_are_skewed():
+    trace = zipf_mixed_trace(2_000, skew=1.4, seed=9)
+    searches = Counter(operation.key for operation in trace
+                       if operation.kind is OperationKind.SEARCH)
+    total = sum(searches.values())
+    hottest = sum(count for _key, count in searches.most_common(10))
+    # The ten hottest keys soak up far more than a uniform share.
+    assert hottest > 0.25 * total
+
+
+def test_zipf_mixed_replays_against_a_dictionary():
+    structure = HistoryIndependentCOBTree(seed=1)
+    trace = zipf_mixed_trace(400, seed=10)
+    apply_to_dictionary(structure, trace)
+    structure.check()
+    assert sorted(structure) == live_keys_of(trace)
+
+
+def test_zipf_mixed_accepts_zero_count():
+    assert zipf_mixed_trace(0, seed=1) == []
+
+
+def test_zipf_mixed_rejects_bad_parameters():
+    with pytest.raises(ConfigurationError):
+        zipf_mixed_trace(-1)
+    with pytest.raises(ConfigurationError):
+        zipf_mixed_trace(100, skew=-0.5)
+    with pytest.raises(ConfigurationError):
+        zipf_mixed_trace(100, search_fraction=0.8, delete_fraction=0.3)
+    with pytest.raises(ConfigurationError):
+        zipf_mixed_trace(100, preload=200)
 
 
 # --------------------------------------------------------------------------- #
