@@ -1,0 +1,208 @@
+#!/usr/bin/env python
+"""Deterministic benchmark baseline: emit and gate ``BENCH_smoke.json``.
+
+The CI perf gate needs numbers that are *exactly* reproducible across
+machines, otherwise a 25% threshold is noise-gating wall clock.  Every
+metric here is therefore a seeded I/O or migration count — pure functions
+of the workload seed and structure seeds, independent of host speed — and
+wall-clock time is recorded in the metadata for information only.
+
+Two subcommands::
+
+    python benchmarks/baseline.py run --output BENCH_smoke.json
+    python benchmarks/baseline.py compare BASELINE.json CURRENT.json \
+        [--tolerance 0.25]
+
+``run`` builds each gated structure from a Zipf-skewed mixed workload and a
+sharded store from the elastic churn workload, recording build I/Os,
+cold-cache search I/Os, range fan-out I/Os and resharding migration volume.
+``compare`` exits non-zero when any current metric regresses past the
+tolerance (default +25%) over the committed baseline — or when a metric
+disappeared, or the two files were collected at different workload scales.
+Improvements beyond the tolerance are reported as a hint to refresh the
+committed baseline.  The committed baseline is generated in smoke mode::
+
+    REPRO_BENCH_SMOKE=1 python benchmarks/baseline.py run \
+        --output benchmarks/BENCH_smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Dict, Tuple
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                    "src")
+if _SRC not in sys.path:  # keep `python benchmarks/baseline.py` PYTHONPATH-free
+    sys.path.insert(0, _SRC)
+
+from _harness import scaled, smoke_mode  # noqa: E402
+
+#: Structures gated by the baseline (one per accounting style plus the
+#: strongly-HI treap family).
+GATED_STRUCTURES = ("b-tree", "hi-skiplist", "b-treap", "hi-pma")
+BLOCK_SIZE = 32
+CACHE_BLOCKS = 4
+WORKLOAD_SEED = 0
+STRUCTURE_SEED = 1
+SHARDS = 4
+
+
+def collect_metrics() -> Tuple[Dict[str, int], Dict[str, object]]:
+    """All gated metrics (deterministic ints) plus informational metadata."""
+    from repro.api import DictionaryEngine, make_sharded_engine
+    from repro.workloads import elastic_churn_trace, zipf_mixed_trace
+
+    operations = scaled(4_000)
+    started = time.time()
+    metrics: Dict[str, int] = {}
+
+    trace = zipf_mixed_trace(operations, skew=1.2, seed=WORKLOAD_SEED)
+    for name in GATED_STRUCTURES:
+        engine = DictionaryEngine.create(name, block_size=BLOCK_SIZE,
+                                         cache_blocks=CACHE_BLOCKS,
+                                         seed=STRUCTURE_SEED)
+        engine.build_from_trace(trace)
+        metrics["build_ios.%s" % name] = engine.io_stats().total_ios
+        keys = list(engine)
+        probes = keys[::max(1, len(keys) // 64)]
+        metrics["search_ios.%s" % name] = sum(engine.search_io_cost(key)
+                                              for key in probes)
+        if keys:
+            low = keys[len(keys) // 4]
+            high = keys[(3 * len(keys)) // 4]
+            _pairs, range_ios = engine.range_io_cost(low, high)
+            metrics["range_ios.%s" % name] = int(range_ios)
+
+    churn = elastic_churn_trace(operations, phases=2, seed=WORKLOAD_SEED)
+    for router in ("modulo", "consistent"):
+        engine = make_sharded_engine("b-tree", shards=SHARDS,
+                                     block_size=BLOCK_SIZE,
+                                     seed=STRUCTURE_SEED, router=router)
+        engine.build_from_trace(churn)
+        metrics["sharded_build_ios.%s" % router] = engine.io_stats().total_ios
+        report = engine.add_shard()
+        metrics["migration_moved.%s_add" % router] = report.moved_keys
+        metrics["migration_total.%s_add" % router] = report.total_keys
+
+    meta = {
+        "operations": operations,
+        "smoke": smoke_mode(),
+        "seconds": round(time.time() - started, 3),
+        "python": platform.python_version(),
+    }
+    return metrics, meta
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    metrics, meta = collect_metrics()
+    payload = {"meta": meta, "metrics": metrics}
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if args.output in (None, "-"):
+        print(text)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print("wrote %s (%d metrics, %d ops, %.1fs)"
+              % (args.output, len(metrics), meta["operations"],
+                 meta["seconds"]))
+    return 0
+
+
+def _load(path: str) -> Dict[str, object]:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as error:
+        print("error: cannot read %s: %s" % (path, error), file=sys.stderr)
+        raise SystemExit(2)
+    if not isinstance(payload.get("metrics"), dict):
+        print("error: %s has no metrics mapping" % path, file=sys.stderr)
+        raise SystemExit(2)
+    return payload
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    baseline = _load(args.baseline)
+    current = _load(args.current)
+    base_meta = baseline.get("meta", {})
+    cur_meta = current.get("meta", {})
+    failures = []
+    improvements = []
+    if base_meta.get("operations") != cur_meta.get("operations"):
+        # Per-metric comparison at different scales would report every
+        # metric as a fake regression (or improvement) and bury the one
+        # real cause, so stop here.
+        print("FAIL: workload scale mismatch: baseline ran %r operations, "
+              "current %r — regenerate the baseline at the same scale "
+              "(REPRO_BENCH_SMOKE / REPRO_BENCH_SMOKE_CAP)"
+              % (base_meta.get("operations"), cur_meta.get("operations")),
+              file=sys.stderr)
+        return 1
+    base_metrics = baseline["metrics"]
+    cur_metrics = current["metrics"]
+    for name in sorted(base_metrics):
+        if name not in cur_metrics:
+            failures.append("metric %s disappeared from the current run"
+                            % name)
+            continue
+        base_value = base_metrics[name]
+        cur_value = cur_metrics[name]
+        limit = base_value * (1.0 + args.tolerance)
+        marker = " "
+        if cur_value > limit:
+            failures.append(
+                "%s regressed: %s -> %s (limit %.1f, +%.0f%%)"
+                % (name, base_value, cur_value, limit,
+                   100.0 * (cur_value - base_value) / base_value
+                   if base_value else float("inf")))
+            marker = "✗"
+        elif base_value and cur_value < base_value * (1.0 - args.tolerance):
+            improvements.append(name)
+            marker = "✓"
+        print("%s %-36s baseline %8s  current %8s"
+              % (marker, name, base_value, cur_value))
+    for name in sorted(set(cur_metrics) - set(base_metrics)):
+        print("  %-36s (new metric, not gated: %s)"
+              % (name, cur_metrics[name]))
+    if improvements:
+        print("note: %d metric(s) improved past the tolerance (%s); "
+              "consider refreshing the committed baseline"
+              % (len(improvements), ", ".join(improvements)))
+    if failures:
+        print("\nFAIL: %d regression(s) beyond %.0f%%:"
+              % (len(failures), 100 * args.tolerance), file=sys.stderr)
+        for failure in failures:
+            print("  - %s" % failure, file=sys.stderr)
+        return 1
+    print("OK: no metric regressed beyond %.0f%%" % (100 * args.tolerance))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="emit / gate the deterministic benchmark baseline")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    run = subparsers.add_parser("run", help="collect metrics and emit JSON")
+    run.add_argument("--output", default=None,
+                     help="file to write (default: stdout)")
+    compare = subparsers.add_parser(
+        "compare", help="gate a current run against a committed baseline")
+    compare.add_argument("baseline")
+    compare.add_argument("current")
+    compare.add_argument("--tolerance", type=float, default=0.25,
+                         help="allowed relative regression (default 0.25)")
+    args = parser.parse_args(argv)
+    if args.command == "run":
+        return cmd_run(args)
+    return cmd_compare(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,7 +14,6 @@ the same sequence.
 
 from __future__ import annotations
 
-import random
 
 from repro.analysis.reporting import format_table, write_results
 from repro.core.sizing import WHIDynamicArray

@@ -32,7 +32,7 @@ import random
 from repro import ClassicPMA, HistoryIndependentPMA
 from repro.history.forensics import detect_density_anomaly, redaction_signal
 from repro.storage import image_of, snapshot_structure
-from repro.workloads import apply_to_ranked, batch_redaction_trace, sliding_window_trace
+from repro.workloads import apply_to_ranked, sliding_window_trace
 
 
 def ingest_and_redact(structure, seed: int = 2016):

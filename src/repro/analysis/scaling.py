@@ -101,7 +101,9 @@ def registry_io_series(names: Sequence[str],
                        seed: RandomLike = None,
                        structure_seed: RandomLike = 1,
                        structure_params: Optional[Dict[str, Dict]] = None,
-                       shards: int = 0) -> List[IOScalingSample]:
+                       shards: int = 0,
+                       router: str = "modulo",
+                       vnodes: Optional[int] = None) -> List[IOScalingSample]:
     """Measure I/O costs for registry-named structures through one stats path.
 
     The registry-aware counterpart of :func:`dictionary_io_series`: each name
@@ -110,9 +112,17 @@ def registry_io_series(names: Sequence[str],
     keyword arguments (e.g. ``{"hi-skiplist": {"epsilon": 0.2}}``).  With
     ``shards > 0`` every name is measured behind the hash-partitioned sharded
     engine instead (``shards`` backends of that structure, labelled
-    ``sharded[N]:name``), with ``structure_params`` forwarded to each shard.
+    ``sharded[N]:name``), with ``structure_params`` forwarded to each shard;
+    ``router`` / ``vnodes`` pick the routing strategy (consistent-hash
+    engines are labelled ``sharded[N@router]:name`` so both routings can sit
+    in one series).
     """
     from repro.api.engine import DictionaryEngine
+
+    if shards <= 0 and (router != "modulo" or vnodes is not None):
+        from repro.errors import ConfigurationError
+        raise ConfigurationError(
+            "router/vnodes only apply to sharded series; pass shards > 0")
 
     def make_engines() -> List[Tuple[str, DictionaryEngine]]:
         engines = []
@@ -122,8 +132,11 @@ def registry_io_series(names: Sequence[str],
                 engine = DictionaryEngine.create(
                     "sharded", block_size=block_size,
                     cache_blocks=cache_blocks, seed=structure_seed,
-                    shards=shards, inner=name, inner_params=extra)
-                label = "sharded[%d]:%s" % (shards, name)
+                    shards=shards, inner=name, inner_params=extra,
+                    router=router, vnodes=vnodes)
+                label = "sharded[%d]:%s" % (shards, name) \
+                    if router == "modulo" \
+                    else "sharded[%d@%s]:%s" % (shards, router, name)
             else:
                 engine = DictionaryEngine.create(name, block_size=block_size,
                                                  cache_blocks=cache_blocks,

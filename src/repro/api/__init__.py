@@ -34,7 +34,16 @@ from repro.api.registry import (
     registry_names,
     resolve,
 )
+from repro.api.routing import (
+    ConsistentHashRouter,
+    ModuloRouter,
+    Router,
+    hash_key,
+    make_router,
+)
 from repro.api.sharded import (
+    MigrationReport,
+    ParallelShardedDictionaryEngine,
     ShardedDictionary,
     ShardedDictionaryEngine,
     make_sharded_engine,
@@ -46,13 +55,20 @@ __all__ = [
     "RankKeyedDictionary",
     "DictionaryEngine",
     "DictionaryConfig",
+    "ConsistentHashRouter",
+    "MigrationReport",
+    "ModuloRouter",
+    "ParallelShardedDictionaryEngine",
+    "Router",
     "ShardedDictionary",
     "ShardedDictionaryEngine",
     "StructureInfo",
     "audit_fingerprint_of",
     "get_info",
+    "hash_key",
     "make_dictionary",
     "make_raw_structure",
+    "make_router",
     "make_sharded_engine",
     "register",
     "registry_names",

@@ -366,6 +366,7 @@ def _ensure_builtin() -> None:
     register(
         "sharded",
         ShardedDictionary.from_config,
-        extra_params=("shards", "inner", "inner_params"),
-        summary="hash-partitioned router over N independent registry backends",
+        extra_params=("shards", "inner", "inner_params", "router", "vnodes"),
+        summary="hash-partitioned router over N independent registry "
+                "backends (modulo or consistent-hash routing)",
         history_independent=True)

@@ -1,0 +1,244 @@
+"""Pluggable shard routers: modulo hashing and consistent hashing.
+
+PR 2's sharded dictionary routed with one fixed function (``hash % shards``),
+which is perfect for a static deployment and catastrophic for an elastic one:
+changing the shard count remaps almost every key, so a resize is a full
+rebuild.  This module makes routing a *strategy*:
+
+* :class:`ModuloRouter` — the original routing, bit-for-bit: a splitmix64 /
+  CRC-32 mix of the key reduced modulo the shard count.  Cheapest possible
+  lookup; a resize moves ``1 - 1/lcm(n, n+1)``-ish of the keys (nearly all).
+* :class:`ConsistentHashRouter` — a hash ring with ``vnodes`` virtual nodes
+  per shard.  Every shard owns the arcs that precede its virtual nodes; a key
+  routes to the owner of the first virtual node at or after the key's ring
+  position.  Adding a shard only claims the arcs its new virtual nodes carve
+  out, so an ``n → n+1`` resize moves ``≈ keys/(n+1)`` keys and *only* onto
+  the new shard; removing a shard moves only that shard's keys.
+
+Both routers are pure functions of ``(key, shard ids)`` — no process-salted
+``hash()``, no internal mutability observable from routing — so a sharded
+dictionary over history-independent shards stays history independent, and
+snapshot/restore keeps every key on the shard its image came from.
+
+Routers route over *stable shard ids*, not bare positions: when shard 1 of
+``[0, 1, 2]`` is removed, shards 2's virtual nodes (keyed by the id ``2``)
+stay exactly where they were, which is what limits migration to the removed
+shard's keys.  :class:`ModuloRouter` ignores the ids (it only sees the count),
+which is precisely why it cannot resize cheaply.
+"""
+
+from __future__ import annotations
+
+import bisect
+import zlib
+from abc import ABC, abstractmethod
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+_MASK64 = (1 << 64) - 1
+
+#: Default number of virtual nodes per shard for consistent hashing.  Enough
+#: to keep the per-shard arc share within a few percent of 1/n for small n
+#: without making ring rebuilds noticeable.
+DEFAULT_VNODES = 64
+
+#: Router names accepted by the ``sharded`` registry entry's ``router`` extra.
+ROUTER_NAMES = ("modulo", "consistent")
+
+
+def _mix64(value: int) -> int:
+    """splitmix64-style avalanche of a 64-bit integer."""
+    value &= _MASK64
+    value = (value * 0x9E3779B97F4A7C15) & _MASK64
+    value ^= value >> 29
+    value = (value * 0xBF58476D1CE4E5B9) & _MASK64
+    value ^= value >> 32
+    return value
+
+
+def hash_key(key: object) -> int:
+    """A fixed, process-independent 64-bit hash of a dictionary key.
+
+    Integers go through a splitmix64-style avalanche (consecutive keys land
+    far apart); everything else is hashed by CRC-32 of its ``repr``.
+    Python's built-in ``hash`` is deliberately avoided: it is salted per
+    process for strings, which would break cross-run routing determinism and
+    with it snapshot/restore.
+
+    Keys that compare equal must hash identically (``True == 1``,
+    ``2.0 == 2``), so bools and integer-valued floats are normalised to the
+    integer they equal before mixing — mirroring how the inner structures'
+    ordered key comparisons already treat them as the same key.
+    """
+    if isinstance(key, (bool, int)) or \
+            (isinstance(key, float) and key.is_integer()):
+        return _mix64(int(key))
+    return zlib.crc32(repr(key).encode("utf-8"))
+
+
+class Router(ABC):
+    """Strategy mapping a key to a position in the current shard list.
+
+    ``shard_ids`` is the sequence of *stable* shard identifiers, one per
+    shard position; :meth:`route` returns a position index into it.  Ids are
+    assigned by :class:`~repro.api.sharded.ShardedDictionary` (``0..n-1`` at
+    construction, fresh ids for shards added later) and survive removals, so
+    ring-based routers keep their virtual nodes pinned across resizes.
+    """
+
+    #: Registry-style name (``"modulo"`` / ``"consistent"``).
+    name: str = ""
+
+    @abstractmethod
+    def route(self, key: object, shard_ids: Sequence[int]) -> int:
+        """The position (index into ``shard_ids``) ``key`` routes to."""
+
+    def spec(self) -> Dict[str, object]:
+        """JSON-serialisable description, consumed by :func:`make_router`.
+
+        Snapshot manifests persist this so a restore routes exactly like the
+        engine the images were written from.
+        """
+        return {"name": self.name}
+
+    def __repr__(self) -> str:
+        return "%s()" % type(self).__name__
+
+
+class ModuloRouter(Router):
+    """The PR 2 routing, unchanged: mixed key hash modulo shard count.
+
+    Ignores the stable shard ids — it only sees how many shards there are —
+    so any resize reshuffles nearly every key.  Kept as the default for
+    backward compatibility (existing snapshots and tests route identically)
+    and as the baseline the resharding bench compares against.
+    """
+
+    name = "modulo"
+
+    def route(self, key: object, shard_ids: Sequence[int]) -> int:
+        num_shards = len(shard_ids)
+        if num_shards < 1:
+            raise ConfigurationError("cannot route over an empty shard list")
+        return hash_key(key) % num_shards
+
+
+class ConsistentHashRouter(Router):
+    """Hash-ring routing with ``vnodes`` virtual nodes per shard.
+
+    Each shard id owns ``vnodes`` pseudo-random ring positions (a pure
+    function of ``(id, replica)``, independent of how many shards exist).  A
+    key routes to the shard owning the first virtual node at or after
+    ``hash_key(key)`` on the 64-bit ring, wrapping at the top.
+
+    Rings are cached per shard-id tuple, so steady-state routing is one
+    binary search; a resize costs one ring rebuild (``O(n · vnodes log)``).
+    """
+
+    name = "consistent"
+
+    def __init__(self, vnodes: int = DEFAULT_VNODES) -> None:
+        if not isinstance(vnodes, int) or isinstance(vnodes, bool) \
+                or vnodes < 1:
+            raise ConfigurationError(
+                "vnodes must be an integer >= 1, got %r" % (vnodes,))
+        self.vnodes = vnodes
+        self._rings: Dict[Tuple[int, ...],
+                          Tuple[List[int], List[int]]] = {}
+
+    def _vnode_position(self, shard_id: int, replica: int) -> int:
+        # Independent of the shard *count*: the ring position of a virtual
+        # node never moves once its shard exists, which is the whole trick.
+        return _mix64(((shard_id & 0xFFFFFFFF) << 32)
+                      ^ _mix64(replica) ^ 0xE7F1DEAD5C0FFEE5)
+
+    #: Rings kept cached per shard-id tuple; a long-lived elastic store only
+    #: ever routes over its current tuple (plus the previous one during a
+    #: migration), so anything beyond a few is dead weight.
+    MAX_CACHED_RINGS = 8
+
+    def _ring(self, shard_ids: Tuple[int, ...]) -> Tuple[List[int], List[int]]:
+        cached = self._rings.get(shard_ids)
+        if cached is not None:
+            return cached
+        if len(set(shard_ids)) != len(shard_ids):
+            raise ConfigurationError(
+                "shard ids must be unique, got %r" % (shard_ids,))
+        points = []
+        for position_index, shard_id in enumerate(shard_ids):
+            for replica in range(self.vnodes):
+                # Ties broken by shard id so the ring order is deterministic
+                # even in the (astronomically unlikely) position collision.
+                points.append((self._vnode_position(shard_id, replica),
+                               shard_id, position_index))
+        points.sort()
+        ring = ([position for position, _shard, _index in points],
+                [index for _position, _shard, index in points])
+        while len(self._rings) >= self.MAX_CACHED_RINGS:
+            self._rings.pop(next(iter(self._rings)))  # oldest insertion first
+        self._rings[shard_ids] = ring
+        return ring
+
+    def route(self, key: object, shard_ids: Sequence[int]) -> int:
+        if len(shard_ids) < 1:
+            raise ConfigurationError("cannot route over an empty shard list")
+        positions, owners = self._ring(tuple(shard_ids))
+        # Re-avalanche the key hash onto the full 64-bit ring: non-integer
+        # keys hash to a 32-bit CRC, which would otherwise sit below
+        # essentially every vnode position and collapse onto one shard.
+        index = bisect.bisect_left(positions, _mix64(hash_key(key)))
+        if index == len(positions):  # wrap past the top of the ring
+            index = 0
+        return owners[index]
+
+    def spec(self) -> Dict[str, object]:
+        return {"name": self.name, "vnodes": self.vnodes}
+
+    def __repr__(self) -> str:
+        return "ConsistentHashRouter(vnodes=%d)" % self.vnodes
+
+
+def make_router(router: object = "modulo", *,
+                vnodes: object = None) -> Router:
+    """Build a router from a name, a spec mapping, or a :class:`Router`.
+
+    ``router`` may be one of :data:`ROUTER_NAMES`, a mapping with a ``name``
+    key (the :meth:`Router.spec` form snapshot manifests persist), or an
+    already-built :class:`Router` (returned as-is; combining it with an
+    explicit ``vnodes`` is rejected as ambiguous).  ``vnodes`` only applies
+    to consistent hashing.
+    """
+    if isinstance(router, Router):
+        if vnodes is not None:
+            raise ConfigurationError(
+                "vnodes cannot be combined with an already-built router; "
+                "construct ConsistentHashRouter(vnodes=...) directly")
+        return router
+    if isinstance(router, dict):
+        spec = dict(router)
+        name = spec.pop("name", None)
+        spec_vnodes = spec.pop("vnodes", None)
+        if vnodes is None:
+            vnodes = spec_vnodes
+        elif spec_vnodes is not None:
+            raise ConfigurationError(
+                "vnodes given twice: %r in the router spec and %r as an "
+                "argument" % (spec_vnodes, vnodes))
+        if spec:
+            raise ConfigurationError(
+                "unknown router spec key(s): %s"
+                % ", ".join(sorted(map(str, spec))))
+        router = name
+    if not isinstance(router, str) or router not in ROUTER_NAMES:
+        raise ConfigurationError(
+            "router must be one of %s, got %r"
+            % (", ".join(ROUTER_NAMES), router))
+    if router == "consistent":
+        return ConsistentHashRouter(
+            vnodes=DEFAULT_VNODES if vnodes is None else vnodes)
+    if vnodes is not None:
+        raise ConfigurationError(
+            "vnodes only applies to the consistent-hash router, "
+            "not %r" % (router,))
+    return ModuloRouter()

@@ -42,12 +42,14 @@ from __future__ import annotations
 import heapq
 import json
 import os
-import zlib
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro._rng import RandomLike, make_rng
 from repro.api.engine import DictionaryEngine
 from repro.api.protocol import HIDictionary, Pair
+from repro.api.routing import Router, hash_key, make_router
 from repro.errors import ConfigurationError
 from repro.memory.stats import IOStats
 
@@ -57,44 +59,66 @@ DEFAULT_SHARDS = 4
 #: dictionary keeps the paper's property).
 DEFAULT_INNER = "hi-skiplist"
 
-_MASK64 = (1 << 64) - 1
-
 
 def shard_index(key: object, num_shards: int) -> int:
-    """The shard ``key`` routes to — a fixed, process-independent function.
+    """The shard ``key`` modulo-routes to — a fixed, process-independent map.
 
-    Integers go through a splitmix64-style avalanche (consecutive keys land
-    on different shards); everything else is hashed by CRC-32 of its ``repr``.
-    Python's built-in ``hash`` is deliberately avoided: it is salted per
-    process for strings, which would break cross-run routing determinism and
-    with it snapshot/restore.
-
-    Keys that compare equal must route identically (``True == 1``,
-    ``2.0 == 2``), so bools and integer-valued floats are normalised to the
-    integer they equal before mixing — mirroring how the inner structures'
-    ordered key comparisons already treat them as the same key.
+    Kept as the module-level convenience the PR 2 consumers import; it is
+    exactly what :class:`~repro.api.routing.ModuloRouter` computes (see
+    :func:`~repro.api.routing.hash_key` for the mixing function and the
+    equal-keys-route-identically contract).
     """
     if num_shards < 1:
         raise ConfigurationError("num_shards must be at least 1, got %r"
                                  % (num_shards,))
-    if isinstance(key, (bool, int)) or \
-            (isinstance(key, float) and key.is_integer()):
-        mixed = (int(key) * 0x9E3779B97F4A7C15) & _MASK64
-        mixed ^= mixed >> 29
-        mixed = (mixed * 0xBF58476D1CE4E5B9) & _MASK64
-        mixed ^= mixed >> 32
-    else:
-        mixed = zlib.crc32(repr(key).encode("utf-8"))
-    return mixed % num_shards
+    return hash_key(key) % num_shards
 
 
-def _validated_shard_spec(extra: Mapping[str, object]) -> Tuple[int, List[str], Dict[str, object]]:
-    """Validate the ``shards`` / ``inner`` / ``inner_params`` extras.
+@dataclass(frozen=True)
+class MigrationReport:
+    """What one :meth:`ShardedDictionary.add_shard` / ``remove_shard`` moved.
 
-    Returns ``(num_shards, inner_names, inner_params)`` with ``inner_names``
-    expanded to one canonical registry name per shard.  Every invalid
-    combination — zero shards, an unknown inner structure, a nested sharded
-    inner, a per-shard list of the wrong length — raises
+    ``moved_keys`` counts keys that changed shard (for a shard removal this
+    includes everything the departing shard held); ``moved_per_source`` /
+    ``received_per_target`` break the flow down by *new* shard position.
+    Because the vectors are indexed by new position, a removed shard's
+    outflow appears only in ``moved_keys`` and ``received_per_target`` —
+    the departing shard has no new position, so on a ``remove_shard`` the
+    per-source vector covers the survivors alone and
+    ``sum(moved_per_source)`` can be less than ``moved_keys``.
+    ``ideal_fraction`` is the consistent-hashing prediction — ``1/n_new``
+    of the keys on a grow, ``1/n_old`` on a shrink — against which the
+    resharding bench and the acceptance tests compare ``moved_fraction``.
+    """
+
+    old_shards: int
+    new_shards: int
+    router: str
+    total_keys: int
+    moved_keys: int
+    moved_per_source: Tuple[int, ...] = field(default=())
+    received_per_target: Tuple[int, ...] = field(default=())
+
+    @property
+    def moved_fraction(self) -> float:
+        """Fraction of the key population that changed shard."""
+        return self.moved_keys / self.total_keys if self.total_keys else 0.0
+
+    @property
+    def ideal_fraction(self) -> float:
+        """What consistent hashing predicts the resize should move."""
+        return 1.0 / max(self.old_shards, self.new_shards)
+
+
+def _validated_shard_spec(extra: Mapping[str, object]
+                          ) -> Tuple[int, List[str], Dict[str, object], Router]:
+    """Validate the ``shards``/``inner``/``inner_params``/``router`` extras.
+
+    Returns ``(num_shards, inner_names, inner_params, router)`` with
+    ``inner_names`` expanded to one canonical registry name per shard.  Every
+    invalid combination — zero shards, an unknown inner structure, a nested
+    sharded inner, a per-shard list of the wrong length, an unknown router,
+    non-positive vnodes — raises
     :class:`~repro.errors.ConfigurationError`, never ``KeyError`` or
     ``AttributeError``.
     """
@@ -140,7 +164,29 @@ def _validated_shard_spec(extra: Mapping[str, object]) -> Tuple[int, List[str], 
         raise ConfigurationError(
             "inner_params must be a mapping of structure-specific parameters "
             "applied to every shard, got %r" % (inner_params,))
-    return num_shards, resolved, inner_params
+    router = make_router(extra.get("router", "modulo"),
+                         vnodes=extra.get("vnodes", None))
+    return num_shards, resolved, inner_params, router
+
+
+def _validated_shard_ids(shard_ids: Sequence[int],
+                         num_shards: int) -> List[int]:
+    """Distinct non-negative integer ids, one per shard — or a config error.
+
+    Shared by the constructor and :meth:`ShardedDictionary.relabel_shards`
+    so the id contract cannot drift between building and restoring.
+    """
+    validated = list(shard_ids)
+    if len(validated) != num_shards \
+            or len(set(validated)) != len(validated) \
+            or not all(isinstance(shard_id, int)
+                       and not isinstance(shard_id, bool)
+                       and shard_id >= 0
+                       for shard_id in validated):
+        raise ConfigurationError(
+            "shard_ids must be distinct non-negative integers, one per "
+            "shard, got %r" % (shard_ids,))
+    return validated
 
 
 class ShardedDictionary(HIDictionary):
@@ -153,7 +199,9 @@ class ShardedDictionary(HIDictionary):
     """
 
     def __init__(self, shards: Sequence[HIDictionary],
-                 inner_names: Optional[Sequence[str]] = None) -> None:
+                 inner_names: Optional[Sequence[str]] = None,
+                 router: Optional[Router] = None,
+                 shard_ids: Optional[Sequence[int]] = None) -> None:
         shards = list(shards)
         if not shards:
             raise ConfigurationError(
@@ -163,6 +211,19 @@ class ShardedDictionary(HIDictionary):
             inner_names if inner_names is not None
             else [getattr(shard, "registry_name", type(shard).__name__)
                   for shard in shards])
+        self._router: Router = router if router is not None else make_router()
+        if shard_ids is None:
+            shard_ids = range(len(shards))
+        # A tuple so the per-key router cache lookup needs no copy: routers
+        # key their rings on tuple(shard_ids), and tuple() of a tuple is
+        # the same object.  Resizes (rare) rebuild it wholesale.
+        self._shard_ids: Tuple[int, ...] = tuple(
+            _validated_shard_ids(shard_ids, len(shards)))
+        self._next_shard_id: int = max(self._shard_ids) + 1
+        # Populated by from_config so add_shard can build new shards with the
+        # same registry wiring (and the next seed of the same stream) a
+        # bigger fresh build would use; stays None for hand-assembled shards.
+        self._build_context: Optional[Dict[str, object]] = None
 
     @classmethod
     def from_config(cls, config: "DictionaryConfig") -> "ShardedDictionary":
@@ -173,10 +234,17 @@ class ShardedDictionary(HIDictionary):
         stream otherwise) and is built through
         :func:`~repro.api.registry.make_dictionary`, so tracker wiring and
         per-structure validation are identical to an unsharded build.
+
+        The seed stream outlives construction: :meth:`add_shard` draws the
+        *next* seed from it, so a dictionary grown from ``n`` to ``n+1``
+        shards gives its new shard exactly the seed a fresh ``n+1``-shard
+        build would have given shard ``n`` — which is what lets the
+        migration tests demand byte-identical layouts for strongly-HI
+        inners.
         """
         from repro.api.registry import make_dictionary
 
-        num_shards, inner_names, inner_params = _validated_shard_spec(
+        num_shards, inner_names, inner_params, router = _validated_shard_spec(
             config.extra)
         rng = make_rng(config.seed)
         shards = [
@@ -188,7 +256,16 @@ class ShardedDictionary(HIDictionary):
                             **inner_params)
             for name in inner_names
         ]
-        return cls(shards, inner_names=inner_names)
+        sharded = cls(shards, inner_names=inner_names, router=router)
+        sharded._build_context = {
+            "block_size": config.block_size,
+            "cache_blocks": config.cache_blocks,
+            "backend": config.backend,
+            "inner_params": dict(inner_params),
+            "seed": config.seed,
+            "rng": rng,
+        }
+        return sharded
 
     # ------------------------------------------------------------------ #
     # Routing
@@ -203,12 +280,233 @@ class ShardedDictionary(HIDictionary):
     def num_shards(self) -> int:
         return len(self._shards)
 
+    @property
+    def router(self) -> Router:
+        """The routing strategy (modulo by default)."""
+        return self._router
+
+    @property
+    def shard_ids(self) -> Tuple[int, ...]:
+        """Stable per-shard identifiers the ring routers pin vnodes to."""
+        return self._shard_ids
+
     def shard_of(self, key: object) -> int:
         """The shard index ``key`` routes to."""
-        return shard_index(key, len(self._shards))
+        return self._router.route(key, self._shard_ids)
 
     def _shard_for(self, key: object) -> HIDictionary:
         return self._shards[self.shard_of(key)]
+
+    # ------------------------------------------------------------------ #
+    # Elastic resizing
+    # ------------------------------------------------------------------ #
+
+    def _migrate(self, new_ids: Sequence[int],
+                 new_position_of: Dict[int, int],
+                 leaving: Optional[int] = None) -> Tuple[int, List[int], List[int]]:
+        """Move every key whose new routing disagrees with where it lives.
+
+        ``new_position_of`` maps an old shard position to its position in the
+        shard list *after* the resize (``leaving``, if given, is the old
+        position being removed and must not appear in it).  Keys are
+        re-inserted into their target shards in ascending key order — the
+        canonical rebuild order — so weakly-HI inners receive the same
+        insertion pattern a fresh build of their final key set would, and
+        strongly-HI inners end in their (unique) canonical state.
+
+        The plan (which keys move where, values included) is computed with
+        pure reads before any shard is touched, and the mutation phase keeps
+        an undo log: if an inner structure fails mid-migration, every delete
+        is re-inserted and every insert deleted again, so the dictionary is
+        back in its pre-resize state when the error propagates.
+
+        Returns ``(moved, moved_per_source, received_per_target)`` with the
+        per-shard vectors indexed by *new* position.
+        """
+        departing = self._shards[leaving] if leaving is not None else None
+        moves: List[Tuple[object, object, HIDictionary, int]] = []
+        moved_per_source = [0] * len(new_ids)
+        for position, shard in enumerate(self._shards):
+            if position == leaving:
+                for key, value in shard.items():
+                    moves.append((key, value, shard,
+                                  self._router.route(key, new_ids)))
+                continue
+            new_position = new_position_of[position]
+            for key, value in shard.items():
+                target = self._router.route(key, new_ids)
+                if target != new_position:
+                    moves.append((key, value, shard, target))
+                    moved_per_source[new_position] += 1
+        received_per_target = [0] * len(new_ids)
+        new_shards = [shard for position, shard in enumerate(self._shards)
+                      if position != leaving]
+        # Canonical order: deletions drain sources smallest-key first, then
+        # insertions refill targets smallest-key first — both passes are pure
+        # functions of the key sets involved, never of arrival order.  (The
+        # departing shard is dropped wholesale, so its keys are not deleted
+        # one by one.)
+        moves.sort(key=lambda move: move[0])
+        deleted: List[Tuple[HIDictionary, object, object]] = []
+        inserted: List[Tuple[HIDictionary, object]] = []
+        try:
+            for key, value, source, _target in moves:
+                if source is not departing:
+                    source.delete(key)
+                    deleted.append((source, key, value))
+            for key, value, _source, target in moves:
+                new_shards[target].insert(key, value)
+                inserted.append((new_shards[target], key))
+                received_per_target[target] += 1
+        except Exception:
+            for shard, key in reversed(inserted):
+                shard.delete(key)
+            for shard, key, value in reversed(deleted):
+                shard.insert(key, value)
+            raise
+        return len(moves), moved_per_source, received_per_target
+
+    def add_shard(self, shard: Optional[HIDictionary] = None,
+                  inner: Optional[str] = None) -> MigrationReport:
+        """Grow by one shard, migrating only the keys that re-route to it.
+
+        With no arguments the new shard is built exactly like the existing
+        ones (same registry wiring, the next seed of the construction seed
+        stream); pass ``inner`` to grow with a different registry structure,
+        or a pre-built ``shard`` when the dictionary was assembled by hand.
+        Under consistent hashing the migration touches ``≈ n/(shards+1)``
+        keys, all flowing to the new shard; under modulo routing nearly every
+        key moves (which is why the modulo router cannot scale elastically).
+        """
+        if shard is not None and inner is not None:
+            raise ConfigurationError(
+                "pass either a pre-built shard or an inner name, not both")
+        rng_state = None
+        if shard is None:
+            context = self._build_context
+            if context is None:
+                raise ConfigurationError(
+                    "this sharded dictionary was assembled from pre-built "
+                    "shards; add_shard needs an explicit shard object")
+            from repro.api.registry import make_dictionary, resolve
+
+            if inner is None:
+                inner_name = self.inner_names[-1]
+            else:
+                inner_name = resolve(inner)
+                if inner_name == "sharded":
+                    raise ConfigurationError(
+                        "sharded dictionaries cannot nest: inner structure "
+                        "must not be 'sharded'")
+            rng_state = context["rng"].getstate()
+            try:
+                shard = make_dictionary(inner_name,
+                                        block_size=context["block_size"],
+                                        cache_blocks=context["cache_blocks"],
+                                        seed=context["rng"].getrandbits(64),
+                                        backend=context["backend"],
+                                        **context["inner_params"])
+            except Exception:
+                # The seed draw must not outlive a failed build (e.g. stored
+                # inner_params invalid for a different inner): a later grow
+                # still has to match a fresh build seed for seed.
+                context["rng"].setstate(rng_state)
+                raise
+        else:
+            inner_name = getattr(shard, "registry_name",
+                                 type(shard).__name__)
+        if len(shard) != 0:
+            raise ConfigurationError(
+                "a shard added during rebalancing must start empty; "
+                "got one holding %d key(s)" % (len(shard),))
+        old_shards = len(self._shards)
+        old_ids = self._shard_ids
+        new_ids = old_ids + (self._next_shard_id,)
+        new_position_of = {position: position
+                           for position in range(old_shards + 1)}
+        total = len(self)
+        # Stage the new shard before migrating so routing targets (including
+        # the new last position) resolve against the final shard list.
+        self._shards.append(shard)
+        self.inner_names.append(inner_name)
+        self._shard_ids = new_ids
+        self._next_shard_id += 1
+        try:
+            moved, per_source, per_target = self._migrate(
+                new_ids, new_position_of)
+        except Exception:
+            # Restore *everything* a fresh-build comparison can see: the
+            # shard list, the id counter, and (for registry-built shards)
+            # the construction seed stream — a later successful grow must
+            # be indistinguishable from one with no failed attempt before.
+            self._shards.pop()
+            self.inner_names.pop()
+            self._shard_ids = old_ids
+            self._next_shard_id -= 1
+            if rng_state is not None:
+                self._build_context["rng"].setstate(rng_state)
+            raise
+        return MigrationReport(
+            old_shards=old_shards, new_shards=old_shards + 1,
+            router=self._router.name, total_keys=total, moved_keys=moved,
+            moved_per_source=tuple(per_source),
+            received_per_target=tuple(per_target))
+
+    def remove_shard(self, position: int) -> MigrationReport:
+        """Shrink by one shard, redistributing (at least) its keys.
+
+        ``position`` is the shard index to retire.  Under consistent hashing
+        only the departing shard's keys move (its vnodes vanish, everyone
+        else's arcs are untouched); under modulo routing the whole key
+        population reshuffles.  The surviving shards keep their stable ids,
+        so a later :meth:`add_shard` does not disturb them either.
+        """
+        num_shards = len(self._shards)
+        if num_shards <= 1:
+            raise ConfigurationError(
+                "cannot remove the last shard of a sharded dictionary")
+        if not isinstance(position, int) or isinstance(position, bool) \
+                or not 0 <= position < num_shards:
+            raise ConfigurationError(
+                "shard position must be an integer in [0, %d), got %r"
+                % (num_shards, position))
+        new_ids = tuple(shard_id for index, shard_id
+                        in enumerate(self._shard_ids) if index != position)
+        new_position_of = {
+            old: old - (1 if old > position else 0)
+            for old in range(num_shards) if old != position
+        }
+        total = len(self)
+        moved, per_source, per_target = self._migrate(
+            new_ids, new_position_of, leaving=position)
+        self._shards.pop(position)
+        self.inner_names.pop(position)
+        self._shard_ids = new_ids
+        return MigrationReport(
+            old_shards=num_shards, new_shards=num_shards - 1,
+            router=self._router.name, total_keys=total, moved_keys=moved,
+            moved_per_source=tuple(per_source),
+            received_per_target=tuple(per_target))
+
+    def relabel_shards(self, shard_ids: Sequence[int]) -> None:
+        """Overwrite the stable shard ids (snapshot-restore hook).
+
+        A restore must route exactly like the engine its images came from;
+        when that engine had been resized its ids are no longer ``0..n-1``,
+        so the manifest records them and the restore re-applies them here —
+        always *before* any key is inserted.  Relabeling a populated
+        dictionary would silently strand every live key on a shard its new
+        routing no longer points at, so it is rejected.
+        """
+        if len(self) != 0:
+            raise ConfigurationError(
+                "cannot relabel the shards of a populated dictionary "
+                "(%d keys would be stranded on wrongly-routed shards); "
+                "relabel before inserting, or resize with "
+                "add_shard/remove_shard" % (len(self),))
+        self._shard_ids = tuple(_validated_shard_ids(shard_ids,
+                                                     len(self._shards)))
+        self._next_shard_id = max(self._shard_ids) + 1
 
     # ------------------------------------------------------------------ #
     # Dictionary operations (routed)
@@ -364,24 +662,44 @@ class ShardedDictionaryEngine(DictionaryEngine):
                 % (type(structure).__name__,))
         super().__init__(structure, name=name,
                          sample_operations=sample_operations)
-        self._shard_engines = [
-            DictionaryEngine(shard, name="%s[%d]" % (inner, index))
-            for index, (shard, inner) in enumerate(
-                zip(structure.shards, structure.inner_names))
-        ]
+        self._shard_engine_cache: List[DictionaryEngine] = []
 
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
 
+    def _engines(self) -> List[DictionaryEngine]:
+        """The per-shard engine wrappers, resynced with the structure.
+
+        The wrapped :class:`ShardedDictionary` can be resized behind the
+        engine's back — ``engine.structure.add_shard()`` is public API (and
+        what the elastic workload docs suggest) — so the wrappers are
+        derived from the live shard list on every access instead of being
+        cached at construction; a stale list would mis-size bulk batches
+        and index past the end on routed probes.
+        """
+        structure = self._structure
+        cache = self._shard_engine_cache
+        if len(cache) != structure.num_shards or any(
+                engine.structure is not shard
+                for engine, shard in zip(cache, structure.shards)):
+            self._shard_engine_cache = cache = [
+                self._shard_engine_for(position)
+                for position in range(structure.num_shards)]
+        return cache
+
     @property
     def shard_engines(self) -> Tuple[DictionaryEngine, ...]:
         """One plain engine per shard (for per-shard probes and snapshots)."""
-        return tuple(self._shard_engines)
+        return tuple(self._engines())
 
     @property
     def num_shards(self) -> int:
         return self._structure.num_shards
+
+    @property
+    def router(self) -> Router:
+        return self._structure.router
 
     def shard_sizes(self) -> List[int]:
         return self._structure.shard_sizes()
@@ -391,8 +709,53 @@ class ShardedDictionaryEngine(DictionaryEngine):
         return self._structure.per_shard_io_stats()
 
     # ------------------------------------------------------------------ #
+    # Elastic resizing
+    # ------------------------------------------------------------------ #
+
+    def _shard_engine_for(self, position: int) -> DictionaryEngine:
+        shard = self._structure.shards[position]
+        inner = self._structure.inner_names[position]
+        return DictionaryEngine(shard, name="%s[%d]" % (inner, position))
+
+    def add_shard(self, shard: Optional[HIDictionary] = None,
+                  inner: Optional[str] = None) -> MigrationReport:
+        """Grow by one shard (see :meth:`ShardedDictionary.add_shard`)."""
+        return self._structure.add_shard(shard=shard, inner=inner)
+
+    def remove_shard(self, position: int) -> MigrationReport:
+        """Retire one shard (see :meth:`ShardedDictionary.remove_shard`)."""
+        return self._structure.remove_shard(position)
+
+    # ------------------------------------------------------------------ #
     # Batched bulk operations
     # ------------------------------------------------------------------ #
+
+    def _grouped_entries(self, entries: Iterable[object]
+                         ) -> Tuple[List[List[Pair]], int]:
+        """Shard-grouped ``(key, value)`` batches plus the total entry count.
+
+        The single source of routing truth for both the sequential and the
+        parallel bulk paths: relative input order is preserved within each
+        per-shard batch.
+        """
+        batches: List[List[Pair]] = [[] for _ in self._engines()]
+        count = 0
+        for entry in entries:
+            key, value = self._as_pair(entry)
+            batches[self._structure.shard_of(key)].append((key, value))
+            count += 1
+        return batches, count
+
+    def _grouped_positions(self, keys: Iterable[object]
+                           ) -> Tuple[List[object],
+                                      List[List[Tuple[int, object]]]]:
+        """The key list plus shard-grouped ``(input position, key)`` batches."""
+        keys = list(keys)
+        batches: List[List[Tuple[int, object]]] = \
+            [[] for _ in self._engines()]
+        for position, key in enumerate(keys):
+            batches[self._structure.shard_of(key)].append((position, key))
+        return keys, batches
 
     def insert_many(self, entries: Iterable[object]) -> int:
         """Insert keys or pairs, grouped by shard before dispatch.
@@ -401,13 +764,8 @@ class ShardedDictionaryEngine(DictionaryEngine):
         order preserved within the batch), which is what gives sharding its
         locality win over interleaved routing.  Returns the number inserted.
         """
-        batches: List[List[Pair]] = [[] for _ in self._shard_engines]
-        count = 0
-        for entry in entries:
-            key, value = self._as_pair(entry)
-            batches[self._structure.shard_of(key)].append((key, value))
-            count += 1
-        for engine, batch in zip(self._shard_engines, batches):
+        batches, count = self._grouped_entries(entries)
+        for engine, batch in zip(self._engines(), batches):
             for key, value in batch:
                 with self._operation("insert"):
                     engine.structure.insert(key, value)
@@ -415,12 +773,9 @@ class ShardedDictionaryEngine(DictionaryEngine):
 
     def delete_many(self, keys: Iterable[object]) -> List[object]:
         """Delete keys grouped by shard; values return in the input order."""
-        keys = list(keys)
-        batches: List[List[Tuple[int, object]]] = [[] for _ in self._shard_engines]
-        for position, key in enumerate(keys):
-            batches[self._structure.shard_of(key)].append((position, key))
+        keys, batches = self._grouped_positions(keys)
         values: List[object] = [None] * len(keys)
-        for engine, batch in zip(self._shard_engines, batches):
+        for engine, batch in zip(self._engines(), batches):
             for position, key in batch:
                 with self._operation("delete"):
                     values[position] = engine.structure.delete(key)
@@ -428,12 +783,9 @@ class ShardedDictionaryEngine(DictionaryEngine):
 
     def contains_many(self, keys: Iterable[object]) -> List[bool]:
         """Membership for every key, grouped by shard; input order preserved."""
-        keys = list(keys)
-        batches: List[List[Tuple[int, object]]] = [[] for _ in self._shard_engines]
-        for position, key in enumerate(keys):
-            batches[self._structure.shard_of(key)].append((position, key))
+        keys, batches = self._grouped_positions(keys)
         found: List[bool] = [False] * len(keys)
-        for engine, batch in zip(self._shard_engines, batches):
+        for engine, batch in zip(self._engines(), batches):
             for position, key in batch:
                 with self._operation("contains"):
                     found[position] = engine.structure.contains(key)
@@ -445,24 +797,55 @@ class ShardedDictionaryEngine(DictionaryEngine):
 
     def search_io_cost(self, key: object) -> int:
         """Cold-cache search cost on the single shard that owns ``key``."""
-        return self._shard_engines[self._structure.shard_of(key)] \
+        return self._engines()[self._structure.shard_of(key)] \
             .search_io_cost(key)
+
+    def _require_range_support(self) -> None:
+        """Fail fast — naming the shard — when an inner cannot range-query.
+
+        The fan-out must never silently skip a shard (the merged result
+        would be quietly missing that shard's keys), and a failure halfway
+        through the loop would leave the caller with no idea which inner is
+        at fault; so every shard is checked before any is probed.
+        """
+        for position, engine in enumerate(self._engines()):
+            if not callable(getattr(engine.structure, "range_query", None)):
+                raise ConfigurationError(
+                    "shard %d (%s) does not implement range_query(); the "
+                    "sharded range fan-out cannot skip a shard without "
+                    "returning incomplete results"
+                    % (position, self._structure.inner_names[position]))
+
+    def range_io_cost_breakdown(self, low: object, high: object
+                                ) -> Tuple[List[Pair], List[int]]:
+        """Fan the range out to every shard; merge results, keep the costs.
+
+        Returns the merged sorted pairs plus one cold-cache cost per shard,
+        in shard order — the imbalance view of a fan-out query.  Every shard
+        must support range queries; a shard that does not raises
+        :class:`~repro.errors.ConfigurationError` up front (a skipped shard
+        would silently drop its part of the interval).  Like the base probe,
+        each per-shard measurement is rolled back afterwards.
+        """
+        self._require_range_support()
+        merged: List[List[Pair]] = []
+        costs: List[int] = []
+        for engine in self._engines():
+            pairs, cost = engine.range_io_cost(low, high)
+            merged.append(pairs)
+            costs.append(cost)
+        pairs = list(heapq.merge(*merged, key=lambda pair: pair[0]))
+        return pairs, costs
 
     def range_io_cost(self, low: object, high: object) -> Tuple[List[Pair], int]:
         """Fan the range out to every shard; merge results, sum the costs.
 
         A range query cannot be routed — every shard may own keys inside the
-        interval — so its cost is inherently the sum over shards.  Like the
-        base probe, each per-shard measurement is rolled back afterwards.
+        interval — so its cost is inherently the sum over shards; use
+        :meth:`range_io_cost_breakdown` for the per-shard cost vector.
         """
-        merged: List[List[Pair]] = []
-        total = 0
-        for engine in self._shard_engines:
-            pairs, cost = engine.range_io_cost(low, high)
-            merged.append(pairs)
-            total += cost
-        pairs = list(heapq.merge(*merged, key=lambda pair: pair[0]))
-        return pairs, total
+        pairs, costs = self.range_io_cost_breakdown(low, high)
+        return pairs, sum(costs)
 
     # ------------------------------------------------------------------ #
     # Per-shard snapshots
@@ -482,7 +865,7 @@ class ShardedDictionaryEngine(DictionaryEngine):
         """
         os.makedirs(directory, exist_ok=True)
         shards = []
-        for index, engine in enumerate(self._shard_engines):
+        for index, engine in enumerate(self._engines()):
             file_name = "shard-%04d.img" % index
             _paged, metadata = engine.snapshot(
                 os.path.join(directory, file_name),
@@ -501,8 +884,29 @@ class ShardedDictionaryEngine(DictionaryEngine):
             "structure": self.name,
             "num_shards": self.num_shards,
             "inner": list(self._structure.inner_names),
+            "router": self._structure.router.spec(),
+            "shard_ids": list(self._structure.shard_ids),
             "shards": shards,
         }
+        # Registry-built dictionaries also persist their construction
+        # parameters, so a restore rebuilds shards with the same block size
+        # / cache / structure extras instead of silently drifting to the
+        # defaults (hand-assembled shard lists have no recorded build).
+        context = self._structure._build_context
+        if context is not None:
+            manifest["build"] = {
+                "block_size": context["block_size"],
+                "cache_blocks": context["cache_blocks"],
+                "backend": context["backend"],
+                "inner_params": dict(context["inner_params"]),
+            }
+            # The construction seed makes restores reproducible run-to-run;
+            # a live random.Random (RandomLike) is not serialisable, so only
+            # int / None seeds are recorded.
+            if context["seed"] is None or (isinstance(context["seed"], int)
+                                           and not isinstance(context["seed"],
+                                                              bool)):
+                manifest["build"]["seed"] = context["seed"]
         with open(os.path.join(directory, self.MANIFEST_NAME), "w",
                   encoding="utf-8") as handle:
             json.dump(manifest, handle, indent=2)
@@ -510,20 +914,32 @@ class ShardedDictionaryEngine(DictionaryEngine):
 
     @classmethod
     def restore_shards(cls, directory: str, *,
-                       block_size: int = 64,
-                       cache_blocks: int = 0,
+                       block_size: Optional[int] = None,
+                       cache_blocks: Optional[int] = None,
                        seed: RandomLike = None,
-                       backend: str = "auto",
+                       backend: Optional[str] = None,
                        inner_params: Optional[Mapping[str, object]] = None
                        ) -> "ShardedDictionaryEngine":
         """Rebuild a sharded engine from a :meth:`snapshot_shards` directory.
 
-        Shard count and inner structure names come from the manifest; the
-        recovered records are re-inserted, and routing determinism guarantees
-        every key lands back on the shard its image came from.  Slots that
-        are bare keys (structures whose snapshot persists the physical slot
-        array rather than pairs) restore with a ``None`` value, matching what
-        the single-file snapshot path preserves.
+        Shard count, inner structure names, the router (with its vnodes),
+        the stable shard ids *and the construction parameters* (block size,
+        cache, backend, structure extras, seed — when the snapshotted
+        engine was registry-built) all come from the manifest, so by
+        default the restored engine is configured like the one the images
+        were written from and restores are reproducible run to run; the
+        keyword arguments override manifest values, and fall back to the
+        registry defaults for manifests that predate the ``build`` record.
+        (The physical layouts of structures that consume randomness per
+        operation still reflect the restore's insertion order, not the
+        original operation history — that is the history-independence
+        guarantee at work, not a configuration drift.)  The recovered records are re-inserted, and
+        routing determinism guarantees every key lands back on the shard
+        its image came from — including engines that had been elastically
+        resized before the snapshot.  Slots that are bare keys (structures
+        whose snapshot persists the physical slot array rather than pairs)
+        restore with a ``None`` value, matching what the single-file
+        snapshot path preserves.
         """
         from repro.api.registry import make_dictionary
         from repro.storage.pager import PagedFile
@@ -545,12 +961,45 @@ class ShardedDictionaryEngine(DictionaryEngine):
                 or len(shard_entries) != num_shards:
             raise ConfigurationError(
                 "sharded snapshot manifest %r is malformed" % (manifest_path,))
+        # Manifests from before routers existed restore with the routing
+        # they were written under: the modulo default over ids 0..n-1.
+        router_spec = manifest.get("router", {"name": "modulo"})
+        shard_ids = manifest.get("shard_ids")
+        try:
+            router = make_router(router_spec)
+        except ConfigurationError as error:
+            raise ConfigurationError(
+                "sharded snapshot manifest %r has a malformed router spec: "
+                "%s" % (manifest_path, error)) from error
+
+        build = manifest.get("build", {})
+        if not isinstance(build, dict):
+            raise ConfigurationError(
+                "sharded snapshot manifest %r has a malformed build record"
+                % (manifest_path,))
+        if block_size is None:
+            block_size = build.get("block_size", 64)
+        if cache_blocks is None:
+            cache_blocks = build.get("cache_blocks", 0)
+        if backend is None:
+            backend = build.get("backend", "auto")
+        if inner_params is None:
+            inner_params = build.get("inner_params", {})
+        if seed is None:
+            seed = build.get("seed")
 
         structure = make_dictionary("sharded", block_size=block_size,
                                     cache_blocks=cache_blocks, seed=seed,
                                     backend=backend, shards=num_shards,
-                                    inner=inner,
-                                    inner_params=dict(inner_params or {}))
+                                    inner=inner, router=router,
+                                    inner_params=dict(inner_params))
+        if shard_ids is not None:
+            try:
+                structure.relabel_shards(shard_ids)
+            except (ConfigurationError, TypeError) as error:
+                raise ConfigurationError(
+                    "sharded snapshot manifest %r has malformed shard ids: "
+                    "%s" % (manifest_path, error)) from error
         engine = cls(structure)
         for index, entry in enumerate(shard_entries):
             try:
@@ -578,6 +1027,144 @@ class ShardedDictionaryEngine(DictionaryEngine):
         return engine
 
 
+class ParallelShardedDictionaryEngine(ShardedDictionaryEngine):
+    """A sharded engine whose fan-outs run on a thread pool.
+
+    Each shard owns independent structures and block devices and the
+    batched bulk operations already group work by shard, so per-shard
+    batches are embarrassingly parallel: this engine dispatches them over a
+    :class:`~concurrent.futures.ThreadPoolExecutor` and merges in shard
+    order, which makes every result — returned values, merged iteration
+    order, per-shard layouts — byte-identical to the sequential
+    :class:`ShardedDictionaryEngine` over the same inputs.
+
+    Two sequential carve-outs keep the semantics exact:
+
+    * with ``sample_operations=True`` the bulk operations fall back to the
+      sequential path (per-operation samples are an ordered, shared log);
+    * point operations stay routed and sequential — there is nothing to fan
+      out.
+
+    ``max_workers`` caps the pool (default: one worker per dispatched shard
+    batch).  A fresh pool is spun up per bulk call — dispatch is batch-level,
+    so the spawn cost amortises over each shard's whole batch, and no idle
+    worker threads outlive the call or a resize.
+
+    The byte-identity guarantee covers bulk calls that *succeed*.  When a
+    batch raises (say a :class:`~repro.errors.DuplicateKey` on one shard)
+    the same exception surfaces from both engines, but the sequential
+    engine stops at the failing shard while the parallel engine lets the
+    other shards' already-dispatched batches run to completion — post-error
+    shard states may differ between the two.
+    """
+
+    def __init__(self, structure: ShardedDictionary, *,
+                 name: Optional[str] = None,
+                 sample_operations: bool = False,
+                 max_workers: Optional[int] = None) -> None:
+        if max_workers is not None and (not isinstance(max_workers, int)
+                                        or isinstance(max_workers, bool)
+                                        or max_workers < 1):
+            raise ConfigurationError(
+                "max_workers must be an integer >= 1 (or None for one "
+                "worker per shard), got %r" % (max_workers,))
+        super().__init__(structure, name=name,
+                         sample_operations=sample_operations)
+        self._max_workers = max_workers
+
+    def _fan_out(self, tasks: Sequence) -> List[object]:
+        """Run thunks concurrently; return their results in input order.
+
+        Exceptions re-raise in input (shard) order, matching which failure
+        the sequential engine would have surfaced first.
+        """
+        if not tasks:
+            return []
+        if len(tasks) == 1:
+            return [tasks[0]()]
+        workers = self._max_workers or len(tasks)
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(task) for task in tasks]
+            return [future.result() for future in futures]
+
+    def insert_many(self, entries: Iterable[object]) -> int:
+        """Insert keys or pairs: shard-grouped batches, one thread each."""
+        if self.sample_operations:
+            return super().insert_many(entries)
+        batches, count = self._grouped_entries(entries)
+
+        def inserter(structure: HIDictionary, batch: List[Pair]):
+            def run() -> None:
+                for key, value in batch:
+                    structure.insert(key, value)
+            return run
+
+        self._fan_out([inserter(engine.structure, batch)
+                       for engine, batch in zip(self._engines(), batches)
+                       if batch])
+        return count
+
+    def delete_many(self, keys: Iterable[object]) -> List[object]:
+        """Delete shard-grouped batches in parallel; values in input order."""
+        if self.sample_operations:
+            return super().delete_many(keys)
+        keys, batches = self._grouped_positions(keys)
+        values: List[object] = [None] * len(keys)
+
+        def deleter(structure: HIDictionary,
+                    batch: List[Tuple[int, object]]):
+            def run() -> None:
+                # Disjoint positions per shard: no two workers write the
+                # same slot of the shared result list.
+                for position, key in batch:
+                    values[position] = structure.delete(key)
+            return run
+
+        self._fan_out([deleter(engine.structure, batch)
+                       for engine, batch in zip(self._engines(), batches)
+                       if batch])
+        return values
+
+    def contains_many(self, keys: Iterable[object]) -> List[bool]:
+        """Membership via parallel shard batches; input order preserved."""
+        if self.sample_operations:
+            return super().contains_many(keys)
+        keys, batches = self._grouped_positions(keys)
+        found: List[bool] = [False] * len(keys)
+
+        def prober(structure: HIDictionary,
+                   batch: List[Tuple[int, object]]):
+            def run() -> None:
+                for position, key in batch:
+                    found[position] = structure.contains(key)
+            return run
+
+        self._fan_out([prober(engine.structure, batch)
+                       for engine, batch in zip(self._engines(), batches)
+                       if batch])
+        return found
+
+    def range_io_cost_breakdown(self, low: object, high: object
+                                ) -> Tuple[List[Pair], List[int]]:
+        """The fan-out cost probe, one thread per shard.
+
+        Each per-shard probe clears and rolls back only that shard's caches
+        and counters, so the concurrent probes touch disjoint state; results
+        merge in shard order, identical to the sequential engine's.
+        """
+        self._require_range_support()
+
+        def prober(engine: DictionaryEngine):
+            return lambda: engine.range_io_cost(low, high)
+
+        results = self._fan_out([prober(engine)
+                                 for engine in self._engines()])
+        merged = [pairs for pairs, _cost in results]
+        costs = [cost for _pairs, cost in results]
+        pairs = list(heapq.merge(*merged, key=lambda pair: pair[0]))
+        return pairs, costs
+
+
 def make_sharded_engine(inner: object = DEFAULT_INNER, *,
                         shards: int = DEFAULT_SHARDS,
                         block_size: int = 64,
@@ -585,19 +1172,35 @@ def make_sharded_engine(inner: object = DEFAULT_INNER, *,
                         seed: RandomLike = None,
                         backend: str = "auto",
                         sample_operations: bool = False,
-                        inner_params: Optional[Mapping[str, object]] = None
+                        inner_params: Optional[Mapping[str, object]] = None,
+                        router: object = "modulo",
+                        vnodes: Optional[int] = None,
+                        parallel: bool = False,
+                        max_workers: Optional[int] = None
                         ) -> ShardedDictionaryEngine:
     """Convenience constructor: a sharded engine over ``shards`` × ``inner``.
 
     ``inner`` is a registry name or a per-shard sequence of names
     (heterogeneous shards); ``inner_params`` are structure-specific extras
-    applied to every shard.  All validation is the registry's.
+    applied to every shard; ``router`` / ``vnodes`` select the routing
+    strategy (``"modulo"`` or ``"consistent"``); ``parallel=True`` returns a
+    :class:`ParallelShardedDictionaryEngine` dispatching shard batches over
+    ``max_workers`` threads.  All validation is the registry's.
     """
     from repro.api.registry import make_dictionary
 
+    if not parallel and max_workers is not None:
+        raise ConfigurationError(
+            "max_workers only applies to the parallel engine; "
+            "pass parallel=True")
     structure = make_dictionary("sharded", block_size=block_size,
                                 cache_blocks=cache_blocks, seed=seed,
                                 backend=backend, shards=shards, inner=inner,
+                                router=router, vnodes=vnodes,
                                 inner_params=dict(inner_params or {}))
+    if parallel:
+        return ParallelShardedDictionaryEngine(
+            structure, sample_operations=sample_operations,
+            max_workers=max_workers)
     return ShardedDictionaryEngine(structure,
                                    sample_operations=sample_operations)

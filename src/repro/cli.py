@@ -17,6 +17,9 @@ scale) without writing any code:
     across a sweep of sizes.
 ``workload``
     Generate a reproducible operation trace and write it to CSV.
+``rebalance``
+    Grow and shrink a sharded store shard by shard and report how many keys
+    each rebalancing step migrated (modulo vs. consistent-hash routing).
 ``snapshot``
     Build a structure, write its slot array to a (real or in-memory) disk
     image, and print the observer's occupancy profile.
@@ -42,9 +45,11 @@ from repro.api import (
     audit_fingerprint_of,
     get_info,
     make_raw_structure,
+    make_sharded_engine,
     registry_names,
     resolve,
 )
+from repro.api.routing import ROUTER_NAMES
 from repro.errors import ConfigurationError
 from repro.history.audit import audit_weak_history_independence
 from repro.history.pairs import equivalent_histories, registry_builders
@@ -52,6 +57,7 @@ from repro.history.uniformity import balance_uniformity_experiment
 from repro.storage import image_of
 from repro.workloads import (
     batch_redaction_trace,
+    elastic_churn_trace,
     random_insert_trace,
     sequential_insert_trace,
     sliding_window_trace,
@@ -73,6 +79,25 @@ def _rank_addressed_names() -> List[str]:
     """Registry names whose underlying structure is rank-addressed (the PMAs)."""
     return [name for name in registry_names()
             if get_info(name).rank_addressed]
+
+
+def _check_router_flags(args: argparse.Namespace) -> None:
+    """Reject ``--router``/``--vnodes`` silently doing nothing without shards."""
+    if args.shards == 0 and (args.router != "modulo"
+                             or args.vnodes is not None):
+        raise ConfigurationError(
+            "--router/--vnodes only apply to sharded runs; pass --shards N")
+
+
+def _add_router_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--router`` / ``--vnodes`` flags of the sharded commands."""
+    parser.add_argument("--router", choices=ROUTER_NAMES, default="modulo",
+                        help="shard routing strategy: fixed modulo hashing "
+                             "or a consistent-hash ring (elastic resizes "
+                             "move only ~1/shards of the keys)")
+    parser.add_argument("--vnodes", type=int, default=None,
+                        help="virtual nodes per shard for --router "
+                             "consistent (default 64)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -112,6 +137,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="audit the structure behind a hash-partitioned "
                             "sharded router with this many shards "
                             "(0 = unsharded)")
+    _add_router_arguments(audit)
     audit.add_argument("--seed", type=int, default=0)
 
     compare = subparsers.add_parser(
@@ -127,6 +153,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--shards", type=int, default=0,
                          help="measure each structure behind a sharded "
                               "router with this many shards (0 = unsharded)")
+    _add_router_arguments(compare)
     compare.add_argument("--seed", type=int, default=0)
 
     workload = subparsers.add_parser(
@@ -162,7 +189,28 @@ def build_parser() -> argparse.ArgumentParser:
     snapshot.add_argument("--shards", type=int, default=0,
                           help="shard the structure this many ways and "
                                "snapshot per shard (0 = unsharded)")
+    _add_router_arguments(snapshot)
     snapshot.add_argument("--buckets", type=int, default=16)
+
+    rebalance = subparsers.add_parser(
+        "rebalance", help="grow/shrink a sharded store and report how many "
+                          "keys each rebalancing step migrated")
+    rebalance.add_argument("--structure",
+                           choices=registry_names(include_aliases=True),
+                           default="hi-skiplist",
+                           help="inner structure behind the sharded router")
+    rebalance.add_argument("--shards", type=int, default=3,
+                           help="initial shard count")
+    _add_router_arguments(rebalance)
+    rebalance.add_argument("--keys", type=int, default=2000,
+                           help="keys loaded before the first resize")
+    rebalance.add_argument("--add", type=int, default=1,
+                           help="shards to add, one rebalancing step each")
+    rebalance.add_argument("--remove", type=int, default=0,
+                           help="shards to retire (last position first) "
+                                "after the adds")
+    rebalance.add_argument("--block", type=int, default=64)
+    rebalance.add_argument("--seed", type=int, default=0)
 
     report = subparsers.add_parser(
         "report", help="aggregate benchmark results into a Markdown table")
@@ -214,6 +262,7 @@ def cmd_audit(args: argparse.Namespace, out) -> int:
     if args.shards < 0:
         raise ConfigurationError("--shards must be non-negative, got %d"
                                  % args.shards)
+    _check_router_flags(args)
     keys = list(range(1, args.keys + 1))
     detours = [args.keys + 10, args.keys + 20]
     histories = equivalent_histories(keys, detour_keys=detours, shuffles=2,
@@ -223,7 +272,8 @@ def cmd_audit(args: argparse.Namespace, out) -> int:
         builders = registry_builders("sharded", histories,
                                      block_size=args.block,
                                      shards=args.shards,
-                                     inner=resolve(args.structure))
+                                     inner=resolve(args.structure),
+                                     router=args.router, vnodes=args.vnodes)
     else:
         label = args.structure
         builders = registry_builders(args.structure, histories,
@@ -259,9 +309,11 @@ def cmd_compare_io(args: argparse.Namespace, out) -> int:
     if args.shards < 0:
         raise ConfigurationError("--shards must be non-negative, got %d"
                                  % args.shards)
+    _check_router_flags(args)
     samples = registry_io_series(names, sizes, block_size=args.block,
                                  searches=args.searches, seed=args.seed,
-                                 shards=args.shards)
+                                 shards=args.shards, router=args.router,
+                                 vnodes=args.vnodes)
     rows = [[sample.structure, sample.num_keys,
              "%.2f" % sample.search_ios, "%.2f" % sample.insert_ios,
              "%.1f" % sample.range_ios]
@@ -280,6 +332,7 @@ _WORKLOADS: Dict[str, Callable[[argparse.Namespace], List[object]]] = {
     "trough": lambda args: trough_trace(args.count, seed=args.seed),
     "redaction": lambda args: batch_redaction_trace(max(1, args.count), seed=args.seed),
     "zipf-mixed": lambda args: zipf_mixed_trace(args.count, seed=args.seed),
+    "elastic": lambda args: elastic_churn_trace(args.count, seed=args.seed),
 }
 
 
@@ -333,10 +386,13 @@ def cmd_snapshot(args: argparse.Namespace, out) -> int:
     if args.shards < 0:
         raise ConfigurationError("--shards must be non-negative, got %d"
                                  % args.shards)
+    _check_router_flags(args)
     if args.shards > 0:
         engine = DictionaryEngine.create("sharded", seed=args.seed,
                                          shards=args.shards,
-                                         inner=resolve(args.structure))
+                                         inner=resolve(args.structure),
+                                         router=args.router,
+                                         vnodes=args.vnodes)
     else:
         engine = DictionaryEngine.create(args.structure, seed=args.seed)
     engine.build_from_trace(random_insert_trace(args.keys, seed=args.seed))
@@ -371,6 +427,50 @@ def cmd_snapshot(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def cmd_rebalance(args: argparse.Namespace, out) -> int:
+    if args.shards < 1:
+        raise ConfigurationError("--shards must be at least 1, got %d"
+                                 % args.shards)
+    if args.add < 0 or args.remove < 0:
+        raise ConfigurationError("--add and --remove must be non-negative")
+    if args.remove >= args.shards + args.add:
+        raise ConfigurationError(
+            "cannot remove %d shard(s) from a store that only ever has %d"
+            % (args.remove, args.shards + args.add))
+    inner = resolve(args.structure)
+    if inner == "sharded":
+        raise ConfigurationError(
+            "--structure names the inner structure; it cannot be 'sharded'")
+    engine = make_sharded_engine(inner, shards=args.shards,
+                                 block_size=args.block, seed=args.seed,
+                                 router=args.router, vnodes=args.vnodes)
+    engine.build_from_trace(random_insert_trace(args.keys, seed=args.seed))
+    print("store   : %d x %s (router=%s%s)"
+          % (args.shards, inner, args.router,
+             "" if args.vnodes is None else ", vnodes=%d" % args.vnodes),
+          file=out)
+    print("keys    : %d" % len(engine), file=out)
+    reports = []
+    for _step in range(args.add):
+        reports.append(("add", engine.add_shard()))
+    for _step in range(args.remove):
+        reports.append(("remove", engine.remove_shard(engine.num_shards - 1)))
+    rows = []
+    for action, report in reports:
+        rows.append([
+            action,
+            "%d -> %d" % (report.old_shards, report.new_shards),
+            report.moved_keys,
+            "%.3f" % report.moved_fraction,
+            "%.3f" % report.ideal_fraction,
+        ])
+    print(format_table(rows, headers=["step", "shards", "keys moved",
+                                      "moved frac", "ideal frac"]), file=out)
+    print("final shard sizes: %s" % (engine.shard_sizes(),), file=out)
+    engine.check()
+    return 0
+
+
 def cmd_report(args: argparse.Namespace, out) -> int:
     print(render_results_markdown(args.results), file=out)
     return 0
@@ -384,6 +484,7 @@ _COMMANDS = {
     "workload": cmd_workload,
     "attack": cmd_attack,
     "snapshot": cmd_snapshot,
+    "rebalance": cmd_rebalance,
     "report": cmd_report,
 }
 

@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Hashable, Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro._rng import RandomLike, make_rng, spawn_rng
 from repro.core.candidate import CandidateWindow, candidate_set_size, candidate_window

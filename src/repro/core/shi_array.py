@@ -29,7 +29,7 @@ measurable:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro._rng import RandomLike, make_rng
 from repro.errors import ConfigurationError, RankError

@@ -140,7 +140,6 @@ def pooled_counts(samples: Sequence[Sequence[object]],
         per_sample.append(counter)
         totals.update(counter)
     grand_total = sum(totals.values())
-    num_samples = len(samples)
     keep: List[object] = []
     pooled: List[object] = []
     for category, total in totals.most_common():
@@ -159,7 +158,6 @@ def pooled_counts(samples: Sequence[Sequence[object]],
         if pooled:
             row.append(sum(counter.get(category, 0) for category in pooled))
         table.append(row)
-    del num_samples
     return table, labels
 
 

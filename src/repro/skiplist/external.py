@@ -27,7 +27,6 @@ levels.
 
 from __future__ import annotations
 
-import bisect
 import math
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -186,7 +185,6 @@ class HistoryIndependentSkipList(HIDictionary):
         started = False
         done = False
         for node in self._nodes_in_order():
-            node_low = node.arrays[0].keys[0] if node.arrays and node.arrays[0].keys else None
             if started:
                 boundaries_crossed += 1
             for array in node.arrays:
@@ -204,7 +202,6 @@ class HistoryIndependentSkipList(HIDictionary):
                         result.append((key, self._values[key]))
             if done:
                 break
-            del node_low
         scan_ios = self._blocks(slots_scanned) + boundaries_crossed if result else 0
         self.stats.reads += ios + scan_ios
         return result, ios + scan_ios

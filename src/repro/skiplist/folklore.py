@@ -20,9 +20,9 @@ from __future__ import annotations
 
 import bisect
 import math
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, List, Tuple
 
-from repro._rng import RandomLike, geometric_level, make_rng, spawn_rng
+from repro._rng import RandomLike, geometric_level, make_rng
 from repro.api.protocol import HIDictionary
 from repro.errors import ConfigurationError, DuplicateKey, InvariantViolation, KeyNotFound
 from repro.memory.stats import IOStats

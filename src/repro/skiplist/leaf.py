@@ -18,7 +18,6 @@ from __future__ import annotations
 import bisect
 from typing import Iterator, List, Optional, Tuple
 
-from repro._rng import RandomLike
 from repro.core.sizing import WHICapacityRule
 from repro.errors import InvariantViolation
 from repro.skiplist.levels import FRONT

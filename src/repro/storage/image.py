@@ -11,7 +11,7 @@ structure API — which is the whole point.
 from __future__ import annotations
 
 import hashlib
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.storage.encoding import PageCodec

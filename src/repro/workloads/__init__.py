@@ -21,6 +21,7 @@ from repro.workloads.generators import (
 )
 from repro.workloads.patterns import (
     batch_redaction_trace,
+    elastic_churn_trace,
     live_keys_of,
     search_mix_trace,
     sliding_window_trace,
@@ -45,6 +46,7 @@ __all__ = [
     "trough_trace",
     "search_mix_trace",
     "batch_redaction_trace",
+    "elastic_churn_trace",
     "zipf_mixed_trace",
     "live_keys_of",
 ]

@@ -20,6 +20,9 @@ extension benches and the examples:
 * :func:`batch_redaction_trace` — bulk load followed by the redaction of one
   contiguous key range (the "failed redaction" scenario: the observer tries
   to locate the hole).
+* :func:`elastic_churn_trace` — alternating ingest-heavy and drain-heavy
+  phases, the population swell/recede pattern that motivates elastic shard
+  counts (grow at the peaks, shrink in the troughs).
 """
 
 from __future__ import annotations
@@ -349,6 +352,115 @@ def zipf_mixed_trace(count: int, preload: Optional[int] = None,
             used.add(key)
             add_live(key)
             trace.append(Operation(OperationKind.INSERT, key))
+    return trace
+
+
+def elastic_churn_trace(count: int, phases: int = 4,
+                        grow_insert_fraction: float = 0.8,
+                        shrink_delete_fraction: float = 0.7,
+                        search_fraction: float = 0.15,
+                        key_space: Optional[int] = None,
+                        seed: RandomLike = None) -> List[Operation]:
+    """Alternating grow/shrink phases — the elastic-capacity workload.
+
+    The trace alternates ``phases`` equal-length phases.  *Grow* phases are
+    ingest-heavy (``grow_insert_fraction`` inserts of fresh keys, the rest a
+    mix of searches and occasional deletes), *shrink* phases are
+    drain-heavy (``shrink_delete_fraction`` deletes of live keys, the rest
+    searches with a trickle of inserts), so the live population swells and
+    recedes like traffic that scales a deployment out and back in.  Replay
+    it against a sharded dictionary and call
+    :meth:`~repro.api.sharded.ShardedDictionary.add_shard` at the peaks /
+    :meth:`~repro.api.sharded.ShardedDictionary.remove_shard` in the troughs
+    to exercise exactly what the consistent-hash router exists for.
+
+    Phase boundaries, key draws and operation mixes are all functions of
+    ``seed``, so the trace is reproducible; reads and deletes only ever
+    touch live keys, so any replay target accepts it.
+    """
+    if count < 0:
+        raise ConfigurationError("count must be non-negative")
+    if phases < 1:
+        raise ConfigurationError("phases must be at least 1")
+    for name, fraction in (("grow_insert_fraction", grow_insert_fraction),
+                           ("shrink_delete_fraction", shrink_delete_fraction),
+                           ("search_fraction", search_fraction)):
+        if not 0.0 <= fraction <= 1.0:
+            raise ConfigurationError("%s must be a fraction in [0, 1], got %r"
+                                     % (name, fraction))
+    for name, dominant in (("grow_insert_fraction", grow_insert_fraction),
+                           ("shrink_delete_fraction",
+                            shrink_delete_fraction)):
+        if dominant + search_fraction > 1.0:
+            raise ConfigurationError(
+                "%s (%r) + search_fraction (%r) must not exceed 1; the "
+                "remainder is the phase's minority operation"
+                % (name, dominant, search_fraction))
+    rng = make_rng(seed)
+    key_space = key_space if key_space is not None else max(10 * count, 1000)
+    if key_space < 1:
+        raise ConfigurationError("key_space must be at least 1, got %r"
+                                 % (key_space,))
+    trace: List[Operation] = []
+    live: List[int] = []
+    used = set()
+    phase_length = max(1, (count + phases - 1) // phases)
+
+    def fresh_key() -> Optional[int]:
+        for _attempt in range(64):
+            key = rng.randrange(key_space)
+            if key not in used:
+                return key
+        for key in range(key_space):  # dense fallback: scan for a gap
+            if key not in used:
+                return key
+        return None
+
+    def insert() -> bool:
+        key = fresh_key()
+        if key is None:
+            return False
+        used.add(key)
+        bisect.insort(live, key)
+        trace.append(Operation(OperationKind.INSERT, key))
+        return True
+
+    def delete() -> bool:
+        if not live:
+            return False
+        key = live.pop(rng.randrange(len(live)))
+        used.discard(key)
+        trace.append(Operation(OperationKind.DELETE, key))
+        return True
+
+    def search() -> bool:
+        if not live:
+            return False
+        trace.append(Operation(OperationKind.SEARCH,
+                               live[rng.randrange(len(live))]))
+        return True
+
+    while len(trace) < count:
+        growing = (len(trace) // phase_length) % 2 == 0
+        roll = rng.random()
+        if growing:
+            if roll < grow_insert_fraction:
+                preferred = (insert, search, delete)
+            elif roll < grow_insert_fraction + search_fraction:
+                preferred = (search, insert, delete)
+            else:
+                preferred = (delete, insert, search)
+        else:
+            if roll < shrink_delete_fraction:
+                preferred = (delete, search, insert)
+            elif roll < shrink_delete_fraction + search_fraction:
+                preferred = (search, delete, insert)
+            else:
+                preferred = (insert, search, delete)
+        if not any(operation() for operation in preferred):
+            raise ConfigurationError(
+                "elastic trace generation stalled: key space of %d exhausted "
+                "with no live keys left" % (key_space,))
     return trace
 
 

@@ -1,6 +1,5 @@
 """The history-independent arena allocator."""
 
-import itertools
 from collections import Counter
 
 import pytest

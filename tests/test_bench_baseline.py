@@ -1,0 +1,128 @@
+"""The CI perf gate: ``benchmarks/baseline.py`` run + compare round trip.
+
+The gate is only trustworthy if its metrics are deterministic (otherwise a
+25% threshold gates noise) and its compare step actually fails on a
+regression; both are exercised here through the real CLI, the way CI runs
+it.  A tiny smoke cap keeps the whole file fast.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+pytestmark = pytest.mark.fast
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE = os.path.join(REPO_ROOT, "benchmarks", "baseline.py")
+
+
+def run_tool(*argv, cap="300"):
+    env = dict(os.environ,
+               REPRO_BENCH_SMOKE="1", REPRO_BENCH_SMOKE_CAP=cap)
+    env.pop("REPRO_BENCH_SCALE", None)
+    return subprocess.run([sys.executable, BASELINE, *argv],
+                          capture_output=True, text=True, check=False,
+                          cwd=REPO_ROOT, env=env, timeout=300)
+
+
+def test_run_emits_deterministic_metrics(tmp_path):
+    first = str(tmp_path / "first.json")
+    second = str(tmp_path / "second.json")
+    assert run_tool("run", "--output", first).returncode == 0
+    assert run_tool("run", "--output", second).returncode == 0
+    with open(first, encoding="utf-8") as handle:
+        first_payload = json.load(handle)
+    with open(second, encoding="utf-8") as handle:
+        second_payload = json.load(handle)
+    assert first_payload["metrics"] == second_payload["metrics"]
+    assert first_payload["metrics"], "no metrics collected"
+    assert all(isinstance(value, int)
+               for value in first_payload["metrics"].values())
+    # The migration metrics encode the elastic-scaling claim itself.
+    metrics = first_payload["metrics"]
+    assert metrics["migration_moved.consistent_add"] < \
+        metrics["migration_moved.modulo_add"]
+
+
+def test_compare_passes_on_identical_runs(tmp_path):
+    current = str(tmp_path / "current.json")
+    assert run_tool("run", "--output", current).returncode == 0
+    completed = run_tool("compare", current, current)
+    assert completed.returncode == 0, completed.stderr
+    assert "OK" in completed.stdout
+
+
+def test_compare_fails_on_regression_beyond_tolerance(tmp_path):
+    baseline = str(tmp_path / "baseline.json")
+    assert run_tool("run", "--output", baseline).returncode == 0
+    with open(baseline, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    name = sorted(payload["metrics"])[0]
+    payload["metrics"][name] = int(payload["metrics"][name] * 1.5) + 10
+    worse = str(tmp_path / "worse.json")
+    with open(worse, "w", encoding="utf-8") as handle_out:
+        json.dump(payload, handle_out)
+    # The regressed file as *current* fails; as *baseline* it passes (the
+    # gate is one-sided: getting faster is an improvement, not an error).
+    completed = run_tool("compare", baseline, worse)
+    assert completed.returncode == 1
+    assert "regressed" in completed.stderr
+    completed = run_tool("compare", worse, baseline)
+    assert completed.returncode == 0
+    assert "improved" in completed.stdout
+
+
+def test_compare_fails_on_missing_metric(tmp_path):
+    baseline = str(tmp_path / "baseline.json")
+    assert run_tool("run", "--output", baseline).returncode == 0
+    with open(baseline, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    name = sorted(payload["metrics"])[0]
+    del payload["metrics"][name]
+    pruned = str(tmp_path / "pruned.json")
+    with open(pruned, "w", encoding="utf-8") as handle_out:
+        json.dump(payload, handle_out)
+    completed = run_tool("compare", baseline, pruned)
+    assert completed.returncode == 1
+    assert "disappeared" in completed.stderr
+
+
+def test_compare_short_circuits_on_scale_mismatch(tmp_path):
+    """Different workload scales must fail with the one real cause, not a
+    wall of fake per-metric regressions."""
+    baseline = str(tmp_path / "baseline.json")
+    assert run_tool("run", "--output", baseline).returncode == 0
+    with open(baseline, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    payload["meta"]["operations"] = 123456
+    rescaled = str(tmp_path / "rescaled.json")
+    with open(rescaled, "w", encoding="utf-8") as handle_out:
+        json.dump(payload, handle_out)
+    completed = run_tool("compare", baseline, rescaled)
+    assert completed.returncode == 1
+    assert "scale mismatch" in completed.stderr
+    assert "regressed" not in completed.stderr
+    assert "improved" not in completed.stdout
+
+
+def test_committed_baseline_matches_the_current_code():
+    """The repo's BENCH_smoke.json must stay in sync with the code.
+
+    This is the local mirror of the CI gate: if an optimisation (or
+    regression) changes the deterministic counters, the committed baseline
+    must be regenerated in the same commit.
+    """
+    committed = os.path.join(REPO_ROOT, "benchmarks", "BENCH_smoke.json")
+    completed = run_tool("run", "--output", "-", cap="1000")
+    assert completed.returncode == 0
+    import io
+    current = json.load(io.StringIO(completed.stdout))
+    with open(committed, encoding="utf-8") as handle:
+        expected = json.load(handle)
+    assert current["metrics"] == expected["metrics"], (
+        "benchmarks/BENCH_smoke.json is stale; regenerate with "
+        "REPRO_BENCH_SMOKE=1 python benchmarks/baseline.py run "
+        "--output benchmarks/BENCH_smoke.json")

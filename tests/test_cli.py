@@ -30,7 +30,7 @@ def test_parser_requires_a_command():
 def test_parser_knows_every_command():
     parser = build_parser()
     for command in ("figure2", "uniformity", "audit", "compare-io",
-                    "workload", "attack", "snapshot", "report"):
+                    "workload", "attack", "snapshot", "rebalance", "report"):
         args = parser.parse_args([command])
         assert args.command == command
 
@@ -213,6 +213,68 @@ def test_audit_sharded_treap_passes():
     assert code == 0
     assert "sharded[2]:treap" in output
     assert "PASS" in output
+
+
+def test_audit_sharded_consistent_router_passes():
+    code, output = run_cli("audit", "--structure", "treap", "--keys", "16",
+                           "--trials", "40", "--shards", "2", "--router",
+                           "consistent", "--vnodes", "16", "--seed", "0")
+    assert code == 0
+    assert "PASS" in output
+
+
+def test_router_flags_without_shards_are_rejected():
+    for argv in (("compare-io", "--structure", "b-tree", "--sizes", "100",
+                  "--router", "consistent"),
+                 ("audit", "--structure", "treap", "--keys", "8",
+                  "--vnodes", "16"),
+                 ("snapshot", "--structure", "hi-pma", "--keys", "50",
+                  "--router", "consistent")):
+        code, _output = run_cli(*argv)
+        assert code == 2  # silently ignoring the flags would mislead
+
+
+def test_compare_io_sharded_consistent_router_labels_rows():
+    code, output = run_cli("compare-io", "--structure", "b-tree", "--sizes",
+                           "300", "--shards", "2", "--router", "consistent",
+                           "--seed", "0")
+    assert code == 0
+    assert "sharded[2@consistent]:b-tree" in output
+
+
+# --------------------------------------------------------------------------- #
+# rebalance
+# --------------------------------------------------------------------------- #
+
+def test_rebalance_reports_each_migration_step():
+    code, output = run_cli("rebalance", "--structure", "b-tree", "--shards",
+                           "2", "--router", "consistent", "--keys", "400",
+                           "--add", "2", "--remove", "1", "--seed", "1")
+    assert code == 0
+    assert "2 -> 3" in output and "3 -> 4" in output and "4 -> 3" in output
+    assert "final shard sizes" in output
+    assert output.count("add") >= 2 and "remove" in output
+
+
+def test_rebalance_modulo_moves_more_than_consistent():
+    def moved(router):
+        code, output = run_cli("rebalance", "--structure", "b-tree",
+                               "--shards", "4", "--router", router, "--keys",
+                               "600", "--add", "1", "--seed", "3")
+        assert code == 0
+        row = next(line for line in output.splitlines()
+                   if line.startswith("add"))
+        return int(row.split()[4])  # "add  4 -> 5  <moved>  ..."
+
+    assert moved("consistent") < moved("modulo")
+
+
+def test_rebalance_rejects_impossible_plans():
+    code, _output = run_cli("rebalance", "--shards", "1", "--add", "0",
+                            "--remove", "1")
+    assert code == 2
+    code, _output = run_cli("rebalance", "--structure", "sharded")
+    assert code == 2
 
 
 # --------------------------------------------------------------------------- #

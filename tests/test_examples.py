@@ -28,6 +28,7 @@ def test_every_example_is_covered():
     assert set(EXAMPLES) == {
         "quickstart.py",
         "database_index.py",
+        "elastic_rebalance.py",
         "secure_ingest_log.py",
         "sharded_store.py",
         "skiplist_store.py",

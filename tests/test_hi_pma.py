@@ -7,7 +7,6 @@ import random
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.candidate import CandidateWindow
 from repro.core.hi_pma import HistoryIndependentPMA, PMAParameters, _subtract_intervals
 from repro.errors import ConfigurationError, RankError
 from repro.memory.tracker import IOTracker

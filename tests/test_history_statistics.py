@@ -1,6 +1,5 @@
 """χ² machinery used by the history-independence audits."""
 
-import math
 import random
 
 import pytest

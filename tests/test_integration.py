@@ -7,7 +7,6 @@ non-HI comparators; and the theorem-level scaling claims must hold end to end
 at small scale.
 """
 
-import math
 import random
 
 import pytest

@@ -1,6 +1,5 @@
 """van Emde Boas layout: permutation correctness and cache-oblivious locality."""
 
-import math
 
 import pytest
 from hypothesis import given, settings, strategies as st

@@ -136,3 +136,55 @@ def test_apply_value_mapping():
     tree = BTree(block_size=8)
     apply_to_dictionary(tree, trace, value_of=lambda key: key * 10)
     assert tree.search(3) == 30
+
+
+def test_elastic_churn_trace_swells_and_recedes():
+    from repro.workloads import elastic_churn_trace
+
+    trace = elastic_churn_trace(2_000, phases=4, seed=1)
+    assert len(trace) == 2_000
+    live = 0
+    population = []
+    for operation in trace:
+        if operation.kind is OperationKind.INSERT:
+            live += 1
+        elif operation.kind is OperationKind.DELETE:
+            live -= 1
+        population.append(live)
+    phase = len(trace) // 4
+    # Grow phases end higher than they started; shrink phases end lower.
+    assert population[phase - 1] > population[0]
+    assert population[2 * phase - 1] < population[phase - 1]
+    assert population[3 * phase - 1] > population[2 * phase - 1]
+
+
+def test_elastic_churn_trace_is_replayable_and_reproducible():
+    from repro.workloads import elastic_churn_trace
+
+    trace = elastic_churn_trace(600, seed=7)
+    assert trace == elastic_churn_trace(600, seed=7)
+    assert trace != elastic_churn_trace(600, seed=8)
+    tree = BTree(block_size=8)
+    apply_to_dictionary(tree, trace)  # deletes/searches only touch live keys
+    assert len(tree) == len(_final_key_set(trace))
+
+
+def test_elastic_churn_trace_validation():
+    from repro.workloads import elastic_churn_trace
+
+    with pytest.raises(ConfigurationError):
+        elastic_churn_trace(-1)
+    with pytest.raises(ConfigurationError):
+        elastic_churn_trace(100, phases=0)
+    with pytest.raises(ConfigurationError):
+        elastic_churn_trace(100, grow_insert_fraction=1.5)
+    with pytest.raises(ConfigurationError):
+        elastic_churn_trace(100, shrink_delete_fraction=-0.1)
+    with pytest.raises(ConfigurationError):
+        elastic_churn_trace(100, grow_insert_fraction=0.95,
+                            search_fraction=0.3)
+    with pytest.raises(ConfigurationError):
+        elastic_churn_trace(100, shrink_delete_fraction=0.9,
+                            search_fraction=0.2)
+    with pytest.raises(ConfigurationError):
+        elastic_churn_trace(100, key_space=0)
