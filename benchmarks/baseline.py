@@ -80,6 +80,23 @@ def collect_metrics() -> Tuple[Dict[str, int], Dict[str, object]]:
             _pairs, range_ios = engine.range_io_cost(low, high)
             metrics["range_ios.%s" % name] = int(range_ios)
 
+    # The batched bulk paths (engine fast-path dispatch, LRU fast path,
+    # charge_many): deterministic I/O totals for an insert_many +
+    # contains_many + delete_many flow.  A regression here means the
+    # zero-copy / batched-charging hot path started charging differently.
+    total = max(2, operations // 2)
+    bulk_entries = [(key * 7 % (total * 13), key) for key in range(total)]
+    bulk_probes = [key for key, _value in bulk_entries[::2]]
+    bulk_doomed = [key for key, _value in bulk_entries[::3]]
+    for name in ("hi-pma", "hi-skiplist", "b-tree"):
+        engine = DictionaryEngine.create(name, block_size=BLOCK_SIZE,
+                                         cache_blocks=CACHE_BLOCKS,
+                                         seed=STRUCTURE_SEED)
+        engine.insert_many(bulk_entries)
+        engine.contains_many(bulk_probes)
+        engine.delete_many(bulk_doomed)
+        metrics["bulk_ios.%s" % name] = engine.io_stats().total_ios
+
     churn = elastic_churn_trace(operations, phases=2, seed=WORKLOAD_SEED)
     for router in ("modulo", "consistent"):
         engine = make_sharded_engine("b-tree", shards=SHARDS,

@@ -41,7 +41,9 @@ from repro.api.routing import (
     hash_key,
     make_router,
 )
+from repro.api.process_engine import ProcessShardedDictionaryEngine
 from repro.api.sharded import (
+    PARALLEL_MODES,
     MigrationReport,
     ParallelShardedDictionaryEngine,
     ShardedDictionary,
@@ -58,7 +60,9 @@ __all__ = [
     "ConsistentHashRouter",
     "MigrationReport",
     "ModuloRouter",
+    "PARALLEL_MODES",
     "ParallelShardedDictionaryEngine",
+    "ProcessShardedDictionaryEngine",
     "Router",
     "ShardedDictionary",
     "ShardedDictionaryEngine",

@@ -159,26 +159,62 @@ class DictionaryEngine:
     # ------------------------------------------------------------------ #
 
     def insert_many(self, entries: Iterable[object]) -> int:
-        """Insert keys or (key, value) pairs; return the number inserted."""
-        self._structure_method("insert")
+        """Insert keys or (key, value) pairs; return the number inserted.
+
+        When per-operation sampling is off (the default) the loop binds the
+        structure's ``insert`` once and dispatches directly — no per-key
+        context manager on the hot path.
+        """
+        insert = self._structure_method("insert")
+        as_pair = self._as_pair
         count = 0
+        if not self.sample_operations:
+            for entry in entries:
+                key, value = as_pair(entry)
+                insert(key, value)
+                count += 1
+            return count
         for entry in entries:
-            key, value = self._as_pair(entry)
+            key, value = as_pair(entry)
             self.insert(key, value)
             count += 1
         return count
 
     def delete_many(self, keys: Iterable[object]) -> List[object]:
         """Delete every key in order; return their values."""
-        self._structure_method("delete")
+        delete = self._structure_method("delete")
+        if not self.sample_operations:
+            return [delete(key) for key in keys]
         return [self.delete(key) for key in keys]
+
+    def contains_many(self, keys: Iterable[object]) -> List[bool]:
+        """Membership for every key, in input order.
+
+        The sharded engines override this with shard-grouped (and
+        parallel) dispatch; here it completes the uniform bulk surface so
+        workloads can be written once against any engine.
+        """
+        contains = self._structure_method("contains")
+        if not self.sample_operations:
+            return [contains(key) for key in keys]
+        return [self.contains(key) for key in keys]
 
     def build_from_trace(self, trace: Sequence[Operation],
                          value_of=None) -> "DictionaryEngine":
         """Replay a workload trace (inserts, deletes, searches); return self."""
-        for required in ("insert", "delete", "contains"):
-            self._structure_method(required)
+        insert = self._structure_method("insert")
+        delete = self._structure_method("delete")
+        contains = self._structure_method("contains")
         value_of = value_of or (lambda key: key)
+        if not self.sample_operations:
+            for operation in trace:
+                if operation.kind is OperationKind.INSERT:
+                    insert(operation.key, value_of(operation.key))
+                elif operation.kind is OperationKind.DELETE:
+                    delete(operation.key)
+                else:
+                    contains(operation.key)
+            return self
         for operation in trace:
             if operation.kind is OperationKind.INSERT:
                 self.insert(operation.key, value_of(operation.key))

@@ -1,0 +1,697 @@
+"""Process-parallel sharded engine: long-lived workers own the shards.
+
+PR 3's :class:`~repro.api.sharded.ParallelShardedDictionaryEngine` fans shard
+batches out over a thread pool, but pure-Python shard work is GIL-bound: the
+threads serialize and the "parallel" engine buys nothing on CPU-bound inners.
+This module is the escape hatch: :class:`ProcessShardedDictionaryEngine`
+hosts every shard's structure inside a long-lived **worker process** and
+drives it over a pickled command protocol, so per-shard batches execute on
+separate cores.
+
+Design
+------
+
+* **Workers own the state.**  At construction the engine pickles each local
+  shard to its worker (one worker per shard by default, fewer when
+  ``max_workers`` caps the pool — workers then host several shards).  The
+  parent's shard slots are replaced by :class:`_ShardProxy` stand-ins that
+  forward every dictionary call to the owning worker, so *all* of the
+  inherited :class:`~repro.api.sharded.ShardedDictionary` machinery —
+  routing, merged iteration, elastic ``add_shard``/``remove_shard``
+  migration, per-shard snapshots, ``check()`` — keeps working unchanged.
+* **One round-trip per shard per bulk call.**  ``insert_many`` /
+  ``delete_many`` / ``contains_many`` ship each shard's whole batch as a
+  single command (amortizing IPC exactly the way PR 2's batched routing
+  amortized dispatch), with at most one outstanding command per worker so
+  a large payload can never deadlock against a worker blocked on its reply.
+* **Probes roll back worker-side.**  ``search_io_cost`` / ``range_io_cost``
+  run the cold-cache measurement inside the worker's own
+  :class:`~repro.api.engine.DictionaryEngine`, so cumulative ``io_stats()``
+  stay byte-identical to the sequential engine's.
+* **Crashes are contained.**  A worker that dies mid-conversation raises
+  :class:`~repro.errors.WorkerCrashError` naming the shard; commands to
+  surviving workers keep working, and :meth:`restart_workers` respawns dead
+  workers with freshly built (empty) shards, reporting which shard
+  positions lost their data.  :meth:`close` (or the context-manager exit)
+  shuts every worker down cleanly.
+
+The byte-identity guarantee matches the thread engine's: bulk calls that
+*succeed* return results, layouts and counters identical to the sequential
+engine; when a batch raises, the same exception surfaces, but other shards'
+already-dispatched batches run to completion.
+
+Build one through the usual convenience constructor::
+
+    from repro.api import make_sharded_engine
+
+    with make_sharded_engine("hi-skiplist", shards=4,
+                             parallel="process") as engine:
+        engine.insert_many((key, key) for key in range(100_000))
+        engine.contains_many(range(0, 100_000, 7))
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing
+from collections import deque
+from multiprocessing.connection import wait
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.api.engine import DictionaryEngine
+from repro.api.protocol import HIDictionary, Pair
+from repro.api.sharded import (
+    MigrationReport,
+    ShardedDictionary,
+    ShardedDictionaryEngine,
+)
+from repro.errors import ConfigurationError, WorkerCrashError
+
+#: One parent->worker command: ``(shard_id, method, args)``.
+Command = Tuple[int, str, tuple]
+
+
+def _default_start_method() -> str:
+    """``fork`` where the platform has it (fast, no re-import), else spawn."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+# --------------------------------------------------------------------------- #
+# Worker side
+# --------------------------------------------------------------------------- #
+
+def _describe_shard(shard: HIDictionary) -> Dict[str, object]:
+    """The capability descriptor a worker returns when it adopts a shard.
+
+    ``methods`` lists the shard's public callables so the parent-side proxy
+    can expose exactly the remote surface (``predecessor``, ``level_of``,
+    ...) without guessing — a proxy must not pretend a method exists that
+    the hosted structure lacks.
+    """
+    methods = sorted(
+        name for name in dir(shard)
+        if not name.startswith("_") and callable(getattr(shard, name, None)))
+    return {
+        "methods": methods,
+        "registry_name": getattr(shard, "registry_name",
+                                 type(shard).__name__),
+    }
+
+
+def _execute(engines: Dict[int, DictionaryEngine], shard_id: int,
+             method: str, args: tuple) -> object:
+    """Dispatch one command against the hosted shard (worker side)."""
+    if method == "__host__":
+        shard, = args
+        engines[shard_id] = DictionaryEngine(shard)
+        return _describe_shard(shard)
+    if method == "__drop__":
+        del engines[shard_id]
+        return None
+    if method == "__ping__":
+        return "pong"
+    engine = engines[shard_id]
+    structure = engine.structure
+    # The batched bulk paths: one command per shard per engine-level call.
+    if method == "insert_batch":
+        insert = structure.insert
+        count = 0
+        for key, value in args[0]:
+            insert(key, value)
+            count += 1
+        return count
+    if method == "delete_batch":
+        delete = structure.delete
+        return [delete(key) for key in args[0]]
+    if method == "contains_batch":
+        contains = structure.contains
+        return [contains(key) for key in args[0]]
+    # Cost probes run through the worker's own engine so the measurement is
+    # cleared and rolled back *inside* the worker — cumulative counters stay
+    # byte-identical to a sequential engine's.
+    if method == "search_io_cost":
+        return engine.search_io_cost(args[0])
+    if method == "range_io_cost":
+        return engine.range_io_cost(args[0], args[1])
+    if method == "keys":
+        return list(structure)
+    if method == "len":
+        return len(structure)
+    if method == "__method__":
+        name, call_args = args
+        return getattr(structure, name)(*call_args)
+    # Plain structure methods: insert/delete/search/contains/items/
+    # range_query/check/io_stats/snapshot_slots/audit_fingerprint/upsert/...
+    return getattr(structure, method)(*args)
+
+
+def _worker_main(conn) -> None:
+    """The long-lived worker loop: receive commands, answer until shutdown."""
+    engines: Dict[int, DictionaryEngine] = {}
+    while True:
+        try:
+            shard_id, method, args = conn.recv()
+        except (EOFError, OSError):
+            break  # parent went away; nothing left to serve
+        except KeyboardInterrupt:  # pragma: no cover - interactive abort
+            break
+        if method == "__shutdown__":
+            try:
+                conn.send(("ok", None))
+            except (BrokenPipeError, OSError):  # pragma: no cover
+                pass
+            break
+        try:
+            reply = ("ok", _execute(engines, shard_id, method, args))
+        except Exception as error:
+            reply = ("err", error)
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):  # pragma: no cover
+            break
+        except Exception:
+            # The result (or the exception) did not pickle; the parent is
+            # still waiting, so answer with something that always does.
+            try:
+                conn.send(("err", WorkerCrashError(
+                    "worker reply to %r did not pickle" % (method,))))
+            except Exception:  # pragma: no cover
+                break
+    conn.close()
+
+
+# --------------------------------------------------------------------------- #
+# Parent side: worker handle and shard proxy
+# --------------------------------------------------------------------------- #
+
+class _ShardWorker:
+    """Parent-side handle of one worker process (pipe + liveness)."""
+
+    def __init__(self, context) -> None:
+        self._conn, child_conn = context.Pipe()
+        self._process = context.Process(target=_worker_main,
+                                        args=(child_conn,), daemon=True)
+        self._process.start()
+        child_conn.close()
+        self.shard_ids: set = set()
+        self._down = False
+
+    @property
+    def connection(self):
+        return self._conn
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self._process.pid
+
+    def is_alive(self) -> bool:
+        return not self._down and self._process.is_alive()
+
+    def _crash(self, cause: Optional[BaseException],
+               what: str) -> WorkerCrashError:
+        self._down = True
+        error = WorkerCrashError(
+            "shard worker (pid %s, shards %s) %s; its in-memory shard "
+            "state is lost — see restart_workers()"
+            % (self.pid, sorted(self.shard_ids), what))
+        if cause is not None:
+            error.__cause__ = cause
+        return error
+
+    def send(self, shard_id: int, method: str, args: tuple) -> None:
+        if self._down:
+            raise self._crash(None, "is already down")
+        try:
+            self._conn.send((shard_id, method, args))
+        except (BrokenPipeError, OSError) as error:
+            raise self._crash(error, "refused a command (pipe broken)")
+
+    def receive(self) -> Tuple[str, object]:
+        try:
+            return self._conn.recv()
+        except (EOFError, OSError) as error:
+            raise self._crash(error, "died before answering")
+
+    def request(self, shard_id: int, method: str, args: tuple = ()) -> object:
+        """One synchronous round-trip; re-raises worker-side exceptions."""
+        self.send(shard_id, method, args)
+        status, payload = self.receive()
+        if status == "err":
+            raise payload
+        return payload
+
+    def host(self, shard_id: int, shard: HIDictionary) -> Dict[str, object]:
+        descriptor = self.request(shard_id, "__host__", (shard,))
+        self.shard_ids.add(shard_id)
+        return descriptor
+
+    def drop(self, shard_id: int) -> None:
+        self.request(shard_id, "__drop__")
+        self.shard_ids.discard(shard_id)
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Ask the worker to exit; escalate to terminate if it will not."""
+        if not self._down and self._process.is_alive():
+            try:
+                self._conn.send((0, "__shutdown__", ()))
+                self._conn.recv()  # the shutdown acknowledgement
+            except (BrokenPipeError, EOFError, OSError):
+                pass
+        self._down = True
+        self._process.join(timeout)
+        if self._process.is_alive():  # pragma: no cover - stuck worker
+            self._process.terminate()
+            self._process.join(1.0)
+        self._conn.close()
+
+
+class _ShardProxy(HIDictionary):
+    """Parent-side stand-in for a worker-hosted shard.
+
+    Implements the full :class:`~repro.api.protocol.HIDictionary` surface by
+    forwarding each call to the owning worker; optional capabilities the
+    hosted structure exposes (``predecessor``, ``level_of``, ...) are
+    forwarded through ``__getattr__`` — but only the methods the worker
+    reported at adoption time, so ``hasattr`` probes stay truthful.
+    """
+
+    def __init__(self, worker: _ShardWorker, shard_id: int,
+                 descriptor: Dict[str, object]) -> None:
+        self._worker = worker
+        self._shard_id = shard_id
+        self._remote_methods = frozenset(descriptor["methods"])
+        self.registry_name = descriptor["registry_name"]
+
+    @property
+    def worker(self) -> _ShardWorker:
+        return self._worker
+
+    @property
+    def shard_id(self) -> int:
+        return self._shard_id
+
+    def _call(self, method: str, *args: object) -> object:
+        return self._worker.request(self._shard_id, method, args)
+
+    # -- dictionary surface --------------------------------------------- #
+
+    def insert(self, key: object, value: object = None) -> None:
+        return self._call("insert", key, value)
+
+    def upsert(self, key: object, value: object = None) -> bool:
+        return self._call("upsert", key, value)
+
+    def delete(self, key: object) -> object:
+        return self._call("delete", key)
+
+    def search(self, key: object) -> object:
+        return self._call("search", key)
+
+    def contains(self, key: object) -> bool:
+        return self._call("contains", key)
+
+    def items(self) -> List[Pair]:
+        return self._call("items")
+
+    def range_query(self, low: object, high: object):
+        return self._call("range_query", low, high)
+
+    def check(self) -> None:
+        return self._call("check")
+
+    def __len__(self) -> int:
+        return self._call("len")
+
+    def __iter__(self):
+        return iter(self._call("keys"))
+
+    # -- accounting / serialisation / auditing -------------------------- #
+
+    def io_stats(self):
+        return self._call("io_stats")
+
+    def snapshot_slots(self) -> Sequence[object]:
+        return self._call("snapshot_slots")
+
+    def audit_fingerprint(self) -> object:
+        return self._call("audit_fingerprint")
+
+    # -- optional capabilities ------------------------------------------ #
+
+    def __getattr__(self, name: str):
+        if name.startswith("_"):
+            raise AttributeError(name)
+        if name in self.__dict__.get("_remote_methods", frozenset()):
+            def remote_call(*args: object) -> object:
+                return self._call("__method__", name, args)
+            remote_call.__name__ = name
+            return remote_call
+        raise AttributeError(
+            "worker-hosted shard %r has no method %r"
+            % (self.__dict__.get("registry_name"), name))
+
+
+# --------------------------------------------------------------------------- #
+# The engine
+# --------------------------------------------------------------------------- #
+
+class ProcessShardedDictionaryEngine(ShardedDictionaryEngine):
+    """A sharded engine whose shards live in long-lived worker processes.
+
+    Construction adopts every shard of the wrapped
+    :class:`~repro.api.sharded.ShardedDictionary` into a worker process
+    (pickling the structure over the command pipe) and replaces it with a
+    forwarding proxy.  Bulk operations ship one batched command per shard
+    per call and collect replies as workers finish; point operations stay
+    routed (one round-trip).  ``max_workers`` caps the process pool — with
+    fewer workers than shards, workers host several shards each and those
+    shards' batches serialize on their worker.
+
+    With ``sample_operations=True`` the bulk operations fall back to the
+    sequential per-operation path (samples are an ordered, shared log), like
+    the thread engine.  Workers are daemonic; call :meth:`close` (or use the
+    engine as a context manager) for a clean shutdown.
+    """
+
+    def __init__(self, structure: ShardedDictionary, *,
+                 name: Optional[str] = None,
+                 sample_operations: bool = False,
+                 max_workers: Optional[int] = None,
+                 start_method: Optional[str] = None) -> None:
+        if max_workers is not None and (not isinstance(max_workers, int)
+                                        or isinstance(max_workers, bool)
+                                        or max_workers < 1):
+            raise ConfigurationError(
+                "max_workers must be an integer >= 1 (or None for one "
+                "worker per shard), got %r" % (max_workers,))
+        super().__init__(structure, name=name,
+                         sample_operations=sample_operations)
+        self._max_workers = max_workers
+        self._mp_context = multiprocessing.get_context(
+            start_method or _default_start_method())
+        self._workers: List[_ShardWorker] = []
+        self._worker_by_shard: Dict[int, _ShardWorker] = {}
+        self._closed = False
+        self._adopt_local_shards()
+
+    # ------------------------------------------------------------------ #
+    # Worker pool management
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_workers(self) -> int:
+        return len(self._workers)
+
+    def worker_pids(self) -> List[int]:
+        """The worker process ids, in spawn order (testing/ops hook)."""
+        return [worker.pid for worker in self._workers]
+
+    def _pick_worker(self) -> _ShardWorker:
+        """A live worker for a new shard: spawn until the cap, then pack."""
+        cap = self._max_workers or len(self._structure.shards)
+        live = [worker for worker in self._workers if worker.is_alive()]
+        if len(live) < cap:
+            worker = _ShardWorker(self._mp_context)
+            self._workers.append(worker)
+            return worker
+        return min(live, key=lambda worker: len(worker.shard_ids))
+
+    def _adopt_local_shards(self) -> None:
+        """Move every locally held shard into a worker, proxying it here."""
+        if self._closed:
+            raise ConfigurationError(
+                "this process engine is closed; build a new one")
+        structure = self._structure
+        shards = structure._shards
+        for position, shard in enumerate(shards):
+            if isinstance(shard, _ShardProxy):
+                continue
+            shard_id = structure.shard_ids[position]
+            worker = self._pick_worker()
+            descriptor = worker.host(shard_id, shard)
+            self._worker_by_shard[shard_id] = worker
+            shards[position] = _ShardProxy(worker, shard_id, descriptor)
+        self._shard_engine_cache = []
+
+    def close(self) -> None:
+        """Shut every worker down cleanly.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            worker.shutdown()
+        self._workers = []
+        self._worker_by_shard = {}
+
+    def __enter__(self) -> "ProcessShardedDictionaryEngine":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------ #
+    # Crash handling
+    # ------------------------------------------------------------------ #
+
+    def dead_shard_positions(self) -> List[int]:
+        """Shard positions whose worker process is no longer alive.
+
+        Raises :class:`~repro.errors.ConfigurationError` once the engine is
+        closed — a shut-down engine has no workers to inspect or restart.
+        """
+        if self._closed:
+            raise ConfigurationError(
+                "this process engine is closed; build a new one")
+        structure = self._structure
+        return [position for position, shard_id
+                in enumerate(structure.shard_ids)
+                if not self._worker_by_shard[shard_id].is_alive()]
+
+    def restart_workers(self) -> List[int]:
+        """Respawn dead workers with freshly built *empty* shards.
+
+        A worker owns its shards' only copy, so a crash loses their data;
+        this rebuilds each lost shard through the same registry wiring the
+        engine was constructed with (drawing the next seeds of the
+        construction seed stream) and hosts it in a new worker.  Returns
+        the shard positions that were rebuilt — their keys are gone, the
+        other shards are untouched.  Raises
+        :class:`~repro.errors.ConfigurationError` for hand-assembled
+        dictionaries with no recorded build context.
+        """
+        structure = self._structure
+        lost = self.dead_shard_positions()
+        if not lost:
+            return []
+        context = structure._build_context
+        if context is None:
+            raise ConfigurationError(
+                "this sharded dictionary was assembled from pre-built "
+                "shards; the engine cannot rebuild lost shards without a "
+                "registry build context")
+        from repro.api.registry import make_dictionary
+
+        dead_workers = {self._worker_by_shard[structure.shard_ids[position]]
+                        for position in lost}
+        for position in lost:
+            shard_id = structure.shard_ids[position]
+            shard = make_dictionary(structure.inner_names[position],
+                                    block_size=context["block_size"],
+                                    cache_blocks=context["cache_blocks"],
+                                    seed=context["rng"].getrandbits(64),
+                                    backend=context["backend"],
+                                    **context["inner_params"])
+            worker = self._pick_worker()
+            descriptor = worker.host(shard_id, shard)
+            self._worker_by_shard[shard_id] = worker
+            structure._shards[position] = _ShardProxy(worker, shard_id,
+                                                      descriptor)
+        for worker in dead_workers:
+            worker.shutdown()
+            if worker in self._workers:
+                self._workers.remove(worker)
+        self._shard_engine_cache = []
+        return lost
+
+    # ------------------------------------------------------------------ #
+    # Command dispatch
+    # ------------------------------------------------------------------ #
+
+    def _worker_for_position(self, position: int) -> _ShardWorker:
+        shard_id = self._structure.shard_ids[position]
+        worker = self._worker_by_shard.get(shard_id)
+        if worker is None:
+            # The mapping only loses entries when the engine shut down; a
+            # bare KeyError here would escape the library's error hierarchy.
+            raise WorkerCrashError(
+                "no worker hosts shard id %d%s"
+                % (shard_id, " (the engine is closed)" if self._closed
+                   else ""))
+        return worker
+
+    def _request(self, position: int, method: str, args: tuple = ()) -> object:
+        shard_id = self._structure.shard_ids[position]
+        return self._worker_for_position(position).request(shard_id, method,
+                                                           args)
+
+    def _scatter(self, commands: Sequence[Tuple[int, str, tuple]]
+                 ) -> Dict[int, object]:
+        """Run per-shard commands concurrently; results keyed by position.
+
+        At most one command is outstanding per worker (a second send could
+        deadlock against a worker blocked on a large reply); commands for
+        the same worker run back to back.  Worker-side exceptions — and
+        :class:`~repro.errors.WorkerCrashError` for workers that die — are
+        re-raised for the smallest shard position, matching which failure
+        the sequential engine would surface first.
+        """
+        structure = self._structure
+        queues: Dict[_ShardWorker, Deque[Tuple[int, str, tuple]]] = {}
+        for command in commands:
+            worker = self._worker_for_position(command[0])
+            queues.setdefault(worker, deque()).append(command)
+        results: Dict[int, object] = {}
+        errors: Dict[int, BaseException] = {}
+
+        def fail_worker(worker: _ShardWorker, position: int,
+                        error: BaseException) -> None:
+            errors[position] = error
+            for queued_position, _method, _args in queues[worker]:
+                errors[queued_position] = error
+            queues[worker].clear()
+
+        def dispatch_next(worker: _ShardWorker) -> None:
+            while queues[worker]:
+                position, method, args = queues[worker].popleft()
+                try:
+                    worker.send(structure.shard_ids[position], method, args)
+                except WorkerCrashError as error:
+                    fail_worker(worker, position, error)
+                    continue
+                outstanding[worker.connection] = (worker, position)
+                return
+
+        outstanding: Dict[object, Tuple[_ShardWorker, int]] = {}
+        for worker in queues:
+            dispatch_next(worker)
+        while outstanding:
+            for connection in wait(list(outstanding)):
+                worker, position = outstanding.pop(connection)
+                try:
+                    status, payload = worker.receive()
+                except WorkerCrashError as error:
+                    fail_worker(worker, position, error)
+                    continue
+                if status == "err":
+                    errors[position] = payload
+                else:
+                    results[position] = payload
+                dispatch_next(worker)
+        if errors:
+            raise errors[min(errors)]
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Batched bulk operations (one round-trip per shard per call)
+    # ------------------------------------------------------------------ #
+
+    def insert_many(self, entries: Iterable[object]) -> int:
+        """Insert keys or pairs: one ``insert_batch`` command per shard."""
+        if self.sample_operations:
+            return super().insert_many(entries)
+        batches, count = self._grouped_entries(entries)
+        self._scatter([(position, "insert_batch", (batch,))
+                       for position, batch in enumerate(batches) if batch])
+        return count
+
+    def delete_many(self, keys: Iterable[object]) -> List[object]:
+        """Delete per-shard batches in parallel; values in input order."""
+        if self.sample_operations:
+            return super().delete_many(keys)
+        keys, batches = self._grouped_positions(keys)
+        values: List[object] = [None] * len(keys)
+        results = self._scatter(
+            [(position, "delete_batch", ([key for _at, key in batch],))
+             for position, batch in enumerate(batches) if batch])
+        for position, batch in enumerate(batches):
+            if batch:
+                for (at, _key), value in zip(batch, results[position]):
+                    values[at] = value
+        return values
+
+    def contains_many(self, keys: Iterable[object]) -> List[bool]:
+        """Membership via parallel shard batches; input order preserved."""
+        if self.sample_operations:
+            return super().contains_many(keys)
+        keys, batches = self._grouped_positions(keys)
+        found: List[bool] = [False] * len(keys)
+        results = self._scatter(
+            [(position, "contains_batch", ([key for _at, key in batch],))
+             for position, batch in enumerate(batches) if batch])
+        for position, batch in enumerate(batches):
+            if batch:
+                for (at, _key), flag in zip(batch, results[position]):
+                    found[at] = flag
+        return found
+
+    # ------------------------------------------------------------------ #
+    # Shard-aware cost probes (measured and rolled back in the worker)
+    # ------------------------------------------------------------------ #
+
+    def search_io_cost(self, key: object) -> int:
+        return self._request(self._structure.shard_of(key),
+                             "search_io_cost", (key,))
+
+    def range_io_cost_breakdown(self, low: object, high: object
+                                ) -> Tuple[List[Pair], List[int]]:
+        self._require_range_support()
+        results = self._scatter([(position, "range_io_cost", (low, high))
+                                 for position in range(self.num_shards)])
+        merged = [results[position][0] for position in range(self.num_shards)]
+        costs = [results[position][1] for position in range(self.num_shards)]
+        pairs = list(heapq.merge(*merged, key=lambda pair: pair[0]))
+        return pairs, costs
+
+    # ------------------------------------------------------------------ #
+    # Elastic resizing (migration runs through the proxies)
+    # ------------------------------------------------------------------ #
+
+    def add_shard(self, shard: Optional[HIDictionary] = None,
+                  inner: Optional[str] = None) -> MigrationReport:
+        """Grow by one shard; the new shard is adopted into a worker.
+
+        The migration itself runs through the inherited canonical-order
+        machinery (deletes and re-inserts flow through the shard proxies),
+        so layouts match the sequential engine's resize byte for byte; the
+        freshly built shard is hosted in a worker once the migration
+        committed.
+        """
+        report = super().add_shard(shard=shard, inner=inner)
+        self._adopt_local_shards()
+        return report
+
+    def remove_shard(self, position: int) -> MigrationReport:
+        """Retire one shard and its worker hosting (after migration)."""
+        if isinstance(position, int) and not isinstance(position, bool) \
+                and 0 <= position < len(self._structure.shards):
+            shard_id: Optional[int] = self._structure.shard_ids[position]
+        else:
+            shard_id = None  # let the structure raise its uniform error
+        report = super().remove_shard(position)
+        if shard_id is not None:
+            worker = self._worker_by_shard.pop(shard_id)
+            try:
+                worker.drop(shard_id)
+            except WorkerCrashError:
+                pass
+            if not worker.shard_ids:
+                worker.shutdown()
+                self._workers.remove(worker)
+        return report

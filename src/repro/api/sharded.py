@@ -763,9 +763,17 @@ class ShardedDictionaryEngine(DictionaryEngine):
         Each shard receives its keys as one contiguous batch (relative input
         order preserved within the batch), which is what gives sharding its
         locality win over interleaved routing.  Returns the number inserted.
+        When per-operation sampling is off (the default), each batch runs as
+        a tight loop over the shard's bound ``insert`` — no per-key
+        context-manager or stats traffic on the hot path.
         """
         batches, count = self._grouped_entries(entries)
         for engine, batch in zip(self._engines(), batches):
+            if not self.sample_operations:
+                insert = engine.structure.insert
+                for key, value in batch:
+                    insert(key, value)
+                continue
             for key, value in batch:
                 with self._operation("insert"):
                     engine.structure.insert(key, value)
@@ -776,6 +784,11 @@ class ShardedDictionaryEngine(DictionaryEngine):
         keys, batches = self._grouped_positions(keys)
         values: List[object] = [None] * len(keys)
         for engine, batch in zip(self._engines(), batches):
+            if not self.sample_operations:
+                delete = engine.structure.delete
+                for position, key in batch:
+                    values[position] = delete(key)
+                continue
             for position, key in batch:
                 with self._operation("delete"):
                     values[position] = engine.structure.delete(key)
@@ -786,6 +799,11 @@ class ShardedDictionaryEngine(DictionaryEngine):
         keys, batches = self._grouped_positions(keys)
         found: List[bool] = [False] * len(keys)
         for engine, batch in zip(self._engines(), batches):
+            if not self.sample_operations:
+                contains = engine.structure.contains
+                for position, key in batch:
+                    found[position] = contains(key)
+                continue
             for position, key in batch:
                 with self._operation("contains"):
                     found[position] = engine.structure.contains(key)
@@ -1165,6 +1183,26 @@ class ParallelShardedDictionaryEngine(ShardedDictionaryEngine):
         return pairs, costs
 
 
+#: Parallel dispatch backends accepted by :func:`make_sharded_engine`.
+PARALLEL_MODES = ("none", "thread", "process")
+
+
+def _parallel_mode(parallel: object) -> str:
+    """Normalise the ``parallel`` flag: a mode name, or PR 3's boolean API.
+
+    Strings must name a known mode; everything else falls back to PR 3's
+    ``parallel: bool`` contract — plain truthiness, where truthy meant the
+    thread engine — so callers passing ``1``/``0`` keep working.
+    """
+    if isinstance(parallel, str):
+        if parallel in PARALLEL_MODES:
+            return parallel
+        raise ConfigurationError(
+            "parallel must be one of %s (or a boolean, where True means "
+            "'thread'), got %r" % (", ".join(PARALLEL_MODES), parallel))
+    return "thread" if parallel else "none"
+
+
 def make_sharded_engine(inner: object = DEFAULT_INNER, *,
                         shards: int = DEFAULT_SHARDS,
                         block_size: int = 64,
@@ -1175,7 +1213,7 @@ def make_sharded_engine(inner: object = DEFAULT_INNER, *,
                         inner_params: Optional[Mapping[str, object]] = None,
                         router: object = "modulo",
                         vnodes: Optional[int] = None,
-                        parallel: bool = False,
+                        parallel: object = False,
                         max_workers: Optional[int] = None
                         ) -> ShardedDictionaryEngine:
     """Convenience constructor: a sharded engine over ``shards`` × ``inner``.
@@ -1183,23 +1221,33 @@ def make_sharded_engine(inner: object = DEFAULT_INNER, *,
     ``inner`` is a registry name or a per-shard sequence of names
     (heterogeneous shards); ``inner_params`` are structure-specific extras
     applied to every shard; ``router`` / ``vnodes`` select the routing
-    strategy (``"modulo"`` or ``"consistent"``); ``parallel=True`` returns a
-    :class:`ParallelShardedDictionaryEngine` dispatching shard batches over
-    ``max_workers`` threads.  All validation is the registry's.
+    strategy (``"modulo"`` or ``"consistent"``); ``parallel`` selects the
+    dispatch backend — ``"none"`` (sequential), ``"thread"`` (PR 3's
+    thread-pool fan-out; ``True`` is a backward-compatible alias) or
+    ``"process"`` (long-lived worker processes that escape the GIL, see
+    :class:`~repro.api.process_engine.ProcessShardedDictionaryEngine`) —
+    with ``max_workers`` capping the pool.  All validation is the
+    registry's.
     """
     from repro.api.registry import make_dictionary
 
-    if not parallel and max_workers is not None:
+    mode = _parallel_mode(parallel)
+    if mode == "none" and max_workers is not None:
         raise ConfigurationError(
-            "max_workers only applies to the parallel engine; "
-            "pass parallel=True")
+            "max_workers only applies to the parallel engines; "
+            "pass parallel='thread' or parallel='process'")
     structure = make_dictionary("sharded", block_size=block_size,
                                 cache_blocks=cache_blocks, seed=seed,
                                 backend=backend, shards=shards, inner=inner,
                                 router=router, vnodes=vnodes,
                                 inner_params=dict(inner_params or {}))
-    if parallel:
+    if mode == "thread":
         return ParallelShardedDictionaryEngine(
+            structure, sample_operations=sample_operations,
+            max_workers=max_workers)
+    if mode == "process":
+        from repro.api.process_engine import ProcessShardedDictionaryEngine
+        return ProcessShardedDictionaryEngine(
             structure, sample_operations=sample_operations,
             max_workers=max_workers)
     return ShardedDictionaryEngine(structure,

@@ -41,6 +41,7 @@ from repro.analysis.reporting import format_table
 from repro.analysis.scaling import registry_io_series
 from repro.analysis.tables import render_results_markdown, write_csv
 from repro.api import (
+    PARALLEL_MODES,
     DictionaryEngine,
     audit_fingerprint_of,
     get_info,
@@ -98,6 +99,17 @@ def _add_router_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--vnodes", type=int, default=None,
                         help="virtual nodes per shard for --router "
                              "consistent (default 64)")
+
+
+def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
+    """The ``--parallel`` / ``--max-workers`` flags of sharded dispatch."""
+    parser.add_argument("--parallel", choices=PARALLEL_MODES, default="none",
+                        help="shard dispatch backend: sequential, a thread "
+                             "pool (GIL-bound), or long-lived worker "
+                             "processes (one per shard, escapes the GIL)")
+    parser.add_argument("--max-workers", type=int, default=None,
+                        help="cap the thread/process pool (default: one "
+                             "worker per shard)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -211,6 +223,7 @@ def build_parser() -> argparse.ArgumentParser:
                                 "after the adds")
     rebalance.add_argument("--block", type=int, default=64)
     rebalance.add_argument("--seed", type=int, default=0)
+    _add_parallel_arguments(rebalance)
 
     report = subparsers.add_parser(
         "report", help="aggregate benchmark results into a Markdown table")
@@ -443,31 +456,41 @@ def cmd_rebalance(args: argparse.Namespace, out) -> int:
             "--structure names the inner structure; it cannot be 'sharded'")
     engine = make_sharded_engine(inner, shards=args.shards,
                                  block_size=args.block, seed=args.seed,
-                                 router=args.router, vnodes=args.vnodes)
-    engine.build_from_trace(random_insert_trace(args.keys, seed=args.seed))
-    print("store   : %d x %s (router=%s%s)"
-          % (args.shards, inner, args.router,
-             "" if args.vnodes is None else ", vnodes=%d" % args.vnodes),
-          file=out)
-    print("keys    : %d" % len(engine), file=out)
-    reports = []
-    for _step in range(args.add):
-        reports.append(("add", engine.add_shard()))
-    for _step in range(args.remove):
-        reports.append(("remove", engine.remove_shard(engine.num_shards - 1)))
-    rows = []
-    for action, report in reports:
-        rows.append([
-            action,
-            "%d -> %d" % (report.old_shards, report.new_shards),
-            report.moved_keys,
-            "%.3f" % report.moved_fraction,
-            "%.3f" % report.ideal_fraction,
-        ])
-    print(format_table(rows, headers=["step", "shards", "keys moved",
-                                      "moved frac", "ideal frac"]), file=out)
-    print("final shard sizes: %s" % (engine.shard_sizes(),), file=out)
-    engine.check()
+                                 router=args.router, vnodes=args.vnodes,
+                                 parallel=args.parallel,
+                                 max_workers=args.max_workers)
+    try:
+        engine.build_from_trace(random_insert_trace(args.keys, seed=args.seed))
+        print("store   : %d x %s (router=%s%s, parallel=%s)"
+              % (args.shards, inner, args.router,
+                 "" if args.vnodes is None else ", vnodes=%d" % args.vnodes,
+                 args.parallel),
+              file=out)
+        print("keys    : %d" % len(engine), file=out)
+        reports = []
+        for _step in range(args.add):
+            reports.append(("add", engine.add_shard()))
+        for _step in range(args.remove):
+            reports.append(("remove",
+                            engine.remove_shard(engine.num_shards - 1)))
+        rows = []
+        for action, report in reports:
+            rows.append([
+                action,
+                "%d -> %d" % (report.old_shards, report.new_shards),
+                report.moved_keys,
+                "%.3f" % report.moved_fraction,
+                "%.3f" % report.ideal_fraction,
+            ])
+        print(format_table(rows, headers=["step", "shards", "keys moved",
+                                          "moved frac", "ideal frac"]),
+              file=out)
+        print("final shard sizes: %s" % (engine.shard_sizes(),), file=out)
+        engine.check()
+    finally:
+        close = getattr(engine, "close", None)
+        if callable(close):
+            close()
     return 0
 
 

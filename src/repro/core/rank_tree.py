@@ -93,15 +93,19 @@ class RankTree:
         return self._tree.layout.leaf_index(node), remaining
 
     def rank_before_leaf(self, leaf_index: int) -> int:
-        """Number of elements stored strictly before the given leaf range."""
+        """Number of elements stored strictly before the given leaf range.
+
+        The left siblings along the leaf-to-root path are read through one
+        batched :meth:`~repro.layout.veb.CompleteBinaryTree.get_many` call —
+        same nodes, same order, one tracker charge for the whole path.
+        """
         node = self.leaf_bfs_index(leaf_index)
-        before = 0
+        siblings = []
         while node > 1:
-            parent = node >> 1
             if node & 1:  # node is a right child: add the left sibling's count
-                before += self._tree.get(node ^ 1)
-            node = parent
-        return before
+                siblings.append(node ^ 1)
+            node >>= 1
+        return sum(self._tree.get_many(siblings))
 
     # ------------------------------------------------------------------ #
     # Bulk operations and validation

@@ -52,6 +52,22 @@ def power_of_two_capacity(count: int, phase: int = 0) -> int:
     return capacity + phase
 
 
+class PhasedPowerOfTwoCapacity:
+    """The default canonical capacity rule bound to one random phase.
+
+    A named class (not a closure) so the array — and every structure built
+    on it — stays picklable for the process-parallel shard backend.
+    """
+
+    __slots__ = ("phase",)
+
+    def __init__(self, phase: int) -> None:
+        self.phase = phase
+
+    def __call__(self, count: int) -> int:
+        return power_of_two_capacity(count, self.phase)
+
+
 class CanonicalDynamicArray:
     """A strongly history-independent dynamic array.
 
@@ -79,8 +95,8 @@ class CanonicalDynamicArray:
         rng = make_rng(seed)
         self._phase = rng.randrange(0, 2)
         if capacity_of is None:
-            self._capacity_of: CapacityFunction = (
-                lambda count: power_of_two_capacity(count, self._phase))
+            self._capacity_of: CapacityFunction = \
+                PhasedPowerOfTwoCapacity(self._phase)
         else:
             self._capacity_of = capacity_of
         self._items: List[object] = []

@@ -39,3 +39,26 @@ class CapacityError(ReproError):
 
 class ConfigurationError(ReproError, ValueError):
     """A structure was configured with invalid or inconsistent parameters."""
+
+
+class AllocationError(ReproError, KeyError):
+    """A block address was used before allocation or after being freed.
+
+    Raised by :class:`~repro.memory.block_device.BlockDevice` for reads,
+    writes and frees of unallocated addresses (including double frees and
+    read-after-free).  Subclasses ``KeyError`` so callers that treated the
+    historical bare ``KeyError`` as the failure signal keep working.
+    """
+
+    def __str__(self) -> str:  # KeyError.__str__ repr()s the message
+        return Exception.__str__(self)
+
+
+class WorkerCrashError(ReproError, RuntimeError):
+    """A shard worker process died or broke protocol mid-conversation.
+
+    Raised by :class:`~repro.api.process_engine.ProcessShardedDictionaryEngine`
+    when a command cannot be delivered to (or answered by) the long-lived
+    worker that hosts a shard.  The worker's in-memory shard state is lost;
+    see ``restart_workers()`` for recovery semantics.
+    """

@@ -6,28 +6,41 @@ manage their own block layout explicitly — most prominently the classic
 B-tree baseline, where each tree node occupies one block — and by tests that
 want to exercise the DAM model end to end.
 
+Blocks are stored as immutable tuples so that :meth:`BlockDevice.read_block`
+can hand the caller the stored block itself — a zero-copy read — instead of
+materialising a defensive list copy on every touch.  Callers that want a
+private mutable buffer (to edit and write back) pass ``copy=True``.
+
 Structures that only need cost accounting (not storage) use the lighter
 :class:`repro.memory.tracker.IOTracker` instead.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.errors import CapacityError, ConfigurationError
+from repro.errors import AllocationError, CapacityError, ConfigurationError
 from repro.memory.stats import IOStats
+
+#: One stored block: an immutable tuple of ``block_size`` object slots.
+Block = Tuple[Optional[object], ...]
 
 
 class BlockDevice:
     """An unbounded array of blocks, each holding ``block_size`` object slots."""
+
+    __slots__ = ("block_size", "_blocks", "_next_block", "_freed", "stats")
 
     def __init__(self, block_size: int) -> None:
         if block_size <= 0:
             raise ConfigurationError("block_size must be positive, got %r"
                                      % (block_size,))
         self.block_size = block_size
-        self._blocks: Dict[int, List[Optional[object]]] = {}
+        self._blocks: Dict[int, Block] = {}
         self._next_block = 0
+        #: Addresses freed at least once, so error messages can distinguish
+        #: a double free / use-after-free from an address never allocated.
+        self._freed: set = set()
         self.stats = IOStats()
 
     def __len__(self) -> int:
@@ -38,7 +51,7 @@ class BlockDevice:
         """Allocate a fresh, zeroed block and return its address."""
         address = self._next_block
         self._next_block += 1
-        self._blocks[address] = [None] * self.block_size
+        self._blocks[address] = (None,) * self.block_size
         return address
 
     def allocate_blocks(self, count: int) -> List[int]:
@@ -48,41 +61,68 @@ class BlockDevice:
         return [self.allocate_block() for _ in range(count)]
 
     def free_block(self, address: int) -> None:
-        """Release a block.  The address is never reused."""
-        self._require(address)
+        """Release a block.  The address is never reused.
+
+        Freeing an address twice (or one never allocated) raises
+        :class:`~repro.errors.AllocationError`.
+        """
+        self._require(address, "free")
         del self._blocks[address]
+        self._freed.add(address)
 
-    def read_block(self, address: int) -> List[Optional[object]]:
-        """Return a copy of the block's slots; counts one read I/O."""
-        self._require(address)
+    def read_block(self, address: int,
+                   copy: bool = False) -> Union[Block, List[Optional[object]]]:
+        """Return the block's slots; counts one read I/O.
+
+        By default this is zero-copy: the returned value is the stored
+        immutable tuple, so repeated reads allocate nothing.  Pass
+        ``copy=True`` for a fresh mutable list (e.g. to edit slots before a
+        :meth:`write_block`).
+        """
+        self._require(address, "read")
         self.stats.reads += 1
-        return list(self._blocks[address])
+        block = self._blocks[address]
+        return list(block) if copy else block
 
-    def write_block(self, address: int, slots: List[Optional[object]]) -> None:
-        """Overwrite a block; counts one write I/O."""
-        self._require(address)
+    def write_block(self, address: int,
+                    slots: Sequence[Optional[object]]) -> None:
+        """Overwrite a block; counts one write I/O.
+
+        ``slots`` shorter than the block size is padded with ``None``;
+        longer raises :class:`~repro.errors.CapacityError`.
+        """
+        self._require(address, "write")
         if len(slots) > self.block_size:
             raise CapacityError(
                 "block %d holds %d slots, got %d values"
                 % (address, self.block_size, len(slots))
             )
-        padded = list(slots) + [None] * (self.block_size - len(slots))
         self.stats.writes += 1
-        self._blocks[address] = padded
+        self._blocks[address] = \
+            tuple(slots) + (None,) * (self.block_size - len(slots))
 
-    def peek_block(self, address: int) -> List[Optional[object]]:
+    def peek_block(self, address: int) -> Block:
         """Return the block contents *without* charging an I/O.
 
         Used by the history-independence observer, which inspects the bit
         representation of the structure rather than operating through its API.
+        Like :meth:`read_block`, the returned tuple is the stored block
+        itself (zero-copy, immutable).
         """
-        self._require(address)
-        return list(self._blocks[address])
+        self._require(address, "peek")
+        return self._blocks[address]
 
     def live_addresses(self) -> List[int]:
         """Addresses of blocks that are currently allocated, in address order."""
         return sorted(self._blocks)
 
-    def _require(self, address: int) -> None:
+    def _require(self, address: int, action: str) -> None:
         if address not in self._blocks:
-            raise KeyError("block %r is not allocated" % (address,))
+            if address in self._freed:
+                raise AllocationError(
+                    "cannot %s block %r: it was already freed (%s)"
+                    % (action, address,
+                       "double free" if action == "free" else "use after free"))
+            raise AllocationError(
+                "cannot %s block %r: it was never allocated"
+                % (action, address))

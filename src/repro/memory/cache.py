@@ -4,6 +4,12 @@ The cache holds block identifiers only — the library keeps payloads in Python
 objects — because its sole job is to decide whether a block touch is charged
 as an I/O (miss) or is free (hit).  ``capacity_blocks`` plays the role of
 ``M / B`` in the model.
+
+:meth:`LRUCache.access` sits under every single block touch of every
+tracker-backed structure, so it is written for the hot path: ``__slots__``
+instead of a ``__dict__``, and a most-recently-used fast path that answers
+repeated touches of the same block (the common case inside a range scan)
+without any ``OrderedDict`` traffic.
 """
 
 from __future__ import annotations
@@ -13,15 +19,22 @@ from typing import Hashable, Optional
 
 from repro.errors import ConfigurationError
 
+#: Sentinel distinct from every block identifier (including ``None``).
+_UNSET = object()
+
 
 class LRUCache:
     """Track the ``capacity_blocks`` most recently used block identifiers."""
+
+    __slots__ = ("capacity_blocks", "_entries", "_mru",
+                 "hits", "misses", "evictions")
 
     def __init__(self, capacity_blocks: int) -> None:
         if capacity_blocks < 0:
             raise ConfigurationError("capacity_blocks must be non-negative")
         self.capacity_blocks = capacity_blocks
         self._entries: "OrderedDict[Hashable, None]" = OrderedDict()
+        self._mru: object = _UNSET
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -38,27 +51,38 @@ class LRUCache:
         A miss inserts the block, evicting the least recently used block when
         the cache is full.  A cache of capacity zero always misses.
         """
+        # Fast path: the block touched last time is touched again — it is
+        # already at the MRU end, so no reordering is needed.
+        if block == self._mru:
+            self.hits += 1
+            return True
         if self.capacity_blocks == 0:
             self.misses += 1
             return False
-        if block in self._entries:
-            self._entries.move_to_end(block)
+        entries = self._entries
+        if block in entries:
+            entries.move_to_end(block)
             self.hits += 1
+            self._mru = block
             return True
         self.misses += 1
-        self._entries[block] = None
-        if len(self._entries) > self.capacity_blocks:
-            self._entries.popitem(last=False)
+        entries[block] = None
+        self._mru = block
+        if len(entries) > self.capacity_blocks:
+            entries.popitem(last=False)
             self.evictions += 1
         return False
 
     def invalidate(self, block: Hashable) -> None:
         """Drop ``block`` from the cache if present (e.g. after it is freed)."""
         self._entries.pop(block, None)
+        if block == self._mru:
+            self._mru = _UNSET
 
     def clear(self) -> None:
         """Empty the cache without touching the hit/miss counters."""
         self._entries.clear()
+        self._mru = _UNSET
 
     def least_recent(self) -> Optional[Hashable]:
         """Return the block that would be evicted next, or ``None`` if empty."""

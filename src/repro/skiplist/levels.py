@@ -22,8 +22,33 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 
+class _FrontSentinel:
+    """The unique front-of-list marker, stable across pickling.
+
+    ``FRONT`` is compared by identity (``is``) and used as a dictionary key
+    throughout the skip lists, so a plain ``object()`` would break whenever a
+    structure crosses a process boundary: unpickling would mint a fresh
+    object and orphan every stored reference.  ``__new__`` makes the class a
+    singleton and pickle re-calls the class, so identity survives.
+    """
+
+    __slots__ = ()
+    _instance = None
+
+    def __new__(cls) -> "_FrontSentinel":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __reduce__(self):
+        return (_FrontSentinel, ())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "FRONT"
+
+
 #: Sentinel marking the front of every list (smaller than every key).
-FRONT = object()
+FRONT = _FrontSentinel()
 
 
 @dataclass

@@ -70,6 +70,22 @@ def salted_priority(salt: bytes, key: object) -> int:
     return int.from_bytes(digest.digest(), "big")
 
 
+class SaltedPriority:
+    """The default priority function: :func:`salted_priority` under one salt.
+
+    A named class (not a closure) so treaps are picklable — the process-
+    parallel shard backend ships whole structures to worker processes.
+    """
+
+    __slots__ = ("salt",)
+
+    def __init__(self, salt: bytes) -> None:
+        self.salt = salt
+
+    def __call__(self, key: object) -> int:
+        return salted_priority(self.salt, key)
+
+
 class Treap(HIDictionary):
     """A strongly history-independent in-memory dictionary.
 
@@ -90,7 +106,7 @@ class Treap(HIDictionary):
                  priority_of: Optional[PriorityFunction] = None) -> None:
         rng = make_rng(seed)
         self._salt = rng.getrandbits(128).to_bytes(16, "big")
-        self._priority_of = priority_of or (lambda key: salted_priority(self._salt, key))
+        self._priority_of = priority_of or SaltedPriority(self._salt)
         self._root: Optional[TreapNode] = None
         self._count = 0
         self.stats = IOStats()

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import CapacityError
+from repro.errors import AllocationError, CapacityError, ReproError
 from repro.memory.block_device import BlockDevice
 
 pytestmark = pytest.mark.fast
@@ -32,9 +32,34 @@ def test_read_write_round_trip_counts_ios():
     device = BlockDevice(4)
     address = device.allocate_block()
     device.write_block(address, ["a", "b"])
-    assert device.read_block(address) == ["a", "b", None, None]
+    assert device.read_block(address) == ("a", "b", None, None)
     assert device.stats.reads == 1
     assert device.stats.writes == 1
+
+
+def test_read_is_zero_copy_and_immutable_by_default():
+    device = BlockDevice(4)
+    address = device.allocate_block()
+    device.write_block(address, [1, 2])
+    view = device.read_block(address)
+    # The default read returns the stored tuple itself: no per-read copy,
+    # and no way to corrupt the device through the returned value.
+    assert view is device.read_block(address)
+    assert view is device.peek_block(address)
+    with pytest.raises(TypeError):
+        view[0] = "overwritten"
+
+
+def test_read_with_copy_returns_private_mutable_buffer():
+    device = BlockDevice(4)
+    address = device.allocate_block()
+    device.write_block(address, [1, 2])
+    buffer = device.read_block(address, copy=True)
+    assert buffer == [1, 2, None, None]
+    buffer[0] = "local edit"
+    assert device.peek_block(address) == (1, 2, None, None)
+    device.write_block(address, buffer)
+    assert device.peek_block(address) == ("local edit", 2, None, None)
 
 
 def test_write_overflow_raises():
@@ -49,7 +74,7 @@ def test_peek_does_not_charge_io():
     address = device.allocate_block()
     device.write_block(address, [1])
     before = device.stats.total_ios
-    assert device.peek_block(address) == [1, None]
+    assert device.peek_block(address) == (1, None)
     assert device.stats.total_ios == before
 
 
@@ -60,6 +85,40 @@ def test_free_block_removes_address():
     assert address not in device.live_addresses()
     with pytest.raises(KeyError):
         device.read_block(address)
+
+
+def test_unallocated_address_raises_allocation_error():
+    device = BlockDevice(2)
+    for action in (device.read_block, device.peek_block, device.free_block,
+                   lambda address: device.write_block(address, [1])):
+        with pytest.raises(AllocationError, match="never allocated"):
+            action(99)
+    # The library exception contract: a ReproError that is also a KeyError
+    # (for callers that treated the historical bare KeyError as the signal).
+    assert issubclass(AllocationError, ReproError)
+    assert issubclass(AllocationError, KeyError)
+
+
+def test_double_free_raises_allocation_error():
+    device = BlockDevice(2)
+    address = device.allocate_block()
+    device.free_block(address)
+    with pytest.raises(AllocationError, match="double free"):
+        device.free_block(address)
+
+
+def test_use_after_free_raises_allocation_error():
+    device = BlockDevice(2)
+    address = device.allocate_block()
+    device.write_block(address, [1])
+    device.free_block(address)
+    for action in (device.read_block, device.peek_block,
+                   lambda address: device.write_block(address, [2])):
+        with pytest.raises(AllocationError, match="use after free"):
+            action(address)
+    # A failed touch charges no I/O.
+    assert device.stats.reads == 0
+    assert device.stats.writes == 1
 
 
 def test_freed_addresses_are_never_reused():

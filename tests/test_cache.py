@@ -76,3 +76,35 @@ def test_len_tracks_entries():
     for block in ("a", "b", "c", "d"):
         cache.access(block)
     assert len(cache) == 3
+
+
+def test_repeated_touches_of_the_same_block_stay_hits():
+    """The MRU fast path must not change LRU semantics."""
+    cache = LRUCache(2)
+    assert cache.access("a") is False
+    for _ in range(3):
+        assert cache.access("a") is True
+    assert cache.access("b") is False
+    assert cache.access("a") is True  # still resident, now via move_to_end
+    assert cache.access("c") is False  # evicts "b" (least recent)
+    assert "b" not in cache
+    assert cache.hits == 4
+    assert cache.misses == 3
+    assert cache.evictions == 1
+
+
+def test_mru_fast_path_respects_invalidate_and_clear():
+    cache = LRUCache(2)
+    cache.access("a")
+    cache.invalidate("a")
+    assert cache.access("a") is False  # a gone: the fast path may not lie
+    cache.clear()
+    assert cache.access("a") is False
+    assert cache.misses == 3
+
+
+def test_zero_capacity_cache_never_hits_via_fast_path():
+    cache = LRUCache(0)
+    assert cache.access("a") is False
+    assert cache.access("a") is False
+    assert cache.hits == 0 and cache.misses == 2

@@ -277,6 +277,29 @@ def test_rebalance_rejects_impossible_plans():
     assert code == 2
 
 
+def test_rebalance_parallel_backends_agree_with_sequential():
+    """--parallel thread/process rebalance like the sequential dispatch."""
+    outputs = {}
+    for mode in ("none", "thread", "process"):
+        code, output = run_cli("rebalance", "--structure", "b-tree",
+                               "--shards", "2", "--router", "consistent",
+                               "--keys", "200", "--add", "1", "--seed", "4",
+                               "--parallel", mode)
+        assert code == 0
+        assert "parallel=%s" % mode in output
+        # Everything below the header (migration table, shard sizes) must be
+        # identical across dispatch backends.
+        outputs[mode] = output.splitlines()[1:]
+    assert outputs["none"] == outputs["thread"] == outputs["process"]
+
+
+def test_rebalance_rejects_max_workers_without_parallel():
+    code, _output = run_cli("rebalance", "--structure", "b-tree",
+                            "--shards", "2", "--keys", "50",
+                            "--max-workers", "2")
+    assert code == 2
+
+
 # --------------------------------------------------------------------------- #
 # report
 # --------------------------------------------------------------------------- #

@@ -50,7 +50,16 @@ SHARDED_VARIANTS = (
     ("sharded+hi-skiplist", {"shards": 3, "inner": "hi-skiplist"}),
 )
 
-ALL_TARGETS = list(registry_names()) + [name for name, _extra in SHARDED_VARIANTS]
+#: Process-backend configurations: the same traces, but every operation
+#: crosses the worker-process command pipe (shards hosted out of process).
+PROCESS_VARIANTS = (
+    ("process+b-tree", {"shards": 3, "inner": "b-tree"}),
+    ("process+hi-skiplist", {"shards": 3, "inner": "hi-skiplist"}),
+)
+
+ALL_TARGETS = list(registry_names()) \
+    + [name for name, _extra in SHARDED_VARIANTS] \
+    + [name for name, _extra in PROCESS_VARIANTS]
 
 Op = Tuple  # ("kind", *args)
 
@@ -62,6 +71,12 @@ def make_engine(target: str) -> DictionaryEngine:
             return DictionaryEngine.create("sharded", block_size=BLOCK_SIZE,
                                            cache_blocks=2, seed=STRUCTURE_SEED,
                                            **extra)
+    for name, extra in PROCESS_VARIANTS:
+        if target == name:
+            from repro.api import make_sharded_engine
+            return make_sharded_engine(extra["inner"], shards=extra["shards"],
+                                       block_size=BLOCK_SIZE, cache_blocks=2,
+                                       seed=STRUCTURE_SEED, parallel="process")
     return DictionaryEngine.create(target, block_size=BLOCK_SIZE,
                                    cache_blocks=2, seed=STRUCTURE_SEED)
 
@@ -161,6 +176,16 @@ def run_trace(target: str, trace: Sequence[Op], builder=None) -> Optional[str]:
     a deliberately buggy structure through it).
     """
     engine = (builder or make_engine)(target)
+    try:
+        return _run_trace_on(engine, trace)
+    finally:
+        close = getattr(engine, "close", None)
+        if callable(close):
+            close()  # reap the process backend's workers deterministically
+
+
+def _run_trace_on(engine: DictionaryEngine,
+                  trace: Sequence[Op]) -> Optional[str]:
     oracle = Oracle()
     native_predecessor = getattr(engine.structure, "predecessor", None)
     for index, operation in enumerate(trace):
@@ -268,8 +293,14 @@ def shrink_trace(target: str, trace: List[Op], builder=None) -> List[Op]:
 @pytest.mark.parametrize("trace_seed", [DIFF_SEED, DIFF_SEED + 1])
 def test_differential_against_oracle(target, trace_seed):
     rng = random.Random(trace_seed)
-    with_predecessor = callable(getattr(make_engine(target).structure,
-                                        "predecessor", None))
+    probe = make_engine(target)
+    try:
+        with_predecessor = callable(getattr(probe.structure,
+                                            "predecessor", None))
+    finally:
+        close = getattr(probe, "close", None)
+        if callable(close):
+            close()
     trace = random_trace(rng, steps=220, with_predecessor=with_predecessor)
     failure = run_trace(target, trace)
     if failure is None:

@@ -1,0 +1,372 @@
+"""Process-parallel shard backend: identity, crashes, and clean shutdown.
+
+The contract under test is the one the engine documents: every successful
+operation — point or batched, probe or resize — returns results and leaves
+layouts *byte-identical* to the sequential ``ShardedDictionaryEngine`` over
+the same inputs, while the shard structures live in long-lived worker
+processes.  On top of that, worker crashes must be contained (a clear
+:class:`~repro.errors.WorkerCrashError`, surviving shards unharmed,
+``restart_workers()`` recovery), and shutdown must reap every process.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+import time
+
+import pytest
+
+from repro.api import (
+    ProcessShardedDictionaryEngine,
+    make_dictionary,
+    make_sharded_engine,
+    registry_names,
+)
+from repro.errors import ConfigurationError, KeyNotFound, WorkerCrashError
+
+pytestmark = pytest.mark.fast
+
+BLOCK_SIZE = 16
+SEED = 20160626
+
+
+def build_pair(inner="hi-skiplist", shards=3, seed=SEED, **extra):
+    """A sequential and a process engine with identical construction."""
+    common = dict(shards=shards, block_size=BLOCK_SIZE, cache_blocks=2,
+                  seed=seed, router="consistent", **extra)
+    sequential = make_sharded_engine(inner, **common)
+    process = make_sharded_engine(inner, parallel="process", **common)
+    return sequential, process
+
+
+def entries_for(count, stride=7, modulus=2003):
+    return [(key * stride % modulus, key) for key in range(count)]
+
+
+# --------------------------------------------------------------------------- #
+# The picklability contract the command pipe depends on
+# --------------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("name", registry_names())
+def test_every_registry_structure_survives_the_worker_pipe(name):
+    """Shards ship to workers by pickle; every structure must round-trip."""
+    extra = {"shards": 2} if name == "sharded" else {}
+    structure = make_dictionary(name, block_size=8, cache_blocks=2, seed=3,
+                                **extra)
+    for key in range(24):
+        structure.insert(key * 5, str(key))
+    structure.delete(10)
+    clone = pickle.loads(pickle.dumps(structure))
+    assert clone.items() == structure.items()
+    assert clone.audit_fingerprint() == structure.audit_fingerprint()
+    clone.insert(1_000, "post-pickle")
+    clone.check()
+
+
+# --------------------------------------------------------------------------- #
+# Byte-identity against the sequential engine
+# --------------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("inner", ["hi-skiplist", "b-tree", "hi-pma"])
+def test_bulk_results_and_layouts_match_sequential(inner):
+    sequential, process = build_pair(inner)
+    try:
+        entries = entries_for(300)
+        assert process.insert_many(entries) == sequential.insert_many(entries)
+        probes = list(range(0, 2003, 5))
+        assert process.contains_many(probes) == sequential.contains_many(probes)
+        doomed = [key for key, _value in entries[::6]]
+        assert process.delete_many(doomed) == sequential.delete_many(doomed)
+        assert process.items() == sequential.items()
+        assert list(process) == list(sequential)
+        assert process.shard_sizes() == sequential.shard_sizes()
+        assert process.structure.audit_fingerprint() \
+            == sequential.structure.audit_fingerprint()
+        assert process.io_stats().as_dict() == sequential.io_stats().as_dict()
+        process.check()
+    finally:
+        process.close()
+
+
+def test_point_operations_and_range_queries_match_sequential():
+    sequential, process = build_pair()
+    try:
+        for engine in (sequential, process):
+            engine.insert(5, "five")
+            engine.insert(9, "nine")
+            assert engine.upsert(5, "cinq") is True
+            assert engine.upsert(12, "douze") is False
+            assert engine.search(5) == "cinq"
+            assert engine.delete(9) == "nine"
+            assert engine.contains(9) is False
+            with pytest.raises(KeyNotFound):
+                engine.search(9)
+        assert process.range_query(0, 100) == sequential.range_query(0, 100)
+        assert process.items() == sequential.items()
+    finally:
+        process.close()
+
+
+def test_cost_probes_match_and_roll_back():
+    sequential, process = build_pair(inner="b-tree")
+    try:
+        entries = entries_for(240)
+        sequential.insert_many(entries)
+        process.insert_many(entries)
+        before = process.io_stats().as_dict()
+        for key in (7, 14, 700, 1):
+            assert process.search_io_cost(key) == sequential.search_io_cost(key)
+        s_pairs, s_costs = sequential.range_io_cost_breakdown(50, 1500)
+        p_pairs, p_costs = process.range_io_cost_breakdown(50, 1500)
+        assert (p_pairs, p_costs) == (s_pairs, s_costs)
+        # The probes measured inside the workers and rolled back there.
+        assert process.io_stats().as_dict() == before
+    finally:
+        process.close()
+
+
+def test_elastic_resize_matches_sequential():
+    sequential, process = build_pair(inner="b-treap")
+    try:
+        entries = entries_for(200)
+        sequential.insert_many(entries)
+        process.insert_many(entries)
+        s_grow, p_grow = sequential.add_shard(), process.add_shard()
+        assert (p_grow.moved_keys, p_grow.total_keys,
+                p_grow.received_per_target) \
+            == (s_grow.moved_keys, s_grow.total_keys,
+                s_grow.received_per_target)
+        assert process.num_workers == process.num_shards == 4
+        s_shrink = sequential.remove_shard(1)
+        p_shrink = process.remove_shard(1)
+        assert p_shrink.moved_keys == s_shrink.moved_keys
+        assert process.num_workers == process.num_shards == 3
+        assert process.items() == sequential.items()
+        # b-treap layouts are canonical: the digests must agree exactly.
+        assert process.structure.audit_fingerprint() \
+            == sequential.structure.audit_fingerprint()
+        process.check()
+    finally:
+        process.close()
+
+
+def test_per_shard_snapshots_round_trip(tmp_path):
+    # A pair-snapshotting inner (the b-tree persists (key, value) pairs, not
+    # a bare-key slot array), so the restored engine keeps the values too.
+    sequential, process = build_pair(inner="b-tree")
+    try:
+        entries = entries_for(150)
+        sequential.insert_many(entries)
+        process.insert_many(entries)
+        sequential_dir = tmp_path / "sequential"
+        process_dir = tmp_path / "process"
+        s_manifest = sequential.snapshot_shards(str(sequential_dir))
+        p_manifest = process.snapshot_shards(str(process_dir))
+        assert p_manifest["shards"] == s_manifest["shards"]
+        restored = ProcessShardedDictionaryEngine.restore_shards(
+            str(process_dir))
+        try:
+            assert restored.items() == sequential.items()
+            assert restored.num_workers == restored.num_shards
+        finally:
+            restored.close()
+    finally:
+        process.close()
+
+
+def test_failed_batch_surfaces_the_sequential_exception():
+    sequential, process = build_pair()
+    try:
+        process.insert_many([(1, "a"), (2, "b")])
+        sequential.insert_many([(1, "a"), (2, "b")])
+        from repro.errors import DuplicateKey
+
+        with pytest.raises(DuplicateKey):
+            sequential.insert_many([(3, "c"), (1, "dup")])
+        with pytest.raises(DuplicateKey):
+            process.insert_many([(3, "c"), (1, "dup")])
+        with pytest.raises(KeyNotFound):
+            process.delete_many([2, 99])
+    finally:
+        process.close()
+
+
+def test_sampled_bulk_operations_fall_back_to_the_sequential_path():
+    process = make_sharded_engine("b-tree", shards=2, block_size=8,
+                                  seed=SEED, parallel="process",
+                                  sample_operations=True)
+    try:
+        process.insert_many([(key, key) for key in range(20)])
+        process.contains_many(range(10))
+        kinds = [sample.name for sample in process.samples]
+        assert kinds.count("insert") == 20
+        assert kinds.count("contains") == 10
+    finally:
+        process.close()
+
+
+# --------------------------------------------------------------------------- #
+# Worker pool shape and configuration validation
+# --------------------------------------------------------------------------- #
+
+def test_max_workers_packs_shards_onto_fewer_processes():
+    process = make_sharded_engine("b-tree", shards=4, block_size=8,
+                                  seed=SEED, parallel="process",
+                                  max_workers=2)
+    try:
+        assert process.num_workers == 2
+        entries = entries_for(100)
+        process.insert_many(entries)
+        assert sorted(process.items()) == sorted(
+            (key, value) for key, value in dict(entries).items())
+        process.check()
+    finally:
+        process.close()
+
+
+def test_boolean_and_integer_parallel_flags_keep_working():
+    """PR 3's ``parallel: bool`` contract: plain truthiness selects threads."""
+    from repro.api.sharded import (
+        ParallelShardedDictionaryEngine,
+        ShardedDictionaryEngine,
+    )
+
+    by_flag = {}
+    for flag in (True, 1, False, 0, None):
+        engine = make_sharded_engine("b-tree", shards=2, block_size=8,
+                                     seed=SEED, parallel=flag)
+        by_flag[flag] = type(engine)
+    assert by_flag[True] is by_flag[1] is ParallelShardedDictionaryEngine
+    assert by_flag[False] is by_flag[0] is by_flag[None] \
+        is ShardedDictionaryEngine
+
+
+def test_operations_after_close_raise_library_errors():
+    """A closed engine must fail inside the ReproError hierarchy, never
+    with a bare ``KeyError`` from the emptied worker mapping."""
+    process = make_sharded_engine("b-tree", shards=2, block_size=8,
+                                  seed=SEED, parallel="process")
+    process.insert_many([(1, "a")])
+    process.close()
+    with pytest.raises(WorkerCrashError):
+        process.insert_many([(2, "b")])
+    with pytest.raises(WorkerCrashError):
+        process.contains_many([1])
+    with pytest.raises(WorkerCrashError):
+        process.search_io_cost(1)
+    with pytest.raises(ConfigurationError):
+        process.dead_shard_positions()
+    with pytest.raises(ConfigurationError):
+        process.restart_workers()
+
+
+def test_parallel_mode_and_max_workers_validation():
+    with pytest.raises(ConfigurationError):
+        make_sharded_engine("b-tree", shards=2, parallel="warp-drive")
+    with pytest.raises(ConfigurationError):
+        make_sharded_engine("b-tree", shards=2, max_workers=2)
+    with pytest.raises(ConfigurationError):
+        make_sharded_engine("b-tree", shards=2, parallel="process",
+                            max_workers=0)
+
+
+def test_spawn_start_method_is_supported():
+    """The engine must not depend on fork-inherited state."""
+    structure = make_dictionary("sharded", shards=2, inner="b-tree",
+                                block_size=8, seed=SEED)
+    engine = ProcessShardedDictionaryEngine(structure, start_method="spawn")
+    try:
+        engine.insert_many([(key, key) for key in range(40)])
+        assert engine.contains_many([0, 1, 39, 99]) \
+            == [True, True, True, False]
+    finally:
+        engine.close()
+
+
+# --------------------------------------------------------------------------- #
+# Crashes, restarts, clean shutdown
+# --------------------------------------------------------------------------- #
+
+def _kill_worker(engine, position):
+    pid = engine.worker_pids()[position]
+    os.kill(pid, signal.SIGKILL)
+    deadline = time.time() + 5.0
+    while time.time() < deadline:
+        if engine.dead_shard_positions():
+            return
+        time.sleep(0.02)
+    raise AssertionError("killed worker %d never reported dead" % pid)
+
+
+def test_worker_crash_raises_and_spares_other_shards():
+    process = make_sharded_engine("hi-skiplist", shards=3,
+                                  block_size=BLOCK_SIZE, seed=SEED,
+                                  parallel="process")
+    try:
+        process.insert_many((key, str(key)) for key in range(90))
+        _kill_worker(process, 1)
+        assert process.dead_shard_positions() == [1]
+        with pytest.raises(WorkerCrashError):
+            process.contains_many(range(90))
+        survivors = [key for key in range(90)
+                     if process.structure.shard_of(key) != 1]
+        assert all(process.structure.contains(key) for key in survivors[:5])
+    finally:
+        process.close()
+
+
+def test_restart_workers_rebuilds_lost_shards_empty():
+    process = make_sharded_engine("hi-skiplist", shards=3,
+                                  block_size=BLOCK_SIZE, seed=SEED,
+                                  parallel="process")
+    try:
+        process.insert_many((key, str(key)) for key in range(90))
+        sizes_before = process.shard_sizes()
+        _kill_worker(process, 0)
+        lost = process.restart_workers()
+        assert lost == [0]
+        assert process.dead_shard_positions() == []
+        sizes_after = process.shard_sizes()
+        assert sizes_after[0] == 0
+        assert sizes_after[1:] == sizes_before[1:]
+        # The engine is fully operational again.
+        process.insert_many((key, "rebuilt") for key in range(1_000, 1_030))
+        process.check()
+        assert process.restart_workers() == []
+    finally:
+        process.close()
+
+
+def test_close_reaps_every_worker_and_is_idempotent():
+    process = make_sharded_engine("b-tree", shards=3, block_size=8,
+                                  seed=SEED, parallel="process")
+    process.insert_many([(key, key) for key in range(30)])
+    pids = process.worker_pids()
+    assert len(pids) == 3
+    process.close()
+    process.close()  # idempotent
+    for pid in pids:
+        deadline = time.time() + 5.0
+        while time.time() < deadline:
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                break
+            time.sleep(0.02)
+        else:
+            raise AssertionError("worker %d still alive after close()" % pid)
+    with pytest.raises(WorkerCrashError):
+        process.contains(1)
+
+
+def test_context_manager_closes_on_exit():
+    with make_sharded_engine("b-tree", shards=2, block_size=8, seed=SEED,
+                             parallel="process") as process:
+        process.insert_many([(1, "a"), (2, "b")])
+        pids = process.worker_pids()
+    time.sleep(0.2)
+    for pid in pids:
+        with pytest.raises(ProcessLookupError):
+            os.kill(pid, 0)

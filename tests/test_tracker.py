@@ -105,3 +105,26 @@ def test_reset_clears_counts_and_cache():
     tracker.reset()
     assert tracker.stats.total_ios == 0
     assert tracker.touch_slot("arr", 0) == 1  # the cache was emptied too
+
+
+def test_charge_many_matches_sequential_touch_ranges():
+    """One charge_many call is block-for-block equal to touch_range calls."""
+    ranges = [("arr", 0, 10), ("arr", 4, 5), ("other", 7, 31), ("arr", 0, 1),
+              ("arr", 5, 5)]  # the empty range charges nothing
+    sequential = IOTracker(block_size=8, cache_blocks=2)
+    for array, start, stop in ranges:
+        sequential.touch_range(array, start, stop)
+    batched = IOTracker(block_size=8, cache_blocks=2)
+    charged = batched.charge_many(ranges)
+    assert charged == sequential.stats.total_ios
+    assert batched.stats.reads == sequential.stats.reads
+    assert batched.stats.cache_hits == sequential.stats.cache_hits
+    assert batched.cache.least_recent() == sequential.cache.least_recent()
+
+
+def test_charge_many_writes_and_operation_attribution():
+    tracker = IOTracker(block_size=4)
+    with tracker.operation("rebuild", keep_sample=True) as sample:
+        tracker.charge_many([("arr", 0, 8), ("arr", 8, 12)], write=True)
+    assert tracker.stats.writes == 3
+    assert sample.writes == 3
