@@ -1,0 +1,168 @@
+"""Experiment X-R1 — recovery wall-clock: snapshot vs log replay vs promotion.
+
+PR 5's durability subsystem gives a crashed shard three ways back:
+
+* ``snapshot`` — the checkpoint image covers everything; the op-log tail is
+  empty (crash right after a checkpoint).
+* ``snapshot+log`` — half the load is checkpointed, half lives only in the
+  op log and is replayed on top (the steady-state crash).
+* ``promotion`` — a live replica is promoted and re-replicated; no disk
+  replay at all.
+
+This bench kills one worker (``SIGKILL``, like the fault suite) under each
+configuration and times ``recover()`` alone, verifying afterwards that the
+recovered items match a never-crashed sequential twin — recovery may not
+buy speed with divergence.  Wall-clock numbers are machine-dependent, so
+they are recorded (``benchmarks/BENCH_wallclock.json`` under the
+``recovery`` key, a non-gating CI artifact) rather than gated; the one
+structural assertion is that every path actually recovered byte-identical
+items.  Run standalone with::
+
+    python benchmarks/bench_recovery.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+
+from repro.analysis.reporting import format_table, write_results
+from repro.api import make_sharded_engine
+
+from _harness import scaled, smoke_mode
+
+INNER = "b-treap"
+BLOCK_SIZE = 32
+SHARDS = 3
+SEED = 20160626
+
+WALLCLOCK_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                              "BENCH_wallclock.json")
+
+
+def _kill_and_wait(engine, position) -> None:
+    os.kill(engine.worker_pids()[position], signal.SIGKILL)
+    deadline = time.time() + 10.0
+    while time.time() < deadline:
+        if engine.dead_shard_positions():
+            return
+        time.sleep(0.02)
+    raise AssertionError("killed worker never reported dead")
+
+
+def _twin_items(entries, tail):
+    twin = make_sharded_engine(INNER, shards=SHARDS, block_size=BLOCK_SIZE,
+                               seed=SEED, router="consistent")
+    twin.insert_many(entries)
+    twin.insert_many(tail)
+    return twin.items()
+
+
+def drive(mode: str, total: int, tmp_dir: str):
+    """One crash/recover cycle; returns the timing row."""
+    half = total // 2
+    entries = [(key * 7 % (total * 13), key) for key in range(half)]
+    tail = [(key * 7 % (total * 13), key) for key in range(half, total)]
+    replication = 2 if mode == "promotion" else 1
+    durability = None if mode == "promotion" \
+        else os.path.join(tmp_dir, mode.replace("+", "-"))
+    engine = make_sharded_engine(INNER, shards=SHARDS,
+                                 block_size=BLOCK_SIZE, seed=SEED,
+                                 router="consistent", parallel="process",
+                                 replication=replication,
+                                 durability_dir=durability)
+    try:
+        engine.insert_many(entries)
+        if mode == "snapshot":
+            engine.insert_many(tail)
+            engine.checkpoint()  # the image covers everything
+        elif mode == "snapshot+log":
+            engine.checkpoint()  # half imaged ...
+            engine.insert_many(tail)  # ... half replayed from the log
+        else:
+            engine.insert_many(tail)
+        _kill_and_wait(engine, 0)
+        started = time.perf_counter()
+        report = engine.recover()
+        seconds = time.perf_counter() - started
+        assert report.positions, "nothing recovered?"
+        recovered = engine.items()
+        assert recovered == _twin_items(entries, tail), (
+            "recovery path %r diverged from the never-crashed twin" % mode)
+        keys = len(recovered)
+        return {
+            "mode": mode,
+            "path": ("promotion" if report.promoted else "replay"),
+            "keys": keys,
+            "recover_seconds": round(seconds, 4),
+            "keys_per_second": int(keys / seconds) if seconds else 0,
+        }
+    finally:
+        engine.close()
+
+
+def collect(tmp_dir: str):
+    total = scaled(8_000)
+    rows = [drive(mode, total, tmp_dir)
+            for mode in ("snapshot", "snapshot+log", "promotion")]
+    payload = {
+        "meta": {
+            "inner": INNER,
+            "shards": SHARDS,
+            "block_size": BLOCK_SIZE,
+            "keys": total,
+            "smoke": smoke_mode(),
+        },
+        "rows": rows,
+    }
+    return payload, rows
+
+
+def report(payload, rows) -> None:
+    print()
+    print("Recovery wall-clock — %d keys (inner=%s, %d shards, smoke=%s)"
+          % (payload["meta"]["keys"], INNER, SHARDS,
+             payload["meta"]["smoke"]))
+    print(format_table(
+        [[row["mode"], row["path"], row["keys"], row["recover_seconds"],
+          row["keys_per_second"]] for row in rows],
+        headers=["mode", "path", "keys", "recover s", "keys/s"]))
+
+
+def write_wallclock(payload) -> None:
+    """Merge the recovery section into the committed wall-clock trajectory.
+
+    ``BENCH_wallclock.json`` is shared with the parallel-throughput bench
+    (which owns the top-level ``meta``/``rows``); each standalone run
+    replaces only its own section, so the two benches never clobber each
+    other's full-mode numbers.
+    """
+    merged = {}
+    if os.path.exists(WALLCLOCK_PATH):
+        try:
+            with open(WALLCLOCK_PATH, encoding="utf-8") as handle:
+                merged = json.load(handle)
+        except ValueError:  # pragma: no cover - a torn artifact
+            merged = {}
+    merged["recovery"] = payload
+    with open(WALLCLOCK_PATH, "w", encoding="utf-8") as handle:
+        json.dump(merged, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("wrote %s (recovery section)" % WALLCLOCK_PATH)
+
+
+def test_recovery_trajectory(run_once, results_dir, tmp_path):
+    payload, rows = run_once(collect, str(tmp_path))
+    report(payload, rows)
+    write_results("recovery", payload, directory=results_dir)
+
+
+if __name__ == "__main__":
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as scratch:
+        collected_payload, collected_rows = collect(scratch)
+    report(collected_payload, collected_rows)
+    write_wallclock(collected_payload)

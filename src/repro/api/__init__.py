@@ -52,6 +52,23 @@ from repro.api.sharded import (
     shard_index,
 )
 
+def __getattr__(name: str):
+    """Lazily re-export the replication engine (PEP 562).
+
+    ``repro.replication`` imports from this package, so an eager import
+    here would make the package import order-fragile; resolving the name
+    on first access keeps ``from repro.api import
+    ReplicatedShardedDictionaryEngine`` working without the cycle risk.
+    """
+    if name == "ReplicatedShardedDictionaryEngine":
+        from repro.replication.engine import (
+            ReplicatedShardedDictionaryEngine,
+        )
+        return ReplicatedShardedDictionaryEngine
+    raise AttributeError("module %r has no attribute %r"
+                         % (__name__, name))
+
+
 __all__ = [
     "HIDictionary",
     "RankKeyedDictionary",
@@ -63,6 +80,7 @@ __all__ = [
     "PARALLEL_MODES",
     "ParallelShardedDictionaryEngine",
     "ProcessShardedDictionaryEngine",
+    "ReplicatedShardedDictionaryEngine",
     "Router",
     "ShardedDictionary",
     "ShardedDictionaryEngine",

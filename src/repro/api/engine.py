@@ -114,6 +114,26 @@ class DictionaryEngine:
         self._structure.check()
 
     # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Release engine-held resources.  Idempotent; a no-op here.
+
+        The in-process engines hold nothing that needs releasing, but the
+        process and replicated engines own worker pools and op logs — so
+        ``close()`` (and ``with engine: ...``) is part of the uniform
+        engine surface, letting consumers shut any engine down without
+        probing for the method first.
+        """
+
+    def __enter__(self) -> "DictionaryEngine":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
     # Dictionary operations (sampled)
     # ------------------------------------------------------------------ #
 

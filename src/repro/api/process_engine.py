@@ -54,9 +54,19 @@ from __future__ import annotations
 
 import heapq
 import multiprocessing
+import os
 from collections import deque
 from multiprocessing.connection import wait
-from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Deque,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.api.engine import DictionaryEngine
 from repro.api.protocol import HIDictionary, Pair
@@ -72,8 +82,20 @@ Command = Tuple[int, str, tuple]
 
 
 def _default_start_method() -> str:
-    """``fork`` where the platform has it (fast, no re-import), else spawn."""
+    """``fork`` where the platform has it (fast, no re-import), else spawn.
+
+    The ``REPRO_START_METHOD`` environment variable overrides the choice —
+    that is how CI runs the fault-injection suite under both start methods
+    without threading a parameter through every constructor.
+    """
     methods = multiprocessing.get_all_start_methods()
+    override = os.environ.get("REPRO_START_METHOD")
+    if override:
+        if override not in methods:
+            raise ConfigurationError(
+                "REPRO_START_METHOD=%r is not a start method this platform "
+                "supports (%s)" % (override, ", ".join(methods)))
+        return override
     return "fork" if "fork" in methods else "spawn"
 
 
@@ -99,34 +121,109 @@ def _describe_shard(shard: HIDictionary) -> Dict[str, object]:
     }
 
 
-def _execute(engines: Dict[int, DictionaryEngine], shard_id: int,
-             method: str, args: tuple) -> object:
-    """Dispatch one command against the hosted shard (worker side)."""
+def _open_oplog(spec: Mapping[str, object]):
+    """Open the worker-side op log a hosting command described."""
+    # Imported lazily: the replication package imports this module, so a
+    # top-level import would be circular; workers pay the lookup once.
+    from repro.replication.oplog import OpLog
+
+    return OpLog(**spec)
+
+
+def _execute(engines: Dict[int, DictionaryEngine], logs: Dict[int, object],
+             trip, shard_id: int, method: str, args: tuple) -> object:
+    """Dispatch one command against the hosted shard (worker side).
+
+    ``logs`` maps shard ids to their op logs (primaries of a durable
+    engine only): every acknowledged mutation is appended *here*, by the
+    process that applied it, with one fsync batch per command — so after a
+    crash the log holds exactly the operations the lost structure had
+    applied.  ``trip`` is the fail-point hook the fault-injection suite
+    arms to kill the worker at exact operation boundaries.
+    """
     if method == "__host__":
-        shard, = args
+        shard = args[0]
         engines[shard_id] = DictionaryEngine(shard)
+        if len(args) > 1 and args[1] is not None:
+            logs[shard_id] = _open_oplog(args[1])
         return _describe_shard(shard)
     if method == "__drop__":
         del engines[shard_id]
+        log = logs.pop(shard_id, None)
+        if log is not None:
+            log.close()
         return None
     if method == "__ping__":
         return "pong"
+    if method == "__promote__":
+        # A replica hosted here becomes the primary for ``shard_id``: re-key
+        # its engine and open the shard's (fresh) op log, since the old log
+        # described the dead primary, not the promoted copy.
+        replica_id, oplog_spec = args
+        engines[shard_id] = engines.pop(replica_id)
+        stale = logs.pop(shard_id, None)
+        if stale is not None:
+            stale.close()
+        if oplog_spec is not None:
+            logs[shard_id] = _open_oplog(oplog_spec)
+        return _describe_shard(engines[shard_id].structure)
     engine = engines[shard_id]
     structure = engine.structure
+    log = logs.get(shard_id)
     # The batched bulk paths: one command per shard per engine-level call.
     if method == "insert_batch":
         insert = structure.insert
         count = 0
-        for key, value in args[0]:
-            insert(key, value)
-            count += 1
+        try:
+            for key, value in args[0]:
+                trip("worker.insert")
+                insert(key, value)
+                if log is not None:
+                    log.append("insert", key, value)
+                count += 1
+        finally:
+            if log is not None:
+                log.commit()  # the applied prefix is durable even on error
         return count
     if method == "delete_batch":
         delete = structure.delete
-        return [delete(key) for key in args[0]]
+        values = []
+        try:
+            for key in args[0]:
+                trip("worker.delete")
+                values.append(delete(key))
+                if log is not None:
+                    log.append("delete", key)
+        finally:
+            if log is not None:
+                log.commit()
+        return values
     if method == "contains_batch":
         contains = structure.contains
         return [contains(key) for key in args[0]]
+    if method in ("insert", "upsert", "delete"):
+        # Routed point mutations (including the migration traffic the
+        # elastic resizes push through the shard proxies) log one committed
+        # frame each.
+        trip("worker." + method)
+        result = getattr(structure, method)(*args)
+        if log is not None:
+            log.append(method, args[0], args[1] if len(args) > 1 else None)
+            log.commit()
+        return result
+    if method == "__checkpoint__":
+        # One atomic conversation: the returned slot array and log barrier
+        # offset describe the same instant (no other command can interleave
+        # because the parent keeps at most one outstanding per worker).
+        slots = list(structure.snapshot_slots())
+        trip("worker.checkpoint")
+        return slots, (log.barrier() if log is not None else None)
+    if method == "__compact__":
+        return log.compact(args[0]) if log is not None else None
+    if method == "__export__":
+        # The whole structure pickles back to the parent — recovery uses it
+        # to seed fresh replicas from a live copy.
+        return structure
     # Cost probes run through the worker's own engine so the measurement is
     # cleared and rolled back *inside* the worker — cumulative counters stay
     # byte-identical to a sequential engine's.
@@ -148,7 +245,13 @@ def _execute(engines: Dict[int, DictionaryEngine], shard_id: int,
 
 def _worker_main(conn) -> None:
     """The long-lived worker loop: receive commands, answer until shutdown."""
+    # Lazy import (cycle: the replication package imports this module); the
+    # fail points are inert unless REPRO_FAILPOINTS is armed in the
+    # environment this worker inherited.
+    from repro.replication.failpoints import trip
+
     engines: Dict[int, DictionaryEngine] = {}
+    logs: Dict[int, object] = {}
     while True:
         try:
             shard_id, method, args = conn.recv()
@@ -163,7 +266,8 @@ def _worker_main(conn) -> None:
                 pass
             break
         try:
-            reply = ("ok", _execute(engines, shard_id, method, args))
+            reply = ("ok", _execute(engines, logs, trip, shard_id, method,
+                                    args))
         except Exception as error:
             reply = ("err", error)
         try:
@@ -178,6 +282,11 @@ def _worker_main(conn) -> None:
                     "worker reply to %r did not pickle" % (method,))))
             except Exception:  # pragma: no cover
                 break
+    for log in logs.values():
+        try:
+            log.close()
+        except Exception:  # pragma: no cover - best-effort flush
+            pass
     conn.close()
 
 
@@ -241,8 +350,14 @@ class _ShardWorker:
             raise payload
         return payload
 
-    def host(self, shard_id: int, shard: HIDictionary) -> Dict[str, object]:
-        descriptor = self.request(shard_id, "__host__", (shard,))
+    def host(self, shard_id: int, shard: HIDictionary,
+             oplog: Optional[Mapping[str, object]] = None
+             ) -> Dict[str, object]:
+        """Adopt ``shard`` under ``shard_id``; ``oplog`` (a keyword spec for
+        :class:`~repro.replication.oplog.OpLog`) makes the hosting durable:
+        the worker opens the log and appends every acknowledged mutation."""
+        args = (shard,) if oplog is None else (shard, dict(oplog))
+        descriptor = self.request(shard_id, "__host__", args)
         self.shard_ids.add(shard_id)
         return descriptor
 
@@ -541,59 +656,78 @@ class ProcessShardedDictionaryEngine(ShardedDictionaryEngine):
         return self._worker_for_position(position).request(shard_id, method,
                                                            args)
 
+    def _drive_commands(self, commands: Sequence[
+            Tuple[object, "_ShardWorker", int, str, tuple]]
+            ) -> Tuple[Dict[object, object], Dict[object, BaseException]]:
+        """Run ``(key, worker, engine id, method, args)`` commands; return
+        ``(results, errors)`` keyed by ``key``.
+
+        The shared dispatch loop behind :meth:`_scatter` and the replicated
+        engine's primary-plus-replica fan-out: at most one command is
+        outstanding per worker (a second send could deadlock against a
+        worker blocked on a large reply); commands for the same worker run
+        back to back; a dead worker fails its whole queue.  Callers decide
+        which errors are fatal — the plain engine raises all of them, the
+        replicated engine demotes replica failures to replica drops.
+        """
+        queues: Dict[_ShardWorker, Deque[Tuple[object, _ShardWorker, int,
+                                               str, tuple]]] = {}
+        for command in commands:
+            queues.setdefault(command[1], deque()).append(command)
+        results: Dict[object, object] = {}
+        errors: Dict[object, BaseException] = {}
+
+        def fail_worker(worker: _ShardWorker, key: object,
+                        error: BaseException) -> None:
+            errors[key] = error
+            for queued in queues[worker]:
+                errors[queued[0]] = error
+            queues[worker].clear()
+
+        def dispatch_next(worker: _ShardWorker) -> None:
+            while queues[worker]:
+                key, _worker, engine_id, method, args = \
+                    queues[worker].popleft()
+                try:
+                    worker.send(engine_id, method, args)
+                except WorkerCrashError as error:
+                    fail_worker(worker, key, error)
+                    continue
+                outstanding[worker.connection] = (worker, key)
+                return
+
+        outstanding: Dict[object, Tuple[_ShardWorker, object]] = {}
+        for worker in queues:
+            dispatch_next(worker)
+        while outstanding:
+            for connection in wait(list(outstanding)):
+                worker, key = outstanding.pop(connection)
+                try:
+                    status, payload = worker.receive()
+                except WorkerCrashError as error:
+                    fail_worker(worker, key, error)
+                    continue
+                if status == "err":
+                    errors[key] = payload
+                else:
+                    results[key] = payload
+                dispatch_next(worker)
+        return results, errors
+
     def _scatter(self, commands: Sequence[Tuple[int, str, tuple]]
                  ) -> Dict[int, object]:
         """Run per-shard commands concurrently; results keyed by position.
 
-        At most one command is outstanding per worker (a second send could
-        deadlock against a worker blocked on a large reply); commands for
-        the same worker run back to back.  Worker-side exceptions — and
+        Worker-side exceptions — and
         :class:`~repro.errors.WorkerCrashError` for workers that die — are
         re-raised for the smallest shard position, matching which failure
         the sequential engine would surface first.
         """
         structure = self._structure
-        queues: Dict[_ShardWorker, Deque[Tuple[int, str, tuple]]] = {}
-        for command in commands:
-            worker = self._worker_for_position(command[0])
-            queues.setdefault(worker, deque()).append(command)
-        results: Dict[int, object] = {}
-        errors: Dict[int, BaseException] = {}
-
-        def fail_worker(worker: _ShardWorker, position: int,
-                        error: BaseException) -> None:
-            errors[position] = error
-            for queued_position, _method, _args in queues[worker]:
-                errors[queued_position] = error
-            queues[worker].clear()
-
-        def dispatch_next(worker: _ShardWorker) -> None:
-            while queues[worker]:
-                position, method, args = queues[worker].popleft()
-                try:
-                    worker.send(structure.shard_ids[position], method, args)
-                except WorkerCrashError as error:
-                    fail_worker(worker, position, error)
-                    continue
-                outstanding[worker.connection] = (worker, position)
-                return
-
-        outstanding: Dict[object, Tuple[_ShardWorker, int]] = {}
-        for worker in queues:
-            dispatch_next(worker)
-        while outstanding:
-            for connection in wait(list(outstanding)):
-                worker, position = outstanding.pop(connection)
-                try:
-                    status, payload = worker.receive()
-                except WorkerCrashError as error:
-                    fail_worker(worker, position, error)
-                    continue
-                if status == "err":
-                    errors[position] = payload
-                else:
-                    results[position] = payload
-                dispatch_next(worker)
+        results, errors = self._drive_commands(
+            [(position, self._worker_for_position(position),
+              structure.shard_ids[position], method, args)
+             for position, method, args in commands])
         if errors:
             raise errors[min(errors)]
         return results

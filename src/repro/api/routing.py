@@ -192,6 +192,33 @@ class ConsistentHashRouter(Router):
             index = 0
         return owners[index]
 
+    def successors(self, shard_id: int, shard_ids: Sequence[int],
+                   count: int) -> List[int]:
+        """The next ``count`` distinct shard ids after ``shard_id``'s first
+        virtual node on the ring (``shard_id`` itself excluded).
+
+        A pure function of the shard-id tuple — no key, no state — which is
+        what the replication layer wants from a placement rule: replica
+        placements survive restarts and resizes exactly like key routing
+        does, and removing an unrelated shard never moves an existing
+        replica chain (its vnodes simply vanish from the walk).
+        """
+        ids = tuple(shard_ids)
+        if shard_id not in ids:
+            raise ConfigurationError(
+                "shard id %r is not in the ring %r" % (shard_id, ids))
+        positions, owners = self._ring(ids)
+        start = bisect.bisect_left(positions,
+                                   self._vnode_position(shard_id, 0))
+        found: List[int] = []
+        for step in range(len(positions)):
+            owner = ids[owners[(start + step) % len(positions)]]
+            if owner != shard_id and owner not in found:
+                found.append(owner)
+                if len(found) >= count:
+                    break
+        return found
+
     def spec(self) -> Dict[str, object]:
         return {"name": self.name, "vnodes": self.vnodes}
 

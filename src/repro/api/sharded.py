@@ -247,14 +247,19 @@ class ShardedDictionary(HIDictionary):
         num_shards, inner_names, inner_params, router = _validated_shard_spec(
             config.extra)
         rng = make_rng(config.seed)
+        # Per-shard seeds are drawn in shard order and *remembered*: the
+        # replication layer rebuilds a crashed shard with its original seed,
+        # which is what makes a recovered canonical (strongly-HI) layout
+        # byte-identical to a never-crashed build of the same key set.
+        shard_seeds = [rng.getrandbits(64) for _name in inner_names]
         shards = [
             make_dictionary(name,
                             block_size=config.block_size,
                             cache_blocks=config.cache_blocks,
-                            seed=rng.getrandbits(64),
+                            seed=shard_seed,
                             backend=config.backend,
                             **inner_params)
-            for name in inner_names
+            for name, shard_seed in zip(inner_names, shard_seeds)
         ]
         sharded = cls(shards, inner_names=inner_names, router=router)
         sharded._build_context = {
@@ -264,6 +269,8 @@ class ShardedDictionary(HIDictionary):
             "inner_params": dict(inner_params),
             "seed": config.seed,
             "rng": rng,
+            "shard_seeds": shard_seeds,
+            "seeds_drawn": num_shards,
         }
         return sharded
 
@@ -382,6 +389,7 @@ class ShardedDictionary(HIDictionary):
             raise ConfigurationError(
                 "pass either a pre-built shard or an inner name, not both")
         rng_state = None
+        new_seed: Optional[int] = None
         if shard is None:
             context = self._build_context
             if context is None:
@@ -400,10 +408,11 @@ class ShardedDictionary(HIDictionary):
                         "must not be 'sharded'")
             rng_state = context["rng"].getstate()
             try:
+                new_seed = context["rng"].getrandbits(64)
                 shard = make_dictionary(inner_name,
                                         block_size=context["block_size"],
                                         cache_blocks=context["cache_blocks"],
-                                        seed=context["rng"].getrandbits(64),
+                                        seed=new_seed,
                                         backend=context["backend"],
                                         **context["inner_params"])
             except Exception:
@@ -431,6 +440,14 @@ class ShardedDictionary(HIDictionary):
         self.inner_names.append(inner_name)
         self._shard_ids = new_ids
         self._next_shard_id += 1
+        context = self._build_context
+        if context is not None:
+            # Registry-built growth extends the remembered seed list (the
+            # replication layer rebuilds crashed shards from it); a shard
+            # handed in pre-built has no known seed.
+            context["shard_seeds"].append(new_seed)
+            if new_seed is not None:
+                context["seeds_drawn"] += 1
         try:
             moved, per_source, per_target = self._migrate(
                 new_ids, new_position_of)
@@ -443,6 +460,10 @@ class ShardedDictionary(HIDictionary):
             self.inner_names.pop()
             self._shard_ids = old_ids
             self._next_shard_id -= 1
+            if context is not None:
+                context["shard_seeds"].pop()
+                if new_seed is not None:
+                    context["seeds_drawn"] -= 1
             if rng_state is not None:
                 self._build_context["rng"].setstate(rng_state)
             raise
@@ -482,6 +503,8 @@ class ShardedDictionary(HIDictionary):
         self._shards.pop(position)
         self.inner_names.pop(position)
         self._shard_ids = new_ids
+        if self._build_context is not None:
+            self._build_context["shard_seeds"].pop(position)
         return MigrationReport(
             old_shards=num_shards, new_shards=num_shards - 1,
             router=self._router.name, total_keys=total, moved_keys=moved,
@@ -650,6 +673,12 @@ class ShardedDictionaryEngine(DictionaryEngine):
 
     #: File name of the manifest written next to the per-shard images.
     MANIFEST_NAME = "manifest.json"
+
+    #: Manifest format version this build writes.  Version 2 added the
+    #: ``version`` field itself plus per-shard image checksums; manifests
+    #: without a version (implicitly 1) still restore, newer versions are
+    #: rejected instead of being half-understood.
+    MANIFEST_VERSION = 2
 
     def __init__(self, structure: ShardedDictionary, *,
                  name: Optional[str] = None,
@@ -881,16 +910,19 @@ class ShardedDictionaryEngine(DictionaryEngine):
         shard the image file name and the snapshot metadata needed to decode
         it.  :meth:`restore_shards` consumes exactly this layout.
         """
+        from repro.storage.snapshot import file_checksum
+
         os.makedirs(directory, exist_ok=True)
         shards = []
         for index, engine in enumerate(self._engines()):
             file_name = "shard-%04d.img" % index
+            path = os.path.join(directory, file_name)
             _paged, metadata = engine.snapshot(
-                os.path.join(directory, file_name),
-                page_size=page_size, payload_size=payload_size,
+                path, page_size=page_size, payload_size=payload_size,
                 shuffle_pages=shuffle_pages, seed=seed)
             shards.append({
                 "file": file_name,
+                "checksum": file_checksum(path),
                 "kind": metadata.kind,
                 "num_slots": metadata.num_slots,
                 "num_pages": metadata.num_pages,
@@ -899,6 +931,7 @@ class ShardedDictionaryEngine(DictionaryEngine):
                 "page_order": list(metadata.page_order),
             })
         manifest = {
+            "version": self.MANIFEST_VERSION,
             "structure": self.name,
             "num_shards": self.num_shards,
             "inner": list(self._structure.inner_names),
@@ -971,6 +1004,18 @@ class ShardedDictionaryEngine(DictionaryEngine):
             raise ConfigurationError(
                 "cannot read sharded snapshot manifest %r: %s"
                 % (manifest_path, error)) from error
+        version = manifest.get("version", 1)
+        if not isinstance(version, int) or isinstance(version, bool) \
+                or version < 1:
+            raise ConfigurationError(
+                "sharded snapshot manifest %r has a malformed version %r"
+                % (manifest_path, version))
+        if version > cls.MANIFEST_VERSION:
+            raise ConfigurationError(
+                "sharded snapshot manifest %r has format version %d; this "
+                "build reads up to %d — refusing to guess at fields it "
+                "cannot understand" % (manifest_path, version,
+                                       cls.MANIFEST_VERSION))
         num_shards = manifest.get("num_shards")
         inner = manifest.get("inner")
         shard_entries = manifest.get("shards")
@@ -1032,8 +1077,17 @@ class ShardedDictionaryEngine(DictionaryEngine):
                 raise ConfigurationError(
                     "sharded snapshot manifest %r shard entry %d is "
                     "malformed: %s" % (manifest_path, index, error)) from error
-            paged = PagedFile(page_size=metadata.page_size,
-                              path=os.path.join(directory, file_name))
+            image_path = os.path.join(directory, file_name)
+            recorded = entry.get("checksum")
+            if recorded is not None:
+                from repro.storage.snapshot import file_checksum
+                actual = file_checksum(image_path)
+                if actual != recorded:
+                    raise ConfigurationError(
+                        "shard image %r is corrupt or truncated: checksum "
+                        "%s does not match the manifest's %s"
+                        % (image_path, actual, recorded))
+            paged = PagedFile(page_size=metadata.page_size, path=image_path)
             for slot in load_records(paged, metadata):
                 if slot is None:
                     continue
@@ -1214,7 +1268,10 @@ def make_sharded_engine(inner: object = DEFAULT_INNER, *,
                         router: object = "modulo",
                         vnodes: Optional[int] = None,
                         parallel: object = False,
-                        max_workers: Optional[int] = None
+                        max_workers: Optional[int] = None,
+                        replication: int = 1,
+                        durability_dir: Optional[str] = None,
+                        fsync: bool = True
                         ) -> ShardedDictionaryEngine:
     """Convenience constructor: a sharded engine over ``shards`` × ``inner``.
 
@@ -1228,6 +1285,16 @@ def make_sharded_engine(inner: object = DEFAULT_INNER, *,
     :class:`~repro.api.process_engine.ProcessShardedDictionaryEngine`) —
     with ``max_workers`` capping the pool.  All validation is the
     registry's.
+
+    ``replication`` and ``durability_dir`` turn the process backend into a
+    durable store (see :mod:`repro.replication`): with ``replication=N``
+    every write fans out to a primary plus ``N - 1`` replica shards hosted
+    on other workers, and with a ``durability_dir`` each primary keeps an
+    op log plus checkpointed snapshots there, so crashed workers recover
+    their state instead of restarting empty.  ``replication=1`` with no
+    durability directory is today's process engine, bit for bit.  ``fsync``
+    set to ``False`` trades machine-crash durability for speed (process
+    crashes stay covered).
     """
     from repro.api.registry import make_dictionary
 
@@ -1236,6 +1303,15 @@ def make_sharded_engine(inner: object = DEFAULT_INNER, *,
         raise ConfigurationError(
             "max_workers only applies to the parallel engines; "
             "pass parallel='thread' or parallel='process'")
+    if not isinstance(replication, int) or isinstance(replication, bool) \
+            or replication < 1:
+        raise ConfigurationError(
+            "replication must be an integer >= 1, got %r" % (replication,))
+    if (replication > 1 or durability_dir is not None) and mode != "process":
+        raise ConfigurationError(
+            "replication and durability require the process backend "
+            "(shards must live in workers that can crash independently); "
+            "pass parallel='process'")
     structure = make_dictionary("sharded", block_size=block_size,
                                 cache_blocks=cache_blocks, seed=seed,
                                 backend=backend, shards=shards, inner=inner,
@@ -1246,6 +1322,14 @@ def make_sharded_engine(inner: object = DEFAULT_INNER, *,
             structure, sample_operations=sample_operations,
             max_workers=max_workers)
     if mode == "process":
+        if replication > 1 or durability_dir is not None:
+            from repro.replication.engine import (
+                ReplicatedShardedDictionaryEngine,
+            )
+            return ReplicatedShardedDictionaryEngine(
+                structure, sample_operations=sample_operations,
+                max_workers=max_workers, replication=replication,
+                durability_dir=durability_dir, fsync=fsync)
         from repro.api.process_engine import ProcessShardedDictionaryEngine
         return ProcessShardedDictionaryEngine(
             structure, sample_operations=sample_operations,

@@ -62,3 +62,15 @@ class WorkerCrashError(ReproError, RuntimeError):
     worker that hosts a shard.  The worker's in-memory shard state is lost;
     see ``restart_workers()`` for recovery semantics.
     """
+
+
+class ReplicationError(ReproError, RuntimeError):
+    """The durability/replication subsystem could not honour its contract.
+
+    Raised by :mod:`repro.replication` when recovery is impossible or the
+    durable artifacts disagree with each other — e.g. an op-log replay that
+    diverges from its snapshot, or a shard with no live replica and no
+    durable state to rebuild from.  Plain misconfiguration (bad replication
+    factors, malformed manifests, corrupt snapshot files) stays
+    :class:`ConfigurationError`.
+    """

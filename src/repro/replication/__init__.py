@@ -1,0 +1,44 @@
+"""Durability & replication for the process-sharded engine.
+
+The paper's history-independent dictionaries are designed for *persistent*
+storage, but PR 4's process backend still lost data on failure: a crashed
+worker's shards were rebuilt empty.  This package closes that gap with three
+cooperating pieces:
+
+* :mod:`repro.replication.oplog` — a per-shard append-only **op log**
+  (CRC-framed fixed-width records reusing the storage codec, fsync batched
+  per command, compacted at snapshot barriers).
+* :mod:`repro.replication.engine` —
+  :class:`~repro.replication.engine.ReplicatedShardedDictionaryEngine`,
+  reachable through ``make_sharded_engine(parallel="process",
+  replication=N, durability_dir=...)``: writes fan out to a primary plus
+  ``N - 1`` replica placements computed from the consistent-hash ring,
+  reads are served by the primary with replica fallback on
+  :class:`~repro.errors.WorkerCrashError`.
+* :mod:`repro.replication.recovery` — seeded recovery and failover:
+  ``restart_workers()`` promotes a live replica or replays snapshot +
+  op-log tail, then re-replicates; :func:`open_durable_engine` cold-starts
+  an engine from a durability directory.
+
+The recovery contract is the paper's anti-persistence property doing real
+work: a recovered shard is rebuilt with its *original* construction seed and
+its canonical layout is a function of the surviving key set alone, so the
+recovered engine is byte-identical (canonical HI digest tier) to an
+identically-built engine that never crashed.
+"""
+
+from repro.replication.engine import ReplicatedShardedDictionaryEngine
+from repro.replication.oplog import OpLog
+from repro.replication.recovery import (
+    RecoveryReport,
+    open_durable_engine,
+    replica_targets,
+)
+
+__all__ = [
+    "OpLog",
+    "RecoveryReport",
+    "ReplicatedShardedDictionaryEngine",
+    "open_durable_engine",
+    "replica_targets",
+]

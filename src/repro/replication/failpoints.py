@@ -1,0 +1,70 @@
+"""Deterministic crash injection for the durability test suite.
+
+Real crash-recovery code is only trustworthy when crashes can be placed
+*exactly* — "kill the worker after its 7th insert of this batch" — which
+neither timed ``os.kill`` from the parent nor poisoned key objects can do
+reliably (timing races, and poisoned keys cannot pass the storage codec the
+op log depends on).  This module is the standard fail-point escape hatch:
+named trip wires compiled into the worker hot paths that do nothing unless
+armed through the environment.
+
+Arm them with::
+
+    REPRO_FAILPOINTS="worker.insert:7,worker.checkpoint:2"
+
+Each worker process parses its own inherited environment once, keeps its own
+countdown per name, and calls ``os._exit(17)`` when a countdown hits zero —
+an abrupt exit indistinguishable from SIGKILL as far as the parent, the
+pipes, and the op log are concerned.  Fork/spawn children inherit the
+environment at spawn time, so tests arm the variable *before* building the
+engine and disarm it before recovery respawns workers.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional
+
+#: Environment variable holding the ``name:count[,name:count...]`` spec.
+ENV_VAR = "REPRO_FAILPOINTS"
+
+#: Exit code of a tripped fail point (distinct from crashes under test).
+EXIT_CODE = 17
+
+_armed: Optional[Dict[str, int]] = None
+
+
+def _parse(spec: str) -> Dict[str, int]:
+    armed: Dict[str, int] = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _sep, count = part.partition(":")
+        try:
+            armed[name] = max(1, int(count))
+        except ValueError:
+            armed[name] = 1
+    return armed
+
+
+def trip(name: str) -> None:
+    """Count down the fail point ``name``; exit the process at zero.
+
+    The unarmed fast path is one global load and a falsy check, so the
+    worker hot loops can afford a trip wire per operation.
+    """
+    global _armed
+    if _armed is None:
+        _armed = _parse(os.environ.get(ENV_VAR, ""))
+    if not _armed or name not in _armed:
+        return
+    _armed[name] -= 1
+    if _armed[name] <= 0:
+        os._exit(EXIT_CODE)
+
+
+def reset() -> None:
+    """Re-read the environment on next :func:`trip` (test hook)."""
+    global _armed
+    _armed = None

@@ -1,0 +1,336 @@
+"""Per-shard append-only operation log with CRC framing and barriers.
+
+The op log is the redo half of the durability story: every acknowledged
+mutation of a worker-hosted primary shard is appended here *by the worker
+that applied it*, so after a crash the log holds exactly the operations the
+dead structure had applied (commands that were never acknowledged may have
+their tail records missing — that is the torn-tail case replay tolerates).
+
+Format
+------
+
+A log file is a fixed header followed by fixed-width frames::
+
+    header:  magic "REPROLOG" | version u32 | base u64
+    frame:   op u8 | record (RecordCodec, fixed width) | crc32 u32
+
+The record body reuses :class:`repro.storage.encoding.RecordCodec` — the
+same canonical fixed-width union the snapshots persist — encoding the key
+for deletes and the ``(key, value)`` pair for inserts/upserts; barrier
+frames carry a gap record.  The CRC covers the op byte plus the record, so
+a flipped bit anywhere in a frame is detected on replay.
+
+Because frames are fixed width, a *logical offset* (``base`` plus the byte
+position past the header) addresses a frame boundary exactly.  Snapshot
+manifests persist the logical offset returned by :meth:`OpLog.barrier`;
+:meth:`OpLog.compact` drops every frame before a barrier and advances
+``base`` so logical offsets remain stable across compactions.
+
+Durability levels: :meth:`append` writes the frame straight to the OS
+(unbuffered), so records survive a killed *process*; :meth:`commit` fsyncs,
+batching one sync per engine command, so acknowledged commands also survive
+a killed *machine* (when ``fsync=True``).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.storage.encoding import RecordCodec
+
+#: Log file magic; a file that does not start with it is rejected.
+MAGIC = b"REPROLOG"
+#: On-disk format version written into the header.
+VERSION = 1
+
+_HEADER = struct.Struct(">8sIQ")  # magic, version, base logical offset
+_CRC = struct.Struct(">I")
+
+#: Operation bytes.  ``OP_NAMES`` maps them to the structure-method names
+#: replay applies (barriers are replay no-ops).
+OP_INSERT = 1
+OP_DELETE = 2
+OP_UPSERT = 3
+OP_BARRIER = 4
+
+OP_NAMES = {OP_INSERT: "insert", OP_DELETE: "delete", OP_UPSERT: "upsert"}
+_OP_CODES = {name: code for code, name in OP_NAMES.items()}
+
+#: One replayable log entry: ``(op name, key, value)``.
+LoggedOp = Tuple[str, object, object]
+
+
+class OpLog:
+    """An append-only, CRC-framed redo log for one shard.
+
+    Parameters
+    ----------
+    path:
+        Log file location; created (with its header) when missing.
+    payload_size:
+        Payload budget of the embedded :class:`RecordCodec` — bounds the
+        encoded size of one key/value pair exactly like the snapshot codec.
+    fsync:
+        When ``False``, :meth:`commit` only flushes to the OS (faster, still
+        survives a killed process; machine-crash durability is waived).
+    truncate:
+        Start from an empty log (used when a promoted replica becomes the
+        new authoritative copy and the old log no longer describes it).
+    """
+
+    def __init__(self, path: str, *, payload_size: int = 64,
+                 fsync: bool = True, truncate: bool = False) -> None:
+        self.path = path
+        self.codec = RecordCodec(payload_size=payload_size)
+        #: Whole frame width: op byte + fixed record + CRC.
+        self.frame_size = 1 + self.codec.record_size + _CRC.size
+        self._fsync = fsync
+        self._base = 0
+        if truncate and os.path.exists(path):
+            os.unlink(path)
+        fresh = not os.path.exists(path) or os.path.getsize(path) == 0
+        # Unbuffered append handle: every frame reaches the OS immediately,
+        # so records survive a SIGKILLed worker without per-record fsyncs.
+        self._handle = open(path, "ab", buffering=0)
+        if fresh:
+            self._handle.write(_HEADER.pack(MAGIC, VERSION, 0))
+            self._end = 0
+        else:
+            self._base = self._read_header()
+            self._end = self._recompute_end()
+
+    # ------------------------------------------------------------------ #
+    # Header / offsets
+    # ------------------------------------------------------------------ #
+
+    def _read_header(self) -> int:
+        with open(self.path, "rb") as handle:
+            blob = handle.read(_HEADER.size)
+        if len(blob) < _HEADER.size:
+            raise ConfigurationError(
+                "op log %r is truncated below its header" % (self.path,))
+        magic, version, base = _HEADER.unpack(blob)
+        if magic != MAGIC:
+            raise ConfigurationError(
+                "%r is not an op log (bad magic)" % (self.path,))
+        if version > VERSION:
+            raise ConfigurationError(
+                "op log %r has format version %d; this build reads up to %d"
+                % (self.path, version, VERSION))
+        return base
+
+    def _recompute_end(self) -> int:
+        """Derive the end offset from the file (open/compact time only)."""
+        body = max(0, os.path.getsize(self.path) - _HEADER.size)
+        return self._base + (body // self.frame_size) * self.frame_size
+
+    @property
+    def end_offset(self) -> int:
+        """Logical offset just past the last *complete* frame.
+
+        Tracked in memory and advanced per append — the worker logging hot
+        path must not pay a ``stat`` per mutation just to learn an offset
+        it already knows.
+        """
+        return self._end
+
+    # ------------------------------------------------------------------ #
+    # Appending
+    # ------------------------------------------------------------------ #
+
+    def _payload_for(self, op: str, key: object, value: object) -> object:
+        if op == "delete":
+            return key
+        if op in ("insert", "upsert"):
+            return (key, value)
+        raise ConfigurationError("unknown op log operation %r" % (op,))
+
+    def append(self, op: str, key: object = None,
+               value: object = None) -> int:
+        """Append one operation frame; returns the offset *after* it.
+
+        The frame goes straight to the OS (no userspace buffering) but is
+        not fsynced — call :meth:`commit` at a command boundary to batch
+        one sync over every frame appended since the last one.
+        """
+        record = self.codec.encode(self._payload_for(op, key, value))
+        body = bytes([_OP_CODES[op]]) + record
+        self._handle.write(body + _CRC.pack(zlib.crc32(body)))
+        self._end += self.frame_size
+        return self._end
+
+    def commit(self) -> None:
+        """Make every appended frame durable (one fsync for the batch)."""
+        if self._fsync:
+            os.fsync(self._handle.fileno())
+
+    def barrier(self) -> int:
+        """Append a snapshot barrier, commit, return the offset after it.
+
+        The returned logical offset is what a snapshot manifest records:
+        replaying from it applies exactly the operations that post-date the
+        snapshot, and :meth:`compact` may drop everything before it.
+        """
+        record = self.codec.encode(None)
+        body = bytes([OP_BARRIER]) + record
+        self._handle.write(body + _CRC.pack(zlib.crc32(body)))
+        self._end += self.frame_size
+        self.commit()
+        return self._end
+
+    # ------------------------------------------------------------------ #
+    # Replay
+    # ------------------------------------------------------------------ #
+
+    def _frames(self) -> Tuple[List[bytes], int]:
+        """All complete frames plus the count of torn trailing bytes."""
+        with open(self.path, "rb") as handle:
+            handle.seek(_HEADER.size)
+            body = handle.read()
+        complete = len(body) // self.frame_size
+        frames = [body[index * self.frame_size:(index + 1) * self.frame_size]
+                  for index in range(complete)]
+        return frames, len(body) - complete * self.frame_size
+
+    def replay(self, start: int = 0) -> Iterator[LoggedOp]:
+        """Yield ``(op, key, value)`` from logical offset ``start``.
+
+        A torn tail — a final frame whose bytes were cut short or whose CRC
+        does not check out (the worker died mid-append) — ends the replay
+        silently: those operations were never acknowledged.  A corrupt frame
+        *followed by valid data* is a real integrity failure and raises
+        :class:`~repro.errors.ConfigurationError`.
+        """
+        if start < self._base:
+            raise ConfigurationError(
+                "op log %r was compacted past offset %d (base is %d); "
+                "recover from a newer snapshot" % (self.path, start,
+                                                   self._base))
+        if start > self._end:
+            # A manifest recorded this offset against a log that has since
+            # been truncated (e.g. a promotion interrupted before its
+            # checkpoint landed).  Yielding nothing here would silently
+            # drop acknowledged operations; fail loudly instead.
+            raise ConfigurationError(
+                "op log %r ends at offset %d but replay was asked to start "
+                "at %d — the log was truncated after that offset was "
+                "recorded; the durable state is inconsistent"
+                % (self.path, self._end, start))
+        if (start - self._base) % self.frame_size != 0:
+            raise ConfigurationError(
+                "offset %d does not sit on a frame boundary of %r"
+                % (start, self.path))
+        frames, torn = self._frames()
+        first = (start - self._base) // self.frame_size
+        for index in range(first, len(frames)):
+            frame = frames[index]
+            body, crc = frame[:-_CRC.size], frame[-_CRC.size:]
+            if _CRC.pack(zlib.crc32(body)) != crc:
+                if index == len(frames) - 1 and torn == 0:
+                    return  # torn tail: the last frame never completed
+                raise ConfigurationError(
+                    "op log %r is corrupt at frame %d (CRC mismatch)"
+                    % (self.path, index))
+            op = body[0]
+            if op == OP_BARRIER:
+                continue
+            if op not in OP_NAMES:
+                raise ConfigurationError(
+                    "op log %r holds unknown operation byte %d at frame %d"
+                    % (self.path, op, index))
+            payload = self.codec.decode(body[1:])
+            if op == OP_DELETE:
+                yield OP_NAMES[op], payload, None
+            else:
+                key, value = payload
+                yield OP_NAMES[op], key, value
+
+    # ------------------------------------------------------------------ #
+    # Compaction
+    # ------------------------------------------------------------------ #
+
+    def compact(self, keep_from: Optional[int] = None) -> int:
+        """Drop frames before ``keep_from`` (default: the latest barrier).
+
+        Rewrites the file with ``base`` advanced to ``keep_from``, so every
+        logical offset at or after it stays valid.  Returns the new base.
+        Compaction is what keeps a long-lived shard's log proportional to
+        the work since its last snapshot rather than to its whole history.
+        """
+        frames, _torn = self._frames()
+        if keep_from is None:
+            keep_from = self._base
+            for index, frame in enumerate(frames):
+                if frame[0] == OP_BARRIER:
+                    keep_from = self._base + (index + 1) * self.frame_size
+        if keep_from < self._base or keep_from > self.end_offset:
+            raise ConfigurationError(
+                "compaction offset %d outside the log's [%d, %d] range"
+                % (keep_from, self._base, self.end_offset))
+        first = (keep_from - self._base) // self.frame_size
+        kept = b"".join(frames[first:])
+        self._handle.close()
+        scratch = self.path + ".compact"
+        with open(scratch, "wb") as handle:
+            handle.write(_HEADER.pack(MAGIC, VERSION, keep_from))
+            handle.write(kept)
+            handle.flush()
+            if self._fsync:
+                os.fsync(handle.fileno())
+        os.replace(scratch, self.path)
+        self._base = keep_from
+        self._handle = open(self.path, "ab", buffering=0)
+        self._end = self._recompute_end()
+        return self._base
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self.commit()
+            self._handle.close()
+
+    def __enter__(self) -> "OpLog":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return "OpLog(path=%r, base=%d, end=%d)" % (self.path, self._base,
+                                                    self.end_offset)
+
+
+def replay_into(structure: object, log: OpLog, start: int = 0) -> int:
+    """Apply a log tail to ``structure``; returns the operation count.
+
+    Used by recovery after the snapshot records are loaded: the log holds
+    exactly the acknowledged post-snapshot mutations, so applying them in
+    order reproduces the crashed shard's last acknowledged state.  Any
+    structure-level failure here means log and snapshot disagree — that is
+    corruption, not user error, and surfaces as
+    :class:`~repro.errors.ReplicationError`.
+    """
+    from repro.errors import ReplicationError
+
+    applied = 0
+    for op, key, value in log.replay(start):
+        try:
+            if op == "insert":
+                structure.insert(key, value)
+            elif op == "upsert":
+                structure.upsert(key, value)
+            else:
+                structure.delete(key)
+        except Exception as error:
+            raise ReplicationError(
+                "op log %r replay diverged at operation %d (%s %r): %s"
+                % (log.path, applied, op, key, error)) from error
+        applied += 1
+    return applied

@@ -28,6 +28,7 @@ from repro.storage.image import DiskImage
 from repro.storage.pager import PagedFile
 from repro.storage.snapshot import (
     SnapshotMetadata,
+    file_checksum,
     image_of,
     load_records,
     snapshot_records,
@@ -46,4 +47,5 @@ __all__ = [
     "snapshot_structure",
     "load_records",
     "image_of",
+    "file_checksum",
 ]

@@ -1,0 +1,784 @@
+"""Durability & replication: op log, replica failover, seeded recovery.
+
+The contract under test is the ISSUE 5 acceptance bar: crash-and-recover a
+process engine under load and the recovered engine's **canonical HI
+digest**, key set, and ``io_stats()`` structure are byte-identical to an
+identically-built engine that never crashed — for the snapshot + op-log
+replay path and the replica-promotion path alike.  That assertion is the
+paper's anti-persistence property doing operational work: recovery is
+rebuilt from (key set, original seed) alone, so it cannot depend on the
+failure history.
+
+Crashes are injected two ways: ``SIGKILL`` between commands (the
+well-defined "crash at an operation boundary" cases) and the
+``REPRO_FAILPOINTS`` trip wires compiled into the worker hot paths (the
+mid-``insert_many`` / mid-migration / mid-checkpoint cases, where the kill
+must land *inside* a batch deterministically).  ``REPRO_START_METHOD``
+switches every engine here between ``fork`` and ``spawn`` — CI runs the
+whole file under both.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+
+import pytest
+
+from repro.api import (
+    ProcessShardedDictionaryEngine,
+    ReplicatedShardedDictionaryEngine,
+    audit_fingerprint_of,
+    make_dictionary,
+    make_sharded_engine,
+)
+from repro.api.sharded import ShardedDictionary, ShardedDictionaryEngine
+from repro.errors import (
+    ConfigurationError,
+    KeyNotFound,
+    ReplicationError,
+    WorkerCrashError,
+)
+from repro.replication import OpLog, open_durable_engine, replica_targets
+from repro.replication.oplog import replay_into
+from repro.storage import image_of
+from repro.storage.snapshot import snapshot_records
+
+pytestmark = pytest.mark.fast
+
+BLOCK_SIZE = 16
+SEED = 20160626
+
+
+# --------------------------------------------------------------------------- #
+# Helpers
+# --------------------------------------------------------------------------- #
+
+def build_engine(inner="b-treap", shards=3, replication=2,
+                 durability_dir=None, seed=SEED, **extra):
+    return make_sharded_engine(inner, shards=shards, block_size=BLOCK_SIZE,
+                               seed=seed, router="consistent",
+                               parallel="process", replication=replication,
+                               durability_dir=durability_dir, **extra)
+
+
+def build_twin(inner="b-treap", shards=3, seed=SEED):
+    """A sequential engine with identical construction (the PR 4 identity
+    guarantee makes its layouts the reference for every process backend)."""
+    return make_sharded_engine(inner, shards=shards, block_size=BLOCK_SIZE,
+                               seed=seed, router="consistent")
+
+
+def layout_digest(structure):
+    """The full physical observable: audit fingerprint + snapshot bytes."""
+    paged, metadata = snapshot_records(list(structure.snapshot_slots()),
+                                       page_size=512, payload_size=64)
+    return (audit_fingerprint_of(structure),
+            image_of(paged, metadata).fingerprint())
+
+
+def kill_worker(engine, position):
+    """SIGKILL the worker hosting ``position``'s primary; wait until seen."""
+    os.kill(engine.worker_pids()[position], signal.SIGKILL)
+    deadline = time.time() + 5.0
+    while time.time() < deadline:
+        if position in engine.dead_shard_positions():
+            return
+        time.sleep(0.02)
+    raise AssertionError("worker for position %d never reported dead"
+                         % position)
+
+
+def entries_for(count, stride=7, modulus=2003):
+    return [(key * stride % modulus, key) for key in range(count)]
+
+
+def assert_matches_oracle(engine, oracle):
+    """The differential-oracle acceptance: state and probe outcomes agree."""
+    assert len(engine) == len(oracle)
+    assert engine.items() == sorted(oracle.items())
+    probe = list(range(0, 2003, 13))
+    assert engine.contains_many(probe) == [key in oracle for key in probe]
+    for key in probe[:10]:
+        if key in oracle:
+            assert engine.search(key) == oracle[key]
+        else:
+            with pytest.raises(KeyNotFound):
+                engine.search(key)
+    engine.check()
+
+
+def assert_anti_persistence(engine, inner="b-treap", seed=SEED):
+    """The recovered layout must equal a fresh build of its own key set.
+
+    This is the canonical-HI digest tier applied to recovery: the engine's
+    physical state may not remember *how* it got here (crashes, replays,
+    promotions included) — only what it stores.  Valid for engines whose
+    shard ids are still ``0..n-1`` (no removals), because the fresh build
+    then draws the identical per-shard seed stream.
+    """
+    fresh = make_sharded_engine(inner, shards=engine.num_shards,
+                                block_size=BLOCK_SIZE, seed=seed,
+                                router="consistent")
+    fresh.insert_many(engine.items())
+    assert layout_digest(engine.structure) == layout_digest(fresh.structure)
+
+
+# --------------------------------------------------------------------------- #
+# The op log
+# --------------------------------------------------------------------------- #
+
+def test_oplog_round_trip_and_offsets(tmp_path):
+    log = OpLog(str(tmp_path / "shard.oplog"))
+    log.append("insert", 1, "one")
+    log.append("upsert", 2, "two")
+    log.append("delete", 1)
+    log.commit()
+    middle = log.barrier()
+    log.append("insert", 3, "three")
+    log.commit()
+    assert list(log.replay()) == [("insert", 1, "one"), ("upsert", 2, "two"),
+                                  ("delete", 1, None),
+                                  ("insert", 3, "three")]
+    assert list(log.replay(middle)) == [("insert", 3, "three")]
+    log.close()
+    # Reopening reads the header back and keeps appending.
+    reopened = OpLog(str(tmp_path / "shard.oplog"))
+    reopened.append("delete", 3)
+    reopened.commit()
+    assert [op for op, _k, _v in reopened.replay(middle)] \
+        == ["insert", "delete"]
+    reopened.close()
+
+
+def test_oplog_compaction_preserves_logical_offsets(tmp_path):
+    log = OpLog(str(tmp_path / "shard.oplog"))
+    for key in range(5):
+        log.append("insert", key, key)
+    barrier = log.barrier()
+    log.append("insert", 99, 99)
+    log.commit()
+    log.compact()  # defaults to the latest barrier
+    assert list(log.replay(barrier)) == [("insert", 99, 99)]
+    with pytest.raises(ConfigurationError):
+        list(log.replay(0))  # compacted away: offsets before base reject
+    log.close()
+
+
+def test_oplog_tolerates_torn_tail_but_rejects_mid_log_corruption(tmp_path):
+    path = str(tmp_path / "shard.oplog")
+    log = OpLog(path)
+    for key in range(4):
+        log.append("insert", key, key)
+    log.commit()
+    frame = log.frame_size
+    log.close()
+    size = os.path.getsize(path)
+    # A torn tail (crash mid-append) silently ends the replay.
+    with open(path, "r+b") as handle:
+        handle.truncate(size - frame // 2)
+    torn = OpLog(path)
+    assert [key for _op, key, _v in torn.replay()] == [0, 1, 2]
+    torn.close()
+    # A corrupt frame with valid data after it is an integrity failure.
+    with open(path, "r+b") as handle:
+        handle.seek(size - 2 * frame + 3)
+        original = handle.read(1)
+        handle.seek(size - 2 * frame + 3)
+        handle.write(bytes([original[0] ^ 0xFF]))
+        handle.truncate(size - frame // 2)
+    corrupt = OpLog(path)
+    with pytest.raises(ConfigurationError):
+        list(corrupt.replay())
+    corrupt.close()
+
+
+def test_oplog_replay_into_reports_divergence(tmp_path):
+    log = OpLog(str(tmp_path / "shard.oplog"))
+    log.append("delete", 12345)
+    log.commit()
+    structure = make_dictionary("b-tree", block_size=8)
+    with pytest.raises(ReplicationError):
+        replay_into(structure, log)
+    log.close()
+
+
+def test_oplog_replay_beyond_the_end_fails_loudly(tmp_path):
+    """A manifest offset pointing past a (truncated) log must raise, not
+    silently yield nothing — that would drop acknowledged operations."""
+    log = OpLog(str(tmp_path / "shard.oplog"))
+    log.append("insert", 1, 1)
+    log.commit()
+    beyond = log.end_offset + log.frame_size
+    with pytest.raises(ConfigurationError):
+        list(log.replay(beyond))
+    log.close()
+    truncated = OpLog(str(tmp_path / "shard.oplog"), truncate=True)
+    with pytest.raises(ConfigurationError):
+        list(truncated.replay(beyond))
+    truncated.close()
+
+
+def test_oplog_rejects_misaligned_offsets_and_foreign_files(tmp_path):
+    log = OpLog(str(tmp_path / "shard.oplog"))
+    log.append("insert", 1, 1)
+    log.commit()
+    with pytest.raises(ConfigurationError):
+        list(log.replay(3))
+    log.close()
+    alien = tmp_path / "alien.bin"
+    alien.write_bytes(b"not an oplog at all, definitely")
+    with pytest.raises(ConfigurationError):
+        OpLog(str(alien))
+
+
+# --------------------------------------------------------------------------- #
+# Placement and configuration validation
+# --------------------------------------------------------------------------- #
+
+def test_replica_targets_are_deterministic_distinct_ring_successors():
+    ids = (0, 1, 2, 3, 4)
+    for shard_id in ids:
+        targets = replica_targets(ids, shard_id, 2)
+        assert targets == replica_targets(ids, shard_id, 2)
+        assert shard_id not in targets
+        assert len(targets) == len(set(targets)) == 2
+    # Removing an unrelated shard never reroutes a surviving chain's first
+    # choice unless that shard *was* the first choice.
+    survivors = (0, 1, 3, 4)
+    for shard_id in survivors:
+        old = replica_targets(ids, shard_id, 1)[0]
+        if old != 2:
+            assert replica_targets(survivors, shard_id, 1)[0] == old
+
+
+def test_replication_configuration_is_validated(tmp_path):
+    with pytest.raises(ConfigurationError):
+        build_engine(replication=0)
+    with pytest.raises(ConfigurationError):
+        build_engine(shards=2, replication=3)
+    with pytest.raises(ConfigurationError):
+        make_sharded_engine("b-tree", shards=2, replication=2)  # no process
+    with pytest.raises(ConfigurationError):
+        make_sharded_engine("b-tree", shards=2,
+                            durability_dir=str(tmp_path / "d"))
+    # Too few distinct workers to place a replica away from its primary.
+    with pytest.raises(ConfigurationError):
+        build_engine(shards=3, replication=2, max_workers=1)
+    # Durability needs the registry build context (per-shard seeds).
+    hand_built = ShardedDictionary(
+        [make_dictionary("b-tree", block_size=8) for _ in range(2)])
+    with pytest.raises(ConfigurationError):
+        ReplicatedShardedDictionaryEngine(
+            hand_built, replication=1, durability_dir=str(tmp_path / "d2"))
+
+
+def test_settle_drops_every_failed_replica_without_index_skew():
+    """Two replicas of one shard failing in the same bulk call must both
+    be dropped — resolving indexes against a list being mutated used to
+    keep (or mis-drop) the second one."""
+    engine = build_engine(shards=3, replication=3)
+    try:
+        proxy = engine._proxy(0)
+        first, second = proxy.replicas
+        engine._settle({(0, 1): WorkerCrashError("copy one died"),
+                        (0, 2): WorkerCrashError("copy two died")})
+        assert proxy.replicas == []
+        assert first is not second
+    finally:
+        engine.close()
+
+
+def test_durable_add_shard_rejects_pre_built_shards(tmp_path):
+    """A pre-built shard has no recorded seed, so a durable engine could
+    never rebuild it byte-identically after a crash; refuse up front."""
+    engine = build_engine(replication=1, durability_dir=str(tmp_path / "d"))
+    try:
+        prebuilt = make_dictionary("b-treap", block_size=BLOCK_SIZE, seed=1)
+        with pytest.raises(ConfigurationError):
+            engine.add_shard(shard=prebuilt)
+        assert engine.num_shards == 3  # nothing was staged
+    finally:
+        engine.close()
+
+
+def test_checkpoint_generations_rotate_and_sweep_stale_images(tmp_path):
+    directory = str(tmp_path / "d")
+    engine = build_engine(replication=1, durability_dir=directory)
+    try:
+        engine.insert_many(entries_for(60))
+        first = engine.checkpoint()
+        engine.insert_many((key, key) for key in range(9000, 9030))
+        second = engine.checkpoint()
+        assert second["generation"] == first["generation"] + 1
+        images = [name for name in os.listdir(directory)
+                  if name.endswith(".img")]
+        # Exactly one generation on disk, and it is the referenced one.
+        assert sorted(images) \
+            == sorted(entry["file"] for entry in second["shards"])
+    finally:
+        engine.close()
+    reopened = open_durable_engine(directory)
+    try:
+        assert len(reopened) == 90
+    finally:
+        reopened.close()
+
+
+def test_replication_one_degrades_to_the_plain_process_engine():
+    engine = make_sharded_engine("b-tree", shards=2, block_size=8,
+                                 seed=SEED, parallel="process",
+                                 replication=1)
+    try:
+        assert type(engine) is ProcessShardedDictionaryEngine
+    finally:
+        engine.close()
+    sequential = make_sharded_engine("b-tree", shards=2, block_size=8,
+                                     seed=SEED, replication=1)
+    assert type(sequential) is ShardedDictionaryEngine
+
+
+# --------------------------------------------------------------------------- #
+# Replicated byte-identity while healthy
+# --------------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("inner", ["b-treap", "hi-skiplist"])
+def test_replicated_engine_is_byte_identical_to_sequential(inner, tmp_path):
+    twin = build_twin(inner)
+    engine = build_engine(inner, durability_dir=str(tmp_path / "dur"))
+    try:
+        entries = entries_for(240)
+        assert engine.insert_many(entries) == twin.insert_many(entries)
+        probes = list(range(0, 2003, 5))
+        assert engine.contains_many(probes) == twin.contains_many(probes)
+        doomed = [key for key, _value in entries[::6]]
+        assert engine.delete_many(doomed) == twin.delete_many(doomed)
+        assert engine.items() == twin.items()
+        assert engine.shard_sizes() == twin.shard_sizes()
+        assert engine.io_stats().as_dict() == twin.io_stats().as_dict()
+        assert layout_digest(engine.structure) == layout_digest(twin.structure)
+        engine.check()
+    finally:
+        engine.close()
+
+
+def test_replicas_track_their_primaries_through_load_and_resize():
+    engine = build_engine("b-treap", shards=3, replication=2)
+    try:
+        engine.insert_many(entries_for(180))
+        engine.delete_many([key for key, _v in entries_for(180)[::9]])
+        engine.add_shard()
+        assert engine.replica_counts() == [1, 1, 1, 1]
+        for position in range(engine.num_shards):
+            proxy = engine._proxy(position)
+            primary_fp = proxy.primary.audit_fingerprint()
+            for replica in proxy.replicas:
+                assert replica.audit_fingerprint() == primary_fp
+                assert len(replica) == len(proxy.primary)
+        engine.check()
+    finally:
+        engine.close()
+
+
+# --------------------------------------------------------------------------- #
+# Failover path 1: replica promotion
+# --------------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("inner", ["b-treap", "hi-skiplist"])
+def test_promotion_recovers_byte_identical_state(inner):
+    """Kill a primary at an op boundary; the promoted replica must equal a
+    never-crashed engine byte for byte (replicas are exact clones)."""
+    twin = build_twin(inner)
+    engine = build_engine(inner, replication=2)
+    try:
+        entries = entries_for(210)
+        for target in (engine, twin):
+            target.insert_many(entries)
+            target.delete_many([key for key, _v in entries[::8]])
+        kill_worker(engine, 1)
+        # Degraded reads: point lookups fall back to the replica, and bulk
+        # membership re-asks replicas for the dead primary's batch.
+        alive_key = next(key for key, _v in entries
+                         if engine.structure.shard_of(key) == 1
+                         and twin.contains(key))
+        assert engine.structure.contains(alive_key)
+        assert engine.contains_many([key for key, _v in entries]) \
+            == twin.contains_many([key for key, _v in entries])
+        report = engine.recover()
+        assert list(report.positions) == [1]
+        assert list(report.promoted) == [1]
+        assert report.re_replicated  # the promoted shard got a new replica
+        assert engine.replica_counts() == [1, 1, 1]
+        assert engine.items() == twin.items()
+        assert layout_digest(engine.structure) == layout_digest(twin.structure)
+        assert sorted(engine.io_stats().as_dict()) \
+            == sorted(twin.io_stats().as_dict())
+        engine.check()
+        engine.insert_many((key, key) for key in range(5000, 5040))
+        twin.insert_many((key, key) for key in range(5000, 5040))
+        assert engine.items() == twin.items()
+    finally:
+        engine.close()
+
+
+def test_losing_a_replica_never_fails_writes():
+    engine = build_engine("b-treap", shards=3, replication=2)
+    try:
+        engine.insert_many(entries_for(120))
+        # Find the worker hosting position 0's replica and kill it; its own
+        # primary (some other position) dies with it, but writes routed to
+        # position 0 keep succeeding through its live primary.
+        replica_worker = engine._proxy(0).replicas[0].worker
+        os.kill(replica_worker.pid, signal.SIGKILL)
+        deadline = time.time() + 5.0
+        while time.time() < deadline and not engine.dead_shard_positions():
+            time.sleep(0.02)
+        keys_on_0 = [key for key in range(3000, 3300)
+                     if engine.structure.shard_of(key) == 0][:20]
+        engine.structure.shards[0].insert(keys_on_0[0], "direct")
+        assert engine.structure.shards[0].contains(keys_on_0[0])
+        report = engine.recover()
+        assert engine.replica_counts() == [1, 1, 1]
+        assert report.promoted or report.re_replicated
+        engine.check()
+    finally:
+        engine.close()
+
+
+# --------------------------------------------------------------------------- #
+# Failover path 2: snapshot + op-log replay (and cold open)
+# --------------------------------------------------------------------------- #
+
+def test_snapshot_plus_oplog_replay_recovers_byte_identical_state(tmp_path):
+    twin = build_twin()
+    engine = build_engine(replication=1, durability_dir=str(tmp_path / "d"))
+    try:
+        entries = entries_for(200)
+        for target in (engine, twin):
+            target.insert_many(entries[:120])
+        engine.checkpoint()  # snapshot now, tail ops live only in the log
+        for target in (engine, twin):
+            target.insert_many(entries[120:])
+            target.delete_many([key for key, _v in entries[::10]])
+            target.insert(4242, "late")
+        kill_worker(engine, 0)
+        report = engine.recover()
+        assert list(report.positions) == [0]
+        assert list(report.replayed) == [0]
+        assert engine.items() == twin.items()
+        assert layout_digest(engine.structure) == layout_digest(twin.structure)
+        assert sorted(engine.io_stats().as_dict()) \
+            == sorted(twin.io_stats().as_dict())
+        engine.check()
+    finally:
+        engine.close()
+
+
+def test_replay_without_any_checkpoint_uses_the_full_log(tmp_path):
+    twin = build_twin()
+    engine = build_engine(replication=1, durability_dir=str(tmp_path / "d"))
+    try:
+        # No explicit checkpoint beyond the construction-time empty one:
+        # recovery must replay the entire op log.
+        for target in (engine, twin):
+            target.insert_many(entries_for(130))
+        kill_worker(engine, 2)
+        assert engine.recover().replayed == (2,)
+        assert engine.items() == twin.items()
+        assert layout_digest(engine.structure) == layout_digest(twin.structure)
+    finally:
+        engine.close()
+
+
+def test_cold_open_rebuilds_the_whole_engine_from_disk(tmp_path):
+    directory = str(tmp_path / "store")
+    twin = build_twin()
+    engine = build_engine(replication=2, durability_dir=directory)
+    entries = entries_for(170)
+    for target in (engine, twin):
+        target.insert_many(entries)
+        target.delete_many([key for key, _v in entries[::7]])
+    engine.close()
+    engine.close()  # idempotent (satellite: double-close is specified)
+    reopened = open_durable_engine(directory)
+    try:
+        assert reopened.replication == 2
+        assert reopened.replica_counts() == [1, 1, 1]
+        assert reopened.items() == twin.items()
+        assert layout_digest(reopened.structure) \
+            == layout_digest(twin.structure)
+        reopened.check()
+        reopened.insert_many((key, key) for key in range(7000, 7030))
+        assert len(reopened) == len(twin) + 30
+    finally:
+        reopened.close()
+
+
+def test_open_durable_engine_rejects_missing_or_corrupt_state(tmp_path):
+    with pytest.raises(ConfigurationError):
+        open_durable_engine(str(tmp_path / "nowhere"))
+    directory = str(tmp_path / "store")
+    engine = build_engine(replication=1, durability_dir=directory)
+    engine.insert_many(entries_for(90))
+    engine.checkpoint()
+    engine.close()
+    image = next(name for name in sorted(os.listdir(directory))
+                 if name.endswith(".img"))
+    with open(os.path.join(directory, image), "r+b") as handle:
+        handle.seek(40)
+        byte = handle.read(1)
+        handle.seek(40)
+        handle.write(bytes([byte[0] ^ 0xFF]))
+    with pytest.raises(ConfigurationError):
+        open_durable_engine(directory)
+
+
+# --------------------------------------------------------------------------- #
+# Fault injection: crashes landing inside operations
+# --------------------------------------------------------------------------- #
+
+@pytest.fixture
+def failpoints(monkeypatch):
+    """Arm worker fail points for engines built afterwards; disarm safely."""
+    def arm(spec):
+        monkeypatch.setenv("REPRO_FAILPOINTS", spec)
+
+    def disarm():
+        monkeypatch.delenv("REPRO_FAILPOINTS", raising=False)
+
+    yield arm, disarm
+    disarm()
+
+
+def test_crash_mid_insert_many_recovers_exactly_the_logged_prefix(
+        tmp_path, failpoints):
+    arm, disarm = failpoints
+    arm("worker.insert:40")
+    engine = build_engine(replication=1, durability_dir=str(tmp_path / "d"))
+    try:
+        engine.insert_many(entries_for(30))  # acknowledged: fully durable
+        acked = dict(entries_for(30))
+        with pytest.raises(WorkerCrashError):
+            engine.insert_many(entries_for(300)[30:])
+        disarm()  # recovery's respawned workers must come up unarmed
+        report = engine.recover()
+        assert report.replayed and not report.rebuilt_empty
+        recovered = dict(engine.items())
+        # Every acknowledged operation survived; the torn batch recovered
+        # to a prefix of what each worker had applied.
+        assert all(key in recovered and recovered[key] == value
+                   for key, value in acked.items())
+        assert set(recovered) <= {key for key, _v in entries_for(300)}
+        # The paper's property: the recovered layout equals a fresh build
+        # of the recovered key set — the crash left no physical residue.
+        assert_anti_persistence(engine)
+        oracle = dict(engine.items())
+        engine.delete_many(list(oracle)[:15])
+        for key in list(oracle)[:15]:
+            del oracle[key]
+        engine.insert_many((key, key) for key in range(9000, 9040))
+        oracle.update((key, key) for key in range(9000, 9040))
+        assert_matches_oracle(engine, oracle)
+    finally:
+        engine.close()
+
+
+def test_crash_mid_migration_recovers_a_consistent_routable_store(
+        tmp_path, failpoints):
+    arm, disarm = failpoints
+    arm("worker.delete:3")
+    engine = build_engine("b-treap", shards=3, replication=2)
+    try:
+        engine.insert_many(entries_for(220))  # inserts do not trip deletes
+        crashed = False
+        try:
+            engine.add_shard()  # migration deletes trip the fail point
+        except WorkerCrashError:
+            crashed = True
+        disarm()
+        if engine.dead_shard_positions():
+            report = engine.recover()
+            assert report.positions
+        assert crashed or engine.num_shards == 4
+        # Whatever mid-migration instant the crash hit, the store must be
+        # routable, internally consistent, and free of physical residue.
+        engine.check()
+        assert engine.replica_counts() == [1] * engine.num_shards
+        assert_anti_persistence(engine)
+        assert_matches_oracle(engine, dict(engine.items()))
+    finally:
+        engine.close()
+
+
+def test_crash_between_snapshot_and_log_barrier_keeps_the_old_generation(
+        tmp_path, failpoints):
+    arm, disarm = failpoints
+    # Each worker checkpoints once at construction; the second checkpoint
+    # command dies after collecting slots, *before* the log barrier — the
+    # exact "between snapshot and log-append" window.
+    arm("worker.checkpoint:2")
+    directory = str(tmp_path / "d")
+    engine = build_engine(shards=2, replication=1, durability_dir=directory)
+    try:
+        manifest_before = json.load(
+            open(os.path.join(directory, "manifest.json")))
+        engine.insert_many(entries_for(140))
+        with pytest.raises(WorkerCrashError):
+            engine.checkpoint()
+        manifest_after = json.load(
+            open(os.path.join(directory, "manifest.json")))
+        # The torn checkpoint published nothing: same manifest generation.
+        assert manifest_after == manifest_before
+        disarm()
+        report = engine.recover()
+        assert sorted(report.replayed) == [0, 1]
+        twin = build_twin(shards=2)
+        twin.insert_many(entries_for(140))
+        assert engine.items() == twin.items()
+        assert layout_digest(engine.structure) == layout_digest(twin.structure)
+        # And the durable state is coherent again: cold open agrees.
+        engine.close()
+        reopened = open_durable_engine(directory)
+        try:
+            assert reopened.items() == twin.items()
+        finally:
+            reopened.close()
+    finally:
+        engine.close()
+
+
+def test_total_worker_loss_recovers_every_shard_from_its_log(
+        tmp_path, failpoints):
+    arm, disarm = failpoints
+    arm("worker.insert:35")
+    engine = build_engine(replication=1, durability_dir=str(tmp_path / "d"))
+    try:
+        with pytest.raises(WorkerCrashError):
+            engine.insert_many(entries_for(400))
+        disarm()
+        report = engine.recover()
+        assert sorted(report.positions) == [0, 1, 2]
+        assert sorted(report.replayed) == [0, 1, 2]
+        assert_anti_persistence(engine)
+        engine.insert_many((key, key) for key in range(8000, 8050))
+        engine.check()
+    finally:
+        engine.close()
+
+
+# --------------------------------------------------------------------------- #
+# Satellite: manifest versioning and corrupt-snapshot rejection
+# --------------------------------------------------------------------------- #
+
+def test_snapshot_shards_manifest_carries_version_and_checksums(tmp_path):
+    engine = make_sharded_engine("b-tree", shards=2, block_size=8, seed=3)
+    engine.insert_many(entries_for(60))
+    manifest = engine.snapshot_shards(str(tmp_path))
+    assert manifest["version"] == ShardedDictionaryEngine.MANIFEST_VERSION
+    for entry in manifest["shards"]:
+        assert entry["checksum"].startswith("crc32:")
+    restored = ShardedDictionaryEngine.restore_shards(str(tmp_path))
+    assert restored.items() == engine.items()
+
+
+@pytest.mark.parametrize("damage", ["corrupt", "truncate", "missing"])
+def test_restore_shards_rejects_damaged_images(tmp_path, damage):
+    engine = make_sharded_engine("b-tree", shards=2, block_size=8, seed=3)
+    engine.insert_many(entries_for(80))
+    engine.snapshot_shards(str(tmp_path))
+    victim = tmp_path / "shard-0001.img"
+    if damage == "corrupt":
+        blob = bytearray(victim.read_bytes())
+        blob[17] ^= 0xFF
+        victim.write_bytes(bytes(blob))
+    elif damage == "truncate":
+        victim.write_bytes(victim.read_bytes()[:100])
+    else:
+        victim.unlink()
+    with pytest.raises(ConfigurationError):
+        ShardedDictionaryEngine.restore_shards(str(tmp_path))
+
+
+def test_restore_shards_rejects_future_manifest_versions(tmp_path):
+    engine = make_sharded_engine("b-tree", shards=2, block_size=8, seed=3)
+    engine.insert_many(entries_for(40))
+    engine.snapshot_shards(str(tmp_path))
+    manifest_path = tmp_path / "manifest.json"
+    manifest = json.loads(manifest_path.read_text())
+    manifest["version"] = 99
+    manifest_path.write_text(json.dumps(manifest))
+    with pytest.raises(ConfigurationError):
+        ShardedDictionaryEngine.restore_shards(str(tmp_path))
+
+
+# --------------------------------------------------------------------------- #
+# Satellite: close() is idempotent, use-after-close fails cleanly
+# --------------------------------------------------------------------------- #
+
+def test_replicated_close_is_idempotent_and_use_after_close_is_clean(
+        tmp_path):
+    engine = build_engine(replication=2,
+                          durability_dir=str(tmp_path / "d"))
+    engine.insert_many(entries_for(50))
+    engine.close()
+    engine.close()
+    with pytest.raises(ConfigurationError):
+        engine.checkpoint()
+    with pytest.raises(ConfigurationError):
+        engine.recover()
+    with pytest.raises(ConfigurationError):
+        engine.restart_workers()
+    with pytest.raises(WorkerCrashError):
+        engine.insert_many([(1, "a")])
+
+
+def test_every_engine_supports_close_and_context_management():
+    with make_sharded_engine("b-tree", shards=2, block_size=8,
+                             seed=3) as engine:
+        engine.insert_many(entries_for(20))
+    engine.close()  # the base close() is an idempotent no-op
+    from repro.api import DictionaryEngine
+    with DictionaryEngine.create("b-tree", block_size=8) as plain:
+        plain.insert(1, "one")
+    plain.close()
+
+
+# --------------------------------------------------------------------------- #
+# CLI round trip
+# --------------------------------------------------------------------------- #
+
+def test_cli_rebalance_writes_a_store_that_cli_recover_reopens(tmp_path):
+    import io
+
+    from repro.cli import main
+
+    directory = str(tmp_path / "store")
+    out = io.StringIO()
+    code = main(["rebalance", "--structure", "b-treap", "--shards", "3",
+                 "--router", "consistent", "--keys", "150", "--add", "1",
+                 "--parallel", "process", "--replication", "2",
+                 "--durability-dir", directory, "--seed", "5"], out=out)
+    assert code == 0
+    assert "replication=2" in out.getvalue()
+    assert "checkpointed" in out.getvalue()
+    out = io.StringIO()
+    code = main(["recover", "--dir", directory], out=out)
+    listing = out.getvalue()
+    assert code == 0
+    assert "keys            : 150" in listing
+    assert "check() passed" in listing
+    out = io.StringIO()
+    assert main(["recover", "--dir", str(tmp_path / "missing")],
+                out=out) == 2
+
+
+def test_cli_rebalance_rejects_replication_without_process_backend():
+    import io
+
+    from repro.cli import main
+
+    assert main(["rebalance", "--structure", "b-tree", "--shards", "2",
+                 "--keys", "50", "--replication", "2"],
+                out=io.StringIO()) == 2
