@@ -15,7 +15,10 @@ Two subcommands::
 
 ``run`` builds each gated structure from a Zipf-skewed mixed workload and a
 sharded store from the elastic churn workload, recording build I/Os,
-cold-cache search I/Os, range fan-out I/Os and resharding migration volume.
+cold-cache search I/Os, range fan-out I/Os, resharding migration volume,
+and the shared-memory data plane's deterministic counters (frames encoded,
+payload bytes crossed, pickle fallbacks, coalesced crossings, group-commit
+fsync batches) from a durable replicated process engine.
 ``compare`` exits non-zero when any current metric regresses past the
 tolerance (default +25%) over the committed baseline — or when a metric
 disappeared, or the two files were collected at different workload scales.
@@ -96,6 +99,37 @@ def collect_metrics() -> Tuple[Dict[str, int], Dict[str, object]]:
         engine.contains_many(bulk_probes)
         engine.delete_many(bulk_doomed)
         metrics["bulk_ios.%s" % name] = engine.io_stats().total_ios
+
+    # The shared-memory data plane: every counter is a pure function of
+    # the workload, topology and record codec (frames per bulk crossing,
+    # payload bytes per record, group commits per worker) — no wall clock,
+    # no core-count dependence — so the plane is gateable exactly like the
+    # I/O counts.  A regression in ``frames``/``bytes`` means batches
+    # stopped riding shm; in ``fallbacks`` that encodable values started
+    # spilling to the pickled pipe; in ``fsync_batches`` that group commit
+    # stopped merging per-copy fsyncs.
+    import shutil
+    import tempfile
+
+    durability_dir = tempfile.mkdtemp(prefix="repro-bench-plane-")
+    try:
+        engine = make_sharded_engine("b-treap", shards=SHARDS,
+                                     block_size=BLOCK_SIZE,
+                                     seed=STRUCTURE_SEED,
+                                     router="consistent",
+                                     parallel="process", plane="shm",
+                                     replication=2,
+                                     durability_dir=durability_dir)
+        try:
+            engine.insert_many(bulk_entries)
+            engine.contains_many(bulk_probes)
+            engine.delete_many(bulk_doomed)
+            for name, value in sorted(engine.plane_stats().items()):
+                metrics["plane.%s" % name] = int(value)
+        finally:
+            engine.close()
+    finally:
+        shutil.rmtree(durability_dir, ignore_errors=True)
 
     churn = elastic_churn_trace(operations, phases=2, seed=WORKLOAD_SEED)
     for router in ("modulo", "consistent"):

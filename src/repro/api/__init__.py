@@ -38,6 +38,7 @@ from repro.api.routing import (
     ConsistentHashRouter,
     ModuloRouter,
     Router,
+    WeightedConsistentHashRouter,
     hash_key,
     make_router,
 )
@@ -85,6 +86,7 @@ __all__ = [
     "ShardedDictionary",
     "ShardedDictionaryEngine",
     "StructureInfo",
+    "WeightedConsistentHashRouter",
     "audit_fingerprint_of",
     "get_info",
     "hash_key",

@@ -24,6 +24,20 @@ Design
   single command (amortizing IPC exactly the way PR 2's batched routing
   amortized dispatch), with at most one outstanding command per worker so
   a large payload can never deadlock against a worker blocked on its reply.
+* **Bulk payloads cross through shared memory.**  On the default ``shm``
+  data plane (see :mod:`repro.api.shm_plane`) each worker owns a shared
+  segment: batches are encoded as fixed-width binary records into the
+  worker's request ring and the pipe carries only a small dispatch header
+  (shard id, opcode, frame offset); replies — deleted values,
+  ``contains`` bitmaps — come back through the reply ring the same way.
+  Batches the record codec cannot represent exactly fall back to the
+  pickled pipe per batch, automatically.  ``plane="pipe"`` (or
+  ``REPRO_DATA_PLANE=pipe``) disables the shared-memory path entirely.
+* **Crossings coalesce per worker.**  When one bulk call queues several
+  commands for the same worker (``max_workers`` packing, replica copies),
+  they merge into a single ``__multi__`` crossing; a durable worker then
+  group-commits its op logs once per crossing instead of once per shard
+  copy.
 * **Probes roll back worker-side.**  ``search_io_cost`` / ``range_io_cost``
   run the cold-cache measurement inside the worker's own
   :class:`~repro.api.engine.DictionaryEngine`, so cumulative ``io_stats()``
@@ -55,6 +69,7 @@ from __future__ import annotations
 import heapq
 import multiprocessing
 import os
+import traceback
 from collections import deque
 from multiprocessing.connection import wait
 from typing import (
@@ -75,10 +90,39 @@ from repro.api.sharded import (
     ShardedDictionary,
     ShardedDictionaryEngine,
 )
-from repro.errors import ConfigurationError, WorkerCrashError
+from repro.api.shm_plane import (
+    DEFAULT_CAPACITY,
+    DEFAULT_PAYLOAD_SIZE,
+    BatchCodec,
+    PlaneStats,
+    ShmChannel,
+    ShmFrameError,
+    ShmPayload,
+    is_shm_reply,
+    shm_reply_descriptor,
+)
+from repro.errors import CapacityError, ConfigurationError, WorkerCrashError
 
 #: One parent->worker command: ``(shard_id, method, args)``.
 Command = Tuple[int, str, tuple]
+
+#: Data planes the process engines speak: shared-memory rings (default)
+#: or the original pickled pipe.
+PLANE_MODES = ("shm", "pipe")
+
+#: Bulk methods that mutate a shard (and therefore commit its op log).
+_BULK_MUTATORS = frozenset(("insert_batch", "delete_batch"))
+
+
+def _resolve_plane(plane: Optional[str]) -> str:
+    """Validate the data-plane choice; ``REPRO_DATA_PLANE`` sets the default."""
+    if plane is None:
+        plane = os.environ.get("REPRO_DATA_PLANE") or "shm"
+    if plane not in PLANE_MODES:
+        raise ConfigurationError(
+            "plane must be one of %s, got %r"
+            % (", ".join(PLANE_MODES), plane))
+    return plane
 
 
 def _default_start_method() -> str:
@@ -130,8 +174,80 @@ def _open_oplog(spec: Mapping[str, object]):
     return OpLog(**spec)
 
 
+def _insert_batch(structure, log, trip, pairs, dirty) -> int:
+    """Apply one insert batch; commit now, or defer into ``dirty``.
+
+    ``dirty`` is the group-commit accumulator a ``__multi__`` crossing
+    passes down: when set, the log is registered there instead of fsynced
+    per batch, and the crossing commits every dirty log once at its end —
+    the applied prefix still reaches the OS per append, and the command is
+    only acknowledged after the group commit, so the durability contract
+    is unchanged.
+    """
+    insert = structure.insert
+    count = 0
+    try:
+        for key, value in pairs:
+            trip("worker.insert")
+            insert(key, value)
+            if log is not None:
+                log.append("insert", key, value)
+            count += 1
+    finally:
+        if log is not None:
+            if dirty is None:
+                log.commit()  # the applied prefix is durable even on error
+            else:
+                dirty.append(log)
+    return count
+
+
+def _delete_batch(structure, log, trip, keys, dirty) -> List[object]:
+    delete = structure.delete
+    values: List[object] = []
+    try:
+        for key in keys:
+            trip("worker.delete")
+            values.append(delete(key))
+            if log is not None:
+                log.append("delete", key)
+    finally:
+        if log is not None:
+            if dirty is None:
+                log.commit()
+            else:
+                dirty.append(log)
+    return values
+
+
+def _shm_request(channel, trip, args) -> List[object]:
+    """Decode one request frame the dispatch header described."""
+    offset, length, count = args
+    trip("worker.shm.request")
+    return channel.codec.decode(channel.request.read(offset, length), count)
+
+
+def _shm_values_reply(channel, trip, values) -> object:
+    """Stage ``values`` in the reply ring, or return them raw to fall back.
+
+    Deleted values entered the store through *some* plane, so they are not
+    guaranteed codec-encodable even when the keys were; un-encodable (or
+    oversized) value sets ride the pickled pipe for this reply only.
+    """
+    blob = channel.codec.try_encode(values)
+    if blob is None:
+        return values
+    try:
+        offset = channel.reply.write(
+            blob, tripwire=lambda: trip("worker.shm.reply"))
+    except CapacityError:
+        return values
+    return shm_reply_descriptor("records", offset, len(blob), len(values))
+
+
 def _execute(engines: Dict[int, DictionaryEngine], logs: Dict[int, object],
-             trip, shard_id: int, method: str, args: tuple) -> object:
+             trip, channel, shard_id: int, method: str, args: tuple,
+             dirty: Optional[list] = None) -> object:
     """Dispatch one command against the hosted shard (worker side).
 
     ``logs`` maps shard ids to their op logs (primaries of a durable
@@ -139,8 +255,31 @@ def _execute(engines: Dict[int, DictionaryEngine], logs: Dict[int, object],
     process that applied it, with one fsync batch per command — so after a
     crash the log holds exactly the operations the lost structure had
     applied.  ``trip`` is the fail-point hook the fault-injection suite
-    arms to kill the worker at exact operation boundaries.
+    arms to kill the worker at exact operation boundaries.  ``channel`` is
+    the worker's shared-memory channel (``None`` on the pipe plane) and
+    ``dirty`` the enclosing ``__multi__`` crossing's group-commit
+    accumulator.
     """
+    if method == "__multi__":
+        # One coalesced crossing: execute every sub-command, capturing
+        # per-sub outcomes, then group-commit each distinct dirty op log
+        # exactly once — one fsync batch per worker per engine-level bulk
+        # call instead of one per shard copy.
+        from repro.replication.oplog import commit_group
+
+        replies: List[Tuple[str, object]] = []
+        group_dirty: List[object] = []
+        try:
+            for sub_id, sub_method, sub_args in args[0]:
+                try:
+                    replies.append(("ok", _execute(
+                        engines, logs, trip, channel, sub_id, sub_method,
+                        sub_args, dirty=group_dirty)))
+                except Exception as error:
+                    replies.append(("err", error))
+        finally:
+            commit_group(group_dirty)
+        return ("__multi__", replies)
     if method == "__host__":
         shard = args[0]
         engines[shard_id] = DictionaryEngine(shard)
@@ -170,37 +309,33 @@ def _execute(engines: Dict[int, DictionaryEngine], logs: Dict[int, object],
     engine = engines[shard_id]
     structure = engine.structure
     log = logs.get(shard_id)
-    # The batched bulk paths: one command per shard per engine-level call.
+    # The batched bulk paths: one command per shard per engine-level call,
+    # each with a pipe (pickled batch) and an shm (binary frame) spelling.
     if method == "insert_batch":
-        insert = structure.insert
-        count = 0
-        try:
-            for key, value in args[0]:
-                trip("worker.insert")
-                insert(key, value)
-                if log is not None:
-                    log.append("insert", key, value)
-                count += 1
-        finally:
-            if log is not None:
-                log.commit()  # the applied prefix is durable even on error
-        return count
+        return _insert_batch(structure, log, trip, args[0], dirty)
+    if method == "insert_batch_shm":
+        pairs = _shm_request(channel, trip, args)
+        return _insert_batch(structure, log, trip, pairs, dirty)
     if method == "delete_batch":
-        delete = structure.delete
-        values = []
-        try:
-            for key in args[0]:
-                trip("worker.delete")
-                values.append(delete(key))
-                if log is not None:
-                    log.append("delete", key)
-        finally:
-            if log is not None:
-                log.commit()
-        return values
+        return _delete_batch(structure, log, trip, args[0], dirty)
+    if method == "delete_batch_shm":
+        keys = _shm_request(channel, trip, args)
+        values = _delete_batch(structure, log, trip, keys, dirty)
+        return _shm_values_reply(channel, trip, values)
     if method == "contains_batch":
         contains = structure.contains
         return [contains(key) for key in args[0]]
+    if method == "contains_batch_shm":
+        keys = _shm_request(channel, trip, args)
+        contains = structure.contains
+        flags = [contains(key) for key in keys]
+        blob = channel.codec.encode_bitmap(flags)
+        try:
+            offset = channel.reply.write(
+                blob, tripwire=lambda: trip("worker.shm.reply"))
+        except CapacityError:  # pragma: no cover - bitmap of a huge batch
+            return flags
+        return shm_reply_descriptor("bits", offset, len(blob), len(flags))
     if method in ("insert", "upsert", "delete"):
         # Routed point mutations (including the migration traffic the
         # elastic resizes push through the shard proxies) log one committed
@@ -243,13 +378,45 @@ def _execute(engines: Dict[int, DictionaryEngine], logs: Dict[int, object],
     return getattr(structure, method)(*args)
 
 
-def _worker_main(conn) -> None:
+def _unpicklable_reply_error(method: str,
+                             reply: Tuple[str, object]) -> WorkerCrashError:
+    """The always-picklable stand-in for a reply that refused to pickle.
+
+    Crash triage needs the *real* failure: when the unpicklable payload was
+    itself an exception, its class name and formatted traceback travel
+    inside the fallback error's message (the one representation guaranteed
+    to survive the pipe).
+    """
+    status, payload = reply
+    if status == "ok" and isinstance(payload, tuple) and len(payload) == 2 \
+            and payload[0] == "__multi__":
+        # A coalesced crossing: the offender may be a sub-command's error.
+        for sub_status, sub_payload in payload[1]:
+            if sub_status == "err" and isinstance(sub_payload, BaseException):
+                return _unpicklable_reply_error(method,
+                                                ("err", sub_payload))
+    if status == "err" and isinstance(payload, BaseException):
+        try:
+            detail = "".join(traceback.format_exception(
+                type(payload), payload, payload.__traceback__)).strip()
+        except Exception:  # pragma: no cover - hostile __str__/__repr__
+            detail = "<traceback unavailable>"
+        return WorkerCrashError(
+            "worker-side %s raised by %r did not pickle; original "
+            "traceback:\n%s" % (type(payload).__name__, method, detail))
+    return WorkerCrashError(
+        "worker reply to %r (a %s) did not pickle"
+        % (method, type(payload).__name__))
+
+
+def _worker_main(conn, shm_spec: Optional[Dict[str, object]] = None) -> None:
     """The long-lived worker loop: receive commands, answer until shutdown."""
     # Lazy import (cycle: the replication package imports this module); the
     # fail points are inert unless REPRO_FAILPOINTS is armed in the
     # environment this worker inherited.
     from repro.replication.failpoints import trip
 
+    channel = ShmChannel.attach(shm_spec) if shm_spec is not None else None
     engines: Dict[int, DictionaryEngine] = {}
     logs: Dict[int, object] = {}
     while True:
@@ -265,9 +432,14 @@ def _worker_main(conn) -> None:
             except (BrokenPipeError, OSError):  # pragma: no cover
                 pass
             break
+        if channel is not None:
+            # The parent has read (and copied out) the previous command's
+            # reply frames before sending this command, so the reply ring
+            # restarts from its region base for every command.
+            channel.reply.reset()
         try:
-            reply = ("ok", _execute(engines, logs, trip, shard_id, method,
-                                    args))
+            reply = ("ok", _execute(engines, logs, trip, channel, shard_id,
+                                    method, args))
         except Exception as error:
             reply = ("err", error)
         try:
@@ -276,10 +448,10 @@ def _worker_main(conn) -> None:
             break
         except Exception:
             # The result (or the exception) did not pickle; the parent is
-            # still waiting, so answer with something that always does.
+            # still waiting, so answer with something that always does —
+            # carrying the original class name and traceback along.
             try:
-                conn.send(("err", WorkerCrashError(
-                    "worker reply to %r did not pickle" % (method,))))
+                conn.send(("err", _unpicklable_reply_error(method, reply)))
             except Exception:  # pragma: no cover
                 break
     for log in logs.values():
@@ -287,6 +459,8 @@ def _worker_main(conn) -> None:
             log.close()
         except Exception:  # pragma: no cover - best-effort flush
             pass
+    if channel is not None:
+        channel.close()
     conn.close()
 
 
@@ -295,12 +469,22 @@ def _worker_main(conn) -> None:
 # --------------------------------------------------------------------------- #
 
 class _ShardWorker:
-    """Parent-side handle of one worker process (pipe + liveness)."""
+    """Parent-side handle of one worker process (pipe + liveness + shm).
 
-    def __init__(self, context) -> None:
+    ``shm`` is the worker's shared-memory channel on the shm plane
+    (``None`` on the pipe plane); the parent owns the segment's lifetime.
+    ``stats`` is the engine's shared :class:`PlaneStats` — every worker of
+    an engine bumps the same counters.
+    """
+
+    def __init__(self, context, shm: Optional[ShmChannel] = None,
+                 stats: Optional[PlaneStats] = None) -> None:
+        self.shm = shm
+        self.stats = stats if stats is not None else PlaneStats()
         self._conn, child_conn = context.Pipe()
+        spec = shm.spec() if shm is not None else None
         self._process = context.Process(target=_worker_main,
-                                        args=(child_conn,), daemon=True)
+                                        args=(child_conn, spec), daemon=True)
         self._process.start()
         child_conn.close()
         self.shard_ids: set = set()
@@ -328,9 +512,69 @@ class _ShardWorker:
             error.__cause__ = cause
         return error
 
-    def send(self, shard_id: int, method: str, args: tuple) -> None:
+    # -- data-plane lowering -------------------------------------------- #
+
+    def _lower_one(self, method: str, args: object) -> Tuple[str, tuple]:
+        """Stage one command for this worker's plane.
+
+        A :class:`ShmPayload` becomes an ``*_shm`` dispatch header after
+        its blob lands in the request ring; a payload that does not fit
+        (or a worker without a channel) falls back to the staged pickled
+        arguments.
+        """
+        if not isinstance(args, ShmPayload):
+            return method, args
+        payload = args
+        if self.shm is not None:
+            try:
+                offset = self.shm.request.write(payload.blob)
+            except CapacityError:
+                offset = None
+            if offset is not None:
+                self.stats.frames += 1
+                self.stats.bytes += len(payload.blob)
+                return (method + "_shm",
+                        (offset, len(payload.blob), payload.count))
+        self.stats.fallbacks += 1
+        return method, payload.raw_args
+
+    def _lower(self, method: str, args: object) -> Tuple[str, tuple]:
+        if self.shm is not None:
+            # Each command's frames bump-allocate from the ring base; the
+            # previous command's reply was fully consumed before this send.
+            self.shm.request.reset()
+        if method == "__multi__":
+            subs = []
+            for sub_id, sub_method, sub_args in args[0]:
+                sub_method, sub_args = self._lower_one(sub_method, sub_args)
+                subs.append((sub_id, sub_method, sub_args))
+            return method, (subs,)
+        return self._lower_one(method, args)
+
+    def _hydrate(self, payload: object) -> object:
+        """Resolve shm reply descriptors back into values (parent side)."""
+        if self.shm is None:
+            return payload
+        if is_shm_reply(payload):
+            _tag, kind, offset, length, count = payload
+            blob = self.shm.reply.read(offset, length)
+            self.stats.frames += 1
+            self.stats.bytes += length
+            if kind == "bits":
+                return self.shm.codec.decode_bitmap(blob, count)
+            return self.shm.codec.decode(blob, count)
+        if isinstance(payload, tuple) and len(payload) == 2 \
+                and payload[0] == "__multi__":
+            return ("__multi__",
+                    [(sub_status, self._hydrate(sub_payload)
+                      if sub_status == "ok" else sub_payload)
+                     for sub_status, sub_payload in payload[1]])
+        return payload
+
+    def send(self, shard_id: int, method: str, args: object) -> None:
         if self._down:
             raise self._crash(None, "is already down")
+        method, args = self._lower(method, args)
         try:
             self._conn.send((shard_id, method, args))
         except (BrokenPipeError, OSError) as error:
@@ -338,9 +582,15 @@ class _ShardWorker:
 
     def receive(self) -> Tuple[str, object]:
         try:
-            return self._conn.recv()
+            status, payload = self._conn.recv()
         except (EOFError, OSError) as error:
             raise self._crash(error, "died before answering")
+        try:
+            return status, self._hydrate(payload)
+        except ShmFrameError as error:
+            # A torn reply frame means the transport can no longer be
+            # trusted; treat it exactly like a crashed worker.
+            raise self._crash(error, "returned a torn shared-memory frame")
 
     def request(self, shard_id: int, method: str, args: tuple = ()) -> object:
         """One synchronous round-trip; re-raises worker-side exceptions."""
@@ -379,6 +629,27 @@ class _ShardWorker:
             self._process.terminate()
             self._process.join(1.0)
         self._conn.close()
+        if self.shm is not None:
+            self.shm.close()
+            self.shm = None
+
+
+class _MultiKey:
+    """Dispatch key of a coalesced ``__multi__`` crossing.
+
+    Wraps the original per-command keys in order, so reply demux (and
+    whole-queue failure) can fan the single crossing's outcome back out to
+    the commands it merged.
+    """
+
+    __slots__ = ("keys",)
+
+    def __init__(self, keys: Tuple[object, ...]) -> None:
+        self.keys = keys
+
+
+def _expand_key(key: object) -> Tuple[object, ...]:
+    return key.keys if isinstance(key, _MultiKey) else (key,)
 
 
 class _ShardProxy(HIDictionary):
@@ -493,13 +764,29 @@ class ProcessShardedDictionaryEngine(ShardedDictionaryEngine):
                  name: Optional[str] = None,
                  sample_operations: bool = False,
                  max_workers: Optional[int] = None,
-                 start_method: Optional[str] = None) -> None:
+                 start_method: Optional[str] = None,
+                 plane: Optional[str] = None,
+                 shm_capacity: Optional[int] = None) -> None:
         if max_workers is not None and (not isinstance(max_workers, int)
                                         or isinstance(max_workers, bool)
                                         or max_workers < 1):
             raise ConfigurationError(
                 "max_workers must be an integer >= 1 (or None for one "
                 "worker per shard), got %r" % (max_workers,))
+        if shm_capacity is not None and (not isinstance(shm_capacity, int)
+                                         or isinstance(shm_capacity, bool)
+                                         or shm_capacity < 4096):
+            raise ConfigurationError(
+                "shm_capacity must be an integer >= 4096 bytes (or None "
+                "for the default), got %r" % (shm_capacity,))
+        self._plane = _resolve_plane(plane)
+        self._shm_capacity = shm_capacity or DEFAULT_CAPACITY
+        self._plane_stats = PlaneStats()
+        self._plane_codec = BatchCodec(DEFAULT_PAYLOAD_SIZE)
+        # Subclasses that host durable shards (the replicated engine) set
+        # ``_durability_dir`` before delegating here, so this snapshot is
+        # correct by the time any command is dispatched.
+        self._durable_plane = getattr(self, "_durability_dir", None) is not None
         super().__init__(structure, name=name,
                          sample_operations=sample_operations)
         self._max_workers = max_workers
@@ -522,12 +809,27 @@ class ProcessShardedDictionaryEngine(ShardedDictionaryEngine):
         """The worker process ids, in spawn order (testing/ops hook)."""
         return [worker.pid for worker in self._workers]
 
+    @property
+    def plane(self) -> str:
+        """The active data plane: ``"shm"`` or ``"pipe"``."""
+        return self._plane
+
+    def plane_stats(self) -> Dict[str, int]:
+        """Deterministic data-plane counters (frames, bytes, fallbacks,
+        coalesced commands, group-commit fsync batches) since construction."""
+        return self._plane_stats.as_dict()
+
+    def _new_channel(self) -> Optional[ShmChannel]:
+        return (ShmChannel.create(self._shm_capacity)
+                if self._plane == "shm" else None)
+
     def _pick_worker(self) -> _ShardWorker:
         """A live worker for a new shard: spawn until the cap, then pack."""
         cap = self._max_workers or len(self._structure.shards)
         live = [worker for worker in self._workers if worker.is_alive()]
         if len(live) < cap:
-            worker = _ShardWorker(self._mp_context)
+            worker = _ShardWorker(self._mp_context, shm=self._new_channel(),
+                                  stats=self._plane_stats)
             self._workers.append(worker)
             return worker
         return min(live, key=lambda worker: len(worker.shard_ids))
@@ -674,15 +976,41 @@ class ProcessShardedDictionaryEngine(ShardedDictionaryEngine):
                                                str, tuple]]] = {}
         for command in commands:
             queues.setdefault(command[1], deque()).append(command)
+        for worker, queue in queues.items():
+            if len(queue) > 1:
+                # Coalesce the worker's whole dispatch window into one
+                # crossing: the subs run back to back worker-side (same
+                # order the queue would have run them) and their op logs
+                # group-commit once at the crossing's end.
+                keys = tuple(entry[0] for entry in queue)
+                subs = [(entry[2], entry[3], entry[4]) for entry in queue]
+                self._plane_stats.coalesced += len(queue) - 1
+                queue.clear()
+                queue.append((_MultiKey(keys), worker, -1,
+                              "__multi__", (subs,)))
         results: Dict[object, object] = {}
         errors: Dict[object, BaseException] = {}
 
         def fail_worker(worker: _ShardWorker, key: object,
                         error: BaseException) -> None:
-            errors[key] = error
+            for sub_key in _expand_key(key):
+                errors[sub_key] = error
             for queued in queues[worker]:
-                errors[queued[0]] = error
+                for sub_key in _expand_key(queued[0]):
+                    errors[sub_key] = error
             queues[worker].clear()
+
+        def settle(key: object, status: str, payload: object) -> None:
+            if isinstance(key, _MultiKey) and status == "ok":
+                _tag, replies = payload
+                for sub_key, (sub_status, sub_payload) in zip(key.keys,
+                                                              replies):
+                    settle(sub_key, sub_status, sub_payload)
+            elif status == "err":
+                for sub_key in _expand_key(key):
+                    errors[sub_key] = payload
+            else:
+                results[key] = payload
 
         def dispatch_next(worker: _ShardWorker) -> None:
             while queues[worker]:
@@ -693,6 +1021,7 @@ class ProcessShardedDictionaryEngine(ShardedDictionaryEngine):
                 except WorkerCrashError as error:
                     fail_worker(worker, key, error)
                     continue
+                self._note_fsync_batch(engine_id, method, args)
                 outstanding[worker.connection] = (worker, key)
                 return
 
@@ -707,12 +1036,26 @@ class ProcessShardedDictionaryEngine(ShardedDictionaryEngine):
                 except WorkerCrashError as error:
                     fail_worker(worker, key, error)
                     continue
-                if status == "err":
-                    errors[key] = payload
-                else:
-                    results[key] = payload
+                settle(key, status, payload)
                 dispatch_next(worker)
         return results, errors
+
+    def _note_fsync_batch(self, engine_id: int, method: str,
+                          args: object) -> None:
+        """Count one group-commit point per durable mutating crossing.
+
+        Replica hostings use negative engine ids; only primary mutations
+        carry an op log, so only they contribute a commit point.
+        """
+        if not self._durable_plane:
+            return
+        if method == "__multi__":
+            mutates = any(sub_method in _BULK_MUTATORS and sub_id >= 0
+                          for sub_id, sub_method, _args in args[0])
+        else:
+            mutates = method in _BULK_MUTATORS and engine_id >= 0
+        if mutates:
+            self._plane_stats.fsync_batches += 1
 
     def _scatter(self, commands: Sequence[Tuple[int, str, tuple]]
                  ) -> Dict[int, object]:
@@ -736,12 +1079,29 @@ class ProcessShardedDictionaryEngine(ShardedDictionaryEngine):
     # Batched bulk operations (one round-trip per shard per call)
     # ------------------------------------------------------------------ #
 
+    def _bulk_args(self, batch: Sequence[object]) -> object:
+        """Stage one bulk batch for its data plane.
+
+        On the shm plane, a codec-encodable batch becomes a
+        :class:`~repro.api.shm_plane.ShmPayload` the worker handle lowers
+        into its request ring at send time (falling back to the pickled
+        arguments if the ring is full); anything the codec cannot encode
+        exactly rides the pickled pipe unchanged.
+        """
+        if self._plane != "shm":
+            return (batch,)
+        blob = self._plane_codec.try_encode(batch)
+        if blob is None:
+            self._plane_stats.fallbacks += 1
+            return (batch,)
+        return ShmPayload("records", blob, len(batch), (batch,))
+
     def insert_many(self, entries: Iterable[object]) -> int:
         """Insert keys or pairs: one ``insert_batch`` command per shard."""
         if self.sample_operations:
             return super().insert_many(entries)
         batches, count = self._grouped_entries(entries)
-        self._scatter([(position, "insert_batch", (batch,))
+        self._scatter([(position, "insert_batch", self._bulk_args(batch))
                        for position, batch in enumerate(batches) if batch])
         return count
 
@@ -752,7 +1112,8 @@ class ProcessShardedDictionaryEngine(ShardedDictionaryEngine):
         keys, batches = self._grouped_positions(keys)
         values: List[object] = [None] * len(keys)
         results = self._scatter(
-            [(position, "delete_batch", ([key for _at, key in batch],))
+            [(position, "delete_batch",
+              self._bulk_args([key for _at, key in batch]))
              for position, batch in enumerate(batches) if batch])
         for position, batch in enumerate(batches):
             if batch:
@@ -767,7 +1128,8 @@ class ProcessShardedDictionaryEngine(ShardedDictionaryEngine):
         keys, batches = self._grouped_positions(keys)
         found: List[bool] = [False] * len(keys)
         results = self._scatter(
-            [(position, "contains_batch", ([key for _at, key in batch],))
+            [(position, "contains_batch",
+              self._bulk_args([key for _at, key in batch]))
              for position, batch in enumerate(batches) if batch])
         for position, batch in enumerate(batches):
             if batch:

@@ -366,7 +366,8 @@ def _ensure_builtin() -> None:
     register(
         "sharded",
         ShardedDictionary.from_config,
-        extra_params=("shards", "inner", "inner_params", "router", "vnodes"),
+        extra_params=("shards", "inner", "inner_params", "router", "vnodes",
+                      "weights"),
         summary="hash-partitioned router over N independent registry "
-                "backends (modulo or consistent-hash routing)",
+                "backends (modulo, consistent-hash, or weighted routing)",
         history_independent=True)

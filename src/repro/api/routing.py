@@ -14,6 +14,10 @@ rebuild.  This module makes routing a *strategy*:
   position.  Adding a shard only claims the arcs its new virtual nodes carve
   out, so an ``n → n+1`` resize moves ``≈ keys/(n+1)`` keys and *only* onto
   the new shard; removing a shard moves only that shard's keys.
+* :class:`WeightedConsistentHashRouter` — the same ring with per-shard
+  capacity weights mapped to vnode counts, so a shard hosted on weaker
+  hardware can own a proportionally smaller arc share instead of dragging
+  every parallel bulk call down to its pace.
 
 Both routers are pure functions of ``(key, shard ids)`` — no process-salted
 ``hash()``, no internal mutability observable from routing — so a sharded
@@ -44,7 +48,7 @@ _MASK64 = (1 << 64) - 1
 DEFAULT_VNODES = 64
 
 #: Router names accepted by the ``sharded`` registry entry's ``router`` extra.
-ROUTER_NAMES = ("modulo", "consistent")
+ROUTER_NAMES = ("modulo", "consistent", "weighted")
 
 
 def _mix64(value: int) -> int:
@@ -158,6 +162,10 @@ class ConsistentHashRouter(Router):
     #: migration), so anything beyond a few is dead weight.
     MAX_CACHED_RINGS = 8
 
+    def _vnode_count(self, shard_id: int) -> int:
+        """Virtual nodes ``shard_id`` places on the ring (subclass hook)."""
+        return self.vnodes
+
     def _ring(self, shard_ids: Tuple[int, ...]) -> Tuple[List[int], List[int]]:
         cached = self._rings.get(shard_ids)
         if cached is not None:
@@ -167,7 +175,7 @@ class ConsistentHashRouter(Router):
                 "shard ids must be unique, got %r" % (shard_ids,))
         points = []
         for position_index, shard_id in enumerate(shard_ids):
-            for replica in range(self.vnodes):
+            for replica in range(self._vnode_count(shard_id)):
                 # Ties broken by shard id so the ring order is deterministic
                 # even in the (astronomically unlikely) position collision.
                 points.append((self._vnode_position(shard_id, replica),
@@ -226,32 +234,102 @@ class ConsistentHashRouter(Router):
         return "ConsistentHashRouter(vnodes=%d)" % self.vnodes
 
 
+class WeightedConsistentHashRouter(ConsistentHashRouter):
+    """Consistent hashing with per-shard capacity weights.
+
+    ``weights`` maps stable shard ids to positive relative capacities; a
+    shard places ``max(1, round(vnodes * weight))`` virtual nodes, so its
+    expected key share scales with its weight.  Shards absent from the
+    mapping weigh ``1.0`` (exactly the unweighted ring), which is what
+    makes the weighted router a drop-in: an empty mapping routes
+    bit-for-bit like :class:`ConsistentHashRouter`.
+
+    The point is heterogeneous worker pools: a half-capacity host stops
+    being the straggler every parallel bulk call waits on when its shard's
+    arc share is halved to match.  Weights are fixed at construction (they
+    describe hardware, not load) and persist through :meth:`spec`, so
+    snapshot manifests restore the same skew they were written under.
+    """
+
+    name = "weighted"
+
+    def __init__(self, weights: object = None,
+                 vnodes: int = DEFAULT_VNODES) -> None:
+        super().__init__(vnodes)
+        self.weights = self._validated_weights(weights)
+
+    @staticmethod
+    def _validated_weights(weights: object) -> Dict[int, float]:
+        if weights is None:
+            return {}
+        if not isinstance(weights, dict):
+            raise ConfigurationError(
+                "weights must be a mapping of shard id -> positive weight, "
+                "got %r" % (weights,))
+        validated: Dict[int, float] = {}
+        for shard_id, weight in weights.items():
+            # Manifest round-trip: JSON object keys come back as strings.
+            if isinstance(shard_id, str) and shard_id.lstrip("-").isdigit():
+                shard_id = int(shard_id)
+            if not isinstance(shard_id, int) or isinstance(shard_id, bool):
+                raise ConfigurationError(
+                    "weight keys must be integer shard ids, got %r"
+                    % (shard_id,))
+            if isinstance(weight, bool) \
+                    or not isinstance(weight, (int, float)) \
+                    or not weight > 0:
+                raise ConfigurationError(
+                    "shard %d weight must be a positive number, got %r"
+                    % (shard_id, weight))
+            validated[shard_id] = float(weight)
+        return validated
+
+    def _vnode_count(self, shard_id: int) -> int:
+        return max(1, round(self.vnodes * self.weights.get(shard_id, 1.0)))
+
+    def spec(self) -> Dict[str, object]:
+        # String keys so the spec is identical before and after a JSON
+        # round-trip through a snapshot manifest.
+        return {"name": self.name, "vnodes": self.vnodes,
+                "weights": {str(shard_id): weight for shard_id, weight
+                            in sorted(self.weights.items())}}
+
+    def __repr__(self) -> str:
+        return ("WeightedConsistentHashRouter(vnodes=%d, weights=%r)"
+                % (self.vnodes, self.weights))
+
+
 def make_router(router: object = "modulo", *,
-                vnodes: object = None) -> Router:
+                vnodes: object = None,
+                weights: object = None) -> Router:
     """Build a router from a name, a spec mapping, or a :class:`Router`.
 
     ``router`` may be one of :data:`ROUTER_NAMES`, a mapping with a ``name``
     key (the :meth:`Router.spec` form snapshot manifests persist), or an
     already-built :class:`Router` (returned as-is; combining it with an
-    explicit ``vnodes`` is rejected as ambiguous).  ``vnodes`` only applies
-    to consistent hashing.
+    explicit ``vnodes`` or ``weights`` is rejected as ambiguous).
+    ``vnodes`` applies to both ring routers; ``weights`` only to
+    ``"weighted"``.
     """
     if isinstance(router, Router):
-        if vnodes is not None:
+        if vnodes is not None or weights is not None:
             raise ConfigurationError(
-                "vnodes cannot be combined with an already-built router; "
-                "construct ConsistentHashRouter(vnodes=...) directly")
+                "vnodes/weights cannot be combined with an already-built "
+                "router; construct the router with them directly")
         return router
     if isinstance(router, dict):
         spec = dict(router)
         name = spec.pop("name", None)
-        spec_vnodes = spec.pop("vnodes", None)
-        if vnodes is None:
-            vnodes = spec_vnodes
-        elif spec_vnodes is not None:
-            raise ConfigurationError(
-                "vnodes given twice: %r in the router spec and %r as an "
-                "argument" % (spec_vnodes, vnodes))
+        for option, value in (("vnodes", vnodes), ("weights", weights)):
+            spec_value = spec.pop(option, None)
+            if value is not None and spec_value is not None:
+                raise ConfigurationError(
+                    "%s given twice: %r in the router spec and %r as an "
+                    "argument" % (option, spec_value, value))
+            if option == "vnodes":
+                vnodes = value if value is not None else spec_value
+            else:
+                weights = value if value is not None else spec_value
         if spec:
             raise ConfigurationError(
                 "unknown router spec key(s): %s"
@@ -261,6 +339,13 @@ def make_router(router: object = "modulo", *,
         raise ConfigurationError(
             "router must be one of %s, got %r"
             % (", ".join(ROUTER_NAMES), router))
+    if router == "weighted":
+        return WeightedConsistentHashRouter(
+            weights=weights,
+            vnodes=DEFAULT_VNODES if vnodes is None else vnodes)
+    if weights is not None:
+        raise ConfigurationError(
+            "weights only apply to the weighted router, not %r" % (router,))
     if router == "consistent":
         return ConsistentHashRouter(
             vnodes=DEFAULT_VNODES if vnodes is None else vnodes)

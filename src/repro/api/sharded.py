@@ -165,7 +165,8 @@ def _validated_shard_spec(extra: Mapping[str, object]
             "inner_params must be a mapping of structure-specific parameters "
             "applied to every shard, got %r" % (inner_params,))
     router = make_router(extra.get("router", "modulo"),
-                         vnodes=extra.get("vnodes", None))
+                         vnodes=extra.get("vnodes", None),
+                         weights=extra.get("weights", None))
     return num_shards, resolved, inner_params, router
 
 
@@ -1267,8 +1268,10 @@ def make_sharded_engine(inner: object = DEFAULT_INNER, *,
                         inner_params: Optional[Mapping[str, object]] = None,
                         router: object = "modulo",
                         vnodes: Optional[int] = None,
+                        weights: Optional[Mapping[int, float]] = None,
                         parallel: object = False,
                         max_workers: Optional[int] = None,
+                        plane: Optional[str] = None,
                         replication: int = 1,
                         durability_dir: Optional[str] = None,
                         fsync: bool = True
@@ -1277,14 +1280,17 @@ def make_sharded_engine(inner: object = DEFAULT_INNER, *,
 
     ``inner`` is a registry name or a per-shard sequence of names
     (heterogeneous shards); ``inner_params`` are structure-specific extras
-    applied to every shard; ``router`` / ``vnodes`` select the routing
-    strategy (``"modulo"`` or ``"consistent"``); ``parallel`` selects the
-    dispatch backend — ``"none"`` (sequential), ``"thread"`` (PR 3's
-    thread-pool fan-out; ``True`` is a backward-compatible alias) or
-    ``"process"`` (long-lived worker processes that escape the GIL, see
+    applied to every shard; ``router`` / ``vnodes`` / ``weights`` select
+    the routing strategy (``"modulo"``, ``"consistent"``, or ``"weighted"``
+    with per-shard capacity weights); ``parallel`` selects the dispatch
+    backend — ``"none"`` (sequential), ``"thread"`` (PR 3's thread-pool
+    fan-out; ``True`` is a backward-compatible alias) or ``"process"``
+    (long-lived worker processes that escape the GIL, see
     :class:`~repro.api.process_engine.ProcessShardedDictionaryEngine`) —
-    with ``max_workers`` capping the pool.  All validation is the
-    registry's.
+    with ``max_workers`` capping the pool and ``plane`` choosing the
+    process backend's data plane (``"shm"`` shared-memory rings, the
+    default, or ``"pipe"`` for the original pickled pipe).  All validation
+    is the registry's.
 
     ``replication`` and ``durability_dir`` turn the process backend into a
     durable store (see :mod:`repro.replication`): with ``replication=N``
@@ -1312,10 +1318,15 @@ def make_sharded_engine(inner: object = DEFAULT_INNER, *,
             "replication and durability require the process backend "
             "(shards must live in workers that can crash independently); "
             "pass parallel='process'")
+    if plane is not None and mode != "process":
+        raise ConfigurationError(
+            "plane only applies to the process backend (the thread and "
+            "sequential engines share the parent's memory); "
+            "pass parallel='process'")
     structure = make_dictionary("sharded", block_size=block_size,
                                 cache_blocks=cache_blocks, seed=seed,
                                 backend=backend, shards=shards, inner=inner,
-                                router=router, vnodes=vnodes,
+                                router=router, vnodes=vnodes, weights=weights,
                                 inner_params=dict(inner_params or {}))
     if mode == "thread":
         return ParallelShardedDictionaryEngine(
@@ -1328,11 +1339,12 @@ def make_sharded_engine(inner: object = DEFAULT_INNER, *,
             )
             return ReplicatedShardedDictionaryEngine(
                 structure, sample_operations=sample_operations,
-                max_workers=max_workers, replication=replication,
+                max_workers=max_workers, plane=plane,
+                replication=replication,
                 durability_dir=durability_dir, fsync=fsync)
         from repro.api.process_engine import ProcessShardedDictionaryEngine
         return ProcessShardedDictionaryEngine(
             structure, sample_operations=sample_operations,
-            max_workers=max_workers)
+            max_workers=max_workers, plane=plane)
     return ShardedDictionaryEngine(structure,
                                    sample_operations=sample_operations)

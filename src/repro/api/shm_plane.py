@@ -1,0 +1,338 @@
+"""Shared-memory data plane for the process-parallel engines.
+
+PR 4 ships every bulk batch through a pickled ``multiprocessing`` pipe, and
+``BENCH_wallclock.json`` shows what that costs: the process backend ran at
+0.70–0.79× of the *sequential* engine, because each crossing pays pickle,
+pipe write, pipe read and unpickle for the whole payload.  This module is
+the zero-pickle hot path: each worker gets one
+:class:`multiprocessing.shared_memory.SharedMemory` segment split into a
+request ring (parent writes, worker reads) and a reply ring (worker writes,
+parent reads), and bulk batches cross as compact binary frames — the pipe
+then carries only a small dispatch header (shard id, opcode, frame offset).
+
+Three pieces:
+
+* :class:`BatchCodec` — encodes a batch of keys, ``(key, value)`` pairs or
+  result values as back-to-back fixed-width records, reusing
+  :class:`repro.storage.encoding.RecordCodec`'s canonical framing (the same
+  tagged union the snapshots and op logs persist), plus a packed bitmap for
+  ``contains_many`` replies.  Values the record union cannot represent
+  *exactly* — bools (the codec widens them to ints), huge ints, nested
+  containers, anything over the payload budget — make :meth:`try_encode`
+  return ``None``, and the caller falls back to the pickled pipe for that
+  batch: the fallback is a per-batch decision, never an error.
+* :class:`ShmRing` — a bump-pointer ring over one region of the segment.
+  Every frame is ``length | crc32 | payload``; the reader re-checks both
+  against the dispatch header, so a torn or partial frame (a worker killed
+  mid-write, a corrupted segment) surfaces as :class:`ShmFrameError`
+  instead of silently decoding garbage.  The engines keep at most one
+  outstanding command per worker, so the ring needs no locking — each
+  command's frames bump-allocate from the region start, and a frame that
+  would not fit falls back to the pipe.
+* :class:`ShmChannel` — the per-worker pair of rings plus codec.  The
+  parent creates the segment; the worker attaches by name (which works
+  under ``fork`` and ``spawn`` alike) and detaches on shutdown, while the
+  parent owns the unlink.
+
+:class:`PlaneStats` counts frames, bytes crossed, pickle fallbacks,
+coalesced crossings and group-commit fsync batches — deterministic
+functions of the workload and topology, which is what lets
+``benchmarks/baseline.py`` gate the data plane without timing flakiness.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import CapacityError, ConfigurationError, WorkerCrashError
+from repro.storage.encoding import RecordCodec
+
+#: Default payload budget per record — matches the op log's
+#: (``repro.replication.recovery.PAYLOAD_SIZE``), so any key/value pair a
+#: durable engine can log is also shm-encodable.
+DEFAULT_PAYLOAD_SIZE = 64
+
+#: Default segment size per worker (split evenly into request/reply rings).
+#: A 20k-entry batch of int pairs needs ~1.4 MB of 69-byte records; batches
+#: that do not fit simply fall back to the pipe, so this bounds memory, not
+#: correctness.
+DEFAULT_CAPACITY = 4 * 1024 * 1024
+
+#: Per-frame header: payload length, CRC-32 of the payload.
+_FRAME = struct.Struct(">II")
+
+#: Reply-descriptor tag sent over the pipe instead of a pickled payload.
+SHM_REPLY_TAG = "__shm__"
+
+
+class ShmFrameError(WorkerCrashError):
+    """A shared-memory frame failed its length or CRC check.
+
+    Subclasses :class:`~repro.errors.WorkerCrashError` because a torn frame
+    means the writer died mid-write (or the segment was corrupted): the
+    transport to that worker can no longer be trusted, which is exactly the
+    contract a worker crash has.
+    """
+
+
+class BatchCodec:
+    """Encode batches of keys / pairs / values as fixed-width record runs."""
+
+    def __init__(self, payload_size: int = DEFAULT_PAYLOAD_SIZE) -> None:
+        self.records = RecordCodec(payload_size=payload_size)
+        self.payload_size = payload_size
+        self.record_size = self.records.record_size
+
+    def try_encode(self, values: Sequence[object]) -> Optional[bytes]:
+        """The batch as a record run, or ``None`` to fall back.
+
+        ``None`` means at least one value is not *exactly* representable in
+        the record union (wrong type, over budget, bool — which the codec
+        canonicalises to int — or an int past 16 bytes) — the caller ships
+        that batch over the pickled pipe instead.
+        """
+        records = self.records
+        try:
+            for value in values:
+                if not records.round_trips_exactly(value):
+                    return None
+            return records.encode_run(values)
+        except (CapacityError, ConfigurationError, OverflowError,
+                UnicodeEncodeError):
+            return None
+
+    def decode(self, blob: bytes, count: int) -> List[object]:
+        """Decode ``count`` records previously produced by :meth:`try_encode`."""
+        if len(blob) != count * self.record_size:
+            raise ShmFrameError(
+                "shared-memory batch holds %d bytes, expected %d records "
+                "of %d" % (len(blob), count, self.record_size))
+        return self.records.decode_run(blob, count)
+
+    @staticmethod
+    def encode_bitmap(flags: Sequence[bool]) -> bytes:
+        """Pack booleans (``contains_many`` replies) eight to a byte."""
+        blob = bytearray((len(flags) + 7) // 8)
+        for index, flag in enumerate(flags):
+            if flag:
+                blob[index // 8] |= 1 << (index % 8)
+        return bytes(blob)
+
+    @staticmethod
+    def decode_bitmap(blob: bytes, count: int) -> List[bool]:
+        if len(blob) != (count + 7) // 8:
+            raise ShmFrameError(
+                "shared-memory bitmap holds %d bytes for %d flags"
+                % (len(blob), count))
+        return [bool(blob[index // 8] >> (index % 8) & 1)
+                for index in range(count)]
+
+
+class ShmRing:
+    """A frame ring over one region of a shared segment.
+
+    Single writer, single reader, one *command* outstanding at a time (the
+    engines' one-command-per-worker rule).  The writer calls :meth:`reset`
+    at each command boundary and bump-allocates that command's frames from
+    the region start — a coalesced command may carry several frames, and a
+    strict no-wrap allocator is what guarantees a later frame can never
+    overwrite an earlier frame of the same command.  A frame that does not
+    fit raises :class:`~repro.errors.CapacityError` and the caller ships
+    that batch over the pickled pipe instead.
+    """
+
+    def __init__(self, buffer, start: int, size: int) -> None:
+        self._buffer = buffer
+        self._start = start
+        self._size = size
+        self._cursor = 0
+
+    @property
+    def capacity(self) -> int:
+        """Largest payload one frame can carry."""
+        return self._size - _FRAME.size
+
+    def reset(self) -> None:
+        """Start a new command: its frames allocate from the region start.
+
+        Safe exactly because the previous command's reply was fully read
+        (and copied out) before the next command is sent.
+        """
+        self._cursor = 0
+
+    def write(self, payload: bytes, tripwire=None) -> int:
+        """Append one frame; returns its offset within this ring.
+
+        ``tripwire`` (the fail-point hook) runs after the header landed but
+        before the payload — the exact window where killing the writer
+        leaves a torn frame for :meth:`read` to detect.
+        """
+        needed = _FRAME.size + len(payload)
+        if self._cursor + needed > self._size:
+            raise CapacityError(
+                "shared-memory frame of %d bytes does not fit at offset %d "
+                "of a %d-byte ring" % (len(payload), self._cursor,
+                                       self._size))
+        offset = self._cursor
+        at = self._start + offset
+        self._buffer[at:at + _FRAME.size] = _FRAME.pack(
+            len(payload), zlib.crc32(payload))
+        if tripwire is not None:
+            tripwire()
+        self._buffer[at + _FRAME.size:at + needed] = payload
+        self._cursor = offset + needed
+        return offset
+
+    def read(self, offset: int, length: int) -> bytes:
+        """Read and verify the frame the dispatch header described.
+
+        The stored length must match the header's and the CRC must check
+        out; anything else is a torn or partial frame and raises
+        :class:`ShmFrameError`.
+        """
+        if offset < 0 or offset + _FRAME.size + length > self._size:
+            raise ShmFrameError(
+                "shared-memory frame (offset %d, %d bytes) is outside the "
+                "ring's %d bytes" % (offset, length, self._size))
+        at = self._start + offset
+        stored_length, stored_crc = _FRAME.unpack_from(
+            bytes(self._buffer[at:at + _FRAME.size]))
+        if stored_length != length:
+            raise ShmFrameError(
+                "torn shared-memory frame at offset %d: header says %d "
+                "bytes, dispatch said %d" % (offset, stored_length, length))
+        payload = bytes(self._buffer[at + _FRAME.size:
+                                     at + _FRAME.size + length])
+        if zlib.crc32(payload) != stored_crc:
+            raise ShmFrameError(
+                "torn shared-memory frame at offset %d: CRC mismatch over "
+                "%d bytes (the writer died mid-frame or the segment was "
+                "corrupted)" % (offset, length))
+        return payload
+
+
+class ShmChannel:
+    """One worker's shared segment: request ring + reply ring + codec."""
+
+    def __init__(self, segment, payload_size: int,
+                 owner: bool) -> None:
+        self._segment = segment
+        self._owner = owner
+        half = segment.size // 2
+        self.request = ShmRing(segment.buf, 0, half)
+        self.reply = ShmRing(segment.buf, half, segment.size - half)
+        self.codec = BatchCodec(payload_size=payload_size)
+        self.payload_size = payload_size
+
+    @classmethod
+    def create(cls, capacity: int = DEFAULT_CAPACITY,
+               payload_size: int = DEFAULT_PAYLOAD_SIZE) -> "ShmChannel":
+        """Parent side: allocate a fresh segment (the parent owns unlink)."""
+        from multiprocessing import shared_memory
+
+        if not isinstance(capacity, int) or isinstance(capacity, bool) \
+                or capacity < 4 * _FRAME.size:
+            raise ConfigurationError(
+                "shm capacity must be an integer of at least %d bytes, "
+                "got %r" % (4 * _FRAME.size, capacity))
+        segment = shared_memory.SharedMemory(create=True, size=capacity)
+        return cls(segment, payload_size, owner=True)
+
+    @classmethod
+    def attach(cls, spec: Dict[str, object]) -> "ShmChannel":
+        """Worker side: attach to the parent's segment by name."""
+        from multiprocessing import shared_memory
+
+        # Python's resource tracker registers *attachments* too (bpo-38119,
+        # fixed in 3.13's track=False).  Both fork and spawn workers share
+        # the parent's tracker process (the fd travels in the spawn
+        # preparation data), so the worker's register is a set re-add the
+        # parent's own registration already covers — unregistering here
+        # would strip that registration and break the owner's unlink
+        # bookkeeping instead.
+        segment = shared_memory.SharedMemory(name=spec["name"], create=False)
+        return cls(segment, int(spec["payload_size"]), owner=False)
+
+    def spec(self) -> Dict[str, object]:
+        """What a worker needs to :meth:`attach` (picklable, spawn-safe)."""
+        return {"name": self._segment.name,
+                "capacity": self._segment.size,
+                "payload_size": self.payload_size}
+
+    def close(self) -> None:
+        """Detach; the owning (parent) side also unlinks the segment."""
+        # Drop the ring views first: SharedMemory.close() refuses to unmap
+        # while exported memoryviews are alive.
+        self.request = self.reply = None
+        try:
+            self._segment.close()
+        except (BufferError, OSError):  # pragma: no cover - torn teardown
+            return
+        if self._owner:
+            try:
+                self._segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+
+class ShmPayload:
+    """A bulk batch staged for the shared-memory plane.
+
+    Built once per shard batch by the engine (the blob is shared across a
+    replicated shard's copies — each worker's ``send`` writes it into its
+    own ring); ``raw_args`` keeps the original pickled-pipe arguments so a
+    frame that does not fit a ring falls back without re-grouping.
+    """
+
+    __slots__ = ("kind", "blob", "count", "raw_args")
+
+    def __init__(self, kind: str, blob: bytes, count: int,
+                 raw_args: tuple) -> None:
+        self.kind = kind          # "records": keys or pairs
+        self.blob = blob
+        self.count = count
+        self.raw_args = raw_args
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "ShmPayload(kind=%r, count=%d, bytes=%d)" % (
+            self.kind, self.count, len(self.blob))
+
+
+class PlaneStats:
+    """Deterministic data-plane counters (parent side).
+
+    Every field is a pure function of workload, topology and codec — no
+    wall clock anywhere — so ``benchmarks/baseline.py`` can gate them with
+    the same ±25% tolerance as the I/O counts.
+    """
+
+    __slots__ = ("frames", "bytes", "fallbacks", "coalesced",
+                 "fsync_batches")
+
+    def __init__(self) -> None:
+        self.frames = 0         # shm frames written (requests + replies)
+        self.bytes = 0          # payload bytes crossed through shm
+        self.fallbacks = 0      # batches shipped over the pickled pipe
+        self.coalesced = 0      # pipe crossings saved by batch coalescing
+        self.fsync_batches = 0  # group-commit points issued (durable bulk)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"frames": self.frames, "bytes": self.bytes,
+                "fallbacks": self.fallbacks, "coalesced": self.coalesced,
+                "fsync_batches": self.fsync_batches}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "PlaneStats(%s)" % (self.as_dict(),)
+
+
+def shm_reply_descriptor(kind: str, offset: int, length: int,
+                         count: int) -> Tuple[str, str, int, int, int]:
+    """The pipe-borne stand-in for a reply that crossed through shm."""
+    return (SHM_REPLY_TAG, kind, offset, length, count)
+
+
+def is_shm_reply(payload: object) -> bool:
+    return (isinstance(payload, tuple) and len(payload) == 5
+            and payload[0] == SHM_REPLY_TAG)

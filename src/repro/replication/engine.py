@@ -220,6 +220,8 @@ class ReplicatedShardedDictionaryEngine(ProcessShardedDictionaryEngine):
                  sample_operations: bool = False,
                  max_workers: Optional[int] = None,
                  start_method: Optional[str] = None,
+                 plane: Optional[str] = None,
+                 shm_capacity: Optional[int] = None,
                  replication: int = 2,
                  durability_dir: Optional[str] = None,
                  fsync: bool = True) -> None:
@@ -253,7 +255,8 @@ class ReplicatedShardedDictionaryEngine(ProcessShardedDictionaryEngine):
             os.makedirs(durability_dir, exist_ok=True)
         super().__init__(structure, name=name,
                          sample_operations=sample_operations,
-                         max_workers=max_workers, start_method=start_method)
+                         max_workers=max_workers, start_method=start_method,
+                         plane=plane, shm_capacity=shm_capacity)
         if durability_dir is not None:
             # A durable engine always has a manifest: crash at any later
             # point finds at least the empty-state snapshot plus full logs.
@@ -457,7 +460,9 @@ class ReplicatedShardedDictionaryEngine(ProcessShardedDictionaryEngine):
         if self.sample_operations:
             return super().insert_many(entries)
         batches, count = self._grouped_entries(entries)
-        payloads = {position: (batch,)
+        # One staged payload per shard: every copy's command shares the
+        # same encoded blob (each worker writes it into its own ring).
+        payloads = {position: self._bulk_args(batch)
                     for position, batch in enumerate(batches) if batch}
         _results, errors = self._drive_commands(
             self._replicated_commands("insert_batch", payloads))
@@ -469,7 +474,7 @@ class ReplicatedShardedDictionaryEngine(ProcessShardedDictionaryEngine):
         if self.sample_operations:
             return super().delete_many(keys)
         keys, batches = self._grouped_positions(keys)
-        payloads = {position: ([key for _at, key in batch],)
+        payloads = {position: self._bulk_args([key for _at, key in batch])
                     for position, batch in enumerate(batches) if batch}
         results, errors = self._drive_commands(
             self._replicated_commands("delete_batch", payloads))
@@ -488,7 +493,7 @@ class ReplicatedShardedDictionaryEngine(ProcessShardedDictionaryEngine):
         if self.sample_operations:
             return super().contains_many(keys)
         keys, batches = self._grouped_positions(keys)
-        payloads = {position: ([key for _at, key in batch],)
+        payloads = {position: self._bulk_args([key for _at, key in batch])
                     for position, batch in enumerate(batches) if batch}
         commands = [((position, 0), self._proxy(position).primary.worker,
                      self._proxy(position).primary.shard_id,

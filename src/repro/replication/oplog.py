@@ -37,7 +37,7 @@ from __future__ import annotations
 import os
 import struct
 import zlib
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.storage.encoding import RecordCodec
@@ -305,6 +305,27 @@ class OpLog:
     def __repr__(self) -> str:
         return "OpLog(path=%r, base=%d, end=%d)" % (self.path, self._base,
                                                     self.end_offset)
+
+
+def commit_group(logs: Iterable[OpLog]) -> int:
+    """Commit each *distinct* dirty log once; returns the commit count.
+
+    The group-commit half of a coalesced ``__multi__`` crossing: batch
+    helpers register their log here instead of fsyncing per batch, and the
+    crossing calls this once at its end — one fsync per log file per
+    crossing, however many batches touched it.  Deduplication is by
+    identity: two entries are the same log exactly when they share a file
+    handle.
+    """
+    committed = 0
+    seen: set = set()
+    for log in logs:
+        if id(log) in seen:
+            continue
+        seen.add(id(log))
+        log.commit()
+        committed += 1
+    return committed
 
 
 def replay_into(structure: object, log: OpLog, start: int = 0) -> int:

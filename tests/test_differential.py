@@ -51,10 +51,15 @@ SHARDED_VARIANTS = (
 )
 
 #: Process-backend configurations: the same traces, but every operation
-#: crosses the worker-process command pipe (shards hosted out of process).
+#: crosses into worker processes — over the shared-memory data plane and
+#: over the original pickled pipe, so both transports face the oracle.
 PROCESS_VARIANTS = (
-    ("process+b-tree", {"shards": 3, "inner": "b-tree"}),
-    ("process+hi-skiplist", {"shards": 3, "inner": "hi-skiplist"}),
+    ("process+shm+b-tree", {"shards": 3, "inner": "b-tree",
+                            "plane": "shm"}),
+    ("process+shm+hi-skiplist", {"shards": 3, "inner": "hi-skiplist",
+                                 "plane": "shm"}),
+    ("process+pipe+b-tree", {"shards": 3, "inner": "b-tree",
+                             "plane": "pipe"}),
 )
 
 ALL_TARGETS = list(registry_names()) \
@@ -76,7 +81,8 @@ def make_engine(target: str) -> DictionaryEngine:
             from repro.api import make_sharded_engine
             return make_sharded_engine(extra["inner"], shards=extra["shards"],
                                        block_size=BLOCK_SIZE, cache_blocks=2,
-                                       seed=STRUCTURE_SEED, parallel="process")
+                                       seed=STRUCTURE_SEED, parallel="process",
+                                       plane=extra["plane"])
     return DictionaryEngine.create(target, block_size=BLOCK_SIZE,
                                    cache_blocks=2, seed=STRUCTURE_SEED)
 

@@ -1,0 +1,473 @@
+"""The shared-memory data plane: codec, rings, fallbacks, faults.
+
+Three tiers of coverage:
+
+* **Unit** — :class:`BatchCodec` round-trips (and its exact-value refusals
+  that force the pickle fallback), the packed ``contains_many`` bitmap, and
+  :class:`ShmRing`'s no-wrap allocator with its torn-frame detection
+  (length mismatch, CRC mismatch, out-of-bounds dispatch).
+* **Engine** — plane selection (constructor argument, ``REPRO_DATA_PLANE``,
+  invalid values), byte-identity of shm and pipe results against the
+  sequential engine, per-batch pickle fallbacks that keep results exact,
+  batch coalescing, and group-commit ``fsync_batches`` accounting — all via
+  the deterministic :meth:`plane_stats` counters.
+* **Faults** — ``REPRO_FAILPOINTS`` kills a worker mid-request-decode and
+  mid-reply-frame-write, under both ``fork`` and ``spawn``; the engine must
+  surface a clean :class:`WorkerCrashError` and recover every acknowledged
+  operation from the op logs.
+
+The differential-oracle and history-independence suites exercise the shm
+plane end to end (it is the default; ``tests/test_differential.py`` and
+``tests/test_history_independence.py`` parametrise over both planes) — this
+module owns the transport-specific edges those suites cannot reach.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+from repro.api import make_sharded_engine
+from repro.api.process_engine import (
+    PLANE_MODES,
+    _resolve_plane,
+    _unpicklable_reply_error,
+)
+from repro.api.protocol import audit_fingerprint_of
+from repro.api.shm_plane import (
+    DEFAULT_PAYLOAD_SIZE,
+    BatchCodec,
+    PlaneStats,
+    ShmChannel,
+    ShmFrameError,
+    ShmRing,
+    is_shm_reply,
+    shm_reply_descriptor,
+)
+from repro.errors import CapacityError, ConfigurationError, WorkerCrashError
+from repro.storage import image_of
+from repro.storage.snapshot import snapshot_records
+
+pytestmark = pytest.mark.fast
+
+SEED = 20160626
+BLOCK_SIZE = 16
+
+
+def entries_for(count, stride=7, modulus=2003):
+    return [(key * stride % modulus, key) for key in range(count)]
+
+
+def layout_digest(structure):
+    """The full physical observable: audit fingerprint + snapshot bytes."""
+    paged, metadata = snapshot_records(list(structure.snapshot_slots()),
+                                       page_size=512, payload_size=64)
+    return (audit_fingerprint_of(structure),
+            image_of(paged, metadata).fingerprint())
+
+
+def build_process_engine(plane=None, shards=2, **extra):
+    return make_sharded_engine("b-treap", shards=shards,
+                               block_size=BLOCK_SIZE, seed=SEED,
+                               parallel="process", plane=plane, **extra)
+
+
+# --------------------------------------------------------------------------- #
+# BatchCodec
+# --------------------------------------------------------------------------- #
+
+def test_batch_codec_round_trips_exact_values():
+    codec = BatchCodec()
+    values = [1, -5, 2 ** 60, 3.5, "key", b"\x00\xff", None,
+              (1, "value"), ("key", 2.0), (7, b"blob")]
+    blob = codec.try_encode(values)
+    assert blob is not None
+    assert len(blob) == len(values) * codec.record_size
+    decoded = codec.decode(blob, len(values))
+    assert decoded == values
+    # Type-exact, not merely equal: 1 must come back an int, 2.0 a float.
+    assert [type(value) for value in decoded] == \
+        [type(value) for value in values]
+
+
+@pytest.mark.parametrize("value", [
+    True,                    # bool widens to int in the record union
+    False,
+    (1, True),               # ... including inside a pair
+    (False, 1),
+    2 ** 200,                # over the 16-byte signed-int budget
+    (1, "x" * (DEFAULT_PAYLOAD_SIZE + 8)),   # over the payload budget
+    (1, 2, 3),               # not a 2-tuple
+    [1, 2],                  # no list encoding
+    "\ud800",                # lone surrogate: utf-8 refuses
+    {"a": 1},
+])
+def test_batch_codec_refuses_values_it_cannot_round_trip(value):
+    codec = BatchCodec()
+    assert codec.try_encode([1, value, 2]) is None
+
+
+def test_batch_codec_decode_checks_the_record_count():
+    codec = BatchCodec()
+    blob = codec.try_encode([10, 20, 30])
+    with pytest.raises(ShmFrameError):
+        codec.decode(blob, 2)
+    with pytest.raises(ShmFrameError):
+        codec.decode(blob[:-1], 3)
+
+
+def test_bitmap_round_trips_and_checks_length():
+    for flags in ([], [True], [False] * 9,
+                  [bool(index % 3 == 0) for index in range(27)]):
+        blob = BatchCodec.encode_bitmap(flags)
+        assert len(blob) == (len(flags) + 7) // 8
+        assert BatchCodec.decode_bitmap(blob, len(flags)) == flags
+    with pytest.raises(ShmFrameError):
+        BatchCodec.decode_bitmap(b"\x00\x00", 27)
+    # Torn frames are worker crashes: the transport is no longer trusted.
+    assert issubclass(ShmFrameError, WorkerCrashError)
+
+
+# --------------------------------------------------------------------------- #
+# ShmRing
+# --------------------------------------------------------------------------- #
+
+def test_ring_bump_allocates_frames_and_resets_per_command():
+    ring = ShmRing(bytearray(256), 0, 256)
+    first = ring.write(b"alpha")
+    second = ring.write(b"beta")
+    assert first == 0 and second > first
+    assert ring.read(first, 5) == b"alpha"
+    assert ring.read(second, 4) == b"beta"
+    ring.reset()  # next command's frames re-allocate from the start
+    assert ring.write(b"gamma") == 0
+    assert ring.read(0, 5) == b"gamma"
+
+
+def test_ring_never_wraps_a_frame_that_does_not_fit():
+    ring = ShmRing(bytearray(64), 0, 64)
+    with pytest.raises(CapacityError):
+        ring.write(b"x" * (ring.capacity + 1))
+    ring.write(b"y" * 20)
+    # No silent wrap-around: a later frame of the same command may never
+    # overwrite an earlier one, so an overfull ring refuses instead.
+    with pytest.raises(CapacityError):
+        ring.write(b"z" * 40)
+
+
+def test_ring_detects_torn_and_out_of_range_frames():
+    buffer = bytearray(256)
+    ring = ShmRing(buffer, 0, 256)
+    offset = ring.write(b"payload-bytes")
+    # Flip one payload bit: the CRC check must refuse the frame.
+    buffer[offset + 8] ^= 0x01
+    with pytest.raises(ShmFrameError, match="CRC"):
+        ring.read(offset, 13)
+    buffer[offset + 8] ^= 0x01
+    assert ring.read(offset, 13) == b"payload-bytes"
+    # Dispatch header and stored header must agree on the length.
+    with pytest.raises(ShmFrameError, match="header says"):
+        ring.read(offset, 12)
+    # A frame the dispatch places outside the ring is torn by definition.
+    with pytest.raises(ShmFrameError, match="outside"):
+        ring.read(250, 64)
+    with pytest.raises(ShmFrameError, match="outside"):
+        ring.read(-8, 4)
+
+
+def test_channel_attach_shares_the_creators_segment():
+    channel = ShmChannel.create(capacity=8192)
+    attached = None
+    try:
+        spec = channel.spec()
+        assert spec["capacity"] == 8192
+        attached = ShmChannel.attach(spec)
+        offset = channel.request.write(b"cross-process bytes")
+        assert attached.request.read(offset, 19) == b"cross-process bytes"
+        reply = attached.reply.write(b"and back")
+        assert channel.reply.read(reply, 8) == b"and back"
+    finally:
+        if attached is not None:
+            attached.close()
+        channel.close()
+
+
+def test_channel_create_validates_capacity():
+    for capacity in (8, True, "big", None):
+        with pytest.raises(ConfigurationError):
+            ShmChannel.create(capacity=capacity)
+
+
+def test_reply_descriptor_shape():
+    descriptor = shm_reply_descriptor("bits", 0, 4, 30)
+    assert is_shm_reply(descriptor)
+    assert not is_shm_reply(("ok", None))
+    assert not is_shm_reply([1, 2, 3, 4, 5])
+    stats = PlaneStats()
+    assert stats.as_dict() == {"frames": 0, "bytes": 0, "fallbacks": 0,
+                               "coalesced": 0, "fsync_batches": 0}
+
+
+# --------------------------------------------------------------------------- #
+# The unpicklable-reply fallback error (regression: the original exception
+# type used to vanish behind a generic "did not pickle")
+# --------------------------------------------------------------------------- #
+
+def _raised():
+    try:
+        raise ValueError("the real worker-side failure")
+    except ValueError as error:
+        return error
+
+
+def test_unpicklable_reply_error_carries_the_original_exception():
+    error = _unpicklable_reply_error("items", ("err", _raised()))
+    assert isinstance(error, WorkerCrashError)
+    text = str(error)
+    assert "ValueError" in text
+    assert "the real worker-side failure" in text
+    assert "items" in text
+    assert "Traceback" in text  # the formatted worker-side traceback
+
+
+def test_unpicklable_reply_error_scans_coalesced_sub_errors():
+    reply = ("ok", ("__multi__", [("ok", 3), ("err", _raised())]))
+    text = str(_unpicklable_reply_error("insert_batch", reply))
+    assert "ValueError" in text and "the real worker-side failure" in text
+
+
+def test_unpicklable_reply_error_for_a_plain_payload():
+    text = str(_unpicklable_reply_error("__export__", ("ok", object())))
+    assert "did not pickle" in text and "__export__" in text
+
+
+# --------------------------------------------------------------------------- #
+# Plane selection
+# --------------------------------------------------------------------------- #
+
+def test_plane_defaults_to_shm_and_env_overrides(monkeypatch):
+    monkeypatch.delenv("REPRO_DATA_PLANE", raising=False)
+    assert _resolve_plane(None) == "shm"
+    monkeypatch.setenv("REPRO_DATA_PLANE", "pipe")
+    assert _resolve_plane(None) == "pipe"
+    assert _resolve_plane("shm") == "shm"  # explicit beats the environment
+    with pytest.raises(ConfigurationError):
+        _resolve_plane("carrier-pigeon")
+    assert set(PLANE_MODES) == {"shm", "pipe"}
+
+
+def test_engine_reports_its_plane(monkeypatch):
+    monkeypatch.setenv("REPRO_DATA_PLANE", "pipe")
+    engine = build_process_engine()
+    try:
+        assert engine.plane == "pipe"
+    finally:
+        engine.close()
+
+
+def test_plane_is_rejected_outside_the_process_backend():
+    with pytest.raises(ConfigurationError, match="process backend"):
+        make_sharded_engine("b-treap", shards=2, block_size=BLOCK_SIZE,
+                            seed=SEED, parallel="thread", plane="shm")
+    with pytest.raises(ConfigurationError, match="process backend"):
+        make_sharded_engine("b-treap", shards=2, block_size=BLOCK_SIZE,
+                            seed=SEED, plane="pipe")
+    with pytest.raises(ConfigurationError):
+        build_process_engine(plane="udp")
+
+
+# --------------------------------------------------------------------------- #
+# Byte-identity and the deterministic counters
+# --------------------------------------------------------------------------- #
+
+def run_mixed_workload(engine):
+    entries = entries_for(150)
+    engine.insert_many(entries)
+    keys = sorted({key for key, _value in entries})
+    engine.delete_many(keys[::3])
+    flags = engine.contains_many(list(range(0, 2003, 13)))
+    return dict(engine.items()), flags
+
+
+def test_shm_results_are_byte_identical_to_sequential_and_pipe():
+    sequential = make_sharded_engine("b-treap", shards=2,
+                                     block_size=BLOCK_SIZE, seed=SEED)
+    shm = build_process_engine(plane="shm")
+    pipe = build_process_engine(plane="pipe")
+    try:
+        baseline = run_mixed_workload(sequential)
+        assert run_mixed_workload(shm) == baseline
+        assert run_mixed_workload(pipe) == baseline
+        reference = layout_digest(sequential.structure)
+        assert layout_digest(shm.structure) == reference
+        assert layout_digest(pipe.structure) == reference
+        shm_stats = shm.plane_stats()
+        assert shm_stats["frames"] > 0 and shm_stats["bytes"] > 0
+        assert shm_stats["fallbacks"] == 0
+        pipe_stats = pipe.plane_stats()
+        assert pipe_stats["frames"] == 0 and pipe_stats["bytes"] == 0
+    finally:
+        shm.close()
+        pipe.close()
+
+
+def test_plane_counters_are_deterministic_across_runs():
+    observed = []
+    for _attempt in range(2):
+        engine = build_process_engine(plane="shm")
+        try:
+            run_mixed_workload(engine)
+            observed.append(engine.plane_stats())
+        finally:
+            engine.close()
+    assert observed[0] == observed[1]
+
+
+def test_unencodable_batches_fall_back_to_the_pipe_and_stay_exact():
+    engine = build_process_engine(plane="shm")
+    try:
+        engine.insert_many([(1, True), (2, 2 ** 200), (3, "x" * 200),
+                            (4, 4)])
+        assert engine.plane_stats()["fallbacks"] > 0
+        # The fallback must be invisible in the results: identity included.
+        assert engine.search(1) is True
+        assert engine.search(2) == 2 ** 200
+        assert engine.search(3) == "x" * 200
+        assert engine.contains_many([1, 2, 3, 4, 5]) == \
+            [True, True, True, True, False]
+        assert engine.delete_many([2]) == [2 ** 200]
+        # Un-encodable *keys* force the same per-batch fallback.
+        engine.insert_many([(2 ** 201, "huge"), (10, 10)])
+        assert engine.search(2 ** 201) == "huge"
+        assert sorted(engine.items()) == [
+            (1, True), (3, "x" * 200), (4, 4), (10, 10),
+            (2 ** 201, "huge")]
+    finally:
+        engine.close()
+
+
+def test_packed_workers_coalesce_same_worker_crossings():
+    engine = build_process_engine(plane="shm", shards=3, max_workers=1)
+    try:
+        engine.insert_many(entries_for(60))
+        stats = engine.plane_stats()
+        # All three shard batches rode one worker: two pipe crossings saved.
+        assert stats["coalesced"] == 2
+        assert dict(engine.items()) == dict(entries_for(60))
+    finally:
+        engine.close()
+
+
+def test_group_commit_counts_one_fsync_batch_per_worker(tmp_path):
+    engine = make_sharded_engine("b-treap", shards=3, block_size=BLOCK_SIZE,
+                                 seed=SEED, router="consistent",
+                                 parallel="process", replication=2,
+                                 durability_dir=str(tmp_path / "d"))
+    try:
+        assert engine.plane_stats()["fsync_batches"] == 0
+        engine.insert_many(entries_for(120))
+        stats = engine.plane_stats()
+        # One group commit per worker hosting a primary (3 workers), not
+        # one per shard copy (6): the replica subs share their worker's
+        # crossing, which is what coalescing counts.
+        assert stats["fsync_batches"] == 3
+        assert stats["coalesced"] > 0
+        engine.delete_many([key for key, _value in entries_for(30)])
+        assert engine.plane_stats()["fsync_batches"] == 6
+    finally:
+        engine.close()
+
+
+# --------------------------------------------------------------------------- #
+# Fault injection: workers killed mid-shm-traffic, fork and spawn
+# --------------------------------------------------------------------------- #
+
+@pytest.fixture
+def failpoints(monkeypatch):
+    """Arm worker fail points for engines built afterwards; disarm safely."""
+    def arm(spec):
+        monkeypatch.setenv("REPRO_FAILPOINTS", spec)
+
+    def disarm():
+        monkeypatch.delenv("REPRO_FAILPOINTS", raising=False)
+
+    yield arm, disarm
+    disarm()
+
+
+def pick_start_method(monkeypatch, start_method):
+    if start_method not in multiprocessing.get_all_start_methods():
+        pytest.skip("platform lacks the %r start method" % (start_method,))
+    monkeypatch.setenv("REPRO_START_METHOD", start_method)
+
+
+@pytest.mark.parametrize("start_method", ["fork", "spawn"])
+def test_worker_killed_mid_request_decode_recovers(tmp_path, failpoints,
+                                                   monkeypatch,
+                                                   start_method):
+    """Death inside ``worker.shm.request`` (frame decode) is a clean crash.
+
+    The first bulk crossing per worker succeeds and is acknowledged; the
+    second trips the fail point, so the parent must raise
+    :class:`WorkerCrashError` and recovery must replay exactly the
+    acknowledged state.
+    """
+    pick_start_method(monkeypatch, start_method)
+    arm, disarm = failpoints
+    arm("worker.shm.request:2")
+    engine = make_sharded_engine("b-treap", shards=2, block_size=BLOCK_SIZE,
+                                 seed=SEED, router="consistent",
+                                 parallel="process", replication=1,
+                                 durability_dir=str(tmp_path / "d"))
+    try:
+        acked = dict(entries_for(40))
+        engine.insert_many(entries_for(40))
+        with pytest.raises(WorkerCrashError):
+            engine.insert_many(entries_for(120)[40:])
+        disarm()  # recovery's respawned workers must come up unarmed
+        report = engine.recover()
+        assert report.positions
+        recovered = dict(engine.items())
+        assert all(recovered.get(key) == value
+                   for key, value in acked.items())
+        # The store stays fully usable on the shm plane after recovery.
+        engine.insert_many([(9001, 1), (9002, 2)])
+        assert engine.contains_many([9001, 9002, 9003]) == \
+            [True, True, False]
+        engine.check()
+    finally:
+        engine.close()
+
+
+@pytest.mark.parametrize("start_method", ["fork", "spawn"])
+def test_worker_killed_mid_reply_frame_write_recovers(tmp_path, failpoints,
+                                                      monkeypatch,
+                                                      start_method):
+    """Death inside ``worker.shm.reply`` — after the frame header landed,
+    before the payload — must not decode garbage: the parent sees the dead
+    worker, raises :class:`WorkerCrashError`, and recovery restores every
+    acknowledged write.
+    """
+    pick_start_method(monkeypatch, start_method)
+    arm, disarm = failpoints
+    arm("worker.shm.reply:1")
+    engine = make_sharded_engine("b-treap", shards=2, block_size=BLOCK_SIZE,
+                                 seed=SEED, router="consistent",
+                                 parallel="process", replication=1,
+                                 durability_dir=str(tmp_path / "d"))
+    try:
+        engine.insert_many(entries_for(60))  # inserts reply over the pipe
+        with pytest.raises(WorkerCrashError):
+            # contains_many replies cross as a bitmap frame: the tripwire
+            # kills the worker between its header and payload writes.
+            engine.contains_many([key for key, _value in entries_for(60)])
+        disarm()
+        report = engine.recover()
+        assert report.positions
+        assert dict(engine.items()) == dict(entries_for(60))
+        assert engine.contains_many([0, 7, 14, 99999]) == [
+            key in dict(entries_for(60)) for key in [0, 7, 14, 99999]]
+        engine.check()
+    finally:
+        engine.close()
