@@ -16,9 +16,11 @@ Two subcommands::
 ``run`` builds each gated structure from a Zipf-skewed mixed workload and a
 sharded store from the elastic churn workload, recording build I/Os,
 cold-cache search I/Os, range fan-out I/Os, resharding migration volume,
-and the shared-memory data plane's deterministic counters (frames encoded,
+the shared-memory data plane's deterministic counters (frames encoded,
 payload bytes crossed, pickle fallbacks, coalesced crossings, group-commit
-fsync batches) from a durable replicated process engine.
+fsync batches) from a durable replicated process engine, and the secure
+durability mode's erasure counters (barrier rounds, redactions, frames
+dropped, and the forensics auditor's residue count — gated at zero).
 ``compare`` exits non-zero when any current metric regresses past the
 tolerance (default +25%) over the committed baseline — or when a metric
 disappeared, or the two files were collected at different workload scales.
@@ -130,6 +132,42 @@ def collect_metrics() -> Tuple[Dict[str, int], Dict[str, object]]:
             engine.close()
     finally:
         shutil.rmtree(durability_dir, ignore_errors=True)
+
+    # Secure durability: deletes trigger a history-redacting log compaction
+    # at the next barrier.  The counters are pure functions of the workload
+    # and topology (barrier rounds, deletes flushed at barriers, frames the
+    # redaction dropped), and the last one turns the erasure acceptance
+    # criterion into a gate: the byte-level forensics auditor must find
+    # exactly zero traces of the deleted keys in the durability directory.
+    from repro.history.forensics import audit_durability_dir
+
+    secure_dir = tempfile.mkdtemp(prefix="repro-bench-secure-")
+    try:
+        engine = make_sharded_engine("b-treap", shards=SHARDS,
+                                     block_size=BLOCK_SIZE,
+                                     seed=STRUCTURE_SEED,
+                                     router="consistent",
+                                     parallel="process", plane="shm",
+                                     replication=2,
+                                     durability_dir=secure_dir,
+                                     durability_mode="secure")
+        try:
+            engine.insert_many(bulk_entries)
+            engine.barrier()
+            engine.delete_many(bulk_doomed)
+            engine.barrier()
+            erasure = engine.erasure_stats()
+        finally:
+            engine.close()
+        metrics["secure.barriers"] = erasure["barriers"]
+        metrics["secure.redactions"] = erasure["redactions"]
+        metrics["secure.barrier_deletes"] = erasure["deletes_flushed"]
+        metrics["secure.frames_redacted"] = erasure["frames_dropped"]
+        audit = audit_durability_dir(secure_dir, bulk_doomed,
+                                     payload_size=64)
+        metrics["secure.residue_findings"] = len(audit.findings)
+    finally:
+        shutil.rmtree(secure_dir, ignore_errors=True)
 
     churn = elastic_churn_trace(operations, phases=2, seed=WORKLOAD_SEED)
     for router in ("modulo", "consistent"):

@@ -8,15 +8,23 @@ PR 5's durability subsystem gives a crashed shard three ways back:
   op log and is replayed on top (the steady-state crash).
 * ``promotion`` — a live replica is promoted and re-replicated; no disk
   replay at all.
+* ``secure-snapshot+log`` — the steady-state crash under
+  ``durability_mode="secure"``: half checkpointed, half replayed, with a
+  history-redacting barrier (deletes erased from every on-disk byte)
+  before the kill.
 
 This bench kills one worker (``SIGKILL``, like the fault suite) under each
 configuration and times ``recover()`` alone, verifying afterwards that the
 recovered items match a never-crashed sequential twin — recovery may not
-buy speed with divergence.  Wall-clock numbers are machine-dependent, so
-they are recorded (``benchmarks/BENCH_wallclock.json`` under the
-``recovery`` key, a non-gating CI artifact) rather than gated; the one
-structural assertion is that every path actually recovered byte-identical
-items.  Run standalone with::
+buy speed with divergence.  A final *erasure* scenario scales the
+secure-mode delete + redacting-barrier cycle toward 10^6 keys
+(``REPRO_ERASURE_BENCH_KEYS`` overrides; smoke mode caps it like every
+other bench) and byte-audits a sample of the deleted keys — the residue
+count is asserted to be exactly zero at every scale.  Wall-clock numbers
+are machine-dependent, so they are recorded
+(``benchmarks/BENCH_wallclock.json`` under the ``recovery`` key, a
+non-gating CI artifact) rather than gated; the structural assertions
+(identical items, zero residue) hold regardless.  Run standalone with::
 
     python benchmarks/bench_recovery.py
 """
@@ -103,10 +111,108 @@ def drive(mode: str, total: int, tmp_dir: str):
         engine.close()
 
 
+def drive_secure(total: int, tmp_dir: str):
+    """The steady-state crash in secure mode: a redacting barrier, then a
+    kill, then recovery — which must be digest-faithful to the survivors
+    AND leave no byte of the deleted keys behind."""
+    from repro.history.forensics import audit_durability_dir
+
+    half = total // 2
+    # Key and value spaces are disjoint so the byte audit is exact.
+    entries = [(key, 10 ** 9 + key) for key in range(half)]
+    tail = [(key, 10 ** 9 + key) for key in range(half, total)]
+    doomed = [key for key, _value in entries[::3]]
+    directory = os.path.join(tmp_dir, "secure-snapshot-log")
+    engine = make_sharded_engine(INNER, shards=SHARDS,
+                                 block_size=BLOCK_SIZE, seed=SEED,
+                                 router="consistent", parallel="process",
+                                 replication=1, durability_dir=directory,
+                                 durability_mode="secure")
+    try:
+        engine.insert_many(entries)
+        engine.checkpoint()        # half imaged ...
+        engine.insert_many(tail)   # ... half replayed from the log
+        engine.delete_many(doomed)
+        engine.barrier()           # the history-redacting barrier
+        _kill_and_wait(engine, 0)
+        started = time.perf_counter()
+        report = engine.recover()
+        seconds = time.perf_counter() - started
+        assert report.positions, "nothing recovered?"
+        recovered = engine.items()
+        doomed_set = set(doomed)
+        twin = make_sharded_engine(INNER, shards=SHARDS,
+                                   block_size=BLOCK_SIZE, seed=SEED,
+                                   router="consistent")
+        twin.insert_many([(key, value) for key, value in entries + tail
+                          if key not in doomed_set])
+        assert recovered == twin.items(), (
+            "secure recovery diverged from the never-crashed twin")
+        keys = len(recovered)
+    finally:
+        engine.close()
+    sample = doomed[:200]
+    audit = audit_durability_dir(directory, sample, payload_size=64)
+    assert audit.clean, (
+        "secure recovery left %d trace(s) of deleted keys on disk"
+        % len(audit.findings))
+    return {
+        "mode": "secure-snapshot+log",
+        "path": ("promotion" if report.promoted else "replay"),
+        "keys": keys,
+        "recover_seconds": round(seconds, 4),
+        "keys_per_second": int(keys / seconds) if seconds else 0,
+    }
+
+
+def drive_erasure(tmp_dir: str):
+    """Erasure at scale: delete a third of the store, time the redacting
+    barrier, and byte-audit a sample of the deleted keys (residue must be
+    exactly zero).  Defaults toward 10^6 keys in full mode."""
+    from repro.history.forensics import audit_durability_dir
+
+    total = scaled(int(os.environ.get("REPRO_ERASURE_BENCH_KEYS",
+                                      "1000000")))
+    directory = os.path.join(tmp_dir, "erasure")
+    engine = make_sharded_engine(INNER, shards=SHARDS,
+                                 block_size=BLOCK_SIZE, seed=SEED,
+                                 router="consistent", parallel="process",
+                                 replication=1, durability_dir=directory,
+                                 durability_mode="secure")
+    try:
+        engine.insert_many((key, 10 ** 9 + key) for key in range(total))
+        doomed = list(range(0, total, 3))
+        engine.delete_many(doomed)
+        started = time.perf_counter()
+        barrier = engine.barrier()
+        seconds = time.perf_counter() - started
+        assert barrier == {"deletes": len(doomed), "redacted": True}
+        stats = engine.erasure_stats()
+    finally:
+        engine.close()
+    sample = doomed[:100] + doomed[-100:]
+    audit = audit_durability_dir(directory, sample, payload_size=64)
+    assert audit.clean, (
+        "erasure left %d trace(s) of deleted keys on disk"
+        % len(audit.findings))
+    return {
+        "keys": total,
+        "deleted": len(doomed),
+        "frames_redacted": stats["frames_dropped"],
+        "barrier_seconds": round(seconds, 4),
+        "erased_keys_per_second": int(len(doomed) / seconds)
+        if seconds else 0,
+        "audited_sample": len(sample),
+        "residue_findings": len(audit.findings),
+    }
+
+
 def collect(tmp_dir: str):
     total = scaled(8_000)
     rows = [drive(mode, total, tmp_dir)
             for mode in ("snapshot", "snapshot+log", "promotion")]
+    rows.append(drive_secure(total, tmp_dir))
+    erasure = drive_erasure(tmp_dir)
     payload = {
         "meta": {
             "inner": INNER,
@@ -116,6 +222,7 @@ def collect(tmp_dir: str):
             "smoke": smoke_mode(),
         },
         "rows": rows,
+        "erasure": erasure,
     }
     return payload, rows
 
@@ -129,6 +236,18 @@ def report(payload, rows) -> None:
         [[row["mode"], row["path"], row["keys"], row["recover_seconds"],
           row["keys_per_second"]] for row in rows],
         headers=["mode", "path", "keys", "recover s", "keys/s"]))
+    erasure = payload.get("erasure")
+    if erasure:
+        print()
+        print("Verified erasure — %d keys, %d deleted (secure barrier)"
+              % (erasure["keys"], erasure["deleted"]))
+        print(format_table(
+            [[erasure["deleted"], erasure["frames_redacted"],
+              erasure["barrier_seconds"], erasure["erased_keys_per_second"],
+              "%d/%d" % (erasure["residue_findings"],
+                         erasure["audited_sample"])]],
+            headers=["deleted", "frames dropped", "barrier s",
+                     "erased keys/s", "residue/sampled"]))
 
 
 def write_wallclock(payload) -> None:

@@ -20,6 +20,13 @@ The classic PMA's image betrays both the ingest front and the redaction hole;
 the HI PMA's image is statistically indistinguishable from a fresh build of
 the same records.
 
+Act two replays the same theft against a *durable* store: the replicated
+process engine persists a checkpoint + op-log directory, and the observer
+greps those raw bytes for records the operator deleted.  Under the default
+``durability_mode="logged"`` the op log hands the observer the full delete
+history; under ``durability_mode="secure"`` the redacting barrier leaves
+nothing — the auditor that proves it is the same code the test suite runs.
+
 Run with::
 
     python examples/stolen_disk_forensics.py
@@ -28,9 +35,15 @@ Run with::
 from __future__ import annotations
 
 import random
+import tempfile
 
 from repro import ClassicPMA, HistoryIndependentPMA
-from repro.history.forensics import detect_density_anomaly, redaction_signal
+from repro.api import make_sharded_engine
+from repro.history.forensics import (
+    audit_durability_dir,
+    detect_density_anomaly,
+    redaction_signal,
+)
 from repro.storage import image_of, snapshot_structure
 from repro.workloads import apply_to_ranked, sliding_window_trace
 
@@ -66,6 +79,44 @@ def observer_report(name: str, image, rebuild) -> None:
           % (signal,
              "suspicious — layout inconsistent with a fresh build" if signal > 5
              else "within sampling noise of a fresh build"))
+
+
+def steal_durability_dir(mode: str, directory: str):
+    """Operator side, act two: a durable store deletes records, then the
+    whole durability directory (checkpoints + op logs) is stolen."""
+    engine = make_sharded_engine("b-treap", shards=3, block_size=16,
+                                 seed=2016, router="consistent",
+                                 parallel="process", replication=2,
+                                 durability_dir=directory,
+                                 durability_mode=mode)
+    try:
+        entries = [(key, 10 ** 9 + key) for key in range(240)]
+        engine.insert_many(entries)
+        doomed = [key for key, _value in entries[::4]]
+        engine.delete_many(doomed)
+        engine.barrier()
+    finally:
+        engine.close()
+    return doomed
+
+
+def durability_observer_report(mode: str, directory: str, doomed) -> None:
+    """What the thief learns from the stolen durability directory."""
+    report = audit_durability_dir(directory, doomed, payload_size=64)
+    print("-" * 70)
+    print("Observer's audit of the %r durability directory "
+          "(%d files, %d bytes)" % (mode, len(report.files_scanned),
+                                    report.bytes_scanned))
+    frames = sum(1 for finding in report.findings
+                 if finding.kind == "oplog-frame")
+    slots = sum(1 for finding in report.findings
+                if finding.kind == "image-slot")
+    raw = sum(1 for finding in report.findings
+              if finding.kind == "raw-bytes")
+    print("  deleted keys      : %d audited" % len(doomed))
+    print("  deleted-key traces:",
+          "FOUND (%d raw, %d log frames, %d image slots)"
+          % (raw, frames, slots) if not report.clean else "none")
 
 
 def main() -> None:
@@ -108,11 +159,23 @@ def main() -> None:
     observer_report("classic PMA", classic_image, rebuild_classic)
     observer_report("HI PMA", hi_image, rebuild_hi)
 
+    print()
+    print("=" * 70)
+    print("Act two: the durable store's directory is stolen")
+    print("=" * 70)
+    for mode in ("logged", "secure"):
+        with tempfile.TemporaryDirectory() as directory:
+            doomed = steal_durability_dir(mode, directory)
+            durability_observer_report(mode, directory, doomed)
+
     print("-" * 70)
     print("Summary: the classic PMA's image carries the imprint of the ingest")
     print("front and the redaction hole; the HI PMA's image is just another")
     print("sample from the distribution a fresh build would produce, so the")
-    print("observer learns nothing beyond the records themselves.")
+    print("observer learns nothing beyond the records themselves.  The same")
+    print("split replays at the durability layer: the default op log keeps")
+    print("every delete the observer could want, while the secure mode's")
+    print("redacting barrier leaves no byte of the deleted keys behind.")
 
 
 if __name__ == "__main__":

@@ -353,8 +353,21 @@ def _execute(engines: Dict[int, DictionaryEngine], logs: Dict[int, object],
         slots = list(structure.snapshot_slots())
         trip("worker.checkpoint")
         return slots, (log.barrier() if log is not None else None)
+    if method == "__barrier__":
+        # A durability sync point without a snapshot: commit a barrier
+        # frame and report how many delete frames preceded it since the
+        # last one — the signal secure durability mode escalates on.
+        if log is None:
+            return None, 0
+        deletes = log.deletes_since_barrier
+        trip("worker.barrier")
+        return log.barrier(), deletes
     if method == "__compact__":
-        return log.compact(args[0]) if log is not None else None
+        if log is None:
+            return None, 0
+        old_base = log.base_offset
+        new_base = log.compact(args[0])
+        return new_base, (new_base - old_base) // log.frame_size
     if method == "__export__":
         # The whole structure pickles back to the parent — recovery uses it
         # to seed fresh replicas from a live copy.
@@ -413,9 +426,14 @@ def _worker_main(conn, shm_spec: Optional[Dict[str, object]] = None) -> None:
     """The long-lived worker loop: receive commands, answer until shutdown."""
     # Lazy import (cycle: the replication package imports this module); the
     # fail points are inert unless REPRO_FAILPOINTS is armed in the
-    # environment this worker inherited.
-    from repro.replication.failpoints import trip
+    # environment this worker inherited.  Re-read that environment here:
+    # under fork the worker inherits the parent's parsed-failpoint cache,
+    # and the parent legitimately trips parent-side fail points (op-log
+    # compaction during recovery), which would otherwise freeze an empty
+    # cache into every forked worker.
+    from repro.replication.failpoints import reset, trip
 
+    reset()
     channel = ShmChannel.attach(shm_spec) if shm_spec is not None else None
     engines: Dict[int, DictionaryEngine] = {}
     logs: Dict[int, object] = {}

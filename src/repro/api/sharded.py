@@ -1274,6 +1274,7 @@ def make_sharded_engine(inner: object = DEFAULT_INNER, *,
                         plane: Optional[str] = None,
                         replication: int = 1,
                         durability_dir: Optional[str] = None,
+                        durability_mode: str = "logged",
                         fsync: bool = True
                         ) -> ShardedDictionaryEngine:
     """Convenience constructor: a sharded engine over ``shards`` × ``inner``.
@@ -1301,6 +1302,16 @@ def make_sharded_engine(inner: object = DEFAULT_INNER, *,
     durability directory is today's process engine, bit for bit.  ``fsync``
     set to ``False`` trades machine-crash durability for speed (process
     crashes stay covered).
+
+    ``durability_mode`` picks what the durable artifacts may reveal:
+    ``"logged"`` (the default) keeps the full mutation history in the op
+    logs until the next checkpoint, so a stolen durability directory leaks
+    the operation history the HI structures hide; ``"secure"`` restores
+    the paper's anti-persistence guarantee end-to-end — deletes trigger a
+    history-redacting log compaction at the next ``barrier()`` or
+    ``checkpoint()``, after which no on-disk byte in the durability
+    directory encodes a deleted key (checkpoint images are written from
+    the canonical HI layouts, so they are history-independent already).
     """
     from repro.api.registry import make_dictionary
 
@@ -1318,6 +1329,14 @@ def make_sharded_engine(inner: object = DEFAULT_INNER, *,
             "replication and durability require the process backend "
             "(shards must live in workers that can crash independently); "
             "pass parallel='process'")
+    if durability_mode not in ("logged", "secure"):
+        raise ConfigurationError(
+            "durability_mode must be 'logged' or 'secure', got %r"
+            % (durability_mode,))
+    if durability_mode != "logged" and durability_dir is None:
+        raise ConfigurationError(
+            "durability_mode='secure' redacts the on-disk op logs at "
+            "barriers; it needs durability_dir=... (and parallel='process')")
     if plane is not None and mode != "process":
         raise ConfigurationError(
             "plane only applies to the process backend (the thread and "
@@ -1341,7 +1360,8 @@ def make_sharded_engine(inner: object = DEFAULT_INNER, *,
                 structure, sample_operations=sample_operations,
                 max_workers=max_workers, plane=plane,
                 replication=replication,
-                durability_dir=durability_dir, fsync=fsync)
+                durability_dir=durability_dir,
+                durability_mode=durability_mode, fsync=fsync)
         from repro.api.process_engine import ProcessShardedDictionaryEngine
         return ProcessShardedDictionaryEngine(
             structure, sample_operations=sample_operations,

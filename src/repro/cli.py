@@ -21,10 +21,13 @@ scale) without writing any code:
     Grow and shrink a sharded store shard by shard and report how many keys
     each rebalancing step migrated (modulo vs. consistent-hash routing).
     ``--replication``/``--durability-dir`` run the store on the replicated
-    durable backend.
+    durable backend; ``--durability-mode secure`` redacts deleted keys from
+    every on-disk byte at barriers and checkpoints.
 ``recover``
     Cold-start a durable store from its durability directory (manifest +
     snapshots + op logs) and report keys, replicas and per-shard digests.
+    ``--verify-erased KEYS`` then runs the byte-level forensics auditor
+    against the directory and fails if any named key left a trace.
 ``snapshot``
     Build a structure, write its slot array to a (real or in-memory) disk
     image, and print the observer's occupancy profile.
@@ -238,6 +241,13 @@ def build_parser() -> argparse.ArgumentParser:
                                 "checkpointed snapshots (requires "
                                 "--parallel process); a store written here "
                                 "can be reopened with 'repro recover'")
+    rebalance.add_argument("--durability-mode", choices=("logged", "secure"),
+                           default="logged",
+                           help="'logged' keeps the full mutation history in "
+                                "the op logs until a checkpoint; 'secure' "
+                                "redacts deleted keys from every on-disk "
+                                "byte at the next barrier/checkpoint "
+                                "(requires --durability-dir)")
 
     recover = subparsers.add_parser(
         "recover", help="cold-start a durable sharded store from its "
@@ -248,6 +258,12 @@ def build_parser() -> argparse.ArgumentParser:
     recover.add_argument("--replication", type=int, default=None,
                          help="override the manifest's replication factor")
     recover.add_argument("--max-workers", type=int, default=None)
+    recover.add_argument("--verify-erased", type=str, default=None,
+                         metavar="KEYS",
+                         help="comma-separated integer keys that must have "
+                              "no byte-level trace left in the durability "
+                              "directory; runs the forensics auditor after "
+                              "recovery and exits 1 if any trace is found")
 
     report = subparsers.add_parser(
         "report", help="aggregate benchmark results into a Markdown table")
@@ -484,7 +500,8 @@ def cmd_rebalance(args: argparse.Namespace, out) -> int:
                                  parallel=args.parallel,
                                  max_workers=args.max_workers,
                                  replication=args.replication,
-                                 durability_dir=args.durability_dir)
+                                 durability_dir=args.durability_dir,
+                                 durability_mode=args.durability_mode)
     try:
         engine.build_from_trace(random_insert_trace(args.keys, seed=args.seed))
         print("store   : %d x %s (router=%s%s, parallel=%s, replication=%d)"
@@ -515,9 +532,10 @@ def cmd_rebalance(args: argparse.Namespace, out) -> int:
         engine.check()
         if args.durability_dir:
             engine.checkpoint()
-            print("durable state checkpointed to %s (reopen with "
+            print("durable state checkpointed to %s (mode=%s; reopen with "
                   "'repro recover --dir %s')"
-                  % (args.durability_dir, args.durability_dir), file=out)
+                  % (args.durability_dir, args.durability_mode,
+                     args.durability_dir), file=out)
     finally:
         engine.close()
     return 0
@@ -531,6 +549,7 @@ def cmd_recover(args: argparse.Namespace, out) -> int:
         engine.check()
         print("recovered store : %d x shard (replication=%d) from %s"
               % (engine.num_shards, engine.replication, args.dir), file=out)
+        print("durability mode : %s" % engine.durability_mode, file=out)
         print("keys            : %d" % len(engine), file=out)
         print("shard sizes     : %s" % (engine.shard_sizes(),), file=out)
         print("live replicas   : %s" % (engine.replica_counts(),), file=out)
@@ -543,6 +562,31 @@ def cmd_recover(args: argparse.Namespace, out) -> int:
                 repr(observable).encode("utf-8")).hexdigest()[:16]
             print("  shard %2d digest: %s" % (index, digest), file=out)
         print("integrity       : check() passed", file=out)
+    if args.verify_erased is not None:
+        from repro.history.forensics import audit_durability_dir
+
+        try:
+            keys = [int(part) for part in args.verify_erased.split(",")
+                    if part.strip()]
+        except ValueError as error:
+            raise ConfigurationError(
+                "--verify-erased takes comma-separated integer keys, got %r"
+                % (args.verify_erased,)) from error
+        if not keys:
+            raise ConfigurationError(
+                "--verify-erased needs at least one key")
+        report = audit_durability_dir(args.dir, keys, payload_size=64)
+        if report.clean:
+            print("erasure audit   : clean — no trace of %d key(s) in "
+                  "%d file(s), %d bytes"
+                  % (len(keys), len(report.files_scanned),
+                     report.bytes_scanned), file=out)
+            return 0
+        print("erasure audit   : TRACES FOUND — %d finding(s) across %s"
+              % (len(report.findings),
+                 sorted({finding.file for finding in report.findings})),
+              file=out)
+        return 1
     return 0
 
 

@@ -25,10 +25,24 @@ work: a recovered shard is rebuilt with its *original* construction seed and
 its canonical layout is a function of the surviving key set alone, so the
 recovered engine is byte-identical (canonical HI digest tier) to an
 identically-built engine that never crashed.
+
+Durability modes: the default ``durability_mode="logged"`` keeps the full
+mutation history in the op logs until a checkpoint compacts them — durable,
+but a stolen durability directory leaks exactly the history the HI
+structures hide.  ``durability_mode="secure"`` restores the paper's
+guarantee end-to-end: deletes trigger a history-redacting log compaction at
+the next ``barrier()``/``checkpoint()`` (write-new + atomic rename +
+directory fsync), after which no frame in any op log and no slot in any
+checkpoint image encodes a deleted key.
+:func:`repro.history.forensics.audit_durability_dir` is the observer-side
+check of that claim.
 """
 
-from repro.replication.engine import ReplicatedShardedDictionaryEngine
-from repro.replication.oplog import OpLog
+from repro.replication.engine import (
+    DURABILITY_MODES,
+    ReplicatedShardedDictionaryEngine,
+)
+from repro.replication.oplog import OpLog, read_ops
 from repro.replication.recovery import (
     RecoveryReport,
     open_durable_engine,
@@ -36,9 +50,11 @@ from repro.replication.recovery import (
 )
 
 __all__ = [
+    "DURABILITY_MODES",
     "OpLog",
     "RecoveryReport",
     "ReplicatedShardedDictionaryEngine",
     "open_durable_engine",
+    "read_ops",
     "replica_targets",
 ]

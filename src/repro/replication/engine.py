@@ -61,6 +61,14 @@ from repro.replication.recovery import (
 #: Methods that mutate a shard and therefore fan out to replicas.
 _MUTATORS = frozenset(("insert", "upsert", "delete"))
 
+#: Durability modes accepted by the engine.  ``"logged"`` keeps the full
+#: mutation history in the op logs until the next checkpoint compacts them;
+#: ``"secure"`` additionally redacts history at every :meth:`barrier` that
+#: flushed deletes, so a deleted key's encoding survives nowhere in the
+#: durability directory once the barrier returns (the paper's
+#: anti-persistence guarantee, extended to the durable artifacts).
+DURABILITY_MODES = ("logged", "secure")
+
 
 class _ReplicatedShardProxy(HIDictionary):
     """One shard seen as primary plus replicas, behind one dictionary face.
@@ -224,12 +232,22 @@ class ReplicatedShardedDictionaryEngine(ProcessShardedDictionaryEngine):
                  shm_capacity: Optional[int] = None,
                  replication: int = 2,
                  durability_dir: Optional[str] = None,
+                 durability_mode: str = "logged",
                  fsync: bool = True) -> None:
         if not isinstance(replication, int) or isinstance(replication, bool) \
                 or replication < 1:
             raise ConfigurationError(
                 "replication must be an integer >= 1, got %r"
                 % (replication,))
+        if durability_mode not in DURABILITY_MODES:
+            raise ConfigurationError(
+                "durability_mode must be one of %s, got %r"
+                % (", ".join(repr(mode) for mode in DURABILITY_MODES),
+                   durability_mode))
+        if durability_mode == "secure" and durability_dir is None:
+            raise ConfigurationError(
+                "durability_mode='secure' redacts the on-disk op logs at "
+                "barriers; it needs durability_dir=...")
         if isinstance(structure, ShardedDictionary) \
                 and replication > structure.num_shards:
             raise ConfigurationError(
@@ -248,7 +266,15 @@ class ReplicatedShardedDictionaryEngine(ProcessShardedDictionaryEngine):
         # overridden _adopt_local_shards, which reads all of these.
         self._replication = replication
         self._durability_dir = durability_dir
+        self._durability_mode = durability_mode
         self._fsync = fsync
+        #: Deterministic erasure accounting (pure functions of the workload
+        #: and topology, so the bench baseline can gate them): barriers
+        #: reached, secure redactions triggered, delete frames flushed at
+        #: barriers, and op-log frames dropped by compaction.
+        self._erasure_stats: Dict[str, int] = {
+            "barriers": 0, "redactions": 0, "deletes_flushed": 0,
+            "frames_dropped": 0}
         self._next_replica_id = -1
         self._placement_router: Optional[ConsistentHashRouter] = None
         if durability_dir is not None:
@@ -274,6 +300,15 @@ class ReplicatedShardedDictionaryEngine(ProcessShardedDictionaryEngine):
     @property
     def durability_dir(self) -> Optional[str]:
         return self._durability_dir
+
+    @property
+    def durability_mode(self) -> str:
+        """``"logged"`` (full history until checkpoint) or ``"secure"``."""
+        return self._durability_mode
+
+    def erasure_stats(self) -> Dict[str, int]:
+        """Deterministic erasure counters (see ``_erasure_stats``)."""
+        return dict(self._erasure_stats)
 
     def replica_counts(self) -> List[int]:
         """Live replica count per shard position (testing/ops hook)."""
@@ -584,6 +619,40 @@ class ReplicatedShardedDictionaryEngine(ProcessShardedDictionaryEngine):
     # ------------------------------------------------------------------ #
     # Durability and recovery (implemented in repro.replication.recovery)
     # ------------------------------------------------------------------ #
+
+    def barrier(self) -> Dict[str, object]:
+        """A durability sync point; in secure mode, deletes trigger redaction.
+
+        Every primary's op log commits a barrier frame (one fsync each), so
+        everything acknowledged before the call is machine-crash durable.
+        In ``"logged"`` mode that is all a barrier does — the full mutation
+        history (delete frames included) stays in the logs until the next
+        checkpoint.  In ``"secure"`` mode, a barrier that flushed any
+        deletes escalates into a full :meth:`checkpoint`: the images are
+        rewritten from the canonical HI layouts (which no longer hold the
+        deleted keys) and every log is compacted to its new barrier with an
+        atomic rename + directory fsync — after which no frame in any op
+        log and no slot in any checkpoint image encodes a deleted key.
+
+        Returns ``{"deletes": flushed delete frames, "redacted": bool}``.
+        """
+        if self._closed:
+            raise ConfigurationError("this engine is closed; cannot barrier")
+        if self._durability_dir is None:
+            raise ConfigurationError(
+                "no durability directory configured; build the engine with "
+                "durability_dir=... to enable barriers")
+        results = self._scatter([(position, "__barrier__", ())
+                                 for position in range(self.num_shards)])
+        deletes = sum(result[1] for result in results.values())
+        self._erasure_stats["barriers"] += 1
+        self._erasure_stats["deletes_flushed"] += deletes
+        redacted = False
+        if self._durability_mode == "secure" and deletes:
+            self.checkpoint()
+            self._erasure_stats["redactions"] += 1
+            redacted = True
+        return {"deletes": deletes, "redacted": redacted}
 
     def checkpoint(self) -> Dict[str, object]:
         """Snapshot every shard, write the manifest, compact the logs.

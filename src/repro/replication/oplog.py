@@ -64,6 +64,27 @@ _OP_CODES = {name: code for code, name in OP_NAMES.items()}
 LoggedOp = Tuple[str, object, object]
 
 
+def _fsync_directory(path: str) -> None:
+    """Make a rename in ``path``'s directory durable (best effort).
+
+    ``os.replace`` swaps the directory entry atomically, but the *entry*
+    itself is not durable until the directory is synced — a machine crash
+    could resurrect the pre-compaction file, which in secure durability
+    mode would resurrect redacted frames.
+    """
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir-open
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform without dir-fsync
+        pass
+    finally:
+        os.close(fd)
+
+
 class OpLog:
     """An append-only, CRC-framed redo log for one shard.
 
@@ -90,8 +111,20 @@ class OpLog:
         self.frame_size = 1 + self.codec.record_size + _CRC.size
         self._fsync = fsync
         self._base = 0
+        #: Delete frames appended since the last barrier — what secure
+        #: durability mode consults to decide whether a barrier must
+        #: escalate into a history-redacting compaction.
+        self.deletes_since_barrier = 0
         if truncate and os.path.exists(path):
             os.unlink(path)
+        scratch = path + ".compact"
+        if os.path.exists(scratch):
+            # A compaction wrote its replacement but died before the rename;
+            # the original file is still authoritative, and the orphaned
+            # scratch must not linger (its frames duplicate ours, and in
+            # secure mode lingering bytes are exactly the leak to prevent).
+            os.unlink(scratch)
+            _fsync_directory(path)
         fresh = not os.path.exists(path) or os.path.getsize(path) == 0
         # Unbuffered append handle: every frame reaches the OS immediately,
         # so records survive a SIGKILLed worker without per-record fsyncs.
@@ -102,6 +135,7 @@ class OpLog:
         else:
             self._base = self._read_header()
             self._end = self._recompute_end()
+            self.deletes_since_barrier = self._count_tail_deletes()
 
     # ------------------------------------------------------------------ #
     # Header / offsets
@@ -138,6 +172,27 @@ class OpLog:
         """
         return self._end
 
+    @property
+    def base_offset(self) -> int:
+        """Logical offset of the first frame still present in the file."""
+        return self._base
+
+    def _count_tail_deletes(self) -> int:
+        """Delete frames after the last barrier (open-time reconstruction).
+
+        A reopened log (recovery, cold start) must make the same secure-mode
+        redaction decision a never-restarted worker would: deletes whose
+        barrier never landed still demand a redacting compaction.
+        """
+        deletes = 0
+        frames, _torn = self._frames()
+        for frame in frames:
+            if frame[0] == OP_BARRIER:
+                deletes = 0
+            elif frame[0] == OP_DELETE:
+                deletes += 1
+        return deletes
+
     # ------------------------------------------------------------------ #
     # Appending
     # ------------------------------------------------------------------ #
@@ -161,6 +216,8 @@ class OpLog:
         body = bytes([_OP_CODES[op]]) + record
         self._handle.write(body + _CRC.pack(zlib.crc32(body)))
         self._end += self.frame_size
+        if op == "delete":
+            self.deletes_since_barrier += 1
         return self._end
 
     def commit(self) -> None:
@@ -180,6 +237,7 @@ class OpLog:
         self._handle.write(body + _CRC.pack(zlib.crc32(body)))
         self._end += self.frame_size
         self.commit()
+        self.deletes_since_barrier = 0
         return self._end
 
     # ------------------------------------------------------------------ #
@@ -260,7 +318,16 @@ class OpLog:
         logical offset at or after it stays valid.  Returns the new base.
         Compaction is what keeps a long-lived shard's log proportional to
         the work since its last snapshot rather than to its whole history.
+
+        The rewrite is write-new-then-atomic-rename with the *directory*
+        fsynced after the rename: until the rename lands the old file is
+        intact (a crash in the window loses nothing — the orphaned scratch
+        is swept on the next open), and after the directory sync the old
+        frames cannot resurface on a machine crash — which is what secure
+        durability mode's history redaction relies on.
         """
+        from repro.replication.failpoints import trip
+
         frames, _torn = self._frames()
         if keep_from is None:
             keep_from = self._base
@@ -281,7 +348,13 @@ class OpLog:
             handle.flush()
             if self._fsync:
                 os.fsync(handle.fileno())
+        # The crash window the fault suite pins: the scratch is complete
+        # but the rename has not happened, so the pre-compaction frames are
+        # still the file the next open reads.
+        trip("oplog.compact.rename")
         os.replace(scratch, self.path)
+        if self._fsync:
+            _fsync_directory(self.path)
         self._base = keep_from
         self._handle = open(self.path, "ab", buffering=0)
         self._end = self._recompute_end()
@@ -305,6 +378,56 @@ class OpLog:
     def __repr__(self) -> str:
         return "OpLog(path=%r, base=%d, end=%d)" % (self.path, self._base,
                                                     self.end_offset)
+
+
+def read_ops(path: str, payload_size: int = 64) -> Iterator[LoggedOp]:
+    """Read-only replay of a log file (the forensics / audit path).
+
+    Unlike constructing an :class:`OpLog`, this never writes: no append
+    handle, no header creation, no scratch sweep — an auditor must not
+    mutate the evidence it is examining.  Torn tails end the iteration
+    silently exactly like :meth:`OpLog.replay`; a corrupt interior frame
+    or a foreign file raises :class:`~repro.errors.ConfigurationError`.
+    """
+    codec = RecordCodec(payload_size=payload_size)
+    frame_size = 1 + codec.record_size + _CRC.size
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    if len(blob) < _HEADER.size:
+        raise ConfigurationError(
+            "op log %r is truncated below its header" % (path,))
+    magic, version, _base = _HEADER.unpack_from(blob, 0)
+    if magic != MAGIC:
+        raise ConfigurationError("%r is not an op log (bad magic)" % (path,))
+    if version > VERSION:
+        raise ConfigurationError(
+            "op log %r has format version %d; this build reads up to %d"
+            % (path, version, VERSION))
+    body = blob[_HEADER.size:]
+    complete = len(body) // frame_size
+    torn = len(body) - complete * frame_size
+    for index in range(complete):
+        frame = body[index * frame_size:(index + 1) * frame_size]
+        payload, crc = frame[:-_CRC.size], frame[-_CRC.size:]
+        if _CRC.pack(zlib.crc32(payload)) != crc:
+            if index == complete - 1 and torn == 0:
+                return  # torn tail: the last frame never completed
+            raise ConfigurationError(
+                "op log %r is corrupt at frame %d (CRC mismatch)"
+                % (path, index))
+        op = payload[0]
+        if op == OP_BARRIER:
+            continue
+        if op not in OP_NAMES:
+            raise ConfigurationError(
+                "op log %r holds unknown operation byte %d at frame %d"
+                % (path, op, index))
+        decoded = codec.decode(payload[1:])
+        if op == OP_DELETE:
+            yield OP_NAMES[op], decoded, None
+        else:
+            key, value = decoded
+            yield OP_NAMES[op], key, value
 
 
 def commit_group(logs: Iterable[OpLog]) -> int:

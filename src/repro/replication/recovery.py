@@ -203,6 +203,7 @@ def checkpoint_engine(engine) -> Dict[str, object]:
         "router": structure.router.spec(),
         "shard_ids": list(structure.shard_ids),
         "replication": engine.replication,
+        "durability_mode": getattr(engine, "_durability_mode", "logged"),
         "build": build,
         "shards": entries,
     }
@@ -218,9 +219,14 @@ def checkpoint_engine(engine) -> Dict[str, object]:
     for name in shard_image_names(directory):
         if name not in referenced:
             os.unlink(os.path.join(directory, name))
-    engine._scatter([
+    compacted = engine._scatter([
         (position, "__compact__", (results[position][1],))
         for position in range(num_shards)])
+    stats = getattr(engine, "_erasure_stats", None)
+    if stats is not None:
+        stats["frames_dropped"] += sum(
+            result[1] for result in compacted.values()
+            if isinstance(result, tuple))
     return manifest
 
 
@@ -464,6 +470,7 @@ def open_durable_engine(directory: str, *,
                         replication: Optional[int] = None,
                         max_workers: Optional[int] = None,
                         start_method: Optional[str] = None,
+                        durability_mode: Optional[str] = None,
                         fsync: bool = True,
                         sample_operations: bool = False):
     """Rebuild a :class:`ReplicatedShardedDictionaryEngine` from disk alone.
@@ -471,9 +478,10 @@ def open_durable_engine(directory: str, *,
     Reads the durability manifest, rebuilds every shard with its original
     construction seed, re-inserts its checkpoint image, replays its op-log
     tail, and brings the engine up (workers, replicas, a fresh checkpoint)
-    against the same directory.  ``replication`` defaults to what the
-    manifest records.  This is the cold-start path — the parent process
-    that owned the engine is gone, only the directory survives.
+    against the same directory.  ``replication`` and ``durability_mode``
+    default to what the manifest records, so a secure store reopens secure.
+    This is the cold-start path — the parent process that owned the engine
+    is gone, only the directory survives.
     """
     from repro.api.registry import make_dictionary
     from repro.replication.engine import ReplicatedShardedDictionaryEngine
@@ -525,7 +533,10 @@ def open_durable_engine(directory: str, *,
     }
     if replication is None:
         replication = int(manifest.get("replication", 1))
+    if durability_mode is None:
+        durability_mode = str(manifest.get("durability_mode", "logged"))
     return ReplicatedShardedDictionaryEngine(
         structure, sample_operations=sample_operations,
         max_workers=max_workers, start_method=start_method,
-        replication=replication, durability_dir=directory, fsync=fsync)
+        replication=replication, durability_dir=directory,
+        durability_mode=durability_mode, fsync=fsync)

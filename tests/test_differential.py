@@ -191,8 +191,17 @@ def run_trace(target: str, trace: Sequence[Op], builder=None) -> Optional[str]:
 
 
 def _run_trace_on(engine: DictionaryEngine,
-                  trace: Sequence[Op]) -> Optional[str]:
-    oracle = Oracle()
+                  trace: Sequence[Op],
+                  oracle: Optional[Oracle] = None,
+                  check_terminal: bool = True) -> Optional[str]:
+    """Drive ``trace`` against ``engine`` while ``oracle`` predicts outcomes.
+
+    Passing an ``oracle`` lets callers run a trace in segments (the durable
+    crash/recover tests interleave ``recover()`` cycles between segments and
+    keep one oracle across them); ``check_terminal=False`` skips the final
+    whole-store comparison for non-final segments.
+    """
+    oracle = Oracle() if oracle is None else oracle
     native_predecessor = getattr(engine.structure, "predecessor", None)
     for index, operation in enumerate(trace):
         kind = operation[0]
@@ -255,6 +264,8 @@ def _run_trace_on(engine: DictionaryEngine,
                     % (where, expected_pair, got_pair)
         else:  # pragma: no cover - trace generator bug
             raise AssertionError("unknown trace op %r" % (kind,))
+    if not check_terminal:
+        return None
     # Terminal state: iteration order, items, and invariants.
     if list(engine) != oracle.keys:
         return "final key order: oracle %r, structure %r" \
@@ -319,6 +330,144 @@ def test_differential_against_oracle(target, trace_seed):
         "  replay(%r, %r)"
         % (target, trace_seed, run_trace(target, minimal) or failure,
            len(minimal), target, minimal))
+
+
+# --------------------------------------------------------------------------- #
+# Durable engines: the same oracle, but the trace crosses crash/recover
+# cycles — results AND canonical layouts must still match the in-memory
+# reference (the paper's anti-persistence property under the harness).
+# --------------------------------------------------------------------------- #
+
+DURABLE_SHARDS = 3
+
+
+def make_durable_engine(mode: str, directory: str):
+    from repro.api import make_sharded_engine
+    return make_sharded_engine("b-treap", shards=DURABLE_SHARDS,
+                               block_size=BLOCK_SIZE, seed=STRUCTURE_SEED,
+                               router="consistent", parallel="process",
+                               replication=2, durability_dir=directory,
+                               durability_mode=mode)
+
+
+def _canonical_digest(structure):
+    from repro.api import audit_fingerprint_of
+    from repro.storage import image_of
+    from repro.storage.snapshot import snapshot_records
+
+    paged, metadata = snapshot_records(list(structure.snapshot_slots()),
+                                       page_size=512, payload_size=64)
+    return (audit_fingerprint_of(structure),
+            image_of(paged, metadata).fingerprint())
+
+
+def _fresh_reference_digest(items):
+    from repro.api import make_sharded_engine
+
+    fresh = make_sharded_engine("b-treap", shards=DURABLE_SHARDS,
+                                block_size=BLOCK_SIZE, seed=STRUCTURE_SEED,
+                                router="consistent")
+    fresh.insert_many(items)
+    return _canonical_digest(fresh.structure)
+
+
+def _kill_one_worker(engine, position):
+    """SIGKILL the worker hosting ``position``'s *primary*.
+
+    ``worker_pids()`` is spawn-ordered, and recovery replaces dead workers
+    with fresh spawns — so across multiple crash cycles the primary must be
+    looked up through the shard-to-worker map, not by position index.
+    """
+    import signal
+    import time
+
+    shard_id = engine.structure.shard_ids[position]
+    os.kill(engine._worker_by_shard[shard_id].pid, signal.SIGKILL)
+    deadline = time.time() + 5.0
+    while time.time() < deadline:
+        if position in engine.dead_shard_positions():
+            return
+        time.sleep(0.02)
+    raise AssertionError("worker for position %d never reported dead"
+                         % position)
+
+
+@pytest.mark.parametrize("mode", ["logged", "secure"])
+def test_differential_durable_trace_across_crash_recover_cycles(
+        mode, tmp_path):
+    """One oracle, one trace, three SIGKILL + ``recover()`` cycles.
+
+    Acknowledged operations are durable, so a crash at an operation
+    boundary must be invisible to the oracle: every segment after a
+    recovery continues from exactly the state the previous segment left.
+    The terminal bar is the canonical-digest identity — the recovered,
+    crash-scarred store lays out like a fresh build of the oracle's items.
+    """
+    rng = random.Random(DIFF_SEED + 2)
+    trace = random_trace(rng, steps=180, with_predecessor=False)
+    oracle = Oracle()
+    engine = make_durable_engine(mode, str(tmp_path / mode))
+    try:
+        bounds = [0, 60, 120, len(trace)]
+        for cycle in range(3):
+            segment = trace[bounds[cycle]:bounds[cycle + 1]]
+            failure = _run_trace_on(engine, segment, oracle=oracle,
+                                    check_terminal=False)
+            assert failure is None, failure
+            engine.barrier()
+            _kill_one_worker(engine, cycle % engine.num_shards)
+            report = engine.recover()
+            assert report.positions
+        assert engine.items() == oracle.items()
+        assert list(engine) == oracle.keys
+        engine.check()
+        assert _canonical_digest(engine.structure) \
+            == _fresh_reference_digest(oracle.items())
+    finally:
+        engine.close()
+
+
+def test_differential_secure_trace_after_a_mid_batch_failpoint_kill(
+        tmp_path, monkeypatch):
+    """A ``REPRO_FAILPOINTS`` kill lands *inside* a batch, then the full
+    differential trace runs against the recovered secure engine.
+
+    The torn batch uses a disposable key range disjoint from the trace's
+    key space; after recovery the survivors are scrubbed and redacted, so
+    the oracle starts from an empty store — and the scrubbed keys must
+    audit as erased afterwards even though a crash interrupted the store.
+    """
+    from repro.errors import WorkerCrashError
+    from repro.history.forensics import audit_durability_dir
+
+    directory = str(tmp_path / "d")
+    disposable = [(key, key) for key in range(10_000, 10_240)]
+    monkeypatch.setenv("REPRO_FAILPOINTS", "worker.insert:25")
+    engine = make_durable_engine("secure", directory)
+    try:
+        with pytest.raises(WorkerCrashError):
+            engine.insert_many(disposable)
+        monkeypatch.delenv("REPRO_FAILPOINTS", raising=False)
+        report = engine.recover()
+        assert not report.rebuilt_empty
+        survivors = [key for key, _value in engine.items()]
+        assert set(survivors) <= {key for key, _value in disposable}
+        engine.delete_many(survivors)
+        assert engine.barrier() == {"deletes": len(survivors),
+                                    "redacted": bool(survivors)}
+        rng = random.Random(DIFF_SEED + 3)
+        trace = random_trace(rng, steps=160, with_predecessor=False)
+        failure = _run_trace_on(engine, trace)
+        assert failure is None, failure
+        final_digest = _canonical_digest(engine.structure)
+        assert final_digest == _fresh_reference_digest(engine.items())
+    finally:
+        engine.close()
+    # The disposable keys were deleted before the redacting barrier and the
+    # trace's key space (0..63) cannot re-encode them: no byte in the
+    # durability directory may still betray them.
+    assert audit_durability_dir(directory, [key for key, _v in disposable],
+                                payload_size=64).clean
 
 
 def test_harness_catches_a_seeded_bug():

@@ -55,3 +55,7 @@ def test_forensics_example_reaches_the_expected_verdict():
     completed = _run_example("stolen_disk_forensics.py")
     assert "density anomaly   : FOUND" in completed.stdout
     assert "density anomaly   : none" in completed.stdout
+    # Act two: the logged durability directory leaks the delete history,
+    # the secure one audits clean.
+    assert "deleted-key traces: FOUND" in completed.stdout
+    assert "deleted-key traces: none" in completed.stdout

@@ -1,13 +1,17 @@
 """Forensic heuristics: they should bite on history-dependent layouts only."""
 
 import bisect
+import hashlib
+import os
 
 import pytest
 
 from repro.core.hi_pma import HistoryIndependentPMA
 from repro.errors import ConfigurationError
-from repro.history.forensics import (detect_density_anomaly, occupancy_profile,
-                                     redaction_signal)
+from repro.history.forensics import (DurabilityAuditReport, audit_durability_dir,
+                                     detect_density_anomaly, key_trace_patterns,
+                                     occupancy_profile, redaction_signal,
+                                     scan_bytes_for_keys)
 from repro.pma.classic import ClassicPMA
 
 
@@ -78,3 +82,90 @@ def test_classic_pma_redaction_is_detectable_hi_pma_is_not():
     # build; the HI PMA's is ordinary sampling noise.
     assert classic_signal > hi_signal
     assert hi_signal < 8.0
+
+
+# --------------------------------------------------------------------------- #
+# The durability-directory auditor (the stolen-disk attack, op-log era)
+# --------------------------------------------------------------------------- #
+
+def _durable_store(directory, mode, entries, doomed):
+    """Build a durable store, delete ``doomed``, reach a barrier, close."""
+    from repro.api import make_sharded_engine
+
+    engine = make_sharded_engine("b-treap", shards=2, block_size=16,
+                                 seed=20160626, router="consistent",
+                                 parallel="process", replication=1,
+                                 durability_dir=str(directory),
+                                 durability_mode=mode)
+    try:
+        engine.insert_many(entries)
+        engine.delete_many(doomed)
+        engine.barrier()
+    finally:
+        engine.close()
+
+
+def _dir_fingerprint(directory):
+    digest = hashlib.sha256()
+    for name in sorted(os.listdir(directory)):
+        path = os.path.join(directory, name)
+        digest.update(name.encode())
+        with open(path, "rb") as handle:
+            digest.update(handle.read())
+    return digest.hexdigest()
+
+
+def test_key_trace_patterns_are_framed_not_bare_payloads():
+    record_pattern, nested_pattern = key_trace_patterns(7)
+    # The record pattern carries the codec header (tag + u32 length)...
+    assert record_pattern[0] != 0 and len(record_pattern) > 16
+    # ...and the nested pattern is anchored by the pair codec's u16 key-blob
+    # length, so a short key's mostly-zero payload cannot match a record's
+    # trailing zero padding.
+    assert nested_pattern[:2] == len(nested_pattern[2:]).to_bytes(2, "big")
+    blob = b"\x00" * 64 + record_pattern + b"\x00" * 64
+    assert scan_bytes_for_keys(blob, [7]) == [(7, 64)]
+    assert scan_bytes_for_keys(blob, [8]) == []
+
+
+def test_audit_rejects_a_missing_directory(tmp_path):
+    with pytest.raises(ConfigurationError):
+        audit_durability_dir(str(tmp_path / "nope"), [1])
+
+
+def test_audit_finds_history_in_a_logged_directory(tmp_path):
+    entries = [(key, 10 ** 9 + key) for key in range(50)]
+    doomed = [key for key, _value in entries[::5]]
+    _durable_store(tmp_path, "logged", entries, doomed)
+    report = audit_durability_dir(str(tmp_path), doomed, payload_size=64)
+    assert isinstance(report, DurabilityAuditReport)
+    assert not report.clean
+    assert report.bytes_scanned > 0
+    kinds = {finding.kind for finding in report.findings}
+    assert "raw-bytes" in kinds and "oplog-frame" in kinds
+    assert {finding.key for finding in report.findings} == set(doomed)
+
+
+def test_audit_reports_a_secure_directory_clean(tmp_path):
+    entries = [(key, 10 ** 9 + key) for key in range(50)]
+    doomed = [key for key, _value in entries[::5]]
+    _durable_store(tmp_path, "secure", entries, doomed)
+    report = audit_durability_dir(str(tmp_path), doomed, payload_size=64)
+    assert report.clean
+    assert report.findings == ()
+    # Surviving keys are still found — the auditor is not vacuously clean.
+    survivor = next(key for key, _value in entries if key not in set(doomed))
+    assert not audit_durability_dir(str(tmp_path), [survivor],
+                                    payload_size=64).clean
+
+
+def test_audit_never_mutates_the_evidence(tmp_path):
+    """Forensics must be read-only: auditing twice, byte-identical dir."""
+    entries = [(key, 10 ** 9 + key) for key in range(30)]
+    doomed = [key for key, _value in entries[::4]]
+    _durable_store(tmp_path, "logged", entries, doomed)
+    before = _dir_fingerprint(str(tmp_path))
+    first = audit_durability_dir(str(tmp_path), doomed, payload_size=64)
+    second = audit_durability_dir(str(tmp_path), doomed, payload_size=64)
+    assert _dir_fingerprint(str(tmp_path)) == before
+    assert first == second
