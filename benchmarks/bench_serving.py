@@ -1,0 +1,206 @@
+"""Experiment X-S1 — serving latency: open-loop Poisson load over loopback.
+
+ISSUE 8's latency harness for the network front-end (:mod:`repro.net`).
+A :class:`~repro.net.server.ThreadedServer` hosts a process-backend store
+on loopback; an :class:`~repro.net.client.AsyncReproClient` fires
+single-key requests at it with **open-loop Poisson arrivals** — the
+inter-arrival clock never waits for a reply, so queueing delay shows up
+in the tail instead of being absorbed by a closed loop (the
+coordinated-omission trap).  Arrivals are seeded, so the offered schedule
+is reproducible; the measured latencies are machine numbers and go into
+``benchmarks/BENCH_wallclock.json`` under the ``serving`` key as a
+non-gating trajectory, like every other wall-clock section.
+
+Each offered rate reports achieved throughput and p50/p99/p999 latency,
+plus how many requests the server shed BUSY (zero at these rates unless
+the runner is badly oversubscribed).  Runners with fewer than 2 cores
+cannot host server + workers + client honestly; the bench then prints an
+explicit ``SERVING-BENCH-SKIPPED`` line instead of recording junk.
+
+Run standalone with::
+
+    python benchmarks/bench_serving.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import random
+import time
+
+from repro.analysis.reporting import format_table, write_results
+from repro.api import EngineConfig
+from repro.errors import ServerBusyError
+from repro.net import AsyncReproClient, ThreadedServer
+
+from _harness import scaled, smoke_mode
+
+INNER = "b-treap"
+BLOCK_SIZE = 32
+SHARDS = 2
+SEED = 20160830
+
+#: Offered request rates (per second); scaled like every workload size.
+RATES = (500, 2000)
+
+WALLCLOCK_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                              "BENCH_wallclock.json")
+
+
+def enough_cores() -> bool:
+    """2+ cores, or an explicit override for constrained runners.
+
+    ``REPRO_SERVING_BENCH_FORCE=1`` records rows anyway (the core count
+    lands in ``meta`` so a reader can discount them); without it a 1-core
+    runner prints the ``SERVING-BENCH-SKIPPED`` line and records nothing.
+    """
+    if os.environ.get("REPRO_SERVING_BENCH_FORCE", "") not in ("", "0"):
+        return True
+    return (os.cpu_count() or 1) >= 2
+
+
+def percentile(sorted_values, q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[index]
+
+
+async def drive_rate(port: int, rate: int, requests: int, keyspace: int):
+    """Fire ``requests`` Poisson arrivals at ``rate``/s; return the row."""
+    client = AsyncReproClient("127.0.0.1", port, pool_size=64)
+    await client.connect()
+    rng = random.Random(SEED + rate)
+    latencies = []
+    busy = 0
+    tasks = []
+
+    async def one(key: int) -> None:
+        nonlocal busy
+        started = time.perf_counter()
+        try:
+            await client.contains(key)
+        except ServerBusyError:
+            busy += 1
+            return
+        latencies.append(time.perf_counter() - started)
+
+    loop = asyncio.get_running_loop()
+    epoch = loop.time()
+    next_at = 0.0
+    started = time.perf_counter()
+    for _ in range(requests):
+        next_at += rng.expovariate(rate)
+        delay = epoch + next_at - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        tasks.append(asyncio.ensure_future(one(rng.randrange(keyspace))))
+    await asyncio.gather(*tasks)
+    elapsed = time.perf_counter() - started
+    await client.close()
+    latencies.sort()
+    return {
+        "offered_rate": rate,
+        "requests": requests,
+        "achieved_rps": int(len(latencies) / elapsed) if elapsed else 0,
+        "p50_ms": round(percentile(latencies, 0.50) * 1000, 3),
+        "p99_ms": round(percentile(latencies, 0.99) * 1000, 3),
+        "p999_ms": round(percentile(latencies, 0.999) * 1000, 3),
+        "busy": busy,
+    }
+
+
+async def drive_all(port: int, requests: int, keyspace: int):
+    rows = []
+    for rate in RATES:
+        rows.append(await drive_rate(port, rate, requests, keyspace))
+    return rows
+
+
+def collect():
+    requests = scaled(3_000)
+    keyspace = scaled(20_000)
+    config = EngineConfig(inner=INNER, shards=SHARDS,
+                          block_size=BLOCK_SIZE, seed=SEED,
+                          parallel="process", max_workers=SHARDS)
+    with ThreadedServer(config) as server:
+
+        async def load(port):
+            client = AsyncReproClient("127.0.0.1", port)
+            await client.connect()
+            await client.insert_many(
+                [(key, key) for key in range(keyspace)])
+            await client.close()
+
+        asyncio.run(load(server.port))
+        rows = asyncio.run(drive_all(server.port, requests, keyspace))
+    payload = {
+        "meta": {
+            "inner": INNER,
+            "shards": SHARDS,
+            "block_size": BLOCK_SIZE,
+            "keyspace": keyspace,
+            "requests_per_rate": requests,
+            "cores": os.cpu_count() or 1,
+            "smoke": smoke_mode(),
+        },
+        "rows": rows,
+    }
+    return payload, rows
+
+
+def report(payload, rows) -> None:
+    print()
+    print("Serving latency — open-loop Poisson, %d requests/rate "
+          "(inner=%s, %d shards, smoke=%s)"
+          % (payload["meta"]["requests_per_rate"], INNER, SHARDS,
+             payload["meta"]["smoke"]))
+    print(format_table(
+        [[row["offered_rate"], row["achieved_rps"], row["p50_ms"],
+          row["p99_ms"], row["p999_ms"], row["busy"]] for row in rows],
+        headers=["offered req/s", "achieved req/s", "p50 ms", "p99 ms",
+                 "p999 ms", "busy"]))
+
+
+def write_wallclock(payload) -> None:
+    """Merge the serving section into the committed wall-clock trajectory.
+
+    ``BENCH_wallclock.json`` is shared across the standalone benches; each
+    run replaces only its own top-level key, so the sections never clobber
+    each other's full-mode numbers.
+    """
+    merged = {}
+    if os.path.exists(WALLCLOCK_PATH):
+        try:
+            with open(WALLCLOCK_PATH, encoding="utf-8") as handle:
+                merged = json.load(handle)
+        except ValueError:  # pragma: no cover - a torn artifact
+            merged = {}
+    merged["serving"] = payload
+    with open(WALLCLOCK_PATH, "w", encoding="utf-8") as handle:
+        json.dump(merged, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("wrote %s (serving section)" % WALLCLOCK_PATH)
+
+
+def test_serving_trajectory(run_once, results_dir):
+    if not enough_cores():
+        print("SERVING-BENCH-SKIPPED: needs >=2 cores for server + "
+              "workers + client; this runner has %d" % (os.cpu_count() or 1))
+        run_once(lambda: None)  # keep the benchmark fixture satisfied
+        return
+    payload, rows = run_once(collect)
+    report(payload, rows)
+    write_results("serving", payload, directory=results_dir)
+
+
+if __name__ == "__main__":
+    if not enough_cores():
+        print("SERVING-BENCH-SKIPPED: needs >=2 cores for server + "
+              "workers + client; this runner has %d" % (os.cpu_count() or 1))
+    else:
+        collected_payload, collected_rows = collect()
+        report(collected_payload, collected_rows)
+        write_wallclock(collected_payload)

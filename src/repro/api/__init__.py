@@ -22,6 +22,7 @@ Quickstart::
 """
 
 from repro.api.adapters import RankKeyedDictionary
+from repro.api.config import EngineConfig
 from repro.api.engine import DictionaryEngine
 from repro.api.protocol import HIDictionary, audit_fingerprint_of
 from repro.api.registry import (
@@ -75,6 +76,7 @@ __all__ = [
     "RankKeyedDictionary",
     "DictionaryEngine",
     "DictionaryConfig",
+    "EngineConfig",
     "ConsistentHashRouter",
     "MigrationReport",
     "ModuloRouter",

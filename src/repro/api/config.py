@@ -1,0 +1,202 @@
+"""One typed, serializable description of a sharded engine deployment.
+
+:func:`~repro.api.sharded.make_sharded_engine` grew one keyword argument
+per PR — router, vnodes, weights, parallel, max_workers, plane,
+replication, durability_dir, durability_mode, fsync — and every consumer
+(CLI commands, the durability manifest, now the network server handshake)
+re-spelled the same sprawl.  :class:`EngineConfig` is the one object they
+all share:
+
+* ``make_sharded_engine(config=cfg)`` is the primary spelling; the legacy
+  keyword arguments still work and delegate here.
+* :meth:`EngineConfig.to_dict` / :meth:`EngineConfig.from_dict` round-trip
+  through plain JSON-safe dicts, so the durability manifest embeds the
+  config it was built from and the server hands it to clients at
+  handshake.
+* :meth:`EngineConfig.validate` centralises the cross-field rules
+  (replication/durability/plane require the process backend, secure mode
+  requires a durability directory, ...) that used to live inline in
+  ``make_sharded_engine``.
+
+The config is *frozen*: derive variants with :func:`dataclasses.replace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict, Mapping, Optional
+
+from repro.api.routing import make_router
+from repro.errors import ConfigurationError
+
+#: Parallel dispatch backends accepted by :func:`make_sharded_engine`
+#: (re-exported from :mod:`repro.api.sharded` for backward compatibility).
+PARALLEL_MODES = ("none", "thread", "process")
+
+
+def _parallel_mode(parallel: object) -> str:
+    """Normalise the ``parallel`` flag: a mode name, or PR 3's boolean API.
+
+    Strings must name a known mode; everything else falls back to PR 3's
+    ``parallel: bool`` contract — plain truthiness, where truthy meant the
+    thread engine — so callers passing ``1``/``0`` keep working.
+    """
+    if isinstance(parallel, str):
+        if parallel in PARALLEL_MODES:
+            return parallel
+        raise ConfigurationError(
+            "parallel must be one of %s (or a boolean, where True means "
+            "'thread'), got %r" % (", ".join(PARALLEL_MODES), parallel))
+    return "thread" if parallel else "none"
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """A validated, serializable sharded-engine deployment description.
+
+    Construction normalises the polymorphic fields so two configs that
+    mean the same deployment compare equal: ``inner`` sequences become
+    tuples, ``router`` becomes its canonical
+    :meth:`~repro.api.routing.Router.spec` dict (whatever the caller
+    passed — a name, a spec mapping, or a built router), and ``parallel``
+    becomes a mode name.  ``vnodes``/``weights`` fold into the router
+    spec; pass them inside the ``router`` mapping (or a built router).
+    """
+
+    inner: object = "hi-skiplist"
+    shards: int = 4
+    block_size: int = 64
+    cache_blocks: int = 0
+    seed: object = None
+    backend: str = "auto"
+    inner_params: Mapping[str, object] = field(default_factory=dict)
+    router: object = "modulo"
+    parallel: object = "none"
+    max_workers: Optional[int] = None
+    plane: Optional[str] = None
+    replication: int = 1
+    durability_dir: Optional[str] = None
+    durability_mode: str = "logged"
+    fsync: bool = True
+    sample_operations: bool = False
+
+    def __post_init__(self) -> None:
+        inner = self.inner
+        if isinstance(inner, (list, tuple)):
+            inner = tuple(inner)
+        object.__setattr__(self, "inner", inner)
+        object.__setattr__(self, "inner_params",
+                           dict(self.inner_params or {}))
+        object.__setattr__(self, "router", make_router(self.router).spec())
+        object.__setattr__(self, "parallel", _parallel_mode(self.parallel))
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+
+    def validate(self) -> "EngineConfig":
+        """Check the cross-field deployment rules; return ``self``.
+
+        Field-level validation (block sizes, registry names, router
+        shapes) still happens where it always did — in the registry and
+        the engine constructors — so a config that passes here can still
+        be rejected there; this method owns only the rules that relate
+        *deployment* fields to each other.
+        """
+        if not isinstance(self.shards, int) or isinstance(self.shards, bool) \
+                or self.shards < 1:
+            raise ConfigurationError(
+                "shards must be an integer >= 1, got %r" % (self.shards,))
+        if self.parallel == "none" and self.max_workers is not None:
+            raise ConfigurationError(
+                "max_workers only applies to the parallel engines; "
+                "pass parallel='thread' or parallel='process'")
+        if not isinstance(self.replication, int) \
+                or isinstance(self.replication, bool) \
+                or self.replication < 1:
+            raise ConfigurationError(
+                "replication must be an integer >= 1, got %r"
+                % (self.replication,))
+        if (self.replication > 1 or self.durability_dir is not None) \
+                and self.parallel != "process":
+            raise ConfigurationError(
+                "replication and durability require the process backend "
+                "(shards must live in workers that can crash "
+                "independently); pass parallel='process'")
+        if self.durability_mode not in ("logged", "secure"):
+            raise ConfigurationError(
+                "durability_mode must be 'logged' or 'secure', got %r"
+                % (self.durability_mode,))
+        if self.durability_mode != "logged" and self.durability_dir is None:
+            raise ConfigurationError(
+                "durability_mode='secure' redacts the on-disk op logs at "
+                "barriers; it needs durability_dir=... (and "
+                "parallel='process')")
+        if self.plane is not None and self.parallel != "process":
+            raise ConfigurationError(
+                "plane only applies to the process backend (the thread "
+                "and sequential engines share the parent's memory); "
+                "pass parallel='process'")
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> Dict[str, object]:
+        """The config as a plain JSON-safe dict (see :meth:`from_dict`).
+
+        ``seed`` must be an integer or ``None`` — a live ``random.Random``
+        cannot be serialized, and a config that names one is rejected here
+        rather than silently dropped.
+        """
+        if self.seed is not None and (not isinstance(self.seed, int)
+                                      or isinstance(self.seed, bool)):
+            raise ConfigurationError(
+                "only integer (or None) seeds serialize; this config "
+                "carries %r" % (self.seed,))
+        inner = self.inner
+        if isinstance(inner, tuple):
+            inner = list(inner)
+        return {
+            "inner": inner,
+            "shards": self.shards,
+            "block_size": self.block_size,
+            "cache_blocks": self.cache_blocks,
+            "seed": self.seed,
+            "backend": self.backend,
+            "inner_params": dict(self.inner_params),
+            "router": dict(self.router),
+            "parallel": self.parallel,
+            "max_workers": self.max_workers,
+            "plane": self.plane,
+            "replication": self.replication,
+            "durability_dir": self.durability_dir,
+            "durability_mode": self.durability_mode,
+            "fsync": self.fsync,
+            "sample_operations": self.sample_operations,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "EngineConfig":
+        """Rebuild a config from :meth:`to_dict` output (strict keys).
+
+        Missing keys take the field defaults (forward compatibility for
+        manifests written before a field existed); unknown keys are
+        rejected so a typo cannot silently configure nothing.
+        """
+        if not isinstance(payload, Mapping):
+            raise ConfigurationError(
+                "EngineConfig.from_dict takes a mapping, got %r"
+                % (payload,))
+        known = {spec.name for spec in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigurationError(
+                "unknown EngineConfig key(s): %s"
+                % ", ".join(sorted(map(str, unknown))))
+        return cls(**dict(payload))
+
+    def replace(self, **changes: object) -> "EngineConfig":
+        """A copy with ``changes`` applied (:func:`dataclasses.replace`)."""
+        return replace(self, **changes)

@@ -869,6 +869,11 @@ class ProcessShardedDictionaryEngine(ShardedDictionaryEngine):
             shards[position] = _ShardProxy(worker, shard_id, descriptor)
         self._shard_engine_cache = []
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (the worker pool is gone)."""
+        return self._closed
+
     def close(self) -> None:
         """Shut every worker down cleanly.  Idempotent."""
         if self._closed:

@@ -47,6 +47,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro._rng import RandomLike, make_rng
+from repro.api.config import PARALLEL_MODES as PARALLEL_MODES  # re-export
+from repro.api.config import EngineConfig
 from repro.api.engine import DictionaryEngine
 from repro.api.protocol import HIDictionary, Pair
 from repro.api.routing import Router, hash_key, make_router
@@ -1238,27 +1240,8 @@ class ParallelShardedDictionaryEngine(ShardedDictionaryEngine):
         return pairs, costs
 
 
-#: Parallel dispatch backends accepted by :func:`make_sharded_engine`.
-PARALLEL_MODES = ("none", "thread", "process")
-
-
-def _parallel_mode(parallel: object) -> str:
-    """Normalise the ``parallel`` flag: a mode name, or PR 3's boolean API.
-
-    Strings must name a known mode; everything else falls back to PR 3's
-    ``parallel: bool`` contract — plain truthiness, where truthy meant the
-    thread engine — so callers passing ``1``/``0`` keep working.
-    """
-    if isinstance(parallel, str):
-        if parallel in PARALLEL_MODES:
-            return parallel
-        raise ConfigurationError(
-            "parallel must be one of %s (or a boolean, where True means "
-            "'thread'), got %r" % (", ".join(PARALLEL_MODES), parallel))
-    return "thread" if parallel else "none"
-
-
 def make_sharded_engine(inner: object = DEFAULT_INNER, *,
+                        config: Optional[EngineConfig] = None,
                         shards: int = DEFAULT_SHARDS,
                         block_size: int = 64,
                         cache_blocks: int = 0,
@@ -1278,6 +1261,13 @@ def make_sharded_engine(inner: object = DEFAULT_INNER, *,
                         fsync: bool = True
                         ) -> ShardedDictionaryEngine:
     """Convenience constructor: a sharded engine over ``shards`` × ``inner``.
+
+    The primary spelling is ``make_sharded_engine(config=cfg)`` with an
+    :class:`~repro.api.config.EngineConfig` — one typed, serializable
+    object the CLI, the durability manifest, and the network server all
+    share.  The keyword arguments below are the legacy spelling; they
+    build the same config and delegate, and cannot be combined with an
+    explicit ``config=``.
 
     ``inner`` is a registry name or a per-shard sequence of names
     (heterogeneous shards); ``inner_params`` are structure-specific extras
@@ -1315,56 +1305,72 @@ def make_sharded_engine(inner: object = DEFAULT_INNER, *,
     """
     from repro.api.registry import make_dictionary
 
-    mode = _parallel_mode(parallel)
-    if mode == "none" and max_workers is not None:
-        raise ConfigurationError(
-            "max_workers only applies to the parallel engines; "
-            "pass parallel='thread' or parallel='process'")
-    if not isinstance(replication, int) or isinstance(replication, bool) \
-            or replication < 1:
-        raise ConfigurationError(
-            "replication must be an integer >= 1, got %r" % (replication,))
-    if (replication > 1 or durability_dir is not None) and mode != "process":
-        raise ConfigurationError(
-            "replication and durability require the process backend "
-            "(shards must live in workers that can crash independently); "
-            "pass parallel='process'")
-    if durability_mode not in ("logged", "secure"):
-        raise ConfigurationError(
-            "durability_mode must be 'logged' or 'secure', got %r"
-            % (durability_mode,))
-    if durability_mode != "logged" and durability_dir is None:
-        raise ConfigurationError(
-            "durability_mode='secure' redacts the on-disk op logs at "
-            "barriers; it needs durability_dir=... (and parallel='process')")
-    if plane is not None and mode != "process":
-        raise ConfigurationError(
-            "plane only applies to the process backend (the thread and "
-            "sequential engines share the parent's memory); "
-            "pass parallel='process'")
-    structure = make_dictionary("sharded", block_size=block_size,
-                                cache_blocks=cache_blocks, seed=seed,
-                                backend=backend, shards=shards, inner=inner,
-                                router=router, vnodes=vnodes, weights=weights,
-                                inner_params=dict(inner_params or {}))
-    if mode == "thread":
-        return ParallelShardedDictionaryEngine(
-            structure, sample_operations=sample_operations,
-            max_workers=max_workers)
-    if mode == "process":
-        if replication > 1 or durability_dir is not None:
+    if config is not None:
+        legacy = {"inner": (inner, DEFAULT_INNER),
+                  "shards": (shards, DEFAULT_SHARDS),
+                  "block_size": (block_size, 64),
+                  "cache_blocks": (cache_blocks, 0),
+                  "seed": (seed, None), "backend": (backend, "auto"),
+                  "sample_operations": (sample_operations, False),
+                  "inner_params": (inner_params, None),
+                  "router": (router, "modulo"), "vnodes": (vnodes, None),
+                  "weights": (weights, None), "parallel": (parallel, False),
+                  "max_workers": (max_workers, None), "plane": (plane, None),
+                  "replication": (replication, 1),
+                  "durability_dir": (durability_dir, None),
+                  "durability_mode": (durability_mode, "logged"),
+                  "fsync": (fsync, True)}
+        overridden = sorted(name for name, (value, default) in legacy.items()
+                            if value != default)
+        if overridden:
+            raise ConfigurationError(
+                "pass either config=... or the legacy keyword arguments, "
+                "not both (got config plus %s)" % ", ".join(overridden))
+        if not isinstance(config, EngineConfig):
+            raise ConfigurationError(
+                "config must be an EngineConfig, got %r" % (config,))
+    else:
+        config = EngineConfig(
+            inner=inner, shards=shards, block_size=block_size,
+            cache_blocks=cache_blocks, seed=seed, backend=backend,
+            inner_params=dict(inner_params or {}),
+            router=make_router(router, vnodes=vnodes,
+                               weights=weights).spec(),
+            parallel=parallel, max_workers=max_workers, plane=plane,
+            replication=replication, durability_dir=durability_dir,
+            durability_mode=durability_mode, fsync=fsync,
+            sample_operations=sample_operations)
+    config.validate()
+    structure = make_dictionary("sharded", block_size=config.block_size,
+                                cache_blocks=config.cache_blocks,
+                                seed=config.seed, backend=config.backend,
+                                shards=config.shards, inner=config.inner,
+                                router=dict(config.router),
+                                inner_params=dict(config.inner_params))
+    if config.parallel == "thread":
+        engine = ParallelShardedDictionaryEngine(
+            structure, sample_operations=config.sample_operations,
+            max_workers=config.max_workers)
+    elif config.parallel == "process":
+        if config.replication > 1 or config.durability_dir is not None:
             from repro.replication.engine import (
                 ReplicatedShardedDictionaryEngine,
             )
-            return ReplicatedShardedDictionaryEngine(
-                structure, sample_operations=sample_operations,
-                max_workers=max_workers, plane=plane,
-                replication=replication,
-                durability_dir=durability_dir,
-                durability_mode=durability_mode, fsync=fsync)
-        from repro.api.process_engine import ProcessShardedDictionaryEngine
-        return ProcessShardedDictionaryEngine(
-            structure, sample_operations=sample_operations,
-            max_workers=max_workers, plane=plane)
-    return ShardedDictionaryEngine(structure,
-                                   sample_operations=sample_operations)
+            engine = ReplicatedShardedDictionaryEngine(
+                structure, sample_operations=config.sample_operations,
+                max_workers=config.max_workers, plane=config.plane,
+                replication=config.replication,
+                durability_dir=config.durability_dir,
+                durability_mode=config.durability_mode, fsync=config.fsync)
+        else:
+            from repro.api.process_engine import (
+                ProcessShardedDictionaryEngine,
+            )
+            engine = ProcessShardedDictionaryEngine(
+                structure, sample_operations=config.sample_operations,
+                max_workers=config.max_workers, plane=config.plane)
+    else:
+        engine = ShardedDictionaryEngine(
+            structure, sample_operations=config.sample_operations)
+    engine.engine_config = config
+    return engine

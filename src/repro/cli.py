@@ -52,6 +52,7 @@ from repro.analysis.tables import render_results_markdown, write_csv
 from repro.api import (
     PARALLEL_MODES,
     DictionaryEngine,
+    EngineConfig,
     audit_fingerprint_of,
     get_info,
     make_raw_structure,
@@ -264,6 +265,36 @@ def build_parser() -> argparse.ArgumentParser:
                               "no byte-level trace left in the durability "
                               "directory; runs the forensics auditor after "
                               "recovery and exits 1 if any trace is found")
+
+    serve = subparsers.add_parser(
+        "serve", help="host a sharded store behind the TCP wire protocol "
+                      "(see repro.net); drains gracefully on SIGINT/SIGTERM")
+    serve.add_argument("--structure",
+                       choices=registry_names(include_aliases=True),
+                       default="hi-skiplist",
+                       help="inner structure behind the sharded router")
+    serve.add_argument("--shards", type=int, default=4)
+    serve.add_argument("--block", type=int, default=64)
+    serve.add_argument("--seed", type=int, default=0)
+    _add_router_arguments(serve)
+    _add_parallel_arguments(serve)
+    serve.add_argument("--replication", type=int, default=1,
+                       help="copies per shard (primary included); values "
+                            "above 1 require --parallel process")
+    serve.add_argument("--durability-dir", type=str, default=None,
+                       help="per-namespace durable state goes into "
+                            "subdirectories of this directory (requires "
+                            "--parallel process)")
+    serve.add_argument("--durability-mode", choices=("logged", "secure"),
+                       default="logged")
+    serve.add_argument("--host", type=str, default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (default 0: pick a free port and "
+                            "print it)")
+    serve.add_argument("--max-inflight", type=int, default=32,
+                       help="per-connection in-flight request budget; "
+                            "requests over budget are shed with a BUSY "
+                            "reply instead of queueing without bound")
 
     report = subparsers.add_parser(
         "report", help="aggregate benchmark results into a Markdown table")
@@ -480,6 +511,24 @@ def cmd_snapshot(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _engine_config_from_args(args: argparse.Namespace) -> EngineConfig:
+    """The :class:`EngineConfig` described by the shared sharded flags."""
+    from repro.api.routing import make_router
+
+    inner = resolve(args.structure)
+    if inner == "sharded":
+        raise ConfigurationError(
+            "--structure names the inner structure; it cannot be 'sharded'")
+    return EngineConfig(
+        inner=inner, shards=args.shards, block_size=args.block,
+        seed=args.seed,
+        router=make_router(args.router, vnodes=args.vnodes).spec(),
+        parallel=args.parallel, max_workers=args.max_workers,
+        replication=args.replication,
+        durability_dir=args.durability_dir,
+        durability_mode=args.durability_mode).validate()
+
+
 def cmd_rebalance(args: argparse.Namespace, out) -> int:
     if args.shards < 1:
         raise ConfigurationError("--shards must be at least 1, got %d"
@@ -490,18 +539,9 @@ def cmd_rebalance(args: argparse.Namespace, out) -> int:
         raise ConfigurationError(
             "cannot remove %d shard(s) from a store that only ever has %d"
             % (args.remove, args.shards + args.add))
-    inner = resolve(args.structure)
-    if inner == "sharded":
-        raise ConfigurationError(
-            "--structure names the inner structure; it cannot be 'sharded'")
-    engine = make_sharded_engine(inner, shards=args.shards,
-                                 block_size=args.block, seed=args.seed,
-                                 router=args.router, vnodes=args.vnodes,
-                                 parallel=args.parallel,
-                                 max_workers=args.max_workers,
-                                 replication=args.replication,
-                                 durability_dir=args.durability_dir,
-                                 durability_mode=args.durability_mode)
+    config = _engine_config_from_args(args)
+    inner = config.inner
+    engine = make_sharded_engine(config=config)
     try:
         engine.build_from_trace(random_insert_trace(args.keys, seed=args.seed))
         print("store   : %d x %s (router=%s%s, parallel=%s, replication=%d)"
@@ -550,6 +590,11 @@ def cmd_recover(args: argparse.Namespace, out) -> int:
         print("recovered store : %d x shard (replication=%d) from %s"
               % (engine.num_shards, engine.replication, args.dir), file=out)
         print("durability mode : %s" % engine.durability_mode, file=out)
+        config = getattr(engine, "engine_config", None)
+        if isinstance(config, EngineConfig):
+            print("engine config   : inner=%s shards=%d seed=%s router=%s"
+                  % (config.inner, config.shards, config.seed,
+                     config.router.get("name")), file=out)
         print("keys            : %d" % len(engine), file=out)
         print("shard sizes     : %s" % (engine.shard_sizes(),), file=out)
         print("live replicas   : %s" % (engine.replica_counts(),), file=out)
@@ -590,6 +635,41 @@ def cmd_recover(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace, out) -> int:
+    import asyncio
+    import signal
+
+    from repro.net.server import ReproServer
+
+    config = _engine_config_from_args(args)
+    server = ReproServer(config, host=args.host, port=args.port,
+                         max_inflight=args.max_inflight)
+
+    async def run() -> None:
+        await server.start()
+        print("listening on %s:%d" % (server.host, server.port), file=out)
+        out.flush()
+        loop = asyncio.get_running_loop()
+        drained = loop.create_future()
+
+        def request_drain() -> None:
+            if not drained.done():
+                drained.set_result(None)
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, request_drain)
+            except (NotImplementedError, RuntimeError):
+                pass
+        await drained
+        report = await server.drain()
+        print("drained %d namespace(s); bye" % len(report), file=out)
+        out.flush()
+
+    asyncio.run(run())
+    return 0
+
+
 def cmd_report(args: argparse.Namespace, out) -> int:
     print(render_results_markdown(args.results), file=out)
     return 0
@@ -605,6 +685,7 @@ _COMMANDS = {
     "snapshot": cmd_snapshot,
     "rebalance": cmd_rebalance,
     "recover": cmd_recover,
+    "serve": cmd_serve,
     "report": cmd_report,
 }
 

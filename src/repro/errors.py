@@ -74,3 +74,40 @@ class ReplicationError(ReproError, RuntimeError):
     factors, malformed manifests, corrupt snapshot files) stays
     :class:`ConfigurationError`.
     """
+
+
+class ProtocolError(ReproError):
+    """A wire frame or message failed its structural checks.
+
+    The network transport's analogue of
+    :class:`~repro.api.shm_plane.ShmFrameError`: a truncated, oversized or
+    CRC-failing frame, a malformed message header, or a connection that
+    dropped mid-frame.  The stream past the failure cannot be trusted, so
+    the peer that raises this closes the connection after (at most) one
+    final typed error reply.
+    """
+
+
+class ServerBusyError(ReproError):
+    """The server shed a request under admission control.
+
+    The wire protocol's distinct BUSY status: nothing was executed — the
+    connection exceeded its in-flight budget and the request was rejected
+    before touching any engine, so retrying after a backoff is always
+    safe.
+    """
+
+
+class RemoteError(ReproError):
+    """A server-side failure of a class the client does not know.
+
+    Carries the original exception's class name and message (the same
+    contract the process backend's unpicklable-reply shim established), so
+    nothing about the failure is lost even when the class itself cannot be
+    reconstructed on the client.
+    """
+
+    def __init__(self, type_name: str, message: str) -> None:
+        super().__init__("%s: %s" % (type_name, message))
+        self.type_name = type_name
+        self.message = message

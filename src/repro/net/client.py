@@ -1,0 +1,500 @@
+"""Clients for the network front-end: a pooled sync client and an
+asyncio twin.
+
+Both speak :mod:`repro.net.protocol` and do **client-side shard
+routing**: the handshake carries the server's router spec and shard ids,
+the client rebuilds the exact router with
+:func:`repro.api.routing.make_router`, and every bulk call is pre-grouped
+into one sub-request per owning shard — the network analogue of the
+engine's shard-grouped dispatch, so a batch crosses the wire as a few
+shard-aligned runs instead of an interleaving.  Routing is advisory: the
+server always routes by key itself, so a stale map can never misplace an
+operation.  When a reply carries the ``topology_changed`` flag (the shard
+set moved under an elastic resize), the client refreshes its shard map
+and re-groups from then on.
+
+Server-side failures arrive as typed exceptions — the original
+:mod:`repro.errors` class where the client knows it,
+:class:`~repro.errors.RemoteError` (name + message preserved) where it
+does not, and :class:`~repro.errors.ServerBusyError` for admission-control
+sheds, which are always safe to retry.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import threading
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.api.routing import make_router
+from repro.errors import ConfigurationError, ProtocolError
+from repro.net import protocol
+from repro.net.protocol import (
+    BODY_NONE,
+    PROTOCOL_VERSION,
+    WireCodec,
+    decode_message,
+    encode_message,
+    frame,
+    group_for_routing,
+    raise_for_reply,
+    read_frame,
+)
+
+Pair = Tuple[object, object]
+
+
+def _as_pair(entry: object) -> Pair:
+    if isinstance(entry, tuple) and len(entry) == 2:
+        return entry
+    if isinstance(entry, (list,)) and len(entry) == 2:
+        return (entry[0], entry[1])
+    return (entry, None)
+
+
+class _RoutingState:
+    """The handshake's routing facts, shared by both client flavors."""
+
+    def __init__(self, hello: Dict[str, object]) -> None:
+        if hello.get("version") != PROTOCOL_VERSION:
+            raise ProtocolError(
+                "server speaks protocol version %r, client speaks %d"
+                % (hello.get("version"), PROTOCOL_VERSION))
+        self.config = dict(hello.get("config") or {})
+        self.max_inflight = hello.get("max_inflight")
+        self.max_payload = hello.get("max_payload", protocol.MAX_PAYLOAD)
+        self.update(hello)
+
+    def update(self, payload: Dict[str, object]) -> None:
+        router_spec = payload.get("router")
+        if not isinstance(router_spec, dict):
+            raise ProtocolError("handshake carries no router spec")
+        self.router = make_router(dict(router_spec))
+        self.shard_ids = tuple(payload.get("shard_ids") or ())
+        self.topo = payload.get("topo")
+
+    def group(self, keyed: Sequence[Pair]) -> Dict[int, List[Tuple[int, object]]]:
+        return group_for_routing(self.router, self.shard_ids, keyed)
+
+
+class ReproClient:
+    """Synchronous pooled client for one namespace of a :class:`ReproServer`.
+
+    Thread-safe: connections are borrowed from a pool per call, so callers
+    may share one client across threads.  ``pool_size`` bounds how many
+    idle sockets are kept; bursts simply open (and then discard) extras.
+    """
+
+    def __init__(self, host: str, port: int, *,
+                 namespace: str = "default", pool_size: int = 2,
+                 timeout: float = 10.0) -> None:
+        if pool_size < 1:
+            raise ConfigurationError(
+                "pool_size must be >= 1, got %d" % pool_size)
+        self._host = host
+        self._port = int(port)
+        self._namespace = namespace
+        self._pool_size = pool_size
+        self._timeout = timeout
+        self._codec = WireCodec()
+        self._pool: "deque" = deque()
+        self._lock = threading.Lock()
+        self._closed = False
+        self._next_id = 0
+        self._routing: Optional[_RoutingState] = None
+        self._routing_lock = threading.Lock()
+        self.handshake()
+
+    # ------------------------------------------------------------------ #
+    # Connection pool
+    # ------------------------------------------------------------------ #
+
+    def _connect(self):
+        sock = socket.create_connection(
+            (self._host, self._port), timeout=self._timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock, sock.makefile("rb")
+
+    def _borrow(self):
+        with self._lock:
+            if self._closed:
+                raise ConfigurationError("client is closed")
+            if self._pool:
+                return self._pool.popleft()
+        return self._connect()
+
+    def _give_back(self, connection) -> None:
+        with self._lock:
+            if not self._closed and len(self._pool) < self._pool_size:
+                self._pool.append(connection)
+                return
+        self._discard(connection)
+
+    @staticmethod
+    def _discard(connection) -> None:
+        sock, reader = connection
+        try:
+            reader.close()
+        except OSError:
+            pass
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            pool, self._pool = list(self._pool), deque()
+        for connection in pool:
+            self._discard(connection)
+
+    def __enter__(self) -> "ReproClient":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Requests
+    # ------------------------------------------------------------------ #
+
+    def _request(self, op: str, header: Optional[Dict[str, object]] = None,
+                 values: Optional[Sequence[object]] = None,
+                 *, attach_topo: bool = True
+                 ) -> Tuple[Dict[str, object], List[object]]:
+        message: Dict[str, object] = dict(header or {})
+        with self._lock:
+            self._next_id += 1
+            message["id"] = self._next_id
+        message["op"] = op
+        message.setdefault("namespace", self._namespace)
+        routing = self._routing
+        if attach_topo and routing is not None and routing.topo is not None:
+            message.setdefault("topo", routing.topo)
+        body_tag, body = BODY_NONE, b""
+        if values is not None:
+            body_tag, body = self._codec.encode_values(values)
+            message["count"] = len(values)
+        connection = self._borrow()
+        try:
+            sock, reader = connection
+            sock.sendall(frame(encode_message(message, body_tag, body)))
+            reply_values, reply = self._read_reply(reader, message["id"])
+        except (ProtocolError, ConnectionError, OSError, EOFError):
+            self._discard(connection)
+            raise
+        self._give_back(connection)
+        if reply.get("topology_changed"):
+            self.refresh_shard_map()
+        raise_for_reply(reply)
+        return reply, reply_values
+
+    def _read_reply(self, reader, request_id
+                    ) -> Tuple[List[object], Dict[str, object]]:
+        while True:
+            payload = read_frame(reader)
+            if payload is None:
+                raise ProtocolError(
+                    "server closed the connection before replying")
+            reply, body_tag, body = decode_message(payload)
+            if reply.get("id") not in (request_id, None):
+                continue  # a stale reply from a recycled connection
+            reply_values = self._codec.decode_body(
+                body_tag, body, reply.get("count", 0))
+            return reply_values, reply
+
+    # ------------------------------------------------------------------ #
+    # Handshake and routing
+    # ------------------------------------------------------------------ #
+
+    def handshake(self) -> Dict[str, object]:
+        reply, _ = self._request("hello", attach_topo=False)
+        with self._routing_lock:
+            self._routing = _RoutingState(reply)
+        return reply
+
+    def refresh_shard_map(self) -> None:
+        reply, _ = self._request("shard_map", attach_topo=False)
+        with self._routing_lock:
+            if self._routing is not None:
+                self._routing.update(reply)
+
+    @property
+    def routing(self) -> _RoutingState:
+        routing = self._routing
+        if routing is None:
+            raise ConfigurationError("client has not completed a handshake")
+        return routing
+
+    def server_config(self) -> Dict[str, object]:
+        return dict(self.routing.config)
+
+    # ------------------------------------------------------------------ #
+    # Dictionary operations
+    # ------------------------------------------------------------------ #
+
+    def insert_many(self, entries: Iterable[object]) -> int:
+        pairs = [_as_pair(entry) for entry in entries]
+        if not pairs:
+            return 0
+        inserted = 0
+        for shard_id, group in sorted(self.routing.group(
+                [(key, (key, value)) for key, value in pairs]).items()):
+            reply, _ = self._request(
+                "insert_many", {"shard": shard_id},
+                [pair for _, pair in group])
+            inserted += int(reply.get("inserted", 0))
+        return inserted
+
+    def delete_many(self, keys: Iterable[object]) -> List[object]:
+        keys = list(keys)
+        if not keys:
+            return []
+        results: List[object] = [None] * len(keys)
+        for shard_id, group in sorted(self.routing.group(
+                [(key, key) for key in keys]).items()):
+            _, values = self._request(
+                "delete_many", {"shard": shard_id},
+                [key for _, key in group])
+            if len(values) != len(group):
+                raise ProtocolError(
+                    "delete_many reply has %d value(s) for %d key(s)"
+                    % (len(values), len(group)))
+            for (position, _), value in zip(group, values):
+                results[position] = value
+        return results
+
+    def contains_many(self, keys: Iterable[object]) -> List[bool]:
+        keys = list(keys)
+        if not keys:
+            return []
+        results: List[bool] = [False] * len(keys)
+        for shard_id, group in sorted(self.routing.group(
+                [(key, key) for key in keys]).items()):
+            _, flags = self._request(
+                "contains_many", {"shard": shard_id},
+                [key for _, key in group])
+            if len(flags) != len(group):
+                raise ProtocolError(
+                    "contains_many reply has %d flag(s) for %d key(s)"
+                    % (len(flags), len(group)))
+            for (position, _), flag in zip(group, flags):
+                results[position] = bool(flag)
+        return results
+
+    def insert(self, key: object, value: object = None) -> None:
+        self.insert_many([(key, value)])
+
+    def delete(self, key: object) -> object:
+        return self.delete_many([key])[0]
+
+    def search(self, key: object) -> object:
+        _, values = self._request("search", values=[key])
+        return values[0]
+
+    def contains(self, key: object) -> bool:
+        reply, _ = self._request("contains", values=[key])
+        return bool(reply.get("found"))
+
+    def __contains__(self, key: object) -> bool:
+        return self.contains(key)
+
+    def items(self) -> List[Pair]:
+        _, values = self._request("items")
+        return [tuple(value) for value in values]
+
+    def __len__(self) -> int:
+        reply, _ = self._request("len")
+        return int(reply.get("length", 0))
+
+    def check(self) -> None:
+        self._request("check")
+
+    def digest(self) -> List[str]:
+        reply, _ = self._request("digest")
+        return list(reply.get("digests") or [])
+
+    def barrier(self) -> Dict[str, object]:
+        reply, _ = self._request("barrier")
+        return dict(reply.get("report") or {})
+
+
+class AsyncReproClient:
+    """Asyncio client: same protocol, per-shard sub-requests in parallel.
+
+    The open-loop benchmark drives this one — each borrowed connection
+    carries one request at a time, and a bulk call fans its shard groups
+    out concurrently, so a batch's latency is the slowest shard's, not the
+    sum.  Construct, then ``await connect()`` (or use ``async with``).
+    """
+
+    def __init__(self, host: str, port: int, *,
+                 namespace: str = "default", pool_size: int = 4) -> None:
+        if pool_size < 1:
+            raise ConfigurationError(
+                "pool_size must be >= 1, got %d" % pool_size)
+        self._host = host
+        self._port = int(port)
+        self._namespace = namespace
+        self._pool_size = pool_size
+        self._codec = WireCodec()
+        self._pool: "deque" = deque()
+        self._closed = False
+        self._next_id = 0
+        self._routing: Optional[_RoutingState] = None
+
+    async def connect(self) -> "AsyncReproClient":
+        if self._routing is None:
+            reply, _ = await self._request("hello", attach_topo=False)
+            self._routing = _RoutingState(reply)
+        return self
+
+    async def __aenter__(self) -> "AsyncReproClient":
+        return await self.connect()
+
+    async def __aexit__(self, exc_type, exc_value, traceback) -> None:
+        await self.close()
+
+    async def close(self) -> None:
+        self._closed = True
+        pool, self._pool = list(self._pool), deque()
+        for _, writer in pool:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    @property
+    def routing(self) -> _RoutingState:
+        if self._routing is None:
+            raise ConfigurationError("client has not completed a handshake")
+        return self._routing
+
+    async def _borrow(self):
+        if self._closed:
+            raise ConfigurationError("client is closed")
+        if self._pool:
+            return self._pool.popleft()
+        return await asyncio.open_connection(self._host, self._port)
+
+    def _give_back(self, connection) -> None:
+        if not self._closed and len(self._pool) < self._pool_size:
+            self._pool.append(connection)
+        else:
+            connection[1].close()
+
+    async def _request(self, op: str,
+                       header: Optional[Dict[str, object]] = None,
+                       values: Optional[Sequence[object]] = None,
+                       *, attach_topo: bool = True
+                       ) -> Tuple[Dict[str, object], List[object]]:
+        message: Dict[str, object] = dict(header or {})
+        self._next_id += 1
+        message["id"] = self._next_id
+        message["op"] = op
+        message.setdefault("namespace", self._namespace)
+        routing = self._routing
+        if attach_topo and routing is not None and routing.topo is not None:
+            message.setdefault("topo", routing.topo)
+        body_tag, body = BODY_NONE, b""
+        if values is not None:
+            body_tag, body = self._codec.encode_values(values)
+            message["count"] = len(values)
+        connection = await self._borrow()
+        reader, writer = connection
+        try:
+            writer.write(frame(encode_message(message, body_tag, body)))
+            await writer.drain()
+            payload = await protocol.read_frame_async(reader)
+            if payload is None:
+                raise ProtocolError(
+                    "server closed the connection before replying")
+            reply, reply_tag, reply_body = decode_message(payload)
+            reply_values = self._codec.decode_body(
+                reply_tag, reply_body, reply.get("count", 0))
+        except (ProtocolError, ConnectionError, OSError):
+            writer.close()
+            raise
+        self._give_back(connection)
+        if reply.get("topology_changed"):
+            await self.refresh_shard_map()
+        raise_for_reply(reply)
+        return reply, reply_values
+
+    async def refresh_shard_map(self) -> None:
+        reply, _ = await self._request("shard_map", attach_topo=False)
+        if self._routing is not None:
+            self._routing.update(reply)
+
+    # ------------------------------------------------------------------ #
+    # Dictionary operations (the ones the bench and tests exercise)
+    # ------------------------------------------------------------------ #
+
+    async def _fan_out(self, op: str, keyed: Sequence[Pair]
+                       ) -> List[Tuple[List[Pair], List[object],
+                                       Dict[str, object]]]:
+        groups = sorted(self.routing.group(keyed).items())
+
+        async def one(shard_id, group):
+            reply, values = await self._request(
+                op, {"shard": shard_id}, [item for _, item in group])
+            return group, values, reply
+
+        return list(await asyncio.gather(
+            *(one(shard_id, group) for shard_id, group in groups)))
+
+    async def insert_many(self, entries: Iterable[object]) -> int:
+        pairs = [_as_pair(entry) for entry in entries]
+        if not pairs:
+            return 0
+        replies = await self._fan_out(
+            "insert_many",
+            [(key, (key, value)) for key, value in pairs])
+        return sum(int(reply.get("inserted", 0))
+                   for _, _, reply in replies)
+
+    async def delete_many(self, keys: Iterable[object]) -> List[object]:
+        keys = list(keys)
+        if not keys:
+            return []
+        results: List[object] = [None] * len(keys)
+        for group, values, _ in await self._fan_out(
+                "delete_many", [(key, key) for key in keys]):
+            for (position, _), value in zip(group, values):
+                results[position] = value
+        return results
+
+    async def contains_many(self, keys: Iterable[object]) -> List[bool]:
+        keys = list(keys)
+        if not keys:
+            return []
+        results: List[bool] = [False] * len(keys)
+        for group, flags, _ in await self._fan_out(
+                "contains_many", [(key, key) for key in keys]):
+            for (position, _), flag in zip(group, flags):
+                results[position] = bool(flag)
+        return results
+
+    async def search(self, key: object) -> object:
+        _, values = await self._request("search", values=[key])
+        return values[0]
+
+    async def contains(self, key: object) -> bool:
+        reply, _ = await self._request("contains", values=[key])
+        return bool(reply.get("found"))
+
+    async def items(self) -> List[Pair]:
+        _, values = await self._request("items")
+        return [tuple(value) for value in values]
+
+    async def length(self) -> int:
+        reply, _ = await self._request("len")
+        return int(reply.get("length", 0))
+
+    async def digest(self) -> List[str]:
+        reply, _ = await self._request("digest")
+        return list(reply.get("digests") or [])

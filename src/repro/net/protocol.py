@@ -1,0 +1,342 @@
+"""The wire protocol shared by the server, the clients, and the fuzz tier.
+
+Everything on the socket is a **frame** — the same torn-frame discipline
+the shared-memory plane uses (:mod:`repro.api.shm_plane`):
+
+* frame   = ``length | crc32 | payload`` (``>II`` header, network order);
+* payload = ``body_tag | header_length`` (``>BI``) + a JSON message header
+  + an optional binary body.
+
+The body carries batches — keys, ``(key, value)`` pairs, result values —
+encoded with :class:`repro.storage.encoding.RecordCodec` fixed-width runs
+(the same tagged union the snapshots, op logs and shm rings persist)
+whenever every value is *exactly* representable, a packed bitmap for
+membership replies, and a per-batch pickle fallback otherwise — the same
+fallback contract as :class:`~repro.api.shm_plane.BatchCodec`.  The wire
+stays as history-independent as the structures behind it: record runs are
+canonical encodings of the values alone, and frames carry no timestamps,
+sequence gaps, or other operational residue.
+
+A frame that fails its length or CRC check, truncates mid-read, or holds
+an undecodable message raises :class:`~repro.errors.ProtocolError` — the
+connection is then done, never hung and never a source of garbage.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import pickle
+import struct
+import zlib
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.api.shm_plane import BatchCodec
+from repro.errors import (
+    AllocationError,
+    CapacityError,
+    ConfigurationError,
+    DuplicateKey,
+    InvariantViolation,
+    KeyNotFound,
+    ProtocolError,
+    RankError,
+    RemoteError,
+    ReplicationError,
+    ReproError,
+    ServerBusyError,
+    WorkerCrashError,
+)
+
+#: Wire protocol version, exchanged at handshake.
+PROTOCOL_VERSION = 1
+
+#: Frame header: payload length, CRC-32 of the payload (as in the shm plane).
+FRAME_HEADER = struct.Struct(">II")
+
+#: Message prologue inside a frame: body codec tag, JSON header length.
+MESSAGE_HEADER = struct.Struct(">BI")
+
+#: Hard ceiling on a frame payload; an honest client never needs more, and
+#: a corrupt or malicious length field must not turn into an allocation.
+MAX_PAYLOAD = 8 * 1024 * 1024
+
+#: Body codecs.
+BODY_NONE = 0      #: no body
+BODY_RECORDS = 1   #: RecordCodec run, ``count`` fixed-width records
+BODY_BITMAP = 2    #: packed booleans, ``count`` flags
+BODY_PICKLE = 3    #: pickled list (the per-batch fallback)
+
+#: Reply statuses.
+STATUS_OK = "ok"
+STATUS_BUSY = "busy"      #: shed by admission control; nothing executed
+STATUS_ERROR = "error"    #: typed error, original class name + message
+
+#: Error classes the client reconstructs by name; anything else arrives as
+#: :class:`~repro.errors.RemoteError` carrying the original name + message.
+ERROR_TYPES: Dict[str, type] = {
+    cls.__name__: cls
+    for cls in (AllocationError, CapacityError, ConfigurationError,
+                DuplicateKey, InvariantViolation, KeyNotFound,
+                ProtocolError, RankError, ReplicationError, ReproError,
+                ServerBusyError, WorkerCrashError)
+}
+
+
+# --------------------------------------------------------------------------- #
+# Framing
+# --------------------------------------------------------------------------- #
+
+def frame(payload: bytes) -> bytes:
+    """One wire frame: ``length | crc32 | payload``."""
+    if len(payload) > MAX_PAYLOAD:
+        raise ProtocolError(
+            "frame payload of %d bytes exceeds the %d-byte protocol "
+            "ceiling" % (len(payload), MAX_PAYLOAD))
+    return FRAME_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def check_frame(header: bytes, payload: bytes) -> bytes:
+    """Validate a received frame's header against its payload."""
+    length, crc = FRAME_HEADER.unpack(header)
+    if len(payload) != length:
+        raise ProtocolError(
+            "frame truncated: header says %d payload byte(s), got %d"
+            % (length, len(payload)))
+    if zlib.crc32(payload) != crc:
+        raise ProtocolError(
+            "frame CRC mismatch: the stream is torn or corrupted")
+    return payload
+
+
+def _checked_length(header: bytes, max_payload: int) -> Tuple[int, int]:
+    if len(header) != FRAME_HEADER.size:
+        raise ProtocolError(
+            "connection dropped mid-frame (%d of %d header bytes)"
+            % (len(header), FRAME_HEADER.size))
+    length, crc = FRAME_HEADER.unpack(header)
+    if length > max_payload:
+        raise ProtocolError(
+            "frame announces %d payload byte(s), over the %d-byte limit"
+            % (length, max_payload))
+    return length, crc
+
+
+async def read_frame_async(reader: asyncio.StreamReader,
+                           max_payload: int = MAX_PAYLOAD
+                           ) -> Optional[bytes]:
+    """The next frame payload, ``None`` on clean EOF between frames.
+
+    Raises :class:`~repro.errors.ProtocolError` for every unclean ending:
+    a disconnect mid-frame, an oversized announced length, or a payload
+    whose CRC disagrees with the header.
+    """
+    try:
+        header = await reader.readexactly(FRAME_HEADER.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise ProtocolError(
+            "connection dropped mid-frame (%d of %d header bytes)"
+            % (len(error.partial), FRAME_HEADER.size)) from error
+    length, crc = _checked_length(header, max_payload)
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as error:
+        raise ProtocolError(
+            "connection dropped mid-frame (%d of %d payload bytes)"
+            % (len(error.partial), length)) from error
+    if zlib.crc32(payload) != crc:
+        raise ProtocolError(
+            "frame CRC mismatch: the stream is torn or corrupted")
+    return payload
+
+
+def read_frame(stream, max_payload: int = MAX_PAYLOAD) -> Optional[bytes]:
+    """Blocking :func:`read_frame_async` over a file-like byte stream."""
+    header = stream.read(FRAME_HEADER.size)
+    if not header:
+        return None
+    if len(header) != FRAME_HEADER.size:
+        raise ProtocolError(
+            "connection dropped mid-frame (%d of %d header bytes)"
+            % (len(header), FRAME_HEADER.size))
+    length, crc = _checked_length(header, max_payload)
+    payload = b""
+    while len(payload) < length:
+        chunk = stream.read(length - len(payload))
+        if not chunk:
+            raise ProtocolError(
+                "connection dropped mid-frame (%d of %d payload bytes)"
+                % (len(payload), length))
+        payload += chunk
+    if zlib.crc32(payload) != crc:
+        raise ProtocolError(
+            "frame CRC mismatch: the stream is torn or corrupted")
+    return payload
+
+
+# --------------------------------------------------------------------------- #
+# Messages
+# --------------------------------------------------------------------------- #
+
+def encode_message(header: Mapping[str, object],
+                   body_tag: int = BODY_NONE,
+                   body: bytes = b"") -> bytes:
+    """A frame payload: prologue + JSON header + binary body."""
+    head = json.dumps(header, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+    return MESSAGE_HEADER.pack(body_tag, len(head)) + head + body
+
+
+def decode_message(payload: bytes) -> Tuple[Dict[str, object], int, bytes]:
+    """Split a frame payload into ``(header, body_tag, body)``."""
+    if len(payload) < MESSAGE_HEADER.size:
+        raise ProtocolError(
+            "message of %d byte(s) is shorter than its %d-byte prologue"
+            % (len(payload), MESSAGE_HEADER.size))
+    body_tag, head_length = MESSAGE_HEADER.unpack_from(payload)
+    if body_tag not in (BODY_NONE, BODY_RECORDS, BODY_BITMAP, BODY_PICKLE):
+        raise ProtocolError("unknown body codec tag %d" % body_tag)
+    start = MESSAGE_HEADER.size
+    if start + head_length > len(payload):
+        raise ProtocolError(
+            "message header announces %d byte(s) but only %d remain"
+            % (head_length, len(payload) - start))
+    try:
+        header = json.loads(payload[start:start + head_length])
+    except ValueError as error:
+        raise ProtocolError(
+            "message header is not valid JSON: %s" % error) from error
+    if not isinstance(header, dict):
+        raise ProtocolError(
+            "message header must be a JSON object, got %s"
+            % type(header).__name__)
+    return header, body_tag, payload[start + head_length:]
+
+
+class WireCodec:
+    """Batch bodies: canonical record runs first, pickle as the fallback."""
+
+    def __init__(self, payload_size: int = 64) -> None:
+        self.batches = BatchCodec(payload_size)
+
+    def encode_values(self, values: Sequence[object]) -> Tuple[int, bytes]:
+        """``(body_tag, blob)`` for a value batch.
+
+        Record runs whenever every value round-trips exactly through the
+        record union (the history-independent canonical encoding); the
+        pickled list otherwise — a per-batch decision, mirroring the shm
+        plane's fallback contract.
+        """
+        values = list(values)
+        blob = self.batches.try_encode(values)
+        if blob is not None:
+            return BODY_RECORDS, blob
+        return BODY_PICKLE, pickle.dumps(values, protocol=4)
+
+    @staticmethod
+    def encode_flags(flags: Sequence[bool]) -> Tuple[int, bytes]:
+        return BODY_BITMAP, BatchCodec.encode_bitmap(flags)
+
+    def decode_body(self, body_tag: int, blob: bytes,
+                    count: int) -> List[object]:
+        """Decode ``count`` values (or flags) from a message body."""
+        if not isinstance(count, int) or isinstance(count, bool) or count < 0:
+            raise ProtocolError("body count must be a non-negative integer, "
+                                "got %r" % (count,))
+        if body_tag == BODY_NONE:
+            if count or blob:
+                raise ProtocolError("bodyless message announces %d value(s) "
+                                    "and %d byte(s)" % (count, len(blob)))
+            return []
+        if body_tag == BODY_RECORDS:
+            try:
+                return self.batches.decode(blob, count)
+            except (ReproError, struct.error) as error:
+                raise ProtocolError(
+                    "record-run body does not decode: %s" % error) from error
+        if body_tag == BODY_BITMAP:
+            try:
+                return self.batches.decode_bitmap(blob, count)
+            except ReproError as error:
+                raise ProtocolError(
+                    "bitmap body does not decode: %s" % error) from error
+        try:
+            values = pickle.loads(blob)
+        except Exception as error:
+            raise ProtocolError(
+                "pickled body does not decode: %s" % error) from error
+        if not isinstance(values, list) or len(values) != count:
+            raise ProtocolError(
+                "pickled body is not the announced %d-value list" % count)
+        return values
+
+
+# --------------------------------------------------------------------------- #
+# Errors and topology over the wire
+# --------------------------------------------------------------------------- #
+
+def error_payload(error: BaseException) -> Dict[str, str]:
+    """The typed-error header field: original class name + plain message.
+
+    ``KeyError`` subclasses ``repr()`` their argument in ``str()``; going
+    through ``Exception.__str__`` keeps the message byte-identical to what
+    the raiser passed (the contract PR 6's unpicklable-reply fix set for
+    the process backend).
+    """
+    if isinstance(error, KeyError):
+        message = Exception.__str__(error)
+    else:
+        message = str(error)
+    return {"type": type(error).__name__, "message": message}
+
+
+def raise_for_reply(header: Mapping[str, object]) -> None:
+    """Re-raise a reply's failure as a typed client-side exception."""
+    status = header.get("status")
+    if status == STATUS_OK:
+        return
+    if status == STATUS_BUSY:
+        raise ServerBusyError(
+            str(header.get("message") or
+                "server shed the request under admission control"))
+    if status == STATUS_ERROR:
+        detail = header.get("error")
+        if not isinstance(detail, Mapping):
+            raise ProtocolError("error reply carries no error detail")
+        name = str(detail.get("type", "ReproError"))
+        message = str(detail.get("message", ""))
+        cls = ERROR_TYPES.get(name)
+        if cls is not None:
+            raise cls(message)
+        raise RemoteError(name, message)
+    raise ProtocolError("reply has unknown status %r" % (status,))
+
+
+def topology_token(shard_ids: Sequence[int]) -> int:
+    """A small fingerprint of the shard-id tuple.
+
+    Clients attach it to routed requests; a server whose topology moved on
+    (elastic resize) flags the mismatch in its reply so the client
+    refreshes its shard map — requests keep executing correctly either
+    way, because the server routes by key itself.
+    """
+    return zlib.crc32(repr(tuple(shard_ids)).encode("utf-8"))
+
+
+def group_for_routing(router, shard_ids: Sequence[int],
+                      keyed: Sequence[Tuple[object, object]]
+                      ) -> "Dict[int, List[Tuple[int, object]]]":
+    """Group ``(key, item)`` work by owning shard id, positions preserved.
+
+    The client-side half of the engine's shard-grouped dispatch: one
+    request per shard instead of an interleaving, using the *same* router
+    the server routes with (its spec comes over in the handshake).
+    """
+    shard_ids = tuple(shard_ids)
+    groups: Dict[int, List[Tuple[int, object]]] = {}
+    for position, (key, item) in enumerate(keyed):
+        shard_id = router.route(key, shard_ids)
+        groups.setdefault(shard_id, []).append((position, item))
+    return groups

@@ -654,6 +654,23 @@ class ReplicatedShardedDictionaryEngine(ProcessShardedDictionaryEngine):
             redacted = True
         return {"deletes": deletes, "redacted": redacted}
 
+    def drain(self) -> Dict[str, object]:
+        """Flush-and-stop, the front-end shutdown hook.  Idempotent.
+
+        A serving layer shutting down wants exactly one sequence: commit
+        everything acknowledged (a final :meth:`barrier`, which in secure
+        mode also redacts any still-logged deletes), then release the
+        worker pool.  Returns ``{"barrier": <barrier result or None>,
+        "was_open": bool}`` — ``barrier`` is ``None`` for non-durable
+        engines and on repeat calls, which are no-ops.
+        """
+        report: Dict[str, object] = {"barrier": None,
+                                     "was_open": not self._closed}
+        if not self._closed and self._durability_dir is not None:
+            report["barrier"] = self.barrier()
+        self.close()
+        return report
+
     def checkpoint(self) -> Dict[str, object]:
         """Snapshot every shard, write the manifest, compact the logs.
 

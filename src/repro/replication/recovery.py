@@ -207,6 +207,14 @@ def checkpoint_engine(engine) -> Dict[str, object]:
         "build": build,
         "shards": entries,
     }
+    engine_config = getattr(engine, "engine_config", None)
+    if engine_config is not None:
+        try:
+            manifest["engine_config"] = engine_config.to_dict()
+        except ConfigurationError:
+            # A live random.Random seed does not serialize; the build
+            # record above still carries everything recovery needs.
+            pass
     scratch = os.path.join(directory, MANIFEST_NAME + ".tmp")
     with open(scratch, "w", encoding="utf-8") as handle:
         json.dump(manifest, handle, indent=2)
@@ -535,8 +543,48 @@ def open_durable_engine(directory: str, *,
         replication = int(manifest.get("replication", 1))
     if durability_mode is None:
         durability_mode = str(manifest.get("durability_mode", "logged"))
-    return ReplicatedShardedDictionaryEngine(
+    engine = ReplicatedShardedDictionaryEngine(
         structure, sample_operations=sample_operations,
         max_workers=max_workers, start_method=start_method,
         replication=replication, durability_dir=directory,
         durability_mode=durability_mode, fsync=fsync)
+    engine.engine_config = _manifest_engine_config(
+        manifest, directory=directory, replication=replication,
+        durability_mode=durability_mode, fsync=fsync,
+        max_workers=max_workers, sample_operations=sample_operations)
+    return engine
+
+
+def _manifest_engine_config(manifest: Dict[str, object], *, directory: str,
+                            replication: int, durability_mode: str,
+                            fsync: bool, max_workers: Optional[int],
+                            sample_operations: bool):
+    """The :class:`~repro.api.config.EngineConfig` a cold start reopened.
+
+    Version-2 manifests embed the config's dict form directly; older ones
+    are synthesized from the build record.  Either way the fields the
+    caller overrode (and the directory actually opened) replace what the
+    manifest recorded, so the attached config always describes the engine
+    as it runs — the server handshake hands it to clients verbatim.
+    """
+    from repro.api.config import EngineConfig
+
+    payload = manifest.get("engine_config")
+    if isinstance(payload, dict):
+        base = EngineConfig.from_dict(payload)
+    else:
+        build = manifest["build"]
+        base = EngineConfig(
+            inner=list(manifest["inner"]),
+            shards=int(manifest["num_shards"]),
+            block_size=int(build.get("block_size", 64)),
+            cache_blocks=int(build.get("cache_blocks", 0)),
+            seed=build.get("seed"),
+            backend=str(build.get("backend", "auto")),
+            inner_params=dict(build.get("inner_params") or {}),
+            router=manifest.get("router", "modulo"))
+    return base.replace(
+        parallel="process", durability_dir=directory,
+        replication=replication, durability_mode=durability_mode,
+        fsync=fsync, max_workers=max_workers,
+        sample_operations=sample_operations).validate()

@@ -30,7 +30,8 @@ def test_parser_requires_a_command():
 def test_parser_knows_every_command():
     parser = build_parser()
     for command in ("figure2", "uniformity", "audit", "compare-io",
-                    "workload", "attack", "snapshot", "rebalance", "report"):
+                    "workload", "attack", "snapshot", "rebalance", "serve",
+                    "report"):
         args = parser.parse_args([command])
         assert args.command == command
 
@@ -298,6 +299,51 @@ def test_rebalance_rejects_max_workers_without_parallel():
                             "--shards", "2", "--keys", "50",
                             "--max-workers", "2")
     assert code == 2
+
+
+# --------------------------------------------------------------------------- #
+# serve
+# --------------------------------------------------------------------------- #
+
+def test_serve_rejects_bad_flag_combinations():
+    code, _output = run_cli("serve", "--structure", "sharded")
+    assert code == 2
+    code, _output = run_cli("serve", "--replication", "2")
+    assert code == 2  # replication needs --parallel process
+    code, _output = run_cli("serve", "--durability-mode", "secure",
+                            "--parallel", "process")
+    assert code == 2  # secure needs --durability-dir
+
+
+def test_serve_subprocess_serves_and_drains_on_sigint():
+    """`repro serve` prints its port, serves the wire protocol, and a
+    SIGINT drains gracefully (exit 0, the drain line printed)."""
+    import signal
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--shards", "2",
+         "--seed", "5", "--structure", "b-tree"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, cwd=root)
+    try:
+        line = process.stdout.readline()
+        assert line.startswith("listening on 127.0.0.1:")
+        port = int(line.strip().rsplit(":", 1)[1])
+
+        from repro.net import ReproClient
+
+        with ReproClient("127.0.0.1", port) as client:
+            assert client.insert_many([(key, key) for key in range(40)]) == 40
+            assert len(client) == 40
+            assert client.server_config()["shards"] == 2
+        process.send_signal(signal.SIGINT)
+        stdout, stderr = process.communicate(timeout=60)
+    except BaseException:
+        process.kill()
+        process.wait()
+        raise
+    assert process.returncode == 0, stderr
+    assert "drained 1 namespace(s)" in stdout
 
 
 # --------------------------------------------------------------------------- #

@@ -1,0 +1,200 @@
+""":class:`repro.api.EngineConfig`: one typed config object everywhere.
+
+The satellite contract from ISSUE 8: ``EngineConfig`` validates the same
+cross-field rules ``make_sharded_engine`` always enforced, round-trips
+through ``to_dict()``/``from_dict()`` for *every* config these tests
+exercise, is the primary spelling of ``make_sharded_engine`` (the legacy
+keywords delegate and cannot be combined with it), and rides inside the
+durability manifest so ``repro recover`` and the network handshake see
+the exact config the store was built with.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+
+import pytest
+
+from repro.api import EngineConfig, make_sharded_engine
+from repro.api.config import PARALLEL_MODES
+from repro.api.sharded import PARALLEL_MODES as REEXPORTED_MODES
+from repro.errors import ConfigurationError
+from repro.replication import open_durable_engine
+
+pytestmark = pytest.mark.fast
+
+SEED = 20160808
+
+
+def layout_digest(engine):
+    return [(shard.audit_fingerprint(), tuple(shard.snapshot_slots()))
+            for shard in engine.structure.shards]
+
+
+# --------------------------------------------------------------------------- #
+# Round-trips
+# --------------------------------------------------------------------------- #
+
+CONFIGS = [
+    EngineConfig(),
+    EngineConfig(inner="b-treap", shards=1, seed=0),
+    EngineConfig(inner=("b-tree", "hi-skiplist"), shards=2, seed=SEED,
+                 block_size=16, cache_blocks=4),
+    EngineConfig(router="consistent", shards=5, seed=3),
+    EngineConfig(router={"name": "weighted", "vnodes": 16,
+                         "weights": {"0": 1.0, "1": 2.0, "2": 1.0}},
+                 shards=3, seed=3),
+    EngineConfig(parallel="thread", max_workers=2, seed=1),
+    EngineConfig(parallel="process", plane="pipe", seed=1),
+    EngineConfig(parallel="process", replication=2, seed=1),
+    EngineConfig(parallel="process", durability_dir="/tmp/unused-dir",
+                 durability_mode="secure", fsync=False,
+                 sample_operations=True, seed=9),
+]
+
+
+@pytest.mark.parametrize("config", CONFIGS,
+                         ids=lambda c: "%s-%s-r%d" % (c.parallel,
+                                                      c.router["name"],
+                                                      c.replication))
+def test_to_dict_from_dict_round_trips(config):
+    config.validate()
+    payload = config.to_dict()
+    assert json.loads(json.dumps(payload)) == payload  # JSON-safe
+    assert EngineConfig.from_dict(payload) == config
+    # and a second hop changes nothing
+    assert EngineConfig.from_dict(
+        EngineConfig.from_dict(payload).to_dict()) == config
+
+
+def test_round_trip_for_every_engine_these_tests_build(tmp_path):
+    """Every config that actually builds an engine here must round-trip."""
+    built = [
+        EngineConfig(shards=3, seed=SEED),
+        EngineConfig(shards=2, seed=SEED, parallel="thread"),
+        EngineConfig(shards=2, seed=SEED, parallel="process",
+                     max_workers=2),
+    ]
+    for config in built:
+        engine = make_sharded_engine(config=config)
+        try:
+            assert engine.engine_config == config
+            assert EngineConfig.from_dict(
+                engine.engine_config.to_dict()) == config
+        finally:
+            engine.close()
+
+
+def test_replace_returns_a_new_validated_variant():
+    config = EngineConfig(shards=2, seed=1)
+    durable = config.replace(parallel="process",
+                             durability_dir="/tmp/unused").validate()
+    assert durable.parallel == "process"
+    assert config.parallel == "none"  # frozen original untouched
+
+
+def test_from_dict_rejects_unknown_keys():
+    payload = EngineConfig().to_dict()
+    payload["shardz"] = 3
+    with pytest.raises(ConfigurationError):
+        EngineConfig.from_dict(payload)
+
+
+def test_to_dict_rejects_non_serializable_seed():
+    config = EngineConfig(seed=random.Random(1))
+    config.validate()
+    with pytest.raises(ConfigurationError):
+        config.to_dict()
+
+
+# --------------------------------------------------------------------------- #
+# Validation
+# --------------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("bad", [
+    dict(shards=0),
+    dict(shards=-2),
+    dict(max_workers=2),                      # needs parallel
+    dict(plane="shm"),                        # needs process
+    dict(replication=0),
+    dict(replication=2),                      # needs process
+    dict(replication=2, parallel="thread"),
+    dict(durability_dir="/tmp/x"),            # needs process
+    dict(durability_mode="secure", parallel="process"),  # needs dir
+    dict(parallel="bogus"),
+    dict(router="bogus"),
+])
+def test_invalid_configs_are_rejected(bad):
+    with pytest.raises(ConfigurationError):
+        EngineConfig(**bad).validate()
+
+
+def test_parallel_modes_reexport_is_the_same_object():
+    assert REEXPORTED_MODES is PARALLEL_MODES
+    assert PARALLEL_MODES == ("none", "thread", "process")
+
+
+# --------------------------------------------------------------------------- #
+# make_sharded_engine(config=...) vs the legacy keywords
+# --------------------------------------------------------------------------- #
+
+def test_config_and_legacy_spellings_build_identical_engines():
+    entries = [(key, key * 3) for key in range(300)]
+    config = EngineConfig(inner="b-treap", shards=3, block_size=16,
+                          seed=SEED, router="consistent")
+    via_config = make_sharded_engine(config=config)
+    via_legacy = make_sharded_engine("b-treap", shards=3, block_size=16,
+                                     seed=SEED, router="consistent")
+    try:
+        assert via_legacy.engine_config == config
+        via_config.insert_many(entries)
+        via_legacy.insert_many(entries)
+        assert layout_digest(via_config) == layout_digest(via_legacy)
+    finally:
+        via_config.close()
+        via_legacy.close()
+
+
+def test_config_plus_overridden_legacy_kwarg_is_rejected():
+    config = EngineConfig(shards=3, seed=1)
+    with pytest.raises(ConfigurationError) as excinfo:
+        make_sharded_engine(config=config, shards=5)
+    assert "shards" in str(excinfo.value)
+    with pytest.raises(ConfigurationError):
+        make_sharded_engine("b-tree", config=config)
+
+
+def test_config_must_be_an_engine_config():
+    with pytest.raises(ConfigurationError):
+        make_sharded_engine(config={"shards": 3})
+
+
+# --------------------------------------------------------------------------- #
+# Manifest embedding
+# --------------------------------------------------------------------------- #
+
+def test_durability_manifest_embeds_the_engine_config(tmp_path):
+    directory = str(tmp_path / "store")
+    config = EngineConfig(inner="b-treap", shards=2, block_size=16,
+                          seed=SEED, parallel="process", max_workers=2,
+                          replication=2, durability_dir=directory)
+    engine = make_sharded_engine(config=config)
+    try:
+        engine.insert_many([(key, key) for key in range(64)])
+        engine.checkpoint()
+    finally:
+        engine.close()
+    with open(os.path.join(directory, "manifest.json")) as handle:
+        manifest = json.load(handle)
+    assert EngineConfig.from_dict(manifest["engine_config"]) == config
+
+    reopened = open_durable_engine(directory, max_workers=2)
+    try:
+        assert reopened.engine_config == config
+        assert EngineConfig.from_dict(
+            reopened.engine_config.to_dict()) == config
+        assert len(reopened) == 64
+    finally:
+        reopened.close()

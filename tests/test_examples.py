@@ -29,6 +29,7 @@ def test_every_example_is_covered():
         "quickstart.py",
         "database_index.py",
         "elastic_rebalance.py",
+        "networked_store.py",
         "secure_ingest_log.py",
         "sharded_store.py",
         "skiplist_store.py",

@@ -1,0 +1,259 @@
+"""The wire protocol's fuzz tier: hostile bytes become typed errors.
+
+ISSUE 8's satellite contract for :mod:`repro.net.protocol`: truncated
+frames, oversized announced lengths, bit-flipped bytes and mid-frame
+disconnects must every one surface as :class:`~repro.errors.ProtocolError`
+— a clean typed error, never a hang, never silently-decoded garbage.  The
+fuzzing is deterministic (seeded / exhaustive over small frames), so a
+CRC collision that let garbage through would be caught here once and
+forever, not flakily.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import pickle
+import random
+import struct
+
+import pytest
+
+from repro.errors import (
+    KeyNotFound,
+    ProtocolError,
+    RemoteError,
+    ServerBusyError,
+    WorkerCrashError,
+)
+from repro.net import protocol
+from repro.net.protocol import (
+    BODY_BITMAP,
+    BODY_NONE,
+    BODY_PICKLE,
+    BODY_RECORDS,
+    WireCodec,
+    decode_message,
+    encode_message,
+    error_payload,
+    frame,
+    raise_for_reply,
+    read_frame,
+    read_frame_async,
+    topology_token,
+)
+
+pytestmark = pytest.mark.fast
+
+
+def run(coroutine):
+    loop = asyncio.new_event_loop()
+    try:
+        return loop.run_until_complete(coroutine)
+    finally:
+        loop.close()
+
+
+def feed(data: bytes, eof: bool = True) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    if eof:
+        reader.feed_eof()
+    return reader
+
+
+# --------------------------------------------------------------------------- #
+# Framing
+# --------------------------------------------------------------------------- #
+
+def test_frame_round_trips_sync_and_async():
+    payload = encode_message({"op": "hello", "id": 1})
+    wire = frame(payload)
+    assert read_frame(io.BytesIO(wire)) == payload
+    assert run(read_frame_async(feed(wire))) == payload
+
+
+def test_clean_eof_between_frames_is_none():
+    assert read_frame(io.BytesIO(b"")) is None
+    assert run(read_frame_async(feed(b""))) is None
+
+
+def test_every_truncation_point_is_a_protocol_error():
+    wire = frame(encode_message({"op": "len", "id": 7}))
+    for cut in range(1, len(wire)):
+        with pytest.raises(ProtocolError):
+            read_frame(io.BytesIO(wire[:cut]))
+        with pytest.raises(ProtocolError):
+            run(read_frame_async(feed(wire[:cut])))
+
+
+def test_every_single_bit_flip_is_a_protocol_error():
+    """Exhaustive over a small frame: no flipped bit ever decodes."""
+    wire = frame(encode_message({"op": "check", "id": 3}))
+    for index in range(len(wire) * 8):
+        flipped = bytearray(wire)
+        flipped[index // 8] ^= 1 << (index % 8)
+        stream = io.BytesIO(bytes(flipped))
+        with pytest.raises(ProtocolError):
+            payload = read_frame(stream)
+            # a flip that shrinks the announced length can still fail CRC;
+            # it must never hand back bytes that differ from the original
+            if payload is not None:
+                raise AssertionError("flipped frame decoded: %r" % payload)
+
+
+def test_oversized_announced_length_is_rejected_without_allocating():
+    header = protocol.FRAME_HEADER.pack(protocol.MAX_PAYLOAD + 1, 0)
+    with pytest.raises(ProtocolError):
+        read_frame(io.BytesIO(header))
+    with pytest.raises(ProtocolError):
+        run(read_frame_async(feed(header, eof=False)))
+    with pytest.raises(ProtocolError):
+        frame(b"x" * (protocol.MAX_PAYLOAD + 1))
+
+
+def test_mid_frame_disconnect_async_is_a_protocol_error():
+    wire = frame(encode_message({"op": "items", "id": 2}))
+    # EOF after the header but before the full payload
+    with pytest.raises(ProtocolError):
+        run(read_frame_async(feed(wire[:protocol.FRAME_HEADER.size + 3])))
+    # EOF inside the header
+    with pytest.raises(ProtocolError):
+        run(read_frame_async(feed(wire[:2])))
+
+
+def test_random_garbage_frames_never_escape_typed_errors():
+    rng = random.Random(20160816)
+    for _trial in range(200):
+        blob = bytes(rng.randrange(256)
+                     for _ in range(rng.randrange(1, 64)))
+        stream = io.BytesIO(blob)
+        try:
+            payload = read_frame(stream)
+        except ProtocolError:
+            continue
+        # decoding random bytes to a frame requires a CRC collision;
+        # if one ever slips through, the message layer must still type it
+        if payload is not None:
+            with pytest.raises(ProtocolError):
+                decode_message(payload)
+
+
+# --------------------------------------------------------------------------- #
+# Messages and bodies
+# --------------------------------------------------------------------------- #
+
+def test_message_round_trip_with_each_body_codec():
+    codec = WireCodec()
+    for values in ([1, 2, 3], [1.5, "text", b"bytes"], [(1, 2), (3, 4)]):
+        tag, blob = codec.encode_values(values)
+        assert tag == BODY_RECORDS
+        payload = encode_message({"op": "x", "count": len(values)}, tag, blob)
+        header, tag2, blob2 = decode_message(payload)
+        assert codec.decode_body(tag2, blob2, header["count"]) == values
+    tag, blob = codec.encode_values([True, {"nested": 1}])
+    assert tag == BODY_PICKLE
+    assert codec.decode_body(tag, blob, 2) == [True, {"nested": 1}]
+    tag, blob = WireCodec.encode_flags([True, False, True])
+    assert tag == BODY_BITMAP
+    assert codec.decode_body(tag, blob, 3) == [True, False, True]
+
+
+@pytest.mark.parametrize("payload", [
+    b"",                                     # shorter than the prologue
+    struct.pack(">BI", 9, 0),                # unknown body tag
+    struct.pack(">BI", BODY_NONE, 50) + b"{}",   # header over-announced
+    struct.pack(">BI", BODY_NONE, 2) + b"[]",    # JSON but not an object
+    struct.pack(">BI", BODY_NONE, 3) + b"{,}",   # not JSON at all
+])
+def test_malformed_messages_are_protocol_errors(payload):
+    with pytest.raises(ProtocolError):
+        decode_message(payload)
+
+
+def test_fuzzed_message_payloads_are_protocol_errors():
+    rng = random.Random(20160817)
+    codec = WireCodec()
+    for _trial in range(300):
+        blob = bytes(rng.randrange(256)
+                     for _ in range(rng.randrange(0, 48)))
+        try:
+            header, tag, body = decode_message(blob)
+            codec.decode_body(tag, body, header.get("count", 0))
+        except ProtocolError:
+            continue
+
+
+def test_body_count_mismatches_are_protocol_errors():
+    codec = WireCodec()
+    tag, blob = codec.encode_values([1, 2, 3])
+    with pytest.raises(ProtocolError):
+        codec.decode_body(tag, blob, 4)           # record run, wrong count
+    with pytest.raises(ProtocolError):
+        codec.decode_body(BODY_BITMAP, b"\x01", 20)
+    with pytest.raises(ProtocolError):
+        codec.decode_body(BODY_PICKLE, pickle.dumps([1, 2]), 3)
+    with pytest.raises(ProtocolError):
+        codec.decode_body(BODY_PICKLE, pickle.dumps("not-a-list"), 1)
+    with pytest.raises(ProtocolError):
+        codec.decode_body(BODY_NONE, b"stray", 0)
+    with pytest.raises(ProtocolError):
+        codec.decode_body(BODY_RECORDS, blob, -1)
+    with pytest.raises(ProtocolError):
+        codec.decode_body(BODY_RECORDS, blob, True)
+
+
+def test_truncated_pickle_body_is_a_protocol_error():
+    codec = WireCodec()
+    blob = pickle.dumps([1, 2, 3])
+    with pytest.raises(ProtocolError):
+        codec.decode_body(BODY_PICKLE, blob[:-2], 3)
+
+
+# --------------------------------------------------------------------------- #
+# Typed errors over the wire
+# --------------------------------------------------------------------------- #
+
+def test_error_payload_keeps_key_error_messages_unquoted():
+    payload = error_payload(KeyNotFound("17"))
+    assert payload == {"type": "KeyNotFound", "message": "17"}
+    payload = error_payload(WorkerCrashError("shard 2 died"))
+    assert payload == {"type": "WorkerCrashError", "message": "shard 2 died"}
+
+
+def test_raise_for_reply_reconstructs_known_types():
+    with pytest.raises(KeyNotFound):
+        raise_for_reply({"status": "error",
+                         "error": {"type": "KeyNotFound", "message": "17"}})
+    with pytest.raises(WorkerCrashError) as excinfo:
+        raise_for_reply({"status": "error",
+                         "error": {"type": "WorkerCrashError",
+                                   "message": "shard 2 died"}})
+    assert "shard 2 died" in str(excinfo.value)
+
+
+def test_raise_for_reply_wraps_unknown_types_as_remote_error():
+    with pytest.raises(RemoteError) as excinfo:
+        raise_for_reply({"status": "error",
+                         "error": {"type": "SomethingNovel",
+                                   "message": "boom"}})
+    assert excinfo.value.type_name == "SomethingNovel"
+    assert excinfo.value.message == "boom"
+
+
+def test_raise_for_reply_busy_and_malformed_statuses():
+    raise_for_reply({"status": "ok"})  # no raise
+    with pytest.raises(ServerBusyError):
+        raise_for_reply({"status": "busy"})
+    with pytest.raises(ProtocolError):
+        raise_for_reply({"status": "error"})  # no error detail
+    with pytest.raises(ProtocolError):
+        raise_for_reply({"status": "weird"})
+    with pytest.raises(ProtocolError):
+        raise_for_reply({})
+
+
+def test_topology_token_tracks_the_shard_set():
+    assert topology_token((0, 1, 2)) == topology_token((0, 1, 2))
+    assert topology_token((0, 1, 2)) != topology_token((0, 1, 2, 3))
+    assert topology_token((0, 1, 2)) != topology_token((0, 2, 1))

@@ -1,0 +1,396 @@
+"""The network front-end end to end: loopback oracle, faults, drain.
+
+ISSUE 8's acceptance bar for :mod:`repro.net`:
+
+* **Differential oracle** — a workload run through the server over
+  loopback returns byte-identical results, and the served store's
+  canonical HI digests equal an identically-built in-process engine's.
+  The wire must add no observable state of its own.
+* **Faults** — a worker SIGKILLed mid-batch (``REPRO_FAILPOINTS``)
+  surfaces to the client as a clean typed
+  :class:`~repro.errors.WorkerCrashError`, not a hang or a torn frame.
+* **Admission control** — over-budget requests get the distinct BUSY
+  status and execute nothing.
+* **Drain** — graceful shutdown flushes in-flight work, runs the final
+  durability barrier, and closes every engine exactly once even when a
+  signal-initiated drain races an explicit one (the double-close
+  regression).  ``close()`` is idempotent on every engine flavor.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.api import EngineConfig, make_sharded_engine
+from repro.errors import (
+    ConfigurationError,
+    KeyNotFound,
+    ProtocolError,
+    ServerBusyError,
+    WorkerCrashError,
+)
+from repro.net import AsyncReproClient, ReproClient, ThreadedServer
+from repro.net.server import engine_digest
+from repro.workloads import random_insert_trace
+
+pytestmark = pytest.mark.fast
+
+SEED = 20160823
+BLOCK_SIZE = 16
+
+
+def layout_digest(engine):
+    return engine_digest(engine)
+
+
+def workload_results(store, entries):
+    """Drive one store through the shared workload; return every result."""
+    results = []
+    results.append(store.insert_many(entries))
+    keys = [key for key, _value in entries]
+    results.append(store.contains_many(keys + [10**9, 10**9 + 1]))
+    results.append(store.delete_many(keys[::3]))
+    results.append(sorted(store.items()))
+    results.append(len(store))
+    return results
+
+
+# --------------------------------------------------------------------------- #
+# Differential oracle: the wire adds nothing observable
+# --------------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("config", [
+    EngineConfig(inner="b-treap", shards=3, block_size=BLOCK_SIZE,
+                 seed=SEED),
+    EngineConfig(inner="hi-skiplist", shards=2, block_size=BLOCK_SIZE,
+                 seed=SEED, router="consistent"),
+], ids=["modulo", "consistent"])
+def test_loopback_is_byte_identical_to_in_process(config):
+    entries = [(key, key * 7) for key in
+               sorted({op.key for op in
+                       random_insert_trace(400, seed=SEED)})]
+    local = make_sharded_engine(config=config)
+    try:
+        expected = workload_results(local, entries)
+        with ThreadedServer(config) as server:
+            with ReproClient("127.0.0.1", server.port) as client:
+                served = workload_results(client, entries)
+                assert served == expected
+                assert client.digest() == layout_digest(local)
+                client.check()
+    finally:
+        local.close()
+
+
+def test_loopback_process_backend_matches_sequential():
+    config = EngineConfig(inner="b-treap", shards=2, block_size=BLOCK_SIZE,
+                          seed=SEED, parallel="process", max_workers=2)
+    sequential = make_sharded_engine(
+        config=config.replace(parallel="none", max_workers=None))
+    entries = [(key, key) for key in range(257)]
+    try:
+        expected = workload_results(sequential, entries)
+        with ThreadedServer(config) as server:
+            with ReproClient("127.0.0.1", server.port) as client:
+                assert workload_results(client, entries) == expected
+                assert client.digest() == layout_digest(sequential)
+    finally:
+        sequential.close()
+
+
+def test_async_client_agrees_with_sync_client():
+    import asyncio
+
+    config = EngineConfig(shards=3, block_size=BLOCK_SIZE, seed=SEED)
+    entries = [(key, key * 2) for key in range(200)]
+
+    async def drive(port):
+        async with AsyncReproClient("127.0.0.1", port) as client:
+            inserted = await client.insert_many(entries)
+            flags = await client.contains_many([1, 2, 10**9])
+            deleted = await client.delete_many([0, 1, 2])
+            found = await client.search(100)
+            count = await client.length()
+            digests = await client.digest()
+            return inserted, flags, deleted, found, count, digests
+
+    local = make_sharded_engine(config=config)
+    try:
+        with ThreadedServer(config) as server:
+            loop = asyncio.new_event_loop()
+            try:
+                results = loop.run_until_complete(drive(server.port))
+            finally:
+                loop.close()
+        assert results[0] == local.insert_many(entries)
+        assert results[1] == local.contains_many([1, 2, 10**9])
+        assert results[2] == local.delete_many([0, 1, 2])
+        assert results[3] == local.search(100)
+        assert results[4] == len(local)
+        assert results[5] == layout_digest(local)
+    finally:
+        local.close()
+
+
+def test_values_outside_the_record_union_round_trip():
+    """Pickle-fallback bodies (nested values, bools) survive the wire."""
+    config = EngineConfig(shards=2, seed=SEED)
+    with ThreadedServer(config) as server:
+        with ReproClient("127.0.0.1", server.port) as client:
+            value = {"nested": [1, 2, {"deep": True}]}
+            client.insert_many([(1, value), (2, True)])
+            assert client.search(1) == value
+            assert client.search(2) is True
+
+
+# --------------------------------------------------------------------------- #
+# Routing
+# --------------------------------------------------------------------------- #
+
+def test_client_routes_with_the_servers_router():
+    config = EngineConfig(shards=4, seed=SEED, router="consistent")
+    with ThreadedServer(config) as server:
+        with ReproClient("127.0.0.1", server.port) as client:
+            routing = client.routing
+            assert routing.router.spec() == \
+                server.server._namespaces["default"].engine.structure \
+                .router.spec()
+            assert routing.shard_ids == (0, 1, 2, 3)
+
+
+def test_topology_change_is_flagged_and_the_client_refreshes():
+    config = EngineConfig(shards=2, seed=SEED, router="consistent")
+    with ThreadedServer(config) as server:
+        with ReproClient("127.0.0.1", server.port) as client:
+            client.insert_many([(key, key) for key in range(100)])
+            assert client.routing.shard_ids == (0, 1)
+            # resize server-side, behind the client's back
+            engine = server.server._namespaces["default"].engine
+            engine.add_shard()
+            # the stale-token request still executes correctly *and*
+            # triggers a shard-map refresh
+            assert client.contains_many(list(range(100))) == [True] * 100
+            assert client.routing.shard_ids == (0, 1, 2)
+            assert sorted(client.items()) == \
+                [(key, key) for key in range(100)]
+
+
+# --------------------------------------------------------------------------- #
+# Namespaces
+# --------------------------------------------------------------------------- #
+
+def test_namespaces_are_isolated_tenants():
+    config = EngineConfig(shards=2, seed=SEED)
+    with ThreadedServer(config) as server:
+        with ReproClient("127.0.0.1", server.port,
+                         namespace="alpha") as alpha, \
+                ReproClient("127.0.0.1", server.port,
+                            namespace="beta") as beta:
+            alpha.insert_many([(key, "a") for key in range(10)])
+            beta.insert_many([(key, "b") for key in range(3)])
+            assert len(alpha) == 10
+            assert len(beta) == 3
+            assert alpha.search(5) == "a"
+            assert sorted(alpha.handshake()["namespaces"]) == \
+                ["alpha", "beta", "default"]
+
+
+def test_bad_namespace_names_are_rejected():
+    config = EngineConfig(shards=1, seed=SEED)
+    with ThreadedServer(config) as server:
+        with pytest.raises(ConfigurationError):
+            ReproClient("127.0.0.1", server.port, namespace="../escape")
+        with pytest.raises(ConfigurationError):
+            ReproClient("127.0.0.1", server.port, namespace="")
+
+
+def test_durable_namespaces_get_their_own_subdirectories(tmp_path):
+    import os
+
+    directory = str(tmp_path / "store")
+    config = EngineConfig(inner="b-treap", shards=2, block_size=BLOCK_SIZE,
+                          seed=SEED, parallel="process", max_workers=2,
+                          durability_dir=directory)
+    with ThreadedServer(config) as server:
+        with ReproClient("127.0.0.1", server.port,
+                         namespace="tenant1") as client:
+            client.insert_many([(key, key) for key in range(32)])
+            report = client.barrier()
+            assert report["deletes"] == 0
+        report = server.drain()
+    assert set(report) == {"default", "tenant1"}
+    assert report["tenant1"]["barrier"] is not None
+    assert os.path.isdir(os.path.join(directory, "tenant1"))
+    assert os.path.isfile(
+        os.path.join(directory, "tenant1", "manifest.json"))
+
+
+# --------------------------------------------------------------------------- #
+# Typed errors over the wire
+# --------------------------------------------------------------------------- #
+
+def test_engine_errors_cross_as_their_original_types():
+    config = EngineConfig(shards=2, seed=SEED)
+    with ThreadedServer(config) as server:
+        with ReproClient("127.0.0.1", server.port) as client:
+            client.insert(1, "one")
+            with pytest.raises(KeyNotFound):
+                client.search(999)
+            with pytest.raises(KeyNotFound):
+                client.delete_many([999])
+            with pytest.raises(ConfigurationError):
+                client.barrier()  # no durability on this engine
+            # the connection survives message-level errors
+            assert client.search(1) == "one"
+
+
+def test_worker_kill_mid_batch_is_a_clean_typed_error(monkeypatch):
+    """The ISSUE 8 fault bar: a SIGKILLed worker mid-``insert_many``
+    surfaces as ``WorkerCrashError`` on the client, typed and prompt."""
+    monkeypatch.setenv("REPRO_FAILPOINTS", "worker.insert:25")
+    config = EngineConfig(inner="b-treap", shards=2, block_size=BLOCK_SIZE,
+                          seed=SEED, parallel="process", max_workers=2)
+    with ThreadedServer(config) as server:
+        monkeypatch.delenv("REPRO_FAILPOINTS")
+        with ReproClient("127.0.0.1", server.port) as client:
+            with pytest.raises(WorkerCrashError):
+                client.insert_many([(key, key) for key in range(240)])
+
+
+def test_server_busy_sheds_without_executing():
+    config = EngineConfig(shards=1, seed=SEED)
+    with ThreadedServer(config, max_inflight=0) as server:
+        client = ReproClient("127.0.0.1", server.port)  # hello is exempt
+        try:
+            with pytest.raises(ServerBusyError):
+                client.insert_many([(1, 1)])
+            with pytest.raises(ServerBusyError):
+                len(client)
+        finally:
+            client.close()
+        # nothing was executed
+        assert len(server.server._namespaces["default"].engine) == 0
+
+
+def test_oversized_frames_get_one_typed_reply_then_disconnect():
+    import socket
+
+    from repro.net import protocol
+    from repro.net.protocol import decode_message, read_frame
+
+    config = EngineConfig(shards=1, seed=SEED)
+    with ThreadedServer(config) as server:
+        sock = socket.create_connection(("127.0.0.1", server.port),
+                                        timeout=10.0)
+        try:
+            sock.sendall(protocol.FRAME_HEADER.pack(
+                protocol.MAX_PAYLOAD + 1, 0))
+            reader = sock.makefile("rb")
+            reply, _tag, _body = decode_message(read_frame(reader))
+            assert reply["status"] == "error"
+            assert reply["error"]["type"] == "ProtocolError"
+            assert read_frame(reader) is None  # server closed the stream
+        finally:
+            sock.close()
+
+
+def test_garbage_bytes_never_hang_the_server():
+    import socket
+
+    config = EngineConfig(shards=1, seed=SEED)
+    with ThreadedServer(config) as server:
+        for blob in (b"\x00" * 7, b"GET / HTTP/1.1\r\n\r\n", b"\xff" * 64):
+            sock = socket.create_connection(("127.0.0.1", server.port),
+                                            timeout=10.0)
+            try:
+                sock.sendall(blob)
+                sock.shutdown(socket.SHUT_WR)
+                # the server replies (typed error) and/or closes promptly
+                sock.settimeout(10.0)
+                while sock.recv(4096):
+                    pass
+            finally:
+                sock.close()
+        # and honest clients still get served afterwards
+        with ReproClient("127.0.0.1", server.port) as client:
+            client.insert(1, 1)
+            assert len(client) == 1
+
+
+# --------------------------------------------------------------------------- #
+# Drain and close discipline
+# --------------------------------------------------------------------------- #
+
+def test_drain_is_idempotent_and_closes_each_engine_once():
+    """The signal+drain double-close regression: two concurrent drains
+    (plus ``stop()``'s own) close the engine exactly once."""
+    config = EngineConfig(shards=2, seed=SEED)
+    server = ThreadedServer(config).start()
+    engine = server.server._namespaces["default"].engine
+    closes = []
+    original_close = engine.close
+
+    def counting_close():
+        closes.append(1)
+        original_close()
+
+    engine.close = counting_close
+    reports = []
+    threads = [threading.Thread(target=lambda: reports.append(server.drain()))
+               for _ in range(2)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    server.drain()   # a third, late drain
+    server.stop()    # stop() drains again internally
+    assert len(closes) == 1
+    assert reports[0] == reports[1]
+
+
+def test_close_is_idempotent_on_every_engine_flavor(tmp_path):
+    flavors = [
+        EngineConfig(shards=2, seed=SEED),
+        EngineConfig(shards=2, seed=SEED, parallel="thread"),
+        EngineConfig(inner="b-treap", shards=2, block_size=BLOCK_SIZE,
+                     seed=SEED, parallel="process", max_workers=2),
+        EngineConfig(inner="b-treap", shards=2, block_size=BLOCK_SIZE,
+                     seed=SEED, parallel="process", max_workers=2,
+                     replication=2,
+                     durability_dir=str(tmp_path / "durable")),
+    ]
+    for config in flavors:
+        engine = make_sharded_engine(config=config)
+        engine.insert_many([(1, 1), (2, 2)])
+        engine.close()
+        engine.close()  # must be a no-op, not an error
+        if hasattr(engine, "drain"):
+            report = engine.drain()  # drain after close is also a no-op
+            assert report["was_open"] is False
+
+
+def test_drain_reports_a_final_barrier_for_durable_engines(tmp_path):
+    config = EngineConfig(inner="b-treap", shards=2, block_size=BLOCK_SIZE,
+                          seed=SEED, parallel="process", max_workers=2,
+                          durability_dir=str(tmp_path / "store"))
+    with ThreadedServer(config) as server:
+        with ReproClient("127.0.0.1", server.port) as client:
+            client.insert_many([(key, key) for key in range(64)])
+        report = server.drain()
+    assert report["default"]["was_open"] is True
+    assert report["default"]["barrier"] == {"deletes": 0, "redacted": False}
+
+
+def test_requests_after_drain_are_refused_not_hung():
+    config = EngineConfig(shards=1, seed=SEED)
+    with ThreadedServer(config) as server:
+        client = ReproClient("127.0.0.1", server.port)
+        try:
+            client.insert(1, 1)
+            server.drain()
+            with pytest.raises((ProtocolError, ConnectionError, OSError)):
+                client.insert(2, 2)
+        finally:
+            client.close()
