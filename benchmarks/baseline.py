@@ -20,7 +20,9 @@ the shared-memory data plane's deterministic counters (frames encoded,
 payload bytes crossed, pickle fallbacks, coalesced crossings, group-commit
 fsync batches) from a durable replicated process engine, and the secure
 durability mode's erasure counters (barrier rounds, redactions, frames
-dropped, and the forensics auditor's residue count — gated at zero).
+dropped, and the forensics auditor's residue count — gated at zero), plus
+the replication read-path counters (replica-served reads, divergence
+demotions, anti-entropy reseeds) from a round-robin replicated engine.
 ``compare`` exits non-zero when any current metric regresses past the
 tolerance (default +25%) over the committed baseline — or when a metric
 disappeared, or the two files were collected at different workload scales.
@@ -168,6 +170,44 @@ def collect_metrics() -> Tuple[Dict[str, int], Dict[str, object]]:
         metrics["secure.residue_findings"] = len(audit.findings)
     finally:
         shutil.rmtree(secure_dir, ignore_errors=True)
+
+    # Replication v2: the read-policy machinery is a deterministic counter
+    # machine too.  ``replica_reads`` is a pure function of routing plus
+    # the round-robin bulk striping (each shard's probe batch is sliced
+    # over its three copies); ``demotions`` is forced by hand-diverging one
+    # replica and rotating point reads across the copies until the
+    # cross-check catches it; ``anti_entropy_reseeds`` by hand-diverging a
+    # second replica and letting the digest sweep repair it.  A regression
+    # means reads stopped fanning over the ring — or the divergence
+    # defences stopped firing.
+    engine = make_sharded_engine("b-treap", shards=SHARDS,
+                                 block_size=BLOCK_SIZE,
+                                 seed=STRUCTURE_SEED,
+                                 router="consistent",
+                                 parallel="process", plane="shm",
+                                 replication=3,
+                                 read_policy="round-robin")
+    try:
+        engine.insert_many(bulk_entries)
+        engine.contains_many(bulk_probes)
+        structure = engine._structure
+        first_key, first_value = bulk_entries[0]
+        proxy = structure._shards[structure.shard_of(first_key)]
+        proxy.replicas[0].delete(first_key)  # hand-diverge one replica
+        for _attempt in range(3):  # rotate until the cross-check fires
+            assert engine.search(first_key) == first_value
+        second_key = next(key for key, _value in bulk_entries
+                          if structure.shard_of(key)
+                          != structure.shard_of(first_key))
+        structure._shards[structure.shard_of(second_key)] \
+            .replicas[0].delete(second_key)
+        sweep = engine.anti_entropy()
+        assert sweep["reseeded"] == 1, sweep
+        replica_stats = engine.replica_read_stats()
+    finally:
+        engine.close()
+    for name in ("replica_reads", "demotions", "anti_entropy_reseeds"):
+        metrics["replica_reads.%s" % name] = int(replica_stats[name])
 
     churn = elastic_churn_trace(operations, phases=2, seed=WORKLOAD_SEED)
     for router in ("modulo", "consistent"):

@@ -49,6 +49,15 @@ MODES = (("none", None), ("thread", None), ("process", "shm"),
 #: The gated bound for process+shm at >=4 shards on >=4 cores (full mode).
 GATE_SPEEDUP = float(os.environ.get("REPRO_BENCH_GATE_SPEEDUP", "2.0"))
 
+#: The replicated read-heavy sweep: replication=3, read_policy primary vs
+#: round-robin.  The gated bound (full mode, >=4 cores): round-robin must
+#: beat primary-only read throughput by this factor — otherwise replica
+#: reads are not actually spreading the load.
+REPLICA_FACTOR = 3
+REPLICA_SHARDS = 4
+REPLICA_GATE = float(os.environ.get("REPRO_BENCH_GATE_REPLICA_READS",
+                                    "1.1"))
+
 #: Where the wall-clock trajectory lives (committed snapshot + CI artifact).
 WALLCLOCK_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                               "BENCH_wallclock.json")
@@ -100,6 +109,58 @@ def drive(mode: str, plane, shards: int, entries, probes):
             close()
 
 
+def drive_replica_reads(read_policy: str, entries, probes, rounds: int):
+    """One read-heavy replicated run; returns (row, contains result)."""
+    engine = make_sharded_engine(INNER, shards=REPLICA_SHARDS,
+                                 block_size=BLOCK_SIZE, seed=SEED,
+                                 router="consistent", parallel="process",
+                                 plane="shm", replication=REPLICA_FACTOR,
+                                 read_policy=read_policy)
+    try:
+        engine.insert_many(entries)
+        contains = None
+        started = time.perf_counter()
+        for _round in range(rounds):
+            contains = engine.contains_many(probes)
+        seconds = time.perf_counter() - started
+        reads = rounds * len(probes)
+        row = {
+            "read_policy": read_policy,
+            "shards": REPLICA_SHARDS,
+            "replication": REPLICA_FACTOR,
+            "read_rounds": rounds,
+            "read_seconds": round(seconds, 4),
+            "reads_per_second": int(round(reads / seconds)) if seconds else 0,
+            "replica_read_stats": engine.replica_read_stats(),
+        }
+        return row, contains
+    finally:
+        engine.close()
+
+
+def collect_replica_reads(entries, probes):
+    """Replication=3 read-heavy rows: primary vs round-robin, identical
+    answers verified before any throughput number is recorded."""
+    rounds = 1 if smoke_mode() else 5
+    rows = []
+    reference = None
+    for read_policy in ("primary", "round-robin"):
+        row, contains = drive_replica_reads(read_policy, entries, probes,
+                                            rounds)
+        if reference is None:
+            reference = contains
+        else:
+            assert contains == reference, (
+                "read_policy=%r diverged from primary-only answers"
+                % (read_policy,))
+        rows.append(row)
+    baseline = rows[0]["reads_per_second"]
+    for row in rows:
+        row["speedup_vs_primary"] = round(
+            row["reads_per_second"] / baseline, 3) if baseline else 0.0
+    return rows
+
+
 def collect():
     """The full sweep; returns (payload, rows) with identity pre-verified."""
     total = scaled(20_000)
@@ -137,6 +198,7 @@ def collect():
             "python": platform.python_version(),
         },
         "rows": rows,
+        "replica_reads": collect_replica_reads(entries, probes),
     }
     return payload, rows
 
@@ -154,6 +216,18 @@ def report(payload, rows) -> None:
           "%.2fx" % row["speedup_vs_sequential"]] for row in rows],
         headers=["shards", "mode", "plane", "insert s", "contains s",
                  "ops/s", "speedup"]))
+    replica_rows = payload.get("replica_reads") or []
+    if replica_rows:
+        print()
+        print("Read-heavy, replication=%d (reads fanned over the ring)"
+              % REPLICA_FACTOR)
+        print(format_table(
+            [[row["read_policy"], row["shards"], row["read_seconds"],
+              row["reads_per_second"],
+              row["replica_read_stats"]["replica_reads"],
+              "%.2fx" % row["speedup_vs_primary"]] for row in replica_rows],
+            headers=["read policy", "shards", "read s", "reads/s",
+                     "replica-served", "vs primary"]))
 
 
 def write_wallclock(payload) -> None:
@@ -163,18 +237,21 @@ def write_wallclock(payload) -> None:
     this — a ``pytest benchmarks/`` smoke run must not clobber the committed
     full-mode numbers with machine-dependent smoke data; under pytest the
     results land in the gitignored ``benchmarks/results/`` instead.  The
-    file is shared with ``bench_recovery.py``, whose ``recovery`` section
-    is preserved across rewrites.
+    file is shared with the other wall-clock benches; every section this
+    bench does not own (``recovery``, ``serving``, ...) is preserved
+    across rewrites.
     """
     payload = dict(payload)
+    owned = set(payload)  # meta/rows/replica_reads belong to this bench
     if os.path.exists(WALLCLOCK_PATH):
         try:
             with open(WALLCLOCK_PATH, encoding="utf-8") as handle:
-                recovery = json.load(handle).get("recovery")
+                existing = json.load(handle)
         except ValueError:  # pragma: no cover - a torn artifact
-            recovery = None
-        if recovery is not None:
-            payload["recovery"] = recovery
+            existing = {}
+        for section, value in existing.items():
+            if section not in owned:
+                payload[section] = value
     with open(WALLCLOCK_PATH, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -207,11 +284,39 @@ def assert_process_beats_sequential(payload, rows) -> None:
           % (best, GATE_SPEEDUP, payload["meta"]["cores"]))
 
 
+def assert_replica_reads_beat_primary(payload) -> None:
+    """The replication gate: round-robin >= REPLICA_GATE x primary reads.
+
+    Same eligibility rules as the speedup gate — full mode on >=4 cores —
+    and the same explicit skip line so CI can tell an under-provisioned
+    runner from a silent pass.
+    """
+    replica_rows = payload.get("replica_reads") or []
+    round_robin = [row for row in replica_rows
+                   if row["read_policy"] == "round-robin"]
+    if smoke_mode() or payload["meta"]["cores"] < 4 or not round_robin:
+        print("REPLICA-READ-GATE-SKIPPED: bound needs a full-mode run on "
+              ">=4 cores (smoke=%s, cores=%d, round-robin rows=%d) — "
+              "recorded only"
+              % (payload["meta"]["smoke"], payload["meta"]["cores"],
+                 len(round_robin)))
+        return
+    best = max(row["speedup_vs_primary"] for row in round_robin)
+    assert best >= REPLICA_GATE, (
+        "round-robin reads reached only %.2fx of primary-only throughput "
+        "on %d cores (gate: %.2fx); fanning reads over the ring is not "
+        "spreading the load" % (best, payload["meta"]["cores"],
+                                REPLICA_GATE))
+    print("REPLICA-READ-GATE-OK: round-robin reads %.2fx >= %.2fx on %d "
+          "cores" % (best, REPLICA_GATE, payload["meta"]["cores"]))
+
+
 def test_parallel_throughput_trajectory(run_once, results_dir):
     payload, rows = run_once(collect)
     report(payload, rows)
     write_results("parallel_throughput", payload, directory=results_dir)
     assert_process_beats_sequential(payload, rows)
+    assert_replica_reads_beat_primary(payload)
 
 
 if __name__ == "__main__":
@@ -219,3 +324,4 @@ if __name__ == "__main__":
     report(collected_payload, collected_rows)
     write_wallclock(collected_payload)
     assert_process_beats_sequential(collected_payload, collected_rows)
+    assert_replica_reads_beat_primary(collected_payload)

@@ -20,7 +20,11 @@ buy speed with divergence.  A final *erasure* scenario scales the
 secure-mode delete + redacting-barrier cycle toward 10^6 keys
 (``REPRO_ERASURE_BENCH_KEYS`` overrides; smoke mode caps it like every
 other bench) and byte-audits a sample of the deleted keys — the residue
-count is asserted to be exactly zero at every scale.  Wall-clock numbers
+count is asserted to be exactly zero at every scale.  An *availability*
+scenario measures read throughput on a ``read_policy="round-robin"``
+replicated engine through three phases — healthy, one worker dead
+(degraded), and after ``recover()`` — asserting the answers stay
+byte-identical in every phase.  Wall-clock numbers
 are machine-dependent, so they are recorded
 (``benchmarks/BENCH_wallclock.json`` under the ``recovery`` key, a
 non-gating CI artifact) rather than gated; the structural assertions
@@ -207,12 +211,62 @@ def drive_erasure(tmp_dir: str):
     }
 
 
+def drive_availability(total: int):
+    """Availability under failure: a round-robin replicated engine keeps
+    answering reads while a worker is dead, and the answers stay
+    byte-identical to the healthy run through every phase (healthy ->
+    degraded -> recovered)."""
+    entries = [(key * 7 % (total * 13), key) for key in range(total)]
+    probes = [key for key, _value in entries[::2]]
+    engine = make_sharded_engine(INNER, shards=SHARDS,
+                                 block_size=BLOCK_SIZE, seed=SEED,
+                                 router="consistent", parallel="process",
+                                 replication=2, read_policy="round-robin")
+
+    def timed_reads():
+        started = time.perf_counter()
+        flags = engine.contains_many(probes)
+        return flags, time.perf_counter() - started
+
+    try:
+        engine.insert_many(entries)
+        reference, healthy_seconds = timed_reads()
+        _kill_and_wait(engine, 0)
+        degraded, degraded_seconds = timed_reads()
+        assert degraded == reference, (
+            "degraded reads diverged from the healthy answers")
+        started = time.perf_counter()
+        engine.recover()
+        recover_seconds = time.perf_counter() - started
+        recovered, recovered_seconds = timed_reads()
+        assert recovered == reference, (
+            "post-recovery reads diverged from the healthy answers")
+        stats = engine.replica_read_stats()
+    finally:
+        engine.close()
+
+    def rate(seconds):
+        return int(len(probes) / seconds) if seconds else 0
+
+    return {
+        "read_policy": "round-robin",
+        "replication": 2,
+        "probes": len(probes),
+        "healthy_reads_per_second": rate(healthy_seconds),
+        "degraded_reads_per_second": rate(degraded_seconds),
+        "recovered_reads_per_second": rate(recovered_seconds),
+        "recover_seconds": round(recover_seconds, 4),
+        "replica_read_stats": stats,
+    }
+
+
 def collect(tmp_dir: str):
     total = scaled(8_000)
     rows = [drive(mode, total, tmp_dir)
             for mode in ("snapshot", "snapshot+log", "promotion")]
     rows.append(drive_secure(total, tmp_dir))
     erasure = drive_erasure(tmp_dir)
+    availability = drive_availability(total)
     payload = {
         "meta": {
             "inner": INNER,
@@ -223,6 +277,7 @@ def collect(tmp_dir: str):
         },
         "rows": rows,
         "erasure": erasure,
+        "availability": availability,
     }
     return payload, rows
 
@@ -248,6 +303,23 @@ def report(payload, rows) -> None:
                          erasure["audited_sample"])]],
             headers=["deleted", "frames dropped", "barrier s",
                      "erased keys/s", "residue/sampled"]))
+    availability = payload.get("availability")
+    if availability:
+        print()
+        print("Availability under failure — replication=%d, "
+              "read_policy=%s (%d probes per phase)"
+              % (availability["replication"], availability["read_policy"],
+                 availability["probes"]))
+        print(format_table(
+            [[availability["healthy_reads_per_second"],
+              availability["degraded_reads_per_second"],
+              availability["recovered_reads_per_second"],
+              availability["recover_seconds"],
+              availability["replica_read_stats"]["replica_reads"],
+              availability["replica_read_stats"]["demotions"]]],
+            headers=["healthy reads/s", "degraded reads/s",
+                     "recovered reads/s", "recover s", "replica-served",
+                     "demotions"]))
 
 
 def write_wallclock(payload) -> None:

@@ -33,6 +33,15 @@ from repro.errors import ConfigurationError
 #: (re-exported from :mod:`repro.api.sharded` for backward compatibility).
 PARALLEL_MODES = ("none", "thread", "process")
 
+#: Read routing policies for the replicated engine.  ``"primary"`` serves
+#: every read from the shard's primary copy (replicas are failover-only);
+#: ``"round-robin"`` rotates point reads across live copies and fans bulk
+#: sub-batches over them; ``"any-after-barrier"`` does the same but only
+#: admits a replica once it has acked the engine's latest barrier — the
+#: instant history independence guarantees it is byte-identical to the
+#: primary.
+READ_POLICIES = ("primary", "round-robin", "any-after-barrier")
+
 
 def _parallel_mode(parallel: object) -> str:
     """Normalise the ``parallel`` flag: a mode name, or PR 3's boolean API.
@@ -75,6 +84,7 @@ class EngineConfig:
     max_workers: Optional[int] = None
     plane: Optional[str] = None
     replication: int = 1
+    read_policy: str = "primary"
     durability_dir: Optional[str] = None
     durability_mode: str = "logged"
     fsync: bool = True
@@ -123,6 +133,16 @@ class EngineConfig:
                 "replication and durability require the process backend "
                 "(shards must live in workers that can crash "
                 "independently); pass parallel='process'")
+        if self.read_policy not in READ_POLICIES:
+            raise ConfigurationError(
+                "read_policy must be one of %s, got %r"
+                % (", ".join(repr(policy) for policy in READ_POLICIES),
+                   self.read_policy))
+        if self.read_policy != "primary" and self.replication < 2:
+            raise ConfigurationError(
+                "read_policy=%r balances reads across replica copies; it "
+                "needs replication >= 2 (which implies parallel='process')"
+                % (self.read_policy,))
         if self.durability_mode not in ("logged", "secure"):
             raise ConfigurationError(
                 "durability_mode must be 'logged' or 'secure', got %r"
@@ -171,6 +191,7 @@ class EngineConfig:
             "max_workers": self.max_workers,
             "plane": self.plane,
             "replication": self.replication,
+            "read_policy": self.read_policy,
             "durability_dir": self.durability_dir,
             "durability_mode": self.durability_mode,
             "fsync": self.fsync,

@@ -66,6 +66,7 @@ Build one through the usual convenience constructor::
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 import multiprocessing
 import os
@@ -372,6 +373,19 @@ def _execute(engines: Dict[int, DictionaryEngine], logs: Dict[int, object],
         # The whole structure pickles back to the parent — recovery uses it
         # to seed fresh replicas from a live copy.
         return structure
+    if method == "__digest__":
+        # The canonical HI digest of the hosted copy, computed worker-side
+        # so anti-entropy ships one hex string per copy instead of every
+        # slot array.  Canonical layouts are a pure function of (key set,
+        # seed), so two copies that applied the same operation stream hash
+        # identically — any mismatch is real divergence.
+        fingerprint = None
+        probe = getattr(structure, "audit_fingerprint", None)
+        if callable(probe):
+            fingerprint = probe()
+        blob = repr((fingerprint,
+                     tuple(structure.snapshot_slots()))).encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()
     # Cost probes run through the worker's own engine so the measurement is
     # cleared and rolled back *inside* the worker — cumulative counters stay
     # byte-identical to a sequential engine's.

@@ -1256,6 +1256,7 @@ def make_sharded_engine(inner: object = DEFAULT_INNER, *,
                         max_workers: Optional[int] = None,
                         plane: Optional[str] = None,
                         replication: int = 1,
+                        read_policy: str = "primary",
                         durability_dir: Optional[str] = None,
                         durability_mode: str = "logged",
                         fsync: bool = True
@@ -1302,6 +1303,14 @@ def make_sharded_engine(inner: object = DEFAULT_INNER, *,
     ``checkpoint()``, after which no on-disk byte in the durability
     directory encodes a deleted key (checkpoint images are written from
     the canonical HI layouts, so they are history-independent already).
+
+    ``read_policy`` picks where a replicated engine serves reads from:
+    ``"primary"`` (the default — replicas are failover-only),
+    ``"round-robin"`` (point reads rotate and bulk sub-batches fan across
+    every live copy of a shard), or ``"any-after-barrier"`` (like
+    round-robin, but a replica only joins the read set once it acked the
+    latest ``barrier()``/``checkpoint()`` — the instant history
+    independence guarantees it is byte-identical to the primary).
     """
     from repro.api.registry import make_dictionary
 
@@ -1317,6 +1326,7 @@ def make_sharded_engine(inner: object = DEFAULT_INNER, *,
                   "weights": (weights, None), "parallel": (parallel, False),
                   "max_workers": (max_workers, None), "plane": (plane, None),
                   "replication": (replication, 1),
+                  "read_policy": (read_policy, "primary"),
                   "durability_dir": (durability_dir, None),
                   "durability_mode": (durability_mode, "logged"),
                   "fsync": (fsync, True)}
@@ -1337,7 +1347,8 @@ def make_sharded_engine(inner: object = DEFAULT_INNER, *,
             router=make_router(router, vnodes=vnodes,
                                weights=weights).spec(),
             parallel=parallel, max_workers=max_workers, plane=plane,
-            replication=replication, durability_dir=durability_dir,
+            replication=replication, read_policy=read_policy,
+            durability_dir=durability_dir,
             durability_mode=durability_mode, fsync=fsync,
             sample_operations=sample_operations)
     config.validate()
@@ -1360,6 +1371,7 @@ def make_sharded_engine(inner: object = DEFAULT_INNER, *,
                 structure, sample_operations=config.sample_operations,
                 max_workers=config.max_workers, plane=config.plane,
                 replication=config.replication,
+                read_policy=config.read_policy,
                 durability_dir=config.durability_dir,
                 durability_mode=config.durability_mode, fsync=config.fsync)
         else:

@@ -237,6 +237,14 @@ def build_parser() -> argparse.ArgumentParser:
     rebalance.add_argument("--replication", type=int, default=1,
                            help="copies per shard (primary included); "
                                 "values above 1 require --parallel process")
+    rebalance.add_argument("--read-policy",
+                           choices=("primary", "round-robin",
+                                    "any-after-barrier"),
+                           default="primary",
+                           help="where a replicated store serves reads: the "
+                                "primary only, round-robin over live "
+                                "copies, or any copy that acked the last "
+                                "barrier (requires --replication >= 2)")
     rebalance.add_argument("--durability-dir", type=str, default=None,
                            help="directory for per-shard op logs and "
                                 "checkpointed snapshots (requires "
@@ -258,6 +266,11 @@ def build_parser() -> argparse.ArgumentParser:
                               "manifest) written by a replicated engine")
     recover.add_argument("--replication", type=int, default=None,
                          help="override the manifest's replication factor")
+    recover.add_argument("--read-policy",
+                         choices=("primary", "round-robin",
+                                  "any-after-barrier"),
+                         default=None,
+                         help="override the manifest's read policy")
     recover.add_argument("--max-workers", type=int, default=None)
     recover.add_argument("--verify-erased", type=str, default=None,
                          metavar="KEYS",
@@ -281,6 +294,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--replication", type=int, default=1,
                        help="copies per shard (primary included); values "
                             "above 1 require --parallel process")
+    serve.add_argument("--read-policy",
+                       choices=("primary", "round-robin",
+                                "any-after-barrier"),
+                       default="primary",
+                       help="read routing over replica copies (see "
+                            "'repro rebalance --help'); clients learn the "
+                            "policy from the handshake")
     serve.add_argument("--durability-dir", type=str, default=None,
                        help="per-namespace durable state goes into "
                             "subdirectories of this directory (requires "
@@ -525,6 +545,7 @@ def _engine_config_from_args(args: argparse.Namespace) -> EngineConfig:
         router=make_router(args.router, vnodes=args.vnodes).spec(),
         parallel=args.parallel, max_workers=args.max_workers,
         replication=args.replication,
+        read_policy=getattr(args, "read_policy", "primary"),
         durability_dir=args.durability_dir,
         durability_mode=args.durability_mode).validate()
 
@@ -585,11 +606,13 @@ def cmd_recover(args: argparse.Namespace, out) -> int:
     from repro.replication import open_durable_engine
 
     with open_durable_engine(args.dir, replication=args.replication,
+                             read_policy=args.read_policy,
                              max_workers=args.max_workers) as engine:
         engine.check()
         print("recovered store : %d x shard (replication=%d) from %s"
               % (engine.num_shards, engine.replication, args.dir), file=out)
         print("durability mode : %s" % engine.durability_mode, file=out)
+        print("read policy     : %s" % engine.read_policy, file=out)
         config = getattr(engine, "engine_config", None)
         if isinstance(config, EngineConfig):
             print("engine config   : inner=%s shards=%d seed=%s router=%s"

@@ -63,6 +63,8 @@ class _RoutingState:
                 "server speaks protocol version %r, client speaks %d"
                 % (hello.get("version"), PROTOCOL_VERSION))
         self.config = dict(hello.get("config") or {})
+        self.read_policy = hello.get(
+            "read_policy", self.config.get("read_policy", "primary"))
         self.max_inflight = hello.get("max_inflight")
         self.max_payload = hello.get("max_payload", protocol.MAX_PAYLOAD)
         self.update(hello)

@@ -436,6 +436,10 @@ class ReproServer:
             "router": dict(engine.structure.router.spec()),
             "shard_ids": list(shard_ids),
             "topo": topology_token(shard_ids),
+            # Explicit so clients need not dig through the config dict:
+            # non-primary policies mean bulk reads are already fanned over
+            # the whole ring server-side, transparently to the wire.
+            "read_policy": self._config.read_policy,
             "max_inflight": self._max_inflight,
             "max_payload": self._max_payload,
             "namespaces": self.namespaces(),

@@ -38,6 +38,7 @@ from __future__ import annotations
 import os
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.api.config import READ_POLICIES
 from repro.api.process_engine import (
     ProcessShardedDictionaryEngine,
     _ShardProxy,
@@ -69,6 +70,37 @@ _MUTATORS = frozenset(("insert", "upsert", "delete"))
 #: anti-persistence guarantee, extended to the durable artifacts).
 DURABILITY_MODES = ("logged", "secure")
 
+#: Read methods always served by the primary, whatever the read policy.
+#: ``io_stats`` is a *measurement*: replica-served reads charge the
+#: replica's own trackers, so only the primary's counters stay comparable
+#: to a sequential engine's.
+_PRIMARY_PINNED = frozenset(("io_stats",))
+
+
+class _ReadPolicyState:
+    """Engine-wide read-routing state, shared by every shard proxy.
+
+    ``policy`` is one of :data:`~repro.api.config.READ_POLICIES`.
+    ``barrier_epoch`` counts durability sync points: a replica stamped
+    with the current epoch has acked the latest barrier (and, because
+    writes fan out synchronously, applied everything since), which is the
+    ``"any-after-barrier"`` read-eligibility condition.  ``liveness_epoch``
+    versions the proxies' cached live-replica lists — bumped whenever a
+    :class:`~repro.errors.WorkerCrashError` is observed or the topology
+    changes, so the hot read path never pays an ``is_alive`` syscall per
+    operation.  ``stats`` holds the deterministic ``replica_reads.*``
+    counters the bench baseline gates.
+    """
+
+    __slots__ = ("policy", "barrier_epoch", "liveness_epoch", "stats")
+
+    def __init__(self, policy: str = "primary") -> None:
+        self.policy = policy
+        self.barrier_epoch = 0
+        self.liveness_epoch = 0
+        self.stats: Dict[str, int] = {
+            "replica_reads": 0, "demotions": 0, "anti_entropy_reseeds": 0}
+
 
 class _ReplicatedShardProxy(HIDictionary):
     """One shard seen as primary plus replicas, behind one dictionary face.
@@ -81,10 +113,15 @@ class _ReplicatedShardProxy(HIDictionary):
     """
 
     def __init__(self, primary: _ShardProxy,
-                 replicas: List[_ShardProxy]) -> None:
+                 replicas: List[_ShardProxy],
+                 policy: Optional[_ReadPolicyState] = None) -> None:
         self.primary = primary
         self.replicas = replicas
         self.registry_name = primary.registry_name
+        self._policy = policy if policy is not None else _ReadPolicyState()
+        self._live_cache: Optional[List[_ShardProxy]] = None
+        self._live_epoch = -1
+        self._rr_cursor = 0
 
     # -- replica-set management ----------------------------------------- #
 
@@ -94,14 +131,69 @@ class _ReplicatedShardProxy(HIDictionary):
         self.primary = new_primary
         self.replicas = remaining
         self.registry_name = new_primary.registry_name
+        self._live_cache = None
 
     def live_replicas(self) -> List[_ShardProxy]:
-        return [replica for replica in self.replicas
-                if replica.worker.is_alive()]
+        """The replicas whose workers are alive, cached per liveness epoch.
+
+        ``is_alive`` is a waitpid-backed syscall; paying it per read would
+        dominate the hot path.  The filtered list is reused until the
+        engine observes a crash or changes the replica set (either bumps
+        the shared liveness epoch or clears this cache directly).  A
+        silently killed worker that slips through a stale cache is still
+        safe: its next request raises
+        :class:`~repro.errors.WorkerCrashError`, which invalidates here.
+        """
+        if self._live_cache is None \
+                or self._live_epoch != self._policy.liveness_epoch:
+            self._live_cache = [replica for replica in self.replicas
+                                if replica.worker.is_alive()]
+            self._live_epoch = self._policy.liveness_epoch
+        return self._live_cache
 
     def drop_replica(self, replica: _ShardProxy) -> None:
         if replica in self.replicas:
             self.replicas.remove(replica)
+        self._live_cache = None
+
+    def add_replica(self, replica: _ShardProxy) -> None:
+        self.replicas.append(replica)
+        self._live_cache = None
+
+    def demote(self, replica: _ShardProxy) -> None:
+        """Drop a replica from read service (crash or divergence)."""
+        self.drop_replica(replica)
+        self._policy.liveness_epoch += 1
+        self._policy.stats["demotions"] += 1
+
+    # -- read routing ----------------------------------------------------- #
+
+    def read_copies(self) -> List[_ShardProxy]:
+        """Eligible read targets under the current policy, primary first.
+
+        ``"primary"`` serves everything from the primary; ``"round-robin"``
+        admits every live replica; ``"any-after-barrier"`` admits only the
+        live replicas stamped with the current barrier epoch — the ones
+        proven in sync at the engine's last durability sync point (and
+        kept in sync since, because writes fan out synchronously).
+        """
+        policy = self._policy
+        if policy.policy == "primary":
+            return [self.primary]
+        live = self.live_replicas()
+        if policy.policy == "any-after-barrier":
+            epoch = policy.barrier_epoch
+            live = [replica for replica in live
+                    if getattr(replica, "_synced_epoch", -1) == epoch]
+        return [self.primary] + live
+
+    def _pick_reader(self) -> _ShardProxy:
+        copies = self.read_copies()
+        if len(copies) == 1:
+            return copies[0]
+        reader = copies[self._rr_cursor % len(copies)]
+        self._rr_cursor += 1
+        return reader
 
     # -- write fan-out --------------------------------------------------- #
 
@@ -132,18 +224,59 @@ class _ReplicatedShardProxy(HIDictionary):
     def delete(self, key: object) -> object:
         return self._mutate("delete", key)
 
-    # -- reads: primary, replica fallback on a dead worker --------------- #
+    # -- reads: policy-routed, primary fallback on a dead worker ---------- #
 
     def _read(self, method: str, *args: object) -> object:
+        if self._policy.policy != "primary" \
+                and method not in _PRIMARY_PINNED:
+            reader = self._pick_reader()
+            if reader is not self.primary:
+                try:
+                    result = getattr(reader, method)(*args)
+                except WorkerCrashError:
+                    self.demote(reader)  # fall through to the primary path
+                except Exception as replica_error:
+                    return self._cross_check(reader, method, args,
+                                             replica_error)
+                else:
+                    self._policy.stats["replica_reads"] += 1
+                    return result
         try:
             return getattr(self.primary, method)(*args)
         except WorkerCrashError:
-            for replica in self.live_replicas():
+            self._policy.liveness_epoch += 1
+            for replica in list(self.live_replicas()):
                 try:
                     return getattr(replica, method)(*args)
                 except WorkerCrashError:
+                    self._policy.liveness_epoch += 1
                     continue
             raise
+
+    def _cross_check(self, replica: _ShardProxy, method: str, args: tuple,
+                     replica_error: BaseException) -> object:
+        """A replica answered a read with an exception: second-opinion it.
+
+        An exception is the one replica answer that can be verified
+        without reading twice everywhere — re-ask the primary.  The same
+        exception type means the copies agree (a ``search`` miss raises
+        identically on both); a primary that answers, or fails
+        differently, exposes a diverged replica, which is demoted while
+        the primary's outcome is served.  (A ``contains`` returning the
+        wrong boolean is undetectable by construction — anti-entropy's
+        digest pass is the backstop for silent divergence.)
+        """
+        try:
+            result = getattr(self.primary, method)(*args)
+        except WorkerCrashError:
+            raise replica_error  # no second opinion; the replica's stands
+        except Exception as primary_error:
+            if type(primary_error) is type(replica_error):
+                raise primary_error
+            self.demote(replica)
+            raise primary_error
+        self.demote(replica)
+        return result
 
     def _read_raw(self, command: str, *args: object) -> object:
         """Like :meth:`_read` for worker commands with no proxy method
@@ -231,6 +364,7 @@ class ReplicatedShardedDictionaryEngine(ProcessShardedDictionaryEngine):
                  plane: Optional[str] = None,
                  shm_capacity: Optional[int] = None,
                  replication: int = 2,
+                 read_policy: str = "primary",
                  durability_dir: Optional[str] = None,
                  durability_mode: str = "logged",
                  fsync: bool = True) -> None:
@@ -239,6 +373,15 @@ class ReplicatedShardedDictionaryEngine(ProcessShardedDictionaryEngine):
             raise ConfigurationError(
                 "replication must be an integer >= 1, got %r"
                 % (replication,))
+        if read_policy not in READ_POLICIES:
+            raise ConfigurationError(
+                "read_policy must be one of %s, got %r"
+                % (", ".join(repr(policy) for policy in READ_POLICIES),
+                   read_policy))
+        if read_policy != "primary" and replication < 2:
+            raise ConfigurationError(
+                "read_policy=%r balances reads across replica copies; it "
+                "needs replication >= 2" % (read_policy,))
         if durability_mode not in DURABILITY_MODES:
             raise ConfigurationError(
                 "durability_mode must be one of %s, got %r"
@@ -265,6 +408,8 @@ class ReplicatedShardedDictionaryEngine(ProcessShardedDictionaryEngine):
         # Set before super().__init__: the base constructor calls our
         # overridden _adopt_local_shards, which reads all of these.
         self._replication = replication
+        self._read_policy = read_policy
+        self._policy_state = _ReadPolicyState(read_policy)
         self._durability_dir = durability_dir
         self._durability_mode = durability_mode
         self._fsync = fsync
@@ -306,9 +451,24 @@ class ReplicatedShardedDictionaryEngine(ProcessShardedDictionaryEngine):
         """``"logged"`` (full history until checkpoint) or ``"secure"``."""
         return self._durability_mode
 
+    @property
+    def read_policy(self) -> str:
+        """The read routing policy (see
+        :data:`~repro.api.config.READ_POLICIES`)."""
+        return self._read_policy
+
     def erasure_stats(self) -> Dict[str, int]:
         """Deterministic erasure counters (see ``_erasure_stats``)."""
         return dict(self._erasure_stats)
+
+    def replica_read_stats(self) -> Dict[str, int]:
+        """Deterministic read-routing counters: keys served by replica
+        copies, replicas demoted from read service (crash or divergence),
+        and replicas re-seeded by :meth:`anti_entropy`."""
+        return dict(self._policy_state.stats)
+
+    def _bump_liveness(self) -> None:
+        self._policy_state.liveness_epoch += 1
 
     def replica_counts(self) -> List[int]:
         """Live replica count per shard position (testing/ops hook)."""
@@ -436,7 +596,8 @@ class ReplicatedShardedDictionaryEngine(ProcessShardedDictionaryEngine):
                 # so every replica is an independent, identical clone.
                 descriptor = target.host(replica_id, local_shard)
                 replicas.append(_ShardProxy(target, replica_id, descriptor))
-            shards[position] = _ReplicatedShardProxy(primary, replicas)
+            shards[position] = _ReplicatedShardProxy(primary, replicas,
+                                                     self._policy_state)
         self._shard_engine_cache = []
 
     # ------------------------------------------------------------------ #
@@ -523,41 +684,99 @@ class ReplicatedShardedDictionaryEngine(ProcessShardedDictionaryEngine):
         return values
 
     def contains_many(self, keys: Iterable[object]) -> List[bool]:
-        """Membership from the primaries, re-asking a live replica for any
-        shard whose primary worker died (degraded reads stay served)."""
+        """Membership with each shard's batch fanned over its read copies.
+
+        Under ``read_policy="primary"`` this is one ``contains_batch`` per
+        primary, exactly as before; the balancing policies split each
+        shard's sub-batch across the eligible copies (one command per
+        copy, shm plane included), so a ``replication=3`` engine answers a
+        read-heavy workload from three workers per shard instead of one.
+        A copy that crashes (or errors) mid-fan-out has its *whole* slice
+        re-asked on another live copy in a single crossing — byte-identical
+        to the healthy path, never per-key point reads — with the primary
+        as the last resort and dead replicas demoted along the way.
+        """
         if self.sample_operations:
             return super().contains_many(keys)
         keys, batches = self._grouped_positions(keys)
-        payloads = {position: self._bulk_args([key for _at, key in batch])
-                    for position, batch in enumerate(batches) if batch}
-        commands = [((position, 0), self._proxy(position).primary.worker,
-                     self._proxy(position).primary.shard_id,
-                     "contains_batch", args)
-                    for position, args in payloads.items()]
+        commands = []
+        slices: Dict[Tuple[int, int],
+                     Tuple[_ReplicatedShardProxy, _ShardProxy, list]] = {}
+        for position, batch in enumerate(batches):
+            if not batch:
+                continue
+            proxy = self._proxy(position)
+            copies = proxy.read_copies()
+            for index, copy in enumerate(copies):
+                part = batch[index::len(copies)]
+                if not part:
+                    continue
+                slices[(position, index)] = (proxy, copy, part)
+                commands.append(
+                    ((position, index), copy.worker, copy.shard_id,
+                     "contains_batch",
+                     self._bulk_args([key for _at, key in part])))
         results, errors = self._drive_commands(commands)
+        replica_served = 0
         fatal: Dict[int, BaseException] = {}
-        for (position, _copy), error in errors.items():
-            answered = False
-            if isinstance(error, WorkerCrashError):
-                for replica in self._proxy(position).live_replicas():
-                    try:
-                        results[(position, 0)] = replica.worker.request(
-                            replica.shard_id, "contains_batch",
-                            payloads[position])
-                        answered = True
-                        break
-                    except WorkerCrashError:
-                        continue
-            if not answered:
-                fatal[position] = error
+        for key in slices:
+            if key not in errors and slices[key][1] is not slices[key][0].primary:
+                replica_served += len(slices[key][2])
+        for key, error in errors.items():
+            proxy, copy, part = slices[key]
+            retried = self._retry_read_slice(proxy, copy, part, error)
+            if retried is None:
+                fatal[key[0]] = error
+                continue
+            flags, server = retried
+            results[key] = flags
+            if server is not proxy.primary:
+                replica_served += len(part)
         if fatal:
             raise fatal[min(fatal)]
+        self._policy_state.stats["replica_reads"] += replica_served
         found: List[bool] = [False] * len(keys)
-        for position, batch in enumerate(batches):
-            if batch:
-                for (at, _key), flag in zip(batch, results[(position, 0)]):
-                    found[at] = flag
+        for key, (_proxy, _copy, part) in slices.items():
+            for (at, _key), flag in zip(part, results[key]):
+                found[at] = flag
         return found
+
+    def _retry_read_slice(self, proxy: _ReplicatedShardProxy,
+                          copy: _ShardProxy, part: list,
+                          error: BaseException
+                          ) -> Optional[Tuple[List[bool], _ShardProxy]]:
+        """Re-ask one failed read slice on the shard's other copies.
+
+        The whole sub-batch travels in one ``contains_batch`` crossing per
+        candidate — primary first when a replica failed, then the live
+        replicas — so a degraded read costs one extra round-trip, not one
+        per key.  A crashed replica is demoted; a replica whose command
+        *errored* (the primary would not have) is demoted as diverged.
+        Returns ``(flags, serving copy)``, or ``None`` when every copy is
+        gone (the caller raises the original error).
+        """
+        if copy is proxy.primary and not isinstance(error, WorkerCrashError):
+            return None  # the primary's own error is the authoritative one
+        self._bump_liveness()
+        if copy is not proxy.primary:
+            proxy.demote(copy)
+        candidates: List[_ShardProxy] = []
+        if copy is not proxy.primary:
+            candidates.append(proxy.primary)
+        candidates.extend(replica for replica in proxy.live_replicas()
+                          if replica is not copy)
+        payload = self._bulk_args([key for _at, key in part])
+        for candidate in candidates:
+            try:
+                flags = candidate.worker.request(
+                    candidate.shard_id, "contains_batch", payload)
+            except WorkerCrashError:
+                self._bump_liveness()
+                if candidate is not proxy.primary:
+                    proxy.demote(candidate)
+                continue
+            return flags, candidate
+        return None
 
     # ------------------------------------------------------------------ #
     # Elastic resizing (durable topology changes re-checkpoint)
@@ -649,10 +868,42 @@ class ReplicatedShardedDictionaryEngine(ProcessShardedDictionaryEngine):
         self._erasure_stats["deletes_flushed"] += deletes
         redacted = False
         if self._durability_mode == "secure" and deletes:
-            self.checkpoint()
+            self.checkpoint()  # stamps the replicas' barrier epoch itself
             self._erasure_stats["redactions"] += 1
             redacted = True
+        elif self._read_policy == "any-after-barrier":
+            self._sync_replicas()
         return {"deletes": deletes, "redacted": redacted}
+
+    def _sync_replicas(self) -> int:
+        """Stamp every replica that acks this sync with a new barrier epoch.
+
+        Worker pipes process commands in order and every engine-level call
+        is synchronous, so a replica that answers the ping has applied
+        every write acknowledged before the barrier — exactly the
+        ``"any-after-barrier"`` read-eligibility condition.  Replicas that
+        crashed instead of acking are dropped from read service.  Returns
+        the number of replicas stamped.
+        """
+        state = self._policy_state
+        state.barrier_epoch += 1
+        epoch = state.barrier_epoch
+        commands = []
+        for position in range(self.num_shards):
+            proxy = self._proxy(position)
+            for replica in list(proxy.replicas):
+                commands.append(((position, replica), replica.worker,
+                                 replica.shard_id, "__ping__", ()))
+        if not commands:
+            return 0
+        results, errors = self._drive_commands(commands)
+        for _position, replica in results:
+            replica._synced_epoch = epoch
+        for (position, replica), error in errors.items():
+            if isinstance(error, WorkerCrashError):
+                self._proxy(position).drop_replica(replica)
+                self._bump_liveness()
+        return len(results)
 
     def drain(self) -> Dict[str, object]:
         """Flush-and-stop, the front-end shutdown hook.  Idempotent.
@@ -687,7 +938,104 @@ class ReplicatedShardedDictionaryEngine(ProcessShardedDictionaryEngine):
             raise ConfigurationError(
                 "no durability directory configured; build the engine with "
                 "durability_dir=... to enable checkpoints")
-        return checkpoint_engine(self)
+        manifest = checkpoint_engine(self)
+        if self._read_policy == "any-after-barrier":
+            # A checkpoint is a barrier too: replicas that ack it become
+            # read-eligible (a freshly built durable engine serves from its
+            # replicas immediately — __init__ ends in a checkpoint).
+            self._sync_replicas()
+        return manifest
+
+    def anti_entropy(self) -> Dict[str, object]:
+        """Compare canonical HI digests per shard copy; re-seed divergence.
+
+        Every copy of every shard answers one worker-side ``__digest__``
+        (a SHA-256 over its canonical slot array and audit fingerprint —
+        identical bytes on copies that applied the same operation stream),
+        and only replicas whose digest disagrees with their primary's are
+        re-seeded through the existing ``__export__`` path; healthy shards
+        are never exported.  Dead workers are repaired by :meth:`recover`
+        *first*, which on a durable engine also writes a fresh checkpoint
+        — redacting a down worker's stale op log now instead of at some
+        later recovery (the erasure-window leftover from the secure
+        durability work).
+
+        Returns ``{"checked", "recovered", "divergent", "reseeded",
+        "exported_positions"}``.
+        """
+        if self._closed:
+            raise ConfigurationError(
+                "this engine is closed; cannot run anti-entropy")
+        recovered = False
+        if self.dead_shard_positions() \
+                or any(not worker.is_alive() for worker in self._workers):
+            self.recover()
+            recovered = True
+        commands = []
+        for position in range(self.num_shards):
+            proxy = self._proxy(position)
+            commands.append(((position, 0, proxy.primary),
+                             proxy.primary.worker, proxy.primary.shard_id,
+                             "__digest__", ()))
+            for index, replica in enumerate(proxy.replicas):
+                commands.append(((position, index + 1, replica),
+                                 replica.worker, replica.shard_id,
+                                 "__digest__", ()))
+        results, errors = self._drive_commands(commands)
+        primary_digests: Dict[int, object] = {
+            key[0]: digest for key, digest in results.items()
+            if key[1] == 0}
+        divergent: List[Tuple[int, _ShardProxy]] = []
+        for key, error in errors.items():
+            position, copy, shard = key
+            if copy == 0:
+                raise error  # a primary died mid-pass; recover and re-run
+            divergent.append((position, shard))
+        for key, digest in results.items():
+            position, copy, shard = key
+            if copy and digest != primary_digests.get(position):
+                divergent.append((position, shard))
+        state = self._policy_state
+        exported_positions = set()
+        reseeded = 0
+        for position, replica in sorted(divergent, key=lambda entry:
+                                        entry[0]):
+            proxy = self._proxy(position)
+            proxy.drop_replica(replica)
+            self._bump_liveness()
+            if replica.worker.is_alive():
+                # Re-seed in place: drop the diverged hosting and clone the
+                # primary back onto the same worker.
+                try:
+                    replica.worker.drop(replica.shard_id)
+                except WorkerCrashError:
+                    pass
+                target = replica.worker
+            else:
+                target = self._replica_workers_for(
+                    proxy.primary.shard_id,
+                    exclude={proxy.primary.worker}
+                    | {other.worker for other in proxy.replicas},
+                    needed=1)[0]
+            shard_id = proxy.primary.shard_id
+            exported = proxy.primary.worker.request(shard_id, "__export__")
+            exported_positions.add(position)
+            replica_id = self._take_replica_id()
+            descriptor = target.host(replica_id, exported)
+            fresh = _ShardProxy(target, replica_id, descriptor)
+            # The clone is byte-identical to the primary at this instant,
+            # which includes everything since the last barrier — it is
+            # immediately eligible under any-after-barrier.
+            fresh._synced_epoch = state.barrier_epoch
+            proxy.add_replica(fresh)
+            state.stats["anti_entropy_reseeds"] += 1
+            reseeded += 1
+        self._shard_engine_cache = []
+        return {"checked": len(commands), "recovered": recovered,
+                "divergent": sorted({position
+                                     for position, _shard in divergent}),
+                "reseeded": reseeded,
+                "exported_positions": sorted(exported_positions)}
 
     def recover(self) -> "RecoveryReport":
         """Repair every dead primary and re-seed missing replicas.
@@ -697,7 +1045,15 @@ class ReplicatedShardedDictionaryEngine(ProcessShardedDictionaryEngine):
         base engine's contract when neither protection was configured).
         See :func:`repro.replication.recovery.recover_engine`.
         """
-        return recover_engine(self)
+        self._bump_liveness()  # recovery reads liveness directly; no cache
+        report = recover_engine(self)
+        self._bump_liveness()  # the replica sets just changed
+        if self._read_policy == "any-after-barrier":
+            # Freshly re-seeded replicas are byte-identical clones of their
+            # primaries; stamp them read-eligible rather than benching them
+            # until the next barrier.
+            self._sync_replicas()
+        return report
 
     def restart_workers(self) -> List[int]:
         """PR 4's recovery entry point, now loss-free where state exists.

@@ -203,6 +203,7 @@ def checkpoint_engine(engine) -> Dict[str, object]:
         "router": structure.router.spec(),
         "shard_ids": list(structure.shard_ids),
         "replication": engine.replication,
+        "read_policy": getattr(engine, "_read_policy", "primary"),
         "durability_mode": getattr(engine, "_durability_mode", "logged"),
         "build": build,
         "shards": entries,
@@ -459,8 +460,7 @@ def recover_engine(engine) -> RecoveryReport:
         for target in targets:
             replica_id = engine._take_replica_id()
             descriptor = target.host(replica_id, exported)
-            proxy.replicas.append(_ShardProxy(target, replica_id,
-                                              descriptor))
+            proxy.add_replica(_ShardProxy(target, replica_id, descriptor))
         re_replicated.append(position)
 
     engine._shard_engine_cache = []
@@ -476,6 +476,7 @@ def recover_engine(engine) -> RecoveryReport:
 
 def open_durable_engine(directory: str, *,
                         replication: Optional[int] = None,
+                        read_policy: Optional[str] = None,
                         max_workers: Optional[int] = None,
                         start_method: Optional[str] = None,
                         durability_mode: Optional[str] = None,
@@ -541,22 +542,27 @@ def open_durable_engine(directory: str, *,
     }
     if replication is None:
         replication = int(manifest.get("replication", 1))
+    if read_policy is None:
+        read_policy = str(manifest.get("read_policy", "primary"))
     if durability_mode is None:
         durability_mode = str(manifest.get("durability_mode", "logged"))
     engine = ReplicatedShardedDictionaryEngine(
         structure, sample_operations=sample_operations,
         max_workers=max_workers, start_method=start_method,
-        replication=replication, durability_dir=directory,
+        replication=replication, read_policy=read_policy,
+        durability_dir=directory,
         durability_mode=durability_mode, fsync=fsync)
     engine.engine_config = _manifest_engine_config(
         manifest, directory=directory, replication=replication,
-        durability_mode=durability_mode, fsync=fsync,
-        max_workers=max_workers, sample_operations=sample_operations)
+        read_policy=read_policy, durability_mode=durability_mode,
+        fsync=fsync, max_workers=max_workers,
+        sample_operations=sample_operations)
     return engine
 
 
 def _manifest_engine_config(manifest: Dict[str, object], *, directory: str,
-                            replication: int, durability_mode: str,
+                            replication: int, read_policy: str,
+                            durability_mode: str,
                             fsync: bool, max_workers: Optional[int],
                             sample_operations: bool):
     """The :class:`~repro.api.config.EngineConfig` a cold start reopened.
@@ -585,6 +591,7 @@ def _manifest_engine_config(manifest: Dict[str, object], *, directory: str,
             router=manifest.get("router", "modulo"))
     return base.replace(
         parallel="process", durability_dir=directory,
-        replication=replication, durability_mode=durability_mode,
+        replication=replication, read_policy=read_policy,
+        durability_mode=durability_mode,
         fsync=fsync, max_workers=max_workers,
         sample_operations=sample_operations).validate()

@@ -301,6 +301,56 @@ def test_rebalance_rejects_max_workers_without_parallel():
     assert code == 2
 
 
+def test_rebalance_read_policy_requires_replication():
+    code, _output = run_cli("rebalance", "--structure", "b-tree",
+                            "--shards", "2", "--keys", "100",
+                            "--parallel", "process",
+                            "--read-policy", "round-robin")
+    assert code == 2
+
+
+def test_rebalance_read_policies_migrate_identically():
+    """Replica-served reads may not change one byte of migration output."""
+    outputs = {}
+    for policy in ("primary", "round-robin"):
+        code, output = run_cli("rebalance", "--structure", "b-tree",
+                               "--shards", "2", "--router", "consistent",
+                               "--keys", "200", "--add", "1", "--seed", "4",
+                               "--parallel", "process",
+                               "--replication", "2",
+                               "--read-policy", policy)
+        assert code == 0
+        outputs[policy] = output.splitlines()[1:]
+    assert outputs["primary"] == outputs["round-robin"]
+
+
+# --------------------------------------------------------------------------- #
+# recover
+# --------------------------------------------------------------------------- #
+
+def test_recover_reports_and_overrides_the_read_policy(tmp_path):
+    from repro.api import make_sharded_engine
+
+    directory = str(tmp_path / "store")
+    engine = make_sharded_engine("b-treap", shards=2, block_size=16,
+                                 seed=1, router="consistent",
+                                 parallel="process", replication=2,
+                                 read_policy="round-robin",
+                                 durability_dir=directory)
+    try:
+        engine.insert_many([(key, key) for key in range(64)])
+        engine.checkpoint()
+    finally:
+        engine.close()
+    code, output = run_cli("recover", "--dir", directory)
+    assert code == 0
+    assert "read policy     : round-robin" in output
+    code, output = run_cli("recover", "--dir", directory,
+                           "--read-policy", "primary")
+    assert code == 0
+    assert "read policy     : primary" in output
+
+
 # --------------------------------------------------------------------------- #
 # serve
 # --------------------------------------------------------------------------- #

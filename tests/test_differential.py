@@ -341,13 +341,15 @@ def test_differential_against_oracle(target, trace_seed):
 DURABLE_SHARDS = 3
 
 
-def make_durable_engine(mode: str, directory: str):
+def make_durable_engine(mode: str, directory: str,
+                        read_policy: str = "primary"):
     from repro.api import make_sharded_engine
     return make_sharded_engine("b-treap", shards=DURABLE_SHARDS,
                                block_size=BLOCK_SIZE, seed=STRUCTURE_SEED,
                                router="consistent", parallel="process",
                                replication=2, durability_dir=directory,
-                               durability_mode=mode)
+                               durability_mode=mode,
+                               read_policy=read_policy)
 
 
 def _canonical_digest(structure):
@@ -423,6 +425,93 @@ def test_differential_durable_trace_across_crash_recover_cycles(
         engine.check()
         assert _canonical_digest(engine.structure) \
             == _fresh_reference_digest(oracle.items())
+    finally:
+        engine.close()
+
+
+@pytest.mark.parametrize("read_policy", ["round-robin",
+                                         "any-after-barrier"])
+def test_differential_read_policy_trace_across_crash_recover_cycles(
+        read_policy, tmp_path):
+    """The crash-cycle trace again, but every read is fanned over the ring.
+
+    Replica-served reads are only sound if replica clones are exact copies
+    — so the oracle must stay blind to *which* copy answered, across three
+    SIGKILL + ``recover()`` cycles that demote, promote and re-replicate
+    copies underneath the read path.  The terminal canonical-digest bar is
+    unchanged from the primary-only test.
+    """
+    rng = random.Random(DIFF_SEED + 3)
+    trace = random_trace(rng, steps=180, with_predecessor=False)
+    oracle = Oracle()
+    engine = make_durable_engine("logged", str(tmp_path / read_policy),
+                                 read_policy=read_policy)
+    try:
+        assert engine.read_policy == read_policy
+        bounds = [0, 60, 120, len(trace)]
+        for cycle in range(3):
+            segment = trace[bounds[cycle]:bounds[cycle + 1]]
+            failure = _run_trace_on(engine, segment, oracle=oracle,
+                                    check_terminal=False)
+            assert failure is None, failure
+            engine.barrier()
+            _kill_one_worker(engine, cycle % engine.num_shards)
+            report = engine.recover()
+            assert report.positions
+        assert engine.items() == oracle.items()
+        assert list(engine) == oracle.keys
+        engine.check()
+        assert _canonical_digest(engine.structure) \
+            == _fresh_reference_digest(oracle.items())
+        stats = engine.replica_read_stats()
+        assert stats["replica_reads"] > 0, (
+            "read_policy=%r never served a read from a replica" %
+            read_policy)
+    finally:
+        engine.close()
+
+
+def test_differential_anti_entropy_repairs_a_diverged_replica(tmp_path):
+    """A hand-diverged replica is caught by the digest sweep and reseeded
+    — without re-exporting any healthy shard — and the trace continues
+    against the oracle as if the divergence never happened.
+
+    ``contains`` divergence on a replica is silent (a wrong bool raises
+    nothing, so the cross-check never fires); ``anti_entropy()`` is the
+    backstop that closes exactly that window.
+    """
+    rng = random.Random(DIFF_SEED + 4)
+    trace = random_trace(rng, steps=160, with_predecessor=False)
+    oracle = Oracle()
+    engine = make_durable_engine("logged", str(tmp_path / "sweep"),
+                                 read_policy="round-robin")
+    try:
+        failure = _run_trace_on(engine, trace[:80], oracle=oracle,
+                                check_terminal=False)
+        assert failure is None, failure
+        # Diverge one replica clone behind the engine's back.
+        victim_key = oracle.keys[0]
+        structure = engine._structure
+        position = structure.shard_of(victim_key)
+        structure._shards[position].replicas[0].delete(victim_key)
+        sweep = engine.anti_entropy()
+        assert sweep["divergent"] == [position]
+        assert sweep["reseeded"] == 1
+        assert sweep["exported_positions"] == [position], (
+            "anti-entropy exported healthy shards: %r"
+            % (sweep["exported_positions"],))
+        assert not sweep["recovered"]
+        # The repaired ring keeps matching the oracle to the end.
+        failure = _run_trace_on(engine, trace[80:], oracle=oracle,
+                                check_terminal=False)
+        assert failure is None, failure
+        assert engine.items() == oracle.items()
+        assert _canonical_digest(engine.structure) \
+            == _fresh_reference_digest(oracle.items())
+        # A second sweep over the repaired ring finds nothing to do.
+        again = engine.anti_entropy()
+        assert again["divergent"] == []
+        assert again["reseeded"] == 0
     finally:
         engine.close()
 

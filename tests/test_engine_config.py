@@ -49,6 +49,10 @@ CONFIGS = [
     EngineConfig(parallel="thread", max_workers=2, seed=1),
     EngineConfig(parallel="process", plane="pipe", seed=1),
     EngineConfig(parallel="process", replication=2, seed=1),
+    EngineConfig(parallel="process", replication=3, seed=1,
+                 read_policy="round-robin"),
+    EngineConfig(parallel="process", replication=2, seed=1,
+                 read_policy="any-after-barrier"),
     EngineConfig(parallel="process", durability_dir="/tmp/unused-dir",
                  durability_mode="secure", fsync=False,
                  sample_operations=True, seed=9),
@@ -121,6 +125,9 @@ def test_to_dict_rejects_non_serializable_seed():
     dict(replication=0),
     dict(replication=2),                      # needs process
     dict(replication=2, parallel="thread"),
+    dict(read_policy="nearest"),              # unknown policy
+    dict(read_policy="round-robin"),          # needs replication
+    dict(read_policy="any-after-barrier", parallel="process"),
     dict(durability_dir="/tmp/x"),            # needs process
     dict(durability_mode="secure", parallel="process"),  # needs dir
     dict(parallel="bogus"),

@@ -100,6 +100,35 @@ def test_loopback_process_backend_matches_sequential():
         sequential.close()
 
 
+def test_loopback_replicated_read_policy_matches_sequential():
+    """A round-robin replicated store behind the wire: the hello advertises
+    the policy, replicas actually serve reads, and nothing observable
+    changes versus a sequential twin."""
+    config = EngineConfig(inner="b-treap", shards=2, block_size=BLOCK_SIZE,
+                          seed=SEED, parallel="process", max_workers=2,
+                          replication=2, read_policy="round-robin")
+    sequential = make_sharded_engine(
+        config=config.replace(parallel="none", max_workers=None,
+                              replication=1, read_policy="primary"))
+    entries = [(key, key) for key in range(257)]
+    try:
+        expected = workload_results(sequential, entries)
+        with ThreadedServer(config) as server:
+            with ReproClient("127.0.0.1", server.port) as client:
+                assert client.routing.read_policy == "round-robin"
+                assert workload_results(client, entries) == expected
+                for key, value in entries[:8]:
+                    if key % 3:  # delete_many removed keys[::3]
+                        assert client.search(key) == value
+                assert client.digest() == layout_digest(sequential)
+                served_engine = \
+                    server.server._namespaces["default"].engine
+                assert served_engine.replica_read_stats()[
+                    "replica_reads"] > 0
+    finally:
+        sequential.close()
+
+
 def test_async_client_agrees_with_sync_client():
     import asyncio
 
