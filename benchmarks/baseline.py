@@ -18,7 +18,10 @@ sharded store from the elastic churn workload, recording build I/Os,
 cold-cache search I/Os, range fan-out I/Os, resharding migration volume,
 the shared-memory data plane's deterministic counters (frames encoded,
 payload bytes crossed, pickle fallbacks, coalesced crossings, group-commit
-fsync batches) from a durable replicated process engine, and the secure
+fsync batches) from a durable replicated process engine — with request
+tracing *enabled*, so the gate also pins that telemetry never perturbs
+those counters — plus the tracer's own deterministic span/crossing
+counts, and the secure
 durability mode's erasure counters (barrier rounds, redactions, frames
 dropped, and the forensics auditor's residue count — gated at zero), plus
 the replication read-path counters (replica-served reads, divergence
@@ -123,13 +126,27 @@ def collect_metrics() -> Tuple[Dict[str, int], Dict[str, object]]:
                                      router="consistent",
                                      parallel="process", plane="shm",
                                      replication=2,
-                                     durability_dir=durability_dir)
+                                     durability_dir=durability_dir,
+                                     telemetry=True)
+        # Telemetry runs *enabled* on this scenario on purpose: the gate
+        # itself proves tracing does not perturb the plane counters (the
+        # trace header rides the pickled pipe, never the shm rings).  The
+        # tracer's counters are deterministic too — span/crossing counts
+        # are pure functions of the workload and topology, and a zero
+        # slow threshold makes every root span a slow op, so the slow-op
+        # counter is just the bulk-call count.
+        engine.tracer.slow_ms = 0.0
         try:
             engine.insert_many(bulk_entries)
             engine.contains_many(bulk_probes)
             engine.delete_many(bulk_doomed)
             for name, value in sorted(engine.plane_stats().items()):
                 metrics["plane.%s" % name] = int(value)
+            telemetry = engine.telemetry()
+            for name in ("spans", "crossings", "worker_spans", "slow_ops",
+                         "snapshot_merges"):
+                metrics["telemetry.%s" % name] = \
+                    int(telemetry["telemetry.%s" % name])
         finally:
             engine.close()
     finally:

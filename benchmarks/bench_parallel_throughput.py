@@ -101,7 +101,10 @@ def drive(mode: str, plane, shards: int, entries, probes):
         if callable(plane_stats):
             # Deterministic data-plane counters, recorded for trajectory
             # context (the gated copies live in BENCH_smoke.json).
-            row["plane_stats"] = plane_stats()
+            stats = plane_stats()
+            row["plane_stats"] = stats
+            row["bytes_per_op"] = round(stats["bytes"] / operations, 2)
+            row["fsync_batches"] = stats["fsync_batches"]
         return row, contains, fingerprint
     finally:
         close = getattr(engine, "close", None)
@@ -213,9 +216,10 @@ def report(payload, rows) -> None:
     print(format_table(
         [[row["shards"], row["mode"], row["plane"], row["insert_seconds"],
           row["contains_seconds"], row["ops_per_second"],
+          row.get("bytes_per_op", "-"),
           "%.2fx" % row["speedup_vs_sequential"]] for row in rows],
         headers=["shards", "mode", "plane", "insert s", "contains s",
-                 "ops/s", "speedup"]))
+                 "ops/s", "bytes/op", "speedup"]))
     replica_rows = payload.get("replica_reads") or []
     if replica_rows:
         print()

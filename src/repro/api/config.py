@@ -89,6 +89,7 @@ class EngineConfig:
     durability_mode: str = "logged"
     fsync: bool = True
     sample_operations: bool = False
+    telemetry: bool = False
 
     def __post_init__(self) -> None:
         inner = self.inner
@@ -152,6 +153,10 @@ class EngineConfig:
                 "durability_mode='secure' redacts the on-disk op logs at "
                 "barriers; it needs durability_dir=... (and "
                 "parallel='process')")
+        if not isinstance(self.telemetry, bool):
+            raise ConfigurationError(
+                "telemetry is a boolean switch (request tracing on the "
+                "engine), got %r" % (self.telemetry,))
         if self.plane is not None and self.parallel != "process":
             raise ConfigurationError(
                 "plane only applies to the process backend (the thread "
@@ -196,6 +201,7 @@ class EngineConfig:
             "durability_mode": self.durability_mode,
             "fsync": self.fsync,
             "sample_operations": self.sample_operations,
+            "telemetry": self.telemetry,
         }
 
     @classmethod

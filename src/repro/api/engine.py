@@ -24,13 +24,21 @@ the consumer layers kept re-implementing:
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from time import perf_counter
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro._rng import RandomLike
 from repro.api.protocol import HIDictionary, Pair
 from repro.api.registry import make_dictionary
 from repro.memory.stats import IOStats, OperationIOSample
+from repro.obs import MetricsRegistry, Tracer
 from repro.workloads.generators import Operation, OperationKind
+
+#: The ``io_stats()`` fields folded into telemetry snapshots (as
+#: ``engine_io.*``) — the deterministic counting core of
+#: :class:`~repro.memory.stats.IOStats`.
+_IO_FIELDS = ("reads", "writes", "cache_hits", "element_moves",
+              "operations", "total_ios")
 
 
 class DictionaryEngine:
@@ -45,6 +53,11 @@ class DictionaryEngine:
         self._tracker = getattr(structure, "io_tracker", None)
         self.sample_operations = sample_operations
         self.samples: List[OperationIOSample] = []
+        #: The unified telemetry plane: cheap counters/histograms are
+        #: always on; ``tracer`` stays the shared no-op unless telemetry
+        #: is enabled (``EngineConfig.telemetry`` / ``REPRO_TRACE=1``).
+        self.metrics = MetricsRegistry()
+        self.tracer: Tracer = Tracer.from_env()
 
     @classmethod
     def create(cls, name: str, *,
@@ -175,6 +188,57 @@ class DictionaryEngine:
             return self._structure.range_items(low, high)
 
     # ------------------------------------------------------------------ #
+    # Telemetry
+    # ------------------------------------------------------------------ #
+
+    @contextmanager
+    def _bulk_op(self, kind: str) -> Iterator[None]:
+        """Instrument one bulk call: a counter, a latency histogram, and
+        (when tracing is on) a span.  Per *call*, not per key, so the
+        disabled fast path costs two clock reads and a dict bump."""
+        metrics = self.metrics
+        metrics.inc("engine.calls." + kind)
+        started = perf_counter()
+        try:
+            with self.tracer.span("engine." + kind,
+                                  tags={"engine": self._name}):
+                yield
+        finally:
+            metrics.observe_ms("engine.latency." + kind,
+                               (perf_counter() - started) * 1000.0)
+
+    def telemetry(self) -> Dict[str, object]:
+        """One namespaced snapshot of every stats surface this engine has.
+
+        Folds the registry (counters, gauges, histograms) with the
+        adapters for the four legacy surfaces — ``engine_io.*`` from
+        :meth:`io_stats`, ``plane.*`` from the process engine's
+        ``plane_stats()``, ``erasure.*`` from the replicated engine's
+        ``erasure_stats()`` and ``replica_reads.*`` from its
+        ``replica_read_stats()`` — plus the tracer's deterministic
+        ``telemetry.*`` counters.  Every fold counts as a registry
+        merge, reported as ``telemetry.snapshot_merges``.
+        """
+        snap: Dict[str, object] = self.metrics.snapshot()
+        stats = self.io_stats()
+        for field in _IO_FIELDS:
+            snap["engine_io." + field] = getattr(stats, field)
+        self.metrics.merges += 1
+        for prefix, hook_name in (("plane", "plane_stats"),
+                                  ("erasure", "erasure_stats"),
+                                  ("replica_reads", "replica_read_stats")):
+            hook = getattr(self, hook_name, None)
+            if not callable(hook):
+                continue
+            for name, value in sorted(hook().items()):
+                snap["%s.%s" % (prefix, name)] = value
+            self.metrics.merges += 1
+        for name, value in self.tracer.snapshot().items():
+            snap["telemetry." + name] = value
+        snap["telemetry.snapshot_merges"] = self.metrics.merges
+        return snap
+
+    # ------------------------------------------------------------------ #
     # Bulk operations
     # ------------------------------------------------------------------ #
 
@@ -188,24 +252,30 @@ class DictionaryEngine:
         insert = self._structure_method("insert")
         as_pair = self._as_pair
         count = 0
-        if not self.sample_operations:
-            for entry in entries:
-                key, value = as_pair(entry)
-                insert(key, value)
-                count += 1
-            return count
-        for entry in entries:
-            key, value = as_pair(entry)
-            self.insert(key, value)
-            count += 1
+        with self._bulk_op("insert_many"):
+            if not self.sample_operations:
+                for entry in entries:
+                    key, value = as_pair(entry)
+                    insert(key, value)
+                    count += 1
+            else:
+                for entry in entries:
+                    key, value = as_pair(entry)
+                    self.insert(key, value)
+                    count += 1
+        self.metrics.inc("engine.keys.insert_many", count)
         return count
 
     def delete_many(self, keys: Iterable[object]) -> List[object]:
         """Delete every key in order; return their values."""
         delete = self._structure_method("delete")
-        if not self.sample_operations:
-            return [delete(key) for key in keys]
-        return [self.delete(key) for key in keys]
+        with self._bulk_op("delete_many"):
+            if not self.sample_operations:
+                values = [delete(key) for key in keys]
+            else:
+                values = [self.delete(key) for key in keys]
+        self.metrics.inc("engine.keys.delete_many", len(values))
+        return values
 
     def contains_many(self, keys: Iterable[object]) -> List[bool]:
         """Membership for every key, in input order.
@@ -215,9 +285,13 @@ class DictionaryEngine:
         workloads can be written once against any engine.
         """
         contains = self._structure_method("contains")
-        if not self.sample_operations:
-            return [contains(key) for key in keys]
-        return [self.contains(key) for key in keys]
+        with self._bulk_op("contains_many"):
+            if not self.sample_operations:
+                flags = [contains(key) for key in keys]
+            else:
+                flags = [self.contains(key) for key in keys]
+        self.metrics.inc("engine.keys.contains_many", len(flags))
+        return flags
 
     def build_from_trace(self, trace: Sequence[Operation],
                          value_of=None) -> "DictionaryEngine":

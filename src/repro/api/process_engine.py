@@ -103,8 +103,13 @@ from repro.api.shm_plane import (
     shm_reply_descriptor,
 )
 from repro.errors import CapacityError, ConfigurationError, WorkerCrashError
+from repro.obs import Tracer, child_span
 
-#: One parent->worker command: ``(shard_id, method, args)``.
+#: One parent->worker command: ``(shard_id, method, args)`` — plus an
+#: optional fourth element, a trace header dict, when the parent engine
+#: has request tracing enabled (see :mod:`repro.obs.tracing`).  Replies
+#: are ``(status, payload)`` 2-tuples, growing an optional third element
+#: (the worker's finished span dicts) on traced commands.
 Command = Tuple[int, str, tuple]
 
 #: Data planes the process engines speak: shared-memory rings (default)
@@ -188,12 +193,14 @@ def _insert_batch(structure, log, trip, pairs, dirty) -> int:
     insert = structure.insert
     count = 0
     try:
-        for key, value in pairs:
-            trip("worker.insert")
-            insert(key, value)
-            if log is not None:
-                log.append("insert", key, value)
-            count += 1
+        with child_span("worker.apply.insert") as span:
+            for key, value in pairs:
+                trip("worker.insert")
+                insert(key, value)
+                if log is not None:
+                    log.append("insert", key, value)
+                count += 1
+            span.tag("keys", count)
     finally:
         if log is not None:
             if dirty is None:
@@ -207,11 +214,13 @@ def _delete_batch(structure, log, trip, keys, dirty) -> List[object]:
     delete = structure.delete
     values: List[object] = []
     try:
-        for key in keys:
-            trip("worker.delete")
-            values.append(delete(key))
-            if log is not None:
-                log.append("delete", key)
+        with child_span("worker.apply.delete") as span:
+            for key in keys:
+                trip("worker.delete")
+                values.append(delete(key))
+                if log is not None:
+                    log.append("delete", key)
+            span.tag("keys", len(values))
     finally:
         if log is not None:
             if dirty is None:
@@ -225,7 +234,10 @@ def _shm_request(channel, trip, args) -> List[object]:
     """Decode one request frame the dispatch header described."""
     offset, length, count = args
     trip("worker.shm.request")
-    return channel.codec.decode(channel.request.read(offset, length), count)
+    with child_span("worker.decode") as span:
+        span.tag("bytes", length)
+        return channel.codec.decode(channel.request.read(offset, length),
+                                    count)
 
 
 def _shm_values_reply(channel, trip, values) -> object:
@@ -325,11 +337,13 @@ def _execute(engines: Dict[int, DictionaryEngine], logs: Dict[int, object],
         return _shm_values_reply(channel, trip, values)
     if method == "contains_batch":
         contains = structure.contains
-        return [contains(key) for key in args[0]]
+        with child_span("worker.apply.contains"):
+            return [contains(key) for key in args[0]]
     if method == "contains_batch_shm":
         keys = _shm_request(channel, trip, args)
         contains = structure.contains
-        flags = [contains(key) for key in keys]
+        with child_span("worker.apply.contains"):
+            flags = [contains(key) for key in keys]
         blob = channel.codec.encode_bitmap(flags)
         try:
             offset = channel.reply.write(
@@ -451,13 +465,19 @@ def _worker_main(conn, shm_spec: Optional[Dict[str, object]] = None) -> None:
     channel = ShmChannel.attach(shm_spec) if shm_spec is not None else None
     engines: Dict[int, DictionaryEngine] = {}
     logs: Dict[int, object] = {}
+    # Enabled on the first traced command; adopted spans finish into its
+    # ring worker-side but primarily travel back on the reply for the
+    # parent to graft.
+    tracer = Tracer(enabled=True, ring=16)
     while True:
         try:
-            shard_id, method, args = conn.recv()
+            message = conn.recv()
         except (EOFError, OSError):
             break  # parent went away; nothing left to serve
         except KeyboardInterrupt:  # pragma: no cover - interactive abort
             break
+        shard_id, method, args = message[0], message[1], message[2]
+        trace_header = message[3] if len(message) > 3 else None
         if method == "__shutdown__":
             try:
                 conn.send(("ok", None))
@@ -469,11 +489,22 @@ def _worker_main(conn, shm_spec: Optional[Dict[str, object]] = None) -> None:
             # reply frames before sending this command, so the reply ring
             # restarts from its region base for every command.
             channel.reply.reset()
+        span = None
+        if trace_header is not None:
+            span = tracer.adopt(trace_header, "worker." + method,
+                                tags={"shard": shard_id, "pid": os.getpid()})
         try:
-            reply = ("ok", _execute(engines, logs, trip, channel, shard_id,
-                                    method, args))
+            if span is None:
+                reply = ("ok", _execute(engines, logs, trip, channel,
+                                        shard_id, method, args))
+            else:
+                with span:
+                    reply = ("ok", _execute(engines, logs, trip, channel,
+                                            shard_id, method, args))
         except Exception as error:
             reply = ("err", error)
+        if span is not None:
+            reply = reply + ([span.to_dict()],)
         try:
             conn.send(reply)
         except (BrokenPipeError, OSError):  # pragma: no cover
@@ -483,7 +514,8 @@ def _worker_main(conn, shm_spec: Optional[Dict[str, object]] = None) -> None:
             # still waiting, so answer with something that always does —
             # carrying the original class name and traceback along.
             try:
-                conn.send(("err", _unpicklable_reply_error(method, reply)))
+                conn.send(("err",
+                           _unpicklable_reply_error(method, reply[:2])))
             except Exception:  # pragma: no cover
                 break
     for log in logs.values():
@@ -521,6 +553,9 @@ class _ShardWorker:
         child_conn.close()
         self.shard_ids: set = set()
         self._down = False
+        #: Worker span dicts that rode back on the last traced reply;
+        #: the dispatch loop grafts (and clears) them after each receive.
+        self.trace_spans: Optional[List[dict]] = None
 
     @property
     def connection(self):
@@ -603,20 +638,30 @@ class _ShardWorker:
                      for sub_status, sub_payload in payload[1]])
         return payload
 
-    def send(self, shard_id: int, method: str, args: object) -> None:
+    def send(self, shard_id: int, method: str, args: object,
+             trace: Optional[dict] = None) -> None:
         if self._down:
             raise self._crash(None, "is already down")
         method, args = self._lower(method, args)
         try:
-            self._conn.send((shard_id, method, args))
+            if trace is None:
+                self._conn.send((shard_id, method, args))
+            else:
+                # The trace header rides the pickled pipe as an optional
+                # fourth tuple element — never the shm rings, so the
+                # deterministic plane byte counters are identical with
+                # tracing on or off.
+                self._conn.send((shard_id, method, args, trace))
         except (BrokenPipeError, OSError) as error:
             raise self._crash(error, "refused a command (pipe broken)")
 
     def receive(self) -> Tuple[str, object]:
         try:
-            status, payload = self._conn.recv()
+            message = self._conn.recv()
         except (EOFError, OSError) as error:
             raise self._crash(error, "died before answering")
+        status, payload = message[0], message[1]
+        self.trace_spans = message[2] if len(message) > 2 else None
         try:
             return status, self._hydrate(payload)
         except ShmFrameError as error:
@@ -848,7 +893,13 @@ class ProcessShardedDictionaryEngine(ShardedDictionaryEngine):
 
     def plane_stats(self) -> Dict[str, int]:
         """Deterministic data-plane counters (frames, bytes, fallbacks,
-        coalesced commands, group-commit fsync batches) since construction."""
+        coalesced commands, group-commit fsync batches) since construction.
+
+        Every read republishes the counters into the metrics registry as
+        ``plane.*`` gauges, so a registry snapshot carries the same
+        worker-side fsync and frame-byte numbers as this dict.
+        """
+        self._plane_stats.merge_into(self.metrics)
         return self._plane_stats.as_dict()
 
     def _new_channel(self) -> Optional[ShmChannel]:
@@ -1027,6 +1078,11 @@ class ProcessShardedDictionaryEngine(ShardedDictionaryEngine):
                               "__multi__", (subs,)))
         results: Dict[object, object] = {}
         errors: Dict[object, BaseException] = {}
+        # The propagation header for this dispatch window: present only
+        # when tracing is enabled AND an engine-level span is active on
+        # this thread (the bulk operations open one around dispatch).
+        tracer = self.tracer
+        trace_header = tracer.header()
 
         def fail_worker(worker: _ShardWorker, key: object,
                         error: BaseException) -> None:
@@ -1054,10 +1110,12 @@ class ProcessShardedDictionaryEngine(ShardedDictionaryEngine):
                 key, _worker, engine_id, method, args = \
                     queues[worker].popleft()
                 try:
-                    worker.send(engine_id, method, args)
+                    worker.send(engine_id, method, args, trace=trace_header)
                 except WorkerCrashError as error:
                     fail_worker(worker, key, error)
                     continue
+                if trace_header is not None:
+                    tracer.note_crossing()
                 self._note_fsync_batch(engine_id, method, args)
                 outstanding[worker.connection] = (worker, key)
                 return
@@ -1073,6 +1131,9 @@ class ProcessShardedDictionaryEngine(ShardedDictionaryEngine):
                 except WorkerCrashError as error:
                     fail_worker(worker, key, error)
                     continue
+                if worker.trace_spans:
+                    tracer.graft(worker.trace_spans)
+                    worker.trace_spans = None
                 settle(key, status, payload)
                 dispatch_next(worker)
         return results, errors
@@ -1138,8 +1199,12 @@ class ProcessShardedDictionaryEngine(ShardedDictionaryEngine):
         if self.sample_operations:
             return super().insert_many(entries)
         batches, count = self._grouped_entries(entries)
-        self._scatter([(position, "insert_batch", self._bulk_args(batch))
-                       for position, batch in enumerate(batches) if batch])
+        with self._bulk_op("insert_many"):
+            self._scatter([(position, "insert_batch",
+                            self._bulk_args(batch))
+                           for position, batch in enumerate(batches)
+                           if batch])
+        self.metrics.inc("engine.keys.insert_many", count)
         return count
 
     def delete_many(self, keys: Iterable[object]) -> List[object]:
@@ -1148,10 +1213,12 @@ class ProcessShardedDictionaryEngine(ShardedDictionaryEngine):
             return super().delete_many(keys)
         keys, batches = self._grouped_positions(keys)
         values: List[object] = [None] * len(keys)
-        results = self._scatter(
-            [(position, "delete_batch",
-              self._bulk_args([key for _at, key in batch]))
-             for position, batch in enumerate(batches) if batch])
+        with self._bulk_op("delete_many"):
+            results = self._scatter(
+                [(position, "delete_batch",
+                  self._bulk_args([key for _at, key in batch]))
+                 for position, batch in enumerate(batches) if batch])
+        self.metrics.inc("engine.keys.delete_many", len(keys))
         for position, batch in enumerate(batches):
             if batch:
                 for (at, _key), value in zip(batch, results[position]):
@@ -1164,10 +1231,12 @@ class ProcessShardedDictionaryEngine(ShardedDictionaryEngine):
             return super().contains_many(keys)
         keys, batches = self._grouped_positions(keys)
         found: List[bool] = [False] * len(keys)
-        results = self._scatter(
-            [(position, "contains_batch",
-              self._bulk_args([key for _at, key in batch]))
-             for position, batch in enumerate(batches) if batch])
+        with self._bulk_op("contains_many"):
+            results = self._scatter(
+                [(position, "contains_batch",
+                  self._bulk_args([key for _at, key in batch]))
+                 for position, batch in enumerate(batches) if batch])
+        self.metrics.inc("engine.keys.contains_many", len(keys))
         for position, batch in enumerate(batches):
             if batch:
                 for (at, _key), flag in zip(batch, results[position]):

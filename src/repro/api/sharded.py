@@ -800,45 +800,51 @@ class ShardedDictionaryEngine(DictionaryEngine):
         context-manager or stats traffic on the hot path.
         """
         batches, count = self._grouped_entries(entries)
-        for engine, batch in zip(self._engines(), batches):
-            if not self.sample_operations:
-                insert = engine.structure.insert
+        with self._bulk_op("insert_many"):
+            for engine, batch in zip(self._engines(), batches):
+                if not self.sample_operations:
+                    insert = engine.structure.insert
+                    for key, value in batch:
+                        insert(key, value)
+                    continue
                 for key, value in batch:
-                    insert(key, value)
-                continue
-            for key, value in batch:
-                with self._operation("insert"):
-                    engine.structure.insert(key, value)
+                    with self._operation("insert"):
+                        engine.structure.insert(key, value)
+        self.metrics.inc("engine.keys.insert_many", count)
         return count
 
     def delete_many(self, keys: Iterable[object]) -> List[object]:
         """Delete keys grouped by shard; values return in the input order."""
         keys, batches = self._grouped_positions(keys)
         values: List[object] = [None] * len(keys)
-        for engine, batch in zip(self._engines(), batches):
-            if not self.sample_operations:
-                delete = engine.structure.delete
+        with self._bulk_op("delete_many"):
+            for engine, batch in zip(self._engines(), batches):
+                if not self.sample_operations:
+                    delete = engine.structure.delete
+                    for position, key in batch:
+                        values[position] = delete(key)
+                    continue
                 for position, key in batch:
-                    values[position] = delete(key)
-                continue
-            for position, key in batch:
-                with self._operation("delete"):
-                    values[position] = engine.structure.delete(key)
+                    with self._operation("delete"):
+                        values[position] = engine.structure.delete(key)
+        self.metrics.inc("engine.keys.delete_many", len(values))
         return values
 
     def contains_many(self, keys: Iterable[object]) -> List[bool]:
         """Membership for every key, grouped by shard; input order preserved."""
         keys, batches = self._grouped_positions(keys)
         found: List[bool] = [False] * len(keys)
-        for engine, batch in zip(self._engines(), batches):
-            if not self.sample_operations:
-                contains = engine.structure.contains
+        with self._bulk_op("contains_many"):
+            for engine, batch in zip(self._engines(), batches):
+                if not self.sample_operations:
+                    contains = engine.structure.contains
+                    for position, key in batch:
+                        found[position] = contains(key)
+                    continue
                 for position, key in batch:
-                    found[position] = contains(key)
-                continue
-            for position, key in batch:
-                with self._operation("contains"):
-                    found[position] = engine.structure.contains(key)
+                    with self._operation("contains"):
+                        found[position] = engine.structure.contains(key)
+        self.metrics.inc("engine.keys.contains_many", len(found))
         return found
 
     # ------------------------------------------------------------------ #
@@ -1174,9 +1180,11 @@ class ParallelShardedDictionaryEngine(ShardedDictionaryEngine):
                     structure.insert(key, value)
             return run
 
-        self._fan_out([inserter(engine.structure, batch)
-                       for engine, batch in zip(self._engines(), batches)
-                       if batch])
+        with self._bulk_op("insert_many"):
+            self._fan_out([inserter(engine.structure, batch)
+                           for engine, batch in zip(self._engines(), batches)
+                           if batch])
+        self.metrics.inc("engine.keys.insert_many", count)
         return count
 
     def delete_many(self, keys: Iterable[object]) -> List[object]:
@@ -1195,9 +1203,11 @@ class ParallelShardedDictionaryEngine(ShardedDictionaryEngine):
                     values[position] = structure.delete(key)
             return run
 
-        self._fan_out([deleter(engine.structure, batch)
-                       for engine, batch in zip(self._engines(), batches)
-                       if batch])
+        with self._bulk_op("delete_many"):
+            self._fan_out([deleter(engine.structure, batch)
+                           for engine, batch in zip(self._engines(), batches)
+                           if batch])
+        self.metrics.inc("engine.keys.delete_many", len(values))
         return values
 
     def contains_many(self, keys: Iterable[object]) -> List[bool]:
@@ -1214,9 +1224,11 @@ class ParallelShardedDictionaryEngine(ShardedDictionaryEngine):
                     found[position] = structure.contains(key)
             return run
 
-        self._fan_out([prober(engine.structure, batch)
-                       for engine, batch in zip(self._engines(), batches)
-                       if batch])
+        with self._bulk_op("contains_many"):
+            self._fan_out([prober(engine.structure, batch)
+                           for engine, batch in zip(self._engines(), batches)
+                           if batch])
+        self.metrics.inc("engine.keys.contains_many", len(found))
         return found
 
     def range_io_cost_breakdown(self, low: object, high: object
@@ -1259,7 +1271,8 @@ def make_sharded_engine(inner: object = DEFAULT_INNER, *,
                         read_policy: str = "primary",
                         durability_dir: Optional[str] = None,
                         durability_mode: str = "logged",
-                        fsync: bool = True
+                        fsync: bool = True,
+                        telemetry: bool = False
                         ) -> ShardedDictionaryEngine:
     """Convenience constructor: a sharded engine over ``shards`` × ``inner``.
 
@@ -1329,7 +1342,8 @@ def make_sharded_engine(inner: object = DEFAULT_INNER, *,
                   "read_policy": (read_policy, "primary"),
                   "durability_dir": (durability_dir, None),
                   "durability_mode": (durability_mode, "logged"),
-                  "fsync": (fsync, True)}
+                  "fsync": (fsync, True),
+                  "telemetry": (telemetry, False)}
         overridden = sorted(name for name, (value, default) in legacy.items()
                             if value != default)
         if overridden:
@@ -1350,7 +1364,7 @@ def make_sharded_engine(inner: object = DEFAULT_INNER, *,
             replication=replication, read_policy=read_policy,
             durability_dir=durability_dir,
             durability_mode=durability_mode, fsync=fsync,
-            sample_operations=sample_operations)
+            sample_operations=sample_operations, telemetry=telemetry)
     config.validate()
     structure = make_dictionary("sharded", block_size=config.block_size,
                                 cache_blocks=config.cache_blocks,
@@ -1385,4 +1399,8 @@ def make_sharded_engine(inner: object = DEFAULT_INNER, *,
         engine = ShardedDictionaryEngine(
             structure, sample_operations=config.sample_operations)
     engine.engine_config = config
+    if config.telemetry:
+        # Opt-in request tracing (REPRO_TRACE=1 enables it without a
+        # config change; the tracer is already live in that case).
+        engine.tracer.enabled = True
     return engine

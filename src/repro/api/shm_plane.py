@@ -323,6 +323,17 @@ class PlaneStats:
                 "fallbacks": self.fallbacks, "coalesced": self.coalesced,
                 "fsync_batches": self.fsync_batches}
 
+    def merge_into(self, metrics, prefix: str = "plane") -> None:
+        """Publish the counters into a metrics registry as gauges.
+
+        Gauges, not counter increments, because plane stats are already
+        cumulative — publishing is idempotent, so a bench loop (or the
+        server's periodic metrics dump) can call this every interval
+        without double counting.
+        """
+        for name, value in self.as_dict().items():
+            metrics.set_gauge("%s.%s" % (prefix, name), value)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "PlaneStats(%s)" % (self.as_dict(),)
 

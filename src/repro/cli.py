@@ -31,6 +31,13 @@ scale) without writing any code:
 ``snapshot``
     Build a structure, write its slot array to a (real or in-memory) disk
     image, and print the observer's occupancy profile.
+``serve``
+    Host a sharded store behind the TCP wire protocol; ``--telemetry``
+    turns on request tracing and ``--metrics-interval N`` prints the
+    unified telemetry snapshot every N seconds.
+``stats``
+    Fetch a running server's telemetry snapshot over the wire (text,
+    JSON, or Prometheus exposition; ``--traces`` adds recent span trees).
 ``report``
     Aggregate ``benchmarks/results/*.json`` into a Markdown table.
 
@@ -315,6 +322,30 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-connection in-flight request budget; "
                             "requests over budget are shed with a BUSY "
                             "reply instead of queueing without bound")
+    serve.add_argument("--telemetry", action="store_true",
+                       help="enable request tracing on the hosted engines "
+                            "(spans cross the worker pipe and the wire; "
+                            "same effect as REPRO_TRACE=1 for this store)")
+    serve.add_argument("--metrics-interval", type=float, default=0.0,
+                       help="print the default namespace's telemetry "
+                            "snapshot every N seconds (0 disables)")
+
+    stats = subparsers.add_parser(
+        "stats", help="fetch a running server's unified telemetry snapshot "
+                      "over the wire (counters, latency histograms, plane/"
+                      "erasure/replica-read stats; optionally span trees)")
+    stats.add_argument("--host", type=str, default="127.0.0.1")
+    stats.add_argument("--port", type=int, required=True,
+                       help="port of a running 'repro serve'")
+    stats.add_argument("--namespace", type=str, default="default")
+    stats.add_argument("--format", choices=("text", "json", "prom"),
+                       default="text",
+                       help="text: aligned name/value lines; json: one "
+                            "sorted object; prom: Prometheus text "
+                            "exposition")
+    stats.add_argument("--traces", action="store_true",
+                       help="also fetch and render the server's recent "
+                            "span trees and slow-op log")
 
     report = subparsers.add_parser(
         "report", help="aggregate benchmark results into a Markdown table")
@@ -547,7 +578,8 @@ def _engine_config_from_args(args: argparse.Namespace) -> EngineConfig:
         replication=args.replication,
         read_policy=getattr(args, "read_policy", "primary"),
         durability_dir=args.durability_dir,
-        durability_mode=args.durability_mode).validate()
+        durability_mode=args.durability_mode,
+        telemetry=getattr(args, "telemetry", False)).validate()
 
 
 def cmd_rebalance(args: argparse.Namespace, out) -> int:
@@ -660,13 +692,26 @@ def cmd_recover(args: argparse.Namespace, out) -> int:
 
 def cmd_serve(args: argparse.Namespace, out) -> int:
     import asyncio
+    import json
     import signal
 
     from repro.net.server import ReproServer
 
+    if args.metrics_interval < 0:
+        raise ConfigurationError(
+            "--metrics-interval must be non-negative, got %r"
+            % (args.metrics_interval,))
     config = _engine_config_from_args(args)
     server = ReproServer(config, host=args.host, port=args.port,
                          max_inflight=args.max_inflight)
+
+    async def dump_metrics() -> None:
+        while True:
+            await asyncio.sleep(args.metrics_interval)
+            snapshot = await server.telemetry_snapshot()
+            print("metrics: %s" % json.dumps(snapshot, sort_keys=True),
+                  file=out)
+            out.flush()
 
     async def run() -> None:
         await server.start()
@@ -684,12 +729,48 @@ def cmd_serve(args: argparse.Namespace, out) -> int:
                 loop.add_signal_handler(signum, request_drain)
             except (NotImplementedError, RuntimeError):
                 pass
-        await drained
+        ticker = None
+        if args.metrics_interval > 0:
+            ticker = asyncio.ensure_future(dump_metrics())
+        try:
+            await drained
+        finally:
+            if ticker is not None:
+                ticker.cancel()
         report = await server.drain()
         print("drained %d namespace(s); bye" % len(report), file=out)
         out.flush()
 
     asyncio.run(run())
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace, out) -> int:
+    import json
+
+    from repro.net.client import ReproClient
+    from repro.obs import render_trace, to_prometheus
+
+    with ReproClient(args.host, args.port,
+                     namespace=args.namespace) as client:
+        snapshot = client.stats()
+        if args.traces:
+            bundles = client.traces()
+    if args.format == "json":
+        print(json.dumps(snapshot, indent=2, sort_keys=True), file=out)
+    elif args.format == "prom":
+        out.write(to_prometheus(snapshot))
+    else:
+        for name in sorted(snapshot):
+            print("%-44s %s" % (name, snapshot[name]), file=out)
+    if args.traces:
+        print("recent traces (%d):" % len(bundles["traces"]), file=out)
+        for entry in bundles["traces"]:
+            print(render_trace(entry), file=out)
+        if bundles["slow"]:
+            print("slow ops (%d):" % len(bundles["slow"]), file=out)
+            for entry in bundles["slow"]:
+                print(render_trace(entry), file=out)
     return 0
 
 
@@ -709,6 +790,7 @@ _COMMANDS = {
     "rebalance": cmd_rebalance,
     "recover": cmd_recover,
     "serve": cmd_serve,
+    "stats": cmd_stats,
     "report": cmd_report,
 }
 

@@ -34,6 +34,7 @@ from repro.net import protocol
 from repro.net.protocol import (
     BODY_NONE,
     PROTOCOL_VERSION,
+    TRACE_KEY,
     WireCodec,
     decode_message,
     encode_message,
@@ -42,6 +43,8 @@ from repro.net.protocol import (
     raise_for_reply,
     read_frame,
 )
+from repro.obs import NULL_SPAN, Tracer
+from repro.obs.tracing import HEADER_SPAN, HEADER_TRACE
 
 Pair = Tuple[object, object]
 
@@ -107,6 +110,11 @@ class ReproClient:
         self._next_id = 0
         self._routing: Optional[_RoutingState] = None
         self._routing_lock = threading.Lock()
+        #: Client-side tracing (``REPRO_TRACE=1``): each wire request gets
+        #: a ``client.<op>`` span whose header rides the message under
+        #: :data:`~repro.net.protocol.TRACE_KEY`, so the server-side tree
+        #: carries this client's trace id.
+        self.tracer = Tracer.from_env()
         self.handshake()
 
     # ------------------------------------------------------------------ #
@@ -180,15 +188,27 @@ class ReproClient:
         if values is not None:
             body_tag, body = self._codec.encode_values(values)
             message["count"] = len(values)
-        connection = self._borrow()
+        # The span is never pushed on this thread's TLS stack (pooled
+        # clients are shared across threads); its header is built
+        # explicitly and it is finished in the finally below.
+        span = self.tracer.span("client." + op,
+                                tags={"namespace": self._namespace})
+        if span is not NULL_SPAN:
+            message[TRACE_KEY] = {HEADER_TRACE: span.trace_id,
+                                  HEADER_SPAN: span.span_id}
         try:
-            sock, reader = connection
-            sock.sendall(frame(encode_message(message, body_tag, body)))
-            reply_values, reply = self._read_reply(reader, message["id"])
-        except (ProtocolError, ConnectionError, OSError, EOFError):
-            self._discard(connection)
-            raise
-        self._give_back(connection)
+            connection = self._borrow()
+            try:
+                sock, reader = connection
+                sock.sendall(frame(encode_message(message, body_tag, body)))
+                reply_values, reply = self._read_reply(reader, message["id"])
+            except (ProtocolError, ConnectionError, OSError, EOFError):
+                self._discard(connection)
+                raise
+            self._give_back(connection)
+        finally:
+            if span is not NULL_SPAN:
+                span.finish()
         if reply.get("topology_changed"):
             self.refresh_shard_map()
         raise_for_reply(reply)
@@ -323,6 +343,18 @@ class ReproClient:
         reply, _ = self._request("barrier")
         return dict(reply.get("report") or {})
 
+    def stats(self) -> Dict[str, object]:
+        """The namespace engine's unified telemetry snapshot (plus the
+        server's own ``server.telemetry.*`` counters)."""
+        reply, _ = self._request("stats")
+        return dict(reply.get("stats") or {})
+
+    def traces(self) -> Dict[str, List[dict]]:
+        """Recent finished span trees: ``{"traces": [...], "slow": [...]}``."""
+        reply, _ = self._request("traces")
+        return {"traces": list(reply.get("traces") or []),
+                "slow": list(reply.get("slow") or [])}
+
 
 class AsyncReproClient:
     """Asyncio client: same protocol, per-shard sub-requests in parallel.
@@ -347,6 +379,7 @@ class AsyncReproClient:
         self._closed = False
         self._next_id = 0
         self._routing: Optional[_RoutingState] = None
+        self.tracer = Tracer.from_env()
 
     async def connect(self) -> "AsyncReproClient":
         if self._routing is None:
@@ -406,6 +439,13 @@ class AsyncReproClient:
         if values is not None:
             body_tag, body = self._codec.encode_values(values)
             message["count"] = len(values)
+        # Never entered as a context manager: concurrent requests share
+        # the event-loop thread, so TLS nesting would interleave wrongly.
+        span = self.tracer.span("client." + op,
+                                tags={"namespace": self._namespace})
+        if span is not NULL_SPAN:
+            message[TRACE_KEY] = {HEADER_TRACE: span.trace_id,
+                                  HEADER_SPAN: span.span_id}
         connection = await self._borrow()
         reader, writer = connection
         try:
@@ -421,6 +461,9 @@ class AsyncReproClient:
         except (ProtocolError, ConnectionError, OSError):
             writer.close()
             raise
+        finally:
+            if span is not NULL_SPAN:
+                span.finish()
         self._give_back(connection)
         if reply.get("topology_changed"):
             await self.refresh_shard_map()
@@ -500,3 +543,12 @@ class AsyncReproClient:
     async def digest(self) -> List[str]:
         reply, _ = await self._request("digest")
         return list(reply.get("digests") or [])
+
+    async def stats(self) -> Dict[str, object]:
+        reply, _ = await self._request("stats")
+        return dict(reply.get("stats") or {})
+
+    async def traces(self) -> Dict[str, List[dict]]:
+        reply, _ = await self._request("traces")
+        return {"traces": list(reply.get("traces") or []),
+                "slow": list(reply.get("slow") or [])}

@@ -67,6 +67,16 @@ BODY_RECORDS = 1   #: RecordCodec run, ``count`` fixed-width records
 BODY_BITMAP = 2    #: packed booleans, ``count`` flags
 BODY_PICKLE = 3    #: pickled list (the per-batch fallback)
 
+#: Optional request-header key carrying a trace propagation header: a JSON
+#: object of ``{"trace": <id>, "span": <id>}`` (see
+#: :mod:`repro.obs.tracing`).  A server that sees it adopts the trace —
+#: its server-side span (and the engine spans beneath it) carry the
+#: client's trace id — and echoes the id back under the same key in the
+#: reply so a client can correlate without trusting ordering.  Absent on
+#: untraced requests; an unknown or malformed value is ignored, never an
+#: error, because telemetry must not be able to fail a request.
+TRACE_KEY = "trace"
+
 #: Reply statuses.
 STATUS_OK = "ok"
 STATUS_BUSY = "busy"      #: shed by admission control; nothing executed

@@ -46,6 +46,7 @@ from repro.net.protocol import (
     STATUS_BUSY,
     STATUS_ERROR,
     STATUS_OK,
+    TRACE_KEY,
     WireCodec,
     decode_message,
     encode_message,
@@ -54,6 +55,7 @@ from repro.net.protocol import (
     read_frame_async,
     topology_token,
 )
+from repro.obs import NULL_SPAN, Tracer, run_under
 
 #: Namespaces are path components of durable subdirectories, so their
 #: alphabet is locked down.
@@ -117,6 +119,11 @@ class ReproServer:
         self._config = config
         # Fails now (not at handshake time) for non-serializable seeds.
         self._config_dict = config.to_dict()
+        # The server-side tracer: adopted client spans (and the engine /
+        # worker spans nested beneath them) land in its ring, which is
+        # what the ``traces`` verb serves.  Enabled alongside the
+        # engines' tracing (config or REPRO_TRACE=1).
+        self._tracer = Tracer.from_env(default_enabled=config.telemetry)
         self._host = host
         self._port = port
         self._max_inflight = max_inflight
@@ -155,6 +162,20 @@ class ReproServer:
 
     def namespaces(self) -> List[str]:
         return sorted(self._namespaces)
+
+    async def telemetry_snapshot(self, name: str = "default"
+                                 ) -> Dict[str, object]:
+        """One namespace's unified telemetry (what the ``stats`` verb
+        serves), with the server's own counters folded in — the periodic
+        ``--metrics-interval`` dump and in-process pollers use this."""
+        namespace = await self._namespace(name)
+        loop = asyncio.get_running_loop()
+        async with namespace.lock:
+            snapshot = await loop.run_in_executor(
+                None, namespace.engine.telemetry)
+        for key, value in self._tracer.snapshot().items():
+            snapshot["server.telemetry." + key] = value
+        return snapshot
 
     async def drain(self) -> Dict[str, object]:
         """Stop accepting, flush in-flight work, drain every engine once.
@@ -356,15 +377,44 @@ class ReproServer:
             body_tag, body, header.get("count", 0))
         engine = namespace.engine
         loop = asyncio.get_running_loop()
+        trace_raw = header.get(TRACE_KEY)
+        if not isinstance(trace_raw, dict):
+            # A malformed trace header is ignored, never an error —
+            # telemetry must not be able to fail a request.
+            trace_raw = None
+        # The server span is NOT entered on the event-loop thread (its
+        # TLS stack is shared by every interleaved request); it is handed
+        # to each executor call via run_under and finished explicitly.
+        span = self._tracer.adopt(
+            trace_raw, "server." + op,
+            tags={"namespace": str(header.get("namespace", "default"))})
 
         def call(function, *args):
-            return loop.run_in_executor(None, function, *args)
+            return loop.run_in_executor(None, run_under, span,
+                                        function, *args)
 
         reply: Dict[str, object] = {}
+        if trace_raw is not None:
+            reply[TRACE_KEY] = trace_raw.get("trace")
+        elif span is not NULL_SPAN:
+            reply[TRACE_KEY] = span.trace_id
         shard_ids = tuple(engine.structure.shard_ids)
         token = header.get("topo")
         if token is not None and token != topology_token(shard_ids):
             reply["topology_changed"] = True
+        try:
+            return await self._op_on_engine(namespace, op, values, reply,
+                                            call, span)
+        finally:
+            if span is not NULL_SPAN:
+                span.finish()
+
+    async def _op_on_engine(self, namespace: _Namespace, op: str,
+                            values: List[object],
+                            reply: Dict[str, object], call, span
+                            ) -> Tuple[Dict[str, object], int, bytes]:
+        engine = namespace.engine
+        shard_ids = tuple(engine.structure.shard_ids)
         async with namespace.lock:
             if op == "shard_map":
                 reply.update({"shard_ids": list(shard_ids),
@@ -421,6 +471,21 @@ class ReproServer:
                         "engine %s has no durability barrier"
                         % type(engine).__name__)
                 reply["report"] = await call(barrier)
+                return reply, BODY_NONE, b""
+            if op == "stats":
+                stats = await call(engine.telemetry)
+                for name, value in self._tracer.snapshot().items():
+                    stats["server.telemetry." + name] = value
+                reply["stats"] = stats
+                return reply, BODY_NONE, b""
+            if op == "traces":
+                # Server-adopted request trees first (each carries its
+                # engine and worker sub-spans), then traces the engine
+                # recorded outside any wire request.
+                reply["traces"] = (self._tracer.traces()
+                                   + list(engine.tracer.traces()))
+                reply["slow"] = (self._tracer.slow_ops()
+                                 + list(engine.tracer.slow_ops()))
                 return reply, BODY_NONE, b""
         raise ProtocolError("unknown op %r" % op)
 

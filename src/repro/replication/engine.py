@@ -461,10 +461,34 @@ class ReplicatedShardedDictionaryEngine(ProcessShardedDictionaryEngine):
         """Deterministic erasure counters (see ``_erasure_stats``)."""
         return dict(self._erasure_stats)
 
+    def io_stats(self):
+        """Aggregate worker-held I/O counters; fails cleanly once closed.
+
+        The counters live in the worker processes, so after :meth:`close`
+        there is nothing left to aggregate — without this check the
+        inherited path would surface the dead command pipe as a confusing
+        :class:`~repro.errors.WorkerCrashError`.
+        """
+        if self._closed:
+            raise ConfigurationError(
+                "this engine is closed; its workers (and their I/O "
+                "counters) are gone — build a new one")
+        return super().io_stats()
+
     def replica_read_stats(self) -> Dict[str, int]:
         """Deterministic read-routing counters: keys served by replica
         copies, replicas demoted from read service (crash or divergence),
-        and replicas re-seeded by :meth:`anti_entropy`."""
+        and replicas re-seeded by :meth:`anti_entropy`.
+
+        Raises :class:`~repro.errors.ConfigurationError` once the engine
+        is closed, matching :meth:`io_stats` — a shut-down engine routes
+        no reads, and handing out a stale-looking dict would mask bugs in
+        telemetry pollers that outlive the engine.
+        """
+        if self._closed:
+            raise ConfigurationError(
+                "this engine is closed; it routes no replica reads — "
+                "build a new one")
         return dict(self._policy_state.stats)
 
     def _bump_liveness(self) -> None:
@@ -660,9 +684,11 @@ class ReplicatedShardedDictionaryEngine(ProcessShardedDictionaryEngine):
         # same encoded blob (each worker writes it into its own ring).
         payloads = {position: self._bulk_args(batch)
                     for position, batch in enumerate(batches) if batch}
-        _results, errors = self._drive_commands(
-            self._replicated_commands("insert_batch", payloads))
-        self._settle(errors)
+        with self._bulk_op("insert_many"):
+            _results, errors = self._drive_commands(
+                self._replicated_commands("insert_batch", payloads))
+            self._settle(errors)
+        self.metrics.inc("engine.keys.insert_many", count)
         return count
 
     def delete_many(self, keys: Iterable[object]) -> List[object]:
@@ -672,9 +698,11 @@ class ReplicatedShardedDictionaryEngine(ProcessShardedDictionaryEngine):
         keys, batches = self._grouped_positions(keys)
         payloads = {position: self._bulk_args([key for _at, key in batch])
                     for position, batch in enumerate(batches) if batch}
-        results, errors = self._drive_commands(
-            self._replicated_commands("delete_batch", payloads))
-        self._settle(errors)
+        with self._bulk_op("delete_many"):
+            results, errors = self._drive_commands(
+                self._replicated_commands("delete_batch", payloads))
+            self._settle(errors)
+        self.metrics.inc("engine.keys.delete_many", len(keys))
         values: List[object] = [None] * len(keys)
         for position, batch in enumerate(batches):
             if batch:
@@ -716,24 +744,27 @@ class ReplicatedShardedDictionaryEngine(ProcessShardedDictionaryEngine):
                     ((position, index), copy.worker, copy.shard_id,
                      "contains_batch",
                      self._bulk_args([key for _at, key in part])))
-        results, errors = self._drive_commands(commands)
-        replica_served = 0
-        fatal: Dict[int, BaseException] = {}
-        for key in slices:
-            if key not in errors and slices[key][1] is not slices[key][0].primary:
-                replica_served += len(slices[key][2])
-        for key, error in errors.items():
-            proxy, copy, part = slices[key]
-            retried = self._retry_read_slice(proxy, copy, part, error)
-            if retried is None:
-                fatal[key[0]] = error
-                continue
-            flags, server = retried
-            results[key] = flags
-            if server is not proxy.primary:
-                replica_served += len(part)
-        if fatal:
-            raise fatal[min(fatal)]
+        with self._bulk_op("contains_many"):
+            results, errors = self._drive_commands(commands)
+            replica_served = 0
+            fatal: Dict[int, BaseException] = {}
+            for key in slices:
+                if key not in errors \
+                        and slices[key][1] is not slices[key][0].primary:
+                    replica_served += len(slices[key][2])
+            for key, error in errors.items():
+                proxy, copy, part = slices[key]
+                retried = self._retry_read_slice(proxy, copy, part, error)
+                if retried is None:
+                    fatal[key[0]] = error
+                    continue
+                flags, server = retried
+                results[key] = flags
+                if server is not proxy.primary:
+                    replica_served += len(part)
+            if fatal:
+                raise fatal[min(fatal)]
+        self.metrics.inc("engine.keys.contains_many", len(keys))
         self._policy_state.stats["replica_reads"] += replica_served
         found: List[bool] = [False] * len(keys)
         for key, (_proxy, _copy, part) in slices.items():

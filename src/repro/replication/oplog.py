@@ -40,6 +40,7 @@ import zlib
 from typing import Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
+from repro.obs import child_span
 from repro.storage.encoding import RecordCodec
 
 #: Log file magic; a file that does not start with it is rejected.
@@ -223,7 +224,9 @@ class OpLog:
     def commit(self) -> None:
         """Make every appended frame durable (one fsync for the batch)."""
         if self._fsync:
-            os.fsync(self._handle.fileno())
+            with child_span("oplog.fsync") as span:
+                span.tag("path", os.path.basename(self.path))
+                os.fsync(self._handle.fileno())
 
     def barrier(self) -> int:
         """Append a snapshot barrier, commit, return the offset after it.

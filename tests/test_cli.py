@@ -396,6 +396,85 @@ def test_serve_subprocess_serves_and_drains_on_sigint():
     assert "drained 1 namespace(s)" in stdout
 
 
+def test_serve_metrics_interval_prints_periodic_snapshots():
+    """`--metrics-interval` emits `metrics: {...}` JSON lines while the
+    server runs, and the ticker dies cleanly with the drain."""
+    import signal
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--shards", "2",
+         "--seed", "5", "--structure", "b-tree", "--telemetry",
+         "--metrics-interval", "0.2"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, cwd=root)
+    try:
+        line = process.stdout.readline()
+        assert line.startswith("listening on 127.0.0.1:")
+        port = int(line.strip().rsplit(":", 1)[1])
+
+        from repro.net import ReproClient
+
+        with ReproClient("127.0.0.1", port) as client:
+            client.insert_many([(key, key) for key in range(16)])
+        metrics_line = process.stdout.readline()
+        assert metrics_line.startswith("metrics: ")
+        snapshot = json.loads(metrics_line[len("metrics: "):])
+        assert snapshot["engine.calls.insert_many"] >= 1
+        process.send_signal(signal.SIGINT)
+        stdout, stderr = process.communicate(timeout=60)
+    except BaseException:
+        process.kill()
+        process.wait()
+        raise
+    assert process.returncode == 0, stderr
+    assert "drained 1 namespace(s)" in stdout
+
+
+# --------------------------------------------------------------------------- #
+# stats
+# --------------------------------------------------------------------------- #
+
+def test_stats_requires_a_port():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["stats"])
+
+
+def test_stats_scrapes_a_live_server_in_every_format():
+    from repro.api import EngineConfig
+    from repro.net import ReproClient, ThreadedServer
+
+    config = EngineConfig(inner="b-treap", shards=2, seed=5, telemetry=True)
+    with ThreadedServer(config) as server:
+        port = str(server.port)
+        with ReproClient("127.0.0.1", server.port) as client:
+            client.tracer.enabled = True
+            client.insert_many([(key, key) for key in range(32)])
+            client.contains_many(list(range(32)))
+        code, output = run_cli("stats", "--host", "127.0.0.1",
+                               "--port", port)
+        assert code == 0
+        assert "engine.calls.insert_many" in output
+        assert "engine_io.reads" in output
+        code, output = run_cli("stats", "--host", "127.0.0.1",
+                               "--port", port, "--format", "json")
+        assert code == 0
+        assert json.loads(output)["engine.calls.contains_many"] >= 1
+        code, output = run_cli("stats", "--host", "127.0.0.1",
+                               "--port", port, "--format", "prom")
+        assert code == 0
+        assert "# TYPE repro_engine_calls_insert_many untyped" in output
+        code, output = run_cli("stats", "--host", "127.0.0.1",
+                               "--port", port, "--traces")
+        assert code == 0
+        assert "recent traces" in output
+        assert "server.contains_many" in output
+
+
+def test_serve_rejects_a_negative_metrics_interval():
+    code, _output = run_cli("serve", "--metrics-interval", "-1")
+    assert code == 2
+
+
 # --------------------------------------------------------------------------- #
 # report
 # --------------------------------------------------------------------------- #

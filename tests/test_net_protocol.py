@@ -32,6 +32,7 @@ from repro.net.protocol import (
     BODY_NONE,
     BODY_PICKLE,
     BODY_RECORDS,
+    TRACE_KEY,
     WireCodec,
     decode_message,
     encode_message,
@@ -120,6 +121,43 @@ def test_mid_frame_disconnect_async_is_a_protocol_error():
     # EOF inside the header
     with pytest.raises(ProtocolError):
         run(read_frame_async(feed(wire[:2])))
+
+
+def test_traced_frame_round_trips_and_every_mutation_is_typed():
+    """A frame carrying a trace header fuzzes exactly like a bare one.
+
+    The ``TRACE_KEY`` field is plain header data: the intact frame
+    round-trips it bit-for-bit, while every truncation point and every
+    single-bit flip still surfaces as :class:`ProtocolError` — tracing
+    must not open a byte-path the fuzz tier does not cover.
+    """
+    trace_header = {"trace": "t1f2a-9", "span": "1f2a-a"}
+    wire = frame(encode_message(
+        {"op": "contains_many", "id": 5, TRACE_KEY: trace_header}))
+    header, _tag, _body = decode_message(read_frame(io.BytesIO(wire)))
+    assert header[TRACE_KEY] == trace_header
+    for cut in range(1, len(wire)):
+        with pytest.raises(ProtocolError):
+            read_frame(io.BytesIO(wire[:cut]))
+    for index in range(len(wire) * 8):
+        flipped = bytearray(wire)
+        flipped[index // 8] ^= 1 << (index % 8)
+        with pytest.raises(ProtocolError):
+            payload = read_frame(io.BytesIO(bytes(flipped)))
+            if payload is not None:
+                raise AssertionError("flipped traced frame decoded: %r"
+                                     % payload)
+
+
+def test_malformed_trace_headers_still_decode_as_messages():
+    """A hostile ``trace`` field (wrong type, junk keys) is header data
+    the protocol layer passes through untouched — rejecting or adopting
+    it is the server's call, never a decode error."""
+    for junk in ("not-a-dict", 17, ["t1"], {"weird": True}, None):
+        payload = encode_message({"op": "len", "id": 1, TRACE_KEY: junk})
+        header, tag, body = decode_message(payload)
+        assert header[TRACE_KEY] == junk
+        assert (tag, body) == (BODY_NONE, b"")
 
 
 def test_random_garbage_frames_never_escape_typed_errors():
